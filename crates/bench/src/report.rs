@@ -1,0 +1,119 @@
+//! Plain-text table rendering for the `repro` binary.
+
+use std::fmt::Write as _;
+
+/// A rendered text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Formats an MB/s figure.
+    pub fn mbps(v: f64) -> String {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{v:.1}")
+        }
+    }
+
+    /// Formats an optional MB/s figure.
+    pub fn opt_mbps(v: Option<f64>) -> String {
+        v.map_or("-".to_string(), |v| format!("{v:.1}"))
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["long-name".into(), "123.4".into()]);
+        let s = t.render();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len(), "rows align");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(TextTable::mbps(12.34), "12.3");
+        assert_eq!(TextTable::mbps(f64::NAN), "-");
+        assert_eq!(TextTable::opt_mbps(None), "-");
+        assert_eq!(TextTable::opt_mbps(Some(5.0)), "5.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_length_checked() {
+        let mut t = TextTable::new("Demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Prints simulated buffer-packing vs chained exchange rates next to the
+//! paper's Section 5 model numbers.
+//!
+//! Run with `cargo run --release -p memcomm-commops --example q_report`.
+
+use memcomm_commops::{run_exchange, ExchangeConfig, Style};
+use memcomm_machines::{reference, Machine};
+use memcomm_model::AccessPattern;
+
+fn main() {
+    let base = ExchangeConfig {
+        words: 8192,
+        ..ExchangeConfig::default()
+    };
+    let pat = |s: &str| match s {
+        "1" => AccessPattern::Contiguous,
+        "w" => AccessPattern::Indexed,
+        n => AccessPattern::strided(n.parse().unwrap()).unwrap(),
+    };
+    for (machine, qref) in [
+        (Machine::t3d(), reference::t3d_q_model()),
+        (Machine::paragon(), reference::paragon_q_model()),
+    ] {
+        // The paper's Paragon measurements were half duplex.
+        let cfg = ExchangeConfig {
+            full_duplex: machine.name == "Cray T3D",
+            ..base
+        };
+        println!("== {} ==", machine.name);
+        println!(
+            "{:<8} {:>8} {:>10} {:>8} {:>10}",
+            "op", "sim bp", "paper bp", "sim ch", "paper ch"
+        );
+        for point in qref {
+            let (x, y) = point.op.split_once('Q').unwrap();
+            let (x, y) = (pat(x), pat(y));
+            let bp = run_exchange(&machine, x, y, Style::BufferPacking, &cfg);
+            let ch = run_exchange(&machine, x, y, Style::Chained, &cfg);
+            assert!(bp.verified && ch.verified);
+            println!(
+                "{:<8} {:>8.1} {:>10.1} {:>8.1} {:>10.1}",
+                point.op,
+                bp.per_node(machine.clock()).as_mbps(),
+                point.buffer_packing.as_mbps(),
+                ch.per_node(machine.clock()).as_mbps(),
+                point.chained.as_mbps(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,544 @@
+//! Symmetric-exchange co-simulation: two nodes, two links, every engine of
+//! the chosen implementation style running against one shared memory path
+//! per node.
+
+use memcomm_machines::Machine;
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::engines::{
+    Cpu, CpuReceiver, CpuSender, DepositEngine, DepositMode, Step,
+};
+use memcomm_memsim::{Measurement, Node};
+use memcomm_model::AccessPattern;
+use memcomm_netsim::Link;
+
+use crate::layout::{ExchangeLayout, WalkSpec};
+use crate::roles::{CpuDuties, DmaChunkQueue, PipelinedCpu};
+
+/// The two implementation families of `xQy` (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// `xQy = xC1 ∘ (send ‖ Nd ‖ receive) ∘ 1Cy` — pack, move block,
+    /// unpack.
+    BufferPacking,
+    /// `xQ'y = xS0 ‖ Nadp ‖ 0Dy` — direct transfer, addresses on the wire
+    /// for non-contiguous destinations.
+    Chained,
+}
+
+/// Parameters of an exchange measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeConfig {
+    /// Payload words each node sends (and receives).
+    pub words: u64,
+    /// Pipelining chunk for buffer packing: `None` is store-and-forward
+    /// (pack the whole message, send it, unpack it — what PVM-era libraries
+    /// did); `Some(c)` pipelines at chunk granularity (the ablation of
+    /// DESIGN.md).
+    pub chunk_words: Option<u64>,
+    /// Network congestion factor; `None` uses the machine's representative
+    /// value (2).
+    pub congestion: Option<f64>,
+    /// Whether both nodes send simultaneously. The paper's T3D numbers are
+    /// symmetric (every node sends and receives, as in a transpose step);
+    /// its Paragon measurements "did not run sending and receiving
+    /// simultaneously at each node" — half duplex.
+    pub full_duplex: bool,
+    /// Expert buffer packing skips the gather (scatter) copy when the
+    /// source (destination) pattern is already contiguous; PVM-style
+    /// libraries never do (Section 3.4: "message passing libraries like PVM
+    /// force the programmer to copy the data elements in all cases").
+    pub elide_contiguous_copies: bool,
+    /// Seed for indexed patterns.
+    pub seed: u64,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            words: 8192,
+            chunk_words: None,
+            congestion: None,
+            full_duplex: true,
+            elide_contiguous_copies: false,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of a symmetric exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeResult {
+    /// Payload words each node moved in each direction.
+    pub words: u64,
+    /// Cycle at which the last agent finished.
+    pub end_cycle: Cycle,
+    /// Whether both destinations hold exactly the peer's data.
+    pub verified: bool,
+}
+
+impl ExchangeResult {
+    /// Per-node throughput: one direction's payload over the total time —
+    /// the paper's "MB/s per node" metric.
+    pub fn per_node(&self, clock: memcomm_memsim::Clock) -> memcomm_model::Throughput {
+        self.measurement().throughput(clock)
+    }
+
+    /// The raw measurement (words, cycles).
+    pub fn measurement(&self) -> Measurement {
+        Measurement::new(self.words, self.end_cycle)
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // one per node; size is irrelevant here
+enum MainRole {
+    Pipe(PipelinedCpu),
+    Chain(CpuSender),
+}
+
+#[allow(clippy::large_enum_variant)] // two sides of one per-node slot; never collections
+enum CopDuty {
+    Scatter(PipelinedCpu),
+    Receive(CpuReceiver),
+}
+
+struct Coproc {
+    cpu: Cpu,
+    duty: CopDuty,
+}
+
+struct Side {
+    node: Node,
+    cpu: Cpu,
+    main: MainRole,
+    dma: Option<DmaChunkQueue>,
+    deposit: Option<DepositEngine>,
+    cop: Option<Coproc>,
+    chunk_words: u64,
+    chunk_ready: Vec<Cycle>,
+    expected_words: u64,
+    layout: ExchangeLayout,
+    main_done: bool,
+    dma_done: bool,
+    deposit_done: bool,
+    cop_done: bool,
+}
+
+impl Side {
+    fn step_main(&mut self) -> Step {
+        let s = match &mut self.main {
+            MainRole::Pipe(p) => p.step(
+                &mut self.cpu,
+                &mut self.node.path,
+                &mut self.node.mem,
+                &mut self.node.tx,
+                &self.chunk_ready,
+            ),
+            MainRole::Chain(s) => s.step(
+                &mut self.cpu,
+                &mut self.node.path,
+                &self.node.mem,
+                &mut self.node.tx,
+            ),
+        };
+        if s == Step::Done {
+            self.main_done = true;
+        }
+        s
+    }
+
+    fn step_dma(&mut self) -> Step {
+        let MainRole::Pipe(pipe) = &self.main else {
+            unreachable!("a DMA send queue always pairs with a gathering pipe");
+        };
+        let gathered = pipe.gathered();
+        let s = match &mut self.dma {
+            Some(q) => q.step(
+                &mut self.node.path,
+                &self.node.mem,
+                &mut self.node.tx,
+                gathered,
+                &pipe.gather_done,
+            ),
+            None => Step::Done,
+        };
+        if s == Step::Done {
+            self.dma_done = true;
+        }
+        s
+    }
+
+    fn step_deposit(&mut self) -> Step {
+        let s = match &mut self.deposit {
+            Some(d) => d.step(&mut self.node.path, &mut self.node.mem, &mut self.node.rx),
+            None => Step::Done,
+        };
+        if let Some(d) = &self.deposit {
+            while d.received() / self.chunk_words > self.chunk_ready.len() as u64 {
+                self.chunk_ready.push(d.t);
+            }
+            let expected = self.expected_words;
+            let all_chunks = expected.div_ceil(self.chunk_words);
+            if expected > 0
+                && d.received() == expected
+                && (self.chunk_ready.len() as u64) < all_chunks
+            {
+                self.chunk_ready.push(d.t);
+            }
+        }
+        if s == Step::Done {
+            self.deposit_done = true;
+        }
+        s
+    }
+
+    fn step_cop(&mut self) -> Step {
+        let chunk_ready = &self.chunk_ready;
+        let s = match &mut self.cop {
+            Some(c) => match &mut c.duty {
+                CopDuty::Scatter(p) => p.step(
+                    &mut c.cpu,
+                    &mut self.node.path,
+                    &mut self.node.mem,
+                    &mut self.node.tx,
+                    chunk_ready,
+                ),
+                CopDuty::Receive(r) => r.step(
+                    &mut c.cpu,
+                    &mut self.node.path,
+                    &mut self.node.mem,
+                    &mut self.node.rx,
+                ),
+            },
+            None => Step::Done,
+        };
+        if s == Step::Done {
+            self.cop_done = true;
+        }
+        s
+    }
+
+    fn agents_done(&self) -> bool {
+        self.main_done && self.dma_done && self.deposit_done && self.cop_done
+    }
+
+    fn end_time(&self) -> Cycle {
+        let mut t = self.cpu.t;
+        if let Some(q) = &self.dma {
+            t = t.max(q.t);
+        }
+        if let Some(d) = &self.deposit {
+            t = t.max(d.t);
+        }
+        if let Some(c) = &self.cop {
+            t = t.max(c.cpu.t);
+        }
+        t
+    }
+
+    fn time_of(&self, agent: usize) -> Option<Cycle> {
+        match agent {
+            0 if !self.main_done => Some(self.cpu.t),
+            1 if !self.dma_done => Some(self.dma.as_ref().map_or(0, |q| q.t)),
+            2 if !self.deposit_done => Some(self.deposit.as_ref().map_or(0, |d| d.t)),
+            3 if !self.cop_done => Some(self.cop.as_ref().map_or(0, |c| c.cpu.t)),
+            _ => None,
+        }
+    }
+
+    fn step_agent(&mut self, agent: usize) -> Step {
+        match agent {
+            0 => self.step_main(),
+            1 => self.step_dma(),
+            2 => self.step_deposit(),
+            3 => self.step_cop(),
+            _ => unreachable!("agents are 0..4"),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal constructor mirroring the agent set
+fn build_side(
+    machine: &Machine,
+    x_spec: &WalkSpec,
+    y_spec: &WalkSpec,
+    style: Style,
+    cfg: &ExchangeConfig,
+    node_id: u64,
+    send_words: u64,
+    recv_words: u64,
+) -> Side {
+    let (x, y) = (x_spec.pattern(), y_spec.pattern());
+    let mut node = Node::new(machine.node);
+    let chunk_words = cfg.chunk_words.unwrap_or(cfg.words.max(1));
+    let layout =
+        ExchangeLayout::with_specs(&mut node, x_spec, y_spec, cfg.words, cfg.seed, node_id);
+    let contiguous = x == AccessPattern::Contiguous && y == AccessPattern::Contiguous;
+    let cpu = node.cpu();
+
+    let (main, dma, deposit, cop) = match style {
+        Style::BufferPacking => {
+            let use_dma = machine.caps.fetch_send;
+            let elide_gather =
+                cfg.elide_contiguous_copies && x == AccessPattern::Contiguous;
+            let elide_scatter =
+                cfg.elide_contiguous_copies && y == AccessPattern::Contiguous;
+            let duties = CpuDuties {
+                gather: !elide_gather,
+                send: !use_dma,
+                scatter: !use_dma && !elide_scatter,
+            };
+            // With an elided gather the senders stream straight from the
+            // source operand; with an elided scatter the deposit engine
+            // stores straight into the destination.
+            let mut role_layout = layout.slice_for(send_words, recv_words);
+            if elide_gather {
+                role_layout.send_buf = role_layout.src.clone();
+            }
+            let recv_target = if elide_scatter {
+                layout.dst.clone()
+            } else {
+                layout.recv_buf.clone()
+            };
+            let pipe = PipelinedCpu::new(duties, role_layout.clone(), chunk_words);
+            let dma = use_dma.then(|| {
+                DmaChunkQueue::new(machine.node.dma, role_layout.send_buf.clone(), chunk_words)
+            });
+            let deposit = DepositEngine::new(
+                machine.node.deposit,
+                DepositMode::Stream(recv_target),
+                recv_words,
+            );
+            // On a dual-processor node the co-processor unpacks while the
+            // main processor packs (the "‖ 1Cy" variant of Section 5.1.3).
+            let cop = (use_dma && !elide_scatter).then(|| Coproc {
+                cpu: node.coprocessor(),
+                duty: CopDuty::Scatter(PipelinedCpu::new(
+                    CpuDuties {
+                        gather: false,
+                        send: false,
+                        scatter: true,
+                    },
+                    layout.slice_for(0, recv_words),
+                    chunk_words,
+                )),
+            });
+            (MainRole::Pipe(pipe), dma, Some(deposit), cop)
+        }
+        Style::Chained => {
+            let src = layout.src.slice(0, send_words);
+            let remote = (!contiguous).then(|| layout.dst.slice(0, send_words));
+            let sender = CpuSender::new(src, remote);
+            let dst = layout.dst.slice(0, recv_words);
+            if machine.caps.deposit_noncontiguous {
+                // T3D: the annex deposits any pattern.
+                let mode = if contiguous {
+                    DepositMode::Stream(dst)
+                } else {
+                    DepositMode::Addressed
+                };
+                let deposit = DepositEngine::new(machine.node.deposit, mode, recv_words);
+                (MainRole::Chain(sender), None, Some(deposit), None)
+            } else {
+                // Paragon: the co-processor acts as the deposit engine
+                // (receive-store `0Ry`).
+                let cop = Coproc {
+                    cpu: node.coprocessor(),
+                    duty: CopDuty::Receive(CpuReceiver::new(dst)),
+                };
+                (MainRole::Chain(sender), None, None, Some(cop))
+            }
+        }
+    };
+
+    Side {
+        node,
+        cpu,
+        main,
+        dma_done: dma.is_none(),
+        dma,
+        deposit_done: deposit.is_none(),
+        deposit,
+        cop_done: cop.is_none(),
+        cop,
+        chunk_words,
+        chunk_ready: Vec::new(),
+        expected_words: recv_words,
+        layout,
+        main_done: false,
+    }
+}
+
+/// Runs a symmetric `xQy` exchange between two nodes of `machine` in the
+/// given style and returns the per-node measurement, with end-to-end data
+/// verification.
+///
+/// # Panics
+///
+/// Panics if the co-simulation deadlocks — that is a bug in the engine
+/// wiring, not a data-dependent condition.
+pub fn run_exchange(
+    machine: &Machine,
+    x: AccessPattern,
+    y: AccessPattern,
+    style: Style,
+    cfg: &ExchangeConfig,
+) -> ExchangeResult {
+    run_exchange_specs(
+        machine,
+        &WalkSpec::Pattern(x),
+        &WalkSpec::Pattern(y),
+        style,
+        cfg,
+    )
+}
+
+/// Like [`run_exchange`], but with explicit walk specifications — the entry
+/// point for datatype-driven transfers whose element offsets are not a
+/// plain pattern.
+///
+/// # Panics
+///
+/// Panics if the co-simulation deadlocks, or if an offset list's length
+/// differs from `cfg.words`.
+pub fn run_exchange_specs(
+    machine: &Machine,
+    x: &WalkSpec,
+    y: &WalkSpec,
+    style: Style,
+    cfg: &ExchangeConfig,
+) -> ExchangeResult {
+    let congestion = cfg.congestion.unwrap_or(machine.default_congestion);
+    let b_sends = if cfg.full_duplex { cfg.words } else { 0 };
+    let mut a = build_side(machine, x, y, style, cfg, 0, cfg.words, b_sends);
+    let mut b = build_side(machine, x, y, style, cfg, 1, b_sends, cfg.words);
+    let mut link_ab = Link::new(machine.link(congestion));
+    let mut link_ba = Link::new(machine.link(congestion));
+
+    loop {
+        if a.agents_done() && b.agents_done() {
+            break;
+        }
+        // Candidates: (local time, agent id). 0-3 node A, 4-7 node B,
+        // 8/9 links.
+        let mut order: Vec<(Cycle, usize)> = Vec::with_capacity(10);
+        for k in 0..4 {
+            if let Some(t) = a.time_of(k) {
+                order.push((t, k));
+            }
+            if let Some(t) = b.time_of(k) {
+                order.push((t, 4 + k));
+            }
+        }
+        order.push((link_ab.time(), 8));
+        order.push((link_ba.time(), 9));
+        order.sort_unstable();
+
+        let mut progressed = false;
+        for &(_, id) in &order {
+            let step = match id {
+                0..=3 => a.step_agent(id),
+                4..=7 => b.step_agent(id - 4),
+                8 => link_ab.step(&mut a.node.tx, &mut b.node.rx),
+                9 => link_ba.step(&mut b.node.tx, &mut a.node.rx),
+                _ => unreachable!(),
+            };
+            if matches!(step, Step::Progressed | Step::Done) {
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            assert!(
+                a.agents_done() && b.agents_done(),
+                "exchange deadlocked: A {:?} B {:?}",
+                (a.main_done, a.dma_done, a.deposit_done, a.cop_done),
+                (b.main_done, b.dma_done, b.deposit_done, b.cop_done)
+            );
+        }
+    }
+    assert!(a.node.tx.is_empty() && b.node.tx.is_empty(), "words left in flight");
+    assert!(a.node.rx.is_empty() && b.node.rx.is_empty(), "words left in flight");
+
+    let end_cycle = a
+        .end_time()
+        .max(b.end_time())
+        .max(link_ab.time())
+        .max(link_ba.time());
+    let verified = b.layout.verify_received(&b.node, 0)
+        && (!cfg.full_duplex || a.layout.verify_received(&a.node, 1));
+    ExchangeResult {
+        words: cfg.words,
+        end_cycle,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: AccessPattern = AccessPattern::Indexed;
+    const C1: AccessPattern = AccessPattern::Contiguous;
+    const S64: AccessPattern = AccessPattern::Strided(64);
+
+    fn cfg() -> ExchangeConfig {
+        ExchangeConfig {
+            words: 2048,
+            ..ExchangeConfig::default()
+        }
+    }
+
+    fn rate(machine: &Machine, x: AccessPattern, y: AccessPattern, style: Style) -> f64 {
+        let r = run_exchange(machine, x, y, style, &cfg());
+        assert!(r.verified, "{} {:?} {x}Q{y} corrupted data", machine.name, style);
+        r.per_node(machine.clock()).as_mbps()
+    }
+
+    #[test]
+    fn t3d_chained_beats_buffer_packing_everywhere() {
+        let m = Machine::t3d();
+        for (x, y) in [(C1, C1), (C1, S64), (S64, C1), (W, W)] {
+            let bp = rate(&m, x, y, Style::BufferPacking);
+            let ch = rate(&m, x, y, Style::Chained);
+            assert!(
+                ch > bp,
+                "{x}Q{y}: chained {ch:.1} must beat buffer packing {bp:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn paragon_chained_beats_buffer_packing() {
+        let m = Machine::paragon();
+        for (x, y) in [(C1, C1), (C1, S64), (W, W)] {
+            let bp = rate(&m, x, y, Style::BufferPacking);
+            let ch = rate(&m, x, y, Style::Chained);
+            assert!(
+                ch > bp,
+                "{x}Q{y}: chained {ch:.1} must beat buffer packing {bp:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_slows_the_contiguous_exchange() {
+        let m = Machine::t3d();
+        let mut c1 = cfg();
+        c1.congestion = Some(1.0);
+        let mut c4 = cfg();
+        c4.congestion = Some(4.0);
+        let fast = run_exchange(&m, C1, C1, Style::Chained, &c1);
+        let slow = run_exchange(&m, C1, C1, Style::Chained, &c4);
+        assert!(slow.end_cycle > 2 * fast.end_cycle);
+    }
+
+    #[test]
+    fn indexed_exchange_permutes_correctly() {
+        // verify_received inside rate() covers it; this pins the pattern
+        // combination the paper calls wQw on both machines.
+        for m in [Machine::t3d(), Machine::paragon()] {
+            let r = run_exchange(&m, W, W, Style::Chained, &cfg());
+            assert!(r.verified);
+        }
+    }
+}

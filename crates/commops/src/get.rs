@@ -1,0 +1,353 @@
+//! Get-based (withdraw) transfers — the path the paper declines to take.
+//!
+//! Footnote 2 of the paper: "when depositing data, address information and
+//! data travel together over the network. When withdrawing data, the
+//! latency is higher since address information has to travel first to the
+//! node that holds the data." This module implements that alternative so
+//! the claim can be measured: the requesting processor sends one request
+//! word per element; the remote annex reads memory and sends the value
+//! back; the local annex deposits it. Every element crosses the wire twice
+//! (request + reply) instead of once.
+
+use memcomm_machines::Machine;
+use memcomm_memsim::engines::{AnnexEngine, Cpu, CpuReceiver, DepositEngine, DepositMode, Step};
+use memcomm_memsim::nic::{NetWord, TimedFifo};
+use memcomm_memsim::path::MemPath;
+use memcomm_memsim::walk::Walk;
+use memcomm_memsim::Node;
+use memcomm_model::AccessPattern;
+use memcomm_netsim::Link;
+
+use crate::exchange::{ExchangeConfig, ExchangeResult};
+use crate::layout::ExchangeLayout;
+
+/// A processor issuing remote-load requests: for each element it computes
+/// the remote source address (pattern `x`) and the local destination
+/// address (pattern `y`) and posts a request word to the NIC.
+#[derive(Debug)]
+pub struct CpuRequester {
+    remote_src: Walk,
+    local_dst: Walk,
+    issued: u64,
+    staged: Option<NetWord>,
+}
+
+impl CpuRequester {
+    /// Creates a requester pulling `remote_src` (on the peer) into
+    /// `local_dst` (here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walks differ in length.
+    pub fn new(remote_src: Walk, local_dst: Walk) -> Self {
+        assert_eq!(remote_src.len(), local_dst.len(), "get walks must match");
+        CpuRequester {
+            remote_src,
+            local_dst,
+            issued: 0,
+            staged: None,
+        }
+    }
+
+    /// Advances by one request.
+    pub fn step(&mut self, cpu: &mut Cpu, path: &mut MemPath, tx: &mut TimedFifo) -> Step {
+        if let Some(word) = self.staged {
+            return match tx.push(cpu.t, word) {
+                Some(at) => {
+                    cpu.t = cpu.t.max(at);
+                    self.staged = None;
+                    Step::Progressed
+                }
+                None => Step::Blocked,
+            };
+        }
+        if self.issued == self.remote_src.len() {
+            return Step::Done;
+        }
+        cpu.fetch_index(path, &self.remote_src, self.issued);
+        cpu.fetch_index(path, &self.local_dst, self.issued);
+        cpu.port_store();
+        self.staged = Some(NetWord::request(
+            self.remote_src.addr(self.issued),
+            self.local_dst.addr(self.issued),
+        ));
+        self.issued += 1;
+        Step::Progressed
+    }
+}
+
+enum ReplySink {
+    Deposit(DepositEngine),
+    CoProcessor { cpu: Cpu, receiver: CpuReceiver },
+}
+
+impl ReplySink {
+    fn time(&self) -> u64 {
+        match self {
+            ReplySink::Deposit(d) => d.t,
+            ReplySink::CoProcessor { cpu, .. } => cpu.t,
+        }
+    }
+
+    fn step(
+        &mut self,
+        path: &mut MemPath,
+        mem: &mut memcomm_memsim::mem::Memory,
+        reply_rx: &mut TimedFifo,
+    ) -> Step {
+        match self {
+            ReplySink::Deposit(d) => d.step(path, mem, reply_rx),
+            ReplySink::CoProcessor { cpu, receiver } => receiver.step(cpu, path, mem, reply_rx),
+        }
+    }
+}
+
+struct GetSide {
+    node: Node,
+    cpu: Cpu,
+    requester: CpuRequester,
+    /// Serves incoming requests; pushes replies onto the reply channel.
+    responder: AnnexEngine,
+    /// Deposits incoming replies (consumes the reply channel): the annex on
+    /// machines whose deposit engine handles any pattern, the co-processor
+    /// elsewhere (the Paragon's DMA cannot scatter).
+    deposit: ReplySink,
+    /// Outgoing reply virtual channel (requests use `node.tx`). Real
+    /// machines separate request and reply traffic into virtual channels
+    /// precisely to avoid request-reply deadlock; so do we.
+    reply_tx: TimedFifo,
+    /// Incoming reply virtual channel.
+    reply_rx: TimedFifo,
+    layout: ExchangeLayout,
+    requester_done: bool,
+    responder_done: bool,
+    deposit_done: bool,
+}
+
+fn build_get_side(
+    machine: &Machine,
+    x: AccessPattern,
+    y: AccessPattern,
+    cfg: &ExchangeConfig,
+    node_id: u64,
+    pull_words: u64,
+    serve_words: u64,
+) -> GetSide {
+    let mut node = Node::new(machine.node);
+    let layout = ExchangeLayout::new(&mut node, x, y, cfg.words, cfg.seed, node_id);
+    let cpu = node.cpu();
+    // Pull the peer's `src` (same addresses as ours — identical layouts)
+    // into our `dst`.
+    let requester = CpuRequester::new(
+        layout.src.slice(0, pull_words),
+        layout.dst.slice(0, pull_words),
+    );
+    let responder = AnnexEngine::new(machine.node.deposit, 0, serve_words);
+    let deposit = if machine.caps.deposit_noncontiguous {
+        ReplySink::Deposit(DepositEngine::new(
+            machine.node.deposit,
+            DepositMode::Addressed,
+            pull_words,
+        ))
+    } else {
+        ReplySink::CoProcessor {
+            cpu: node.coprocessor(),
+            receiver: CpuReceiver::new(layout.dst.slice(0, pull_words)),
+        }
+    };
+    GetSide {
+        node,
+        cpu,
+        requester,
+        responder,
+        deposit,
+        reply_tx: TimedFifo::new(machine.node.tx_fifo_words),
+        reply_rx: TimedFifo::new(machine.node.rx_fifo_words),
+        layout,
+        requester_done: false,
+        responder_done: false,
+        deposit_done: false,
+    }
+}
+
+/// Runs a symmetric get-based exchange: each node *pulls* `cfg.words` of
+/// pattern `x` from its peer into pattern `y` locally. The counterpart of
+/// [`run_exchange`](crate::run_exchange) with
+/// [`Style::Chained`](crate::Style::Chained), built on remote loads instead
+/// of remote stores.
+///
+/// # Panics
+///
+/// Panics if the co-simulation deadlocks (an engine-wiring bug).
+pub fn run_get_exchange(
+    machine: &Machine,
+    x: AccessPattern,
+    y: AccessPattern,
+    cfg: &ExchangeConfig,
+) -> ExchangeResult {
+    // Requests and replies multiplex one physical wire per direction; with
+    // both nodes pulling, each direction carries two streams.
+    let base = cfg.congestion.unwrap_or(machine.default_congestion);
+    let congestion = if cfg.full_duplex { base * 2.0 } else { base };
+    let b_pulls = if cfg.full_duplex { cfg.words } else { 0 };
+    let mut a = build_get_side(machine, x, y, cfg, 0, cfg.words, b_pulls);
+    let mut b = build_get_side(machine, x, y, cfg, 1, b_pulls, cfg.words);
+    let mut req_ab = Link::new(machine.link(congestion));
+    let mut req_ba = Link::new(machine.link(congestion));
+    let mut rep_ab = Link::new(machine.link(congestion));
+    let mut rep_ba = Link::new(machine.link(congestion));
+
+    let side_done =
+        |s: &GetSide| s.requester_done && s.responder_done && s.deposit_done;
+    loop {
+        if side_done(&a) && side_done(&b) {
+            break;
+        }
+        let mut order: Vec<(u64, usize)> = Vec::with_capacity(10);
+        for (base_id, side) in [(0usize, &a), (3, &b)] {
+            if !side.requester_done {
+                order.push((side.cpu.t, base_id));
+            }
+            if !side.responder_done {
+                order.push((side.responder.t, base_id + 1));
+            }
+            if !side.deposit_done {
+                order.push((side.deposit.time(), base_id + 2));
+            }
+        }
+        order.push((req_ab.time(), 6));
+        order.push((req_ba.time(), 7));
+        order.push((rep_ab.time(), 8));
+        order.push((rep_ba.time(), 9));
+        order.sort_unstable();
+
+        let mut progressed = false;
+        for &(_, id) in &order {
+            let step = match id {
+                0 | 3 => {
+                    let s = if id == 0 { &mut a } else { &mut b };
+                    let step = s.requester.step(&mut s.cpu, &mut s.node.path, &mut s.node.tx);
+                    s.requester_done |= step == Step::Done;
+                    step
+                }
+                1 | 4 => {
+                    let s = if id == 1 { &mut a } else { &mut b };
+                    let Node { path, mem, rx, .. } = &mut s.node;
+                    let step = s.responder.step(path, mem, rx, &mut s.reply_tx);
+                    s.responder_done |= step == Step::Done;
+                    step
+                }
+                2 | 5 => {
+                    let s = if id == 2 { &mut a } else { &mut b };
+                    let Node { path, mem, .. } = &mut s.node;
+                    let step = s.deposit.step(path, mem, &mut s.reply_rx);
+                    s.deposit_done |= step == Step::Done;
+                    step
+                }
+                6 => req_ab.step(&mut a.node.tx, &mut b.node.rx),
+                7 => req_ba.step(&mut b.node.tx, &mut a.node.rx),
+                8 => rep_ab.step(&mut a.reply_tx, &mut b.reply_rx),
+                9 => rep_ba.step(&mut b.reply_tx, &mut a.reply_rx),
+                _ => unreachable!(),
+            };
+            if matches!(step, Step::Progressed | Step::Done) {
+                progressed = true;
+                break;
+            }
+        }
+        assert!(
+            progressed || (side_done(&a) && side_done(&b)),
+            "get exchange deadlocked"
+        );
+    }
+
+    let end_cycle = a
+        .cpu
+        .t
+        .max(b.cpu.t)
+        .max(a.responder.t)
+        .max(b.responder.t)
+        .max(a.deposit.time())
+        .max(b.deposit.time())
+        .max(req_ab.time())
+        .max(req_ba.time())
+        .max(rep_ab.time())
+        .max(rep_ba.time());
+    // A pulled B's data: element i of B's src landed at element i of A's dst.
+    let verified = a.layout.verify_received(&a.node, 1)
+        && (!cfg.full_duplex || b.layout.verify_received(&b.node, 0));
+    ExchangeResult {
+        words: cfg.words,
+        end_cycle,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_exchange, Style};
+
+    fn cfg() -> ExchangeConfig {
+        ExchangeConfig {
+            words: 1024,
+            ..ExchangeConfig::default()
+        }
+    }
+
+    #[test]
+    fn get_exchange_delivers_correct_data() {
+        let m = Machine::t3d();
+        for (x, y) in [
+            (AccessPattern::Contiguous, AccessPattern::Contiguous),
+            (AccessPattern::Strided(16), AccessPattern::Indexed),
+        ] {
+            let r = run_get_exchange(&m, x, y, &cfg());
+            assert!(r.verified, "{x}Q{y} get corrupted data");
+        }
+    }
+
+    #[test]
+    fn put_beats_get_as_the_paper_argues() {
+        // Footnote 2: deposits are preferred. A get crosses the wire twice
+        // per element and serializes request processing behind replies.
+        let m = Machine::t3d();
+        for (x, y) in [
+            (AccessPattern::Contiguous, AccessPattern::Contiguous),
+            (AccessPattern::Contiguous, AccessPattern::Strided(64)),
+        ] {
+            let put = run_exchange(&m, x, y, Style::Chained, &cfg());
+            let get = run_get_exchange(&m, x, y, &cfg());
+            assert!(put.verified && get.verified);
+            let put_rate = put.per_node(m.clock()).as_mbps();
+            let get_rate = get.per_node(m.clock()).as_mbps();
+            assert!(
+                put_rate > 1.3 * get_rate,
+                "{x}Q{y}: put {put_rate:.1} must clearly beat get {get_rate:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn paragon_get_uses_the_coprocessor_and_verifies() {
+        let m = Machine::paragon();
+        let r = run_get_exchange(
+            &m,
+            AccessPattern::Contiguous,
+            AccessPattern::Strided(64),
+            &cfg(),
+        );
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn half_duplex_get_also_verifies() {
+        let m = Machine::t3d();
+        let half = ExchangeConfig {
+            full_duplex: false,
+            ..cfg()
+        };
+        let r = run_get_exchange(&m, AccessPattern::Indexed, AccessPattern::Contiguous, &half);
+        assert!(r.verified);
+    }
+}

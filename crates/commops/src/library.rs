@@ -1,0 +1,183 @@
+//! Message-library layer: PVM-style buffered messaging vs low-level puts.
+//!
+//! Figure 1 of the paper compares "a portable, general library (PVM)"
+//! against "vendor specific or third party libraries that offer best
+//! throughput". The mechanisms that separate them are per-message constant
+//! software overhead and forced system buffering (extra local copies on
+//! both sides); both are implemented here on the simulated machines, not
+//! assumed.
+
+use memcomm_machines::Machine;
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::engines::{CpuSender, DepositEngine, DepositMode, LocalCopier, Step};
+use memcomm_memsim::Node;
+use memcomm_model::{AccessPattern, Throughput};
+use memcomm_netsim::Link;
+
+/// A message-passing library's cost profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LibraryProfile {
+    /// Library name.
+    pub name: &'static str,
+    /// Constant software cost per message on each side (argument checking,
+    /// buffer management, protocol).
+    pub per_message_cycles: Cycle,
+    /// Whether the library forces store-and-forward copies through system
+    /// buffers on both sides (PVM semantics).
+    pub system_buffering: bool,
+}
+
+impl LibraryProfile {
+    /// A PVM-like portable library: tens of microseconds of per-message
+    /// overhead and mandatory system buffering on both ends.
+    pub fn pvm(machine: &Machine) -> Self {
+        LibraryProfile {
+            name: "PVM",
+            per_message_cycles: (40.0e-6 * machine.clock().hz()) as Cycle,
+            system_buffering: true,
+        }
+    }
+
+    /// The fastest vendor path (`libsma` on the T3D, SUNMOS `libnx` on the
+    /// Paragon): a put with microseconds of overhead and no extra copies.
+    pub fn low_level(machine: &Machine) -> Self {
+        LibraryProfile {
+            name: "low-level",
+            per_message_cycles: (2.0e-6 * machine.clock().hz()) as Cycle,
+            system_buffering: false,
+        }
+    }
+}
+
+/// Sends one contiguous message of `words` 64-bit words from node A to
+/// node B through the library and returns the end-to-end throughput
+/// (message bytes over total one-way time) — one point of Figure 1.
+pub fn measure_message(machine: &Machine, profile: LibraryProfile, words: u64) -> Throughput {
+    assert!(words >= 1, "empty messages have no throughput");
+    let mut a = Node::new(machine.node);
+    let mut b = Node::new(machine.node);
+    let src = a.alloc_walk(AccessPattern::Contiguous, words, None);
+    let sys_a = a.alloc_walk(AccessPattern::Contiguous, words, None);
+    // Keep layouts identical.
+    let dst = b.alloc_walk(AccessPattern::Contiguous, words, None);
+    let sys_b = b.alloc_walk(AccessPattern::Contiguous, words, None);
+    a.mem.fill(src.region(), (0..words).map(|i| i ^ 0xFEED));
+
+    let mut cpu_a = a.cpu();
+    cpu_a.t += profile.per_message_cycles;
+    let send_walk = if profile.system_buffering {
+        LocalCopier::new(src.clone(), sys_a.clone()).run(&mut cpu_a, &mut a.path, &mut a.mem);
+        sys_a
+    } else {
+        src.clone()
+    };
+    let recv_walk = if profile.system_buffering {
+        sys_b.clone()
+    } else {
+        dst.clone()
+    };
+
+    // Figure 1 measures a single communicating pair: congestion 1.
+    let mut link = Link::new(machine.link(1.0));
+    let mut sender = CpuSender::new(send_walk, None);
+    let mut deposit = DepositEngine::new(
+        machine.node.deposit,
+        DepositMode::Stream(recv_walk.clone()),
+        words,
+    );
+    let mut sender_done = false;
+    let mut deposit_done = false;
+    while !(sender_done && deposit_done) {
+        let mut order = vec![(link.time(), 2usize)];
+        if !sender_done {
+            order.push((cpu_a.t, 0));
+        }
+        if !deposit_done {
+            order.push((deposit.t, 1));
+        }
+        order.sort_unstable();
+        let mut progressed = false;
+        for &(_, id) in &order {
+            let s = match id {
+                0 => {
+                    let s = sender.step(&mut cpu_a, &mut a.path, &a.mem, &mut a.tx);
+                    sender_done |= s == Step::Done;
+                    s
+                }
+                1 => {
+                    let s = deposit.step(&mut b.path, &mut b.mem, &mut b.rx);
+                    deposit_done |= s == Step::Done;
+                    s
+                }
+                2 => link.step(&mut a.tx, &mut b.rx),
+                _ => unreachable!(),
+            };
+            if matches!(s, Step::Progressed | Step::Done) {
+                progressed = true;
+                break;
+            }
+        }
+        assert!(
+            progressed || (sender_done && deposit_done),
+            "message transfer deadlocked"
+        );
+    }
+
+    let mut end = deposit.t.max(cpu_a.t).max(link.time());
+    if profile.system_buffering {
+        let mut cpu_b = b.cpu();
+        cpu_b.t = end + profile.per_message_cycles;
+        LocalCopier::new(sys_b, dst.clone()).run(&mut cpu_b, &mut b.path, &mut b.mem);
+        end = cpu_b.t;
+    }
+    for i in 0..words {
+        assert_eq!(
+            b.mem.read(dst.addr(i)),
+            a.mem.read(src.addr(i)),
+            "message corrupted at element {i}"
+        );
+    }
+    machine.clock().throughput(words * 8, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_level_beats_pvm_at_every_size() {
+        let m = Machine::t3d();
+        for words in [64u64, 1024, 16384] {
+            let pvm = measure_message(&m, LibraryProfile::pvm(&m), words);
+            let low = measure_message(&m, LibraryProfile::low_level(&m), words);
+            assert!(
+                low > pvm,
+                "{words} words: low-level {low} must beat PVM {pvm}"
+            );
+        }
+    }
+
+    #[test]
+    fn pvm_gap_narrows_with_message_size() {
+        let m = Machine::paragon();
+        let ratio = |words| {
+            let pvm = measure_message(&m, LibraryProfile::pvm(&m), words).as_mbps();
+            let low = measure_message(&m, LibraryProfile::low_level(&m), words).as_mbps();
+            low / pvm
+        };
+        assert!(ratio(128) > ratio(16384), "per-message overhead dominates small sizes");
+    }
+
+    #[test]
+    fn throughput_grows_with_size_then_saturates() {
+        let m = Machine::t3d();
+        let profile = LibraryProfile::low_level(&m);
+        let small = measure_message(&m, profile, 16).as_mbps();
+        let mid = measure_message(&m, profile, 4096).as_mbps();
+        let large = measure_message(&m, profile, 32768).as_mbps();
+        assert!(mid > 2.0 * small);
+        assert!(large >= mid * 0.9, "saturation, not collapse");
+        // Asymptote is bounded by the wire at congestion 1.
+        assert!(large < 170.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Resumable per-node roles of an exchange.
+//!
+//! A [`PipelinedCpu`] is one processor time-sharing up to three chunked
+//! roles — gather, send, scatter — which is precisely the situation the
+//! copy-transfer model composes with `∘`: stages on one resource add their
+//! per-word times. A [`DmaChunkQueue`] streams gathered chunks through the
+//! DMA engine (the Paragon's `1F0` send path).
+
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::engines::{Cpu, CpuSender, Dma, DmaParams, LocalCopier, Step};
+use memcomm_memsim::mem::Memory;
+use memcomm_memsim::nic::TimedFifo;
+use memcomm_memsim::path::MemPath;
+use memcomm_memsim::walk::Walk;
+
+use crate::layout::ExchangeLayout;
+
+/// Which chunked roles a [`PipelinedCpu`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuDuties {
+    /// Pack outgoing chunks from `src` into the send buffer.
+    pub gather: bool,
+    /// Feed gathered chunks to the NIC port (processor send).
+    pub send: bool,
+    /// Unpack received chunks from the receive buffer into `dst`.
+    pub scatter: bool,
+}
+
+/// A processor executing chunked exchange roles.
+///
+/// Scatter has priority (drain the network first), a blocked send falls
+/// back to gathering, and the whole pipeline reports
+/// [`Step::Blocked`] only when it is genuinely waiting for incoming data.
+#[derive(Debug)]
+pub struct PipelinedCpu {
+    duties: CpuDuties,
+    layout: ExchangeLayout,
+    chunk_words: u64,
+    send_chunks: u64,
+    recv_chunks: u64,
+    gather_op: Option<LocalCopier>,
+    send_op: Option<CpuSender>,
+    scatter_op: Option<LocalCopier>,
+    gathered: u64,
+    sent: u64,
+    scattered: u64,
+    /// Completion cycle of each gathered chunk (read by the DMA queue).
+    pub gather_done: Vec<Cycle>,
+}
+
+impl PipelinedCpu {
+    /// Creates the role set over a node's layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero chunk size.
+    pub fn new(duties: CpuDuties, layout: ExchangeLayout, chunk_words: u64) -> Self {
+        assert!(chunk_words >= 1, "chunks must hold at least one word");
+        let send_words = layout.src.len();
+        let recv_words = layout.dst.len();
+        let send_chunks = send_words.div_ceil(chunk_words);
+        // Without a gather duty the outgoing data is pre-packed (or the
+        // gather was elided because the source is contiguous): every chunk
+        // is ready from cycle 0.
+        let (gathered, gather_done) = if duties.gather {
+            (0, Vec::new())
+        } else {
+            (send_chunks, vec![0; send_chunks as usize])
+        };
+        PipelinedCpu {
+            duties,
+            layout,
+            chunk_words,
+            send_chunks,
+            recv_chunks: recv_words.div_ceil(chunk_words),
+            gather_op: None,
+            send_op: None,
+            scatter_op: None,
+            gathered,
+            sent: 0,
+            scattered: 0,
+            gather_done,
+        }
+    }
+
+    /// Number of outgoing chunks.
+    pub fn chunks(&self) -> u64 {
+        self.send_chunks
+    }
+
+    /// Chunks gathered so far.
+    pub fn gathered(&self) -> u64 {
+        self.gathered
+    }
+
+    fn chunk_range(&self, k: u64, total_words: u64) -> (u64, u64) {
+        let start = k * self.chunk_words;
+        let len = self.chunk_words.min(total_words - start);
+        (start, len)
+    }
+
+    fn is_done(&self) -> bool {
+        (!self.duties.gather || self.gathered == self.send_chunks)
+            && (!self.duties.send || self.sent == self.send_chunks)
+            && (!self.duties.scatter || self.scattered == self.recv_chunks)
+    }
+
+    /// Advances by one unit of work. `chunk_ready[k]` is the cycle at which
+    /// incoming chunk `k` finished arriving in the receive buffer.
+    pub fn step(
+        &mut self,
+        cpu: &mut Cpu,
+        path: &mut MemPath,
+        mem: &mut Memory,
+        tx: &mut TimedFifo,
+        chunk_ready: &[Cycle],
+    ) -> Step {
+        if self.is_done() {
+            return Step::Done;
+        }
+        // Scatter first: drain the incoming pipeline.
+        if self.duties.scatter {
+            if self.scatter_op.is_none()
+                && self.scattered < self.recv_chunks
+                && (self.scattered as usize) < chunk_ready.len()
+            {
+                let (start, len) = self.chunk_range(self.scattered, self.layout.dst.len());
+                cpu.t = cpu.t.max(chunk_ready[self.scattered as usize]);
+                self.scatter_op = Some(LocalCopier::new(
+                    self.layout.recv_buf.slice(start, len),
+                    self.layout.dst.slice(start, len),
+                ));
+            }
+            if let Some(op) = &mut self.scatter_op {
+                match op.step(cpu, path, mem) {
+                    Step::Done => {
+                        self.scatter_op = None;
+                        self.scattered += 1;
+                    }
+                    Step::Progressed => {}
+                    Step::Blocked => unreachable!("local copies never block"),
+                }
+                return Step::Progressed;
+            }
+        }
+        // Send gathered chunks; a blocked port falls through to gathering.
+        if self.duties.send {
+            if self.send_op.is_none() && self.sent < self.gathered.min(self.send_chunks) {
+                let (start, len) = self.chunk_range(self.sent, self.layout.src.len());
+                self.send_op = Some(CpuSender::new(self.layout.send_buf.slice(start, len), None));
+            }
+            if let Some(op) = &mut self.send_op {
+                match op.step(cpu, path, mem, tx) {
+                    Step::Done => {
+                        self.send_op = None;
+                        self.sent += 1;
+                        return Step::Progressed;
+                    }
+                    Step::Progressed => return Step::Progressed,
+                    Step::Blocked => {}
+                }
+            }
+        }
+        // Gather the next outgoing chunk.
+        if self.duties.gather {
+            if self.gather_op.is_none() && self.gathered < self.send_chunks {
+                let (start, len) = self.chunk_range(self.gathered, self.layout.src.len());
+                self.gather_op = Some(LocalCopier::new(
+                    self.layout.src.slice(start, len),
+                    self.layout.send_buf.slice(start, len),
+                ));
+            }
+            if let Some(op) = &mut self.gather_op {
+                match op.step(cpu, path, mem) {
+                    Step::Done => {
+                        self.gather_op = None;
+                        self.gathered += 1;
+                        self.gather_done.push(cpu.t);
+                    }
+                    Step::Progressed => {}
+                    Step::Blocked => unreachable!("local copies never block"),
+                }
+                return Step::Progressed;
+            }
+        }
+        if self.is_done() {
+            Step::Done
+        } else {
+            Step::Blocked
+        }
+    }
+}
+
+/// A queue of chunk DMA transfers: as the processor finishes gathering a
+/// chunk, the DMA engine is programmed to stream it to the NIC.
+#[derive(Debug)]
+pub struct DmaChunkQueue {
+    params: DmaParams,
+    send_buf: Walk,
+    chunk_words: u64,
+    chunks: u64,
+    current: Option<Dma>,
+    sent: u64,
+    /// The engine's local clock (carried across chunk transfers).
+    pub t: Cycle,
+}
+
+impl DmaChunkQueue {
+    /// Creates the queue over the node's send buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero chunk size.
+    pub fn new(params: DmaParams, send_buf: Walk, chunk_words: u64) -> Self {
+        assert!(chunk_words >= 1);
+        let words = send_buf.len();
+        DmaChunkQueue {
+            params,
+            send_buf,
+            chunk_words,
+            chunks: words.div_ceil(chunk_words),
+            current: None,
+            sent: 0,
+            t: 0,
+        }
+    }
+
+    /// Chunks fully sent.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Advances by one unit of DMA work. `gathered` and `gather_done` come
+    /// from the gathering processor.
+    pub fn step(
+        &mut self,
+        path: &mut MemPath,
+        mem: &Memory,
+        tx: &mut TimedFifo,
+        gathered: u64,
+        gather_done: &[Cycle],
+    ) -> Step {
+        if self.current.is_none() {
+            if self.sent == self.chunks {
+                return Step::Done;
+            }
+            if self.sent >= gathered {
+                return Step::Blocked;
+            }
+            let start = self.sent * self.chunk_words;
+            let len = self.chunk_words.min(self.send_buf.len() - start);
+            let mut dma = Dma::new(self.params, self.send_buf.slice(start, len));
+            dma.t = self.t.max(gather_done[self.sent as usize]);
+            self.current = Some(dma);
+        }
+        let dma = self.current.as_mut().expect("set above");
+        let outcome = dma.step(path, mem, tx);
+        self.t = dma.t;
+        match outcome {
+            Step::Done => {
+                self.current = None;
+                self.sent += 1;
+                Step::Progressed
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ExchangeLayout;
+    use memcomm_memsim::{Node, NodeParams};
+    use memcomm_model::AccessPattern;
+
+    #[test]
+    fn gather_only_cpu_packs_everything() {
+        let mut node = Node::new(NodeParams::default());
+        let layout = ExchangeLayout::new(
+            &mut node,
+            AccessPattern::Strided(4),
+            AccessPattern::Contiguous,
+            64,
+            3,
+            0,
+        );
+        let mut cpu = node.cpu();
+        let mut pipe = PipelinedCpu::new(
+            CpuDuties {
+                gather: true,
+                send: false,
+                scatter: false,
+            },
+            layout.clone(),
+            16,
+        );
+        loop {
+            match pipe.step(&mut cpu, &mut node.path, &mut node.mem, &mut node.tx, &[]) {
+                Step::Done => break,
+                Step::Blocked => panic!("gather-only pipeline cannot block"),
+                Step::Progressed => {}
+            }
+        }
+        assert_eq!(pipe.gathered(), 4);
+        assert_eq!(pipe.gather_done.len(), 4);
+        for i in 0..64 {
+            assert_eq!(
+                node.mem.read(layout.send_buf.addr(i)),
+                ExchangeLayout::value(0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_waits_for_chunk_readiness() {
+        let mut node = Node::new(NodeParams::default());
+        let layout = ExchangeLayout::new(
+            &mut node,
+            AccessPattern::Contiguous,
+            AccessPattern::Contiguous,
+            32,
+            3,
+            0,
+        );
+        // Pretend a peer deposited the first chunk only.
+        for i in 0..16 {
+            let v = ExchangeLayout::value(9, i);
+            node.mem.write(layout.recv_buf.addr(i), v);
+        }
+        let mut cpu = node.cpu();
+        let mut pipe = PipelinedCpu::new(
+            CpuDuties {
+                gather: false,
+                send: false,
+                scatter: true,
+            },
+            layout.clone(),
+            16,
+        );
+        let ready = vec![1000u64];
+        loop {
+            match pipe.step(&mut cpu, &mut node.path, &mut node.mem, &mut node.tx, &ready) {
+                Step::Blocked => break, // second chunk never arrives
+                Step::Progressed => {}
+                Step::Done => panic!("cannot finish with one chunk missing"),
+            }
+        }
+        assert_eq!(cpu.t.max(1000), cpu.t, "scatter started no earlier than readiness");
+        assert_eq!(node.mem.read(layout.dst.addr(0)), ExchangeLayout::value(9, 0));
+        assert_eq!(node.mem.read(layout.dst.addr(15)), ExchangeLayout::value(9, 15));
+    }
+
+    #[test]
+    fn dma_queue_follows_gathering() {
+        let mut node = Node::new(NodeParams::default());
+        let layout = ExchangeLayout::new(
+            &mut node,
+            AccessPattern::Contiguous,
+            AccessPattern::Contiguous,
+            64,
+            3,
+            0,
+        );
+        let mut queue = DmaChunkQueue::new(node.params().dma, layout.send_buf.clone(), 32);
+        // Nothing gathered: blocked.
+        assert_eq!(
+            queue.step(&mut node.path, &node.mem, &mut node.tx, 0, &[]),
+            Step::Blocked
+        );
+        // One chunk gathered at cycle 500: the DMA starts no earlier.
+        let done = [500u64];
+        loop {
+            match queue.step(&mut node.path, &node.mem, &mut node.tx, 1, &done) {
+                Step::Blocked => break,
+                Step::Progressed => {}
+                Step::Done => break,
+            }
+        }
+        assert_eq!(queue.sent(), 1);
+        assert!(queue.t >= 500);
+        assert_eq!(node.tx.total_pushed(), 32);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type of the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{AccessPattern, BasicTransfer};
+
+/// Errors produced while building or evaluating copy-transfer expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A stride of zero words does not describe a memory walk.
+    InvalidStride(u32),
+    /// Sequential composition where the write pattern of one stage does not
+    /// match the read pattern of the next.
+    PatternMismatch {
+        /// Write pattern produced by the upstream stage.
+        produced: AccessPattern,
+        /// Read pattern expected by the downstream stage.
+        expected: AccessPattern,
+    },
+    /// A composition with no operands has no throughput.
+    EmptyComposition,
+    /// The rate table has no entry (and no usable interpolation anchors) for
+    /// a basic transfer.
+    MissingRate(BasicTransfer),
+    /// A notation string could not be parsed.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidStride(s) => write!(f, "invalid stride {s}: strides are >= 1 word"),
+            ModelError::PatternMismatch { produced, expected } => write!(
+                f,
+                "sequential composition mismatch: upstream writes pattern {produced}, \
+                 downstream reads pattern {expected}"
+            ),
+            ModelError::EmptyComposition => write!(f, "composition needs at least one transfer"),
+            ModelError::MissingRate(t) => write!(f, "no throughput entry for basic transfer {t}"),
+            ModelError::Parse { input, reason } => {
+                write!(f, "cannot parse {input:?} as copy-transfer notation: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = ModelError::InvalidStride(0);
+        assert!(e.to_string().starts_with("invalid stride 0"));
+        let e = ModelError::PatternMismatch {
+            produced: AccessPattern::Contiguous,
+            expected: AccessPattern::Indexed,
+        };
+        assert!(e.to_string().contains("writes pattern 1"));
+        assert!(e.to_string().contains("reads pattern w"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+}

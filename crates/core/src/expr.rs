@@ -1,0 +1,444 @@
+//! Composition expressions over basic transfers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessPattern, BasicTransfer, ModelError, RateTable, Throughput};
+
+/// A resource constraint (`<` in the paper's notation): the throughput of
+/// the constrained expression, multiplied by `multiplier`, may not exceed the
+/// limit.
+///
+/// The limit can be a fixed rate or the rate of another basic transfer looked
+/// up in the same [`RateTable`] at evaluation time — e.g. the paper's
+/// `2 × |xQy| < |0Cx|` caps a symmetric exchange at half the raw memory
+/// store bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceCap {
+    /// Human-readable name of the shared resource ("memory store bandwidth").
+    pub name: String,
+    /// How many concurrent streams load the resource (the `2 ×` above).
+    pub multiplier: f64,
+    /// The capacity of the resource.
+    pub limit: CapLimit,
+}
+
+/// The capacity side of a [`ResourceCap`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CapLimit {
+    /// A fixed rate.
+    Fixed(Throughput),
+    /// The rate of a basic transfer, resolved against the rate table in use.
+    RateOf(BasicTransfer),
+}
+
+impl ResourceCap {
+    /// Convenience constructor for a cap expressed against a basic
+    /// transfer's rate.
+    pub fn rate_of(name: &str, multiplier: f64, transfer: BasicTransfer) -> Self {
+        ResourceCap {
+            name: name.to_owned(),
+            multiplier,
+            limit: CapLimit::RateOf(transfer),
+        }
+    }
+
+    /// Convenience constructor for a fixed-rate cap.
+    pub fn fixed(name: &str, multiplier: f64, limit: Throughput) -> Self {
+        ResourceCap {
+            name: name.to_owned(),
+            multiplier,
+            limit: CapLimit::Fixed(limit),
+        }
+    }
+
+    fn resolve(&self, table: &RateTable) -> Result<Throughput, ModelError> {
+        match &self.limit {
+            CapLimit::Fixed(t) => Ok(*t),
+            CapLimit::RateOf(b) => table.rate(*b),
+        }
+    }
+}
+
+/// A copy-transfer expression: a tree of basic transfers combined with
+/// sequential (`∘`) and parallel (`‖`) composition and resource constraints.
+///
+/// Expressions are built with [`TransferExpr::seq`], [`TransferExpr::par`]
+/// and [`TransferExpr::capped`]; `From<BasicTransfer>` lifts an atom into an
+/// expression. [`TransferExpr::estimate`] evaluates the expression against a
+/// [`RateTable`] using the model's three rules.
+///
+/// # Examples
+///
+/// Chained strided transfer on the T3D, `xQ'y = xS0 ‖ Nadp ‖ 0Dy`:
+///
+/// ```rust
+/// use memcomm_model::{AccessPattern, BasicTransfer, TransferExpr};
+///
+/// # fn main() -> Result<(), memcomm_model::ModelError> {
+/// let q = TransferExpr::par(vec![
+///     BasicTransfer::load_send(AccessPattern::strided(64)?).into(),
+///     BasicTransfer::net_addr_data().into(),
+///     BasicTransfer::receive_deposit(AccessPattern::Contiguous).into(),
+/// ])?;
+/// assert_eq!(q.to_string(), "(64S0 || Nadp || 0D1)");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TransferExpr {
+    /// A single basic transfer.
+    Basic(BasicTransfer),
+    /// Sequential composition: stages share a resource, times add.
+    Seq(Vec<TransferExpr>),
+    /// Parallel composition: disjoint resources, the minimum dominates.
+    Par(Vec<TransferExpr>),
+    /// An expression subject to resource constraints.
+    Capped {
+        /// The constrained expression.
+        inner: Box<TransferExpr>,
+        /// The constraints; all are applied.
+        caps: Vec<ResourceCap>,
+    },
+}
+
+impl From<BasicTransfer> for TransferExpr {
+    fn from(b: BasicTransfer) -> Self {
+        TransferExpr::Basic(b)
+    }
+}
+
+impl TransferExpr {
+    /// Builds a sequential composition, checking the chaining rule: the
+    /// write pattern of each stage must match the read pattern of the next
+    /// (where both are unambiguous).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyComposition`] for no operands;
+    /// [`ModelError::PatternMismatch`] when adjacent boundary patterns
+    /// differ.
+    pub fn seq(stages: Vec<TransferExpr>) -> Result<Self, ModelError> {
+        if stages.is_empty() {
+            return Err(ModelError::EmptyComposition);
+        }
+        for pair in stages.windows(2) {
+            if let (Some(produced), Some(expected)) =
+                (pair[0].boundary_write(), pair[1].boundary_read())
+            {
+                if !produced.chains_into(expected) {
+                    return Err(ModelError::PatternMismatch { produced, expected });
+                }
+            }
+        }
+        Ok(TransferExpr::Seq(stages))
+    }
+
+    /// Builds a parallel composition.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyComposition`] for no operands.
+    pub fn par(branches: Vec<TransferExpr>) -> Result<Self, ModelError> {
+        if branches.is_empty() {
+            return Err(ModelError::EmptyComposition);
+        }
+        Ok(TransferExpr::Par(branches))
+    }
+
+    /// Wraps the expression with resource constraints.
+    pub fn capped(self, caps: Vec<ResourceCap>) -> Self {
+        if caps.is_empty() {
+            self
+        } else {
+            TransferExpr::Capped {
+                inner: Box::new(self),
+                caps,
+            }
+        }
+    }
+
+    /// The memory access pattern this expression consumes on its read side,
+    /// if unambiguous.
+    ///
+    /// For a parallel group this is the pattern of the unique branch that
+    /// reads memory (the sender-side stage); `None` if no branch or several
+    /// conflicting branches read memory.
+    pub fn boundary_read(&self) -> Option<AccessPattern> {
+        match self {
+            TransferExpr::Basic(b) => {
+                if b.is_network() {
+                    None
+                } else {
+                    Some(b.read_pattern())
+                }
+            }
+            TransferExpr::Seq(stages) => stages.first().and_then(TransferExpr::boundary_read),
+            TransferExpr::Par(branches) => unique(
+                branches
+                    .iter()
+                    .filter_map(|e| e.boundary_read().filter(|p| p.is_memory())),
+            ),
+            TransferExpr::Capped { inner, .. } => inner.boundary_read(),
+        }
+    }
+
+    /// The memory access pattern this expression produces on its write side,
+    /// if unambiguous. Mirror image of [`boundary_read`](Self::boundary_read).
+    pub fn boundary_write(&self) -> Option<AccessPattern> {
+        match self {
+            TransferExpr::Basic(b) => {
+                if b.is_network() {
+                    None
+                } else {
+                    Some(b.write_pattern())
+                }
+            }
+            TransferExpr::Seq(stages) => stages.last().and_then(TransferExpr::boundary_write),
+            TransferExpr::Par(branches) => unique(
+                branches
+                    .iter()
+                    .filter_map(|e| e.boundary_write().filter(|p| p.is_memory())),
+            ),
+            TransferExpr::Capped { inner, .. } => inner.boundary_write(),
+        }
+    }
+
+    /// Estimates the throughput of the expression against a rate table,
+    /// applying the model's three rules: reciprocal sum for `∘`, minimum for
+    /// `‖`, and capping for resource constraints.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::MissingRate`] if the table cannot rate one of the basic
+    /// transfers (even by stride interpolation).
+    pub fn estimate(&self, table: &RateTable) -> Result<Throughput, ModelError> {
+        match self {
+            TransferExpr::Basic(b) => table.rate(*b),
+            TransferExpr::Seq(stages) => {
+                let rates = stages
+                    .iter()
+                    .map(|s| s.estimate(table))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Throughput::seq_all(rates).ok_or(ModelError::EmptyComposition)
+            }
+            TransferExpr::Par(branches) => {
+                let rates = branches
+                    .iter()
+                    .map(|s| s.estimate(table))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Throughput::par_all(rates).ok_or(ModelError::EmptyComposition)
+            }
+            TransferExpr::Capped { inner, caps } => {
+                let mut rate = inner.estimate(table)?;
+                for cap in caps {
+                    rate = rate.capped(cap.resolve(table)?, cap.multiplier);
+                }
+                Ok(rate)
+            }
+        }
+    }
+
+    /// Iterates over every basic transfer in the expression (depth-first,
+    /// left to right), e.g. to check that a rate table covers it.
+    pub fn basic_transfers(&self) -> Vec<BasicTransfer> {
+        let mut out = Vec::new();
+        self.collect_basics(&mut out);
+        out
+    }
+
+    fn collect_basics(&self, out: &mut Vec<BasicTransfer>) {
+        match self {
+            TransferExpr::Basic(b) => out.push(*b),
+            TransferExpr::Seq(children) | TransferExpr::Par(children) => {
+                for c in children {
+                    c.collect_basics(out);
+                }
+            }
+            TransferExpr::Capped { inner, .. } => inner.collect_basics(out),
+        }
+    }
+}
+
+fn unique<I: Iterator<Item = AccessPattern>>(mut iter: I) -> Option<AccessPattern> {
+    let first = iter.next()?;
+    iter.all(|p| p == first).then_some(first)
+}
+
+impl fmt::Display for TransferExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferExpr::Basic(b) => write!(f, "{b}"),
+            TransferExpr::Seq(stages) => {
+                for (i, s) in stages.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " o ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            TransferExpr::Par(branches) => {
+                write!(f, "(")?;
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            TransferExpr::Capped { inner, caps } => {
+                write!(f, "{inner}")?;
+                for cap in caps {
+                    write!(f, " [{} x |.| < {}]", cap.multiplier, cap.name)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MBps;
+
+    fn t3d_like_table() -> RateTable {
+        let mut t = RateTable::new();
+        t.insert(
+            BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous),
+            MBps(93.0),
+        );
+        t.insert(
+            BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Strided(64)),
+            MBps(67.9),
+        );
+        t.insert(
+            BasicTransfer::load_send(AccessPattern::Contiguous),
+            MBps(126.0),
+        );
+        t.insert(BasicTransfer::net_data(), MBps(69.0));
+        t.insert(
+            BasicTransfer::receive_deposit(AccessPattern::Contiguous),
+            MBps(142.0),
+        );
+        t
+    }
+
+    fn buffer_packing_1q64() -> TransferExpr {
+        TransferExpr::seq(vec![
+            BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous).into(),
+            TransferExpr::par(vec![
+                BasicTransfer::load_send(AccessPattern::Contiguous).into(),
+                BasicTransfer::net_data().into(),
+                BasicTransfer::receive_deposit(AccessPattern::Contiguous).into(),
+            ])
+            .unwrap(),
+            BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Strided(64)).into(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn estimate_matches_paper_section_5_1_1() {
+        // |1Q64| = 1/(1/93 + 1/69 + 1/67.9) = 25.2 MB/s
+        let rate = buffer_packing_1q64().estimate(&t3d_like_table()).unwrap();
+        assert!((rate.as_mbps() - 25.2).abs() < 0.2, "got {rate}");
+    }
+
+    #[test]
+    fn seq_rejects_pattern_mismatch() {
+        // A gather copy producing contiguous data cannot feed a strided
+        // load-send.
+        let err = TransferExpr::seq(vec![
+            BasicTransfer::copy(AccessPattern::Indexed, AccessPattern::Contiguous).into(),
+            BasicTransfer::load_send(AccessPattern::Strided(8)).into(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ModelError::PatternMismatch { .. }));
+    }
+
+    #[test]
+    fn seq_rejects_empty() {
+        assert_eq!(
+            TransferExpr::seq(vec![]).unwrap_err(),
+            ModelError::EmptyComposition
+        );
+        assert_eq!(
+            TransferExpr::par(vec![]).unwrap_err(),
+            ModelError::EmptyComposition
+        );
+    }
+
+    #[test]
+    fn par_boundaries_come_from_memory_sides() {
+        let par = TransferExpr::par(vec![
+            BasicTransfer::load_send(AccessPattern::Strided(4)).into(),
+            BasicTransfer::net_addr_data().into(),
+            BasicTransfer::receive_deposit(AccessPattern::Indexed).into(),
+        ])
+        .unwrap();
+        assert_eq!(par.boundary_read(), Some(AccessPattern::Strided(4)));
+        assert_eq!(par.boundary_write(), Some(AccessPattern::Indexed));
+    }
+
+    #[test]
+    fn cap_limits_estimate() {
+        let table = t3d_like_table();
+        let q = buffer_packing_1q64().capped(vec![ResourceCap::fixed(
+            "memory store bandwidth",
+            2.0,
+            MBps(40.0),
+        )]);
+        let rate = q.estimate(&table).unwrap();
+        assert!((rate.as_mbps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_can_reference_table_rate() {
+        let table = t3d_like_table();
+        let q = TransferExpr::from(BasicTransfer::load_send(AccessPattern::Contiguous)).capped(
+            vec![ResourceCap::rate_of(
+                "copy bandwidth",
+                2.0,
+                BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous),
+            )],
+        );
+        // min(126, 93/2) = 46.5
+        assert!((q.estimate(&table).unwrap().as_mbps() - 46.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_formula() {
+        assert_eq!(
+            buffer_packing_1q64().to_string(),
+            "1C1 o (1S0 || Nd || 0D1) o 1C64"
+        );
+    }
+
+    #[test]
+    fn basic_transfers_enumerates_leaves() {
+        let leaves = buffer_packing_1q64().basic_transfers();
+        assert_eq!(leaves.len(), 5);
+        assert!(leaves.contains(&BasicTransfer::net_data()));
+    }
+
+    #[test]
+    fn missing_rate_is_reported() {
+        let table = RateTable::new();
+        let e = buffer_packing_1q64().estimate(&table).unwrap_err();
+        assert!(matches!(e, ModelError::MissingRate(_)));
+    }
+
+    #[test]
+    fn estimate_never_exceeds_any_stage() {
+        let table = t3d_like_table();
+        let expr = buffer_packing_1q64();
+        let est = expr.estimate(&table).unwrap();
+        for leaf in expr.basic_transfers() {
+            assert!(est <= table.rate(leaf).unwrap());
+        }
+    }
+}

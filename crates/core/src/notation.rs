@@ -1,0 +1,149 @@
+//! Parser for the paper's transfer notation.
+//!
+//! Grammar for a basic transfer:
+//!
+//! ```text
+//! basic   := "Nd" | "Nadp" | pattern engine pattern
+//! engine  := "C" | "S" | "F" | "R" | "D"
+//! pattern := "0" | "1" | "w" | "ω" | integer (>= 2, a stride in words)
+//! ```
+//!
+//! Engine-specific pattern constraints are enforced: `S`/`F` write to the
+//! port (`0`), `R`/`D` read from the port, and `C` must touch memory on at
+//! least one side (`xC0`/`0Cy` are the pure load/store streams).
+
+use crate::{AccessPattern, BasicTransfer, ModelError};
+
+fn parse_pattern(s: &str, input: &str) -> Result<AccessPattern, ModelError> {
+    match s {
+        "0" => Ok(AccessPattern::Fixed),
+        "1" => Ok(AccessPattern::Contiguous),
+        "w" | "ω" => Ok(AccessPattern::Indexed),
+        digits => {
+            let stride: u32 = digits.parse().map_err(|_| ModelError::Parse {
+                input: input.to_owned(),
+                reason: "access pattern must be 0, 1, w, or a stride",
+            })?;
+            AccessPattern::strided(stride)
+        }
+    }
+}
+
+/// Parses a basic transfer from the paper's notation. See the module
+/// documentation for the grammar.
+pub(crate) fn parse_basic(input: &str) -> Result<BasicTransfer, ModelError> {
+    let s = input.trim();
+    match s {
+        "Nd" => return Ok(BasicTransfer::net_data()),
+        "Nadp" => return Ok(BasicTransfer::net_addr_data()),
+        _ => {}
+    }
+    let engine_pos = s
+        .char_indices()
+        .find(|(_, c)| matches!(c, 'C' | 'S' | 'F' | 'R' | 'D'))
+        .map(|(i, _)| i)
+        .ok_or(ModelError::Parse {
+            input: input.to_owned(),
+            reason: "expected an engine letter C, S, F, R, or D (or Nd/Nadp)",
+        })?;
+    let (read_str, rest) = s.split_at(engine_pos);
+    let engine = &rest[..1];
+    let write_str = &rest[1..];
+    if read_str.is_empty() || write_str.is_empty() {
+        return Err(ModelError::Parse {
+            input: input.to_owned(),
+            reason: "expected <pattern><engine><pattern>",
+        });
+    }
+    let read = parse_pattern(read_str, input)?;
+    let write = parse_pattern(write_str, input)?;
+    let mismatch = |reason| ModelError::Parse {
+        input: input.to_owned(),
+        reason,
+    };
+    match engine {
+        "C" => match (read.is_memory(), write.is_memory()) {
+            (true, true) => Ok(BasicTransfer::copy(read, write)),
+            (true, false) => Ok(BasicTransfer::load_stream(read)),
+            (false, true) => Ok(BasicTransfer::store_stream(write)),
+            (false, false) => Err(mismatch("a copy must touch memory on at least one side")),
+        },
+        "S" => {
+            if write != AccessPattern::Fixed || !read.is_memory() {
+                Err(mismatch("load-send is written xS0 with x a memory pattern"))
+            } else {
+                Ok(BasicTransfer::load_send(read))
+            }
+        }
+        "F" => {
+            if write != AccessPattern::Fixed || !read.is_memory() {
+                Err(mismatch(
+                    "fetch-send is written xF0 with x a memory pattern",
+                ))
+            } else {
+                Ok(BasicTransfer::fetch_send(read))
+            }
+        }
+        "R" => {
+            if read != AccessPattern::Fixed || !write.is_memory() {
+                Err(mismatch(
+                    "receive-store is written 0Ry with y a memory pattern",
+                ))
+            } else {
+                Ok(BasicTransfer::receive_store(write))
+            }
+        }
+        "D" => {
+            if read != AccessPattern::Fixed || !write.is_memory() {
+                Err(mismatch(
+                    "receive-deposit is written 0Dy with y a memory pattern",
+                ))
+            } else {
+                Ok(BasicTransfer::receive_deposit(write))
+            }
+        }
+        _ => unreachable!("engine_pos only matches known letters"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        for s in [
+            "1C1", "1C64", "64C1", "1Cw", "wC1", "1S0", "1F0", "64S0", "wS0", "0R1", "0D1",
+            "0R64", "0D64", "0Rw", "0Dw", "Nd", "Nadp", "0C1", "1C0",
+        ] {
+            let t = BasicTransfer::parse(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(t.to_string(), s, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn unicode_omega_accepted() {
+        assert_eq!(
+            BasicTransfer::parse("ωC1").unwrap(),
+            BasicTransfer::copy(AccessPattern::Indexed, AccessPattern::Contiguous)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for s in ["", "Q", "1Q1", "C", "1C", "S0", "xSy", "0C0", "1S1", "1R1", "0F0", "1D1"] {
+            assert!(BasicTransfer::parse(s).is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_stride_via_validation() {
+        // "00" parses as the integer 0 -> invalid stride.
+        assert!(BasicTransfer::parse("00C1").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        assert!(BasicTransfer::parse(" 1C1 ").is_ok());
+    }
+}

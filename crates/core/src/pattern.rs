@@ -1,0 +1,206 @@
+//! Memory access patterns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A memory access pattern, the `x`/`y` subscripts of the copy-transfer
+/// notation.
+///
+/// The paper distinguishes four classes of access (Section 2.2 / 3.2):
+///
+/// * [`Fixed`](AccessPattern::Fixed) (`0`) — a constant location, e.g. the
+///   head or tail of a network-interface FIFO;
+/// * [`Contiguous`](AccessPattern::Contiguous) (`1`) — a contiguous block of
+///   64-bit words, the result of *block* distributions;
+/// * [`Strided`](AccessPattern::Strided)`(s)` (`s ≥ 2`) — words separated by
+///   a constant stride of `s` words, the result of *cyclic* or *block-cyclic*
+///   distributions;
+/// * [`Indexed`](AccessPattern::Indexed) (`ω`) — an arbitrary sequence of
+///   words designated by an index array. Reading the index array is overhead
+///   that counts against the transfer's throughput but not its volume.
+///
+/// # Examples
+///
+/// ```rust
+/// use memcomm_model::AccessPattern;
+///
+/// # fn main() -> Result<(), memcomm_model::ModelError> {
+/// let column = AccessPattern::strided(1024)?;
+/// assert_eq!(column.to_string(), "1024");
+/// assert_eq!(AccessPattern::Indexed.to_string(), "w");
+/// assert!(column.is_memory());
+/// assert!(!AccessPattern::Fixed.is_memory());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// A fixed location (`0`), e.g. a memory-mapped FIFO port.
+    Fixed,
+    /// Contiguous word accesses (`1`).
+    Contiguous,
+    /// Constant-stride accesses (`n`), stride measured in 64-bit words,
+    /// always `≥ 2`.
+    Strided(u32),
+    /// Indexed (gather/scatter) accesses through an index array (`ω`).
+    Indexed,
+}
+
+impl AccessPattern {
+    /// Creates a strided pattern, normalizing degenerate strides.
+    ///
+    /// A stride of 1 is the contiguous pattern; a stride of 0 is not a valid
+    /// memory walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidStride`] for stride 0.
+    pub fn strided(stride: u32) -> Result<Self, ModelError> {
+        match stride {
+            0 => Err(ModelError::InvalidStride(stride)),
+            1 => Ok(AccessPattern::Contiguous),
+            s => Ok(AccessPattern::Strided(s)),
+        }
+    }
+
+    /// Returns `true` if the pattern walks memory (as opposed to a fixed
+    /// communication port).
+    pub fn is_memory(self) -> bool {
+        !matches!(self, AccessPattern::Fixed)
+    }
+
+    /// Returns the constant stride in words of this walk: 1 for contiguous,
+    /// `s` for strided, and `None` for fixed or indexed patterns.
+    pub fn stride(self) -> Option<u32> {
+        match self {
+            AccessPattern::Contiguous => Some(1),
+            AccessPattern::Strided(s) => Some(s),
+            AccessPattern::Fixed | AccessPattern::Indexed => None,
+        }
+    }
+
+    /// Returns `true` if two patterns are compatible as the write side of one
+    /// transfer feeding the read side of the next in a sequential
+    /// composition.
+    ///
+    /// The model requires the patterns to match exactly; a fixed port matches
+    /// a fixed port.
+    pub fn chains_into(self, next: AccessPattern) -> bool {
+        self == next
+    }
+}
+
+/// Classifies an ordered sequence of word offsets as the access pattern a
+/// compiler would use for it: contiguous, constant-stride, or indexed.
+///
+/// Sequences shorter than two elements are contiguous; non-positive or
+/// non-constant deltas are indexed.
+///
+/// # Examples
+///
+/// ```rust
+/// use memcomm_model::{classify_offsets, AccessPattern};
+///
+/// assert_eq!(classify_offsets(&[5, 6, 7]), AccessPattern::Contiguous);
+/// assert_eq!(classify_offsets(&[0, 4, 8]), AccessPattern::Strided(4));
+/// assert_eq!(classify_offsets(&[0, 4, 9]), AccessPattern::Indexed);
+/// ```
+pub fn classify_offsets(offsets: &[u64]) -> AccessPattern {
+    if offsets.len() < 2 {
+        return AccessPattern::Contiguous;
+    }
+    let delta = offsets[1] as i128 - offsets[0] as i128;
+    if delta <= 0 || delta > i128::from(u32::MAX) {
+        return AccessPattern::Indexed;
+    }
+    for pair in offsets.windows(2) {
+        if pair[1] as i128 - pair[0] as i128 != delta {
+            return AccessPattern::Indexed;
+        }
+    }
+    AccessPattern::strided(delta as u32).expect("delta in 1..=u32::MAX")
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPattern::Fixed => write!(f, "0"),
+            AccessPattern::Contiguous => write!(f, "1"),
+            AccessPattern::Strided(s) => write!(f, "{s}"),
+            AccessPattern::Indexed => write!(f, "w"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_normalizes_stride_one() {
+        assert_eq!(
+            AccessPattern::strided(1).unwrap(),
+            AccessPattern::Contiguous
+        );
+    }
+
+    #[test]
+    fn strided_rejects_zero() {
+        assert!(matches!(
+            AccessPattern::strided(0),
+            Err(ModelError::InvalidStride(0))
+        ));
+    }
+
+    #[test]
+    fn strided_keeps_real_strides() {
+        assert_eq!(
+            AccessPattern::strided(64).unwrap(),
+            AccessPattern::Strided(64)
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(AccessPattern::Fixed.to_string(), "0");
+        assert_eq!(AccessPattern::Contiguous.to_string(), "1");
+        assert_eq!(AccessPattern::Strided(16).to_string(), "16");
+        assert_eq!(AccessPattern::Indexed.to_string(), "w");
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(!AccessPattern::Fixed.is_memory());
+        assert!(AccessPattern::Contiguous.is_memory());
+        assert!(AccessPattern::Strided(2).is_memory());
+        assert!(AccessPattern::Indexed.is_memory());
+    }
+
+    #[test]
+    fn stride_accessor() {
+        assert_eq!(AccessPattern::Contiguous.stride(), Some(1));
+        assert_eq!(AccessPattern::Strided(7).stride(), Some(7));
+        assert_eq!(AccessPattern::Indexed.stride(), None);
+        assert_eq!(AccessPattern::Fixed.stride(), None);
+    }
+
+    #[test]
+    fn classify_offsets_covers_the_three_classes() {
+        assert_eq!(classify_offsets(&[]), AccessPattern::Contiguous);
+        assert_eq!(classify_offsets(&[9]), AccessPattern::Contiguous);
+        assert_eq!(classify_offsets(&[3, 4, 5, 6]), AccessPattern::Contiguous);
+        assert_eq!(classify_offsets(&[0, 64, 128]), AccessPattern::Strided(64));
+        assert_eq!(classify_offsets(&[0, 64, 120]), AccessPattern::Indexed);
+        assert_eq!(classify_offsets(&[5, 5]), AccessPattern::Indexed, "zero delta");
+        assert_eq!(classify_offsets(&[9, 3]), AccessPattern::Indexed, "descending");
+    }
+
+    #[test]
+    fn chaining_requires_equality() {
+        assert!(AccessPattern::Contiguous.chains_into(AccessPattern::Contiguous));
+        assert!(!AccessPattern::Contiguous.chains_into(AccessPattern::Strided(2)));
+    }
+}

@@ -1,0 +1,248 @@
+//! Throughput values and the arithmetic of the composition rules.
+
+use std::fmt;
+use std::iter::Sum;
+
+use serde::{Deserialize, Serialize};
+
+/// A throughput in megabytes per second (1 MB = 10⁶ bytes, as in the paper).
+///
+/// `Throughput` carries the arithmetic of the model's composition rules:
+/// [`seq`](Throughput::seq) is the reciprocal-sum rule for transfers that
+/// share a resource, [`par`](Throughput::par) the minimum rule for transfers
+/// on disjoint resources.
+///
+/// # Examples
+///
+/// ```rust
+/// use memcomm_model::MBps;
+///
+/// let gather = MBps(93.0);
+/// let send = MBps(126.0);
+/// // Gather and send share the processor: reciprocal sum.
+/// assert!((gather.seq(send).as_mbps() - 53.5).abs() < 0.1);
+/// // A network stage in parallel only matters if it is the bottleneck.
+/// assert_eq!(gather.par(MBps(160.0)), gather);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Throughput(f64);
+
+/// Constructs a [`Throughput`] from a value in MB/s.
+///
+/// This free-function constructor mirrors the way the paper writes rates
+/// ("93 MB/s") and keeps call sites short.
+#[allow(non_snake_case)]
+pub fn MBps(mbps: f64) -> Throughput {
+    Throughput::from_mbps(mbps)
+}
+
+impl Throughput {
+    /// Creates a throughput from MB/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is negative or not finite; throughputs are physical
+    /// rates.
+    pub fn from_mbps(mbps: f64) -> Self {
+        assert!(
+            mbps.is_finite() && mbps >= 0.0,
+            "throughput must be a finite non-negative rate, got {mbps}"
+        );
+        Throughput(mbps)
+    }
+
+    /// Creates a throughput from a byte count moved in a number of seconds.
+    ///
+    /// Returns zero throughput for non-positive durations of zero-byte
+    /// transfers; a positive byte count over a zero duration panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds <= 0` while `bytes > 0`.
+    pub fn from_bytes_per_sec(bytes: u64, seconds: f64) -> Self {
+        if bytes == 0 {
+            return Throughput(0.0);
+        }
+        assert!(seconds > 0.0, "positive volume needs positive duration");
+        Throughput(bytes as f64 / seconds / 1.0e6)
+    }
+
+    /// The rate in MB/s.
+    pub fn as_mbps(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0 * 1.0e6
+    }
+
+    /// Sequential composition (`∘`): the two transfers share a resource, so
+    /// their times add and the composite throughput is
+    /// `1 / (1/|X| + 1/|Y|)`.
+    ///
+    /// A zero rate on either side yields zero (the shared resource never
+    /// finishes that stage).
+    pub fn seq(self, other: Throughput) -> Throughput {
+        if self.0 == 0.0 || other.0 == 0.0 {
+            return Throughput(0.0);
+        }
+        Throughput(1.0 / (1.0 / self.0 + 1.0 / other.0))
+    }
+
+    /// Parallel composition (`‖`): disjoint resources, so the slowest stage
+    /// dictates the composite throughput, `min(|X|, |Y|)`.
+    pub fn par(self, other: Throughput) -> Throughput {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Applies a resource constraint: the composite may not exceed
+    /// `limit / multiplier`, i.e. `multiplier × |Z| ≤ limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not a positive finite number.
+    pub fn capped(self, limit: Throughput, multiplier: f64) -> Throughput {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "constraint multiplier must be positive, got {multiplier}"
+        );
+        self.par(Throughput(limit.0 / multiplier))
+    }
+
+    /// Scales the rate by a factor (e.g. dividing link bandwidth by a
+    /// congestion factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is negative or not finite.
+    pub fn scaled(self, factor: f64) -> Throughput {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative, got {factor}"
+        );
+        Throughput(self.0 * factor)
+    }
+
+    /// Sequentially composes an iterator of rates (reciprocal sum of all).
+    ///
+    /// Returns `None` for an empty iterator: an empty sequential composition
+    /// has no meaningful rate.
+    pub fn seq_all<I: IntoIterator<Item = Throughput>>(rates: I) -> Option<Throughput> {
+        rates.into_iter().reduce(Throughput::seq)
+    }
+
+    /// Parallel-composes an iterator of rates (minimum of all).
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn par_all<I: IntoIterator<Item = Throughput>>(rates: I) -> Option<Throughput> {
+        rates.into_iter().reduce(Throughput::par)
+    }
+
+    /// Relative error of `self` against a reference rate, as a fraction
+    /// (`|self - reference| / reference`).
+    ///
+    /// Used by the calibration report to compare simulated throughputs
+    /// against the paper's published figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference rate is zero.
+    pub fn relative_error(self, reference: Throughput) -> f64 {
+        assert!(reference.0 > 0.0, "reference rate must be positive");
+        (self.0 - reference.0).abs() / reference.0
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MB/s", self.0)
+    }
+}
+
+impl Sum for Throughput {
+    /// Summing throughputs adds rates — the aggregate bandwidth of
+    /// independent flows (used for resource-constraint checks, not for
+    /// composition).
+    fn sum<I: Iterator<Item = Throughput>>(iter: I) -> Throughput {
+        Throughput(iter.map(|t| t.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_reciprocal_sum() {
+        let z = MBps(100.0).seq(MBps(100.0));
+        assert!((z.as_mbps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_is_min() {
+        assert_eq!(MBps(80.0).par(MBps(120.0)), MBps(80.0));
+        assert_eq!(MBps(120.0).par(MBps(80.0)), MBps(80.0));
+    }
+
+    #[test]
+    fn seq_never_exceeds_either_operand() {
+        let a = MBps(93.0);
+        let b = MBps(126.0);
+        let z = a.seq(b);
+        assert!(z < a && z < b);
+    }
+
+    #[test]
+    fn seq_with_zero_is_zero() {
+        assert_eq!(MBps(0.0).seq(MBps(100.0)), MBps(0.0));
+        assert_eq!(MBps(100.0).seq(MBps(0.0)), MBps(0.0));
+    }
+
+    #[test]
+    fn capped_applies_multiplier() {
+        // 2 x |Q| <= 93  =>  |Q| <= 46.5
+        let q = MBps(70.0).capped(MBps(93.0), 2.0);
+        assert!((q.as_mbps() - 46.5).abs() < 1e-9);
+        // A loose constraint changes nothing.
+        assert_eq!(MBps(10.0).capped(MBps(93.0), 2.0), MBps(10.0));
+    }
+
+    #[test]
+    fn from_bytes_per_sec_converts() {
+        let t = Throughput::from_bytes_per_sec(8_000_000, 1.0);
+        assert!((t.as_mbps() - 8.0).abs() < 1e-9);
+        assert_eq!(Throughput::from_bytes_per_sec(0, 0.0).as_mbps(), 0.0);
+    }
+
+    #[test]
+    fn seq_all_and_par_all() {
+        let rates = [MBps(93.0), MBps(69.0), MBps(67.9)];
+        let seq = Throughput::seq_all(rates).unwrap();
+        assert!((seq.as_mbps() - 25.1).abs() < 0.1); // the paper's 1Q64 buffer packing
+        let par = Throughput::par_all(rates).unwrap();
+        assert_eq!(par, MBps(67.9));
+        assert!(Throughput::seq_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn sum_adds_rates() {
+        let total: Throughput = [MBps(10.0), MBps(20.0)].into_iter().sum();
+        assert_eq!(total, MBps(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_rate_rejected() {
+        let _ = MBps(-1.0);
+    }
+
+    #[test]
+    fn relative_error_is_symmetric_fraction() {
+        assert!((MBps(20.0).relative_error(MBps(25.0)) - 0.2).abs() < 1e-12);
+    }
+}

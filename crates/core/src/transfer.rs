@@ -1,0 +1,335 @@
+//! Basic transfers — the atoms of the copy-transfer model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessPattern, ModelError};
+
+/// The functional unit executing a basic transfer.
+///
+/// Sequential composition (`∘`) is mandatory between transfers that share an
+/// engine-class resource (the processor executes [`Copy`](Engine::Copy),
+/// [`LoadSend`](Engine::LoadSend) and [`ReceiveStore`](Engine::ReceiveStore));
+/// background engines ([`FetchSend`](Engine::FetchSend),
+/// [`ReceiveDeposit`](Engine::ReceiveDeposit), the network) may run in
+/// parallel (`‖`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Engine {
+    /// Local memory-to-memory copy executed by the processor (`xCy`).
+    Copy,
+    /// Processor loads from memory and stores to the NIC port (`xS0`).
+    LoadSend,
+    /// DMA or fetch engine feeds the NIC in the background (`xF0`).
+    FetchSend,
+    /// Processor drains the NIC port and stores to memory (`0Ry`).
+    ReceiveStore,
+    /// Deposit engine stores incoming data in the background (`0Dy`).
+    ReceiveDeposit,
+    /// Network transfer carrying data words only (`Nd`).
+    NetData,
+    /// Network transfer carrying address-data pairs (`Nadp`).
+    NetAddrData,
+}
+
+impl Engine {
+    /// Returns `true` if the engine occupies the node's main processor.
+    ///
+    /// Two transfers that both need the processor cannot run in parallel; the
+    /// model composes them sequentially.
+    pub fn uses_processor(self) -> bool {
+        matches!(
+            self,
+            Engine::Copy | Engine::LoadSend | Engine::ReceiveStore
+        )
+    }
+
+    /// Short mnemonic used in the paper's notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Engine::Copy => "C",
+            Engine::LoadSend => "S",
+            Engine::FetchSend => "F",
+            Engine::ReceiveStore => "R",
+            Engine::ReceiveDeposit => "D",
+            Engine::NetData => "Nd",
+            Engine::NetAddrData => "Nadp",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A basic transfer: an [`Engine`] together with its read and write access
+/// patterns, e.g. `1C64`, `wS0`, `0D1`, `Nadp`.
+///
+/// Instances are built through the pattern-checked constructors
+/// ([`copy`](BasicTransfer::copy), [`load_send`](BasicTransfer::load_send),
+/// …) so that ill-formed combinations such as a load-send writing to memory
+/// cannot be represented.
+///
+/// # Examples
+///
+/// ```rust
+/// use memcomm_model::{AccessPattern, BasicTransfer};
+///
+/// let t = BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Indexed);
+/// assert_eq!(t.to_string(), "1Cw");
+/// assert!(t.engine().uses_processor());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BasicTransfer {
+    engine: Engine,
+    read: AccessPattern,
+    write: AccessPattern,
+}
+
+impl BasicTransfer {
+    /// Local memory-to-memory copy `xCy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either pattern is [`AccessPattern::Fixed`]; a copy walks
+    /// memory on both sides. Use [`load_send`](Self::load_send) /
+    /// [`receive_store`](Self::receive_store) for port transfers.
+    pub fn copy(read: AccessPattern, write: AccessPattern) -> Self {
+        assert!(
+            read.is_memory() && write.is_memory(),
+            "a local copy reads and writes memory; got {read}C{write}"
+        );
+        BasicTransfer {
+            engine: Engine::Copy,
+            read,
+            write,
+        }
+    }
+
+    /// Pure store stream `0Cy`: the processor writes a constant to memory
+    /// with pattern `y`, measuring raw memory-store bandwidth.
+    ///
+    /// The paper uses `|0Cx|` as the limit in resource constraints such as
+    /// `2 × |xQy| < |0Cx|` (Section 3.4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write` is not a memory pattern.
+    pub fn store_stream(write: AccessPattern) -> Self {
+        assert!(
+            write.is_memory(),
+            "store stream writes memory; got 0C{write}"
+        );
+        BasicTransfer {
+            engine: Engine::Copy,
+            read: AccessPattern::Fixed,
+            write,
+        }
+    }
+
+    /// Pure load stream `xC0`: the processor reads memory with pattern `x`
+    /// into a register sink, measuring raw memory-load bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read` is not a memory pattern.
+    pub fn load_stream(read: AccessPattern) -> Self {
+        assert!(read.is_memory(), "load stream reads memory; got {read}C0");
+        BasicTransfer {
+            engine: Engine::Copy,
+            read,
+            write: AccessPattern::Fixed,
+        }
+    }
+
+    /// Processor load-send `xS0`: memory to the NIC port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read` is not a memory pattern.
+    pub fn load_send(read: AccessPattern) -> Self {
+        assert!(read.is_memory(), "load-send reads memory; got {read}S0");
+        BasicTransfer {
+            engine: Engine::LoadSend,
+            read,
+            write: AccessPattern::Fixed,
+        }
+    }
+
+    /// Background fetch-send `xF0`: DMA/fetch engine to the NIC port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read` is not a memory pattern. (Whether a concrete DMA can
+    /// execute a non-contiguous `read` is a property of the machine, checked
+    /// when the transfer is run or rated, not of the notation.)
+    pub fn fetch_send(read: AccessPattern) -> Self {
+        assert!(read.is_memory(), "fetch-send reads memory; got {read}F0");
+        BasicTransfer {
+            engine: Engine::FetchSend,
+            read,
+            write: AccessPattern::Fixed,
+        }
+    }
+
+    /// Processor receive-store `0Ry`: NIC port to memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write` is not a memory pattern.
+    pub fn receive_store(write: AccessPattern) -> Self {
+        assert!(
+            write.is_memory(),
+            "receive-store writes memory; got 0R{write}"
+        );
+        BasicTransfer {
+            engine: Engine::ReceiveStore,
+            read: AccessPattern::Fixed,
+            write,
+        }
+    }
+
+    /// Background receive-deposit `0Dy`: deposit engine to memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write` is not a memory pattern.
+    pub fn receive_deposit(write: AccessPattern) -> Self {
+        assert!(
+            write.is_memory(),
+            "receive-deposit writes memory; got 0D{write}"
+        );
+        BasicTransfer {
+            engine: Engine::ReceiveDeposit,
+            read: AccessPattern::Fixed,
+            write,
+        }
+    }
+
+    /// Data-only network transfer `Nd`.
+    pub fn net_data() -> Self {
+        BasicTransfer {
+            engine: Engine::NetData,
+            read: AccessPattern::Fixed,
+            write: AccessPattern::Fixed,
+        }
+    }
+
+    /// Address-data-pair network transfer `Nadp`, used when remote store
+    /// addresses travel with the data (chained transfers with non-contiguous
+    /// destination patterns).
+    pub fn net_addr_data() -> Self {
+        BasicTransfer {
+            engine: Engine::NetAddrData,
+            read: AccessPattern::Fixed,
+            write: AccessPattern::Fixed,
+        }
+    }
+
+    /// The executing engine.
+    pub fn engine(self) -> Engine {
+        self.engine
+    }
+
+    /// The read (left-subscript) access pattern.
+    pub fn read_pattern(self) -> AccessPattern {
+        self.read
+    }
+
+    /// The write (right-subscript) access pattern.
+    pub fn write_pattern(self) -> AccessPattern {
+        self.write
+    }
+
+    /// Returns `true` for the network stages `Nd` / `Nadp`.
+    pub fn is_network(self) -> bool {
+        matches!(self.engine, Engine::NetData | Engine::NetAddrData)
+    }
+
+    /// Returns the memory pattern this transfer reads, if it reads memory at
+    /// all (network stages and receive stages do not).
+    pub fn memory_read(self) -> Option<AccessPattern> {
+        (!self.is_network() && self.read.is_memory()).then_some(self.read)
+    }
+
+    /// Returns the memory pattern this transfer writes, if it writes memory.
+    pub fn memory_write(self) -> Option<AccessPattern> {
+        (!self.is_network() && self.write.is_memory()).then_some(self.write)
+    }
+
+    /// Parses the paper's notation, e.g. `"1C64"`, `"wS0"`, `"0D1"`,
+    /// `"Nd"`, `"Nadp"`. See the [`notation`](crate) module documentation
+    /// for the grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] for malformed strings and
+    /// [`ModelError::InvalidStride`] for a zero stride.
+    pub fn parse(s: &str) -> Result<Self, ModelError> {
+        crate::notation::parse_basic(s)
+    }
+}
+
+impl fmt::Display for BasicTransfer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_network() {
+            write!(f, "{}", self.engine)
+        } else {
+            write!(f, "{}{}{}", self.read, self.engine, self.write)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(
+            BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Strided(64)).to_string(),
+            "1C64"
+        );
+        assert_eq!(
+            BasicTransfer::load_send(AccessPattern::Indexed).to_string(),
+            "wS0"
+        );
+        assert_eq!(
+            BasicTransfer::receive_deposit(AccessPattern::Contiguous).to_string(),
+            "0D1"
+        );
+        assert_eq!(BasicTransfer::net_data().to_string(), "Nd");
+        assert_eq!(BasicTransfer::net_addr_data().to_string(), "Nadp");
+    }
+
+    #[test]
+    fn processor_usage() {
+        assert!(BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous)
+            .engine()
+            .uses_processor());
+        assert!(!BasicTransfer::fetch_send(AccessPattern::Contiguous)
+            .engine()
+            .uses_processor());
+        assert!(!BasicTransfer::net_data().engine().uses_processor());
+    }
+
+    #[test]
+    #[should_panic(expected = "reads and writes memory")]
+    fn copy_rejects_port_pattern() {
+        let _ = BasicTransfer::copy(AccessPattern::Fixed, AccessPattern::Contiguous);
+    }
+
+    #[test]
+    fn memory_sides() {
+        let s = BasicTransfer::load_send(AccessPattern::Strided(8));
+        assert_eq!(s.memory_read(), Some(AccessPattern::Strided(8)));
+        assert_eq!(s.memory_write(), None);
+        let d = BasicTransfer::receive_deposit(AccessPattern::Indexed);
+        assert_eq!(d.memory_read(), None);
+        assert_eq!(d.memory_write(), Some(AccessPattern::Indexed));
+        assert_eq!(BasicTransfer::net_data().memory_read(), None);
+        assert_eq!(BasicTransfer::net_data().memory_write(), None);
+    }
+}

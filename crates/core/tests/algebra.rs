@@ -1,0 +1,154 @@
+//! Property-based tests of the copy-transfer algebra.
+
+use memcomm_model::{
+    AccessPattern, BasicTransfer, MBps, ModelError, RateTable, Throughput, TransferExpr,
+};
+use proptest::prelude::*;
+
+fn rate_strategy() -> impl Strategy<Value = Throughput> {
+    (0.1f64..1000.0).prop_map(MBps)
+}
+
+fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Contiguous),
+        (2u32..5000).prop_map(|s| AccessPattern::strided(s).unwrap()),
+        Just(AccessPattern::Indexed),
+    ]
+}
+
+fn basic_strategy() -> impl Strategy<Value = BasicTransfer> {
+    prop_oneof![
+        (pattern_strategy(), pattern_strategy()).prop_map(|(x, y)| BasicTransfer::copy(x, y)),
+        pattern_strategy().prop_map(BasicTransfer::load_send),
+        pattern_strategy().prop_map(BasicTransfer::fetch_send),
+        pattern_strategy().prop_map(BasicTransfer::receive_store),
+        pattern_strategy().prop_map(BasicTransfer::receive_deposit),
+        pattern_strategy().prop_map(BasicTransfer::load_stream),
+        pattern_strategy().prop_map(BasicTransfer::store_stream),
+        Just(BasicTransfer::net_data()),
+        Just(BasicTransfer::net_addr_data()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn seq_is_commutative(a in rate_strategy(), b in rate_strategy()) {
+        let ab = a.seq(b).as_mbps();
+        let ba = b.seq(a).as_mbps();
+        prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
+    }
+
+    #[test]
+    fn seq_is_associative(a in rate_strategy(), b in rate_strategy(), c in rate_strategy()) {
+        let left = a.seq(b).seq(c).as_mbps();
+        let right = a.seq(b.seq(c)).as_mbps();
+        prop_assert!((left - right).abs() < 1e-6 * left.max(1.0));
+    }
+
+    #[test]
+    fn seq_is_strictly_below_min(a in rate_strategy(), b in rate_strategy()) {
+        let z = a.seq(b);
+        prop_assert!(z < a.par(b));
+        prop_assert!(z.as_mbps() > 0.0);
+    }
+
+    #[test]
+    fn par_is_min(a in rate_strategy(), b in rate_strategy()) {
+        let z = a.par(b);
+        prop_assert_eq!(z.as_mbps(), a.as_mbps().min(b.as_mbps()));
+    }
+
+    #[test]
+    fn harmonic_bound_for_equal_rates(a in rate_strategy()) {
+        // n identical sequential stages run at rate/n.
+        let n = 4;
+        let composed = Throughput::seq_all(std::iter::repeat_n(a, n)).unwrap();
+        prop_assert!((composed.as_mbps() - a.as_mbps() / n as f64).abs() < 1e-9 * a.as_mbps());
+    }
+
+    #[test]
+    fn cap_never_raises(a in rate_strategy(), limit in rate_strategy(), m in 0.5f64..8.0) {
+        prop_assert!(a.capped(limit, m) <= a);
+    }
+
+    #[test]
+    fn notation_round_trips(t in basic_strategy()) {
+        let rendered = t.to_string();
+        let parsed = BasicTransfer::parse(&rendered).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// Raising the rate of any single basic transfer never lowers the
+    /// estimate of an expression that contains it (the estimator is
+    /// monotone).
+    #[test]
+    fn estimator_is_monotone(
+        base in 1.0f64..300.0,
+        bump in 1.0f64..300.0,
+    ) {
+        let gather = BasicTransfer::copy(AccessPattern::Indexed, AccessPattern::Contiguous);
+        let send = BasicTransfer::load_send(AccessPattern::Contiguous);
+        let net = BasicTransfer::net_data();
+        let expr = TransferExpr::seq(vec![
+            gather.into(),
+            TransferExpr::par(vec![send.into(), net.into()]).unwrap(),
+        ]).unwrap();
+
+        let mut table = RateTable::new();
+        table.insert(gather, MBps(base));
+        table.insert(send, MBps(120.0));
+        table.insert(net, MBps(70.0));
+        let before = expr.estimate(&table).unwrap();
+
+        table.insert(gather, MBps(base + bump));
+        let after = expr.estimate(&table).unwrap();
+        prop_assert!(after >= before);
+    }
+
+    /// Stride interpolation always answers within the envelope of its
+    /// anchors and is monotone in stride when the anchors are monotone.
+    #[test]
+    fn interpolation_stays_in_envelope(
+        s in 2u32..100_000,
+        lo in 5.0f64..50.0,
+        hi in 50.0f64..200.0,
+    ) {
+        let mut table = RateTable::new();
+        let anchor = |stride: u32| BasicTransfer::copy(
+            AccessPattern::Contiguous,
+            AccessPattern::strided(stride).unwrap(),
+        );
+        table.insert(anchor(2), MBps(hi));
+        table.insert(anchor(64), MBps(lo));
+        let probe = table.rate(anchor(s)).unwrap().as_mbps();
+        prop_assert!(probe >= lo - 1e-9 && probe <= hi + 1e-9);
+    }
+
+    /// An estimate is always bounded above by the slowest leaf (every leaf
+    /// participates either in a min or a reciprocal sum).
+    #[test]
+    fn estimate_bounded_by_leaves(r1 in rate_strategy(), r2 in rate_strategy(), r3 in rate_strategy()) {
+        let a = BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous);
+        let b = BasicTransfer::load_send(AccessPattern::Contiguous);
+        let c = BasicTransfer::net_data();
+        let mut table = RateTable::new();
+        table.insert(a, r1);
+        table.insert(b, r2);
+        table.insert(c, r3);
+        let expr = TransferExpr::seq(vec![
+            a.into(),
+            TransferExpr::par(vec![b.into(), c.into()]).unwrap(),
+        ]).unwrap();
+        let est = expr.estimate(&table).unwrap();
+        prop_assert!(est <= r1 && est <= r2.par(r3));
+    }
+}
+
+#[test]
+fn empty_seq_is_rejected() {
+    assert!(matches!(
+        TransferExpr::seq(vec![]),
+        Err(ModelError::EmptyComposition)
+    ));
+}

@@ -1,0 +1,492 @@
+//! The application kernels of Section 6 / Table 6.
+//!
+//! Each kernel measures the throughput of its *communication step* on a
+//! simulated machine, per node, exactly as the paper reports: a
+//! representative pairwise exchange is co-simulated in detail at the
+//! congestion factor the full pattern imposes on the machine's topology
+//! (`netsim` derives it), plus the per-message and synchronization costs of
+//! the communication layer in use.
+
+use memcomm_commops::{run_exchange, ExchangeConfig, Style};
+use memcomm_machines::Machine;
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::scenario;
+use memcomm_memsim::Node;
+use memcomm_model::{
+    chained_expr, AccessPattern, ChainedPlan, ModelError, RateTable, ReceiveEngine, Throughput,
+};
+use memcomm_netsim::congestion::{pattern_congestion, scheduled_congestion};
+use memcomm_netsim::traffic;
+
+use crate::mesh::PartitionedMesh;
+
+/// How the kernel's communication is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMethod {
+    /// Hand-written buffer packing over low-level transfers.
+    BufferPacking,
+    /// Chained transfers (deposit engine / co-processor receive).
+    Chained,
+    /// Stock PVM: buffer packing plus system buffering and heavy
+    /// per-message overhead.
+    Pvm,
+}
+
+impl CommMethod {
+    fn label(self) -> &'static str {
+        match self {
+            CommMethod::BufferPacking => "buffer-packing",
+            CommMethod::Chained => "chained",
+            CommMethod::Pvm => "PVM",
+        }
+    }
+
+    fn style(self) -> Style {
+        match self {
+            CommMethod::Chained => Style::Chained,
+            _ => Style::BufferPacking,
+        }
+    }
+
+    fn per_message_cycles(self, machine: &Machine) -> Cycle {
+        let us = match self {
+            CommMethod::Pvm => 40.0e-6,
+            _ => 2.0e-6,
+        };
+        (us * machine.clock().hz()) as Cycle
+    }
+
+    /// Per-iteration synchronization: a dissemination barrier over the
+    /// machine's topology, with library-dependent software cost per round.
+    fn sync_cycles(self, machine: &Machine) -> Cycle {
+        let software_per_round = match self {
+            CommMethod::Pvm => (20.0e-6 * machine.clock().hz()) as Cycle,
+            _ => (2.0e-6 * machine.clock().hz()) as Cycle,
+        };
+        memcomm_netsim::barrier_cycles(
+            &machine.topology,
+            &machine.link(machine.default_congestion),
+            software_per_round,
+        )
+    }
+}
+
+/// One measured kernel data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMeasurement {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Communication method label.
+    pub method: &'static str,
+    /// Per-node throughput of the communication step.
+    pub per_node: Throughput,
+    /// Congestion factor the traffic pattern imposes.
+    pub congestion: f64,
+    /// Whether the co-simulated exchange delivered correct data.
+    pub verified: bool,
+}
+
+/// PVM's extra store-and-forward copies through system buffers: the cost of
+/// one contiguous copy of `words` on this machine, simulated.
+fn system_copy_cycles(machine: &Machine, words: u64) -> Cycle {
+    let mut node = Node::new(machine.node);
+    let src = node.alloc_walk(AccessPattern::Contiguous, words, None);
+    let dst = node.alloc_walk(AccessPattern::Contiguous, words, None);
+    scenario::run_local_copy(&mut node, &src, &dst).cycles
+}
+
+#[allow(clippy::too_many_arguments)] // one knob per paper-visible parameter
+fn measure_round(
+    machine: &Machine,
+    kernel: &'static str,
+    x: AccessPattern,
+    y: AccessPattern,
+    method: CommMethod,
+    words: u64,
+    congestion: f64,
+    elide_contiguous_copies: bool,
+) -> (Cycle, KernelMeasurement) {
+    let cfg = ExchangeConfig {
+        words,
+        congestion: Some(congestion),
+        // PVM always copies; hand-written code may elide.
+        elide_contiguous_copies: elide_contiguous_copies && method != CommMethod::Pvm,
+        ..ExchangeConfig::default()
+    };
+    let result = run_exchange(machine, x, y, method.style(), &cfg);
+    let mut round = result.end_cycle + method.per_message_cycles(machine);
+    if method == CommMethod::Pvm {
+        round += 2 * system_copy_cycles(machine, words);
+    }
+    let m = KernelMeasurement {
+        kernel,
+        method: method.label(),
+        per_node: machine.clock().throughput(words * 8, round),
+        congestion,
+        verified: result.verified,
+    };
+    (round, m)
+}
+
+/// The 2D-FFT transpose kernel (Section 6.1.1): an `n × n` complex matrix
+/// block-distributed by rows over the machine's nodes; the transpose is an
+/// all-to-all personalized exchange of `(n/p)²` complex patches, with
+/// contiguous loads and stride-`n` stores (`1Q_n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransposeKernel {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Words per matrix element (2 for complex).
+    pub words_per_element: u64,
+}
+
+impl TransposeKernel {
+    /// The paper's instance: a 1024×1024 complex 2D FFT on 64 nodes.
+    pub fn paper_instance() -> Self {
+        TransposeKernel {
+            n: 1024,
+            words_per_element: 2,
+        }
+    }
+
+    /// Payload words of one pairwise patch on `p` nodes.
+    pub fn patch_words(&self, p: u64) -> u64 {
+        (self.n / p) * (self.n / p) * self.words_per_element
+    }
+
+    /// The congestion of the scheduled all-to-all on this machine's
+    /// topology (worst round of the XOR schedule, including port sharing).
+    pub fn congestion(&self, machine: &Machine) -> f64 {
+        let p = machine.topology.len();
+        let rounds = traffic::aapc_xor_schedule(p, self.patch_words(p as u64) * 8);
+        scheduled_congestion(&machine.topology, &rounds, machine.nodes_per_port).factor
+    }
+
+    /// Measures the communication step per node.
+    pub fn measure(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+        let p = machine.topology.len() as u64;
+        let congestion = self.congestion(machine);
+        // The transpose patch is short contiguous runs, not one block: the
+        // gather copy is genuinely needed (the paper models it as 1C1).
+        let (_, m) = measure_round(
+            machine,
+            "Transpose",
+            AccessPattern::Contiguous,
+            AccessPattern::strided(self.n as u32).expect("n >= 2"),
+            method,
+            self.patch_words(p),
+            congestion,
+            false,
+        );
+        m
+    }
+
+    /// Measures the *entire* transpose — all `p − 1` rounds of the XOR
+    /// schedule, each co-simulated at its own round congestion — and
+    /// returns the aggregate per-node rate. [`measure`](Self::measure) uses
+    /// one representative round at the worst round congestion; this method
+    /// is the long-form validation that the shortcut is sound.
+    pub fn measure_full(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+        let p = machine.topology.len();
+        let patch = self.patch_words(p as u64);
+        let rounds = traffic::aapc_xor_schedule(p, patch * 8);
+        let mut total_cycles: Cycle = 0;
+        let mut verified = true;
+        let mut worst = 1.0f64;
+        for round in &rounds {
+            let congestion =
+                pattern_congestion(&machine.topology, round, machine.nodes_per_port)
+                    .factor
+                    .max(1.0);
+            worst = worst.max(congestion);
+            let (cycles, m) = measure_round(
+                machine,
+                "Transpose",
+                AccessPattern::Contiguous,
+                AccessPattern::strided(self.n as u32).expect("n >= 2"),
+                method,
+                patch,
+                congestion,
+                false,
+            );
+            total_cycles += cycles;
+            verified &= m.verified;
+        }
+        let total_words = patch * rounds.len() as u64;
+        KernelMeasurement {
+            kernel: "Transpose",
+            method: method.label(),
+            per_node: machine.clock().throughput(total_words * 8, total_cycles),
+            congestion: worst,
+            verified,
+        }
+    }
+
+    /// The copy-transfer model's chained estimate for this kernel, from a
+    /// measured rate table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-rate errors from the table.
+    pub fn model_chained(&self, rates: &RateTable) -> Result<Throughput, ModelError> {
+        chained_expr(
+            AccessPattern::Contiguous,
+            AccessPattern::strided(self.n as u32).expect("n >= 2"),
+            ChainedPlan {
+                recv: ReceiveEngine::Deposit,
+            },
+        )?
+        .estimate(rates)
+    }
+}
+
+/// The FEM boundary-exchange kernel (Section 6.1.2): a partitioned
+/// irregular mesh where each solver step exchanges interface values with
+/// every neighbour partition through index arrays (`ωQ'ω`).
+#[derive(Debug, Clone)]
+pub struct FemKernel {
+    /// The partitioned mesh.
+    pub mesh: PartitionedMesh,
+}
+
+impl FemKernel {
+    /// A 110k-point synthetic valley over 64 partitions, sized so each
+    /// interface is a few hundred words, like the Quake mesh's partitions.
+    pub fn paper_instance() -> Self {
+        FemKernel {
+            mesh: PartitionedMesh::synthetic_valley([48, 48, 48], [4, 4, 4], 1995),
+        }
+    }
+
+    /// Words exchanged with one neighbour (the mean interface size).
+    pub fn exchange_words(&self) -> u64 {
+        self.mesh.mean_interface_points() as u64
+    }
+
+    /// Congestion of the neighbour-exchange pattern on the machine. The
+    /// exchange is scheduled in per-direction phases (one shift per
+    /// topology direction), as solvers do; the factor is the worst phase.
+    pub fn congestion(&self, machine: &Machine) -> f64 {
+        let bytes = self.exchange_words() * 8;
+        let all = traffic::neighbor_exchange(&machine.topology, bytes);
+        // Phase = all flows with the same (coordinate delta) direction; for
+        // a shift on a torus each phase is a permutation.
+        let rounds: Vec<Vec<traffic::Flow>> = (0..machine.topology.dims().len())
+            .flat_map(|dim| {
+                [-1i64, 1].into_iter().map(move |step| (dim, step))
+            })
+            .map(|(dim, step)| {
+                all.iter()
+                    .copied()
+                    .filter(|f| {
+                        let ca = machine.topology.coords(f.src);
+                        let cb = machine.topology.coords(f.dst);
+                        (0..machine.topology.dims().len()).all(|d| {
+                            let delta = machine.topology.hop_delta(ca[d], cb[d], d);
+                            if d == dim { delta == step } else { delta == 0 }
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        memcomm_netsim::congestion::scheduled_congestion(
+            &machine.topology,
+            &rounds,
+            machine.nodes_per_port,
+        )
+        .factor
+    }
+
+    /// Measures the boundary-exchange step per node.
+    pub fn measure(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+        let congestion = self.congestion(machine);
+        let (_, m) = measure_round(
+            machine,
+            "FEM",
+            AccessPattern::Indexed,
+            AccessPattern::Indexed,
+            method,
+            self.exchange_words(),
+            congestion,
+            false,
+        );
+        m
+    }
+
+    /// The model's chained estimate (`ωQ'ω`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-rate errors from the table.
+    pub fn model_chained(&self, rates: &RateTable) -> Result<Throughput, ModelError> {
+        chained_expr(
+            AccessPattern::Indexed,
+            AccessPattern::Indexed,
+            ChainedPlan {
+                recv: ReceiveEngine::Deposit,
+            },
+        )?
+        .estimate(rates)
+    }
+}
+
+/// The SOR halo-shift kernel (Section 6.1.3): contiguous overlap rows
+/// exchanged with the two shift neighbours after every relaxation, plus a
+/// synchronization — many small messages, so fixed costs dominate and
+/// chaining buys little (the paper's point about the model-vs-measured gap
+/// for SOR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SorKernel {
+    /// Matrix dimension (halo row length in words).
+    pub n: u64,
+}
+
+impl SorKernel {
+    /// The paper's 256×256 instance.
+    pub fn paper_instance() -> Self {
+        SorKernel { n: 256 }
+    }
+
+    /// Congestion of the shift pattern.
+    pub fn congestion(&self, machine: &Machine) -> f64 {
+        let flows = traffic::cyclic_shift(&machine.topology, 1, self.n * 8);
+        pattern_congestion(&machine.topology, &flows, machine.nodes_per_port).factor
+    }
+
+    /// Measures the halo exchange per node: two sequential row exchanges
+    /// plus the iteration synchronization; the reported rate is one halo
+    /// row over the full communication phase (the paper's per-node
+    /// accounting).
+    pub fn measure(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+        let congestion = self.congestion(machine);
+        // Halo rows are contiguous: a hand-written buffer-packing SOR does
+        // not copy them, which is why the paper's Table 6 shows chained and
+        // buffer packing nearly equal for SOR.
+        let (round, first) = measure_round(
+            machine,
+            "SOR",
+            AccessPattern::Contiguous,
+            AccessPattern::Contiguous,
+            method,
+            self.n,
+            congestion,
+            true,
+        );
+        let iteration = 2 * round + method.sync_cycles(machine);
+        KernelMeasurement {
+            per_node: machine.clock().throughput(self.n * 8, iteration),
+            ..first
+        }
+    }
+
+    /// The model's chained estimate (`1Q'1`), which ignores the per-message
+    /// and synchronization costs — the paper's own Table 6 shows the same
+    /// large model-vs-measured gap for SOR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-rate errors from the table.
+    pub fn model_chained(&self, rates: &RateTable) -> Result<Throughput, ModelError> {
+        chained_expr(
+            AccessPattern::Contiguous,
+            AccessPattern::Contiguous,
+            ChainedPlan {
+                recv: ReceiveEngine::Deposit,
+            },
+        )?
+        .estimate(rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_patch_matches_paper() {
+        let k = TransposeKernel::paper_instance();
+        // 16x16 complex patch = 512 words on 64 nodes.
+        assert_eq!(k.patch_words(64), 512);
+    }
+
+    #[test]
+    fn congestion_factors_are_reasonable() {
+        let t3d = Machine::t3d();
+        let transpose = TransposeKernel::paper_instance().congestion(&t3d);
+        assert!((2.0..=4.0).contains(&transpose), "transpose congestion {transpose}");
+        let sor = SorKernel::paper_instance().congestion(&t3d);
+        assert!((2.0..=2.5).contains(&sor), "shift congestion {sor}");
+        let paragon = Machine::paragon();
+        let sor_p = SorKernel::paper_instance().congestion(&paragon);
+        assert!(sor_p >= 1.0 && sor_p <= sor, "no port sharing on the Paragon");
+    }
+
+    #[test]
+    fn chained_beats_buffer_packing_beats_pvm_on_t3d() {
+        let t3d = Machine::t3d();
+        let k = TransposeKernel::paper_instance();
+        let bp = k.measure(&t3d, CommMethod::BufferPacking);
+        let ch = k.measure(&t3d, CommMethod::Chained);
+        let pvm = k.measure(&t3d, CommMethod::Pvm);
+        assert!(bp.verified && ch.verified && pvm.verified);
+        assert!(
+            ch.per_node > bp.per_node && bp.per_node > pvm.per_node,
+            "chained {} > bp {} > pvm {}",
+            ch.per_node,
+            bp.per_node,
+            pvm.per_node
+        );
+    }
+
+    #[test]
+    fn full_transpose_agrees_with_the_representative_round() {
+        let t3d = Machine::t3d();
+        let k = TransposeKernel::paper_instance();
+        let full = k.measure_full(&t3d, CommMethod::Chained);
+        let single = k.measure(&t3d, CommMethod::Chained);
+        assert!(full.verified);
+        let ratio = full.per_node.as_mbps() / single.per_node.as_mbps();
+        assert!(
+            (0.85..1.25).contains(&ratio),
+            "full {} vs representative {} (ratio {ratio:.2})",
+            full.per_node,
+            single.per_node
+        );
+    }
+
+    #[test]
+    fn fem_exchange_is_indexed_and_small() {
+        let k = FemKernel::paper_instance();
+        assert_eq!(k.mesh.partitions(), 64);
+        assert_eq!(k.exchange_words(), 144, "12x12 faces");
+        let t3d = Machine::t3d();
+        let ch = k.measure(&t3d, CommMethod::Chained);
+        let bp = k.measure(&t3d, CommMethod::BufferPacking);
+        assert!(ch.verified && bp.verified);
+        assert!(ch.per_node > bp.per_node);
+    }
+
+    #[test]
+    fn sor_is_overhead_dominated() {
+        let t3d = Machine::t3d();
+        let k = SorKernel::paper_instance();
+        let ch = k.measure(&t3d, CommMethod::Chained);
+        let bp = k.measure(&t3d, CommMethod::BufferPacking);
+        // Chained helps only marginally for contiguous small messages.
+        let ratio = ch.per_node.as_mbps() / bp.per_node.as_mbps();
+        assert!((0.95..1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn model_estimates_exceed_sor_measurement() {
+        // The paper's Table 6: SOR chained model 68.1 vs measured 27.9 —
+        // fixed costs the model ignores. The same structural gap must
+        // appear here.
+        let t3d = Machine::t3d();
+        let rates = memcomm_machines::microbench::measure_table(&t3d, 4096);
+        let k = SorKernel::paper_instance();
+        let model = k.model_chained(&rates).unwrap();
+        let measured = k.measure(&t3d, CommMethod::Chained);
+        assert!(model.as_mbps() > 1.8 * measured.per_node.as_mbps());
+    }
+}

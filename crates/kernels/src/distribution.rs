@@ -1,0 +1,155 @@
+//! HPF-style array distributions.
+
+use std::fmt;
+
+/// How one array dimension of global extent `n` is spread over `p` nodes —
+/// the distributions of the HPF standard the paper discusses in
+/// Section 2.1. Block and cyclic are the common special cases of
+/// block-cyclic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// `BLOCK`: node `k` owns the contiguous range
+    /// `[k·⌈n/p⌉, (k+1)·⌈n/p⌉)`.
+    Block,
+    /// `CYCLIC`: element `i` lives on node `i mod p`.
+    Cyclic,
+    /// `CYCLIC(b)`: blocks of `b` elements dealt round-robin.
+    BlockCyclic(u32),
+}
+
+impl Distribution {
+    /// The owning node of global element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `i >= n`.
+    pub fn owner(self, i: u64, n: u64, p: u64) -> u64 {
+        assert!(p > 0 && i < n, "element {i} of {n} over {p} nodes");
+        match self {
+            Distribution::Block => i / Self::block_size(n, p),
+            Distribution::Cyclic => i % p,
+            Distribution::BlockCyclic(b) => (i / u64::from(b)) % p,
+        }
+    }
+
+    /// The node-local index of global element `i`.
+    pub fn local_index(self, i: u64, n: u64, p: u64) -> u64 {
+        assert!(p > 0 && i < n);
+        match self {
+            Distribution::Block => i % Self::block_size(n, p),
+            Distribution::Cyclic => i / p,
+            Distribution::BlockCyclic(b) => {
+                let b = u64::from(b);
+                (i / (b * p)) * b + i % b
+            }
+        }
+    }
+
+    /// How many elements node `k` owns.
+    pub fn local_count(self, k: u64, n: u64, p: u64) -> u64 {
+        (0..n).filter(|&i| self.owner(i, n, p) == k).count() as u64
+    }
+
+    /// Global index of local element `j` on node `k` (inverse of
+    /// [`local_index`](Self::local_index)).
+    pub fn global_index(self, k: u64, j: u64, n: u64, p: u64) -> u64 {
+        let g = match self {
+            Distribution::Block => k * Self::block_size(n, p) + j,
+            Distribution::Cyclic => j * p + k,
+            Distribution::BlockCyclic(b) => {
+                let b = u64::from(b);
+                (j / b) * (b * p) + k * b + j % b
+            }
+        };
+        assert!(g < n, "local element {j} does not exist on node {k}");
+        g
+    }
+
+    fn block_size(n: u64, p: u64) -> u64 {
+        n.div_ceil(p)
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distribution::Block => write!(f, "BLOCK"),
+            Distribution::Cyclic => write!(f, "CYCLIC"),
+            Distribution::BlockCyclic(b) => write!(f, "CYCLIC({b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 64;
+    const P: u64 = 4;
+
+    #[test]
+    fn block_owns_contiguous_ranges() {
+        assert_eq!(Distribution::Block.owner(0, N, P), 0);
+        assert_eq!(Distribution::Block.owner(15, N, P), 0);
+        assert_eq!(Distribution::Block.owner(16, N, P), 1);
+        assert_eq!(Distribution::Block.owner(63, N, P), 3);
+    }
+
+    #[test]
+    fn cyclic_deals_round_robin() {
+        assert_eq!(Distribution::Cyclic.owner(0, N, P), 0);
+        assert_eq!(Distribution::Cyclic.owner(1, N, P), 1);
+        assert_eq!(Distribution::Cyclic.owner(5, N, P), 1);
+    }
+
+    #[test]
+    fn block_cyclic_generalizes_both() {
+        // CYCLIC(16) over 64/4 == BLOCK.
+        for i in 0..N {
+            assert_eq!(
+                Distribution::BlockCyclic(16).owner(i, N, P),
+                Distribution::Block.owner(i, N, P)
+            );
+        }
+        // CYCLIC(1) == CYCLIC.
+        for i in 0..N {
+            assert_eq!(
+                Distribution::BlockCyclic(1).owner(i, N, P),
+                Distribution::Cyclic.owner(i, N, P)
+            );
+        }
+    }
+
+    #[test]
+    fn local_global_round_trip() {
+        for dist in [
+            Distribution::Block,
+            Distribution::Cyclic,
+            Distribution::BlockCyclic(4),
+        ] {
+            for i in 0..N {
+                let k = dist.owner(i, N, P);
+                let j = dist.local_index(i, N, P);
+                assert_eq!(dist.global_index(k, j, N, P), i, "{dist} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_add_up() {
+        for dist in [
+            Distribution::Block,
+            Distribution::Cyclic,
+            Distribution::BlockCyclic(4),
+        ] {
+            let total: u64 = (0..P).map(|k| dist.local_count(k, N, P)).sum();
+            assert_eq!(total, N);
+        }
+    }
+
+    #[test]
+    fn display_is_hpf_like() {
+        assert_eq!(Distribution::Block.to_string(), "BLOCK");
+        assert_eq!(Distribution::BlockCyclic(8).to_string(), "CYCLIC(8)");
+    }
+}

@@ -1,0 +1,223 @@
+//! Radix-2 complex FFT — the computation surrounding the paper's transpose.
+//!
+//! A 2D FFT is row FFTs, a transpose, column FFTs (as row FFTs), and a
+//! transpose back; the communication-critical step is the transpose
+//! (Section 6.1.1). The FFT itself runs with cache locality and is included
+//! so the example application is a real 2D FFT, not just its communication.
+
+/// A complex number (two 64-bit floats — the paper's unit of transfer for
+/// complex data is 2 words).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+
+    /// Magnitude of the difference to another complex number.
+    pub fn dist(self, o: Complex) -> f64 {
+        ((self.re - o.re).powi(2) + (self.im - o.im).powi(2)).sqrt()
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// Inverse FFT (normalized by `1/n`).
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Performs a full 2D FFT of an `n × n` row-major matrix: row FFTs, a
+/// transpose, and "column" FFTs as row FFTs — exactly the structure whose
+/// transpose the paper measures.
+///
+/// The result is left in **transposed** layout (column-major of the usual
+/// 2D-FFT result), as distributed implementations keep it.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two and `data.len() == n * n`.
+pub fn fft_2d(data: &mut [Complex], n: usize) {
+    assert_eq!(data.len(), n * n, "matrix shape mismatch");
+    for row in data.chunks_mut(n) {
+        fft(row);
+    }
+    transpose_in_place(data, n);
+    for row in data.chunks_mut(n) {
+        fft(row);
+    }
+}
+
+/// In-place square transpose.
+///
+/// # Panics
+///
+/// Panics unless `data.len() == n * n`.
+pub fn transpose_in_place(data: &mut [Complex], n: usize) {
+    assert_eq!(data.len(), n * n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            data.swap(i * n + j, j * n + i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, x) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(x.mul(Complex::new(ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let input: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut fast = input.clone();
+        fft(&mut fast);
+        let slow = naive_dft(&input);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(a.dist(*b) < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let input: Vec<Complex> = (0..128)
+            .map(|i| Complex::new(i as f64, (i % 7) as f64))
+            .collect();
+        let mut data = input.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&input) {
+            assert!(a.dist(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut data = vec![Complex::default(); 16];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for v in &data {
+            assert!(v.dist(Complex::new(1.0, 0.0)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let n = 8;
+        let mut m: Vec<Complex> = (0..n * n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let orig = m.clone();
+        transpose_in_place(&mut m, n);
+        assert_eq!(m[n], orig[1], "m[1][0] == orig[0][1]");
+        transpose_in_place(&mut m, n);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn fft_2d_separable_check() {
+        // 2D FFT of a separable impulse is constant.
+        let n = 8;
+        let mut data = vec![Complex::default(); n * n];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_2d(&mut data, n);
+        for v in &data {
+            assert!(v.dist(Complex::new(1.0, 0.0)) < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::default(); 12];
+        fft(&mut data);
+    }
+}

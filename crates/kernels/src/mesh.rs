@@ -1,0 +1,241 @@
+//! Synthetic partitioned irregular mesh — the FEM substrate.
+//!
+//! The paper's FEM kernel comes from "a sparse system solver based on a
+//! partitioned finite element graph, representing a 3 dimensional model of
+//! an alluvial valley" (the CMU Quake project). That mesh is not available;
+//! this module generates a synthetic substitute with the same communication
+//! structure: a partitioned 3D point set where "only a fraction of the
+//! local data elements is exchanged between nodes, and the communication
+//! involves indexed accesses with arbitrary strides". Partition-local
+//! numbering is randomized, as mesh partitioners produce, which is what
+//! makes boundary accesses *indexed*.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A shared boundary between two partitions: the local indices (under each
+/// partition's own numbering) of the interface points, in matching order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// First partition.
+    pub a: usize,
+    /// Second partition.
+    pub b: usize,
+    /// `a`-local indices of the interface points.
+    pub a_locals: Vec<u32>,
+    /// `b`-local indices of the same points.
+    pub b_locals: Vec<u32>,
+}
+
+/// A 3D grid mesh partitioned into boxes with randomized local numbering.
+#[derive(Debug, Clone)]
+pub struct PartitionedMesh {
+    /// Grid extent per dimension.
+    pub grid: [usize; 3],
+    /// Partition grid per dimension.
+    pub parts: [usize; 3],
+    /// Points owned by each partition.
+    pub points_per_partition: usize,
+    /// All partition interfaces.
+    pub interfaces: Vec<Interface>,
+}
+
+impl PartitionedMesh {
+    /// Generates the synthetic valley mesh: `grid` points cut into
+    /// `parts[0]×parts[1]×parts[2]` boxes, with each partition's points
+    /// renumbered by a seeded random permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless each `parts[d]` divides `grid[d]`.
+    pub fn synthetic_valley(grid: [usize; 3], parts: [usize; 3], seed: u64) -> Self {
+        for d in 0..3 {
+            assert!(
+                parts[d] > 0 && grid[d].is_multiple_of(parts[d]),
+                "partition grid must divide the point grid in dimension {d}"
+            );
+        }
+        let box_dim = [grid[0] / parts[0], grid[1] / parts[1], grid[2] / parts[2]];
+        let points_per_partition = box_dim[0] * box_dim[1] * box_dim[2];
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Random local numbering per partition: numbering[p][cell] = local id.
+        let nparts = parts[0] * parts[1] * parts[2];
+        let numbering: Vec<Vec<u32>> = (0..nparts)
+            .map(|_| {
+                let mut ids: Vec<u32> = (0..points_per_partition as u32).collect();
+                ids.shuffle(&mut rng);
+                ids
+            })
+            .collect();
+
+        let part_id = |px: usize, py: usize, pz: usize| (px * parts[1] + py) * parts[2] + pz;
+        let cell_id =
+            |x: usize, y: usize, z: usize| (x * box_dim[1] + y) * box_dim[2] + z;
+
+        let mut interfaces = Vec::new();
+        // Faces between boxes along each dimension.
+        for px in 0..parts[0] {
+            for py in 0..parts[1] {
+                for pz in 0..parts[2] {
+                    let a = part_id(px, py, pz);
+                    // +x neighbour.
+                    if px + 1 < parts[0] {
+                        let b = part_id(px + 1, py, pz);
+                        let mut a_locals = Vec::new();
+                        let mut b_locals = Vec::new();
+                        for y in 0..box_dim[1] {
+                            for z in 0..box_dim[2] {
+                                a_locals.push(numbering[a][cell_id(box_dim[0] - 1, y, z)]);
+                                b_locals.push(numbering[b][cell_id(0, y, z)]);
+                            }
+                        }
+                        interfaces.push(Interface { a, b, a_locals, b_locals });
+                    }
+                    // +y neighbour.
+                    if py + 1 < parts[1] {
+                        let b = part_id(px, py + 1, pz);
+                        let mut a_locals = Vec::new();
+                        let mut b_locals = Vec::new();
+                        for x in 0..box_dim[0] {
+                            for z in 0..box_dim[2] {
+                                a_locals.push(numbering[a][cell_id(x, box_dim[1] - 1, z)]);
+                                b_locals.push(numbering[b][cell_id(x, 0, z)]);
+                            }
+                        }
+                        interfaces.push(Interface { a, b, a_locals, b_locals });
+                    }
+                    // +z neighbour.
+                    if pz + 1 < parts[2] {
+                        let b = part_id(px, py, pz + 1);
+                        let mut a_locals = Vec::new();
+                        let mut b_locals = Vec::new();
+                        for x in 0..box_dim[0] {
+                            for y in 0..box_dim[1] {
+                                a_locals.push(numbering[a][cell_id(x, y, box_dim[2] - 1)]);
+                                b_locals.push(numbering[b][cell_id(x, y, 0)]);
+                            }
+                        }
+                        interfaces.push(Interface { a, b, a_locals, b_locals });
+                    }
+                }
+            }
+        }
+        PartitionedMesh {
+            grid,
+            parts,
+            points_per_partition,
+            interfaces,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.iter().product()
+    }
+
+    /// Interfaces touching partition `p`.
+    pub fn interfaces_of(&self, p: usize) -> impl Iterator<Item = &Interface> {
+        self.interfaces.iter().filter(move |i| i.a == p || i.b == p)
+    }
+
+    /// Mean interface size in points (the per-neighbour exchange volume).
+    pub fn mean_interface_points(&self) -> f64 {
+        if self.interfaces.is_empty() {
+            return 0.0;
+        }
+        self.interfaces.iter().map(|i| i.a_locals.len()).sum::<usize>() as f64
+            / self.interfaces.len() as f64
+    }
+
+    /// The fraction of a partition's points that lie on some interface —
+    /// the paper's "only a fraction of the local data elements is
+    /// exchanged".
+    pub fn boundary_fraction(&self, p: usize) -> f64 {
+        let mut on_boundary = vec![false; self.points_per_partition];
+        for i in self.interfaces_of(p) {
+            let locals = if i.a == p { &i.a_locals } else { &i.b_locals };
+            for &l in locals {
+                on_boundary[l as usize] = true;
+            }
+        }
+        on_boundary.iter().filter(|&&b| b).count() as f64 / self.points_per_partition as f64
+    }
+
+    /// Maximum number of neighbours any partition has.
+    pub fn max_degree(&self) -> usize {
+        (0..self.partitions())
+            .map(|p| self.interfaces_of(p).count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> PartitionedMesh {
+        PartitionedMesh::synthetic_valley([24, 24, 24], [4, 4, 4], 42)
+    }
+
+    #[test]
+    fn partition_counts() {
+        let m = mesh();
+        assert_eq!(m.partitions(), 64);
+        assert_eq!(m.points_per_partition, 6 * 6 * 6);
+        // Interior boxes have 6 neighbours.
+        assert_eq!(m.max_degree(), 6);
+    }
+
+    #[test]
+    fn interface_sizes_are_faces() {
+        let m = mesh();
+        for i in &m.interfaces {
+            assert_eq!(i.a_locals.len(), 36, "6x6 box faces");
+            assert_eq!(i.a_locals.len(), i.b_locals.len());
+        }
+        // 3 face directions x 3 internal planes x 16 boxes per plane.
+        assert_eq!(m.interfaces.len(), 3 * 3 * 16);
+    }
+
+    #[test]
+    fn local_numbering_is_irregular() {
+        let m = mesh();
+        let iface = &m.interfaces[0];
+        // A shuffled numbering should not be sorted (astronomically
+        // unlikely for 36 entries).
+        let mut sorted = iface.a_locals.clone();
+        sorted.sort_unstable();
+        assert_ne!(iface.a_locals, sorted, "boundary indices must be indexed, not strided");
+    }
+
+    #[test]
+    fn boundary_is_a_fraction_of_local_points() {
+        let m = mesh();
+        let f = m.boundary_fraction(0);
+        assert!(f > 0.0 && f < 0.8, "corner partition boundary fraction {f}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = PartitionedMesh::synthetic_valley([12, 12, 12], [2, 2, 2], 7);
+        let b = PartitionedMesh::synthetic_valley([12, 12, 12], [2, 2, 2], 7);
+        assert_eq!(a.interfaces, b.interfaces);
+        let c = PartitionedMesh::synthetic_valley([12, 12, 12], [2, 2, 2], 8);
+        assert_ne!(a.interfaces, c.interfaces);
+    }
+
+    #[test]
+    fn indices_stay_in_range() {
+        let m = mesh();
+        for i in &m.interfaces {
+            assert!(i
+                .a_locals
+                .iter()
+                .chain(&i.b_locals)
+                .all(|&l| (l as usize) < m.points_per_partition));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Redistribution schedules: the communication a compiler derives from a
+//! pair of distributions (Section 2.1's compiler view).
+
+use memcomm_model::AccessPattern;
+
+use crate::distribution::Distribution;
+
+/// One node-to-node transfer of a redistribution: which local elements the
+/// sender reads and where they land on the receiver, in transfer order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferSpec {
+    /// Sending node.
+    pub from: u64,
+    /// Receiving node.
+    pub to: u64,
+    /// Sender-local indices, in send order.
+    pub src_locals: Vec<u64>,
+    /// Receiver-local indices, in the same order.
+    pub dst_locals: Vec<u64>,
+}
+
+impl TransferSpec {
+    /// Number of elements moved.
+    pub fn len(&self) -> usize {
+        self.src_locals.len()
+    }
+
+    /// Whether the transfer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.src_locals.is_empty()
+    }
+
+    /// The memory access patterns of the two sides — what the copy-transfer
+    /// model calls `x` and `y`.
+    pub fn patterns(&self) -> (AccessPattern, AccessPattern) {
+        (classify(&self.src_locals), classify(&self.dst_locals))
+    }
+}
+
+/// Classifies an index sequence as the access pattern a compiler would use
+/// (re-exported from [`memcomm_model::classify_offsets`]).
+pub fn classify(locals: &[u64]) -> AccessPattern {
+    memcomm_model::classify_offsets(locals)
+}
+
+/// Computes the full redistribution schedule of a 1D array of `n` elements
+/// over `p` nodes from distribution `from` to distribution `to`, ordered by
+/// global element index within each pair.
+pub fn redistribution(
+    n: u64,
+    p: u64,
+    from: Distribution,
+    to: Distribution,
+) -> Vec<TransferSpec> {
+    let mut specs: Vec<Vec<TransferSpec>> = (0..p)
+        .map(|s| {
+            (0..p)
+                .map(|d| TransferSpec {
+                    from: s,
+                    to: d,
+                    src_locals: Vec::new(),
+                    dst_locals: Vec::new(),
+                })
+                .collect()
+        })
+        .collect();
+    for i in 0..n {
+        let s = from.owner(i, n, p);
+        let d = to.owner(i, n, p);
+        if s == d {
+            continue;
+        }
+        let spec = &mut specs[s as usize][d as usize];
+        spec.src_locals.push(from.local_index(i, n, p));
+        spec.dst_locals.push(to.local_index(i, n, p));
+    }
+    specs
+        .into_iter()
+        .flatten()
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// The transpose schedule of an `n × n` matrix block-distributed by rows
+/// over `p` nodes (`b[i][j] = a[j][i]`): node `k` sends to node `q` the
+/// patch of its rows that form `q`'s rows of the transpose. Element order
+/// follows the sender's rows, so the sender reads short contiguous runs and
+/// the receiver stores with stride `n` — the paper's `1Q_n` formulation of
+/// the 2D-FFT transpose (Figure 9 a).
+///
+/// # Panics
+///
+/// Panics unless `p` divides `n`.
+pub fn transpose_schedule(n: u64, p: u64) -> Vec<TransferSpec> {
+    assert!(p > 0 && n.is_multiple_of(p), "transpose needs p | n");
+    let r = n / p; // rows per node
+    let mut out = Vec::new();
+    for k in 0..p {
+        for q in 0..p {
+            if k == q {
+                continue;
+            }
+            let mut src = Vec::with_capacity((r * r) as usize);
+            let mut dst = Vec::with_capacity((r * r) as usize);
+            for i in 0..r {
+                for j in 0..r {
+                    // Sender-local a[(k*r + i)][q*r + j] at local row i.
+                    src.push(i * n + q * r + j);
+                    // Receiver-local b[(q*r + j)][k*r + i] at local row j.
+                    dst.push(j * n + k * r + i);
+                }
+            }
+            out.push(TransferSpec {
+                from: k,
+                to: q,
+                src_locals: src,
+                dst_locals: dst,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_recognizes_patterns() {
+        assert_eq!(classify(&[5, 6, 7, 8]), AccessPattern::Contiguous);
+        assert_eq!(classify(&[0, 4, 8, 12]), AccessPattern::Strided(4));
+        assert_eq!(classify(&[0, 4, 9, 12]), AccessPattern::Indexed);
+        assert_eq!(classify(&[9, 4, 1]), AccessPattern::Indexed);
+        assert_eq!(classify(&[3]), AccessPattern::Contiguous);
+    }
+
+    #[test]
+    fn block_to_cyclic_redistribution_is_strided_reads() {
+        let specs = redistribution(64, 4, Distribution::Block, Distribution::Cyclic);
+        // Node 0 keeps elements 0,4,8,12 and sends the rest of its block.
+        let spec01 = specs
+            .iter()
+            .find(|t| t.from == 0 && t.to == 1)
+            .expect("0 sends to 1");
+        // Elements 1, 5, 9, 13: sender-local stride 4, receiver-local
+        // contiguous.
+        assert_eq!(spec01.patterns(), (AccessPattern::Strided(4), AccessPattern::Contiguous));
+    }
+
+    #[test]
+    fn redistribution_conserves_elements() {
+        let n = 60;
+        let p = 5;
+        let specs = redistribution(n, p, Distribution::Block, Distribution::BlockCyclic(3));
+        let moved: usize = specs.iter().map(TransferSpec::len).sum();
+        let kept = (0..n)
+            .filter(|&i| {
+                Distribution::Block.owner(i, n, p)
+                    == Distribution::BlockCyclic(3).owner(i, n, p)
+            })
+            .count();
+        assert_eq!(moved + kept, n as usize);
+    }
+
+    #[test]
+    fn identity_redistribution_is_empty() {
+        assert!(redistribution(64, 4, Distribution::Block, Distribution::Block).is_empty());
+    }
+
+    #[test]
+    fn transpose_schedule_covers_all_offnode_patches() {
+        let n = 16;
+        let p = 4;
+        let specs = transpose_schedule(n, p);
+        assert_eq!(specs.len(), (p * (p - 1)) as usize);
+        let r = n / p;
+        for t in &specs {
+            assert_eq!(t.len() as u64, r * r);
+        }
+    }
+
+    #[test]
+    fn transpose_receiver_stores_with_stride_n() {
+        let n = 16;
+        let specs = transpose_schedule(n, 4);
+        let t = &specs[0];
+        // Within one sender row (a run of r elements), the receiver-local
+        // indices step by n — the paper's strided-store formulation.
+        let r = (n / 4) as usize;
+        for w in t.dst_locals[..r].windows(2) {
+            assert_eq!(w[1] - w[0], n);
+        }
+        // And the sender reads contiguous runs.
+        for w in t.src_locals[..r].windows(2) {
+            assert_eq!(w[1] - w[0], 1);
+        }
+    }
+
+    #[test]
+    fn transpose_is_its_own_inverse_pairing() {
+        let specs = transpose_schedule(16, 4);
+        for t in &specs {
+            assert!(specs
+                .iter()
+                .any(|u| u.from == t.to && u.to == t.from && u.len() == t.len()));
+        }
+    }
+}

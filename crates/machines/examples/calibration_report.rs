@@ -1,0 +1,34 @@
+//! Prints the calibration report for both machines: simulated vs paper
+//! rates for every basic transfer the paper measures.
+//!
+//! Run with `cargo run --release -p memcomm-machines --example
+//! calibration_report`.
+
+use memcomm_machines::calibrate::{calibration_report, mean_log_error};
+use memcomm_machines::Machine;
+
+fn main() {
+    let words: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16 * 1024);
+    for machine in [Machine::t3d(), Machine::paragon()] {
+        println!("== {} ({} words per measurement) ==", machine.name, words);
+        let rows = calibration_report(&machine, words);
+        println!("{:<8} {:>10} {:>10} {:>7}", "xfer", "simulated", "paper", "ratio");
+        for r in &rows {
+            println!(
+                "{:<8} {:>10.1} {:>10.1} {:>7.2}",
+                r.transfer.to_string(),
+                r.simulated.as_mbps(),
+                r.paper.as_mbps(),
+                r.ratio()
+            );
+        }
+        println!(
+            "mean log error: {:.3} (typical deviation {:.0}%)\n",
+            mean_log_error(&rows),
+            (mean_log_error(&rows).exp() - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! The paper's published measurements, kept verbatim as the comparison
+//! baseline for EXPERIMENTS.md.
+//!
+//! Nothing in the simulator reads these numbers; they exist so the
+//! calibration report and the reproduction harness can print
+//! paper-vs-simulated side by side.
+
+use memcomm_model::{BasicTransfer, MBps, RateTable, Throughput};
+
+/// Builds a [`RateTable`] from `(notation, MB/s)` pairs.
+///
+/// # Panics
+///
+/// Panics on invalid notation — the tables below are constants.
+fn table(entries: &[(&str, f64)]) -> RateTable {
+    entries
+        .iter()
+        .map(|&(s, r)| {
+            (
+                BasicTransfer::parse(s).expect("reference notation is valid"),
+                MBps(r),
+            )
+        })
+        .collect()
+}
+
+/// Paper Tables 1–3 for the Cray T3D, plus Table 4's network rates at the
+/// representative congestion 2 (the bold column).
+pub fn t3d_rates() -> RateTable {
+    table(&[
+        // Table 1: local memory-to-memory copies.
+        ("1C1", 93.0),
+        ("1C64", 67.9),
+        ("64C1", 33.3),
+        ("1Cw", 38.5),
+        ("wC1", 32.9),
+        // Table 2: sends.
+        ("1S0", 126.0),
+        ("64S0", 35.0),
+        ("wS0", 32.0),
+        // Table 3: receives (the T3D always deposits).
+        ("0D1", 142.0),
+        ("0D64", 52.0),
+        ("0Dw", 52.0),
+        // Table 4 at congestion 2.
+        ("Nd", 69.0),
+        ("Nadp", 38.0),
+    ])
+}
+
+/// Paper Tables 1–3 for the Intel Paragon, plus Table 4 at congestion 2.
+pub fn paragon_rates() -> RateTable {
+    table(&[
+        ("1C1", 67.6),
+        ("1C64", 27.6),
+        ("64C1", 31.1),
+        ("1Cw", 35.2),
+        ("wC1", 45.1),
+        ("1S0", 52.0),
+        ("1F0", 160.0),
+        ("64S0", 42.0),
+        ("wS0", 36.0),
+        ("0R1", 82.0),
+        ("0D1", 160.0),
+        ("0R64", 38.0),
+        ("0Rw", 42.0),
+        ("Nd", 90.0),
+        ("Nadp", 45.0),
+    ])
+}
+
+/// One row of Table 4: network bandwidth vs congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkRow {
+    /// Fixed congestion factor.
+    pub congestion: f64,
+    /// Data-only bandwidth `Nd`.
+    pub data_only: Throughput,
+    /// Address-data-pair bandwidth `Nadp`.
+    pub addr_data: Throughput,
+}
+
+/// Table 4 for the T3D.
+pub fn t3d_network() -> Vec<NetworkRow> {
+    [(1.0, 142.0, 62.0), (2.0, 69.0, 38.0), (4.0, 35.0, 20.0)]
+        .into_iter()
+        .map(|(c, d, a)| NetworkRow {
+            congestion: c,
+            data_only: MBps(d),
+            addr_data: MBps(a),
+        })
+        .collect()
+}
+
+/// Table 4 for the Paragon.
+pub fn paragon_network() -> Vec<NetworkRow> {
+    [(1.0, 176.0, 88.0), (2.0, 90.0, 45.0), (4.0, 44.0, 22.0)]
+        .into_iter()
+        .map(|(c, d, a)| NetworkRow {
+            congestion: c,
+            data_only: MBps(d),
+            addr_data: MBps(a),
+        })
+        .collect()
+}
+
+/// A `xQy` data point from Section 5: the paper's model estimates for one
+/// pattern pair under both implementation styles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QPoint {
+    /// Human-readable operation, e.g. `"1Q64"`.
+    pub op: &'static str,
+    /// Buffer-packing estimate.
+    pub buffer_packing: Throughput,
+    /// Chained estimate.
+    pub chained: Throughput,
+}
+
+/// Sections 5.1.1–5.1.2: the paper's model numbers for the T3D.
+pub fn t3d_q_model() -> Vec<QPoint> {
+    [
+        ("1Q1", 27.9, 70.0),
+        ("1Q64", 25.2, 38.0),
+        ("64Q1", 17.1, 38.0),
+        ("wQw", 14.2, 32.0),
+    ]
+    .into_iter()
+    .map(|(op, b, c)| QPoint {
+        op,
+        buffer_packing: MBps(b),
+        chained: MBps(c),
+    })
+    .collect()
+}
+
+/// Sections 5.1.3–5.1.4: the paper's model numbers for the Paragon.
+pub fn paragon_q_model() -> Vec<QPoint> {
+    [
+        ("1Q1", 20.7, 52.0),
+        ("1Q64", 16.1, 38.0),
+        ("16Q64", 14.9, 38.0),
+        ("wQw", 16.2, 36.0),
+    ]
+    .into_iter()
+    .map(|(op, b, c)| QPoint {
+        op,
+        buffer_packing: MBps(b),
+        chained: MBps(c),
+    })
+    .collect()
+}
+
+/// One cell group of Table 5 (strided loads vs strided stores).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table5Row {
+    /// `"1Q16"` (strided stores) or `"16Q1"` (strided loads).
+    pub op: &'static str,
+    /// Machine name.
+    pub machine: &'static str,
+    /// Model estimate, buffer packing.
+    pub model_bp: Throughput,
+    /// Model estimate, chained.
+    pub model_chained: Throughput,
+    /// Measured, buffer packing.
+    pub measured_bp: Throughput,
+    /// Measured, chained.
+    pub measured_chained: Throughput,
+}
+
+/// Table 5 verbatim.
+pub fn table5() -> Vec<Table5Row> {
+    vec![
+        Table5Row {
+            op: "1Q16",
+            machine: "Cray T3D",
+            model_bp: MBps(25.4),
+            model_chained: MBps(38.0),
+            measured_bp: MBps(20.8),
+            measured_chained: MBps(31.3),
+        },
+        Table5Row {
+            op: "1Q16",
+            machine: "Intel Paragon",
+            model_bp: MBps(18.3),
+            model_chained: MBps(32.0),
+            measured_bp: MBps(20.7),
+            measured_chained: MBps(29.7),
+        },
+        Table5Row {
+            op: "16Q1",
+            machine: "Cray T3D",
+            model_bp: MBps(18.4),
+            model_chained: MBps(38.0),
+            measured_bp: MBps(14.3),
+            measured_chained: MBps(27.4),
+        },
+        Table5Row {
+            op: "16Q1",
+            machine: "Intel Paragon",
+            model_bp: MBps(20.7),
+            model_chained: MBps(42.0),
+            measured_bp: MBps(24.2),
+            measured_chained: MBps(39.2),
+        },
+    ]
+}
+
+/// One row of Table 6 (application kernels on a 64-node T3D, MB/s per
+/// node), plus the Cray PVM3 figures quoted in the Section 6.2 text.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table6Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Measured, buffer packing.
+    pub measured_bp: Throughput,
+    /// Measured, chained.
+    pub measured_chained: Throughput,
+    /// The model's chained estimate.
+    pub model_chained: Throughput,
+    /// Throughput through stock Cray PVM3 (Section 6.2 text).
+    pub pvm3: Throughput,
+}
+
+/// Table 6 verbatim.
+pub fn table6() -> Vec<Table6Row> {
+    vec![
+        Table6Row {
+            kernel: "Transpose",
+            measured_bp: MBps(20.0),
+            measured_chained: MBps(25.2),
+            model_chained: MBps(29.5),
+            pvm3: MBps(6.0),
+        },
+        Table6Row {
+            kernel: "FEM",
+            measured_bp: MBps(12.2),
+            measured_chained: MBps(14.2),
+            model_chained: MBps(20.2),
+            pvm3: MBps(2.0),
+        },
+        Table6Row {
+            kernel: "SOR",
+            measured_bp: MBps(26.2),
+            measured_chained: MBps(27.9),
+            model_chained: MBps(68.1),
+            pvm3: MBps(25.0),
+        },
+    ]
+}
+
+/// Section 3.4.1: the worked transpose example — `|1Q1024|` estimated at
+/// 25.0 MB/s, measured at 20.0 MB/s on a 64-node T3D.
+pub fn section_341() -> (Throughput, Throughput) {
+    (MBps(25.0), MBps(20.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcomm_model::AccessPattern;
+
+    #[test]
+    fn reference_tables_parse_and_lookup() {
+        let t3d = t3d_rates();
+        let c11 = BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous);
+        assert_eq!(t3d.rate(c11).unwrap(), MBps(93.0));
+        assert_eq!(paragon_rates().rate(c11).unwrap(), MBps(67.6));
+    }
+
+    #[test]
+    fn reference_reproduces_paper_estimates() {
+        // Sanity: composing the reference basic rates with the model's
+        // formulas reproduces the paper's Section 5.1.1 numbers.
+        use memcomm_model::{buffer_packing_expr, BufferPackingPlan};
+        let rates = t3d_rates();
+        let q = buffer_packing_expr(
+            AccessPattern::Contiguous,
+            AccessPattern::strided(64).unwrap(),
+            BufferPackingPlan::default(),
+        )
+        .unwrap();
+        let est = q.estimate(&rates).unwrap();
+        assert!((est.as_mbps() - 25.2).abs() < 0.2, "got {est}");
+    }
+
+    #[test]
+    fn chained_reference_matches_section_5_1_2() {
+        use memcomm_model::{chained_expr, ChainedPlan};
+        let rates = t3d_rates();
+        for (x, y, expect) in [
+            (AccessPattern::Contiguous, AccessPattern::Contiguous, 69.0),
+            (AccessPattern::Contiguous, AccessPattern::Strided(64), 38.0),
+            (AccessPattern::Indexed, AccessPattern::Indexed, 32.0),
+        ] {
+            let q = chained_expr(x, y, ChainedPlan::default()).unwrap();
+            let est = q.estimate(&rates).unwrap().as_mbps();
+            assert!((est - expect).abs() < 1.5, "{x}Q'{y}: got {est}, paper {expect}");
+        }
+    }
+
+    #[test]
+    fn network_tables_halve_with_congestion() {
+        for rows in [t3d_network(), paragon_network()] {
+            assert_eq!(rows.len(), 3);
+            let r1 = rows[0].data_only.as_mbps();
+            let r2 = rows[1].data_only.as_mbps();
+            assert!(r2 < r1 * 0.6, "congestion 2 roughly halves bandwidth");
+        }
+    }
+
+    #[test]
+    fn table5_winner_flips_between_machines() {
+        let rows = table5();
+        let t3d_1q16 = &rows[0];
+        let t3d_16q1 = &rows[2];
+        // On the T3D strided stores (1Q16) beat strided loads (16Q1)...
+        assert!(t3d_1q16.measured_bp > t3d_16q1.measured_bp);
+        let par_1q16 = &rows[1];
+        let par_16q1 = &rows[3];
+        // ...and on the Paragon it is the other way round.
+        assert!(par_16q1.measured_bp > par_1q16.measured_bp);
+    }
+}

@@ -1,0 +1,398 @@
+//! On-chip cache model (tags only).
+//!
+//! The cache decides hit/miss timing; the data itself lives in
+//! [`Memory`](crate::mem::Memory). Massively parallel nodes of the period
+//! have a single cache level: the T3D's 8 KB direct-mapped on-chip cache
+//! (write-around stores) and the Paragon's 16 KB 4-way cache (write-through
+//! under SUNMOS).
+
+use crate::clock::Cycle;
+
+/// Store handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Stores propagate to memory immediately (through the write buffer);
+    /// a hit also updates the line.
+    WriteThrough,
+    /// Stores dirty the line; memory is updated on eviction.
+    WriteBack,
+}
+
+/// Geometry and policy of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub ways: u32,
+    /// Store policy.
+    pub write_policy: WritePolicy,
+    /// Whether a store miss allocates the line ("write-around" caches do
+    /// not).
+    pub allocate_on_store_miss: bool,
+    /// Load-hit latency in cycles (pipelined).
+    pub hit_cycles: Cycle,
+}
+
+/// Result of a load lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The line was present.
+    Hit,
+    /// The line must be filled from memory; if the victim was dirty its
+    /// line-base address must be written back first.
+    Miss {
+        /// Dirty victim to write back, if any.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+/// Result of a store lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Write-through: the word goes to the write buffer regardless; `hit`
+    /// records whether the line was also updated in place.
+    WriteThrough {
+        /// Whether the store also hit the cache.
+        hit: bool,
+    },
+    /// Write-back hit: line dirtied, no memory traffic now.
+    WriteBackHit,
+    /// Write-back miss.
+    WriteBackMiss {
+        /// Whether the line was allocated (fill required).
+        allocated: bool,
+        /// Dirty victim to write back, if any.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Load lookups that hit.
+    pub load_hits: u64,
+    /// Load lookups that missed.
+    pub load_misses: u64,
+    /// Store lookups that hit.
+    pub store_hits: u64,
+    /// Store lookups that missed.
+    pub store_misses: u64,
+    /// Lines invalidated by external agents (deposit engine).
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// The cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible into
+    /// `ways` × power-of-two sets of `line_bytes`).
+    pub fn new(params: CacheParams) -> Self {
+        assert!(params.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(params.ways >= 1);
+        let lines = params.size_bytes / params.line_bytes;
+        assert!(
+            lines.is_multiple_of(u64::from(params.ways)) && lines > 0,
+            "cache of {} bytes cannot hold {}-way sets of {}-byte lines",
+            params.size_bytes,
+            params.ways,
+            params.line_bytes
+        );
+        let set_count = (lines / u64::from(params.ways)) as usize;
+        assert!(set_count.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            params,
+            sets: vec![
+                vec![
+                    Line { tag: 0, valid: false, dirty: false, lru: 0 };
+                    params.ways as usize
+                ];
+                set_count
+            ],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Line-base address of `addr`.
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr & !(self.params.line_bytes - 1)
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.params.line_bytes;
+        let set = (line as usize) & (self.sets.len() - 1);
+        (set, line)
+    }
+
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        self.sets[set]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        self.sets[set][way].lru = self.tick;
+    }
+
+    fn victim(&self, set: usize) -> usize {
+        self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("sets are never empty")
+    }
+
+    fn fill(&mut self, set: usize, tag: u64, dirty: bool) -> Option<u64> {
+        let way = self.victim(set);
+        let old = self.sets[set][way];
+        let evicted_dirty = (old.valid && old.dirty).then(|| old.tag * self.params.line_bytes);
+        self.tick += 1;
+        self.sets[set][way] = Line {
+            tag,
+            valid: true,
+            dirty,
+            lru: self.tick,
+        };
+        evicted_dirty
+    }
+
+    /// Looks up a load, updating tags (a miss allocates the line).
+    pub fn load(&mut self, addr: u64) -> LoadOutcome {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(way) = self.find(set, tag) {
+            self.stats.load_hits += 1;
+            self.touch(set, way);
+            LoadOutcome::Hit
+        } else {
+            self.stats.load_misses += 1;
+            let evicted_dirty = self.fill(set, tag, false);
+            LoadOutcome::Miss { evicted_dirty }
+        }
+    }
+
+    /// Looks up a store, updating tags per the write policy.
+    pub fn store(&mut self, addr: u64) -> StoreOutcome {
+        let (set, tag) = self.set_and_tag(addr);
+        let hit_way = self.find(set, tag);
+        match self.params.write_policy {
+            WritePolicy::WriteThrough => {
+                if let Some(way) = hit_way {
+                    self.stats.store_hits += 1;
+                    self.touch(set, way);
+                    StoreOutcome::WriteThrough { hit: true }
+                } else {
+                    self.stats.store_misses += 1;
+                    if self.params.allocate_on_store_miss {
+                        self.fill(set, tag, false);
+                    }
+                    StoreOutcome::WriteThrough { hit: false }
+                }
+            }
+            WritePolicy::WriteBack => {
+                if let Some(way) = hit_way {
+                    self.stats.store_hits += 1;
+                    self.touch(set, way);
+                    self.sets[set][way].dirty = true;
+                    StoreOutcome::WriteBackHit
+                } else {
+                    self.stats.store_misses += 1;
+                    if self.params.allocate_on_store_miss {
+                        let evicted_dirty = self.fill(set, tag, true);
+                        StoreOutcome::WriteBackMiss {
+                            allocated: true,
+                            evicted_dirty,
+                        }
+                    } else {
+                        StoreOutcome::WriteBackMiss {
+                            allocated: false,
+                            evicted_dirty: None,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidates the line containing `addr` (the T3D annex invalidates
+    /// line by line as remote stores land).
+    pub fn invalidate_line(&mut self, addr: u64) {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(way) = self.find(set, tag) {
+            self.sets[set][way].valid = false;
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Invalidates the whole cache (T3D synchronization-point flush).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid {
+                    line.valid = false;
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_mapped() -> Cache {
+        Cache::new(CacheParams {
+            size_bytes: 1024,
+            line_bytes: 32,
+            ways: 1,
+            write_policy: WritePolicy::WriteThrough,
+            allocate_on_store_miss: false,
+            hit_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn load_miss_then_hit_within_line() {
+        let mut c = direct_mapped();
+        assert!(matches!(c.load(0), LoadOutcome::Miss { .. }));
+        assert_eq!(c.load(8), LoadOutcome::Hit);
+        assert_eq!(c.load(24), LoadOutcome::Hit);
+        assert!(matches!(c.load(32), LoadOutcome::Miss { .. }));
+        assert_eq!(c.stats().load_hits, 2);
+        assert_eq!(c.stats().load_misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = direct_mapped();
+        // 1024-byte direct-mapped: addresses 1024 apart conflict.
+        c.load(0);
+        c.load(1024);
+        assert!(matches!(c.load(0), LoadOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn set_associative_avoids_conflict() {
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 2048,
+            line_bytes: 32,
+            ways: 2,
+            write_policy: WritePolicy::WriteThrough,
+            allocate_on_store_miss: false,
+            hit_cycles: 1,
+        });
+        c.load(0);
+        c.load(1024); // same set, second way
+        assert_eq!(c.load(0), LoadOutcome::Hit);
+        assert_eq!(c.load(1024), LoadOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 2048,
+            line_bytes: 32,
+            ways: 2,
+            write_policy: WritePolicy::WriteThrough,
+            allocate_on_store_miss: false,
+            hit_cycles: 1,
+        });
+        c.load(0);
+        c.load(1024);
+        c.load(0); // refresh 0
+        c.load(2048); // evicts 1024, not 0
+        assert_eq!(c.load(0), LoadOutcome::Hit);
+        assert!(matches!(c.load(1024), LoadOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn write_around_does_not_allocate() {
+        let mut c = direct_mapped();
+        assert_eq!(c.store(0), StoreOutcome::WriteThrough { hit: false });
+        assert!(matches!(c.load(0), LoadOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn write_back_dirties_and_evicts() {
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 1024,
+            line_bytes: 32,
+            ways: 1,
+            write_policy: WritePolicy::WriteBack,
+            allocate_on_store_miss: true,
+            hit_cycles: 1,
+        });
+        assert!(matches!(
+            c.store(0),
+            StoreOutcome::WriteBackMiss {
+                allocated: true,
+                evicted_dirty: None
+            }
+        ));
+        assert_eq!(c.store(8), StoreOutcome::WriteBackHit);
+        // Conflicting load must write the dirty line back.
+        match c.load(1024) {
+            LoadOutcome::Miss { evicted_dirty } => assert_eq!(evicted_dirty, Some(0)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidation_forces_refetch() {
+        let mut c = direct_mapped();
+        c.load(64);
+        c.invalidate_line(64);
+        assert!(matches!(c.load(64), LoadOutcome::Miss { .. }));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut c = direct_mapped();
+        c.load(0);
+        c.load(32);
+        c.invalidate_all();
+        assert!(matches!(c.load(0), LoadOutcome::Miss { .. }));
+        assert!(matches!(c.load(32), LoadOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn line_base_masks_offset() {
+        let c = direct_mapped();
+        assert_eq!(c.line_base(0x1234), 0x1220);
+    }
+}

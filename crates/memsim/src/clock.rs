@@ -1,0 +1,92 @@
+//! Simulated time.
+
+use memcomm_model::Throughput;
+
+/// Simulated time, counted in processor clock cycles.
+pub type Cycle = u64;
+
+/// A node clock, converting between cycles, seconds and throughput.
+///
+/// # Examples
+///
+/// ```rust
+/// use memcomm_memsim::Clock;
+///
+/// let t3d = Clock::from_mhz(150.0);
+/// // 8 bytes every 12 cycles at 150 MHz is 100 MB/s.
+/// let rate = t3d.throughput(8, 12);
+/// assert!((rate.as_mbps() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    hz: f64,
+}
+
+impl Clock {
+    /// Creates a clock from a frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive and finite.
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "clock must be positive");
+        Clock { hz: mhz * 1.0e6 }
+    }
+
+    /// The clock frequency in Hz.
+    pub fn hz(self) -> f64 {
+        self.hz
+    }
+
+    /// Converts a cycle count to seconds.
+    pub fn seconds(self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.hz
+    }
+
+    /// The throughput of moving `bytes` in `cycles`.
+    ///
+    /// Zero cycles with a positive byte count is a simulation bug and
+    /// panics.
+    pub fn throughput(self, bytes: u64, cycles: Cycle) -> Throughput {
+        Throughput::from_bytes_per_sec(bytes, self.seconds(cycles.max(u64::from(bytes > 0))))
+    }
+
+    /// The number of cycles (rounded up, minimum 1) that moving one `unit`
+    /// of `unit_bytes` takes at a target rate — used to express link or sink
+    /// bandwidths in cycle terms.
+    pub fn cycles_per_unit(self, unit_bytes: u64, rate: Throughput) -> Cycle {
+        let cycles = unit_bytes as f64 * self.hz / rate.as_bytes_per_sec();
+        cycles.ceil().max(1.0) as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcomm_model::MBps;
+
+    #[test]
+    fn seconds_conversion() {
+        let c = Clock::from_mhz(100.0);
+        assert!((c.seconds(100_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_of_zero_bytes_is_zero() {
+        let c = Clock::from_mhz(100.0);
+        assert_eq!(c.throughput(0, 0).as_mbps(), 0.0);
+    }
+
+    #[test]
+    fn cycles_per_unit_rounds_up() {
+        let c = Clock::from_mhz(150.0);
+        // 160 MB/s for 8 bytes: 150e6*8/160e6 = 7.5 -> 8 cycles.
+        assert_eq!(c.cycles_per_unit(8, MBps(160.0)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn rejects_nonpositive_clock() {
+        let _ = Clock::from_mhz(0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Deposit engine (receive-deposit `0Dy`).
+//!
+//! "The sole purpose of a deposit engine is to take data from the network
+//! and store it to the memory system on behalf of the communication system"
+//! — in the background, without processor involvement. The T3D's annex
+//! handles any access pattern (addresses travel with the data); the
+//! Paragon's DMA can act as a deposit engine for contiguous blocks only.
+
+use crate::clock::Cycle;
+use crate::engines::Step;
+use crate::mem::{Memory, WORD_BYTES};
+use crate::nic::TimedFifo;
+use crate::path::{MemPath, Port};
+use crate::walk::Walk;
+use memcomm_model::AccessPattern;
+
+/// Where the deposit engine gets its store addresses.
+#[derive(Debug, Clone)]
+pub enum DepositMode {
+    /// Each incoming word carries its own address (address-data pairs).
+    Addressed,
+    /// Bare data words land along a predetermined walk (data-only
+    /// transfers into a receive buffer).
+    Stream(Walk),
+}
+
+/// Deposit-engine cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepositParams {
+    /// Engine overhead per word (FIFO pop, address decode).
+    pub word_cycles: Cycle,
+    /// Maximum contiguous words coalesced into one memory burst.
+    pub coalesce_words: u32,
+    /// Whether the engine can only store contiguous streams (Paragon DMA).
+    pub contiguous_only: bool,
+}
+
+/// A deposit engine draining one transfer of `expected` words.
+#[derive(Debug, Clone)]
+pub struct DepositEngine {
+    /// The engine's local clock.
+    pub t: Cycle,
+    params: DepositParams,
+    mode: DepositMode,
+    expected: u64,
+    received: u64,
+    burst_base: u64,
+    burst: Vec<u64>,
+}
+
+impl DepositEngine {
+    /// Creates a deposit engine expecting `expected` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a contiguous-only engine is given a non-contiguous stream
+    /// walk, or if a stream walk is shorter than `expected`.
+    pub fn new(params: DepositParams, mode: DepositMode, expected: u64) -> Self {
+        assert!(params.coalesce_words >= 1);
+        if let DepositMode::Stream(w) = &mode {
+            assert!(w.len() >= expected, "stream walk shorter than transfer");
+            if params.contiguous_only {
+                assert_eq!(
+                    w.pattern(),
+                    AccessPattern::Contiguous,
+                    "this deposit engine handles only contiguous streams"
+                );
+            }
+        }
+        DepositEngine {
+            t: 0,
+            params,
+            mode,
+            expected,
+            received: 0,
+            burst_base: 0,
+            burst: Vec::new(),
+        }
+    }
+
+    /// Words deposited (including any still coalescing).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    fn flush(&mut self, path: &mut MemPath, mem: &mut Memory) {
+        if self.burst.is_empty() {
+            return;
+        }
+        self.t = path.engine_write(
+            self.t,
+            Port::Deposit,
+            self.burst_base,
+            self.burst.len() as u32,
+        );
+        for (k, v) in self.burst.drain(..).enumerate() {
+            mem.write(self.burst_base + k as u64 * WORD_BYTES, v);
+        }
+    }
+
+    /// Advances by one word (or a final burst flush).
+    pub fn step(&mut self, path: &mut MemPath, mem: &mut Memory, rx: &mut TimedFifo) -> Step {
+        if self.received == self.expected {
+            if self.burst.is_empty() {
+                return Step::Done;
+            }
+            self.flush(path, mem);
+            return Step::Progressed;
+        }
+        let Some((at, word)) = rx.pop(self.t) else {
+            return Step::Blocked;
+        };
+        self.t = self.t.max(at) + self.params.word_cycles;
+        let addr = match (&self.mode, word.addr) {
+            (DepositMode::Addressed, Some(a)) => a,
+            (DepositMode::Addressed, None) => {
+                panic!("addressed deposit engine received a bare data word")
+            }
+            (DepositMode::Stream(w), _) => w.addr(self.received),
+        };
+        if self.params.contiguous_only {
+            assert!(
+                self.burst.is_empty()
+                    || addr == self.burst_base + self.burst.len() as u64 * WORD_BYTES,
+                "contiguous-only deposit engine saw a non-contiguous address"
+            );
+        }
+        let continues = !self.burst.is_empty()
+            && addr == self.burst_base + self.burst.len() as u64 * WORD_BYTES
+            && (self.burst.len() as u32) < self.params.coalesce_words;
+        if !continues {
+            self.flush(path, mem);
+            self.burst_base = addr;
+        }
+        self.burst.push(word.data);
+        self.received += 1;
+        if self.burst.len() as u32 == self.params.coalesce_words {
+            self.flush(path, mem);
+        }
+        Step::Progressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheParams, WritePolicy};
+    use crate::dram::DramParams;
+    use crate::nic::{NetWord, WordKind};
+    use crate::path::PathParams;
+    use crate::readahead::ReadAheadParams;
+    use crate::wbq::WbqParams;
+
+    fn path() -> MemPath {
+        MemPath::new(PathParams {
+            cache: CacheParams {
+                size_bytes: 8 * 1024,
+                line_bytes: 32,
+                ways: 1,
+                write_policy: WritePolicy::WriteThrough,
+                allocate_on_store_miss: false,
+                hit_cycles: 1,
+            },
+            wbq: WbqParams {
+                entries: 4,
+                merge: true,
+                line_bytes: 32,
+            },
+            readahead: ReadAheadParams {
+                enabled: false,
+                buffer_hit_cycles: 4,
+            },
+            dram: DramParams {
+                banks: 1,
+                interleave_bytes: 32,
+                row_bytes: 2048,
+                read_hit_cycles: 5,
+                read_miss_cycles: 22,
+                write_hit_cycles: 4,
+                write_miss_cycles: 22,
+                posted_write_miss_cycles: 14,
+                burst_word_cycles: 1,
+                channel_word_cycles: 1,
+                demand_latency_cycles: 10,
+                write_row_affinity: true,
+                read_row_affinity: true,
+                turnaround_cycles: 0,
+            },
+            switch_penalty_cycles: 0,
+            switch_window_cycles: 0,
+            deposit_invalidates_cache: true,
+        })
+    }
+
+    fn params() -> DepositParams {
+        DepositParams {
+            word_cycles: 2,
+            coalesce_words: 4,
+            contiguous_only: false,
+        }
+    }
+
+    fn drive(
+        engine: &mut DepositEngine,
+        path: &mut MemPath,
+        mem: &mut Memory,
+        rx: &mut TimedFifo,
+    ) {
+        for _ in 0..10_000 {
+            match engine.step(path, mem, rx) {
+                Step::Done => return,
+                Step::Blocked => panic!("deposit engine starved"),
+                Step::Progressed => {}
+            }
+        }
+        panic!("deposit engine did not finish");
+    }
+
+    #[test]
+    fn addressed_words_land_where_sent() {
+        let mut mem = Memory::new(1 << 16, 2048);
+        let mut p = path();
+        let dst = mem.alloc_walk(AccessPattern::strided(16).unwrap(), 8, None);
+        let mut rx = TimedFifo::new(32);
+        for i in 0..8u64 {
+            rx.push(
+                0,
+                NetWord {
+                    addr: Some(dst.addr(i)),
+                    data: 900 + i,
+                    kind: WordKind::Data,
+                },
+            )
+            .unwrap();
+        }
+        let mut d = DepositEngine::new(params(), DepositMode::Addressed, 8);
+        drive(&mut d, &mut p, &mut mem, &mut rx);
+        for i in 0..8 {
+            assert_eq!(mem.read(dst.addr(i)), 900 + i);
+        }
+    }
+
+    #[test]
+    fn stream_mode_follows_walk() {
+        let mut mem = Memory::new(1 << 16, 2048);
+        let mut p = path();
+        let dst = mem.alloc_walk(AccessPattern::Contiguous, 8, None);
+        let mut rx = TimedFifo::new(32);
+        for i in 0..8u64 {
+            rx.push(0, NetWord { addr: None, data: i, kind: WordKind::Data }).unwrap();
+        }
+        let mut d = DepositEngine::new(params(), DepositMode::Stream(dst.clone()), 8);
+        drive(&mut d, &mut p, &mut mem, &mut rx);
+        assert_eq!(mem.dump(dst.region()), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contiguous_runs_coalesce_into_bursts() {
+        let mut mem = Memory::new(1 << 16, 2048);
+        let mut p = path();
+        let dst = mem.alloc_walk(AccessPattern::Contiguous, 16, None);
+        let mut rx = TimedFifo::new(32);
+        for i in 0..16u64 {
+            rx.push(
+                0,
+                NetWord {
+                    addr: Some(dst.addr(i)),
+                    data: i,
+                    kind: WordKind::Data,
+                },
+            )
+            .unwrap();
+        }
+        let mut d = DepositEngine::new(params(), DepositMode::Addressed, 16);
+        drive(&mut d, &mut p, &mut mem, &mut rx);
+        // 16 contiguous words at coalesce 4: four DRAM writes, not sixteen.
+        assert_eq!(p.dram_stats().writes, 4);
+    }
+
+    #[test]
+    fn strided_deposits_write_word_at_a_time() {
+        let mut mem = Memory::new(1 << 20, 2048);
+        let mut p = path();
+        let dst = mem.alloc_walk(AccessPattern::strided(64).unwrap(), 8, None);
+        let mut rx = TimedFifo::new(32);
+        for i in 0..8u64 {
+            rx.push(
+                0,
+                NetWord {
+                    addr: Some(dst.addr(i)),
+                    data: i,
+                    kind: WordKind::Data,
+                },
+            )
+            .unwrap();
+        }
+        let mut d = DepositEngine::new(params(), DepositMode::Addressed, 8);
+        drive(&mut d, &mut p, &mut mem, &mut rx);
+        assert_eq!(p.dram_stats().writes, 8);
+    }
+
+    #[test]
+    fn blocks_when_fifo_empty() {
+        let mut mem = Memory::new(1 << 16, 2048);
+        let mut p = path();
+        let mut rx = TimedFifo::new(4);
+        let mut d = DepositEngine::new(params(), DepositMode::Addressed, 4);
+        assert_eq!(d.step(&mut p, &mut mem, &mut rx), Step::Blocked);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn contiguous_only_engine_rejects_gaps() {
+        let mut mem = Memory::new(1 << 16, 2048);
+        let mut p = path();
+        let mut rx = TimedFifo::new(4);
+        rx.push(0, NetWord { addr: Some(0), data: 1, kind: WordKind::Data }).unwrap();
+        rx.push(0, NetWord { addr: Some(64), data: 2, kind: WordKind::Data }).unwrap();
+        let mut d = DepositEngine::new(
+            DepositParams {
+                contiguous_only: true,
+                ..params()
+            },
+            DepositMode::Addressed,
+            2,
+        );
+        d.step(&mut p, &mut mem, &mut rx);
+        d.step(&mut p, &mut mem, &mut rx);
+    }
+}

@@ -1,0 +1,232 @@
+//! Node memory: the data store behind the timing models.
+//!
+//! Timing components (cache, DRAM) model *when* accesses complete; the
+//! [`Memory`] stores *what* they move, so that every simulated communication
+//! operation can be checked for functional correctness (did the transpose
+//! actually transpose?).
+
+use crate::walk::Walk;
+use memcomm_model::AccessPattern;
+
+/// Size of a 64-bit word in bytes.
+pub const WORD_BYTES: u64 = 8;
+
+/// A region of node memory, returned by [`Memory::alloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte address of the region.
+    pub base: u64,
+    /// Length in 64-bit words.
+    pub words: u64,
+}
+
+impl Region {
+    /// Byte address of the `i`-th word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn addr(&self, i: u64) -> u64 {
+        assert!(i < self.words, "word {i} outside region of {} words", self.words);
+        self.base + i * WORD_BYTES
+    }
+
+    /// One past the last byte address.
+    pub fn end(&self) -> u64 {
+        self.base + self.words * WORD_BYTES
+    }
+}
+
+/// Word-addressed node memory with a bump allocator.
+///
+/// Addresses are byte addresses; all accesses are 8-byte aligned (the
+/// model's unit of transfer is the 64-bit word).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<u64>,
+    next_free: u64,
+    align_bytes: u64,
+    alloc_count: u64,
+}
+
+impl Memory {
+    /// Creates a memory of `capacity_words` 64-bit words, with allocations
+    /// aligned to `align_bytes` (typically the DRAM row size, so that
+    /// regions start row- and line-aligned as `malloc` on the real machines
+    /// arranged for large arrays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alignment is zero or not a multiple of the word size.
+    pub fn new(capacity_words: u64, align_bytes: u64) -> Self {
+        assert!(
+            align_bytes >= WORD_BYTES && align_bytes.is_multiple_of(WORD_BYTES),
+            "alignment must be a positive multiple of 8 bytes"
+        );
+        Memory {
+            words: vec![0; capacity_words as usize],
+            next_free: 0,
+            align_bytes,
+            alloc_count: 0,
+        }
+    }
+
+    /// Allocates a region of `words` 64-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics when memory is exhausted — node memories are sized by the
+    /// caller to fit the experiment.
+    pub fn alloc(&mut self, words: u64) -> Region {
+        // A deterministic pseudo-random guard gap of 1–4 alignment units
+        // between allocations keeps same-sized arrays from systematically
+        // landing a cache-size apart (which would make every set of a
+        // direct-mapped cache ping-pong between them). Real allocators
+        // stagger large arrays similarly; the jitter is a pure function of
+        // the allocation sequence, so layouts stay reproducible.
+        let mut h = self.alloc_count.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        let jitter = 1 + h % 4;
+        self.alloc_count += 1;
+        let base =
+            (self.next_free + jitter * self.align_bytes).next_multiple_of(self.align_bytes);
+        let end = base + words * WORD_BYTES;
+        assert!(
+            end <= self.words.len() as u64 * WORD_BYTES,
+            "node memory exhausted: need {end} bytes, have {}",
+            self.words.len() as u64 * WORD_BYTES
+        );
+        self.next_free = end;
+        Region { base, words }
+    }
+
+    /// Reads the word at a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses.
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words[Self::index(addr, self.words.len())]
+    }
+
+    /// Writes the word at a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let i = Self::index(addr, self.words.len());
+        self.words[i] = value;
+    }
+
+    fn index(addr: u64, len: usize) -> usize {
+        assert!(addr.is_multiple_of(WORD_BYTES), "unaligned word access at {addr:#x}");
+        let i = (addr / WORD_BYTES) as usize;
+        assert!(i < len, "address {addr:#x} outside node memory");
+        i
+    }
+
+    /// Fills a region's words from an iterator (for seeding test data).
+    pub fn fill<I: IntoIterator<Item = u64>>(&mut self, region: Region, values: I) {
+        let mut n = 0;
+        for (i, v) in values.into_iter().take(region.words as usize).enumerate() {
+            self.write(region.addr(i as u64), v);
+            n = i + 1;
+        }
+        debug_assert!(n as u64 <= region.words);
+    }
+
+    /// Reads a whole region into a vector (for asserting test results).
+    pub fn dump(&self, region: Region) -> Vec<u64> {
+        (0..region.words).map(|i| self.read(region.addr(i))).collect()
+    }
+
+    /// Convenience: allocates a region together with an access-pattern walk
+    /// over it.
+    ///
+    /// For strided patterns the region is sized `words × stride` so that
+    /// every strided element has a distinct home; for indexed patterns the
+    /// caller supplies the index array (values must be `< words`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an indexed walk is requested without an index array, or a
+    /// non-indexed walk with one.
+    pub fn alloc_walk(
+        &mut self,
+        pattern: AccessPattern,
+        words: u64,
+        index: Option<Vec<u32>>,
+    ) -> Walk {
+        let span = match pattern {
+            AccessPattern::Contiguous => words,
+            AccessPattern::Strided(s) => words * u64::from(s),
+            AccessPattern::Indexed => words,
+            AccessPattern::Fixed => panic!("cannot allocate a walk over a fixed port"),
+        };
+        let region = self.alloc(span);
+        let index_region = index
+            .as_ref()
+            .map(|ix| self.alloc((ix.len() as u64).div_ceil(2)));
+        let walk = Walk::new(pattern, region, words, index);
+        match index_region {
+            Some(r) => walk.with_index_region(r),
+            None => walk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = Memory::new(4096, 2048);
+        let a = m.alloc(10);
+        let b = m.alloc(10);
+        assert_eq!(a.base % 2048, 0);
+        assert_eq!(b.base % 2048, 0);
+        assert!(b.base >= a.end());
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new(64, 8);
+        let r = m.alloc(4);
+        m.write(r.addr(2), 0xdead_beef);
+        assert_eq!(m.read(r.addr(2)), 0xdead_beef);
+        assert_eq!(m.read(r.addr(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        let m = Memory::new(8, 8);
+        let _ = m.read(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut m = Memory::new(8, 8);
+        let _ = m.alloc(9);
+    }
+
+    #[test]
+    fn fill_and_dump() {
+        let mut m = Memory::new(64, 8);
+        let r = m.alloc(4);
+        m.fill(r, [1, 2, 3, 4]);
+        assert_eq!(m.dump(r), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn alloc_walk_sizes_strided_span() {
+        let mut m = Memory::new(1024, 8);
+        let w = m.alloc_walk(AccessPattern::Strided(4), 16, None);
+        assert_eq!(w.region().words, 64);
+        assert_eq!(w.len(), 16);
+    }
+}

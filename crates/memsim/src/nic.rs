@@ -1,0 +1,221 @@
+//! Network-interface FIFOs.
+//!
+//! The nodes expose their network as memory-mapped FIFO ports. A
+//! [`TimedFifo`] is a bounded queue whose items carry availability
+//! timestamps, so producer and consumer state machines running at different
+//! local times compose causally: a producer blocked on a full FIFO resumes
+//! no earlier than the pop that freed the slot, and a consumer never sees a
+//! word before the cycle it was pushed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::clock::Cycle;
+
+/// What a wire word means to the receiving engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WordKind {
+    /// Payload (optionally with a remote store address) — a put.
+    #[default]
+    Data,
+    /// A remote-load request — a get: `addr` is the remote address to read,
+    /// `data` carries the requester-local reply address.
+    Request,
+}
+
+/// One word on the wire: the 64-bit payload, plus the remote store address
+/// when the transfer sends address-data pairs (`Nadp`), plus its meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetWord {
+    /// Destination byte address, present for address-data-pair transfers.
+    pub addr: Option<u64>,
+    /// The 64-bit payload (for requests: the reply address).
+    pub data: u64,
+    /// Request or data.
+    pub kind: WordKind,
+}
+
+impl NetWord {
+    /// A bare data word (data-only network, `Nd`).
+    pub fn data(data: u64) -> Self {
+        NetWord {
+            addr: None,
+            data,
+            kind: WordKind::Data,
+        }
+    }
+
+    /// An address-data pair (`Nadp`) — a remote store.
+    pub fn addressed(addr: u64, data: u64) -> Self {
+        NetWord {
+            addr: Some(addr),
+            data,
+            kind: WordKind::Data,
+        }
+    }
+
+    /// A remote-load request: read `remote_addr` on the target, deliver to
+    /// `reply_addr` here.
+    pub fn request(remote_addr: u64, reply_addr: u64) -> Self {
+        NetWord {
+            addr: Some(remote_addr),
+            data: reply_addr,
+            kind: WordKind::Request,
+        }
+    }
+
+    /// Bytes this word occupies on the wire: 8 for data, 16 for an
+    /// address-data pair or a request (two addresses).
+    pub fn wire_bytes(&self) -> u64 {
+        if self.addr.is_some() {
+            16
+        } else {
+            8
+        }
+    }
+}
+
+/// A bounded FIFO with timestamped occupancy.
+#[derive(Debug, Clone)]
+pub struct TimedFifo {
+    items: VecDeque<(Cycle, NetWord)>,
+    free_slots: BinaryHeap<Reverse<Cycle>>,
+    capacity: usize,
+    pushed: u64,
+    popped: u64,
+}
+
+impl TimedFifo {
+    /// Creates a FIFO with `capacity` word slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero capacity (a zero-slot FIFO deadlocks every driver).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "fifo capacity must be at least 1");
+        TimedFifo {
+            items: VecDeque::with_capacity(capacity),
+            free_slots: (0..capacity).map(|_| Reverse(0)).collect(),
+            capacity,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Words currently enqueued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total words ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total words ever popped.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Attempts to push at local time `t`. On success returns the cycle the
+    /// word actually entered the FIFO (`>= t`; later if the freeing pop
+    /// happened later). Returns `None` when every slot is occupied — the
+    /// caller is blocked and must let the consumer run.
+    pub fn push(&mut self, t: Cycle, word: NetWord) -> Option<Cycle> {
+        let Reverse(slot_free) = self.free_slots.pop()?;
+        let at = t.max(slot_free);
+        self.items.push_back((at, word));
+        self.pushed += 1;
+        Some(at)
+    }
+
+    /// When the oldest word becomes visible to a consumer, if any.
+    pub fn front_ready(&self) -> Option<Cycle> {
+        self.items.front().map(|(at, _)| *at)
+    }
+
+    /// Attempts to pop at local time `t`. On success returns the pop cycle
+    /// (`max(t, word availability)`) and the word; the freed slot is stamped
+    /// with the pop cycle. Returns `None` when empty.
+    pub fn pop(&mut self, t: Cycle) -> Option<(Cycle, NetWord)> {
+        let (avail, word) = self.items.pop_front()?;
+        let at = t.max(avail);
+        self.free_slots.push(Reverse(at));
+        self.popped += 1;
+        Some((at, word))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(data: u64) -> NetWord {
+        NetWord::data(data)
+    }
+
+    #[test]
+    fn fifo_order_and_counts() {
+        let mut f = TimedFifo::new(4);
+        f.push(0, w(1)).unwrap();
+        f.push(1, w(2)).unwrap();
+        assert_eq!(f.pop(5).unwrap().1.data, 1);
+        assert_eq!(f.pop(5).unwrap().1.data, 2);
+        assert_eq!(f.total_pushed(), 2);
+        assert_eq!(f.total_popped(), 2);
+    }
+
+    #[test]
+    fn full_fifo_blocks_push() {
+        let mut f = TimedFifo::new(2);
+        assert!(f.push(0, w(1)).is_some());
+        assert!(f.push(0, w(2)).is_some());
+        assert!(f.push(0, w(3)).is_none());
+        let (pop_t, _) = f.pop(50).unwrap();
+        assert_eq!(pop_t, 50);
+        // The freed slot is stamped with the pop time: a retry from an
+        // earlier producer clock lands at 50.
+        assert_eq!(f.push(10, w(3)), Some(50));
+    }
+
+    #[test]
+    fn consumer_waits_for_availability() {
+        let mut f = TimedFifo::new(2);
+        f.push(100, w(9)).unwrap();
+        let (t, word) = f.pop(10).unwrap();
+        assert_eq!(t, 100, "cannot pop before the word arrived");
+        assert_eq!(word.data, 9);
+    }
+
+    #[test]
+    fn front_ready_peeks_without_removing() {
+        let mut f = TimedFifo::new(1);
+        assert_eq!(f.front_ready(), None);
+        f.push(7, w(1)).unwrap();
+        assert_eq!(f.front_ready(), Some(7));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn wire_bytes_reflect_addressing() {
+        assert_eq!(w(0).wire_bytes(), 8);
+        assert_eq!(NetWord::addressed(64, 0).wire_bytes(), 16);
+        assert_eq!(NetWord::request(64, 128).wire_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TimedFifo::new(0);
+    }
+}

@@ -1,0 +1,201 @@
+//! A node: memory, memory path, NIC FIFOs and engine cost models.
+
+use crate::clock::Clock;
+use crate::engines::{Cpu, CpuParams, DepositParams, DmaParams};
+use crate::mem::Memory;
+use crate::nic::TimedFifo;
+use crate::path::{MemPath, PathParams, Port};
+use crate::pfq::PfqParams;
+use crate::walk::Walk;
+use memcomm_model::AccessPattern;
+
+/// Full configuration of a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeParams {
+    /// Processor clock in MHz.
+    pub clock_mhz: f64,
+    /// Node memory capacity in 64-bit words.
+    pub memory_words: u64,
+    /// Memory-path (cache/WBQ/read-ahead/DRAM) parameters.
+    pub path: PathParams,
+    /// Main-processor cost model.
+    pub cpu: CpuParams,
+    /// DMA engine cost model.
+    pub dma: DmaParams,
+    /// Deposit engine cost model.
+    pub deposit: DepositParams,
+    /// Outgoing NIC FIFO depth in words.
+    pub tx_fifo_words: usize,
+    /// Incoming NIC FIFO depth in words.
+    pub rx_fifo_words: usize,
+}
+
+impl Default for NodeParams {
+    /// A generic mid-1990s node (150 MHz, 8 KB direct-mapped cache,
+    /// single-bank page-mode DRAM) for examples and tests; the calibrated
+    /// T3D and Paragon configurations live in `memcomm-machines`.
+    fn default() -> Self {
+        use crate::cache::{CacheParams, WritePolicy};
+        use crate::dram::DramParams;
+        use crate::readahead::ReadAheadParams;
+        use crate::wbq::WbqParams;
+        NodeParams {
+            clock_mhz: 150.0,
+            memory_words: 4 << 20,
+            path: PathParams {
+                cache: CacheParams {
+                    size_bytes: 8 * 1024,
+                    line_bytes: 32,
+                    ways: 1,
+                    write_policy: WritePolicy::WriteThrough,
+                    allocate_on_store_miss: false,
+                    hit_cycles: 1,
+                },
+                wbq: WbqParams {
+                    entries: 6,
+                    merge: true,
+                    line_bytes: 32,
+                },
+                readahead: ReadAheadParams {
+                    enabled: true,
+                    buffer_hit_cycles: 4,
+                },
+                dram: DramParams {
+                    banks: 1,
+                    interleave_bytes: 32,
+                    row_bytes: 2048,
+                    read_hit_cycles: 5,
+                    read_miss_cycles: 22,
+                    write_hit_cycles: 4,
+                    write_miss_cycles: 22,
+                    posted_write_miss_cycles: 14,
+                    burst_word_cycles: 1,
+                    channel_word_cycles: 1,
+                demand_latency_cycles: 10,
+                write_row_affinity: true,
+                read_row_affinity: true,
+                turnaround_cycles: 0,
+                },
+                switch_penalty_cycles: 0,
+                switch_window_cycles: 0,
+                deposit_invalidates_cache: true,
+            },
+            cpu: CpuParams {
+                port: Port::Cpu,
+                load_issue_cycles: 1,
+                store_issue_cycles: 1,
+                loop_cycles: 1,
+                indexed_extra_cycles: 1,
+                port_store_cycles: 6,
+                port_load_cycles: 6,
+                pfq: PfqParams {
+                    depth: 1,
+                    enabled: false,
+                },
+            },
+            dma: DmaParams {
+                burst_words: 4,
+                setup_cycles: 100,
+                page_bytes: 4096,
+                kick_cycles: 50,
+                word_fifo_cycles: 1,
+            },
+            deposit: DepositParams {
+                word_cycles: 2,
+                coalesce_words: 4,
+                contiguous_only: false,
+            },
+            tx_fifo_words: 64,
+            rx_fifo_words: 64,
+        }
+    }
+}
+
+/// A simulated node.
+///
+/// Fields are public because drivers (microbenchmarks, end-to-end
+/// co-simulations) advance several agents that each need disjoint mutable
+/// access to the node's parts.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node memory (data).
+    pub mem: Memory,
+    /// The arbitrated memory path (timing).
+    pub path: MemPath,
+    /// Outgoing NIC FIFO.
+    pub tx: TimedFifo,
+    /// Incoming NIC FIFO.
+    pub rx: TimedFifo,
+    params: NodeParams,
+}
+
+impl Node {
+    /// Builds a node from its configuration.
+    pub fn new(params: NodeParams) -> Self {
+        // 256-byte placement granularity: line-aligned (every line size in
+        // use divides it), fine enough that the allocator's jittered guard
+        // gaps spread arrays over many distinct cache colours.
+        Node {
+            mem: Memory::new(params.memory_words, 256),
+            path: MemPath::new(params.path),
+            tx: TimedFifo::new(params.tx_fifo_words),
+            rx: TimedFifo::new(params.rx_fifo_words),
+            params,
+        }
+    }
+
+    /// The node configuration.
+    pub fn params(&self) -> &NodeParams {
+        &self.params
+    }
+
+    /// The node clock.
+    pub fn clock(&self) -> Clock {
+        Clock::from_mhz(self.params.clock_mhz)
+    }
+
+    /// A fresh main processor (local clock 0).
+    pub fn cpu(&self) -> Cpu {
+        Cpu::new(self.params.cpu)
+    }
+
+    /// A fresh co-processor: same cost model, its own arbitration port (for
+    /// Paragon-style dual-processor nodes).
+    pub fn coprocessor(&self) -> Cpu {
+        Cpu::new(CpuParams {
+            port: Port::CoProcessor,
+            ..self.params.cpu
+        })
+    }
+
+    /// Allocates a region and returns a walk over it (see
+    /// [`Memory::alloc_walk`]).
+    pub fn alloc_walk(
+        &mut self,
+        pattern: AccessPattern,
+        words: u64,
+        index: Option<Vec<u32>>,
+    ) -> Walk {
+        self.mem.alloc_walk(pattern, words, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_node_builds_and_allocates() {
+        let mut n = Node::new(NodeParams::default());
+        let w = n.alloc_walk(AccessPattern::Contiguous, 128, None);
+        assert_eq!(w.len(), 128);
+        assert_eq!(n.clock().hz(), 150.0e6);
+    }
+
+    #[test]
+    fn coprocessor_uses_its_own_port() {
+        let n = Node::new(NodeParams::default());
+        assert_eq!(n.cpu().params().port, Port::Cpu);
+        assert_eq!(n.coprocessor().params().port, Port::CoProcessor);
+    }
+}

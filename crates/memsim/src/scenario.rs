@@ -1,0 +1,346 @@
+//! Single-node measurement scenarios for the basic transfers.
+//!
+//! Each scenario drives one or two agents to steady state over a walk and
+//! returns a [`Measurement`]. These are the simulated counterparts of the
+//! paper's microbenchmarks: local copies `xCy` (Table 1 / Figure 4), pure
+//! load/store streams `xC0` / `0Cy`, sends `xS0` / `xF0` (Table 2) and
+//! receives `0Ry` / `0Dy` (Table 3). The network side of a send or receive
+//! is an ideal port running at a configurable service rate (the machine's
+//! network injection/ejection speed), so the measured figure isolates the
+//! node-side transfer exactly as the paper's experiments did.
+
+use crate::clock::Cycle;
+use crate::engines::{
+    Cpu, CpuReceiver, CpuSender, DepositEngine, DepositMode, Dma, LocalCopier, Step,
+};
+use crate::nic::{NetWord, WordKind};
+use crate::node::Node;
+use crate::stats::Measurement;
+use crate::walk::Walk;
+
+/// Runs a local memory-to-memory copy `xCy` and returns the measurement
+/// (including the final write-buffer flush).
+///
+/// # Panics
+///
+/// Panics if the walks differ in length.
+pub fn run_local_copy(node: &mut Node, src: &Walk, dst: &Walk) -> Measurement {
+    let mut cpu = node.cpu();
+    LocalCopier::new(src.clone(), dst.clone()).run(&mut cpu, &mut node.path, &mut node.mem);
+    let end = node.path.flush(cpu.t);
+    Measurement::new(src.len(), end)
+}
+
+/// Runs a pure load stream `xC0` (loads into a register sink).
+pub fn run_load_stream(node: &mut Node, src: &Walk) -> Measurement {
+    let mut cpu = node.cpu();
+    let depth = cpu.depth_for(src.pattern());
+    for i in 0..src.len() {
+        if cpu.pending_loads() >= depth {
+            let _ = cpu.retire_load();
+        }
+        cpu.issue_load(&mut node.path, &node.mem, src, i);
+    }
+    while cpu.pending_loads() > 0 {
+        let _ = cpu.retire_load();
+    }
+    Measurement::new(src.len(), cpu.t)
+}
+
+/// Runs a pure store stream `0Cy` (stores of a constant).
+pub fn run_store_stream(node: &mut Node, dst: &Walk) -> Measurement {
+    let mut cpu = node.cpu();
+    for i in 0..dst.len() {
+        cpu.t += cpu.params().loop_cycles;
+        cpu.store_element(&mut node.path, &mut node.mem, dst, i, i);
+    }
+    let end = node.path.flush(cpu.t);
+    Measurement::new(dst.len(), end)
+}
+
+/// Runs a processor load-send `xS0` against an ideal network port accepting
+/// one word every `sink_cycles_per_word` cycles. When `remote_dst` is given,
+/// each word is sent as an address-data pair following that walk.
+pub fn run_load_send(
+    node: &mut Node,
+    src: &Walk,
+    remote_dst: Option<&Walk>,
+    sink_cycles_per_word: Cycle,
+) -> Measurement {
+    let mut cpu = node.cpu();
+    let mut sender = CpuSender::new(src.clone(), remote_dst.cloned());
+    let mut sink_t: Cycle = 0;
+    loop {
+        match sender.step(&mut cpu, &mut node.path, &node.mem, &mut node.tx) {
+            Step::Done => break,
+            Step::Blocked => {
+                let (at, _) = node
+                    .tx
+                    .pop(sink_t)
+                    .expect("sender blocked on a full fifo that must be non-empty");
+                sink_t = at + sink_cycles_per_word;
+            }
+            Step::Progressed => {
+                // Keep the port draining words that arrived in its past.
+                while sink_t <= cpu.t {
+                    match node.tx.pop(sink_t) {
+                        Some((at, _)) => sink_t = at + sink_cycles_per_word,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    while node.tx.pop(sink_t).is_some() {
+        sink_t += sink_cycles_per_word;
+    }
+    Measurement::new(src.len(), cpu.t)
+}
+
+/// Runs a DMA fetch-send `1F0` against an ideal network port.
+///
+/// # Panics
+///
+/// Panics if `src` is not contiguous.
+pub fn run_fetch_send(node: &mut Node, src: &Walk, sink_cycles_per_word: Cycle) -> Measurement {
+    let mut dma = Dma::new(node.params().dma, src.clone());
+    let mut sink_t: Cycle = 0;
+    loop {
+        match dma.step(&mut node.path, &node.mem, &mut node.tx) {
+            Step::Done => break,
+            Step::Blocked => {
+                let (at, _) = node
+                    .tx
+                    .pop(sink_t)
+                    .expect("dma blocked on a full fifo that must be non-empty");
+                sink_t = at + sink_cycles_per_word;
+            }
+            Step::Progressed => {
+                while sink_t <= dma.t {
+                    match node.tx.pop(sink_t) {
+                        Some((at, _)) => sink_t = at + sink_cycles_per_word,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    // The transfer is complete when the port has taken the last word.
+    let mut end = dma.t;
+    while let Some((at, _)) = node.tx.pop(sink_t) {
+        sink_t = at + sink_cycles_per_word;
+        end = end.max(at);
+    }
+    Measurement::new(src.len(), end)
+}
+
+fn feed_words(dst: &Walk, addressed: bool) -> Vec<NetWord> {
+    (0..dst.len())
+        .map(|i| NetWord {
+            addr: addressed.then(|| dst.addr(i)),
+            data: i,
+            kind: WordKind::Data,
+        })
+        .collect()
+}
+
+/// Runs a processor receive-store `0Ry`: words arrive at one per
+/// `feed_cycles_per_word` cycles and the processor stores them along `dst`
+/// (or at the carried address when `addressed`).
+pub fn run_receive_store(
+    node: &mut Node,
+    dst: &Walk,
+    addressed: bool,
+    feed_cycles_per_word: Cycle,
+) -> Measurement {
+    let words = feed_words(dst, addressed);
+    let mut cpu = node.cpu();
+    let mut receiver = CpuReceiver::new(dst.clone());
+    let mut source_t: Cycle = 0;
+    let mut fed = 0usize;
+    loop {
+        while fed < words.len() {
+            match node.rx.push(source_t, words[fed]) {
+                Some(at) => {
+                    source_t = at.max(source_t) + feed_cycles_per_word;
+                    fed += 1;
+                }
+                None => break,
+            }
+        }
+        match receiver.step(&mut cpu, &mut node.path, &mut node.mem, &mut node.rx) {
+            Step::Done => break,
+            Step::Blocked => assert!(fed < words.len(), "receiver starved after full feed"),
+            Step::Progressed => {}
+        }
+    }
+    let end = node.path.flush(cpu.t);
+    Measurement::new(dst.len(), end)
+}
+
+/// Runs a deposit-engine receive `0Dy` (same feed as
+/// [`run_receive_store`]).
+pub fn run_receive_deposit(
+    node: &mut Node,
+    dst: &Walk,
+    addressed: bool,
+    feed_cycles_per_word: Cycle,
+) -> Measurement {
+    let words = feed_words(dst, addressed);
+    let mode = if addressed {
+        DepositMode::Addressed
+    } else {
+        DepositMode::Stream(dst.clone())
+    };
+    let mut engine = DepositEngine::new(node.params().deposit, mode, dst.len());
+    let mut source_t: Cycle = 0;
+    let mut fed = 0usize;
+    loop {
+        while fed < words.len() {
+            match node.rx.push(source_t, words[fed]) {
+                Some(at) => {
+                    source_t = at.max(source_t) + feed_cycles_per_word;
+                    fed += 1;
+                }
+                None => break,
+            }
+        }
+        match engine.step(&mut node.path, &mut node.mem, &mut node.rx) {
+            Step::Done => break,
+            Step::Blocked => assert!(fed < words.len(), "deposit engine starved after full feed"),
+            Step::Progressed => {}
+        }
+    }
+    Measurement::new(dst.len(), engine.t)
+}
+
+/// Drives a processor and a [`Cpu`]-owned walk pair through a whole copy —
+/// exposed for drivers that need the raw loop (ablations, custom kernels).
+pub fn copy_to_completion(cpu: &mut Cpu, node: &mut Node, src: &Walk, dst: &Walk) -> Cycle {
+    LocalCopier::new(src.clone(), dst.clone()).run(cpu, &mut node.path, &mut node.mem);
+    node.path.flush(cpu.t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeParams;
+    use memcomm_model::AccessPattern;
+
+    fn node() -> Node {
+        Node::new(NodeParams::default())
+    }
+
+    const N: u64 = 4096;
+
+    #[test]
+    fn contiguous_copy_beats_strided_beats_indexed_loads() {
+        let mut n = node();
+        let c_src = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let c_dst = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let contiguous = run_local_copy(&mut n, &c_src, &c_dst);
+
+        let mut n = node();
+        let s_src = n.alloc_walk(AccessPattern::strided(64).unwrap(), N, None);
+        let s_dst = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let strided = run_local_copy(&mut n, &s_src, &s_dst);
+
+        assert!(
+            contiguous.cycles < strided.cycles,
+            "contiguous {} !< strided {}",
+            contiguous.cycles,
+            strided.cycles
+        );
+    }
+
+    #[test]
+    fn copy_moves_the_data() {
+        let mut n = node();
+        let src = n.alloc_walk(AccessPattern::Contiguous, 256, None);
+        let dst = n.alloc_walk(AccessPattern::strided(8).unwrap(), 256, None);
+        n.mem.fill(src.region(), (0..256).map(|i| i * 3));
+        run_local_copy(&mut n, &src, &dst);
+        for i in 0..256 {
+            assert_eq!(n.mem.read(dst.addr(i)), i * 3);
+        }
+    }
+
+    #[test]
+    fn load_send_measures_and_drains() {
+        let mut n = node();
+        let src = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let m = run_load_send(&mut n, &src, None, 8);
+        assert_eq!(m.words, N);
+        assert!(n.tx.is_empty());
+        assert_eq!(n.tx.total_pushed(), N);
+    }
+
+    #[test]
+    fn slow_port_throttles_the_sender() {
+        let mut n = node();
+        let src = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let fast = run_load_send(&mut n, &src, None, 2);
+        let mut n2 = node();
+        let src2 = n2.alloc_walk(AccessPattern::Contiguous, N, None);
+        let slow = run_load_send(&mut n2, &src2, None, 200);
+        assert!(slow.cycles > 2 * fast.cycles);
+    }
+
+    #[test]
+    fn receive_store_lands_data() {
+        let mut n = node();
+        let dst = n.alloc_walk(AccessPattern::strided(4).unwrap(), 512, None);
+        let m = run_receive_store(&mut n, &dst, true, 4);
+        assert_eq!(m.words, 512);
+        for i in 0..512 {
+            assert_eq!(n.mem.read(dst.addr(i)), i);
+        }
+    }
+
+    #[test]
+    fn receive_deposit_lands_data_stream_mode() {
+        let mut n = node();
+        let dst = n.alloc_walk(AccessPattern::Contiguous, 512, None);
+        let m = run_receive_deposit(&mut n, &dst, false, 4);
+        assert_eq!(m.words, 512);
+        assert_eq!(n.mem.dump(dst.region()), (0..512).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deposit_contiguous_faster_than_strided() {
+        let mut n = node();
+        let dst = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let contiguous = run_receive_deposit(&mut n, &dst, true, 1);
+        let mut n2 = node();
+        let dst2 = n2.alloc_walk(AccessPattern::strided(64).unwrap(), N, None);
+        let strided = run_receive_deposit(&mut n2, &dst2, true, 1);
+        assert!(contiguous.cycles < strided.cycles);
+    }
+
+    #[test]
+    fn fetch_send_streams_contiguously() {
+        let mut n = node();
+        let src = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let m = run_fetch_send(&mut n, &src, 8);
+        assert_eq!(m.words, N);
+        assert_eq!(n.tx.total_popped(), N);
+    }
+
+    #[test]
+    fn load_stream_and_store_stream_run() {
+        let mut n = node();
+        let w = n.alloc_walk(AccessPattern::Contiguous, N, None);
+        let load = run_load_stream(&mut n, &w);
+        let mut n2 = node();
+        let w2 = n2.alloc_walk(AccessPattern::Contiguous, N, None);
+        let store = run_store_stream(&mut n2, &w2);
+        assert!(load.cycles > 0 && store.cycles > 0);
+        // A pure stream is faster than a full copy over the same pattern.
+        let mut n3 = node();
+        let a = n3.alloc_walk(AccessPattern::Contiguous, N, None);
+        let b = n3.alloc_walk(AccessPattern::Contiguous, N, None);
+        let copy = run_local_copy(&mut n3, &a, &b);
+        assert!(load.cycles < copy.cycles);
+        assert!(store.cycles < copy.cycles);
+    }
+}

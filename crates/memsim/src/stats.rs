@@ -1,0 +1,67 @@
+//! Measurement results.
+
+use crate::clock::{Clock, Cycle};
+use memcomm_model::Throughput;
+
+/// The result of one simulated transfer measurement: how many 64-bit words
+/// of *payload* moved and how many cycles the operation took end to end.
+///
+/// Following the paper, auxiliary traffic (headers, addresses, index loads)
+/// consumes time but never counts as payload: "these operations, although
+/// possibly consuming raw bandwidth, do not contribute to the net bandwidth
+/// an application is interested in."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Payload words moved.
+    pub words: u64,
+    /// End-to-end duration in cycles.
+    pub cycles: Cycle,
+}
+
+impl Measurement {
+    /// Creates a measurement.
+    pub fn new(words: u64, cycles: Cycle) -> Self {
+        Measurement { words, cycles }
+    }
+
+    /// Payload bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.words * crate::mem::WORD_BYTES
+    }
+
+    /// Average cycles per payload word.
+    pub fn cycles_per_word(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.words as f64
+        }
+    }
+
+    /// Effective throughput under the given clock.
+    pub fn throughput(&self, clock: Clock) -> Throughput {
+        clock.throughput(self.bytes(), self.cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_cycles_per_word() {
+        let m = Measurement::new(1000, 12_000);
+        assert!((m.cycles_per_word() - 12.0).abs() < 1e-12);
+        let clock = Clock::from_mhz(150.0);
+        // 8 bytes / 12 cycles at 150 MHz = 100 MB/s.
+        assert!((m.throughput(clock).as_mbps() - 100.0).abs() < 1e-9);
+        assert_eq!(m.bytes(), 8000);
+    }
+
+    #[test]
+    fn empty_measurement_is_zero() {
+        let m = Measurement::new(0, 0);
+        assert_eq!(m.cycles_per_word(), 0.0);
+        assert_eq!(m.throughput(Clock::from_mhz(100.0)).as_mbps(), 0.0);
+    }
+}

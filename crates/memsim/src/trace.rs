@@ -1,0 +1,241 @@
+//! Memory-reference tracing.
+//!
+//! "Traditionally the need to accurately analyze the memory system
+//! performance for compilers lead to trace driven investigations of the
+//! cached memory system" — the approach the paper's throughput model
+//! replaces. The simulator can nevertheless *produce* such traces: enable
+//! tracing on a [`MemPath`](crate::path::MemPath), run any scenario, and
+//! take the [`Trace`] for analysis. Useful for validating the model's
+//! premises (e.g. that communication-related access streams have spatial
+//! but not temporal locality).
+
+use std::collections::HashSet;
+
+use crate::clock::Cycle;
+use crate::path::Port;
+
+/// The kind of a traced memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Demand (cacheable) load — recorded on misses, i.e. actual memory
+    /// traffic.
+    Load,
+    /// Uncached (pipelined) load.
+    UncachedLoad,
+    /// Posted store (entering the write buffer).
+    Store,
+    /// Write-buffer drain reaching DRAM.
+    Drain,
+    /// Background-engine read (DMA fetch, remote-load service).
+    EngineRead,
+    /// Background-engine write (deposit).
+    EngineWrite,
+}
+
+impl TraceOp {
+    /// Whether the operation reads memory.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            TraceOp::Load | TraceOp::UncachedLoad | TraceOp::EngineRead
+        )
+    }
+}
+
+/// One traced memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle at which the operation was issued to the memory system.
+    pub cycle: Cycle,
+    /// Requesting port.
+    pub port: Port,
+    /// Operation kind.
+    pub op: TraceOp,
+    /// Byte address.
+    pub addr: u64,
+    /// Words touched.
+    pub words: u32,
+}
+
+/// An ordered memory-reference trace with analysis helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an entry (used by the memory path).
+    pub fn record(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The raw entries, in issue order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// A sub-trace of the entries matching a predicate — analyses such as
+    /// row locality are per-stream questions (the load stream, one engine's
+    /// writes), while the full trace interleaves all requesters.
+    pub fn filter<F: Fn(&TraceEntry) -> bool>(&self, keep: F) -> Trace {
+        Trace {
+            entries: self.entries.iter().copied().filter(|e| keep(e)).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of traced operations that read memory.
+    pub fn read_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().filter(|e| e.op.is_read()).count() as f64 / self.entries.len() as f64
+    }
+
+    /// Fraction of consecutive references that land in a different DRAM row
+    /// — a direct measure of the row locality that separates contiguous
+    /// from strided streams.
+    pub fn row_switch_fraction(&self, row_bytes: u64) -> f64 {
+        if self.entries.len() < 2 {
+            return 0.0;
+        }
+        let switches = self
+            .entries
+            .windows(2)
+            .filter(|w| w[0].addr / row_bytes != w[1].addr / row_bytes)
+            .count();
+        switches as f64 / (self.entries.len() - 1) as f64
+    }
+
+    /// Number of requester switches (consecutive references from different
+    /// ports) — the fine-grain interleaving the Paragon bus penalized.
+    pub fn port_switches(&self) -> u64 {
+        self.entries
+            .windows(2)
+            .filter(|w| w[0].port != w[1].port)
+            .count() as u64
+    }
+
+    /// Distinct cache lines touched — the footprint that decides whether a
+    /// working set can have temporal locality at all.
+    pub fn footprint_lines(&self, line_bytes: u64) -> u64 {
+        let mut lines = HashSet::new();
+        for e in &self.entries {
+            let first = e.addr / line_bytes;
+            let last = (e.addr + u64::from(e.words) * 8 - 1) / line_bytes;
+            for l in first..=last {
+                lines.insert(l);
+            }
+        }
+        lines.len() as u64
+    }
+
+    /// Fraction of references whose line was touched before — temporal
+    /// reuse. The paper's premise is that this is near zero for
+    /// communication streams.
+    pub fn reuse_fraction(&self, line_bytes: u64) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let mut seen = HashSet::new();
+        let mut reused = 0usize;
+        for e in &self.entries {
+            let line = e.addr / line_bytes;
+            if !seen.insert(line) {
+                reused += 1;
+            }
+        }
+        reused as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cycle: Cycle, port: Port, op: TraceOp, addr: u64) -> TraceEntry {
+        TraceEntry {
+            cycle,
+            port,
+            op,
+            addr,
+            words: 1,
+        }
+    }
+
+    #[test]
+    fn read_fraction_counts_reads() {
+        let mut t = Trace::new();
+        t.record(entry(0, Port::Cpu, TraceOp::Load, 0));
+        t.record(entry(1, Port::Cpu, TraceOp::Store, 8));
+        t.record(entry(2, Port::Deposit, TraceOp::EngineWrite, 16));
+        t.record(entry(3, Port::Dma, TraceOp::EngineRead, 24));
+        assert!((t.read_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_switches_distinguish_patterns() {
+        let mut contiguous = Trace::new();
+        let mut strided = Trace::new();
+        for i in 0..100u64 {
+            contiguous.record(entry(i, Port::Cpu, TraceOp::Load, i * 8));
+            strided.record(entry(i, Port::Cpu, TraceOp::Load, i * 4096));
+        }
+        assert!(contiguous.row_switch_fraction(2048) < 0.05);
+        assert!(strided.row_switch_fraction(2048) > 0.95);
+    }
+
+    #[test]
+    fn port_switches_count_interleavings() {
+        let mut t = Trace::new();
+        t.record(entry(0, Port::Cpu, TraceOp::Load, 0));
+        t.record(entry(1, Port::Deposit, TraceOp::EngineWrite, 64));
+        t.record(entry(2, Port::Cpu, TraceOp::Load, 8));
+        assert_eq!(t.port_switches(), 2);
+    }
+
+    #[test]
+    fn footprint_and_reuse() {
+        let mut t = Trace::new();
+        // Two touches of line 0, one of line 2.
+        t.record(entry(0, Port::Cpu, TraceOp::Load, 0));
+        t.record(entry(1, Port::Cpu, TraceOp::Load, 8));
+        t.record(entry(2, Port::Cpu, TraceOp::Load, 64));
+        assert_eq!(t.footprint_lines(32), 2);
+        assert!((t.reuse_fraction(32) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_extracts_streams() {
+        let mut t = Trace::new();
+        t.record(entry(0, Port::Cpu, TraceOp::Load, 0));
+        t.record(entry(1, Port::Deposit, TraceOp::EngineWrite, 64));
+        t.record(entry(2, Port::Cpu, TraceOp::Load, 8));
+        let loads = t.filter(|e| e.op == TraceOp::Load);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads.port_switches(), 0);
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.read_fraction(), 0.0);
+        assert_eq!(t.row_switch_fraction(2048), 0.0);
+        assert_eq!(t.footprint_lines(32), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests of the memory-system components against reference
+//! models (oracles) and physical invariants.
+
+use memcomm_memsim::cache::{Cache, CacheParams, LoadOutcome, WritePolicy};
+use memcomm_memsim::dram::{Dram, DramOp, DramParams};
+use memcomm_memsim::engines::LocalCopier;
+use memcomm_memsim::nic::{NetWord, TimedFifo};
+use memcomm_memsim::node::{Node, NodeParams};
+use memcomm_memsim::wbq::{Wbq, WbqParams};
+use memcomm_model::AccessPattern;
+use proptest::prelude::*;
+
+/// A trivially correct LRU cache oracle: a vector of line tags per set,
+/// most recently used last.
+struct LruOracle {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+}
+
+impl LruOracle {
+    fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        let sets = (size_bytes / line_bytes) as usize / ways;
+        LruOracle {
+            sets: vec![Vec::new(); sets],
+            ways,
+            line_bytes,
+        }
+    }
+
+    /// Returns whether the load hits, updating recency.
+    fn load(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line as usize) % self.sets.len();
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&t| t == line) {
+            entries.remove(pos);
+            entries.push(line);
+            true
+        } else {
+            if entries.len() == self.ways {
+                entries.remove(0);
+            }
+            entries.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The tag-array cache agrees with a straightforward LRU oracle on
+    /// every access of a random load stream.
+    #[test]
+    fn cache_matches_lru_oracle(
+        ways in 1u32..5,
+        addrs in proptest::collection::vec(0u64..32_768, 1..600),
+    ) {
+        // Geometry must divide evenly; 4 KiB with 32-byte lines has 128
+        // lines, divisible by 1..=4 ways.
+        prop_assume!(128 % ways == 0 && (128 / ways).is_power_of_two());
+        let mut cache = Cache::new(CacheParams {
+            size_bytes: 4096,
+            line_bytes: 32,
+            ways,
+            write_policy: WritePolicy::WriteThrough,
+            allocate_on_store_miss: false,
+            hit_cycles: 1,
+        });
+        let mut oracle = LruOracle::new(4096, 32, ways as usize);
+        for addr in addrs {
+            let addr = addr & !7;
+            let expected = oracle.load(addr);
+            let got = matches!(cache.load(addr), LoadOutcome::Hit);
+            prop_assert_eq!(got, expected, "divergence at {:#x}", addr);
+        }
+    }
+
+    /// DRAM timing invariants over random request streams: completion never
+    /// precedes the request, per-bank time is monotone, and the channel
+    /// never moves more than one word per `channel_word_cycles`.
+    #[test]
+    fn dram_time_is_physical(
+        banks in 1u32..5,
+        requests in proptest::collection::vec((0u64..1_000_000, 1u32..8, proptest::bool::ANY), 1..300),
+    ) {
+        let mut dram = Dram::new(DramParams {
+            banks,
+            interleave_bytes: 32,
+            row_bytes: 2048,
+            read_hit_cycles: 4,
+            read_miss_cycles: 20,
+            write_hit_cycles: 3,
+            write_miss_cycles: 20,
+            posted_write_miss_cycles: 12,
+            burst_word_cycles: 1,
+            channel_word_cycles: 1,
+            demand_latency_cycles: 8,
+            write_row_affinity: true,
+            read_row_affinity: true,
+            turnaround_cycles: 2,
+        });
+        let mut total_words = 0u64;
+        let mut last_end = 0u64;
+        // Requests arrive in causal order, one cycle apart.
+        for (now, (addr, words, is_write)) in requests.into_iter().enumerate() {
+            let now = now as u64;
+            let addr = addr & !7;
+            let op = if is_write { DramOp::Write } else { DramOp::Read };
+            let span = dram.access(now, addr, words, op);
+            prop_assert!(span.start >= now, "time travel");
+            prop_assert!(span.end > span.start, "zero-width access");
+            total_words += u64::from(words);
+            last_end = last_end.max(span.end);
+        }
+        // Channel bound: one word per channel cycle at best.
+        prop_assert!(last_end >= total_words, "channel moved {total_words} words in {last_end} cycles");
+    }
+
+    /// The write buffer never loses or invents stores: queued+merged pushes
+    /// equal drained words; FIFO drain order preserves first-push order of
+    /// lines.
+    #[test]
+    fn wbq_conserves_stores(
+        addrs in proptest::collection::vec(0u64..2048, 1..200),
+    ) {
+        let mut wbq = Wbq::new(WbqParams {
+            entries: 64, // capacious: no rejections in this test
+            merge: true,
+            line_bytes: 32,
+        });
+        let mut distinct = std::collections::BTreeSet::new();
+        for &a in &addrs {
+            let a = a & !7;
+            distinct.insert(a);
+            prop_assert!(wbq.push(a), "64 entries never fill from 64 distinct lines");
+        }
+        let mut drained_words = 0u64;
+        while let Some(item) = wbq.pop() {
+            drained_words += u64::from(item.words);
+        }
+        prop_assert_eq!(drained_words, distinct.len() as u64);
+    }
+
+    /// FIFO conservation and ordering under interleaved push/pop with
+    /// arbitrary local clocks.
+    #[test]
+    fn fifo_conserves_and_orders(
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u64..10_000), 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut fifo = TimedFifo::new(cap);
+        let mut next_val = 0u64;
+        let mut expected = std::collections::VecDeque::new();
+        let mut last_pop_time = 0u64;
+        for (is_push, t) in ops {
+            if is_push {
+                if fifo.push(t, NetWord::data(next_val)).is_some() {
+                    expected.push_back(next_val);
+                }
+                next_val += 1;
+            } else if let Some((at, w)) = fifo.pop(t) {
+                let want = expected.pop_front().expect("fifo had an item");
+                prop_assert_eq!(w.data, want, "FIFO order violated");
+                prop_assert!(at >= t.min(at), "pop time sane");
+                // Pop completion times are not globally monotone (clocks
+                // differ per agent), but never precede the push.
+                last_pop_time = last_pop_time.max(at);
+            }
+            prop_assert!(fifo.len() <= cap);
+        }
+        prop_assert_eq!(fifo.len(), expected.len());
+    }
+
+    /// A local copy is semantically memcpy for every pattern combination:
+    /// after the run, dst element i holds src element i.
+    #[test]
+    fn local_copy_is_memcpy(
+        src_stride in 1u32..20,
+        dst_stride in 1u32..20,
+        n in 1u64..200,
+        seed in 0u64..1000,
+    ) {
+        let mut node = Node::new(NodeParams::default());
+        let sp = AccessPattern::strided(src_stride).unwrap();
+        let dp = AccessPattern::strided(dst_stride).unwrap();
+        let src = node.alloc_walk(sp, n, None);
+        let dst = node.alloc_walk(dp, n, None);
+        for i in 0..n {
+            node.mem.write(src.addr(i), seed.wrapping_mul(31).wrapping_add(i));
+        }
+        let mut cpu = node.cpu();
+        LocalCopier::new(src.clone(), dst.clone()).run(&mut cpu, &mut node.path, &mut node.mem);
+        for i in 0..n {
+            prop_assert_eq!(node.mem.read(dst.addr(i)), node.mem.read(src.addr(i)));
+        }
+        prop_assert!(cpu.t > 0);
+    }
+
+    /// Copy time grows at least linearly in the element count (no
+    /// super-linear accounting bugs, no sublinear time travel).
+    #[test]
+    fn copy_time_scales_sanely(n in 64u64..512) {
+        let time = |count: u64| {
+            let mut node = Node::new(NodeParams::default());
+            let src = node.alloc_walk(AccessPattern::Contiguous, count, None);
+            let dst = node.alloc_walk(AccessPattern::Contiguous, count, None);
+            let mut cpu = node.cpu();
+            LocalCopier::new(src, dst).run(&mut cpu, &mut node.path, &mut node.mem);
+            node.path.flush(cpu.t)
+        };
+        let t1 = time(n);
+        let t2 = time(2 * n);
+        let ratio = t2 as f64 / t1 as f64;
+        prop_assert!((1.6..2.6).contains(&ratio), "doubling n gave ratio {ratio}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # memcomm-netsim — interconnect simulator
+//!
+//! The network side of the reproduction: mesh/torus topologies with
+//! dimension-order routing, the traffic patterns of the paper's kernels
+//! (cyclic shift, transpose/all-to-all-personalized, random permutations,
+//! irregular graph exchanges), flow-level congestion analysis, and a
+//! word-granular [`Link`](link::Link) used by the end-to-end co-simulations.
+//!
+//! The paper's model deliberately reduces the network to a bandwidth at a
+//! given *congestion* factor (Table 4): "congestion two means a network link
+//! is traversed by twice as much data as it can support at peak speed."
+//! This crate both reproduces that reduction (the [`link`] model scales its
+//! bandwidth by a congestion factor and distinguishes data-only from
+//! address-data-pair framing) and derives congestion factors from real
+//! traffic patterns on real topologies ([`congestion`]), including the
+//! T3D's quirk that two adjacent nodes share one network port.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod congestion;
+pub mod link;
+pub mod routing;
+pub mod topology;
+pub mod traffic;
+
+pub use barrier::barrier_cycles;
+pub use congestion::{pattern_congestion, CongestionReport};
+pub use link::{Link, LinkParams};
+pub use topology::{NodeId, Topology};
+pub use traffic::Flow;

@@ -1,0 +1,231 @@
+//! Word-granular link model for end-to-end co-simulation.
+//!
+//! A [`Link`] moves [`NetWord`](memcomm_memsim::nic::NetWord)s from a
+//! sender's transmit FIFO to a receiver's receive FIFO. Each word costs wire
+//! time proportional to its framing — 8 bytes for data-only (`Nd`), 16 for
+//! address-data pairs (`Nadp`), plus an amortized packet header — scaled by
+//! the congestion factor the traffic pattern imposes (see
+//! [`congestion`](crate::congestion)).
+
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::nic::{NetWord, TimedFifo, WordKind};
+use memcomm_memsim::stats::Measurement;
+
+pub use memcomm_memsim::engines::Step;
+
+/// Link configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Raw wire bandwidth in bytes per node-clock cycle.
+    pub bytes_per_cycle: f64,
+    /// Payload words per packet, for header amortization.
+    pub packet_words: u32,
+    /// Header (routing info, delimiters) bytes per packet.
+    pub header_bytes: u64,
+    /// Extra wire bytes per address-data-pair word on top of the 8-byte
+    /// payload: the store address plus any per-store control. On the T3D
+    /// each remote store is its own small message (12 bytes extra); the
+    /// Paragon packetizes pairs (8 bytes extra).
+    pub adp_extra_bytes: u64,
+    /// Cut-through latency from FIFO to FIFO.
+    pub latency_cycles: Cycle,
+    /// Congestion factor: how many competing streams share the wire.
+    pub congestion: f64,
+}
+
+impl LinkParams {
+    /// Effective wire cost in cycles for one word.
+    pub fn word_cycles(&self, word: &NetWord) -> f64 {
+        let payload_and_addr = if word.addr.is_some() {
+            8.0 + self.adp_extra_bytes as f64
+        } else {
+            8.0
+        };
+        let framed = payload_and_addr + self.header_bytes as f64 / f64::from(self.packet_words);
+        framed * self.congestion / self.bytes_per_cycle
+    }
+}
+
+/// A directed link between two FIFOs.
+#[derive(Debug, Clone)]
+pub struct Link {
+    params: LinkParams,
+    clock: f64,
+    staged: Option<NetWord>,
+    moved: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bandwidth or congestion.
+    pub fn new(params: LinkParams) -> Self {
+        assert!(
+            params.bytes_per_cycle > 0.0 && params.congestion >= 1.0,
+            "link needs positive bandwidth and congestion >= 1"
+        );
+        assert!(params.packet_words >= 1);
+        Link {
+            params,
+            clock: 0.0,
+            staged: None,
+            moved: 0,
+        }
+    }
+
+    /// Configuration.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// The link's local time in cycles (rounded up).
+    pub fn time(&self) -> Cycle {
+        self.clock.ceil() as Cycle
+    }
+
+    /// Words delivered so far.
+    pub fn moved(&self) -> u64 {
+        self.moved
+    }
+
+    /// Moves one word from `from` to `to`. Blocked when the source is empty
+    /// or the destination full.
+    pub fn step(&mut self, from: &mut TimedFifo, to: &mut TimedFifo) -> Step {
+        if self.staged.is_none() {
+            let Some(avail) = from.front_ready() else {
+                return Step::Blocked;
+            };
+            let (_, word) = from.pop(self.time()).expect("front_ready implies non-empty");
+            let cost = self.params.word_cycles(&word);
+            // Advance the fractional clock from the word's availability, not
+            // from the integer-rounded pop time — otherwise every word pays
+            // a rounding surcharge.
+            self.clock = self.clock.max(avail as f64) + cost;
+            self.staged = Some(word);
+        }
+        let word = self.staged.expect("staged above");
+        match to.push(self.time() + self.params.latency_cycles, word) {
+            Some(_) => {
+                self.staged = None;
+                self.moved += 1;
+                Step::Progressed
+            }
+            None => Step::Blocked,
+        }
+    }
+}
+
+/// Measures the raw wire rate of a link configuration by streaming `words`
+/// words (data-only or address-data pairs) between two unconstrained FIFOs —
+/// the simulated counterpart of the paper's Table 4 rows.
+pub fn measure_wire_rate(params: LinkParams, words: u64, address_data_pairs: bool) -> Measurement {
+    let mut from = TimedFifo::new(words.max(1) as usize);
+    let mut to = TimedFifo::new(words.max(1) as usize);
+    for i in 0..words {
+        from.push(
+            0,
+            NetWord {
+                addr: address_data_pairs.then_some(i * 8),
+                data: i,
+                kind: WordKind::Data,
+            },
+        )
+        .expect("fifo sized to the transfer");
+    }
+    let mut link = Link::new(params);
+    let mut end = 0;
+    while link.moved() < words {
+        match link.step(&mut from, &mut to) {
+            Step::Progressed => end = link.time(),
+            Step::Blocked => unreachable!("unconstrained fifos never block the link"),
+            Step::Done => break,
+        }
+    }
+    Measurement::new(words, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> LinkParams {
+        LinkParams {
+            bytes_per_cycle: 1.0,
+            packet_words: 16,
+            header_bytes: 16,
+            adp_extra_bytes: 8,
+            latency_cycles: 20,
+            congestion: 1.0,
+        }
+    }
+
+    #[test]
+    fn data_words_cost_framed_bytes() {
+        // 8 payload + 1 header byte amortized = 9 cycles per word.
+        let m = measure_wire_rate(params(), 1000, false);
+        assert!((m.cycles_per_word() - 9.0).abs() < 0.1, "{}", m.cycles_per_word());
+    }
+
+    #[test]
+    fn address_data_pairs_cost_roughly_double() {
+        let data = measure_wire_rate(params(), 1000, false);
+        let adp = measure_wire_rate(params(), 1000, true);
+        let ratio = adp.cycles as f64 / data.cycles as f64;
+        assert!((1.8..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn congestion_divides_bandwidth() {
+        let base = measure_wire_rate(params(), 1000, false);
+        let congested = measure_wire_rate(
+            LinkParams {
+                congestion: 2.0,
+                ..params()
+            },
+            1000,
+            false,
+        );
+        let ratio = congested.cycles as f64 / base.cycles as f64;
+        assert!((1.95..2.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn link_respects_fifo_backpressure() {
+        let mut from = TimedFifo::new(64);
+        let mut to = TimedFifo::new(2);
+        for i in 0..8 {
+            from.push(0, NetWord { addr: None, data: i, kind: WordKind::Data }).unwrap();
+        }
+        let mut link = Link::new(params());
+        // Fill the destination.
+        assert_eq!(link.step(&mut from, &mut to), Step::Progressed);
+        assert_eq!(link.step(&mut from, &mut to), Step::Progressed);
+        assert_eq!(link.step(&mut from, &mut to), Step::Blocked);
+        // Draining the destination unblocks; the staged word is not lost.
+        let before = link.moved();
+        to.pop(1000);
+        assert_eq!(link.step(&mut from, &mut to), Step::Progressed);
+        assert_eq!(link.moved(), before + 1);
+    }
+
+    #[test]
+    fn latency_delays_availability() {
+        let mut from = TimedFifo::new(4);
+        let mut to = TimedFifo::new(4);
+        from.push(0, NetWord { addr: None, data: 7, kind: WordKind::Data }).unwrap();
+        let mut link = Link::new(params());
+        link.step(&mut from, &mut to);
+        let ready = to.front_ready().unwrap();
+        assert!(ready >= 20 + 9, "cut-through latency plus wire time, got {ready}");
+    }
+
+    #[test]
+    fn empty_source_blocks() {
+        let mut from = TimedFifo::new(4);
+        let mut to = TimedFifo::new(4);
+        let mut link = Link::new(params());
+        assert_eq!(link.step(&mut from, &mut to), Step::Blocked);
+    }
+}

@@ -1,0 +1,94 @@
+//! Dimension-order (e-cube) routing.
+
+use crate::topology::{NodeId, Topology};
+
+/// A directed link between two adjacent nodes.
+///
+/// Links are identified by their endpoints; dimension-order routes only
+/// ever produce links between topology neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId {
+    /// Sending endpoint.
+    pub from: NodeId,
+    /// Receiving endpoint.
+    pub to: NodeId,
+}
+
+/// Computes the dimension-order route from `src` to `dst`: correct the
+/// lowest dimension first, one hop at a time, taking the shortest direction
+/// around torus rings.
+///
+/// Returns the (possibly empty) sequence of directed links.
+///
+/// # Panics
+///
+/// Panics if either node is out of range.
+pub fn route(topo: &Topology, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+    let mut links = Vec::new();
+    let mut here = topo.coords(src);
+    let target = topo.coords(dst);
+    for dim in 0..topo.dims().len() {
+        let mut delta = topo.hop_delta(here[dim], target[dim], dim);
+        let d = topo.dims()[dim];
+        while delta != 0 {
+            let step = delta.signum();
+            let from = topo.node_at(&here);
+            let next = (i64::from(here[dim]) + step).rem_euclid(i64::from(d)) as u32;
+            here[dim] = next;
+            let to = topo.node_at(&here);
+            links.push(LinkId { from, to });
+            delta -= step;
+        }
+    }
+    debug_assert_eq!(topo.node_at(&here), dst);
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_length_equals_distance() {
+        let t = Topology::torus(&[4, 4, 4]);
+        for (a, b) in [(0, 63), (5, 5), (17, 42), (63, 0)] {
+            assert_eq!(route(&t, a, b).len() as u64, t.distance(a, b));
+        }
+    }
+
+    #[test]
+    fn route_is_contiguous() {
+        let t = Topology::mesh(&[8, 8]);
+        let r = route(&t, 3, 60);
+        for pair in r.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from);
+        }
+        assert_eq!(r.first().unwrap().from, 3);
+        assert_eq!(r.last().unwrap().to, 60);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Topology::torus(&[4, 4]);
+        assert!(route(&t, 9, 9).is_empty());
+    }
+
+    #[test]
+    fn dimension_order_corrects_low_dimension_first() {
+        let t = Topology::mesh(&[4, 4]);
+        let src = t.node_at(&[0, 0]);
+        let dst = t.node_at(&[1, 1]);
+        let r = route(&t, src, dst);
+        // First hop moves in dimension 0.
+        assert_eq!(r[0].to, t.node_at(&[1, 0]));
+        assert_eq!(r[1].to, t.node_at(&[1, 1]));
+    }
+
+    #[test]
+    fn torus_uses_wraparound() {
+        let t = Topology::torus(&[8]);
+        let r = route(&t, 0, 7);
+        assert_eq!(r.len(), 1, "one wraparound hop, not seven");
+        assert_eq!(r[0], LinkId { from: 0, to: 7 });
+    }
+}

@@ -1,0 +1,199 @@
+//! Traffic patterns of the paper's workloads.
+
+use crate::topology::{NodeId, Topology};
+
+/// One point-to-point flow of a communication step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// Cyclic shift: node `p` sends to `(p + k) mod N` — the SOR halo-exchange
+/// pattern for block distributions.
+pub fn cyclic_shift(topo: &Topology, k: usize, bytes: u64) -> Vec<Flow> {
+    let n = topo.len();
+    (0..n)
+        .map(|p| Flow {
+            src: p,
+            dst: (p + k) % n,
+            bytes,
+        })
+        .collect()
+}
+
+/// All-to-all personalized communication: every node sends a distinct block
+/// to every other node — the transpose/redistribution pattern.
+pub fn all_to_all(topo: &Topology, bytes_per_pair: u64) -> Vec<Flow> {
+    let n = topo.len();
+    (0..n)
+        .flat_map(|p| {
+            (0..n).filter_map(move |q| {
+                (p != q).then_some(Flow {
+                    src: p,
+                    dst: q,
+                    bytes: bytes_per_pair,
+                })
+            })
+        })
+        .collect()
+}
+
+/// The classical XOR schedule for all-to-all personalized communication on
+/// `n` nodes (`n` a power of two): `n − 1` rounds; in round `r` node `p`
+/// exchanges with `p ^ r`. Each round is a perfect pairing, which is how
+/// AAPC is scheduled with minimal congestion on T3D tori (the paper cites
+/// Hinrichs et al. for tori up to 1024 nodes).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn aapc_xor_schedule(n: usize, bytes_per_pair: u64) -> Vec<Vec<Flow>> {
+    assert!(n.is_power_of_two(), "XOR schedule needs a power-of-two node count");
+    (1..n)
+        .map(|r| {
+            (0..n)
+                .map(|p| Flow {
+                    src: p,
+                    dst: p ^ r,
+                    bytes: bytes_per_pair,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A random permutation: every node sends to a distinct partner. Irregular
+/// applications (FEM after partitioning) approximate this. Deterministic in
+/// `seed` (xorshift64* generator, Fisher–Yates shuffle).
+pub fn random_permutation(topo: &Topology, seed: u64, bytes: u64) -> Vec<Flow> {
+    let n = topo.len();
+    let mut targets: Vec<NodeId> = (0..n).collect();
+    // splitmix64 scrambles the seed so adjacent seeds diverge, then
+    // xorshift64* generates the stream — deterministic, dependency-free.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    state = (state ^ (state >> 31)) | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        targets.swap(i, j);
+    }
+    (0..n)
+        .map(|p| Flow {
+            src: p,
+            dst: targets[p],
+            bytes,
+        })
+        .collect()
+}
+
+/// Nearest-neighbour exchange: every node sends to each topology neighbour
+/// (both directions of every dimension) — the FEM/stencil boundary pattern.
+pub fn neighbor_exchange(topo: &Topology, bytes: u64) -> Vec<Flow> {
+    let mut flows = Vec::new();
+    for p in 0..topo.len() {
+        let coords = topo.coords(p);
+        for (dim, &d) in topo.dims().iter().enumerate() {
+            if d < 2 {
+                continue;
+            }
+            for step in [-1i64, 1] {
+                if !topo.is_torus() {
+                    let c = i64::from(coords[dim]) + step;
+                    if c < 0 || c >= i64::from(d) {
+                        continue;
+                    }
+                }
+                let mut c2 = coords.clone();
+                c2[dim] = (i64::from(coords[dim]) + step).rem_euclid(i64::from(d)) as u32;
+                let q = topo.node_at(&c2);
+                if q != p {
+                    flows.push(Flow {
+                        src: p,
+                        dst: q,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shift_is_a_permutation() {
+        let t = Topology::torus(&[4, 4]);
+        let flows = cyclic_shift(&t, 3, 64);
+        let dsts: HashSet<_> = flows.iter().map(|f| f.dst).collect();
+        assert_eq!(dsts.len(), t.len());
+        assert_eq!(flows[0].dst, 3);
+    }
+
+    #[test]
+    fn all_to_all_covers_all_pairs() {
+        let t = Topology::torus(&[2, 2]);
+        let flows = all_to_all(&t, 8);
+        assert_eq!(flows.len(), 4 * 3);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn xor_schedule_rounds_are_pairings() {
+        let rounds = aapc_xor_schedule(8, 64);
+        assert_eq!(rounds.len(), 7);
+        for round in &rounds {
+            let dsts: HashSet<_> = round.iter().map(|f| f.dst).collect();
+            assert_eq!(dsts.len(), 8, "each round is a permutation");
+            for f in round {
+                // Pairing: if p sends to q, q sends to p.
+                assert!(round.iter().any(|g| g.src == f.dst && g.dst == f.src));
+            }
+        }
+        // Together the rounds cover every ordered pair exactly once.
+        let all: Vec<_> = rounds.iter().flatten().collect();
+        assert_eq!(all.len(), 8 * 7);
+        let pairs: HashSet<_> = all.iter().map(|f| (f.src, f.dst)).collect();
+        assert_eq!(pairs.len(), 8 * 7);
+    }
+
+    #[test]
+    fn random_permutation_is_deterministic_bijection() {
+        let t = Topology::torus(&[4, 4, 4]);
+        let a = random_permutation(&t, 42, 8);
+        let b = random_permutation(&t, 42, 8);
+        assert_eq!(a, b);
+        let dsts: HashSet<_> = a.iter().map(|f| f.dst).collect();
+        assert_eq!(dsts.len(), t.len());
+        let c = random_permutation(&t, 43, 8);
+        assert_ne!(a, c, "different seeds give different permutations");
+    }
+
+    #[test]
+    fn neighbor_exchange_degree() {
+        // Interior nodes of a 2D torus have 4 neighbours.
+        let t = Topology::torus(&[4, 4]);
+        let flows = neighbor_exchange(&t, 8);
+        assert_eq!(flows.len(), 16 * 4);
+        // A mesh corner has 2.
+        let m = Topology::mesh(&[4, 4]);
+        let flows = neighbor_exchange(&m, 8);
+        let corner_flows = flows.iter().filter(|f| f.src == 0).count();
+        assert_eq!(corner_flows, 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! MPI derived datatypes, thirty years early.
+//!
+//! ```text
+//! cargo run --release --example mpi_datatypes
+//! ```
+//!
+//! The paper's buffer-packing vs chained question is exactly MPI's
+//! `MPI_Pack` vs derived-datatype question: should non-contiguous data be
+//! packed by the processor, or described to the communication system and
+//! moved directly? This example answers it on the simulated machines for
+//! three classic datatypes.
+
+use memcomm::commops::{run_datatype_exchange, Datatype, DatatypeMethod, ExchangeConfig};
+use memcomm::machines::Machine;
+
+fn main() {
+    let cfg = ExchangeConfig::default();
+    // Three classic layouts:
+    let cases = [
+        (
+            "matrix rows -> rows (contiguous)",
+            Datatype::contiguous(8192),
+            Datatype::contiguous(8192),
+        ),
+        (
+            "matrix rows -> columns (vector, the transpose)",
+            Datatype::contiguous(1024),
+            Datatype::vector(1024, 1, 1024),
+        ),
+        (
+            "3-word tensors every 24 words -> packed (block vector)",
+            Datatype::vector(1024, 3, 24),
+            Datatype::contiguous(3072),
+        ),
+        (
+            "jagged boundary (indexed) -> packed",
+            Datatype::indexed((0..512).map(|i| i * 9 + (i % 5)).collect(), vec![4; 512]),
+            Datatype::contiguous(2048),
+        ),
+    ];
+
+    for machine in [Machine::t3d(), Machine::paragon()] {
+        println!("== {} ==", machine.name);
+        for (name, send, recv) in &cases {
+            let pack = run_datatype_exchange(&machine, send, recv, DatatypeMethod::Pack, &cfg);
+            let direct =
+                run_datatype_exchange(&machine, send, recv, DatatypeMethod::Direct, &cfg);
+            assert!(pack.verified && direct.verified, "{name}: data corrupted");
+            let p = pack.per_node(machine.clock()).as_mbps();
+            let d = direct.per_node(machine.clock()).as_mbps();
+            println!(
+                "  {name}\n    send pattern {} -> recv pattern {}: pack {p:>5.1} MB/s, \
+                 direct {d:>5.1} MB/s ({:.2}x)",
+                send.access_pattern(),
+                recv.access_pattern(),
+                d / p
+            );
+        }
+        println!();
+    }
+    println!(
+        "Datatype-aware (chained) transfers win for every layout — the paper's\n\
+         conclusion, restated as the reason MPI implementations should avoid\n\
+         internal packing when the network interface can gather and scatter."
+    );
+}

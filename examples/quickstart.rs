@@ -1,0 +1,55 @@
+//! Quickstart: the copy-transfer model in five minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! 1. Describe a communication operation as composed basic transfers.
+//! 2. Estimate its throughput from a machine's measured basic rates.
+//! 3. Run the same operation end to end on the simulated machine.
+//! 4. Compare — the paper's whole methodology in miniature.
+
+use memcomm::commops::{run_exchange, ExchangeConfig, Style};
+use memcomm::machines::{microbench, Machine};
+use memcomm::model::{buffer_packing_expr, chained_expr, AccessPattern, BufferPackingPlan, ChainedPlan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t3d = Machine::t3d();
+    println!("machine: {} ({})", t3d.name, t3d.topology);
+
+    // Step 1: the operation. A compiler wants to move data that is
+    // contiguous at the source into a stride-64 destination: 1Q64.
+    let x = AccessPattern::Contiguous;
+    let y = AccessPattern::strided(64)?;
+    let bp = buffer_packing_expr(x, y, BufferPackingPlan::default())?;
+    let ch = chained_expr(x, y, ChainedPlan::default())?;
+    println!("\nbuffer packing: 1Q64  = {bp}");
+    println!("chained:        1Q'64 = {ch}");
+
+    // Step 2: measure the machine's basic transfers (Tables 1-4) on the
+    // simulator and estimate both implementations.
+    let rates = microbench::measure_table(&t3d, 8192);
+    println!("\nmodel estimates from {} simulated basic rates:", rates.len());
+    println!("  |1Q64|  = {}", bp.estimate(&rates)?);
+    println!("  |1Q'64| = {}", ch.estimate(&rates)?);
+
+    // Step 3: run both end to end — two simulated nodes, real data,
+    // symmetric exchange at the machine's representative congestion.
+    let cfg = ExchangeConfig {
+        words: 8192,
+        ..ExchangeConfig::default()
+    };
+    let bp_run = run_exchange(&t3d, x, y, Style::BufferPacking, &cfg);
+    let ch_run = run_exchange(&t3d, x, y, Style::Chained, &cfg);
+    assert!(bp_run.verified && ch_run.verified, "transfers moved real data");
+    println!("\nend-to-end co-simulation (verified):");
+    println!("  buffer packing: {}", bp_run.per_node(t3d.clock()));
+    println!("  chained:        {}", ch_run.per_node(t3d.clock()));
+
+    // Step 4: the paper's conclusion, reproduced.
+    println!(
+        "\nchaining wins by {:.1}x for this pattern — the paper's headline result.",
+        ch_run.per_node(t3d.clock()).as_mbps() / bp_run.per_node(t3d.clock()).as_mbps()
+    );
+    Ok(())
+}

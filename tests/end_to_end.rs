@@ -1,0 +1,166 @@
+//! Model-vs-simulation agreement: the paper's central claim is that the
+//! copy-transfer model predicts measured end-to-end throughput. Here the
+//! model is fed the *simulated* rate table and compared against the
+//! co-simulated exchanges — closing the loop entirely inside this
+//! repository.
+
+use memcomm::commops::{run_exchange, ExchangeConfig, Style};
+use memcomm::machines::{microbench, Machine};
+use memcomm::model::RateTable;
+use memcomm_bench::experiments::{bp_plan, chained_plan, parse_q};
+
+const MICRO_WORDS: u64 = 8192;
+const EXCHANGE_WORDS: u64 = 4096;
+
+fn check_agreement(machine: &Machine, rates: &RateTable, op: &str, style: Style, tolerance: f64) {
+    let (x, y) = parse_q(op);
+    let expr = match style {
+        Style::BufferPacking => {
+            memcomm::model::buffer_packing_expr(x, y, bp_plan(machine)).expect("valid op")
+        }
+        Style::Chained => memcomm::model::chained_expr(x, y, chained_plan(machine)).expect("valid op"),
+    };
+    let estimate = expr.estimate(rates).expect("rates cover the op").as_mbps();
+    let cfg = memcomm_bench::experiments::paper_exchange_cfg(machine, EXCHANGE_WORDS);
+    let run = run_exchange(machine, x, y, style, &cfg);
+    assert!(run.verified, "{op} moved wrong data");
+    let simulated = run.per_node(machine.clock()).as_mbps();
+    let ratio = simulated / estimate;
+    assert!(
+        (ratio - 1.0).abs() < tolerance,
+        "{} {op} {style:?}: model {estimate:.1} vs simulated {simulated:.1} (ratio {ratio:.2})",
+        machine.name
+    );
+}
+
+#[test]
+fn t3d_buffer_packing_matches_its_model() {
+    let m = Machine::t3d();
+    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    // Buffer packing is the model's home turf: the reciprocal-sum rule is
+    // exact for a time-shared processor.
+    for op in ["1Q1", "1Q64", "64Q1", "wQw", "1Q16"] {
+        check_agreement(&m, &rates, op, Style::BufferPacking, 0.20);
+    }
+}
+
+#[test]
+fn paragon_buffer_packing_matches_its_model() {
+    let m = Machine::paragon();
+    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    for op in ["1Q1", "1Q64", "wQw"] {
+        check_agreement(&m, &rates, op, Style::BufferPacking, 0.25);
+    }
+}
+
+#[test]
+fn chained_contiguous_matches_its_model() {
+    // For contiguous chained transfers no memory contention couples sender
+    // and receiver, so the min rule holds well.
+    let m = Machine::t3d();
+    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    check_agreement(&m, &rates, "1Q1", Style::Chained, 0.20);
+}
+
+#[test]
+fn chained_noncontiguous_runs_below_the_min_rule_as_the_paper_measured() {
+    // The paper's own Figure 7 shows measured chained strided transfers
+    // below the model's min-rule estimate (Table 5: model 38 vs measured
+    // 27.4) because send and receive share each node's memory system. Our
+    // simulation reproduces that one-sided gap.
+    let m = Machine::t3d();
+    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    let (x, y) = parse_q("64Q1");
+    let est = memcomm::model::chained_expr(x, y, chained_plan(&m))
+        .unwrap()
+        .estimate(&rates)
+        .unwrap()
+        .as_mbps();
+    let cfg = ExchangeConfig {
+        words: EXCHANGE_WORDS,
+        ..ExchangeConfig::default()
+    };
+    let sim = run_exchange(&m, x, y, Style::Chained, &cfg)
+        .per_node(m.clock())
+        .as_mbps();
+    assert!(sim < est, "memory contention must cost something: {sim} < {est}");
+    assert!(sim > 0.5 * est, "but not more than the paper saw: {sim} vs {est}");
+}
+
+#[test]
+fn section_341_reproduces_the_worked_example_shape() {
+    let t3d = Machine::t3d();
+    let rates = microbench::measure_table(&t3d, MICRO_WORDS);
+    let s = memcomm_bench::experiments::section341(&rates);
+    // The paper: estimate 25.0, measured 20.0 — the estimate is higher, and
+    // both land in the same band. Our absolute values run ~25% above the
+    // 1995 hardware; the *relationship* must match.
+    assert!(s.model_estimate > s.simulated * 0.9);
+    assert!(s.simulated > 15.0 && s.simulated < 45.0, "simulated {}", s.simulated);
+    assert!(
+        (s.model_estimate / s.paper_estimate - 1.0).abs() < 0.45,
+        "estimate {} vs paper {}",
+        s.model_estimate,
+        s.paper_estimate
+    );
+}
+
+/// Section 3.4.1's resource constraint `(2 × |xQy|) < |0Cx|`: a symmetric
+/// exchange, where every node sends and receives, must fit twice over in
+/// the raw memory stream bandwidths. The simulated exchanges satisfy the
+/// constraint (so the model's caps never bind on these machines, exactly
+/// as in the paper, where the constraint is a sanity check rather than the
+/// binding limit), and applying the caps never raises an estimate.
+#[test]
+fn symmetric_resource_constraints_hold() {
+    use memcomm::model::{buffer_packing_expr, symmetric_exchange_caps, BasicTransfer};
+    for m in [Machine::t3d(), Machine::paragon()] {
+        let rates = microbench::measure_table(&m, MICRO_WORDS);
+        for op in ["1Q1", "1Q64", "wQw"] {
+            let (x, y) = parse_q(op);
+            let expr = buffer_packing_expr(x, y, bp_plan(&m)).unwrap();
+            let plain = expr.clone().estimate(&rates).unwrap();
+            let capped = expr
+                .capped(symmetric_exchange_caps(x, y))
+                .estimate(&rates)
+                .unwrap();
+            assert!(capped <= plain, "{op}: caps can only lower estimates");
+            // The constraint itself, checked against raw stream rates.
+            let store = rates.rate(BasicTransfer::store_stream(y)).unwrap();
+            let load = rates.rate(BasicTransfer::load_stream(x)).unwrap();
+            let cfg = memcomm_bench::experiments::paper_exchange_cfg(&m, EXCHANGE_WORDS);
+            let sim = run_exchange(&m, x, y, Style::BufferPacking, &cfg)
+                .per_node(m.clock())
+                .as_mbps();
+            assert!(
+                2.0 * sim <= store.as_mbps() && 2.0 * sim <= load.as_mbps(),
+                "{} {op}: 2x{sim:.1} violates streams ({store}, {load})",
+                m.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_pattern_combination_delivers_correct_data() {
+    use memcomm::model::AccessPattern as P;
+    let patterns = [P::Contiguous, P::Strided(7), P::Strided(64), P::Indexed];
+    for m in [Machine::t3d(), Machine::paragon()] {
+        for &x in &patterns {
+            for &y in &patterns {
+                for style in [Style::BufferPacking, Style::Chained] {
+                    let cfg = ExchangeConfig {
+                        words: 512,
+                        ..ExchangeConfig::default()
+                    };
+                    let r = run_exchange(&m, x, y, style, &cfg);
+                    assert!(
+                        r.verified,
+                        "{} {x}Q{y} {style:?} corrupted the exchanged data",
+                        m.name
+                    );
+                }
+            }
+        }
+    }
+}

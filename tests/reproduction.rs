@@ -1,0 +1,152 @@
+//! The paper's headline results, asserted as integration tests across the
+//! whole stack (DESIGN.md Section 5's success criteria).
+
+use memcomm::commops::{run_exchange, ExchangeConfig, Style};
+use memcomm::machines::calibrate::{calibration_report, mean_log_error};
+use memcomm::machines::{microbench, Machine};
+use memcomm::model::{AccessPattern, BasicTransfer};
+use memcomm::netsim::link::measure_wire_rate;
+
+const WORDS: u64 = 4096;
+
+fn rate(machine: &Machine, op: &str) -> f64 {
+    let t = BasicTransfer::parse(op).expect("notation");
+    microbench::measure_rate(machine, t, WORDS)
+        .unwrap_or_else(|| panic!("{} lacks {op}", machine.name))
+        .as_mbps()
+}
+
+#[test]
+fn local_copies_order_contiguous_strided_indexed() {
+    for m in [Machine::t3d(), Machine::paragon()] {
+        let c = rate(&m, "1C1");
+        let s = rate(&m, "1C64").max(rate(&m, "64C1"));
+        let w = rate(&m, "wC1").min(rate(&m, "1Cw"));
+        assert!(c > s, "{}: contiguous {c} > strided {s}", m.name);
+        assert!(s > w * 0.85, "{}: strided {s} vs indexed {w}", m.name);
+    }
+}
+
+#[test]
+fn stride_preference_flips_between_machines() {
+    // T3D: strided stores beat strided loads (write-back queue).
+    let t3d = Machine::t3d();
+    assert!(rate(&t3d, "1C64") > rate(&t3d, "64C1"));
+    // Paragon: strided loads beat strided stores (pipelined loads).
+    let paragon = Machine::paragon();
+    assert!(rate(&paragon, "64C1") > rate(&paragon, "1C64"));
+}
+
+#[test]
+fn figure4_crossover_shows_in_the_stride_sweep() {
+    let strides = [2u32, 8, 32, 128];
+    let t3d_loads = microbench::stride_sweep(&Machine::t3d(), &strides, WORDS, microbench::StrideSide::Loads);
+    let t3d_stores =
+        microbench::stride_sweep(&Machine::t3d(), &strides, WORDS, microbench::StrideSide::Stores);
+    for ((_, l), (_, s)) in t3d_loads.iter().zip(&t3d_stores).skip(1) {
+        assert!(s > l, "T3D strided stores win at every large stride");
+    }
+}
+
+#[test]
+fn address_data_pairs_cost_roughly_half_the_bandwidth() {
+    for m in [Machine::t3d(), Machine::paragon()] {
+        let nd = measure_wire_rate(m.link(1.0), WORDS, false).throughput(m.clock());
+        let nadp = measure_wire_rate(m.link(1.0), WORDS, true).throughput(m.clock());
+        let ratio = nd.as_mbps() / nadp.as_mbps();
+        assert!(
+            (1.8..2.6).contains(&ratio),
+            "{}: Nd/Nadp ratio {ratio}",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn congestion_divides_network_bandwidth() {
+    let m = Machine::t3d();
+    let c1 = measure_wire_rate(m.link(1.0), WORDS, false).cycles as f64;
+    let c2 = measure_wire_rate(m.link(2.0), WORDS, false).cycles as f64;
+    let c4 = measure_wire_rate(m.link(4.0), WORDS, false).cycles as f64;
+    assert!((c2 / c1 - 2.0).abs() < 0.05);
+    assert!((c4 / c1 - 4.0).abs() < 0.05);
+}
+
+#[test]
+fn chained_beats_buffer_packing_by_the_papers_factors() {
+    // "these tests confirm that chained communication results in 40-60%
+    // higher performance for access patterns other than contiguous" — allow
+    // a generous band around that.
+    let t3d = Machine::t3d();
+    let cfg = ExchangeConfig {
+        words: WORDS,
+        ..ExchangeConfig::default()
+    };
+    for op in [("1Q64", 1.1, 2.4), ("64Q1", 1.1, 2.4), ("wQw", 1.2, 2.4)] {
+        let (name, lo, hi) = op;
+        let (x, y) = memcomm_bench::experiments::parse_q(name);
+        let bp = run_exchange(&t3d, x, y, Style::BufferPacking, &cfg);
+        let ch = run_exchange(&t3d, x, y, Style::Chained, &cfg);
+        assert!(bp.verified && ch.verified);
+        let factor = ch.per_node(t3d.clock()).as_mbps() / bp.per_node(t3d.clock()).as_mbps();
+        assert!(
+            (lo..hi).contains(&factor),
+            "{name}: chained/bp factor {factor:.2} outside [{lo}, {hi})"
+        );
+    }
+}
+
+#[test]
+fn contiguous_chaining_wins_big_by_skipping_copies() {
+    let t3d = Machine::t3d();
+    let cfg = ExchangeConfig {
+        words: WORDS,
+        ..ExchangeConfig::default()
+    };
+    let bp = run_exchange(
+        &t3d,
+        AccessPattern::Contiguous,
+        AccessPattern::Contiguous,
+        Style::BufferPacking,
+        &cfg,
+    );
+    let ch = run_exchange(
+        &t3d,
+        AccessPattern::Contiguous,
+        AccessPattern::Contiguous,
+        Style::Chained,
+        &cfg,
+    );
+    let factor = ch.per_node(t3d.clock()).as_mbps() / bp.per_node(t3d.clock()).as_mbps();
+    // The paper predicts 70 vs 27.9 — about 2.5x.
+    assert!((1.8..3.2).contains(&factor), "factor {factor:.2}");
+}
+
+#[test]
+fn calibration_stays_tight() {
+    for m in [Machine::t3d(), Machine::paragon()] {
+        let rows = calibration_report(&m, WORDS);
+        let err = mean_log_error(&rows);
+        assert!(
+            err < 0.30,
+            "{}: mean log error {err:.3} (typical deviation {:.0}%)",
+            m.name,
+            (err.exp() - 1.0) * 100.0
+        );
+    }
+}
+
+#[test]
+fn paragon_dma_outruns_its_processor_send() {
+    let paragon = Machine::paragon();
+    assert!(rate(&paragon, "1F0") > 2.0 * rate(&paragon, "1S0"));
+}
+
+#[test]
+fn t3d_deposit_engine_serves_any_pattern_paragon_does_not() {
+    let t3d = Machine::t3d();
+    let dw = BasicTransfer::parse("0Dw").expect("notation");
+    assert!(microbench::measure_basic(&t3d, dw, 512).is_some());
+    let paragon = Machine::paragon();
+    assert!(microbench::measure_basic(&paragon, dw, 512).is_none());
+}

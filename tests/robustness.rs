@@ -1,0 +1,93 @@
+//! Robustness: fuzzed inputs never panic, simulations are deterministic.
+
+use memcomm::commops::{run_exchange, ExchangeConfig, Style};
+use memcomm::machines::{microbench, Machine};
+use memcomm::model::BasicTransfer;
+use proptest::prelude::*;
+
+proptest! {
+    /// The notation parser returns `Err` (never panics) on arbitrary input.
+    #[test]
+    fn notation_parser_never_panics(s in "\\PC{0,12}") {
+        let _ = BasicTransfer::parse(&s);
+    }
+
+    /// Near-miss notation strings (pattern-ish + letter + pattern-ish)
+    /// also never panic and round-trip when they do parse.
+    #[test]
+    fn notation_near_misses(
+        a in "(0|1|w|[0-9]{1,4})",
+        e in "[A-Z]",
+        b in "(0|1|w|[0-9]{1,4})",
+    ) {
+        let s = format!("{a}{e}{b}");
+        if let Ok(t) = BasicTransfer::parse(&s) {
+            prop_assert_eq!(BasicTransfer::parse(&t.to_string()).unwrap(), t);
+        }
+    }
+}
+
+/// Identical configurations produce identical cycle counts: the simulators
+/// contain no hidden nondeterminism (no wall-clock, no unseeded
+/// randomness, no hash-order dependence).
+#[test]
+fn exchanges_are_deterministic() {
+    let m = Machine::t3d();
+    let cfg = ExchangeConfig {
+        words: 1024,
+        ..ExchangeConfig::default()
+    };
+    let run = || {
+        run_exchange(
+            &m,
+            memcomm::model::AccessPattern::Indexed,
+            memcomm::model::AccessPattern::Strided(16),
+            Style::Chained,
+            &cfg,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.end_cycle, b.end_cycle);
+    assert_eq!(a.verified, b.verified);
+}
+
+/// Microbenchmark tables are reproducible down to the entry.
+#[test]
+fn rate_tables_are_deterministic() {
+    let m = Machine::paragon();
+    let a = microbench::measure_table(&m, 1024);
+    let b = microbench::measure_table(&m, 1024);
+    assert_eq!(a.len(), b.len());
+    for (ta, tb) in a.iter().zip(b.iter()) {
+        assert_eq!(ta.0, tb.0);
+        assert_eq!(ta.1, tb.1, "{} differs between runs", ta.0);
+    }
+}
+
+/// Different seeds change indexed-exchange timing (the index array actually
+/// matters) but never correctness.
+#[test]
+fn seeds_change_timing_not_correctness() {
+    let m = Machine::t3d();
+    let run = |seed| {
+        let cfg = ExchangeConfig {
+            words: 1024,
+            seed,
+            ..ExchangeConfig::default()
+        };
+        run_exchange(
+            &m,
+            memcomm::model::AccessPattern::Indexed,
+            memcomm::model::AccessPattern::Indexed,
+            Style::Chained,
+            &cfg,
+        )
+    };
+    let a = run(1);
+    let b = run(2);
+    assert!(a.verified && b.verified);
+    assert_ne!(a.end_cycle, b.end_cycle, "different permutations, different timing");
+    let rel = (a.end_cycle as f64 - b.end_cycle as f64).abs() / a.end_cycle as f64;
+    assert!(rel < 0.10, "but only slightly: {rel:.3}");
+}
