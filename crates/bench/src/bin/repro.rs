@@ -4,197 +4,131 @@
 //! repro [--all] [--figure1] [--table1] [--table2] [--table3] [--table4]
 //!       [--figure4] [--figure7] [--figure8] [--table5] [--section341]
 //!       [--table6] [--calibration] [--putget] [--scaling] [--accuracy]
-//!       [--words N] [--exchange-words N] [--json PATH]
+//!       [--words N] [--exchange-words N] [--jobs N] [--serial]
+//!       [--json PATH] [--metrics PATH]
 //! ```
 //!
-//! With no selection flags everything runs. `--json` additionally writes
-//! the machine-readable results (the source of EXPERIMENTS.md).
+//! With no selection flags everything runs. Experiments fan out across
+//! `--jobs` worker threads (default: all cores; `--serial` forces one) and
+//! share the process-wide measurement cache, so repeated points simulate
+//! once. `--json` writes the machine-readable results — byte-identical
+//! whatever the worker count. `--metrics` writes the run's observability
+//! data (wall times, cache hit rate, simulated cycles); a one-line summary
+//! always prints to stderr.
 
-use std::collections::BTreeSet;
-
-use memcomm_bench::experiments::{self, EXCHANGE_WORDS, MICRO_WORDS};
 use memcomm_bench::report::TextTable;
-use memcomm_machines::{calibrate, microbench, Machine};
-use serde::Serialize;
+use memcomm_bench::runner::{self, SweepOptions};
 
-#[derive(Serialize)]
-struct FullReport {
-    micro_words: u64,
-    exchange_words: u64,
-    calibration: Vec<CalRow>,
-    figure1: Vec<MachineSeries<experiments::Figure1Point>>,
-    table1: Vec<MachineSeries<experiments::RateRow>>,
-    table2: Vec<MachineSeries<experiments::RateRow>>,
-    table3: Vec<MachineSeries<experiments::RateRow>>,
-    figure4: Vec<MachineSeries<experiments::StridePoint>>,
-    table4: Vec<MachineSeries<experiments::NetworkRow>>,
-    section5: Vec<MachineSeries<experiments::QRow>>,
-    table5: Vec<experiments::LoadsVsStoresRow>,
-    section341: Option<experiments::Section341>,
-    table6: Vec<experiments::KernelRow>,
-    put_vs_get: Vec<MachineSeries<experiments::PutGetRow>>,
-    scaling: Vec<MachineSeries<experiments::ScalingPoint>>,
-    model_accuracy: Vec<MachineSeries<experiments::AccuracyRow>>,
-}
-
-#[derive(Serialize)]
-struct MachineSeries<T> {
-    machine: String,
-    rows: Vec<T>,
-}
-
-#[derive(Serialize)]
-struct CalRow {
-    machine: String,
-    transfer: String,
-    simulated: f64,
-    paper: f64,
-    ratio: f64,
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}; see the module docs for usage");
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut selected: BTreeSet<&'static str> = BTreeSet::new();
-    let mut micro_words = MICRO_WORDS;
-    let mut exchange_words = EXCHANGE_WORDS;
+    let mut opts = SweepOptions::default();
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
+    let number = |it: &mut std::slice::Iter<String>, flag: &str| -> u64 {
+        match it.next().map(|v| v.parse()) {
+            Some(Ok(n)) => n,
+            _ => usage_error(&format!("{flag} takes a number")),
+        }
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" => {}
-            "--figure1" => drop(selected.insert("figure1")),
-            "--table1" => drop(selected.insert("table1")),
-            "--table2" => drop(selected.insert("table2")),
-            "--table3" => drop(selected.insert("table3")),
-            "--table4" => drop(selected.insert("table4")),
-            "--figure4" => drop(selected.insert("figure4")),
-            "--figure7" => drop(selected.insert("figure7")),
-            "--figure8" => drop(selected.insert("figure8")),
-            "--table5" => drop(selected.insert("table5")),
-            "--section341" => drop(selected.insert("section341")),
-            "--table6" => drop(selected.insert("table6")),
-            "--calibration" => drop(selected.insert("calibration")),
-            "--putget" => drop(selected.insert("putget")),
-            "--scaling" => drop(selected.insert("scaling")),
-            "--accuracy" => drop(selected.insert("accuracy")),
-            "--words" => {
-                micro_words = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--words takes a number");
+            "--figure1" | "--table1" | "--table2" | "--table3" | "--table4" | "--figure4"
+            | "--figure7" | "--figure8" | "--table5" | "--section341" | "--table6"
+            | "--calibration" | "--putget" | "--scaling" | "--accuracy" => {
+                opts.sections
+                    .insert(arg.trim_start_matches("--").to_string());
             }
-            "--exchange-words" => {
-                exchange_words = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--exchange-words takes a number");
-            }
-            "--json" => json_path = Some(it.next().expect("--json takes a path").clone()),
-            other => {
-                eprintln!("unknown flag {other}; see the module docs for usage");
-                std::process::exit(2);
-            }
+            "--words" => opts.micro_words = number(&mut it, "--words"),
+            "--exchange-words" => opts.exchange_words = number(&mut it, "--exchange-words"),
+            "--jobs" => opts.jobs = number(&mut it, "--jobs") as usize,
+            "--serial" => opts.jobs = 1,
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => usage_error("--json takes a path"),
+            },
+            "--metrics" => match it.next() {
+                Some(path) => metrics_path = Some(path.clone()),
+                None => usage_error("--metrics takes a path"),
+            },
+            other => usage_error(&format!("unknown flag {other}")),
         }
     }
-    let all = selected.is_empty();
-    let want = |k: &str| all || selected.contains(k);
 
-    let machines = [Machine::t3d(), Machine::paragon()];
     println!("memcomm reproduction of Stricker & Gross, ISCA 1995");
     println!(
-        "(microbenchmarks: {micro_words} words; exchanges: {exchange_words} words; all rates MB/s)\n"
+        "(microbenchmarks: {} words; exchanges: {} words; {} worker(s); all rates MB/s)\n",
+        opts.micro_words,
+        opts.exchange_words,
+        opts.jobs.max(1)
     );
 
-    let mut report = FullReport {
-        micro_words,
-        exchange_words,
-        calibration: Vec::new(),
-        figure1: Vec::new(),
-        table1: Vec::new(),
-        table2: Vec::new(),
-        table3: Vec::new(),
-        figure4: Vec::new(),
-        table4: Vec::new(),
-        section5: Vec::new(),
-        table5: Vec::new(),
-        section341: None,
-        table6: Vec::new(),
-        put_vs_get: Vec::new(),
-        scaling: Vec::new(),
-        model_accuracy: Vec::new(),
-    };
+    let (report, metrics) = runner::run_sweep(&opts);
 
-    if want("calibration") {
-        for m in &machines {
-            let rows = calibrate::calibration_report(m, micro_words);
+    if !report.calibration.is_empty() {
+        for machine in ["Cray T3D", "Intel Paragon"] {
+            let rows: Vec<_> = report
+                .calibration
+                .iter()
+                .filter(|r| r.machine == machine)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
             let mut t = TextTable::new(
-                &format!("Calibration — {} (simulated vs paper basic rates)", m.name),
+                &format!("Calibration — {machine} (simulated vs paper basic rates)"),
                 &["transfer", "simulated", "paper", "ratio"],
             );
+            let mut log_err = 0.0;
             for r in &rows {
                 t.row(vec![
-                    r.transfer.to_string(),
-                    TextTable::mbps(r.simulated.as_mbps()),
-                    TextTable::mbps(r.paper.as_mbps()),
-                    format!("{:.2}", r.ratio()),
+                    r.transfer.clone(),
+                    TextTable::mbps(r.simulated),
+                    TextTable::mbps(r.paper),
+                    format!("{:.2}", r.ratio),
                 ]);
-                report.calibration.push(CalRow {
-                    machine: m.name.to_string(),
-                    transfer: r.transfer.to_string(),
-                    simulated: r.simulated.as_mbps(),
-                    paper: r.paper.as_mbps(),
-                    ratio: r.ratio(),
-                });
+                log_err += r.ratio.ln().abs();
             }
             println!("{t}");
-            println!(
-                "mean log error {:.3}\n",
-                calibrate::mean_log_error(&rows)
-            );
+            println!("mean log error {:.3}\n", log_err / rows.len() as f64);
         }
     }
 
-    if want("figure1") {
-        for m in &machines {
-            let rows = experiments::figure1(m);
-            let mut t = TextTable::new(
-                &format!("Figure 1 — library throughput vs message size, {}", m.name),
-                &["words", "PVM", "low-level"],
-            );
-            for p in &rows {
-                t.row(vec![
-                    p.message_words.to_string(),
-                    TextTable::mbps(p.pvm),
-                    TextTable::mbps(p.low_level),
-                ]);
-            }
-            println!("{t}");
-            report.figure1.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            });
+    for s in &report.figure1 {
+        let mut t = TextTable::new(
+            &format!(
+                "Figure 1 — library throughput vs message size, {}",
+                s.machine
+            ),
+            &["words", "PVM", "low-level"],
+        );
+        for p in &s.rows {
+            t.row(vec![
+                p.message_words.to_string(),
+                TextTable::mbps(p.pvm),
+                TextTable::mbps(p.low_level),
+            ]);
         }
+        println!("{t}");
     }
 
-    for (key, title, f) in [
-        (
-            "table1",
-            "Table 1 — local memory-to-memory copies",
-            experiments::table1 as fn(&Machine, u64) -> Vec<experiments::RateRow>,
-        ),
-        ("table2", "Table 2 — send transfers", experiments::table2),
-        ("table3", "Table 3 — receive transfers", experiments::table3),
+    for (title, series) in [
+        ("Table 1 — local memory-to-memory copies", &report.table1),
+        ("Table 2 — send transfers", &report.table2),
+        ("Table 3 — receive transfers", &report.table3),
     ] {
-        if !want(key) {
-            continue;
-        }
-        for m in &machines {
-            let rows = f(m, micro_words);
+        for s in series {
             let mut t = TextTable::new(
-                &format!("{title}, {}", m.name),
+                &format!("{title}, {}", s.machine),
                 &["transfer", "simulated", "paper"],
             );
-            for r in &rows {
+            for r in &s.rows {
                 t.row(vec![
                     r.transfer.clone(),
                     TextTable::mbps(r.simulated),
@@ -202,118 +136,76 @@ fn main() {
                 ]);
             }
             println!("{t}");
-            let series = MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            };
-            match key {
-                "table1" => report.table1.push(series),
-                "table2" => report.table2.push(series),
-                _ => report.table3.push(series),
-            }
         }
     }
 
-    if want("figure4") {
-        for m in &machines {
-            let rows = experiments::figure4(m, micro_words);
-            let mut t = TextTable::new(
-                &format!("Figure 4 — strided local copies, {}", m.name),
-                &["stride", "sC1 (loads)", "1Cs (stores)"],
-            );
-            for p in &rows {
-                t.row(vec![
-                    p.stride.to_string(),
-                    TextTable::mbps(p.loads),
-                    TextTable::mbps(p.stores),
-                ]);
-            }
-            println!("{t}");
-            report.figure4.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            });
-        }
-    }
-
-    if want("table4") {
-        for m in &machines {
-            let rows = experiments::table4(m, micro_words);
-            let mut t = TextTable::new(
-                &format!("Table 4 — network bandwidth vs congestion, {}", m.name),
-                &["congestion", "Nd", "Nd paper", "Nadp", "Nadp paper"],
-            );
-            for r in &rows {
-                t.row(vec![
-                    format!("{:.0}", r.congestion),
-                    TextTable::mbps(r.data_only),
-                    TextTable::mbps(r.paper_data_only),
-                    TextTable::mbps(r.addr_data),
-                    TextTable::mbps(r.paper_addr_data),
-                ]);
-            }
-            println!("{t}");
-            report.table4.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            });
-        }
-    }
-
-    if want("figure7") || want("figure8") {
-        for m in &machines {
-            let is_t3d = m.name == "Cray T3D";
-            if (is_t3d && !want("figure7")) || (!is_t3d && !want("figure8")) {
-                continue;
-            }
-            let rates = microbench::measure_table(m, micro_words);
-            let rows = experiments::section5(m, &rates, exchange_words);
-            let figure = if is_t3d { "Figure 7" } else { "Figure 8" };
-            let mut t = TextTable::new(
-                &format!("{figure} / Section 5 — buffer packing vs chained, {}", m.name),
-                &[
-                    "op",
-                    "sim bp",
-                    "model bp",
-                    "paper bp",
-                    "sim ch",
-                    "model ch",
-                    "paper ch",
-                ],
-            );
-            for r in &rows {
-                t.row(vec![
-                    r.op.clone(),
-                    TextTable::mbps(r.sim_bp),
-                    TextTable::mbps(r.model_bp),
-                    TextTable::opt_mbps(r.paper_model_bp),
-                    TextTable::mbps(r.sim_chained),
-                    TextTable::mbps(r.model_chained),
-                    TextTable::opt_mbps(r.paper_model_chained),
-                ]);
-            }
-            println!("{t}");
-            report.section5.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            });
-        }
-    }
-
-    if want("table5") {
-        let rows = experiments::table5(exchange_words);
+    for s in &report.figure4 {
         let mut t = TextTable::new(
-            "Table 5 — strided loads vs strided stores",
+            &format!("Figure 4 — strided local copies, {}", s.machine),
+            &["stride", "sC1 (loads)", "1Cs (stores)"],
+        );
+        for p in &s.rows {
+            t.row(vec![
+                p.stride.to_string(),
+                TextTable::mbps(p.loads),
+                TextTable::mbps(p.stores),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    for s in &report.table4 {
+        let mut t = TextTable::new(
+            &format!("Table 4 — network bandwidth vs congestion, {}", s.machine),
+            &["congestion", "Nd", "Nd paper", "Nadp", "Nadp paper"],
+        );
+        for r in &s.rows {
+            t.row(vec![
+                format!("{:.0}", r.congestion),
+                TextTable::mbps(r.data_only),
+                TextTable::mbps(r.paper_data_only),
+                TextTable::mbps(r.addr_data),
+                TextTable::mbps(r.paper_addr_data),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    for s in &report.section5 {
+        let figure = if s.machine == "Cray T3D" {
+            "Figure 7"
+        } else {
+            "Figure 8"
+        };
+        let mut t = TextTable::new(
+            &format!(
+                "{figure} / Section 5 — buffer packing vs chained, {}",
+                s.machine
+            ),
             &[
-                "op",
-                "machine",
-                "sim bp",
-                "paper bp",
-                "sim ch",
-                "paper ch",
+                "op", "sim bp", "model bp", "paper bp", "sim ch", "model ch", "paper ch",
             ],
         );
-        for r in &rows {
+        for r in &s.rows {
+            t.row(vec![
+                r.op.clone(),
+                TextTable::mbps(r.sim_bp),
+                TextTable::mbps(r.model_bp),
+                TextTable::opt_mbps(r.paper_model_bp),
+                TextTable::mbps(r.sim_chained),
+                TextTable::mbps(r.model_chained),
+                TextTable::opt_mbps(r.paper_model_chained),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    if !report.table5.is_empty() {
+        let mut t = TextTable::new(
+            "Table 5 — strided loads vs strided stores",
+            &["op", "machine", "sim bp", "paper bp", "sim ch", "paper ch"],
+        );
+        for r in &report.table5 {
             t.row(vec![
                 r.op.clone(),
                 r.machine.clone(),
@@ -324,25 +216,17 @@ fn main() {
             ]);
         }
         println!("{t}");
-        report.table5 = rows;
     }
 
-    if want("section341") {
-        let t3d = Machine::t3d();
-        let rates = microbench::measure_table(&t3d, micro_words);
-        let s = experiments::section341(&rates);
+    if let Some(s) = &report.section341 {
         println!("### Section 3.4.1 — |1Q1024| on the T3D");
         println!(
             "model estimate {:.1} (paper {:.1}); simulated {:.1} (paper measured {:.1})\n",
             s.model_estimate, s.paper_estimate, s.simulated, s.paper_measured
         );
-        report.section341 = Some(s);
     }
 
-    if want("table6") {
-        let t3d = Machine::t3d();
-        let rates = microbench::measure_table(&t3d, micro_words);
-        let rows = experiments::table6(&rates);
+    if !report.table6.is_empty() {
         let mut t = TextTable::new(
             "Table 6 — application kernels on the 64-node T3D (MB/s per node)",
             &[
@@ -357,7 +241,7 @@ fn main() {
                 "paper PVM3",
             ],
         );
-        for r in &rows {
+        for r in &report.table6 {
             t.row(vec![
                 r.kernel.clone(),
                 TextTable::mbps(r.sim_bp),
@@ -371,42 +255,38 @@ fn main() {
             ]);
         }
         println!("{t}");
-        report.table6 = rows;
     }
 
-    if want("putget") {
-        for m in &machines {
-            let rows = experiments::put_vs_get(m, exchange_words);
-            let mut t = TextTable::new(
-                &format!(
-                    "Extension — deposits (put) vs withdrawals (get), {}",
-                    m.name
-                ),
-                &["op", "put (chained)", "get"],
-            );
-            for r in &rows {
-                t.row(vec![
-                    r.op.clone(),
-                    TextTable::mbps(r.put),
-                    TextTable::mbps(r.get),
-                ]);
-            }
-            println!("{t}");
-            report.put_vs_get.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            });
+    for s in &report.put_vs_get {
+        let mut t = TextTable::new(
+            &format!(
+                "Extension — deposits (put) vs withdrawals (get), {}",
+                s.machine
+            ),
+            &["op", "put (chained)", "get"],
+        );
+        for r in &s.rows {
+            t.row(vec![
+                r.op.clone(),
+                TextTable::mbps(r.put),
+                TextTable::mbps(r.get),
+            ]);
         }
+        println!("{t}");
     }
 
-    if want("scaling") {
-        let t3d = Machine::t3d();
-        let rows = experiments::scaling(&t3d);
+    for s in &report.scaling {
         let mut t = TextTable::new(
             "Extension — transpose throughput vs problem size (T3D, 64 nodes)",
-            &["matrix n", "patch words", "PVM", "buffer packing", "chained"],
+            &[
+                "matrix n",
+                "patch words",
+                "PVM",
+                "buffer packing",
+                "chained",
+            ],
         );
-        for r in &rows {
+        for r in &s.rows {
             t.row(vec![
                 r.n.to_string(),
                 r.patch_words.to_string(),
@@ -416,44 +296,43 @@ fn main() {
             ]);
         }
         println!("{t}");
-        report.scaling.push(MachineSeries {
-            machine: t3d.name.to_string(),
-            rows,
-        });
     }
 
-    if want("accuracy") {
-        for m in &machines {
-            let rates = microbench::measure_table(m, micro_words);
-            let rows = experiments::model_accuracy(m, &rates, exchange_words);
-            let mut t = TextTable::new(
-                &format!("Extension — model accuracy grid, {}", m.name),
-                &["op", "style", "model", "simulated", "ratio"],
-            );
-            for r in &rows {
-                t.row(vec![
-                    r.op.clone(),
-                    r.style.clone(),
-                    TextTable::mbps(r.model),
-                    TextTable::mbps(r.simulated),
-                    format!("{:.2}", r.ratio),
-                ]);
-            }
-            println!("{t}");
-            println!(
-                "mean |log ratio| {:.3}\n",
-                experiments::accuracy_mean_log_error(&rows)
-            );
-            report.model_accuracy.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            });
+    for s in &report.model_accuracy {
+        let mut t = TextTable::new(
+            &format!("Extension — model accuracy grid, {}", s.machine),
+            &["op", "style", "model", "simulated", "ratio"],
+        );
+        let mut log_err = 0.0;
+        for r in &s.rows {
+            t.row(vec![
+                r.op.clone(),
+                r.style.clone(),
+                TextTable::mbps(r.model),
+                TextTable::mbps(r.simulated),
+                format!("{:.2}", r.ratio),
+            ]);
+            log_err += r.ratio.ln().abs();
+        }
+        println!("{t}");
+        if !s.rows.is_empty() {
+            println!("mean |log ratio| {:.3}\n", log_err / s.rows.len() as f64);
         }
     }
 
+    eprintln!("sweep: {}", metrics.summary());
+
+    let write = |path: &str, body: String, what: &str| {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {what} to {path}");
+    };
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        std::fs::write(&path, json).expect("write json report");
-        println!("wrote machine-readable report to {path}");
+        write(&path, report.to_json().render(), "machine-readable report");
+    }
+    if let Some(path) = metrics_path {
+        write(&path, metrics.to_json().render(), "run metrics");
     }
 }

@@ -1,6 +1,12 @@
 //! The experiment functions, one per table/figure.
+//!
+//! Every function that sweeps independent points (message sizes, transfer
+//! notations, `xQy` operations) fans them out across the process-default
+//! worker count via [`memcomm_util::par::par_map_auto`]. Results come back
+//! in input order and basic-transfer measurements are memoized
+//! process-wide, so output is bit-identical whatever the worker count.
 
-use serde::Serialize;
+use memcomm_util::par::par_map_auto;
 
 use memcomm_commops::{
     measure_message, run_exchange, run_get_exchange, ExchangeConfig, LibraryProfile, Style,
@@ -74,7 +80,7 @@ pub fn paper_exchange_cfg(machine: &Machine, words: u64) -> ExchangeConfig {
 // ---------------------------------------------------------------- Figure 1
 
 /// One message size of Figure 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure1Point {
     /// Message size in 64-bit words.
     pub message_words: u64,
@@ -86,21 +92,18 @@ pub struct Figure1Point {
 
 /// Figure 1: library throughput vs message size on one machine.
 pub fn figure1(machine: &Machine) -> Vec<Figure1Point> {
-    [16u64, 64, 256, 1024, 4096, 16384, 65536]
-        .into_iter()
-        .map(|words| Figure1Point {
-            message_words: words,
-            pvm: measure_message(machine, LibraryProfile::pvm(machine), words).as_mbps(),
-            low_level: measure_message(machine, LibraryProfile::low_level(machine), words)
-                .as_mbps(),
-        })
-        .collect()
+    let sizes = [16u64, 64, 256, 1024, 4096, 16384, 65536];
+    par_map_auto(&sizes, |&words| Figure1Point {
+        message_words: words,
+        pvm: measure_message(machine, LibraryProfile::pvm(machine), words).as_mbps(),
+        low_level: measure_message(machine, LibraryProfile::low_level(machine), words).as_mbps(),
+    })
 }
 
 // ------------------------------------------------------------- Tables 1–3
 
 /// One basic-transfer rate, simulated vs paper.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RateRow {
     /// Transfer notation (e.g. `"1C64"`).
     pub transfer: String,
@@ -112,17 +115,17 @@ pub struct RateRow {
 
 fn rate_rows(machine: &Machine, notations: &[&str], words: u64) -> Vec<RateRow> {
     let paper = calibrate::reference_rates(machine);
-    notations
-        .iter()
-        .filter_map(|s| {
-            let t = BasicTransfer::parse(s).expect("notation constants");
-            microbench::measure_rate(machine, t, words).map(|rate| RateRow {
-                transfer: s.to_string(),
-                simulated: rate.as_mbps(),
-                paper: paper.get(t).map(|p| p.as_mbps()),
-            })
+    par_map_auto(notations, |s| {
+        let t = BasicTransfer::parse(s).expect("notation constants");
+        microbench::measure_rate(machine, t, words).map(|rate| RateRow {
+            transfer: s.to_string(),
+            simulated: rate.as_mbps(),
+            paper: paper.get(t).map(|p| p.as_mbps()),
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Table 1: local memory-to-memory copies.
@@ -147,7 +150,7 @@ pub fn table3(machine: &Machine, words: u64) -> Vec<RateRow> {
 // --------------------------------------------------------------- Figure 4
 
 /// One stride of Figure 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StridePoint {
     /// Stride in words.
     pub stride: u32,
@@ -176,7 +179,7 @@ pub fn figure4(machine: &Machine, words: u64) -> Vec<StridePoint> {
 // ---------------------------------------------------------------- Table 4
 
 /// One congestion row of Table 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkRow {
     /// Congestion factor.
     pub congestion: f64,
@@ -218,7 +221,7 @@ pub fn table4(machine: &Machine, words: u64) -> Vec<NetworkRow> {
 // --------------------------------------- Section 5 / Figures 7 and 8
 
 /// One `xQy` comparison row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QRow {
     /// Operation (e.g. `"1Q64"`).
     pub op: String,
@@ -246,40 +249,40 @@ pub fn section5(machine: &Machine, rates: &RateTable, words: u64) -> Vec<QRow> {
         "Cray T3D" => reference::t3d_q_model(),
         _ => reference::paragon_q_model(),
     };
-    let ops = ["1Q1", "1Q16", "16Q1", "1Q64", "64Q1", "16Q64", "1Qw", "wQ1", "wQw"];
+    let ops = [
+        "1Q1", "1Q16", "16Q1", "1Q64", "64Q1", "16Q64", "1Qw", "wQ1", "wQw",
+    ];
     let cfg = paper_exchange_cfg(machine, words);
-    ops.iter()
-        .map(|op| {
-            let (x, y) = parse_q(op);
-            let bp = run_exchange(machine, x, y, Style::BufferPacking, &cfg);
-            let ch = run_exchange(machine, x, y, Style::Chained, &cfg);
-            let model_bp = buffer_packing_expr(x, y, bp_plan(machine))
-                .and_then(|e| e.estimate(rates))
-                .map(|t| t.as_mbps())
-                .unwrap_or(f64::NAN);
-            let model_ch = chained_expr(x, y, chained_plan(machine))
-                .and_then(|e| e.estimate(rates))
-                .map(|t| t.as_mbps())
-                .unwrap_or(f64::NAN);
-            let paper_point = paper.iter().find(|p| p.op == *op);
-            QRow {
-                op: op.to_string(),
-                sim_bp: bp.per_node(machine.clock()).as_mbps(),
-                sim_chained: ch.per_node(machine.clock()).as_mbps(),
-                model_bp,
-                model_chained: model_ch,
-                paper_model_bp: paper_point.map(|p| p.buffer_packing.as_mbps()),
-                paper_model_chained: paper_point.map(|p| p.chained.as_mbps()),
-                verified: bp.verified && ch.verified,
-            }
-        })
-        .collect()
+    par_map_auto(&ops, |op| {
+        let (x, y) = parse_q(op);
+        let bp = run_exchange(machine, x, y, Style::BufferPacking, &cfg);
+        let ch = run_exchange(machine, x, y, Style::Chained, &cfg);
+        let model_bp = buffer_packing_expr(x, y, bp_plan(machine))
+            .and_then(|e| e.estimate(rates))
+            .map(|t| t.as_mbps())
+            .unwrap_or(f64::NAN);
+        let model_ch = chained_expr(x, y, chained_plan(machine))
+            .and_then(|e| e.estimate(rates))
+            .map(|t| t.as_mbps())
+            .unwrap_or(f64::NAN);
+        let paper_point = paper.iter().find(|p| p.op == *op);
+        QRow {
+            op: op.to_string(),
+            sim_bp: bp.per_node(machine.clock()).as_mbps(),
+            sim_chained: ch.per_node(machine.clock()).as_mbps(),
+            model_bp,
+            model_chained: model_ch,
+            paper_model_bp: paper_point.map(|p| p.buffer_packing.as_mbps()),
+            paper_model_chained: paper_point.map(|p| p.chained.as_mbps()),
+            verified: bp.verified && ch.verified,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Table 5
 
 /// One Table 5 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LoadsVsStoresRow {
     /// `"1Q16"` (strided stores) or `"16Q1"` (strided loads).
     pub op: String,
@@ -301,36 +304,34 @@ pub struct LoadsVsStoresRow {
 
 /// Table 5: strided loads vs strided stores on both machines.
 pub fn table5(words: u64) -> Vec<LoadsVsStoresRow> {
-    reference::table5()
-        .into_iter()
-        .map(|r| {
-            let machine = if r.machine == "Cray T3D" {
-                Machine::t3d()
-            } else {
-                Machine::paragon()
-            };
-            let (x, y) = parse_q(r.op);
-            let cfg = paper_exchange_cfg(&machine, words);
-            let bp = run_exchange(&machine, x, y, Style::BufferPacking, &cfg);
-            let ch = run_exchange(&machine, x, y, Style::Chained, &cfg);
-            LoadsVsStoresRow {
-                op: r.op.to_string(),
-                machine: r.machine.to_string(),
-                sim_bp: bp.per_node(machine.clock()).as_mbps(),
-                sim_chained: ch.per_node(machine.clock()).as_mbps(),
-                paper_measured_bp: r.measured_bp.as_mbps(),
-                paper_measured_chained: r.measured_chained.as_mbps(),
-                paper_model_bp: r.model_bp.as_mbps(),
-                paper_model_chained: r.model_chained.as_mbps(),
-            }
-        })
-        .collect()
+    let rows = reference::table5();
+    par_map_auto(&rows, |r| {
+        let machine = if r.machine == "Cray T3D" {
+            Machine::t3d()
+        } else {
+            Machine::paragon()
+        };
+        let (x, y) = parse_q(r.op);
+        let cfg = paper_exchange_cfg(&machine, words);
+        let bp = run_exchange(&machine, x, y, Style::BufferPacking, &cfg);
+        let ch = run_exchange(&machine, x, y, Style::Chained, &cfg);
+        LoadsVsStoresRow {
+            op: r.op.to_string(),
+            machine: r.machine.to_string(),
+            sim_bp: bp.per_node(machine.clock()).as_mbps(),
+            sim_chained: ch.per_node(machine.clock()).as_mbps(),
+            paper_measured_bp: r.measured_bp.as_mbps(),
+            paper_measured_chained: r.measured_chained.as_mbps(),
+            paper_model_bp: r.model_bp.as_mbps(),
+            paper_model_chained: r.model_chained.as_mbps(),
+        }
+    })
 }
 
 // --------------------------------------------- Extension: model accuracy
 
 /// One point of the model-accuracy grid.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AccuracyRow {
     /// Operation.
     pub op: String,
@@ -350,33 +351,37 @@ pub struct AccuracyRow {
 /// against the end-to-end co-simulation.
 pub fn model_accuracy(machine: &Machine, rates: &RateTable, words: u64) -> Vec<AccuracyRow> {
     let cfg = paper_exchange_cfg(machine, words);
-    let mut rows = Vec::new();
-    for op in ["1Q1", "1Q8", "8Q1", "1Q64", "64Q1", "1Qw", "wQ1", "wQw", "16Q64"] {
+    let ops = [
+        "1Q1", "1Q8", "8Q1", "1Q64", "64Q1", "1Qw", "wQ1", "wQw", "16Q64",
+    ];
+    let grid: Vec<(&str, Style)> = ops
+        .iter()
+        .flat_map(|&op| [(op, Style::BufferPacking), (op, Style::Chained)])
+        .collect();
+    par_map_auto(&grid, |&(op, style)| {
         let (x, y) = parse_q(op);
-        for style in [Style::BufferPacking, Style::Chained] {
-            let expr = match style {
-                Style::BufferPacking => buffer_packing_expr(x, y, bp_plan(machine)),
-                Style::Chained => chained_expr(x, y, chained_plan(machine)),
-            };
-            let Ok(model) = expr.and_then(|e| e.estimate(rates)) else {
-                continue;
-            };
-            let run = run_exchange(machine, x, y, style, &cfg);
-            debug_assert!(run.verified);
-            let simulated = run.per_node(machine.clock()).as_mbps();
-            rows.push(AccuracyRow {
-                op: op.to_string(),
-                style: match style {
-                    Style::BufferPacking => "buffer-packing".to_string(),
-                    Style::Chained => "chained".to_string(),
-                },
-                model: model.as_mbps(),
-                simulated,
-                ratio: simulated / model.as_mbps(),
-            });
-        }
-    }
-    rows
+        let expr = match style {
+            Style::BufferPacking => buffer_packing_expr(x, y, bp_plan(machine)),
+            Style::Chained => chained_expr(x, y, chained_plan(machine)),
+        };
+        let model = expr.and_then(|e| e.estimate(rates)).ok()?;
+        let run = run_exchange(machine, x, y, style, &cfg);
+        debug_assert!(run.verified);
+        let simulated = run.per_node(machine.clock()).as_mbps();
+        Some(AccuracyRow {
+            op: op.to_string(),
+            style: match style {
+                Style::BufferPacking => "buffer-packing".to_string(),
+                Style::Chained => "chained".to_string(),
+            },
+            model: model.as_mbps(),
+            simulated,
+            ratio: simulated / model.as_mbps(),
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Mean absolute log-ratio of an accuracy grid (0 = perfect).
@@ -390,7 +395,7 @@ pub fn accuracy_mean_log_error(rows: &[AccuracyRow]) -> f64 {
 // ------------------------------------------- Extension: problem-size scaling
 
 /// One problem size of the scaling experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingPoint {
     /// Matrix dimension of the transpose workload.
     pub n: u64,
@@ -412,30 +417,28 @@ pub struct ScalingPoint {
 pub fn scaling(machine: &Machine) -> Vec<ScalingPoint> {
     // n = 2048 is the largest whose stride-n destination region fits the
     // simulated node memory (a stride-4096 patch spans 256 MB).
-    [128u64, 256, 512, 1024, 2048]
-        .into_iter()
-        .map(|n| {
-            let kernel = TransposeKernel {
-                n,
-                words_per_element: 2,
-            };
-            let p = machine.topology.len() as u64;
-            let measure = |method| kernel.measure(machine, method).per_node.as_mbps();
-            ScalingPoint {
-                n,
-                patch_words: kernel.patch_words(p),
-                pvm: measure(CommMethod::Pvm),
-                buffer_packing: measure(CommMethod::BufferPacking),
-                chained: measure(CommMethod::Chained),
-            }
-        })
-        .collect()
+    let sizes = [128u64, 256, 512, 1024, 2048];
+    par_map_auto(&sizes, |&n| {
+        let kernel = TransposeKernel {
+            n,
+            words_per_element: 2,
+        };
+        let p = machine.topology.len() as u64;
+        let measure = |method| kernel.measure(machine, method).per_node.as_mbps();
+        ScalingPoint {
+            n,
+            patch_words: kernel.patch_words(p),
+            pvm: measure(CommMethod::Pvm),
+            buffer_packing: measure(CommMethod::BufferPacking),
+            chained: measure(CommMethod::Chained),
+        }
+    })
 }
 
 // --------------------------------------------------- Extension: put vs get
 
 /// One row of the put-vs-get extension experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PutGetRow {
     /// Operation.
     pub op: String,
@@ -451,30 +454,28 @@ pub struct PutGetRow {
 /// Not a paper table — the paper asserts the put preference and moves on;
 /// this measures it.
 pub fn put_vs_get(machine: &Machine, words: u64) -> Vec<PutGetRow> {
-    ["1Q1", "1Q64", "wQw"]
-        .iter()
-        .map(|op| {
-            let (x, y) = parse_q(op);
-            let cfg = ExchangeConfig {
-                words,
-                ..ExchangeConfig::default()
-            };
-            let put = run_exchange(machine, x, y, Style::Chained, &cfg);
-            let get = run_get_exchange(machine, x, y, &cfg);
-            PutGetRow {
-                op: op.to_string(),
-                put: put.per_node(machine.clock()).as_mbps(),
-                get: get.per_node(machine.clock()).as_mbps(),
-                verified: put.verified && get.verified,
-            }
-        })
-        .collect()
+    let ops = ["1Q1", "1Q64", "wQw"];
+    par_map_auto(&ops, |op| {
+        let (x, y) = parse_q(op);
+        let cfg = ExchangeConfig {
+            words,
+            ..ExchangeConfig::default()
+        };
+        let put = run_exchange(machine, x, y, Style::Chained, &cfg);
+        let get = run_get_exchange(machine, x, y, &cfg);
+        PutGetRow {
+            op: op.to_string(),
+            put: put.per_node(machine.clock()).as_mbps(),
+            get: get.per_node(machine.clock()).as_mbps(),
+            verified: put.verified && get.verified,
+        }
+    })
 }
 
 // ------------------------------------------------------------ Section 3.4.1
 
 /// The worked transpose example.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Section341 {
     /// Our model estimate of `|1Q1024|` from the simulated rate table.
     pub model_estimate: f64,
@@ -510,7 +511,7 @@ pub fn section341(rates: &RateTable) -> Section341 {
 // ---------------------------------------------------------------- Table 6
 
 /// One kernel row of Table 6.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KernelRow {
     /// Kernel name.
     pub kernel: String,
@@ -655,8 +656,10 @@ mod tests {
         let m = Machine::t3d();
         let rates = microbench::measure_table(&m, 4096);
         let rows = model_accuracy(&m, &rates, 2048);
-        let bp: Vec<&AccuracyRow> =
-            rows.iter().filter(|r| r.style == "buffer-packing").collect();
+        let bp: Vec<&AccuracyRow> = rows
+            .iter()
+            .filter(|r| r.style == "buffer-packing")
+            .collect();
         assert!(bp.len() >= 8);
         for r in &bp {
             assert!(
@@ -684,7 +687,10 @@ mod tests {
         // ...far below the congested wire's 75 MB/s (per-byte costs, as the
         // paper says, not per-message ones).
         assert!(last.chained < 60.0, "chained saturates at {}", last.chained);
-        assert!(points[0].chained < last.chained, "small sizes are overhead-bound");
+        assert!(
+            points[0].chained < last.chained,
+            "small sizes are overhead-bound"
+        );
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! # memcomm-bench — the reproduction harness
 //!
 //! One function per table and figure of the paper's evaluation. Each
-//! returns machine-readable rows (serde-serializable) that the `repro`
-//! binary renders as the same tables/series the paper prints; the Criterion
-//! benches under `benches/` wrap the same functions.
+//! returns machine-readable rows that the `repro` binary renders as the
+//! same tables/series the paper prints; the benches under `benches/` wrap
+//! the same functions. The [`runner`] module is the parallel, memoized
+//! sweep engine tying them together: it fans points across workers, routes
+//! every measurement through the process-wide cache, and splits its output
+//! into a byte-deterministic report plus separate run metrics.
 //!
 //! | Function | Reproduces |
 //! |---|---|
@@ -22,3 +25,4 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runner;

@@ -1,0 +1,628 @@
+//! The parallel, memoized sweep engine.
+//!
+//! [`run_sweep`] evaluates every selected experiment of the reproduction,
+//! fanning independent points across a configurable worker count
+//! ([`SweepOptions::jobs`]) while the process-wide measurement cache
+//! ([`memcomm_machines::memo`]) guarantees each distinct
+//! `(machine, transfer, words)` point simulates exactly once per process.
+//!
+//! The engine returns two artifacts with deliberately different contracts:
+//!
+//! * a [`FullReport`] — the machine-readable results. Its JSON rendering is
+//!   **byte-deterministic**: points come back in input order whatever the
+//!   worker count, floats render shortest-round-trip, and no wall-clock
+//!   data is included, so a parallel run is byte-identical to a serial one
+//!   (the equivalence tests assert exactly this);
+//! * a [`RunMetrics`] — the run's *observability* data (wall times, cache
+//!   hit rate, simulated cycles). Timing is inherently nondeterministic, so
+//!   it lives here and never contaminates the report.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use memcomm_machines::memo::{self, CacheStats};
+use memcomm_machines::{calibrate, microbench, Machine};
+use memcomm_memsim::stats::{self as simstats, SimCounters};
+use memcomm_util::json::Json;
+use memcomm_util::par;
+
+use crate::experiments::{self, EXCHANGE_WORDS, MICRO_WORDS};
+
+/// Every experiment key, in evaluation (and report) order.
+pub const SECTIONS: &[&str] = &[
+    "calibration",
+    "figure1",
+    "table1",
+    "table2",
+    "table3",
+    "figure4",
+    "table4",
+    "figure7",
+    "figure8",
+    "table5",
+    "section341",
+    "table6",
+    "putget",
+    "scaling",
+    "accuracy",
+];
+
+/// What to run and how wide to fan out.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads for the point sweeps (1 = serial).
+    pub jobs: usize,
+    /// Payload words for microbenchmark measurements.
+    pub micro_words: u64,
+    /// Payload words for end-to-end exchanges.
+    pub exchange_words: u64,
+    /// Selected experiment keys (empty = all of [`SECTIONS`]).
+    pub sections: BTreeSet<String>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: par::available_jobs(),
+            micro_words: MICRO_WORDS,
+            exchange_words: EXCHANGE_WORDS,
+            sections: BTreeSet::new(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Whether an experiment key is selected.
+    pub fn wants(&self, key: &str) -> bool {
+        self.sections.is_empty() || self.sections.contains(key)
+    }
+}
+
+/// Rows measured on one machine.
+#[derive(Debug, Clone)]
+pub struct MachineSeries<T> {
+    /// Machine name.
+    pub machine: String,
+    /// The measured rows.
+    pub rows: Vec<T>,
+}
+
+/// One calibration comparison row (flattened across machines).
+#[derive(Debug, Clone)]
+pub struct CalRow {
+    /// Machine name.
+    pub machine: String,
+    /// Transfer notation.
+    pub transfer: String,
+    /// Simulated rate (MB/s).
+    pub simulated: f64,
+    /// The paper's rate (MB/s).
+    pub paper: f64,
+    /// `simulated / paper`.
+    pub ratio: f64,
+}
+
+/// The complete machine-readable reproduction report.
+///
+/// Field order is the JSON rendering order; keep it stable — the
+/// serial-vs-parallel equivalence tests compare rendered bytes.
+#[derive(Debug, Clone, Default)]
+pub struct FullReport {
+    /// Microbenchmark payload words.
+    pub micro_words: u64,
+    /// Exchange payload words.
+    pub exchange_words: u64,
+    /// Calibration rows (both machines, flattened).
+    pub calibration: Vec<CalRow>,
+    /// Figure 1 series.
+    pub figure1: Vec<MachineSeries<experiments::Figure1Point>>,
+    /// Table 1 series.
+    pub table1: Vec<MachineSeries<experiments::RateRow>>,
+    /// Table 2 series.
+    pub table2: Vec<MachineSeries<experiments::RateRow>>,
+    /// Table 3 series.
+    pub table3: Vec<MachineSeries<experiments::RateRow>>,
+    /// Figure 4 series.
+    pub figure4: Vec<MachineSeries<experiments::StridePoint>>,
+    /// Table 4 series.
+    pub table4: Vec<MachineSeries<experiments::NetworkRow>>,
+    /// Section 5 (Figures 7/8) series.
+    pub section5: Vec<MachineSeries<experiments::QRow>>,
+    /// Table 5 rows.
+    pub table5: Vec<experiments::LoadsVsStoresRow>,
+    /// Section 3.4.1 worked example.
+    pub section341: Option<experiments::Section341>,
+    /// Table 6 rows.
+    pub table6: Vec<experiments::KernelRow>,
+    /// Put-vs-get extension series.
+    pub put_vs_get: Vec<MachineSeries<experiments::PutGetRow>>,
+    /// Scaling extension series.
+    pub scaling: Vec<MachineSeries<experiments::ScalingPoint>>,
+    /// Model-accuracy extension series.
+    pub model_accuracy: Vec<MachineSeries<experiments::AccuracyRow>>,
+}
+
+fn series<T>(list: &[MachineSeries<T>], row: impl Fn(&T) -> Json + Copy) -> Json {
+    Json::arr(list, |s| {
+        Json::obj([
+            ("machine", Json::str(&s.machine)),
+            ("rows", Json::arr(&s.rows, row)),
+        ])
+    })
+}
+
+impl FullReport {
+    /// Renders the report as a deterministic JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("micro_words", self.micro_words.into()),
+            ("exchange_words", self.exchange_words.into()),
+            (
+                "calibration",
+                Json::arr(&self.calibration, |r| {
+                    Json::obj([
+                        ("machine", Json::str(&r.machine)),
+                        ("transfer", Json::str(&r.transfer)),
+                        ("simulated", r.simulated.into()),
+                        ("paper", r.paper.into()),
+                        ("ratio", r.ratio.into()),
+                    ])
+                }),
+            ),
+            (
+                "figure1",
+                series(&self.figure1, |p| {
+                    Json::obj([
+                        ("message_words", p.message_words.into()),
+                        ("pvm", p.pvm.into()),
+                        ("low_level", p.low_level.into()),
+                    ])
+                }),
+            ),
+            ("table1", series(&self.table1, rate_row)),
+            ("table2", series(&self.table2, rate_row)),
+            ("table3", series(&self.table3, rate_row)),
+            (
+                "figure4",
+                series(&self.figure4, |p| {
+                    Json::obj([
+                        ("stride", p.stride.into()),
+                        ("loads", p.loads.into()),
+                        ("stores", p.stores.into()),
+                    ])
+                }),
+            ),
+            (
+                "table4",
+                series(&self.table4, |r| {
+                    Json::obj([
+                        ("congestion", r.congestion.into()),
+                        ("data_only", r.data_only.into()),
+                        ("addr_data", r.addr_data.into()),
+                        ("paper_data_only", r.paper_data_only.into()),
+                        ("paper_addr_data", r.paper_addr_data.into()),
+                    ])
+                }),
+            ),
+            (
+                "section5",
+                series(&self.section5, |r| {
+                    Json::obj([
+                        ("op", Json::str(&r.op)),
+                        ("sim_bp", r.sim_bp.into()),
+                        ("sim_chained", r.sim_chained.into()),
+                        ("model_bp", r.model_bp.into()),
+                        ("model_chained", r.model_chained.into()),
+                        ("paper_model_bp", r.paper_model_bp.into()),
+                        ("paper_model_chained", r.paper_model_chained.into()),
+                        ("verified", r.verified.into()),
+                    ])
+                }),
+            ),
+            (
+                "table5",
+                Json::arr(&self.table5, |r| {
+                    Json::obj([
+                        ("op", Json::str(&r.op)),
+                        ("machine", Json::str(&r.machine)),
+                        ("sim_bp", r.sim_bp.into()),
+                        ("sim_chained", r.sim_chained.into()),
+                        ("paper_measured_bp", r.paper_measured_bp.into()),
+                        ("paper_measured_chained", r.paper_measured_chained.into()),
+                        ("paper_model_bp", r.paper_model_bp.into()),
+                        ("paper_model_chained", r.paper_model_chained.into()),
+                    ])
+                }),
+            ),
+            (
+                "section341",
+                self.section341.as_ref().map_or(Json::Null, |s| {
+                    Json::obj([
+                        ("model_estimate", s.model_estimate.into()),
+                        ("simulated", s.simulated.into()),
+                        ("paper_estimate", s.paper_estimate.into()),
+                        ("paper_measured", s.paper_measured.into()),
+                    ])
+                }),
+            ),
+            (
+                "table6",
+                Json::arr(&self.table6, |r| {
+                    Json::obj([
+                        ("kernel", Json::str(&r.kernel)),
+                        ("sim_bp", r.sim_bp.into()),
+                        ("sim_chained", r.sim_chained.into()),
+                        ("sim_pvm", r.sim_pvm.into()),
+                        ("model_chained", r.model_chained.into()),
+                        ("paper_bp", r.paper_bp.into()),
+                        ("paper_chained", r.paper_chained.into()),
+                        ("paper_model_chained", r.paper_model_chained.into()),
+                        ("paper_pvm3", r.paper_pvm3.into()),
+                        ("congestion", r.congestion.into()),
+                        ("verified", r.verified.into()),
+                    ])
+                }),
+            ),
+            (
+                "put_vs_get",
+                series(&self.put_vs_get, |r| {
+                    Json::obj([
+                        ("op", Json::str(&r.op)),
+                        ("put", r.put.into()),
+                        ("get", r.get.into()),
+                        ("verified", r.verified.into()),
+                    ])
+                }),
+            ),
+            (
+                "scaling",
+                series(&self.scaling, |p| {
+                    Json::obj([
+                        ("n", p.n.into()),
+                        ("patch_words", p.patch_words.into()),
+                        ("pvm", p.pvm.into()),
+                        ("buffer_packing", p.buffer_packing.into()),
+                        ("chained", p.chained.into()),
+                    ])
+                }),
+            ),
+            (
+                "model_accuracy",
+                series(&self.model_accuracy, |r| {
+                    Json::obj([
+                        ("op", Json::str(&r.op)),
+                        ("style", Json::str(&r.style)),
+                        ("model", r.model.into()),
+                        ("simulated", r.simulated.into()),
+                        ("ratio", r.ratio.into()),
+                    ])
+                }),
+            ),
+        ])
+    }
+}
+
+fn rate_row(r: &experiments::RateRow) -> Json {
+    Json::obj([
+        ("transfer", Json::str(&r.transfer)),
+        ("simulated", r.simulated.into()),
+        ("paper", r.paper.into()),
+    ])
+}
+
+/// Wall time and point count for one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentMetrics {
+    /// Experiment key (one of [`SECTIONS`]).
+    pub name: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Result rows produced.
+    pub points: u64,
+}
+
+/// Observability data for one sweep run. Deliberately separate from
+/// [`FullReport`]: wall times differ run to run, so they must never enter
+/// the deterministic report.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total result rows across all experiments.
+    pub points: u64,
+    /// Measurement-cache counters for this run (hits, misses, entries).
+    pub cache: CacheStats,
+    /// Simulated-machine counters for this run (cycles, words, count).
+    pub sim: SimCounters,
+    /// Total wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Per-experiment breakdown.
+    pub experiments: Vec<ExperimentMetrics>,
+}
+
+impl RunMetrics {
+    /// Renders the metrics as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("jobs", (self.jobs as u64).into()),
+            ("points", self.points.into()),
+            ("cache_hits", self.cache.hits.into()),
+            ("cache_misses", self.cache.misses.into()),
+            ("cache_entries", self.cache.entries.into()),
+            ("cache_hit_rate", self.cache.hit_rate().into()),
+            ("sim_cycles", self.sim.cycles.into()),
+            ("sim_words", self.sim.words.into()),
+            ("measurements", self.sim.measurements.into()),
+            ("wall_ms", self.wall_ms.into()),
+            (
+                "experiments",
+                Json::arr(&self.experiments, |e| {
+                    Json::obj([
+                        ("name", Json::str(&e.name)),
+                        ("wall_ms", e.wall_ms.into()),
+                        ("points", e.points.into()),
+                    ])
+                }),
+            ),
+        ])
+    }
+
+    /// One-line human summary (cache behaviour + wall time).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} points in {:.0} ms on {} worker(s); cache: {} hits / {} misses ({:.0}% hit rate, {} entries); simulated {} cycles over {} measurements",
+            self.points,
+            self.wall_ms,
+            self.jobs,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries,
+            self.sim.cycles,
+            self.sim.measurements,
+        )
+    }
+}
+
+/// Runs the selected experiments with `opts.jobs` workers and returns the
+/// deterministic report plus this run's metrics.
+///
+/// Sets the process-wide default worker count as a side effect (the
+/// experiment functions fan out through it).
+pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
+    par::set_jobs(opts.jobs);
+    let cache_before = memo::stats();
+    let sim_before = simstats::counters();
+    let start = Instant::now();
+
+    let mut report = FullReport {
+        micro_words: opts.micro_words,
+        exchange_words: opts.exchange_words,
+        ..FullReport::default()
+    };
+    let mut experiments_metrics: Vec<ExperimentMetrics> = Vec::new();
+    let machines = [Machine::t3d(), Machine::paragon()];
+
+    let mut timed = |name: &str, points: u64, started: Instant| {
+        experiments_metrics.push(ExperimentMetrics {
+            name: name.to_string(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            points,
+        });
+    };
+
+    if opts.wants("calibration") {
+        let t = Instant::now();
+        for m in &machines {
+            for r in calibrate::calibration_report(m, opts.micro_words) {
+                report.calibration.push(CalRow {
+                    machine: m.name.to_string(),
+                    transfer: r.transfer.to_string(),
+                    simulated: r.simulated.as_mbps(),
+                    paper: r.paper.as_mbps(),
+                    ratio: r.ratio(),
+                });
+            }
+        }
+        timed("calibration", report.calibration.len() as u64, t);
+    }
+
+    if opts.wants("figure1") {
+        let t = Instant::now();
+        for m in &machines {
+            report.figure1.push(MachineSeries {
+                machine: m.name.to_string(),
+                rows: experiments::figure1(m),
+            });
+        }
+        let n = report.figure1.iter().map(|s| s.rows.len() as u64).sum();
+        timed("figure1", n, t);
+    }
+
+    for (key, f) in [
+        (
+            "table1",
+            experiments::table1 as fn(&Machine, u64) -> Vec<experiments::RateRow>,
+        ),
+        ("table2", experiments::table2),
+        ("table3", experiments::table3),
+    ] {
+        if !opts.wants(key) {
+            continue;
+        }
+        let t = Instant::now();
+        let mut n = 0u64;
+        for m in &machines {
+            let rows = f(m, opts.micro_words);
+            n += rows.len() as u64;
+            let s = MachineSeries {
+                machine: m.name.to_string(),
+                rows,
+            };
+            match key {
+                "table1" => report.table1.push(s),
+                "table2" => report.table2.push(s),
+                _ => report.table3.push(s),
+            }
+        }
+        timed(key, n, t);
+    }
+
+    if opts.wants("figure4") {
+        let t = Instant::now();
+        for m in &machines {
+            report.figure4.push(MachineSeries {
+                machine: m.name.to_string(),
+                rows: experiments::figure4(m, opts.micro_words),
+            });
+        }
+        let n = report.figure4.iter().map(|s| s.rows.len() as u64).sum();
+        timed("figure4", n, t);
+    }
+
+    if opts.wants("table4") {
+        let t = Instant::now();
+        for m in &machines {
+            report.table4.push(MachineSeries {
+                machine: m.name.to_string(),
+                rows: experiments::table4(m, opts.micro_words),
+            });
+        }
+        let n = report.table4.iter().map(|s| s.rows.len() as u64).sum();
+        timed("table4", n, t);
+    }
+
+    if opts.wants("figure7") || opts.wants("figure8") {
+        let t = Instant::now();
+        let mut n = 0u64;
+        for m in &machines {
+            let is_t3d = m.name == "Cray T3D";
+            if (is_t3d && !opts.wants("figure7")) || (!is_t3d && !opts.wants("figure8")) {
+                continue;
+            }
+            let rates = microbench::measure_table(m, opts.micro_words);
+            let rows = experiments::section5(m, &rates, opts.exchange_words);
+            n += rows.len() as u64;
+            report.section5.push(MachineSeries {
+                machine: m.name.to_string(),
+                rows,
+            });
+        }
+        timed("section5", n, t);
+    }
+
+    if opts.wants("table5") {
+        let t = Instant::now();
+        report.table5 = experiments::table5(opts.exchange_words);
+        timed("table5", report.table5.len() as u64, t);
+    }
+
+    if opts.wants("section341") {
+        let t = Instant::now();
+        let rates = microbench::measure_table(&Machine::t3d(), opts.micro_words);
+        report.section341 = Some(experiments::section341(&rates));
+        timed("section341", 1, t);
+    }
+
+    if opts.wants("table6") {
+        let t = Instant::now();
+        let rates = microbench::measure_table(&Machine::t3d(), opts.micro_words);
+        report.table6 = experiments::table6(&rates);
+        timed("table6", report.table6.len() as u64, t);
+    }
+
+    if opts.wants("putget") {
+        let t = Instant::now();
+        for m in &machines {
+            report.put_vs_get.push(MachineSeries {
+                machine: m.name.to_string(),
+                rows: experiments::put_vs_get(m, opts.exchange_words),
+            });
+        }
+        let n = report.put_vs_get.iter().map(|s| s.rows.len() as u64).sum();
+        timed("putget", n, t);
+    }
+
+    if opts.wants("scaling") {
+        let t = Instant::now();
+        let t3d = Machine::t3d();
+        report.scaling.push(MachineSeries {
+            machine: t3d.name.to_string(),
+            rows: experiments::scaling(&t3d),
+        });
+        let n = report.scaling.iter().map(|s| s.rows.len() as u64).sum();
+        timed("scaling", n, t);
+    }
+
+    if opts.wants("accuracy") {
+        let t = Instant::now();
+        for m in &machines {
+            let rates = microbench::measure_table(m, opts.micro_words);
+            report.model_accuracy.push(MachineSeries {
+                machine: m.name.to_string(),
+                rows: experiments::model_accuracy(m, &rates, opts.exchange_words),
+            });
+        }
+        let n = report
+            .model_accuracy
+            .iter()
+            .map(|s| s.rows.len() as u64)
+            .sum();
+        timed("accuracy", n, t);
+    }
+
+    let metrics = RunMetrics {
+        jobs: opts.jobs,
+        points: experiments_metrics.iter().map(|e| e.points).sum(),
+        cache: memo::stats().since(cache_before),
+        sim: simstats::counters().since(sim_before),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        experiments: experiments_metrics,
+    };
+    (report, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts(jobs: usize) -> SweepOptions {
+        SweepOptions {
+            jobs,
+            micro_words: 1024,
+            exchange_words: 512,
+            sections: ["table1", "calibration"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn sweep_reports_points_and_cache_traffic() {
+        let (report, metrics) = run_sweep(&small_opts(2));
+        assert_eq!(report.table1.len(), 2);
+        assert!(!report.calibration.is_empty());
+        assert!(metrics.points > 0);
+        assert_eq!(metrics.experiments.len(), 2);
+        let total = metrics.cache.hits + metrics.cache.misses;
+        assert!(total > 0, "the sweep must go through the memo cache");
+        // Calibration and Table 1 overlap on local-copy transfers, so a
+        // combined run must hit the cache.
+        assert!(metrics.cache.hits > 0, "{:?}", metrics.cache);
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let (report, _) = run_sweep(&small_opts(1));
+        assert_eq!(report.to_json().render(), report.to_json().render());
+    }
+
+    #[test]
+    fn metrics_render_without_wall_time_in_report() {
+        let (report, metrics) = run_sweep(&small_opts(1));
+        assert!(!report.to_json().render().contains("wall_ms"));
+        assert!(metrics.to_json().render().contains("wall_ms"));
+        assert!(metrics.summary().contains("hit rate"));
+    }
+}

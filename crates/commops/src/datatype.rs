@@ -76,7 +76,10 @@ impl Datatype {
     /// Panics for empty blocks or a stride smaller than the block length
     /// (which would make blocks overlap).
     pub fn vector(count: u64, blocklen: u64, stride: u64) -> Self {
-        assert!(count >= 1 && blocklen >= 1, "vector blocks must be non-empty");
+        assert!(
+            count >= 1 && blocklen >= 1,
+            "vector blocks must be non-empty"
+        );
         assert!(
             stride >= blocklen,
             "stride {stride} would overlap blocks of {blocklen}"
@@ -100,7 +103,10 @@ impl Datatype {
             blocklens.len(),
             "one blocklen per displacement"
         );
-        assert!(blocklens.iter().all(|&b| b >= 1), "blocks must be non-empty");
+        assert!(
+            blocklens.iter().all(|&b| b >= 1),
+            "blocks must be non-empty"
+        );
         let mut spans: Vec<(u64, u64)> = displacements
             .iter()
             .zip(&blocklens)
@@ -121,7 +127,9 @@ impl Datatype {
     pub fn total_words(&self) -> u64 {
         match self {
             Datatype::Contiguous { count } => *count,
-            Datatype::Vector { count, blocklen, .. } => count * blocklen,
+            Datatype::Vector {
+                count, blocklen, ..
+            } => count * blocklen,
             Datatype::Indexed { blocklens, .. } => blocklens.iter().sum(),
         }
     }
@@ -322,6 +330,9 @@ mod tests {
         let peer = Datatype::contiguous(t.total_words());
         let cfg = ExchangeConfig::default();
         let r = run_datatype_exchange(&m, &t, &peer, DatatypeMethod::Direct, &cfg);
-        assert!(r.verified, "datatype scatter/gather must move the right words");
+        assert!(
+            r.verified,
+            "datatype scatter/gather must move the right words"
+        );
     }
 }

@@ -4,9 +4,7 @@
 
 use memcomm_machines::Machine;
 use memcomm_memsim::clock::Cycle;
-use memcomm_memsim::engines::{
-    Cpu, CpuReceiver, CpuSender, DepositEngine, DepositMode, Step,
-};
+use memcomm_memsim::engines::{Cpu, CpuReceiver, CpuSender, DepositEngine, DepositMode, Step};
 use memcomm_memsim::{Measurement, Node};
 use memcomm_model::AccessPattern;
 use memcomm_netsim::Link;
@@ -278,10 +276,8 @@ fn build_side(
     let (main, dma, deposit, cop) = match style {
         Style::BufferPacking => {
             let use_dma = machine.caps.fetch_send;
-            let elide_gather =
-                cfg.elide_contiguous_copies && x == AccessPattern::Contiguous;
-            let elide_scatter =
-                cfg.elide_contiguous_copies && y == AccessPattern::Contiguous;
+            let elide_gather = cfg.elide_contiguous_copies && x == AccessPattern::Contiguous;
+            let elide_scatter = cfg.elide_contiguous_copies && y == AccessPattern::Contiguous;
             let duties = CpuDuties {
                 gather: !elide_gather,
                 send: !use_dma,
@@ -456,8 +452,14 @@ pub fn run_exchange_specs(
             );
         }
     }
-    assert!(a.node.tx.is_empty() && b.node.tx.is_empty(), "words left in flight");
-    assert!(a.node.rx.is_empty() && b.node.rx.is_empty(), "words left in flight");
+    assert!(
+        a.node.tx.is_empty() && b.node.tx.is_empty(),
+        "words left in flight"
+    );
+    assert!(
+        a.node.rx.is_empty() && b.node.rx.is_empty(),
+        "words left in flight"
+    );
 
     let end_cycle = a
         .end_time()
@@ -490,7 +492,11 @@ mod tests {
 
     fn rate(machine: &Machine, x: AccessPattern, y: AccessPattern, style: Style) -> f64 {
         let r = run_exchange(machine, x, y, style, &cfg());
-        assert!(r.verified, "{} {:?} {x}Q{y} corrupted data", machine.name, style);
+        assert!(
+            r.verified,
+            "{} {:?} {x}Q{y} corrupted data",
+            machine.name, style
+        );
         r.per_node(machine.clock()).as_mbps()
     }
 

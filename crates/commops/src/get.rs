@@ -197,8 +197,7 @@ pub fn run_get_exchange(
     let mut rep_ab = Link::new(machine.link(congestion));
     let mut rep_ba = Link::new(machine.link(congestion));
 
-    let side_done =
-        |s: &GetSide| s.requester_done && s.responder_done && s.deposit_done;
+    let side_done = |s: &GetSide| s.requester_done && s.responder_done && s.deposit_done;
     loop {
         if side_done(&a) && side_done(&b) {
             break;
@@ -226,7 +225,9 @@ pub fn run_get_exchange(
             let step = match id {
                 0 | 3 => {
                     let s = if id == 0 { &mut a } else { &mut b };
-                    let step = s.requester.step(&mut s.cpu, &mut s.node.path, &mut s.node.tx);
+                    let step = s
+                        .requester
+                        .step(&mut s.cpu, &mut s.node.path, &mut s.node.tx);
                     s.requester_done |= step == Step::Done;
                     step
                 }

@@ -47,8 +47,7 @@ impl WalkSpec {
     fn build_walk(&self, node: &mut Node, words: u64, seed: u64) -> Walk {
         match self {
             WalkSpec::Pattern(p) => {
-                let index =
-                    (*p == AccessPattern::Indexed).then(|| permutation_index(words, seed));
+                let index = (*p == AccessPattern::Indexed).then(|| permutation_index(words, seed));
                 node.alloc_walk(*p, words, index)
             }
             WalkSpec::Offsets(offsets) => {
@@ -185,8 +184,22 @@ mod tests {
     fn layouts_are_identical_across_nodes() {
         let mut a = Node::new(NodeParams::default());
         let mut b = Node::new(NodeParams::default());
-        let la = ExchangeLayout::new(&mut a, AccessPattern::Indexed, AccessPattern::Strided(4), 64, 7, 0);
-        let lb = ExchangeLayout::new(&mut b, AccessPattern::Indexed, AccessPattern::Strided(4), 64, 7, 1);
+        let la = ExchangeLayout::new(
+            &mut a,
+            AccessPattern::Indexed,
+            AccessPattern::Strided(4),
+            64,
+            7,
+            0,
+        );
+        let lb = ExchangeLayout::new(
+            &mut b,
+            AccessPattern::Indexed,
+            AccessPattern::Strided(4),
+            64,
+            7,
+            1,
+        );
         for i in 0..64 {
             assert_eq!(la.src.addr(i), lb.src.addr(i));
             assert_eq!(la.dst.addr(i), lb.dst.addr(i));
@@ -196,8 +209,14 @@ mod tests {
     #[test]
     fn verify_detects_missing_data() {
         let mut a = Node::new(NodeParams::default());
-        let layout =
-            ExchangeLayout::new(&mut a, AccessPattern::Contiguous, AccessPattern::Contiguous, 8, 1, 0);
+        let layout = ExchangeLayout::new(
+            &mut a,
+            AccessPattern::Contiguous,
+            AccessPattern::Contiguous,
+            8,
+            1,
+            0,
+        );
         assert!(!layout.verify_received(&a, 1), "nothing received yet");
         for i in 0..8 {
             let v = ExchangeLayout::value(1, i);

@@ -49,8 +49,8 @@ pub mod layout;
 pub mod library;
 pub mod roles;
 
-pub use exchange::{run_exchange, run_exchange_specs, ExchangeConfig, ExchangeResult, Style};
-pub use layout::WalkSpec;
 pub use datatype::{run_datatype_exchange, Datatype, DatatypeMethod};
+pub use exchange::{run_exchange, run_exchange_specs, ExchangeConfig, ExchangeResult, Style};
 pub use get::run_get_exchange;
+pub use layout::WalkSpec;
 pub use library::{measure_message, LibraryProfile};

@@ -165,7 +165,10 @@ mod tests {
             let low = measure_message(&m, LibraryProfile::low_level(&m), words).as_mbps();
             low / pvm
         };
-        assert!(ratio(128) > ratio(16384), "per-message overhead dominates small sizes");
+        assert!(
+            ratio(128) > ratio(16384),
+            "per-message overhead dominates small sizes"
+        );
     }
 
     #[test]

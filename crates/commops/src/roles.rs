@@ -340,15 +340,31 @@ mod tests {
         );
         let ready = vec![1000u64];
         loop {
-            match pipe.step(&mut cpu, &mut node.path, &mut node.mem, &mut node.tx, &ready) {
+            match pipe.step(
+                &mut cpu,
+                &mut node.path,
+                &mut node.mem,
+                &mut node.tx,
+                &ready,
+            ) {
                 Step::Blocked => break, // second chunk never arrives
                 Step::Progressed => {}
                 Step::Done => panic!("cannot finish with one chunk missing"),
             }
         }
-        assert_eq!(cpu.t.max(1000), cpu.t, "scatter started no earlier than readiness");
-        assert_eq!(node.mem.read(layout.dst.addr(0)), ExchangeLayout::value(9, 0));
-        assert_eq!(node.mem.read(layout.dst.addr(15)), ExchangeLayout::value(9, 15));
+        assert_eq!(
+            cpu.t.max(1000),
+            cpu.t,
+            "scatter started no earlier than readiness"
+        );
+        assert_eq!(
+            node.mem.read(layout.dst.addr(0)),
+            ExchangeLayout::value(9, 0)
+        );
+        assert_eq!(
+            node.mem.read(layout.dst.addr(15)),
+            ExchangeLayout::value(9, 15)
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl fmt::Display for ModelError {
             ModelError::EmptyComposition => write!(f, "composition needs at least one transfer"),
             ModelError::MissingRate(t) => write!(f, "no throughput entry for basic transfer {t}"),
             ModelError::Parse { input, reason } => {
-                write!(f, "cannot parse {input:?} as copy-transfer notation: {reason}")
+                write!(
+                    f,
+                    "cannot parse {input:?} as copy-transfer notation: {reason}"
+                )
             }
         }
     }

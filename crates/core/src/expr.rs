@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AccessPattern, BasicTransfer, ModelError, RateTable, Throughput};
 
 /// A resource constraint (`<` in the paper's notation): the throughput of
@@ -14,7 +12,7 @@ use crate::{AccessPattern, BasicTransfer, ModelError, RateTable, Throughput};
 /// up in the same [`RateTable`] at evaluation time — e.g. the paper's
 /// `2 × |xQy| < |0Cx|` caps a symmetric exchange at half the raw memory
 /// store bandwidth.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceCap {
     /// Human-readable name of the shared resource ("memory store bandwidth").
     pub name: String,
@@ -25,7 +23,7 @@ pub struct ResourceCap {
 }
 
 /// The capacity side of a [`ResourceCap`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CapLimit {
     /// A fixed rate.
     Fixed(Throughput),
@@ -86,7 +84,7 @@ impl ResourceCap {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TransferExpr {
     /// A single basic transfer.
     Basic(BasicTransfer),
@@ -399,13 +397,14 @@ mod tests {
     #[test]
     fn cap_can_reference_table_rate() {
         let table = t3d_like_table();
-        let q = TransferExpr::from(BasicTransfer::load_send(AccessPattern::Contiguous)).capped(
-            vec![ResourceCap::rate_of(
-                "copy bandwidth",
-                2.0,
-                BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous),
-            )],
-        );
+        let q =
+            TransferExpr::from(BasicTransfer::load_send(AccessPattern::Contiguous)).capped(vec![
+                ResourceCap::rate_of(
+                    "copy bandwidth",
+                    2.0,
+                    BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous),
+                ),
+            ]);
         // min(126, 93/2) = 46.5
         assert!((q.estimate(&table).unwrap().as_mbps() - 46.5).abs() < 1e-9);
     }

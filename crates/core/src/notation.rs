@@ -113,8 +113,8 @@ mod tests {
     #[test]
     fn parses_paper_examples() {
         for s in [
-            "1C1", "1C64", "64C1", "1Cw", "wC1", "1S0", "1F0", "64S0", "wS0", "0R1", "0D1",
-            "0R64", "0D64", "0Rw", "0Dw", "Nd", "Nadp", "0C1", "1C0",
+            "1C1", "1C64", "64C1", "1Cw", "wC1", "1S0", "1F0", "64S0", "wS0", "0R1", "0D1", "0R64",
+            "0D64", "0Rw", "0Dw", "Nd", "Nadp", "0C1", "1C0",
         ] {
             let t = BasicTransfer::parse(s).unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(t.to_string(), s, "round trip of {s}");
@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for s in ["", "Q", "1Q1", "C", "1C", "S0", "xSy", "0C0", "1S1", "1R1", "0F0", "1D1"] {
+        for s in [
+            "", "Q", "1Q1", "C", "1C", "S0", "xSy", "0C0", "1S1", "1R1", "0F0", "1D1",
+        ] {
             assert!(BasicTransfer::parse(s).is_err(), "{s} should not parse");
         }
     }

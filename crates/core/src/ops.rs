@@ -15,12 +15,10 @@
 //! or DMA) and which drains it (processor or deposit engine), which is how
 //! the T3D and Paragon variants of Sections 5.1.1–5.1.4 differ.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AccessPattern, BasicTransfer, ModelError, ResourceCap, TransferExpr};
 
 /// Which engine moves outgoing data from memory to the network interface.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SendEngine {
     /// The node processor executes a load-send loop (`xS0`).
     Processor,
@@ -30,7 +28,7 @@ pub enum SendEngine {
 }
 
 /// Which engine moves incoming data from the network interface to memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReceiveEngine {
     /// The (co-)processor executes a receive-store loop (`0Ry`).
     Processor,
@@ -61,7 +59,7 @@ impl ReceiveEngine {
 /// The defaults describe the PVM-style implementation on the T3D
 /// (processor send, deposit-engine receive, copies never elided, no
 /// overlap of the unpack copy).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BufferPackingPlan {
     /// Engine feeding the network with the packed buffer.
     pub send: SendEngine,
@@ -89,7 +87,7 @@ impl Default for BufferPackingPlan {
 }
 
 /// Configuration of a chained implementation of `xQ'y`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChainedPlan {
     /// Engine draining the network. The T3D annex is a
     /// [`ReceiveEngine::Deposit`]; the Paragon substitutes its co-processor,

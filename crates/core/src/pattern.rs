@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ModelError;
 
 /// A memory access pattern, the `x`/`y` subscripts of the copy-transfer
@@ -36,7 +34,7 @@ use crate::ModelError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AccessPattern {
     /// A fixed location (`0`), e.g. a memory-mapped FIFO port.
     Fixed,
@@ -194,8 +192,16 @@ mod tests {
         assert_eq!(classify_offsets(&[3, 4, 5, 6]), AccessPattern::Contiguous);
         assert_eq!(classify_offsets(&[0, 64, 128]), AccessPattern::Strided(64));
         assert_eq!(classify_offsets(&[0, 64, 120]), AccessPattern::Indexed);
-        assert_eq!(classify_offsets(&[5, 5]), AccessPattern::Indexed, "zero delta");
-        assert_eq!(classify_offsets(&[9, 3]), AccessPattern::Indexed, "descending");
+        assert_eq!(
+            classify_offsets(&[5, 5]),
+            AccessPattern::Indexed,
+            "zero delta"
+        );
+        assert_eq!(
+            classify_offsets(&[9, 3]),
+            AccessPattern::Indexed,
+            "descending"
+        );
     }
 
     #[test]

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::iter::Sum;
 
-use serde::{Deserialize, Serialize};
-
 /// A throughput in megabytes per second (1 MB = 10⁶ bytes, as in the paper).
 ///
 /// `Throughput` carries the arithmetic of the model's composition rules:
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// // A network stage in parallel only matters if it is the bottleneck.
 /// assert_eq!(gather.par(MBps(160.0)), gather);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Throughput(f64);
 
 /// Constructs a [`Throughput`] from a value in MB/s.

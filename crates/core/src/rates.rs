@@ -216,8 +216,7 @@ mod tests {
         // smaller exists to ask for except contiguous, which is a different
         // pattern and must not be served by interpolation.
         let t = table_with_anchors();
-        let contiguous =
-            BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous);
+        let contiguous = BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous);
         assert!(matches!(
             t.rate(contiguous),
             Err(ModelError::MissingRate(_))
@@ -261,7 +260,9 @@ mod tests {
             MBps(35.0),
         );
         let r = t
-            .rate(BasicTransfer::load_send(AccessPattern::strided(16).unwrap()))
+            .rate(BasicTransfer::load_send(
+                AccessPattern::strided(16).unwrap(),
+            ))
             .unwrap()
             .as_mbps();
         assert!(r < 50.0 && r > 35.0);

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AccessPattern, ModelError};
 
 /// The functional unit executing a basic transfer.
@@ -14,7 +12,7 @@ use crate::{AccessPattern, ModelError};
 /// background engines ([`FetchSend`](Engine::FetchSend),
 /// [`ReceiveDeposit`](Engine::ReceiveDeposit), the network) may run in
 /// parallel (`‖`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Engine {
     /// Local memory-to-memory copy executed by the processor (`xCy`).
     Copy,
@@ -38,10 +36,7 @@ impl Engine {
     /// Two transfers that both need the processor cannot run in parallel; the
     /// model composes them sequentially.
     pub fn uses_processor(self) -> bool {
-        matches!(
-            self,
-            Engine::Copy | Engine::LoadSend | Engine::ReceiveStore
-        )
+        matches!(self, Engine::Copy | Engine::LoadSend | Engine::ReceiveStore)
     }
 
     /// Short mnemonic used in the paper's notation.
@@ -81,7 +76,7 @@ impl fmt::Display for Engine {
 /// assert_eq!(t.to_string(), "1Cw");
 /// assert!(t.engine().uses_processor());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BasicTransfer {
     engine: Engine,
     read: AccessPattern,
@@ -306,9 +301,11 @@ mod tests {
 
     #[test]
     fn processor_usage() {
-        assert!(BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous)
-            .engine()
-            .uses_processor());
+        assert!(
+            BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous)
+                .engine()
+                .uses_processor()
+        );
         assert!(!BasicTransfer::fetch_send(AccessPattern::Contiguous)
             .engine()
             .uses_processor());

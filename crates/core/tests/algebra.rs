@@ -1,99 +1,155 @@
-//! Property-based tests of the copy-transfer algebra.
+//! Property-based tests of the copy-transfer algebra: the paper's two
+//! composition rules — `∘` (sequential, reciprocal throughput sum) and `‖`
+//! (concurrent, minimum) — plus the resource cap, the estimator and the
+//! notation parser.
 
 use memcomm_model::{
     AccessPattern, BasicTransfer, MBps, ModelError, RateTable, Throughput, TransferExpr,
 };
-use proptest::prelude::*;
+use memcomm_util::check::forall;
+use memcomm_util::rng::Rng;
 
-fn rate_strategy() -> impl Strategy<Value = Throughput> {
-    (0.1f64..1000.0).prop_map(MBps)
+fn random_rate(rng: &mut Rng) -> Throughput {
+    MBps(rng.range_f64(0.1, 1000.0))
 }
 
-fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
-    prop_oneof![
-        Just(AccessPattern::Contiguous),
-        (2u32..5000).prop_map(|s| AccessPattern::strided(s).unwrap()),
-        Just(AccessPattern::Indexed),
-    ]
+fn random_pattern(rng: &mut Rng) -> AccessPattern {
+    match rng.range_u32(0, 3) {
+        0 => AccessPattern::Contiguous,
+        1 => AccessPattern::strided(rng.range_u32(2, 5000)).unwrap(),
+        _ => AccessPattern::Indexed,
+    }
 }
 
-fn basic_strategy() -> impl Strategy<Value = BasicTransfer> {
-    prop_oneof![
-        (pattern_strategy(), pattern_strategy()).prop_map(|(x, y)| BasicTransfer::copy(x, y)),
-        pattern_strategy().prop_map(BasicTransfer::load_send),
-        pattern_strategy().prop_map(BasicTransfer::fetch_send),
-        pattern_strategy().prop_map(BasicTransfer::receive_store),
-        pattern_strategy().prop_map(BasicTransfer::receive_deposit),
-        pattern_strategy().prop_map(BasicTransfer::load_stream),
-        pattern_strategy().prop_map(BasicTransfer::store_stream),
-        Just(BasicTransfer::net_data()),
-        Just(BasicTransfer::net_addr_data()),
-    ]
+fn random_basic(rng: &mut Rng) -> BasicTransfer {
+    match rng.range_u32(0, 9) {
+        0 => BasicTransfer::copy(random_pattern(rng), random_pattern(rng)),
+        1 => BasicTransfer::load_send(random_pattern(rng)),
+        2 => BasicTransfer::fetch_send(random_pattern(rng)),
+        3 => BasicTransfer::receive_store(random_pattern(rng)),
+        4 => BasicTransfer::receive_deposit(random_pattern(rng)),
+        5 => BasicTransfer::load_stream(random_pattern(rng)),
+        6 => BasicTransfer::store_stream(random_pattern(rng)),
+        7 => BasicTransfer::net_data(),
+        _ => BasicTransfer::net_addr_data(),
+    }
 }
 
-proptest! {
-    #[test]
-    fn seq_is_commutative(a in rate_strategy(), b in rate_strategy()) {
+#[test]
+fn seq_is_commutative() {
+    forall("seq_is_commutative", 256, |rng| {
+        let (a, b) = (random_rate(rng), random_rate(rng));
         let ab = a.seq(b).as_mbps();
         let ba = b.seq(a).as_mbps();
-        prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
-    }
+        assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
+    });
+}
 
-    #[test]
-    fn seq_is_associative(a in rate_strategy(), b in rate_strategy(), c in rate_strategy()) {
+#[test]
+fn seq_is_associative() {
+    forall("seq_is_associative", 256, |rng| {
+        let (a, b, c) = (random_rate(rng), random_rate(rng), random_rate(rng));
         let left = a.seq(b).seq(c).as_mbps();
         let right = a.seq(b.seq(c)).as_mbps();
-        prop_assert!((left - right).abs() < 1e-6 * left.max(1.0));
-    }
+        assert!((left - right).abs() < 1e-6 * left.max(1.0));
+    });
+}
 
-    #[test]
-    fn seq_is_strictly_below_min(a in rate_strategy(), b in rate_strategy()) {
+#[test]
+fn par_is_commutative() {
+    forall("par_is_commutative", 256, |rng| {
+        let (a, b) = (random_rate(rng), random_rate(rng));
+        assert_eq!(a.par(b), b.par(a));
+    });
+}
+
+#[test]
+fn par_is_associative() {
+    forall("par_is_associative", 256, |rng| {
+        let (a, b, c) = (random_rate(rng), random_rate(rng), random_rate(rng));
+        assert_eq!(a.par(b).par(c), a.par(b.par(c)));
+    });
+}
+
+#[test]
+fn seq_is_strictly_below_min() {
+    forall("seq_is_strictly_below_min", 256, |rng| {
+        let (a, b) = (random_rate(rng), random_rate(rng));
         let z = a.seq(b);
-        prop_assert!(z < a.par(b));
-        prop_assert!(z.as_mbps() > 0.0);
-    }
+        assert!(z < a.par(b));
+        assert!(z.as_mbps() > 0.0);
+    });
+}
 
-    #[test]
-    fn par_is_min(a in rate_strategy(), b in rate_strategy()) {
+#[test]
+fn par_is_min() {
+    forall("par_is_min", 256, |rng| {
+        let (a, b) = (random_rate(rng), random_rate(rng));
         let z = a.par(b);
-        prop_assert_eq!(z.as_mbps(), a.as_mbps().min(b.as_mbps()));
-    }
+        assert_eq!(z.as_mbps(), a.as_mbps().min(b.as_mbps()));
+    });
+}
 
-    #[test]
-    fn harmonic_bound_for_equal_rates(a in rate_strategy()) {
+/// Both composition rules are monotone: speeding up either operand never
+/// slows the composite down.
+#[test]
+fn compositions_are_monotone() {
+    forall("compositions_are_monotone", 256, |rng| {
+        let a = random_rate(rng);
+        let b = random_rate(rng);
+        let faster = MBps(a.as_mbps() + rng.range_f64(0.0, 500.0));
+        assert!(faster.seq(b) >= a.seq(b));
+        assert!(faster.par(b) >= a.par(b));
+    });
+}
+
+#[test]
+fn harmonic_bound_for_equal_rates() {
+    forall("harmonic_bound_for_equal_rates", 256, |rng| {
         // n identical sequential stages run at rate/n.
+        let a = random_rate(rng);
         let n = 4;
         let composed = Throughput::seq_all(std::iter::repeat_n(a, n)).unwrap();
-        prop_assert!((composed.as_mbps() - a.as_mbps() / n as f64).abs() < 1e-9 * a.as_mbps());
-    }
+        assert!((composed.as_mbps() - a.as_mbps() / n as f64).abs() < 1e-9 * a.as_mbps());
+    });
+}
 
-    #[test]
-    fn cap_never_raises(a in rate_strategy(), limit in rate_strategy(), m in 0.5f64..8.0) {
-        prop_assert!(a.capped(limit, m) <= a);
-    }
+/// A shared resource cap can only ever lower throughput.
+#[test]
+fn cap_never_raises() {
+    forall("cap_never_raises", 256, |rng| {
+        let a = random_rate(rng);
+        let limit = random_rate(rng);
+        let m = rng.range_f64(0.5, 8.0);
+        assert!(a.capped(limit, m) <= a);
+    });
+}
 
-    #[test]
-    fn notation_round_trips(t in basic_strategy()) {
+#[test]
+fn notation_round_trips() {
+    forall("notation_round_trips", 256, |rng| {
+        let t = random_basic(rng);
         let rendered = t.to_string();
         let parsed = BasicTransfer::parse(&rendered).unwrap();
-        prop_assert_eq!(parsed, t);
-    }
+        assert_eq!(parsed, t);
+    });
+}
 
-    /// Raising the rate of any single basic transfer never lowers the
-    /// estimate of an expression that contains it (the estimator is
-    /// monotone).
-    #[test]
-    fn estimator_is_monotone(
-        base in 1.0f64..300.0,
-        bump in 1.0f64..300.0,
-    ) {
+/// Raising the rate of any single basic transfer never lowers the estimate
+/// of an expression that contains it (the estimator is monotone).
+#[test]
+fn estimator_is_monotone() {
+    forall("estimator_is_monotone", 256, |rng| {
+        let base = rng.range_f64(1.0, 300.0);
+        let bump = rng.range_f64(1.0, 300.0);
         let gather = BasicTransfer::copy(AccessPattern::Indexed, AccessPattern::Contiguous);
         let send = BasicTransfer::load_send(AccessPattern::Contiguous);
         let net = BasicTransfer::net_data();
         let expr = TransferExpr::seq(vec![
             gather.into(),
             TransferExpr::par(vec![send.into(), net.into()]).unwrap(),
-        ]).unwrap();
+        ])
+        .unwrap();
 
         let mut table = RateTable::new();
         table.insert(gather, MBps(base));
@@ -103,32 +159,38 @@ proptest! {
 
         table.insert(gather, MBps(base + bump));
         let after = expr.estimate(&table).unwrap();
-        prop_assert!(after >= before);
-    }
+        assert!(after >= before);
+    });
+}
 
-    /// Stride interpolation always answers within the envelope of its
-    /// anchors and is monotone in stride when the anchors are monotone.
-    #[test]
-    fn interpolation_stays_in_envelope(
-        s in 2u32..100_000,
-        lo in 5.0f64..50.0,
-        hi in 50.0f64..200.0,
-    ) {
+/// Stride interpolation always answers within the envelope of its anchors
+/// and is monotone in stride when the anchors are monotone.
+#[test]
+fn interpolation_stays_in_envelope() {
+    forall("interpolation_stays_in_envelope", 256, |rng| {
+        let s = rng.range_u32(2, 100_000);
+        let lo = rng.range_f64(5.0, 50.0);
+        let hi = rng.range_f64(50.0, 200.0);
         let mut table = RateTable::new();
-        let anchor = |stride: u32| BasicTransfer::copy(
-            AccessPattern::Contiguous,
-            AccessPattern::strided(stride).unwrap(),
-        );
+        let anchor = |stride: u32| {
+            BasicTransfer::copy(
+                AccessPattern::Contiguous,
+                AccessPattern::strided(stride).unwrap(),
+            )
+        };
         table.insert(anchor(2), MBps(hi));
         table.insert(anchor(64), MBps(lo));
         let probe = table.rate(anchor(s)).unwrap().as_mbps();
-        prop_assert!(probe >= lo - 1e-9 && probe <= hi + 1e-9);
-    }
+        assert!(probe >= lo - 1e-9 && probe <= hi + 1e-9);
+    });
+}
 
-    /// An estimate is always bounded above by the slowest leaf (every leaf
-    /// participates either in a min or a reciprocal sum).
-    #[test]
-    fn estimate_bounded_by_leaves(r1 in rate_strategy(), r2 in rate_strategy(), r3 in rate_strategy()) {
+/// An estimate is always bounded above by the slowest leaf (every leaf
+/// participates either in a min or a reciprocal sum).
+#[test]
+fn estimate_bounded_by_leaves() {
+    forall("estimate_bounded_by_leaves", 256, |rng| {
+        let (r1, r2, r3) = (random_rate(rng), random_rate(rng), random_rate(rng));
         let a = BasicTransfer::copy(AccessPattern::Contiguous, AccessPattern::Contiguous);
         let b = BasicTransfer::load_send(AccessPattern::Contiguous);
         let c = BasicTransfer::net_data();
@@ -139,10 +201,11 @@ proptest! {
         let expr = TransferExpr::seq(vec![
             a.into(),
             TransferExpr::par(vec![b.into(), c.into()]).unwrap(),
-        ]).unwrap();
+        ])
+        .unwrap();
         let est = expr.estimate(&table).unwrap();
-        prop_assert!(est <= r1 && est <= r2.par(r3));
-    }
+        assert!(est <= r1 && est <= r2.par(r3));
+    });
 }
 
 #[test]

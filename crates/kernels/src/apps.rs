@@ -194,10 +194,9 @@ impl TransposeKernel {
         let mut verified = true;
         let mut worst = 1.0f64;
         for round in &rounds {
-            let congestion =
-                pattern_congestion(&machine.topology, round, machine.nodes_per_port)
-                    .factor
-                    .max(1.0);
+            let congestion = pattern_congestion(&machine.topology, round, machine.nodes_per_port)
+                .factor
+                .max(1.0);
             worst = worst.max(congestion);
             let (cycles, m) = measure_round(
                 machine,
@@ -272,9 +271,7 @@ impl FemKernel {
         // Phase = all flows with the same (coordinate delta) direction; for
         // a shift on a torus each phase is a permutation.
         let rounds: Vec<Vec<traffic::Flow>> = (0..machine.topology.dims().len())
-            .flat_map(|dim| {
-                [-1i64, 1].into_iter().map(move |step| (dim, step))
-            })
+            .flat_map(|dim| [-1i64, 1].into_iter().map(move |step| (dim, step)))
             .map(|(dim, step)| {
                 all.iter()
                     .copied()
@@ -283,7 +280,11 @@ impl FemKernel {
                         let cb = machine.topology.coords(f.dst);
                         (0..machine.topology.dims().len()).all(|d| {
                             let delta = machine.topology.hop_delta(ca[d], cb[d], d);
-                            if d == dim { delta == step } else { delta == 0 }
+                            if d == dim {
+                                delta == step
+                            } else {
+                                delta == 0
+                            }
                         })
                     })
                     .collect()
@@ -413,12 +414,18 @@ mod tests {
     fn congestion_factors_are_reasonable() {
         let t3d = Machine::t3d();
         let transpose = TransposeKernel::paper_instance().congestion(&t3d);
-        assert!((2.0..=4.0).contains(&transpose), "transpose congestion {transpose}");
+        assert!(
+            (2.0..=4.0).contains(&transpose),
+            "transpose congestion {transpose}"
+        );
         let sor = SorKernel::paper_instance().congestion(&t3d);
         assert!((2.0..=2.5).contains(&sor), "shift congestion {sor}");
         let paragon = Machine::paragon();
         let sor_p = SorKernel::paper_instance().congestion(&paragon);
-        assert!(sor_p >= 1.0 && sor_p <= sor, "no port sharing on the Paragon");
+        assert!(
+            sor_p >= 1.0 && sor_p <= sor,
+            "no port sharing on the Paragon"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub fn ifft(data: &mut [Complex]) {
 
 fn fft_dir(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {

@@ -10,9 +10,7 @@
 //! numbering is randomized, as mesh partitioners produce, which is what
 //! makes boundary accesses *indexed*.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use memcomm_util::rng::Rng;
 
 /// A shared boundary between two partitions: the local indices (under each
 /// partition's own numbering) of the interface points, in matching order.
@@ -58,21 +56,20 @@ impl PartitionedMesh {
         }
         let box_dim = [grid[0] / parts[0], grid[1] / parts[1], grid[2] / parts[2]];
         let points_per_partition = box_dim[0] * box_dim[1] * box_dim[2];
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
 
         // Random local numbering per partition: numbering[p][cell] = local id.
         let nparts = parts[0] * parts[1] * parts[2];
         let numbering: Vec<Vec<u32>> = (0..nparts)
             .map(|_| {
                 let mut ids: Vec<u32> = (0..points_per_partition as u32).collect();
-                ids.shuffle(&mut rng);
+                rng.shuffle(&mut ids);
                 ids
             })
             .collect();
 
         let part_id = |px: usize, py: usize, pz: usize| (px * parts[1] + py) * parts[2] + pz;
-        let cell_id =
-            |x: usize, y: usize, z: usize| (x * box_dim[1] + y) * box_dim[2] + z;
+        let cell_id = |x: usize, y: usize, z: usize| (x * box_dim[1] + y) * box_dim[2] + z;
 
         let mut interfaces = Vec::new();
         // Faces between boxes along each dimension.
@@ -91,7 +88,12 @@ impl PartitionedMesh {
                                 b_locals.push(numbering[b][cell_id(0, y, z)]);
                             }
                         }
-                        interfaces.push(Interface { a, b, a_locals, b_locals });
+                        interfaces.push(Interface {
+                            a,
+                            b,
+                            a_locals,
+                            b_locals,
+                        });
                     }
                     // +y neighbour.
                     if py + 1 < parts[1] {
@@ -104,7 +106,12 @@ impl PartitionedMesh {
                                 b_locals.push(numbering[b][cell_id(x, 0, z)]);
                             }
                         }
-                        interfaces.push(Interface { a, b, a_locals, b_locals });
+                        interfaces.push(Interface {
+                            a,
+                            b,
+                            a_locals,
+                            b_locals,
+                        });
                     }
                     // +z neighbour.
                     if pz + 1 < parts[2] {
@@ -117,7 +124,12 @@ impl PartitionedMesh {
                                 b_locals.push(numbering[b][cell_id(x, y, 0)]);
                             }
                         }
-                        interfaces.push(Interface { a, b, a_locals, b_locals });
+                        interfaces.push(Interface {
+                            a,
+                            b,
+                            a_locals,
+                            b_locals,
+                        });
                     }
                 }
             }
@@ -145,7 +157,10 @@ impl PartitionedMesh {
         if self.interfaces.is_empty() {
             return 0.0;
         }
-        self.interfaces.iter().map(|i| i.a_locals.len()).sum::<usize>() as f64
+        self.interfaces
+            .iter()
+            .map(|i| i.a_locals.len())
+            .sum::<usize>() as f64
             / self.interfaces.len() as f64
     }
 
@@ -208,7 +223,10 @@ mod tests {
         // unlikely for 36 entries).
         let mut sorted = iface.a_locals.clone();
         sorted.sort_unstable();
-        assert_ne!(iface.a_locals, sorted, "boundary indices must be indexed, not strided");
+        assert_ne!(
+            iface.a_locals, sorted,
+            "boundary indices must be indexed, not strided"
+        );
     }
 
     #[test]

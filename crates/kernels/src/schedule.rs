@@ -46,12 +46,7 @@ pub fn classify(locals: &[u64]) -> AccessPattern {
 /// Computes the full redistribution schedule of a 1D array of `n` elements
 /// over `p` nodes from distribution `from` to distribution `to`, ordered by
 /// global element index within each pair.
-pub fn redistribution(
-    n: u64,
-    p: u64,
-    from: Distribution,
-    to: Distribution,
-) -> Vec<TransferSpec> {
+pub fn redistribution(n: u64, p: u64, from: Distribution, to: Distribution) -> Vec<TransferSpec> {
     let mut specs: Vec<Vec<TransferSpec>> = (0..p)
         .map(|s| {
             (0..p)
@@ -144,7 +139,10 @@ mod tests {
             .expect("0 sends to 1");
         // Elements 1, 5, 9, 13: sender-local stride 4, receiver-local
         // contiguous.
-        assert_eq!(spec01.patterns(), (AccessPattern::Strided(4), AccessPattern::Contiguous));
+        assert_eq!(
+            spec01.patterns(),
+            (AccessPattern::Strided(4), AccessPattern::Contiguous)
+        );
     }
 
     #[test]
@@ -155,8 +153,7 @@ mod tests {
         let moved: usize = specs.iter().map(TransferSpec::len).sum();
         let kept = (0..n)
             .filter(|&i| {
-                Distribution::Block.owner(i, n, p)
-                    == Distribution::BlockCyclic(3).owner(i, n, p)
+                Distribution::Block.owner(i, n, p) == Distribution::BlockCyclic(3).owner(i, n, p)
             })
             .count();
         assert_eq!(moved + kept, n as usize);

@@ -15,7 +15,10 @@ fn main() {
     for machine in [Machine::t3d(), Machine::paragon()] {
         println!("== {} ({} words per measurement) ==", machine.name, words);
         let rows = calibration_report(&machine, words);
-        println!("{:<8} {:>10} {:>10} {:>7}", "xfer", "simulated", "paper", "ratio");
+        println!(
+            "{:<8} {:>10} {:>10} {:>7}",
+            "xfer", "simulated", "paper", "ratio"
+        );
         for r in &rows {
             println!(
                 "{:<8} {:>10.1} {:>10.1} {:>7.2}",

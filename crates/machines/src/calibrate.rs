@@ -39,19 +39,21 @@ pub fn reference_rates(machine: &Machine) -> RateTable {
 }
 
 /// Measures the machine and joins against the paper's tables on the
-/// transfers the paper reports.
+/// transfers the paper reports. Points fan out across the process-default
+/// worker count and come back in table order; measurements are memoized
+/// (see [`crate::memo`]).
 pub fn calibration_report(machine: &Machine, words: u64) -> Vec<CalibrationRow> {
-    let paper = reference_rates(machine);
-    paper
-        .iter()
-        .filter_map(|(transfer, paper_rate)| {
-            microbench::measure_rate(machine, transfer, words).map(|simulated| CalibrationRow {
-                transfer,
-                simulated,
-                paper: paper_rate,
-            })
+    let paper: Vec<(BasicTransfer, Throughput)> = reference_rates(machine).iter().collect();
+    memcomm_util::par::par_map_auto(&paper, |&(transfer, paper_rate)| {
+        microbench::measure_rate(machine, transfer, words).map(|simulated| CalibrationRow {
+            transfer,
+            simulated,
+            paper: paper_rate,
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Geometric-mean absolute log-ratio of a report: 0.0 means every simulated

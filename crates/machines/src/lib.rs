@@ -31,6 +31,7 @@
 
 pub mod calibrate;
 pub mod machine;
+pub mod memo;
 pub mod microbench;
 pub mod reference;
 

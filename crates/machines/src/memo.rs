@@ -1,0 +1,184 @@
+//! Process-wide memoization of basic-transfer measurements.
+//!
+//! Every experiment, calibration report and test that needs a basic-transfer
+//! rate funnels through [`microbench::measure_basic`](crate::microbench::measure_basic),
+//! and identical `(machine, transfer, words)` points recur across Tables
+//! 1–3, the calibration report, the rate tables behind Section 5 and the
+//! test tier. This cache makes each distinct point simulate exactly once
+//! per process.
+//!
+//! Keys include a fingerprint of the *entire* machine configuration (hashed
+//! from its `Debug` rendering), so mutated machines — the ablation studies
+//! flip individual component parameters — never collide with the stock
+//! configurations.
+//!
+//! The cache is thread-safe and lock-light: lookups take the lock briefly
+//! and simulations run outside it, so parallel sweep workers never serialize
+//! on each other. Two workers racing on the same missing key may both
+//! simulate it; the simulator is deterministic, so both compute the same
+//! value and either insert wins.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use memcomm_memsim::Measurement;
+use memcomm_model::BasicTransfer;
+
+use crate::Machine;
+
+type Key = (u64, BasicTransfer, u64);
+
+static CACHE: OnceLock<Mutex<HashMap<Key, Option<Measurement>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<Key, Option<Measurement>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// FNV-1a over the machine's complete `Debug` rendering. Every calibrated
+/// parameter shows up in the rendering, so any mutation changes the
+/// fingerprint.
+pub fn machine_fingerprint(machine: &Machine) -> u64 {
+    let text = format!("{machine:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A snapshot of the cache's hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// Distinct `(machine, transfer, words)` points currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot (entries reports the
+    /// current absolute count).
+    pub fn since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.wrapping_sub(earlier.hits),
+            misses: self.misses.wrapping_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+/// Reads the current cache statistics.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: cache().lock().expect("memo cache poisoned").len() as u64,
+    }
+}
+
+/// Clears the cache and its counters (used by the serial-vs-parallel
+/// equivalence tests to force both runs to simulate from scratch).
+pub fn reset() {
+    cache().lock().expect("memo cache poisoned").clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Looks up a measurement point, simulating it with `simulate` on a miss.
+/// `None` results (transfers the machine does not offer) are cached too —
+/// re-deciding that a T3D has no DMA costs a lookup, not a simulation.
+pub fn cached(
+    machine: &Machine,
+    transfer: BasicTransfer,
+    words: u64,
+    simulate: impl FnOnce() -> Option<Measurement>,
+) -> Option<Measurement> {
+    let key = (machine_fingerprint(machine), transfer, words);
+    if let Some(found) = cache().lock().expect("memo cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return *found;
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let value = simulate();
+    cache()
+        .lock()
+        .expect("memo cache poisoned")
+        .entry(key)
+        .or_insert(value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits() {
+        let m = Machine::t3d();
+        let t = BasicTransfer::parse("1C1").unwrap();
+        let before = stats();
+        let a = crate::microbench::measure_basic(&m, t, 777);
+        let b = crate::microbench::measure_basic(&m, t, 777);
+        assert_eq!(a, b);
+        let delta = stats().since(before);
+        assert!(delta.hits >= 1, "second lookup must hit: {delta:?}");
+    }
+
+    #[test]
+    fn mutated_machines_do_not_collide() {
+        let stock = Machine::t3d();
+        let mut ablated = Machine::t3d();
+        ablated.node.path.readahead.enabled = false;
+        assert_ne!(
+            machine_fingerprint(&stock),
+            machine_fingerprint(&ablated),
+            "ablation must change the fingerprint"
+        );
+        let t = BasicTransfer::parse("1C0").unwrap();
+        let on = crate::microbench::measure_basic(&stock, t, 2048).unwrap();
+        let off = crate::microbench::measure_basic(&ablated, t, 2048).unwrap();
+        assert_ne!(on.cycles, off.cycles, "read-ahead ablation must show");
+    }
+
+    #[test]
+    fn none_results_are_cached() {
+        let t3d = Machine::t3d();
+        let dma = BasicTransfer::parse("1F0").unwrap();
+        assert!(crate::microbench::measure_basic(&t3d, dma, 555).is_none());
+        let before = stats();
+        assert!(crate::microbench::measure_basic(&t3d, dma, 555).is_none());
+        assert!(stats().since(before).hits >= 1);
+    }
+
+    #[test]
+    fn hit_rate_is_a_fraction() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let empty = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+        };
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+}

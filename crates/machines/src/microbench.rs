@@ -63,7 +63,29 @@ fn feed_cycles(machine: &Machine, addressed: bool) -> Cycle {
 /// Measures one basic transfer on the machine, over `words` payload words.
 /// Returns `None` when the machine does not offer that transfer (the "–"
 /// cells of the paper's tables).
-pub fn measure_basic(machine: &Machine, transfer: BasicTransfer, words: u64) -> Option<Measurement> {
+///
+/// Results are memoized process-wide (see [`crate::memo`]): the first call
+/// for a `(machine, transfer, words)` point simulates, later calls — from
+/// other experiments, the calibration report, or parallel sweep workers —
+/// are lookups.
+pub fn measure_basic(
+    machine: &Machine,
+    transfer: BasicTransfer,
+    words: u64,
+) -> Option<Measurement> {
+    crate::memo::cached(machine, transfer, words, || {
+        simulate_basic(machine, transfer, words)
+    })
+}
+
+/// Runs one basic-transfer simulation unconditionally, bypassing the memo
+/// cache. The cache's correctness rests on this being a pure function of
+/// its arguments.
+pub fn simulate_basic(
+    machine: &Machine,
+    transfer: BasicTransfer,
+    words: u64,
+) -> Option<Measurement> {
     let mut node = make_node(machine);
     let read = transfer.read_pattern();
     let write = transfer.write_pattern();
@@ -186,11 +208,18 @@ pub fn standard_transfers() -> Vec<BasicTransfer> {
 
 /// Measures the machine's full standard rate table. Unsupported transfers
 /// are simply absent, mirroring the "–" cells of the paper's tables.
+///
+/// The sweep fans out across the process-default worker count
+/// ([`memcomm_util::par::set_jobs`]); results are order-preserving and
+/// memoized, so the table is identical whatever the worker count.
 pub fn measure_table(machine: &Machine, words: u64) -> RateTable {
-    standard_transfers()
-        .into_iter()
-        .filter_map(|t| measure_rate(machine, t, words).map(|r| (t, r)))
-        .collect()
+    let transfers = standard_transfers();
+    memcomm_util::par::par_map_auto(&transfers, |&t| {
+        measure_rate(machine, t, words).map(|r| (t, r))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Which side of a copy is strided in a stride sweep.
@@ -209,18 +238,15 @@ pub fn stride_sweep(
     words: u64,
     side: StrideSide,
 ) -> Vec<(u32, Throughput)> {
-    strides
-        .iter()
-        .map(|&n| {
-            let s = AccessPattern::strided(n).expect("sweep strides are >= 1");
-            let t = match side {
-                StrideSide::Loads => BasicTransfer::copy(s, AccessPattern::Contiguous),
-                StrideSide::Stores => BasicTransfer::copy(AccessPattern::Contiguous, s),
-            };
-            let rate = measure_rate(machine, t, words).expect("local copies always run");
-            (n, rate)
-        })
-        .collect()
+    memcomm_util::par::par_map_auto(strides, |&n| {
+        let s = AccessPattern::strided(n).expect("sweep strides are >= 1");
+        let t = match side {
+            StrideSide::Loads => BasicTransfer::copy(s, AccessPattern::Contiguous),
+            StrideSide::Stores => BasicTransfer::copy(AccessPattern::Contiguous, s),
+        };
+        let rate = measure_rate(machine, t, words).expect("local copies always run");
+        (n, rate)
+    })
 }
 
 #[cfg(test)]
@@ -264,6 +290,9 @@ mod tests {
     fn stride_sweep_is_monotonically_ordered_overall() {
         let t3d = Machine::t3d();
         let sweep = stride_sweep(&t3d, &[2, 8, 64], WORDS, StrideSide::Stores);
-        assert!(sweep[0].1 >= sweep[2].1, "small strides are at least as fast");
+        assert!(
+            sweep[0].1 >= sweep[2].1,
+            "small strides are at least as fast"
+        );
     }
 }

@@ -294,7 +294,10 @@ mod tests {
         ] {
             let q = chained_expr(x, y, ChainedPlan::default()).unwrap();
             let est = q.estimate(&rates).unwrap().as_mbps();
-            assert!((est - expect).abs() < 1.5, "{x}Q'{y}: got {est}, paper {expect}");
+            assert!(
+                (est - expect).abs() < 1.5,
+                "{x}Q'{y}: got {est}, paper {expect}"
+            );
         }
     }
 

@@ -109,7 +109,10 @@ impl Cache {
     /// Panics if the geometry is inconsistent (size not divisible into
     /// `ways` × power-of-two sets of `line_bytes`).
     pub fn new(params: CacheParams) -> Self {
-        assert!(params.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            params.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(params.ways >= 1);
         let lines = params.size_bytes / params.line_bytes;
         assert!(
@@ -120,12 +123,20 @@ impl Cache {
             params.line_bytes
         );
         let set_count = (lines / u64::from(params.ways)) as usize;
-        assert!(set_count.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            set_count.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             params,
             sets: vec![
                 vec![
-                    Line { tag: 0, valid: false, dirty: false, lru: 0 };
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
                     params.ways as usize
                 ];
                 set_count
@@ -157,9 +168,7 @@ impl Cache {
     }
 
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        self.sets[set]
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
+        self.sets[set].iter().position(|l| l.valid && l.tag == tag)
     }
 
     fn touch(&mut self, set: usize, way: usize) {

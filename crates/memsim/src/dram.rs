@@ -336,6 +336,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_rejected() {
-        let _ = Dram::new(DramParams { banks: 0, ..params(1) });
+        let _ = Dram::new(DramParams {
+            banks: 0,
+            ..params(1)
+        });
     }
 }

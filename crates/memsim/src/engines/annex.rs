@@ -92,9 +92,7 @@ impl AnnexEngine {
         self.t = self.t.max(at) + self.params.word_cycles;
         match word.kind {
             WordKind::Data => {
-                let addr = word
-                    .addr
-                    .expect("annex deposits are always addressed");
+                let addr = word.addr.expect("annex deposits are always addressed");
                 self.t = path.engine_write(self.t, Port::Deposit, addr, 1);
                 mem.write(addr, word.data);
                 self.stats.deposited += 1;
@@ -120,7 +118,9 @@ mod tests {
     fn drive(annex: &mut AnnexEngine, node: &mut Node) {
         // tx/rx are disjoint fields; split-borrow through the node.
         for _ in 0..10_000 {
-            let Node { path, mem, tx, rx, .. } = node;
+            let Node {
+                path, mem, tx, rx, ..
+            } = node;
             match annex.step(path, mem, rx, tx) {
                 Step::Done => return,
                 Step::Blocked => panic!("annex starved"),
@@ -159,9 +159,15 @@ mod tests {
         let data = node.alloc_walk(AccessPattern::Contiguous, 4, None);
         node.mem.fill(data.region(), [7, 8, 9, 10]);
         let sink = node.alloc_walk(AccessPattern::Contiguous, 2, None);
-        node.rx.push(0, NetWord::addressed(sink.addr(0), 41)).unwrap();
-        node.rx.push(1, NetWord::request(data.addr(2), 0x9000)).unwrap();
-        node.rx.push(2, NetWord::addressed(sink.addr(1), 42)).unwrap();
+        node.rx
+            .push(0, NetWord::addressed(sink.addr(0), 41))
+            .unwrap();
+        node.rx
+            .push(1, NetWord::request(data.addr(2), 0x9000))
+            .unwrap();
+        node.rx
+            .push(2, NetWord::addressed(sink.addr(1), 42))
+            .unwrap();
         let mut annex = AnnexEngine::new(node.params().deposit, 2, 1);
         drive(&mut annex, &mut node);
         assert_eq!(node.mem.read(sink.addr(0)), 41);
@@ -178,9 +184,13 @@ mod tests {
         node.tx.push(0, NetWord::data(0)).unwrap();
         let data = node.alloc_walk(AccessPattern::Contiguous, 1, None);
         node.mem.write(data.addr(0), 55);
-        node.rx.push(0, NetWord::request(data.addr(0), 0x9000)).unwrap();
+        node.rx
+            .push(0, NetWord::request(data.addr(0), 0x9000))
+            .unwrap();
         let mut annex = AnnexEngine::new(node.params().deposit, 0, 1);
-        let Node { path, mem, tx, rx, .. } = &mut node;
+        let Node {
+            path, mem, tx, rx, ..
+        } = &mut node;
         assert_eq!(annex.step(path, mem, rx, tx), Step::Progressed); // read memory, stage
         assert_eq!(annex.step(path, mem, rx, tx), Step::Blocked); // tx full
         tx.pop(100);

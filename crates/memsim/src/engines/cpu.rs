@@ -312,7 +312,11 @@ impl CpuSender {
                 d.addr(self.sent)
             });
             cpu.port_store();
-            self.staged = Some(NetWord { addr, data: value, kind: WordKind::Data });
+            self.staged = Some(NetWord {
+                addr,
+                data: value,
+                kind: WordKind::Data,
+            });
         } else if self.issued < n && self.issued - self.sent < depth {
             cpu.issue_load(path, mem, &self.src, self.issued);
             self.issued += 1;
@@ -323,7 +327,11 @@ impl CpuSender {
                 d.addr(self.sent)
             });
             cpu.port_store();
-            self.staged = Some(NetWord { addr, data: value, kind: WordKind::Data });
+            self.staged = Some(NetWord {
+                addr,
+                data: value,
+                kind: WordKind::Data,
+            });
         }
         Step::Progressed
     }

@@ -200,12 +200,7 @@ mod tests {
         }
     }
 
-    fn drive(
-        engine: &mut DepositEngine,
-        path: &mut MemPath,
-        mem: &mut Memory,
-        rx: &mut TimedFifo,
-    ) {
+    fn drive(engine: &mut DepositEngine, path: &mut MemPath, mem: &mut Memory, rx: &mut TimedFifo) {
         for _ in 0..10_000 {
             match engine.step(path, mem, rx) {
                 Step::Done => return,
@@ -247,7 +242,15 @@ mod tests {
         let dst = mem.alloc_walk(AccessPattern::Contiguous, 8, None);
         let mut rx = TimedFifo::new(32);
         for i in 0..8u64 {
-            rx.push(0, NetWord { addr: None, data: i, kind: WordKind::Data }).unwrap();
+            rx.push(
+                0,
+                NetWord {
+                    addr: None,
+                    data: i,
+                    kind: WordKind::Data,
+                },
+            )
+            .unwrap();
         }
         let mut d = DepositEngine::new(params(), DepositMode::Stream(dst.clone()), 8);
         drive(&mut d, &mut p, &mut mem, &mut rx);
@@ -314,8 +317,24 @@ mod tests {
         let mut mem = Memory::new(1 << 16, 2048);
         let mut p = path();
         let mut rx = TimedFifo::new(4);
-        rx.push(0, NetWord { addr: Some(0), data: 1, kind: WordKind::Data }).unwrap();
-        rx.push(0, NetWord { addr: Some(64), data: 2, kind: WordKind::Data }).unwrap();
+        rx.push(
+            0,
+            NetWord {
+                addr: Some(0),
+                data: 1,
+                kind: WordKind::Data,
+            },
+        )
+        .unwrap();
+        rx.push(
+            0,
+            NetWord {
+                addr: Some(64),
+                data: 2,
+                kind: WordKind::Data,
+            },
+        )
+        .unwrap();
         let mut d = DepositEngine::new(
             DepositParams {
                 contiguous_only: true,

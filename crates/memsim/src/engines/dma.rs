@@ -109,7 +109,12 @@ impl Dma {
             });
         }
         self.fetched += burst;
-        if self.fetched < n && self.src.addr(self.fetched).is_multiple_of(self.params.page_bytes) {
+        if self.fetched < n
+            && self
+                .src
+                .addr(self.fetched)
+                .is_multiple_of(self.params.page_bytes)
+        {
             // The next burst starts a new page: the engine stalls until the
             // processor kicks it.
             self.t += self.params.kick_cycles;
@@ -199,7 +204,13 @@ mod tests {
             let mut p = path();
             let src = mem.alloc_walk(AccessPattern::Contiguous, words, None);
             let mut tx = TimedFifo::new(1 << 16);
-            let mut dma = Dma::new(DmaParams { page_bytes: page, ..params() }, src);
+            let mut dma = Dma::new(
+                DmaParams {
+                    page_bytes: page,
+                    ..params()
+                },
+                src,
+            );
             while dma.step(&mut p, &mem, &mut tx) != Step::Done {}
             dma.t
         };

@@ -27,7 +27,11 @@ impl Region {
     ///
     /// Panics if `i` is out of bounds.
     pub fn addr(&self, i: u64) -> u64 {
-        assert!(i < self.words, "word {i} outside region of {} words", self.words);
+        assert!(
+            i < self.words,
+            "word {i} outside region of {} words",
+            self.words
+        );
         self.base + i * WORD_BYTES
     }
 
@@ -89,8 +93,7 @@ impl Memory {
         h ^= h >> 27;
         let jitter = 1 + h % 4;
         self.alloc_count += 1;
-        let base =
-            (self.next_free + jitter * self.align_bytes).next_multiple_of(self.align_bytes);
+        let base = (self.next_free + jitter * self.align_bytes).next_multiple_of(self.align_bytes);
         let end = base + words * WORD_BYTES;
         assert!(
             end <= self.words.len() as u64 * WORD_BYTES,
@@ -121,7 +124,10 @@ impl Memory {
     }
 
     fn index(addr: u64, len: usize) -> usize {
-        assert!(addr.is_multiple_of(WORD_BYTES), "unaligned word access at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(WORD_BYTES),
+            "unaligned word access at {addr:#x}"
+        );
         let i = (addr / WORD_BYTES) as usize;
         assert!(i < len, "address {addr:#x} outside node memory");
         i
@@ -139,7 +145,9 @@ impl Memory {
 
     /// Reads a whole region into a vector (for asserting test results).
     pub fn dump(&self, region: Region) -> Vec<u64> {
-        (0..region.words).map(|i| self.read(region.addr(i))).collect()
+        (0..region.words)
+            .map(|i| self.read(region.addr(i)))
+            .collect()
     }
 
     /// Convenience: allocates a region together with an access-pattern walk

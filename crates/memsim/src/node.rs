@@ -71,10 +71,10 @@ impl Default for NodeParams {
                     posted_write_miss_cycles: 14,
                     burst_word_cycles: 1,
                     channel_word_cycles: 1,
-                demand_latency_cycles: 10,
-                write_row_affinity: true,
-                read_row_affinity: true,
-                turnaround_cycles: 0,
+                    demand_latency_cycles: 10,
+                    write_row_affinity: true,
+                    read_row_affinity: true,
+                    turnaround_cycles: 0,
                 },
                 switch_penalty_cycles: 0,
                 switch_window_cycles: 0,

@@ -202,7 +202,13 @@ impl MemPath {
         // transaction: the next drain cannot start before the previous one
         // completed, even to an idle bank.
         let at = at.max(self.last_drain_end);
-        self.record(at, Port::Cpu, TraceOp::Drain, item.line_base, item.words.max(1));
+        self.record(
+            at,
+            Port::Cpu,
+            TraceOp::Drain,
+            item.line_base,
+            item.words.max(1),
+        );
         let span = self.dram.access(
             at,
             item.line_base,
@@ -346,7 +352,9 @@ impl MemPath {
         if self.params.deposit_invalidates_cache {
             let line_bytes = self.params.cache.line_bytes;
             let first = self.cache.line_base(addr);
-            let last = self.cache.line_base(addr + u64::from(words - 1) * WORD_BYTES);
+            let last = self
+                .cache
+                .line_base(addr + u64::from(words - 1) * WORD_BYTES);
             let mut line = first;
             loop {
                 self.cache.invalidate_line(line);
@@ -510,7 +518,11 @@ mod tests {
         // The deposit left the row open, so the refetch is a row hit, but it
         // is a full line fill, not a cache hit.
         assert_eq!(p.cache_stats().load_misses, 2, "line must be refetched");
-        assert!(again - t >= 18, "refetch pays fill + latency, got {}", again - t);
+        assert!(
+            again - t >= 18,
+            "refetch pays fill + latency, got {}",
+            again - t
+        );
     }
 
     #[test]

@@ -1,7 +1,53 @@
-//! Measurement results.
+//! Measurement results and process-wide simulation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::clock::{Clock, Cycle};
 use memcomm_model::Throughput;
+
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+static SIM_WORDS: AtomicU64 = AtomicU64::new(0);
+static MEASUREMENTS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide simulation counters: every
+/// [`Measurement`] ever constructed adds to them, so a sweep engine can
+/// report how much simulated machine time a run covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Total simulated cycles across all measurements.
+    pub cycles: u64,
+    /// Total payload words across all measurements.
+    pub words: u64,
+    /// Number of measurements constructed.
+    pub measurements: u64,
+}
+
+/// Reads the current counters.
+pub fn counters() -> SimCounters {
+    SimCounters {
+        cycles: SIM_CYCLES.load(Ordering::Relaxed),
+        words: SIM_WORDS.load(Ordering::Relaxed),
+        measurements: MEASUREMENTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the counters to zero (test isolation; the counters are global).
+pub fn reset_counters() {
+    SIM_CYCLES.store(0, Ordering::Relaxed);
+    SIM_WORDS.store(0, Ordering::Relaxed);
+    MEASUREMENTS.store(0, Ordering::Relaxed);
+}
+
+impl SimCounters {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(self, earlier: SimCounters) -> SimCounters {
+        SimCounters {
+            cycles: self.cycles.wrapping_sub(earlier.cycles),
+            words: self.words.wrapping_sub(earlier.words),
+            measurements: self.measurements.wrapping_sub(earlier.measurements),
+        }
+    }
+}
 
 /// The result of one simulated transfer measurement: how many 64-bit words
 /// of *payload* moved and how many cycles the operation took end to end.
@@ -19,8 +65,12 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Creates a measurement.
+    /// Creates a measurement and records it in the process-wide
+    /// [`counters`].
     pub fn new(words: u64, cycles: Cycle) -> Self {
+        SIM_CYCLES.fetch_add(cycles, Ordering::Relaxed);
+        SIM_WORDS.fetch_add(words, Ordering::Relaxed);
+        MEASUREMENTS.fetch_add(1, Ordering::Relaxed);
         Measurement { words, cycles }
     }
 

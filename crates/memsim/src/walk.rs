@@ -44,7 +44,9 @@ impl Walk {
                     ix.len()
                 );
                 assert!(
-                    ix.iter().take(count as usize).all(|&i| u64::from(i) < region.words),
+                    ix.iter()
+                        .take(count as usize)
+                        .all(|&i| u64::from(i) < region.words),
                     "index array points outside the region"
                 );
             }
@@ -169,13 +171,19 @@ mod tests {
     use super::*;
 
     fn region(words: u64) -> Region {
-        Region { base: 0x1000, words }
+        Region {
+            base: 0x1000,
+            words,
+        }
     }
 
     #[test]
     fn contiguous_addresses() {
         let w = Walk::new(AccessPattern::Contiguous, region(8), 4, None);
-        assert_eq!(w.addrs().collect::<Vec<_>>(), vec![0x1000, 0x1008, 0x1010, 0x1018]);
+        assert_eq!(
+            w.addrs().collect::<Vec<_>>(),
+            vec![0x1000, 0x1008, 0x1010, 0x1018]
+        );
     }
 
     #[test]
@@ -189,12 +197,7 @@ mod tests {
 
     #[test]
     fn indexed_addresses_follow_index() {
-        let w = Walk::new(
-            AccessPattern::Indexed,
-            region(8),
-            3,
-            Some(vec![7, 0, 3]),
-        );
+        let w = Walk::new(AccessPattern::Indexed, region(8), 3, Some(vec![7, 0, 3]));
         assert_eq!(
             w.addrs().collect::<Vec<_>>(),
             vec![0x1000 + 56, 0x1000, 0x1000 + 24]
@@ -204,7 +207,10 @@ mod tests {
     #[test]
     fn index_addr_packs_two_per_word() {
         let w = Walk::new(AccessPattern::Indexed, region(8), 4, Some(vec![0, 1, 2, 3]))
-            .with_index_region(Region { base: 0x8000, words: 2 });
+            .with_index_region(Region {
+                base: 0x8000,
+                words: 2,
+            });
         assert_eq!(w.index_addr(0), Some(0x8000));
         assert_eq!(w.index_addr(1), Some(0x8000));
         assert_eq!(w.index_addr(2), Some(0x8008));
@@ -228,7 +234,10 @@ mod tests {
     #[test]
     fn slice_of_indexed_walk_follows_index() {
         let w = Walk::new(AccessPattern::Indexed, region(8), 4, Some(vec![3, 1, 7, 0]))
-            .with_index_region(Region { base: 0x8000, words: 2 });
+            .with_index_region(Region {
+                base: 0x8000,
+                words: 2,
+            });
         let s = w.slice(2, 2);
         assert_eq!(s.addr(0), 0x1000 + 7 * 8);
         assert_eq!(s.index_addr(0), Some(0x8008));

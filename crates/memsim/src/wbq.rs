@@ -134,7 +134,10 @@ impl Wbq {
             self.stats.full_stalls += 1;
             return false;
         }
-        self.entries.push_back(Entry { line_base: base, mask: bit });
+        self.entries.push_back(Entry {
+            line_base: base,
+            mask: bit,
+        });
         self.stats.queued += 1;
         true
     }

@@ -8,7 +8,7 @@ use memcomm_memsim::nic::{NetWord, TimedFifo};
 use memcomm_memsim::node::{Node, NodeParams};
 use memcomm_memsim::wbq::{Wbq, WbqParams};
 use memcomm_model::AccessPattern;
-use proptest::prelude::*;
+use memcomm_util::check::forall;
 
 /// A trivially correct LRU cache oracle: a vector of line tags per set,
 /// most recently used last.
@@ -47,17 +47,16 @@ impl LruOracle {
     }
 }
 
-proptest! {
-    /// The tag-array cache agrees with a straightforward LRU oracle on
-    /// every access of a random load stream.
-    #[test]
-    fn cache_matches_lru_oracle(
-        ways in 1u32..5,
-        addrs in proptest::collection::vec(0u64..32_768, 1..600),
-    ) {
+/// The tag-array cache agrees with a straightforward LRU oracle on every
+/// access of a random load stream.
+#[test]
+fn cache_matches_lru_oracle() {
+    forall("cache_matches_lru_oracle", 128, |rng| {
         // Geometry must divide evenly; 4 KiB with 32-byte lines has 128
-        // lines, divisible by 1..=4 ways.
-        prop_assume!(128 % ways == 0 && (128 / ways).is_power_of_two());
+        // lines, divisible by 1, 2 and 4 ways.
+        let ways = *rng.choose(&[1u32, 2, 4]);
+        let n = rng.range_usize(1, 600);
+        let addrs = rng.vec(n, |rng| rng.range_u64(0, 32_768));
         let mut cache = Cache::new(CacheParams {
             size_bytes: 4096,
             line_bytes: 32,
@@ -71,18 +70,22 @@ proptest! {
             let addr = addr & !7;
             let expected = oracle.load(addr);
             let got = matches!(cache.load(addr), LoadOutcome::Hit);
-            prop_assert_eq!(got, expected, "divergence at {:#x}", addr);
+            assert_eq!(got, expected, "divergence at {addr:#x}");
         }
-    }
+    });
+}
 
-    /// DRAM timing invariants over random request streams: completion never
-    /// precedes the request, per-bank time is monotone, and the channel
-    /// never moves more than one word per `channel_word_cycles`.
-    #[test]
-    fn dram_time_is_physical(
-        banks in 1u32..5,
-        requests in proptest::collection::vec((0u64..1_000_000, 1u32..8, proptest::bool::ANY), 1..300),
-    ) {
+/// DRAM timing invariants over random request streams: completion never
+/// precedes the request, per-bank time is monotone, and the channel never
+/// moves more than one word per `channel_word_cycles`.
+#[test]
+fn dram_time_is_physical() {
+    forall("dram_time_is_physical", 128, |rng| {
+        let banks = rng.range_u32(1, 5);
+        let n = rng.range_usize(1, 300);
+        let requests = rng.vec(n, |rng| {
+            (rng.range_u64(0, 1_000_000), rng.range_u32(1, 8), rng.bool())
+        });
         let mut dram = Dram::new(DramParams {
             banks,
             interleave_bytes: 32,
@@ -105,24 +108,33 @@ proptest! {
         for (now, (addr, words, is_write)) in requests.into_iter().enumerate() {
             let now = now as u64;
             let addr = addr & !7;
-            let op = if is_write { DramOp::Write } else { DramOp::Read };
+            let op = if is_write {
+                DramOp::Write
+            } else {
+                DramOp::Read
+            };
             let span = dram.access(now, addr, words, op);
-            prop_assert!(span.start >= now, "time travel");
-            prop_assert!(span.end > span.start, "zero-width access");
+            assert!(span.start >= now, "time travel");
+            assert!(span.end > span.start, "zero-width access");
             total_words += u64::from(words);
             last_end = last_end.max(span.end);
         }
         // Channel bound: one word per channel cycle at best.
-        prop_assert!(last_end >= total_words, "channel moved {total_words} words in {last_end} cycles");
-    }
+        assert!(
+            last_end >= total_words,
+            "channel moved {total_words} words in {last_end} cycles"
+        );
+    });
+}
 
-    /// The write buffer never loses or invents stores: queued+merged pushes
-    /// equal drained words; FIFO drain order preserves first-push order of
-    /// lines.
-    #[test]
-    fn wbq_conserves_stores(
-        addrs in proptest::collection::vec(0u64..2048, 1..200),
-    ) {
+/// The write buffer never loses or invents stores: queued+merged pushes
+/// equal drained words; FIFO drain order preserves first-push order of
+/// lines.
+#[test]
+fn wbq_conserves_stores() {
+    forall("wbq_conserves_stores", 128, |rng| {
+        let n = rng.range_usize(1, 200);
+        let addrs = rng.vec(n, |rng| rng.range_u64(0, 2048));
         let mut wbq = Wbq::new(WbqParams {
             entries: 64, // capacious: no rejections in this test
             merge: true,
@@ -132,22 +144,24 @@ proptest! {
         for &a in &addrs {
             let a = a & !7;
             distinct.insert(a);
-            prop_assert!(wbq.push(a), "64 entries never fill from 64 distinct lines");
+            assert!(wbq.push(a), "64 entries never fill from 64 distinct lines");
         }
         let mut drained_words = 0u64;
         while let Some(item) = wbq.pop() {
             drained_words += u64::from(item.words);
         }
-        prop_assert_eq!(drained_words, distinct.len() as u64);
-    }
+        assert_eq!(drained_words, distinct.len() as u64);
+    });
+}
 
-    /// FIFO conservation and ordering under interleaved push/pop with
-    /// arbitrary local clocks.
-    #[test]
-    fn fifo_conserves_and_orders(
-        ops in proptest::collection::vec((proptest::bool::ANY, 0u64..10_000), 1..300),
-        cap in 1usize..16,
-    ) {
+/// FIFO conservation and ordering under interleaved push/pop with
+/// arbitrary local clocks.
+#[test]
+fn fifo_conserves_and_orders() {
+    forall("fifo_conserves_and_orders", 128, |rng| {
+        let n = rng.range_usize(1, 300);
+        let ops = rng.vec(n, |rng| (rng.bool(), rng.range_u64(0, 10_000)));
+        let cap = rng.range_usize(1, 16);
         let mut fifo = TimedFifo::new(cap);
         let mut next_val = 0u64;
         let mut expected = std::collections::VecDeque::new();
@@ -160,46 +174,51 @@ proptest! {
                 next_val += 1;
             } else if let Some((at, w)) = fifo.pop(t) {
                 let want = expected.pop_front().expect("fifo had an item");
-                prop_assert_eq!(w.data, want, "FIFO order violated");
-                prop_assert!(at >= t.min(at), "pop time sane");
+                assert_eq!(w.data, want, "FIFO order violated");
+                assert!(at >= t.min(at), "pop time sane");
                 // Pop completion times are not globally monotone (clocks
                 // differ per agent), but never precede the push.
                 last_pop_time = last_pop_time.max(at);
             }
-            prop_assert!(fifo.len() <= cap);
+            assert!(fifo.len() <= cap);
         }
-        prop_assert_eq!(fifo.len(), expected.len());
-    }
+        assert_eq!(fifo.len(), expected.len());
+    });
+}
 
-    /// A local copy is semantically memcpy for every pattern combination:
-    /// after the run, dst element i holds src element i.
-    #[test]
-    fn local_copy_is_memcpy(
-        src_stride in 1u32..20,
-        dst_stride in 1u32..20,
-        n in 1u64..200,
-        seed in 0u64..1000,
-    ) {
+/// A local copy is semantically memcpy for every pattern combination:
+/// after the run, dst element i holds src element i.
+#[test]
+fn local_copy_is_memcpy() {
+    forall("local_copy_is_memcpy", 64, |rng| {
+        let src_stride = rng.range_u32(1, 20);
+        let dst_stride = rng.range_u32(1, 20);
+        let n = rng.range_u64(1, 200);
+        let seed = rng.range_u64(0, 1000);
         let mut node = Node::new(NodeParams::default());
         let sp = AccessPattern::strided(src_stride).unwrap();
         let dp = AccessPattern::strided(dst_stride).unwrap();
         let src = node.alloc_walk(sp, n, None);
         let dst = node.alloc_walk(dp, n, None);
         for i in 0..n {
-            node.mem.write(src.addr(i), seed.wrapping_mul(31).wrapping_add(i));
+            node.mem
+                .write(src.addr(i), seed.wrapping_mul(31).wrapping_add(i));
         }
         let mut cpu = node.cpu();
         LocalCopier::new(src.clone(), dst.clone()).run(&mut cpu, &mut node.path, &mut node.mem);
         for i in 0..n {
-            prop_assert_eq!(node.mem.read(dst.addr(i)), node.mem.read(src.addr(i)));
+            assert_eq!(node.mem.read(dst.addr(i)), node.mem.read(src.addr(i)));
         }
-        prop_assert!(cpu.t > 0);
-    }
+        assert!(cpu.t > 0);
+    });
+}
 
-    /// Copy time grows at least linearly in the element count (no
-    /// super-linear accounting bugs, no sublinear time travel).
-    #[test]
-    fn copy_time_scales_sanely(n in 64u64..512) {
+/// Copy time grows at least linearly in the element count (no super-linear
+/// accounting bugs, no sublinear time travel).
+#[test]
+fn copy_time_scales_sanely() {
+    forall("copy_time_scales_sanely", 32, |rng| {
+        let n = rng.range_u64(64, 512);
         let time = |count: u64| {
             let mut node = Node::new(NodeParams::default());
             let src = node.alloc_walk(AccessPattern::Contiguous, count, None);
@@ -211,6 +230,6 @@ proptest! {
         let t1 = time(n);
         let t2 = time(2 * n);
         let ratio = t2 as f64 / t1 as f64;
-        prop_assert!((1.6..2.6).contains(&ratio), "doubling n gave ratio {ratio}");
-    }
+        assert!((1.6..2.6).contains(&ratio), "doubling n gave ratio {ratio}");
+    });
 }

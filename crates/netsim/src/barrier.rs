@@ -34,7 +34,11 @@ pub fn barrier_cycles(
     software_cycles_per_round: Cycle,
 ) -> Cycle {
     let rounds = Cycle::from(dissemination_rounds(topo.len()));
-    let word = NetWord { addr: None, data: 0, kind: WordKind::Data };
+    let word = NetWord {
+        addr: None,
+        data: 0,
+        kind: WordKind::Data,
+    };
     let wire = link.word_cycles(&word).ceil() as Cycle;
     rounds * (software_cycles_per_round + wire + link.latency_cycles)
 }

@@ -181,8 +181,16 @@ mod tests {
         let t = Topology::mesh(&[3]);
         // Two flows crossing the middle link 0->1->2.
         let flows = [
-            Flow { src: 0, dst: 2, bytes: 100 },
-            Flow { src: 0, dst: 1, bytes: 50 },
+            Flow {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+            },
+            Flow {
+                src: 0,
+                dst: 1,
+                bytes: 50,
+            },
         ];
         let loads = link_loads(&t, &flows);
         let l01 = LinkId { from: 0, to: 1 };

@@ -97,7 +97,9 @@ impl Link {
             let Some(avail) = from.front_ready() else {
                 return Step::Blocked;
             };
-            let (_, word) = from.pop(self.time()).expect("front_ready implies non-empty");
+            let (_, word) = from
+                .pop(self.time())
+                .expect("front_ready implies non-empty");
             let cost = self.params.word_cycles(&word);
             // Advance the fractional clock from the word's availability, not
             // from the integer-rounded pop time — otherwise every word pays
@@ -165,7 +167,11 @@ mod tests {
     fn data_words_cost_framed_bytes() {
         // 8 payload + 1 header byte amortized = 9 cycles per word.
         let m = measure_wire_rate(params(), 1000, false);
-        assert!((m.cycles_per_word() - 9.0).abs() < 0.1, "{}", m.cycles_per_word());
+        assert!(
+            (m.cycles_per_word() - 9.0).abs() < 0.1,
+            "{}",
+            m.cycles_per_word()
+        );
     }
 
     #[test]
@@ -196,7 +202,15 @@ mod tests {
         let mut from = TimedFifo::new(64);
         let mut to = TimedFifo::new(2);
         for i in 0..8 {
-            from.push(0, NetWord { addr: None, data: i, kind: WordKind::Data }).unwrap();
+            from.push(
+                0,
+                NetWord {
+                    addr: None,
+                    data: i,
+                    kind: WordKind::Data,
+                },
+            )
+            .unwrap();
         }
         let mut link = Link::new(params());
         // Fill the destination.
@@ -214,11 +228,22 @@ mod tests {
     fn latency_delays_availability() {
         let mut from = TimedFifo::new(4);
         let mut to = TimedFifo::new(4);
-        from.push(0, NetWord { addr: None, data: 7, kind: WordKind::Data }).unwrap();
+        from.push(
+            0,
+            NetWord {
+                addr: None,
+                data: 7,
+                kind: WordKind::Data,
+            },
+        )
+        .unwrap();
         let mut link = Link::new(params());
         link.step(&mut from, &mut to);
         let ready = to.front_ready().unwrap();
-        assert!(ready >= 20 + 9, "cut-through latency plus wire time, got {ready}");
+        assert!(
+            ready >= 20 + 9,
+            "cut-through latency plus wire time, got {ready}"
+        );
     }
 
     #[test]

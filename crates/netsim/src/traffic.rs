@@ -53,7 +53,10 @@ pub fn all_to_all(topo: &Topology, bytes_per_pair: u64) -> Vec<Flow> {
 ///
 /// Panics if `n` is not a power of two.
 pub fn aapc_xor_schedule(n: usize, bytes_per_pair: u64) -> Vec<Vec<Flow>> {
-    assert!(n.is_power_of_two(), "XOR schedule needs a power-of-two node count");
+    assert!(
+        n.is_power_of_two(),
+        "XOR schedule needs a power-of-two node count"
+    );
     (1..n)
         .map(|r| {
             (0..n)

@@ -6,97 +6,113 @@ use memcomm_netsim::link::{Link, LinkParams, Step};
 use memcomm_netsim::routing::route;
 use memcomm_netsim::topology::Topology;
 use memcomm_netsim::traffic;
-use proptest::prelude::*;
+use memcomm_util::check::forall;
+use memcomm_util::rng::Rng;
 
-fn topo_strategy() -> impl Strategy<Value = Topology> {
-    (
-        proptest::collection::vec(1u32..6, 1..4),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(dims, wrap)| {
-            if wrap {
-                Topology::torus(&dims)
-            } else {
-                Topology::mesh(&dims)
-            }
-        })
+fn random_topology(rng: &mut Rng) -> Topology {
+    let ndims = rng.range_usize(1, 4);
+    let dims: Vec<u32> = (0..ndims).map(|_| rng.range_u32(1, 6)).collect();
+    if rng.bool() {
+        Topology::torus(&dims)
+    } else {
+        Topology::mesh(&dims)
+    }
 }
 
-proptest! {
-    /// Dimension-order routes are valid walks: each hop moves between
-    /// topology neighbours, the route starts and ends correctly, and its
-    /// length equals the Manhattan distance.
-    #[test]
-    fn routes_are_valid_walks(topo in topo_strategy(), seed in 0u64..1000) {
+/// Dimension-order routes are valid walks: each hop moves between topology
+/// neighbours, the route starts and ends correctly, and its length equals
+/// the Manhattan distance.
+#[test]
+fn routes_are_valid_walks() {
+    forall("routes_are_valid_walks", 256, |rng| {
+        let topo = random_topology(rng);
+        let seed = rng.range_u64(0, 1000);
         let n = topo.len();
         let src = (seed as usize * 7) % n;
         let dst = (seed as usize * 13 + 5) % n;
         let r = route(&topo, src, dst);
-        prop_assert_eq!(r.len() as u64, topo.distance(src, dst));
+        assert_eq!(r.len() as u64, topo.distance(src, dst));
         if let (Some(first), Some(last)) = (r.first(), r.last()) {
-            prop_assert_eq!(first.from, src);
-            prop_assert_eq!(last.to, dst);
+            assert_eq!(first.from, src);
+            assert_eq!(last.to, dst);
         }
         for link in &r {
-            prop_assert_eq!(topo.distance(link.from, link.to), 1, "hop must be a neighbour step");
+            assert_eq!(
+                topo.distance(link.from, link.to),
+                1,
+                "hop must be a neighbour step"
+            );
         }
         for pair in r.windows(2) {
-            prop_assert_eq!(pair[0].to, pair[1].from, "route must be contiguous");
+            assert_eq!(pair[0].to, pair[1].from, "route must be contiguous");
         }
-    }
+    });
+}
 
-    /// Congestion factors are at least 1, and shared ports never reduce
-    /// them.
-    #[test]
-    fn congestion_is_at_least_one_and_monotone_in_port_sharing(
-        topo in topo_strategy(),
-        k in 1usize..4,
-    ) {
-        let flows = traffic::cyclic_shift(&topo, k, 64);
-        let solo = pattern_congestion(&topo, &flows, 1);
-        let shared = pattern_congestion(&topo, &flows, 2);
-        prop_assert!(solo.factor >= 1.0);
-        prop_assert!(shared.factor >= solo.factor);
-        prop_assert!(solo.max_link >= solo.mean_link);
-    }
+/// Congestion factors are at least 1, and shared ports never reduce them.
+#[test]
+fn congestion_is_at_least_one_and_monotone_in_port_sharing() {
+    forall(
+        "congestion_is_at_least_one_and_monotone_in_port_sharing",
+        64,
+        |rng| {
+            let topo = random_topology(rng);
+            let k = rng.range_usize(1, 4);
+            let flows = traffic::cyclic_shift(&topo, k, 64);
+            let solo = pattern_congestion(&topo, &flows, 1);
+            let shared = pattern_congestion(&topo, &flows, 2);
+            assert!(solo.factor >= 1.0);
+            assert!(shared.factor >= solo.factor);
+            assert!(solo.max_link >= solo.mean_link);
+        },
+    );
+}
 
-    /// Random permutations route every node's data somewhere distinct, and
-    /// the aggregate volume is conserved.
-    #[test]
-    fn permutation_traffic_is_a_bijection(topo in topo_strategy(), seed in 0u64..500) {
+/// Random permutations route every node's data somewhere distinct, and the
+/// aggregate volume is conserved.
+#[test]
+fn permutation_traffic_is_a_bijection() {
+    forall("permutation_traffic_is_a_bijection", 128, |rng| {
+        let topo = random_topology(rng);
+        let seed = rng.range_u64(0, 500);
         let flows = traffic::random_permutation(&topo, seed, 8);
-        prop_assert_eq!(flows.len(), topo.len());
+        assert_eq!(flows.len(), topo.len());
         let mut seen = vec![false; topo.len()];
         for f in &flows {
-            prop_assert!(!seen[f.dst], "duplicate destination");
+            assert!(!seen[f.dst], "duplicate destination");
             seen[f.dst] = true;
         }
-    }
+    });
+}
 
-    /// The XOR all-to-all schedule covers every ordered pair exactly once
-    /// for any power-of-two node count.
-    #[test]
-    fn xor_schedule_is_exact_cover(log_p in 1u32..6) {
+/// The XOR all-to-all schedule covers every ordered pair exactly once for
+/// any power-of-two node count.
+#[test]
+fn xor_schedule_is_exact_cover() {
+    forall("xor_schedule_is_exact_cover", 16, |rng| {
+        let log_p = rng.range_u32(1, 6);
         let p = 1usize << log_p;
         let rounds = traffic::aapc_xor_schedule(p, 8);
-        prop_assert_eq!(rounds.len(), p - 1);
+        assert_eq!(rounds.len(), p - 1);
         let mut pairs = std::collections::HashSet::new();
         for round in &rounds {
             for f in round {
-                prop_assert!(f.src != f.dst);
-                prop_assert!(pairs.insert((f.src, f.dst)), "pair repeated");
+                assert!(f.src != f.dst);
+                assert!(pairs.insert((f.src, f.dst)), "pair repeated");
             }
         }
-        prop_assert_eq!(pairs.len(), p * (p - 1));
-    }
+        assert_eq!(pairs.len(), p * (p - 1));
+    });
+}
 
-    /// A link conserves words and delivers them in order regardless of
-    /// framing mix; total wire time is at least the sum of word costs.
-    #[test]
-    fn link_conserves_and_orders(
-        words in proptest::collection::vec(proptest::bool::ANY, 1..200),
-        congestion in 1.0f64..4.0,
-    ) {
+/// A link conserves words and delivers them in order regardless of framing
+/// mix; total wire time is at least the sum of word costs.
+#[test]
+fn link_conserves_and_orders() {
+    forall("link_conserves_and_orders", 64, |rng| {
+        let n = rng.range_usize(1, 200);
+        let words = rng.vec(n, |rng| rng.bool());
+        let congestion = rng.range_f64(1.0, 4.0);
         let params = LinkParams {
             bytes_per_cycle: 1.2,
             packet_words: 16,
@@ -119,12 +135,12 @@ proptest! {
         }
         let mut link = Link::new(params);
         while link.moved() < words.len() as u64 {
-            prop_assert_eq!(link.step(&mut from, &mut to), Step::Progressed);
+            assert_eq!(link.step(&mut from, &mut to), Step::Progressed);
         }
-        prop_assert!(link.time() as f64 >= min_cycles.floor());
+        assert!(link.time() as f64 >= min_cycles.floor());
         for (i, _) in words.iter().enumerate() {
             let (_, w) = to.pop(u64::MAX / 2).expect("all words delivered");
-            prop_assert_eq!(w.data, i as u64, "delivery order");
+            assert_eq!(w.data, i as u64, "delivery order");
         }
-    }
+    });
 }

@@ -1,0 +1,129 @@
+//! Order-preserving parallel map over scoped threads, plus a process-wide
+//! default worker count.
+//!
+//! The sweep engine fans independent simulation points out across cores
+//! with [`par_map`]. Results come back in input order regardless of worker
+//! scheduling, so a parallel sweep is bit-identical to the serial one —
+//! the property the equivalence tests assert.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default worker count used by [`par_map_auto`].
+/// `0` or `1` mean serial execution.
+pub fn set_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default worker count.
+pub fn jobs() -> usize {
+    DEFAULT_JOBS.load(Ordering::Relaxed)
+}
+
+/// A reasonable worker count for this host.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` with up to `jobs` worker threads, returning the
+/// results in input order. With `jobs <= 1` (or one item) this runs inline
+/// on the calling thread, so the serial path involves no threading at all.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// [`par_map`] with the process-wide default worker count.
+pub fn par_map_auto<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map(jobs(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map(1, &items, |&x| x * x);
+        let parallel = par_map(8, &items, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[100], 10_000);
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |&x| x + 1), vec![8]);
+        assert_eq!(par_map(16, &[1u32, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn default_jobs_round_trip() {
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert_eq!(jobs(), 1, "zero clamps to serial");
+        set_jobs(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(4, &items, |&x| {
+            assert!(x != 33, "boom");
+            x
+        });
+    }
+}

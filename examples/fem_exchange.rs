@@ -30,15 +30,17 @@ fn main() {
     // value per point; interface points average with their twins.
     let p = mesh.partitions();
     let mut values: Vec<Vec<f64>> = (0..p)
-        .map(|k| (0..mesh.points_per_partition).map(|i| (k * 31 + i) as f64 % 97.0).collect())
+        .map(|k| {
+            (0..mesh.points_per_partition)
+                .map(|i| (k * 31 + i) as f64 % 97.0)
+                .collect()
+        })
         .collect();
     for _ in 0..60 {
         // Consensus sweep: every interface point averages with all of its
         // twins (a point on a box edge sits on several interfaces).
         let mut sum = values.clone();
-        let mut count: Vec<Vec<u32>> = (0..p)
-            .map(|_| vec![1; mesh.points_per_partition])
-            .collect();
+        let mut count: Vec<Vec<u32>> = (0..p).map(|_| vec![1; mesh.points_per_partition]).collect();
         for iface in &mesh.interfaces {
             for (la, lb) in iface.a_locals.iter().zip(&iface.b_locals) {
                 sum[iface.a][*la as usize] += values[iface.b][*lb as usize];
@@ -56,9 +58,12 @@ fn main() {
     let residual: f64 = mesh
         .interfaces
         .iter()
-        .flat_map(|i| i.a_locals.iter().zip(&i.b_locals).map(|(la, lb)| {
-            (values[i.a][*la as usize] - values[i.b][*lb as usize]).abs()
-        }))
+        .flat_map(|i| {
+            i.a_locals
+                .iter()
+                .zip(&i.b_locals)
+                .map(|(la, lb)| (values[i.a][*la as usize] - values[i.b][*lb as usize]).abs())
+        })
         .fold(0.0, f64::max);
     println!("after 60 consensus sweeps the max interface mismatch is {residual:.2e}");
     assert!(residual < 1e-6, "consensus iteration converges");
@@ -72,7 +77,11 @@ fn main() {
         kernel.exchange_words(),
         kernel.congestion(&t3d)
     );
-    for method in [CommMethod::Pvm, CommMethod::BufferPacking, CommMethod::Chained] {
+    for method in [
+        CommMethod::Pvm,
+        CommMethod::BufferPacking,
+        CommMethod::Chained,
+    ] {
         let m = kernel.measure(&t3d, method);
         assert!(m.verified);
         println!("  {:<15} {}", m.method, m.per_node);

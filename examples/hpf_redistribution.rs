@@ -55,7 +55,10 @@ fn main() {
     let dst = to_spec(&spec.dst_locals);
     let bp = run_exchange_specs(&t3d, &src, &dst, Style::BufferPacking, &cfg);
     let ch = run_exchange_specs(&t3d, &src, &dst, Style::Chained, &cfg);
-    assert!(bp.verified && ch.verified, "redistribution moved wrong elements");
+    assert!(
+        bp.verified && ch.verified,
+        "redistribution moved wrong elements"
+    );
     println!(
         "on the simulated {}: buffer packing {}, chained {} ({:.2}x)",
         t3d.name,

@@ -45,7 +45,10 @@ fn main() -> Result<(), String> {
         args = vec!["1Q1".into(), "1Q64".into(), "64Q1".into(), "wQw".into()];
     }
 
-    println!("measuring basic transfers of the simulated {} ...", machine.name);
+    println!(
+        "measuring basic transfers of the simulated {} ...",
+        machine.name
+    );
     let rates = microbench::measure_table(&machine, 8192);
     let bp_plan = BufferPackingPlan {
         send: if machine.caps.fetch_send {

@@ -43,8 +43,7 @@ fn main() {
         println!("== {} ==", machine.name);
         for (name, send, recv) in &cases {
             let pack = run_datatype_exchange(&machine, send, recv, DatatypeMethod::Pack, &cfg);
-            let direct =
-                run_datatype_exchange(&machine, send, recv, DatatypeMethod::Direct, &cfg);
+            let direct = run_datatype_exchange(&machine, send, recv, DatatypeMethod::Direct, &cfg);
             assert!(pack.verified && direct.verified, "{name}: data corrupted");
             let p = pack.per_node(machine.clock()).as_mbps();
             let d = direct.per_node(machine.clock()).as_mbps();

@@ -11,7 +11,9 @@
 
 use memcomm::commops::{run_exchange, ExchangeConfig, Style};
 use memcomm::machines::{microbench, Machine};
-use memcomm::model::{buffer_packing_expr, chained_expr, AccessPattern, BufferPackingPlan, ChainedPlan};
+use memcomm::model::{
+    buffer_packing_expr, chained_expr, AccessPattern, BufferPackingPlan, ChainedPlan,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t3d = Machine::t3d();
@@ -29,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 2: measure the machine's basic transfers (Tables 1-4) on the
     // simulator and estimate both implementations.
     let rates = microbench::measure_table(&t3d, 8192);
-    println!("\nmodel estimates from {} simulated basic rates:", rates.len());
+    println!(
+        "\nmodel estimates from {} simulated basic rates:",
+        rates.len()
+    );
     println!("  |1Q64|  = {}", bp.estimate(&rates)?);
     println!("  |1Q'64| = {}", ch.estimate(&rates)?);
 
@@ -41,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let bp_run = run_exchange(&t3d, x, y, Style::BufferPacking, &cfg);
     let ch_run = run_exchange(&t3d, x, y, Style::Chained, &cfg);
-    assert!(bp_run.verified && ch_run.verified, "transfers moved real data");
+    assert!(
+        bp_run.verified && ch_run.verified,
+        "transfers moved real data"
+    );
     println!("\nend-to-end co-simulation (verified):");
     println!("  buffer packing: {}", bp_run.per_node(t3d.clock()));
     println!("  chained:        {}", ch_run.per_node(t3d.clock()));

@@ -49,7 +49,10 @@ fn main() {
         "SOR (omega={omega:.3}) converged in {iterations} iterations; u(center) = {center:.4}"
     );
     assert!(iterations < 600, "optimal-omega SOR converges fast");
-    assert!((center - 0.25).abs() < 0.02, "harmonic center value near 1/4");
+    assert!(
+        (center - 0.25).abs() < 0.02,
+        "harmonic center value near 1/4"
+    );
 
     // Every iteration of the distributed version exchanges overlap rows
     // with the shift neighbours; the paper measures that step per node.
@@ -61,7 +64,11 @@ fn main() {
         t3d.name,
         kernel.congestion(&t3d)
     );
-    for method in [CommMethod::Pvm, CommMethod::BufferPacking, CommMethod::Chained] {
+    for method in [
+        CommMethod::Pvm,
+        CommMethod::BufferPacking,
+        CommMethod::Chained,
+    ] {
         let m = kernel.measure(&t3d, method);
         assert!(m.verified);
         println!("  {:<15} {}", m.method, m.per_node);

@@ -77,7 +77,11 @@ fn main() {
         t3d.name,
         kernel.congestion(&t3d)
     );
-    for method in [CommMethod::Pvm, CommMethod::BufferPacking, CommMethod::Chained] {
+    for method in [
+        CommMethod::Pvm,
+        CommMethod::BufferPacking,
+        CommMethod::Chained,
+    ] {
         let m = kernel.measure(&t3d, method);
         assert!(m.verified);
         println!("  {:<15} {}", m.method, m.per_node);

@@ -18,7 +18,9 @@ fn check_agreement(machine: &Machine, rates: &RateTable, op: &str, style: Style,
         Style::BufferPacking => {
             memcomm::model::buffer_packing_expr(x, y, bp_plan(machine)).expect("valid op")
         }
-        Style::Chained => memcomm::model::chained_expr(x, y, chained_plan(machine)).expect("valid op"),
+        Style::Chained => {
+            memcomm::model::chained_expr(x, y, chained_plan(machine)).expect("valid op")
+        }
     };
     let estimate = expr.estimate(rates).expect("rates cover the op").as_mbps();
     let cfg = memcomm_bench::experiments::paper_exchange_cfg(machine, EXCHANGE_WORDS);
@@ -83,8 +85,14 @@ fn chained_noncontiguous_runs_below_the_min_rule_as_the_paper_measured() {
     let sim = run_exchange(&m, x, y, Style::Chained, &cfg)
         .per_node(m.clock())
         .as_mbps();
-    assert!(sim < est, "memory contention must cost something: {sim} < {est}");
-    assert!(sim > 0.5 * est, "but not more than the paper saw: {sim} vs {est}");
+    assert!(
+        sim < est,
+        "memory contention must cost something: {sim} < {est}"
+    );
+    assert!(
+        sim > 0.5 * est,
+        "but not more than the paper saw: {sim} vs {est}"
+    );
 }
 
 #[test]
@@ -96,7 +104,11 @@ fn section_341_reproduces_the_worked_example_shape() {
     // both land in the same band. Our absolute values run ~25% above the
     // 1995 hardware; the *relationship* must match.
     assert!(s.model_estimate > s.simulated * 0.9);
-    assert!(s.simulated > 15.0 && s.simulated < 45.0, "simulated {}", s.simulated);
+    assert!(
+        s.simulated > 15.0 && s.simulated < 45.0,
+        "simulated {}",
+        s.simulated
+    );
     assert!(
         (s.model_estimate / s.paper_estimate - 1.0).abs() < 0.45,
         "estimate {} vs paper {}",

@@ -1,0 +1,91 @@
+//! Golden-file regression test: re-derives the calibrated basic-transfer
+//! rates behind Tables 1–4 and compares them against checked-in reference
+//! values.
+//!
+//! The simulator is deterministic, so the tolerance is tight — it only has
+//! to absorb float-formatting round-trips, not measurement noise. If a
+//! deliberate simulator change moves the rates, regenerate the golden file:
+//!
+//! ```text
+//! cargo run --release --bin repro -- --calibration --words 8192 --json out.json
+//! # then rebuild tests/golden/calibration.json from out.json's
+//! # "calibration" array (transfer → simulated MB/s per machine, plus the
+//! # per-machine mean of |ln ratio|).
+//! ```
+
+use memcomm::machines::{calibrate, Machine};
+use memcomm_util::json::Json;
+
+/// Relative tolerance: deterministic rates only drift through the
+/// decimal round-trip of the golden file itself.
+const REL_TOL: f64 = 1e-9;
+
+#[test]
+fn calibrated_rates_match_the_golden_file() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/calibration.json"
+    ))
+    .expect("golden file present");
+    let golden = Json::parse(&text).expect("golden file parses");
+    let words = golden
+        .get("words")
+        .and_then(Json::as_f64)
+        .expect("words field") as u64;
+
+    let machines = golden
+        .get("machines")
+        .and_then(Json::as_arr)
+        .expect("machines array");
+    assert_eq!(machines.len(), 2, "both machines are golden");
+
+    for entry in machines {
+        let name = entry
+            .get("machine")
+            .and_then(Json::as_str)
+            .expect("machine name");
+        let machine = match name {
+            "Cray T3D" => Machine::t3d(),
+            "Intel Paragon" => Machine::paragon(),
+            other => panic!("unknown golden machine {other:?}"),
+        };
+        let report = calibrate::calibration_report(&machine, words);
+
+        let rows = entry.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(
+            rows.len(),
+            report.len(),
+            "{name}: calibrated transfer set changed"
+        );
+        for row in rows {
+            let transfer = row
+                .get("transfer")
+                .and_then(Json::as_str)
+                .expect("transfer");
+            let want = row.get("mbps").and_then(Json::as_f64).expect("mbps");
+            let got = report
+                .iter()
+                .find(|r| r.transfer.to_string() == transfer)
+                .unwrap_or_else(|| panic!("{name}: {transfer} missing from report"))
+                .simulated
+                .as_mbps();
+            assert!(
+                (got - want).abs() <= REL_TOL * want.abs().max(1.0),
+                "{name} {transfer}: simulated {got} vs golden {want}"
+            );
+        }
+
+        let want_mle = entry
+            .get("mean_log_error")
+            .and_then(Json::as_f64)
+            .expect("mean_log_error");
+        let got_mle = calibrate::mean_log_error(&report);
+        assert!(
+            (got_mle - want_mle).abs() <= 1e-9,
+            "{name}: mean log error {got_mle} vs golden {want_mle}"
+        );
+        // And the headline claim the README makes: calibration stays within
+        // a typical deviation of ~15%.
+        assert!(got_mle < 0.15, "{name}: calibration drifted to {got_mle}");
+    }
+}

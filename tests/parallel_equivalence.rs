@@ -1,0 +1,68 @@
+//! The sweep engine's core guarantee: a parallel run renders the same
+//! report, byte for byte, as a serial one — and the measurement cache sees
+//! real traffic while doing it.
+//!
+//! Everything lives in one `#[test]`: the worker count and the memo cache
+//! are process-wide, so interleaving several tests in one binary would race
+//! on them.
+
+use std::collections::BTreeSet;
+
+use memcomm_bench::runner::{run_sweep, SweepOptions};
+use memcomm_machines::memo;
+
+fn opts(jobs: usize) -> SweepOptions {
+    // Cheap sections that still share basic-transfer points (the local-copy
+    // transfers appear in calibration and Tables 1 and in Figure 4's
+    // anchors), so the cache must both fill and hit.
+    let sections: BTreeSet<String> = ["calibration", "table1", "table2", "table3", "figure4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    SweepOptions {
+        jobs,
+        micro_words: 1024,
+        exchange_words: 256,
+        sections,
+    }
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    memo::reset();
+    let (serial_report, serial_metrics) = run_sweep(&opts(1));
+    let serial_json = serial_report.to_json().render();
+
+    memo::reset();
+    let (parallel_report, parallel_metrics) = run_sweep(&opts(4));
+    let parallel_json = parallel_report.to_json().render();
+
+    assert_eq!(
+        serial_json, parallel_json,
+        "parallel sweep must render byte-identical JSON"
+    );
+    assert_eq!(serial_metrics.points, parallel_metrics.points);
+
+    // Both runs started from a cold cache and cover overlapping transfer
+    // points, so both must record hits; and the parallel run must have
+    // simulated each distinct point exactly once (same miss count as the
+    // serial run would imply, modulo benign racing duplicates — which the
+    // entry count rules out).
+    assert!(
+        parallel_metrics.cache.hit_rate() > 0.0,
+        "parallel run saw no cache hits: {:?}",
+        parallel_metrics.cache
+    );
+    assert!(serial_metrics.cache.hit_rate() > 0.0);
+    assert_eq!(
+        serial_metrics.cache.entries, parallel_metrics.cache.entries,
+        "both runs must memoize the same distinct points"
+    );
+
+    // Determinism holds within a worker count too: re-running parallel
+    // (now warm) still renders the same bytes.
+    let (again, again_metrics) = run_sweep(&opts(4));
+    assert_eq!(again.to_json().render(), parallel_json);
+    // The warm run answers everything from the cache.
+    assert_eq!(again_metrics.cache.misses, 0, "{again_metrics:?}");
+}

@@ -5,47 +5,54 @@ use memcomm::kernels::distribution::Distribution;
 use memcomm::kernels::schedule::{classify, redistribution};
 use memcomm::machines::{microbench, Machine};
 use memcomm::model::AccessPattern;
-use proptest::prelude::*;
+use memcomm_util::check::forall;
+use memcomm_util::rng::Rng;
 
-fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
-    prop_oneof![
-        Just(AccessPattern::Contiguous),
-        (2u32..200).prop_map(|s| AccessPattern::strided(s).unwrap()),
-        Just(AccessPattern::Indexed),
-    ]
+fn random_pattern(rng: &mut Rng) -> AccessPattern {
+    match rng.range_u32(0, 3) {
+        0 => AccessPattern::Contiguous,
+        1 => AccessPattern::strided(rng.range_u32(2, 200)).unwrap(),
+        _ => AccessPattern::Indexed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any pattern pair, any style: the exchange terminates, delivers
-    /// correct data, and its rate is positive and bounded by the wire.
-    #[test]
-    fn exchanges_always_verify_and_stay_physical(
-        x in pattern_strategy(),
-        y in pattern_strategy(),
-        chained in proptest::bool::ANY,
-        words in 64u64..1024,
-    ) {
+/// Any pattern pair, any style: the exchange terminates, delivers correct
+/// data, and its rate is positive and bounded by the wire.
+#[test]
+fn exchanges_always_verify_and_stay_physical() {
+    forall("exchanges_always_verify_and_stay_physical", 12, |rng| {
+        let x = random_pattern(rng);
+        let y = random_pattern(rng);
+        let style = if rng.bool() {
+            Style::Chained
+        } else {
+            Style::BufferPacking
+        };
+        let words = rng.range_u64(64, 1024);
         let machine = Machine::t3d();
-        let style = if chained { Style::Chained } else { Style::BufferPacking };
-        let cfg = ExchangeConfig { words, ..ExchangeConfig::default() };
+        let cfg = ExchangeConfig {
+            words,
+            ..ExchangeConfig::default()
+        };
         let r = run_exchange(&machine, x, y, style, &cfg);
-        prop_assert!(r.verified);
+        assert!(r.verified);
         let rate = r.per_node(machine.clock()).as_mbps();
-        prop_assert!(rate > 0.0);
+        assert!(rate > 0.0);
         // One direction's payload can never beat the congested wire's
         // data-only bandwidth.
-        prop_assert!(rate < 80.0, "rate {rate} exceeds the congested wire");
-    }
+        assert!(rate < 80.0, "rate {rate} exceeds the congested wire");
+    });
+}
 
-    /// Larger strides are never *dramatically* faster. (They can be
-    /// somewhat faster: a stride whose line deltas alternate defeats the
-    /// memory controller's posted-write pipelining while a larger uniform
-    /// stride keeps it — the same kind of wiggle the paper's Figure 4
-    /// curves show.)
-    #[test]
-    fn stride_rates_do_not_improve_with_distance(s1 in 2u32..32, mult in 2u32..4) {
+/// Larger strides are never *dramatically* faster. (They can be somewhat
+/// faster: a stride whose line deltas alternate defeats the memory
+/// controller's posted-write pipelining while a larger uniform stride keeps
+/// it — the same kind of wiggle the paper's Figure 4 curves show.)
+#[test]
+fn stride_rates_do_not_improve_with_distance() {
+    forall("stride_rates_do_not_improve_with_distance", 24, |rng| {
+        let s1 = rng.range_u32(2, 32);
+        let mult = rng.range_u32(2, 4);
         let machine = Machine::t3d();
         let s2 = s1 * mult;
         let r = |s: u32| {
@@ -53,38 +60,45 @@ proptest! {
                 AccessPattern::Contiguous,
                 AccessPattern::strided(s).unwrap(),
             );
-            microbench::measure_rate(&machine, t, 2048).unwrap().as_mbps()
+            microbench::measure_rate(&machine, t, 2048)
+                .unwrap()
+                .as_mbps()
         };
-        prop_assert!(r(s2) <= r(s1) * 1.6, "stride {s2} beat stride {s1}");
-    }
+        assert!(r(s2) <= r(s1) * 1.6, "stride {s2} beat stride {s1}");
+    });
+}
 
-    /// Redistribution schedules conserve elements and produce classifiable
-    /// patterns for every (from, to) distribution pair.
-    #[test]
-    fn redistributions_conserve_and_classify(
-        n_blocks in 2u64..8,
-        p in 2u64..6,
-        from_cyclic in proptest::bool::ANY,
-        block in 1u32..5,
-    ) {
+/// Redistribution schedules conserve elements and produce classifiable
+/// patterns for every (from, to) distribution pair.
+#[test]
+fn redistributions_conserve_and_classify() {
+    forall("redistributions_conserve_and_classify", 64, |rng| {
+        let n_blocks = rng.range_u64(2, 8);
+        let p = rng.range_u64(2, 6);
+        let from_cyclic = rng.bool();
+        let block = rng.range_u32(1, 5);
         let n = n_blocks * p * u64::from(block);
-        let from = if from_cyclic { Distribution::Cyclic } else { Distribution::Block };
+        let from = if from_cyclic {
+            Distribution::Cyclic
+        } else {
+            Distribution::Block
+        };
         let to = Distribution::BlockCyclic(block);
         let specs = redistribution(n, p, from, to);
         let moved: usize = specs.iter().map(|t| t.len()).sum();
         let kept = (0..n)
             .filter(|&i| from.owner(i, n, p) == to.owner(i, n, p))
             .count();
-        prop_assert_eq!(moved + kept, n as usize);
+        assert_eq!(moved + kept, n as usize);
         for spec in &specs {
             // Classification must describe the actual index lists.
             let (x, y) = spec.patterns();
             match x {
                 AccessPattern::Contiguous if spec.len() > 1 => {
-                    prop_assert!(spec.src_locals.windows(2).all(|w| w[1] == w[0] + 1));
+                    assert!(spec.src_locals.windows(2).all(|w| w[1] == w[0] + 1));
                 }
                 AccessPattern::Strided(s) => {
-                    prop_assert!(spec
+                    assert!(spec
                         .src_locals
                         .windows(2)
                         .all(|w| w[1] - w[0] == u64::from(s)));
@@ -93,21 +107,24 @@ proptest! {
             }
             let _ = y;
         }
-    }
+    });
+}
 
-    /// `classify` round-trips constructed sequences.
-    #[test]
-    fn classify_identifies_constructed_sequences(
-        start in 0u64..1000,
-        stride in 1u32..500,
-        len in 2usize..40,
-    ) {
-        let seq: Vec<u64> = (0..len as u64).map(|i| start + i * u64::from(stride)).collect();
+/// `classify` round-trips constructed sequences.
+#[test]
+fn classify_identifies_constructed_sequences() {
+    forall("classify_identifies_constructed_sequences", 256, |rng| {
+        let start = rng.range_u64(0, 1000);
+        let stride = rng.range_u32(1, 500);
+        let len = rng.range_usize(2, 40);
+        let seq: Vec<u64> = (0..len as u64)
+            .map(|i| start + i * u64::from(stride))
+            .collect();
         let got = classify(&seq);
         if stride == 1 {
-            prop_assert_eq!(got, AccessPattern::Contiguous);
+            assert_eq!(got, AccessPattern::Contiguous);
         } else {
-            prop_assert_eq!(got, AccessPattern::Strided(stride));
+            assert_eq!(got, AccessPattern::Strided(stride));
         }
-    }
+    });
 }

@@ -40,9 +40,18 @@ fn stride_preference_flips_between_machines() {
 #[test]
 fn figure4_crossover_shows_in_the_stride_sweep() {
     let strides = [2u32, 8, 32, 128];
-    let t3d_loads = microbench::stride_sweep(&Machine::t3d(), &strides, WORDS, microbench::StrideSide::Loads);
-    let t3d_stores =
-        microbench::stride_sweep(&Machine::t3d(), &strides, WORDS, microbench::StrideSide::Stores);
+    let t3d_loads = microbench::stride_sweep(
+        &Machine::t3d(),
+        &strides,
+        WORDS,
+        microbench::StrideSide::Loads,
+    );
+    let t3d_stores = microbench::stride_sweep(
+        &Machine::t3d(),
+        &strides,
+        WORDS,
+        microbench::StrideSide::Stores,
+    );
     for ((_, l), (_, s)) in t3d_loads.iter().zip(&t3d_stores).skip(1) {
         assert!(s > l, "T3D strided stores win at every large stride");
     }

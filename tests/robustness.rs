@@ -3,28 +3,49 @@
 use memcomm::commops::{run_exchange, ExchangeConfig, Style};
 use memcomm::machines::{microbench, Machine};
 use memcomm::model::BasicTransfer;
-use proptest::prelude::*;
+use memcomm_util::check::forall;
+use memcomm_util::rng::Rng;
 
-proptest! {
-    /// The notation parser returns `Err` (never panics) on arbitrary input.
-    #[test]
-    fn notation_parser_never_panics(s in "\\PC{0,12}") {
+/// The notation parser returns `Err` (never panics) on arbitrary input.
+#[test]
+fn notation_parser_never_panics() {
+    forall("notation_parser_never_panics", 256, |rng| {
+        let len = rng.range_usize(0, 13);
+        let s: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus a few multi-byte characters.
+                match rng.range_u32(0, 20) {
+                    0 => 'µ',
+                    1 => '→',
+                    _ => char::from(rng.range_u32(0x20, 0x7f) as u8),
+                }
+            })
+            .collect();
         let _ = BasicTransfer::parse(&s);
-    }
+    });
+}
 
-    /// Near-miss notation strings (pattern-ish + letter + pattern-ish)
-    /// also never panic and round-trip when they do parse.
-    #[test]
-    fn notation_near_misses(
-        a in "(0|1|w|[0-9]{1,4})",
-        e in "[A-Z]",
-        b in "(0|1|w|[0-9]{1,4})",
-    ) {
-        let s = format!("{a}{e}{b}");
-        if let Ok(t) = BasicTransfer::parse(&s) {
-            prop_assert_eq!(BasicTransfer::parse(&t.to_string()).unwrap(), t);
+/// Near-miss notation strings (pattern-ish + letter + pattern-ish) also
+/// never panic and round-trip when they do parse.
+#[test]
+fn notation_near_misses() {
+    fn pattern_ish(rng: &mut Rng) -> String {
+        match rng.range_u32(0, 4) {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            2 => "w".to_string(),
+            _ => rng.range_u64(0, 10_000).to_string(),
         }
     }
+    forall("notation_near_misses", 256, |rng| {
+        let a = pattern_ish(rng);
+        let e = char::from(b'A' + rng.range_u32(0, 26) as u8);
+        let b = pattern_ish(rng);
+        let s = format!("{a}{e}{b}");
+        if let Ok(t) = BasicTransfer::parse(&s) {
+            assert_eq!(BasicTransfer::parse(&t.to_string()).unwrap(), t);
+        }
+    });
 }
 
 /// Identical configurations produce identical cycle counts: the simulators
@@ -87,7 +108,10 @@ fn seeds_change_timing_not_correctness() {
     let a = run(1);
     let b = run(2);
     assert!(a.verified && b.verified);
-    assert_ne!(a.end_cycle, b.end_cycle, "different permutations, different timing");
+    assert_ne!(
+        a.end_cycle, b.end_cycle,
+        "different permutations, different timing"
+    );
     let rel = (a.end_cycle as f64 - b.end_cycle as f64).abs() / a.end_cycle as f64;
     assert!(rel < 0.10, "but only slightly: {rel:.3}");
 }

@@ -21,9 +21,7 @@ fn communication_streams_have_no_temporal_locality() {
     // overhead stream, not the operand stream).
     let span = src.region();
     let loads = trace.filter(|e| {
-        e.op == memcomm::memsim::trace::TraceOp::Load
-            && e.addr >= span.base
-            && e.addr < span.end()
+        e.op == memcomm::memsim::trace::TraceOp::Load && e.addr >= span.base && e.addr < span.end()
     });
     // Operand (word-granularity) reuse: each element is read exactly once.
     let reuse = loads.reuse_fraction(8);
@@ -73,7 +71,8 @@ fn chained_exchanges_interleave_requesters() {
     // enough to show interleaving, so use the simpler receive path.
     let m = Machine::t3d();
     let mut node = microbench::make_node(&m);
-    let dst = microbench::alloc_pattern_walk(&mut node, AccessPattern::strided(8).unwrap(), 1024, 3);
+    let dst =
+        microbench::alloc_pattern_walk(&mut node, AccessPattern::strided(8).unwrap(), 1024, 3);
     node.path.enable_tracing();
     scenario::run_receive_deposit(&mut node, &dst, true, 8);
     let trace = node.path.take_trace().expect("tracing was on");
@@ -82,7 +81,10 @@ fn chained_exchanges_interleave_requesters() {
         .iter()
         .filter(|e| e.port == memcomm::memsim::path::Port::Deposit)
         .count();
-    assert!(engine_refs > 0, "the deposit engine must appear in the trace");
+    assert!(
+        engine_refs > 0,
+        "the deposit engine must appear in the trace"
+    );
 
     // And a full exchange still verifies with tracing untouched (tracing is
     // an observer, not a participant).
