@@ -89,7 +89,7 @@ fn table2_send() {
     for m in machines() {
         for op in ["1S0", "64S0", "1F0"] {
             let t = BasicTransfer::parse(op).expect("notation");
-            if microbench::measure_basic(&m, t, 64).is_none() {
+            if !matches!(microbench::measure_basic(&m, t, 64), Ok(Some(_))) {
                 continue;
             }
             bench("table2_send", &format!("{} {op}", m.name), || {
@@ -103,7 +103,7 @@ fn table3_receive() {
     for m in machines() {
         for op in ["0R1", "0D1", "0D64", "0R64"] {
             let t = BasicTransfer::parse(op).expect("notation");
-            if microbench::measure_basic(&m, t, 64).is_none() {
+            if !matches!(microbench::measure_basic(&m, t, 64), Ok(Some(_))) {
                 continue;
             }
             bench("table3_receive", &format!("{} {op}", m.name), || {
@@ -180,8 +180,9 @@ fn table6_kernels() {
 fn copy_rate(machine: &Machine, op: &str) -> f64 {
     let t = BasicTransfer::parse(op).expect("notation");
     microbench::measure_rate(machine, t, WORDS)
-        .map(|r| r.as_mbps())
-        .unwrap_or(f64::NAN)
+        .ok()
+        .flatten()
+        .map_or(f64::NAN, |r| r.as_mbps())
 }
 
 /// T3D write-back queue on/off: strided stores lose their advantage.
@@ -254,6 +255,7 @@ fn ablation_interleave() {
     let (x, y) = parse_q("wQw");
     let r = |m: &Machine| {
         run_exchange(m, x, y, Style::Chained, &full_duplex)
+            .expect("simulates")
             .per_node(m.clock())
             .as_mbps()
     };
@@ -281,6 +283,7 @@ fn ablation_chunk() {
         };
         let (x, y) = parse_q("1Q64");
         run_exchange(&t3d, x, y, Style::BufferPacking, &cfg)
+            .expect("simulates")
             .per_node(t3d.clock())
             .as_mbps()
     };
@@ -305,8 +308,8 @@ fn extension_put_vs_get() {
         ..ExchangeConfig::default()
     };
     let (x, y) = parse_q("1Q64");
-    let put = run_exchange(&t3d, x, y, Style::Chained, &cfg);
-    let get = run_get_exchange(&t3d, x, y, &cfg);
+    let put = run_exchange(&t3d, x, y, Style::Chained, &cfg).expect("simulates");
+    let get = run_get_exchange(&t3d, x, y, &cfg).expect("simulates");
     eprintln!(
         "[extension_put_vs_get] T3D 1Q64: put {:.1} MB/s, get {:.1} MB/s",
         put.per_node(t3d.clock()).as_mbps(),
@@ -326,8 +329,10 @@ fn extension_datatypes() {
     let column = Datatype::vector(WORDS, 1, WORDS);
     let rows = Datatype::contiguous(WORDS);
     let cfg = ExchangeConfig::default();
-    let pack = run_datatype_exchange(&t3d, &rows, &column, DatatypeMethod::Pack, &cfg);
-    let direct = run_datatype_exchange(&t3d, &rows, &column, DatatypeMethod::Direct, &cfg);
+    let pack =
+        run_datatype_exchange(&t3d, &rows, &column, DatatypeMethod::Pack, &cfg).expect("simulates");
+    let direct = run_datatype_exchange(&t3d, &rows, &column, DatatypeMethod::Direct, &cfg)
+        .expect("simulates");
     eprintln!(
         "[extension_datatypes] T3D column datatype: pack {:.1} MB/s, direct {:.1} MB/s",
         pack.per_node(t3d.clock()).as_mbps(),
@@ -346,8 +351,12 @@ fn simulator_throughput() {
     let m = Machine::t3d();
     bench("simulator_throughput", "t3d local copy 2k words", || {
         let mut node = Node::new(m.node);
-        let src = node.alloc_walk(AccessPattern::Contiguous, WORDS, None);
-        let dst = node.alloc_walk(AccessPattern::Contiguous, WORDS, None);
+        let src = node
+            .alloc_walk(AccessPattern::Contiguous, WORDS, None)
+            .expect("alloc");
+        let dst = node
+            .alloc_walk(AccessPattern::Contiguous, WORDS, None)
+            .expect("alloc");
         let _ = scenario::run_local_copy(&mut node, &src, &dst);
     });
 }

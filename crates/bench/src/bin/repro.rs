@@ -5,6 +5,7 @@
 //!       [--figure4] [--figure7] [--figure8] [--table5] [--section341]
 //!       [--table6] [--calibration] [--putget] [--scaling] [--accuracy]
 //!       [--words N] [--exchange-words N] [--jobs N] [--serial]
+//!       [--faults SEED] [--fault-rate P] [--max-cycles N]
 //!       [--json PATH] [--metrics PATH]
 //! ```
 //!
@@ -13,8 +14,16 @@
 //! share the process-wide measurement cache, so repeated points simulate
 //! once. `--json` writes the machine-readable results — byte-identical
 //! whatever the worker count. `--metrics` writes the run's observability
-//! data (wall times, cache hit rate, simulated cycles); a one-line summary
-//! always prints to stderr.
+//! data (wall times, cache hit rate, simulated cycles, fault counters); a
+//! one-line summary always prints to stderr.
+//!
+//! `--faults SEED` selects the robustness section: resilient transfers
+//! under a deterministic fault plan derived from SEED (default injection
+//! rate 2%, override with `--fault-rate`). The same seed produces a
+//! byte-identical report at any `--jobs`. `--max-cycles` bounds each
+//! resilient transfer's cycle budget; transfers that exceed it report a
+//! per-point error instead of aborting the sweep. If any section fails,
+//! the failures are summarised on stderr and the exit status is 1.
 
 use memcomm_bench::report::TextTable;
 use memcomm_bench::runner::{self, SweepOptions};
@@ -36,15 +45,29 @@ fn main() {
             _ => usage_error(&format!("{flag} takes a number")),
         }
     };
+    let fraction = |it: &mut std::slice::Iter<String>, flag: &str| -> f64 {
+        match it.next().map(|v| v.parse::<f64>()) {
+            Some(Ok(p)) if p.is_finite() && (0.0..=1.0).contains(&p) => p,
+            _ => usage_error(&format!("{flag} takes a probability in [0, 1]")),
+        }
+    };
+    let mut all = false;
+    let mut fault_rate: Option<f64> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--all" => {}
+            "--all" => all = true,
             "--figure1" | "--table1" | "--table2" | "--table3" | "--table4" | "--figure4"
             | "--figure7" | "--figure8" | "--table5" | "--section341" | "--table6"
             | "--calibration" | "--putget" | "--scaling" | "--accuracy" => {
                 opts.sections
                     .insert(arg.trim_start_matches("--").to_string());
             }
+            "--faults" => {
+                opts.faults.seed = number(&mut it, "--faults");
+                opts.sections.insert("faults".to_string());
+            }
+            "--fault-rate" => fault_rate = Some(fraction(&mut it, "--fault-rate")),
+            "--max-cycles" => opts.faults.max_cycles = Some(number(&mut it, "--max-cycles")),
             "--words" => opts.micro_words = number(&mut it, "--words"),
             "--exchange-words" => opts.exchange_words = number(&mut it, "--exchange-words"),
             "--jobs" => opts.jobs = number(&mut it, "--jobs") as usize,
@@ -59,6 +82,18 @@ fn main() {
             },
             other => usage_error(&format!("unknown flag {other}")),
         }
+    }
+    if opts.sections.contains("faults") {
+        // A seeded plan defaults to a light injection rate; --fault-rate
+        // overrides it (including back to zero for the determinism check).
+        opts.faults.rate = fault_rate.unwrap_or(0.02);
+        opts.faults.outage_rate = opts.faults.rate / 4.0;
+    } else if fault_rate.is_some() {
+        usage_error("--fault-rate requires --faults SEED");
+    }
+    if all {
+        // --all wins over individual selections: run every section.
+        opts.sections.clear();
     }
 
     println!("memcomm reproduction of Stricker & Gross, ISCA 1995");
@@ -320,6 +355,35 @@ fn main() {
         }
     }
 
+    for s in &report.faults {
+        let mut t = TextTable::new(
+            &format!(
+                "Robustness — resilient transfers under injected faults, {}",
+                s.machine
+            ),
+            &[
+                "op", "style", "MB/s", "frames", "retrans", "degraded", "status",
+            ],
+        );
+        for r in &s.rows {
+            let status = match (&r.error, r.verified) {
+                (Some(e), _) => format!("error: {e}"),
+                (None, true) => "ok".to_string(),
+                (None, false) => "corrupt".to_string(),
+            };
+            t.row(vec![
+                r.op.clone(),
+                r.style.clone(),
+                r.mbps.map_or_else(|| "-".to_string(), TextTable::mbps),
+                r.frames_sent.to_string(),
+                r.retransmissions.to_string(),
+                if r.degraded { "yes" } else { "no" }.to_string(),
+                status,
+            ]);
+        }
+        println!("{t}");
+    }
+
     eprintln!("sweep: {}", metrics.summary());
 
     let write = |path: &str, body: String, what: &str| {
@@ -334,5 +398,22 @@ fn main() {
     }
     if let Some(path) = metrics_path {
         write(&path, metrics.to_json().render(), "run metrics");
+    }
+
+    let failed: Vec<_> = report.sections.iter().filter(|s| !s.ok).collect();
+    if !failed.is_empty() {
+        for s in &failed {
+            eprintln!(
+                "section {} failed: {}",
+                s.name,
+                s.error.as_deref().unwrap_or("unknown error")
+            );
+        }
+        eprintln!(
+            "{} of {} sections failed",
+            failed.len(),
+            report.sections.len()
+        );
+        std::process::exit(1);
     }
 }

@@ -9,12 +9,16 @@
 use memcomm_util::par::par_map_auto;
 
 use memcomm_commops::{
-    measure_message, run_exchange, run_get_exchange, ExchangeConfig, LibraryProfile, Style,
+    measure_message, run_exchange, run_get_exchange, run_resilient_transfer, ExchangeConfig,
+    LibraryProfile, ProtocolConfig, Style,
 };
 use memcomm_kernels::apps::{CommMethod, FemKernel, SorKernel, TransposeKernel};
 use memcomm_machines::calibrate;
 use memcomm_machines::microbench::{self, StrideSide};
 use memcomm_machines::{reference, Machine};
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::fault::{FaultConfig, FaultPlan};
+use memcomm_memsim::SimResult;
 use memcomm_model::{
     buffer_packing_expr, chained_expr, AccessPattern, BasicTransfer, BufferPackingPlan,
     ChainedPlan, RateTable, ReceiveEngine, SendEngine,
@@ -91,13 +95,22 @@ pub struct Figure1Point {
 }
 
 /// Figure 1: library throughput vs message size on one machine.
-pub fn figure1(machine: &Machine) -> Vec<Figure1Point> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the message measurements.
+pub fn figure1(machine: &Machine) -> SimResult<Vec<Figure1Point>> {
     let sizes = [16u64, 64, 256, 1024, 4096, 16384, 65536];
-    par_map_auto(&sizes, |&words| Figure1Point {
-        message_words: words,
-        pvm: measure_message(machine, LibraryProfile::pvm(machine), words).as_mbps(),
-        low_level: measure_message(machine, LibraryProfile::low_level(machine), words).as_mbps(),
+    par_map_auto(&sizes, |&words| {
+        Ok(Figure1Point {
+            message_words: words,
+            pvm: measure_message(machine, LibraryProfile::pvm(machine), words)?.as_mbps(),
+            low_level: measure_message(machine, LibraryProfile::low_level(machine), words)?
+                .as_mbps(),
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 // ------------------------------------------------------------- Tables 1–3
@@ -113,33 +126,47 @@ pub struct RateRow {
     pub paper: Option<f64>,
 }
 
-fn rate_rows(machine: &Machine, notations: &[&str], words: u64) -> Vec<RateRow> {
+fn rate_rows(machine: &Machine, notations: &[&str], words: u64) -> SimResult<Vec<RateRow>> {
     let paper = calibrate::reference_rates(machine);
-    par_map_auto(notations, |s| {
+    let rows: SimResult<Vec<Option<RateRow>>> = par_map_auto(notations, |s| {
         let t = BasicTransfer::parse(s).expect("notation constants");
-        microbench::measure_rate(machine, t, words).map(|rate| RateRow {
-            transfer: s.to_string(),
-            simulated: rate.as_mbps(),
-            paper: paper.get(t).map(|p| p.as_mbps()),
-        })
+        Ok(
+            microbench::measure_rate(machine, t, words)?.map(|rate| RateRow {
+                transfer: s.to_string(),
+                simulated: rate.as_mbps(),
+                paper: paper.get(t).map(|p| p.as_mbps()),
+            }),
+        )
     })
     .into_iter()
-    .flatten()
-    .collect()
+    .collect();
+    Ok(rows?.into_iter().flatten().collect())
 }
 
 /// Table 1: local memory-to-memory copies.
-pub fn table1(machine: &Machine, words: u64) -> Vec<RateRow> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the rate measurements.
+pub fn table1(machine: &Machine, words: u64) -> SimResult<Vec<RateRow>> {
     rate_rows(machine, &["1C1", "1C64", "64C1", "1Cw", "wC1"], words)
 }
 
 /// Table 2: send transfers.
-pub fn table2(machine: &Machine, words: u64) -> Vec<RateRow> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the rate measurements.
+pub fn table2(machine: &Machine, words: u64) -> SimResult<Vec<RateRow>> {
     rate_rows(machine, &["1S0", "1F0", "64S0", "wS0"], words)
 }
 
 /// Table 3: receive transfers.
-pub fn table3(machine: &Machine, words: u64) -> Vec<RateRow> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the rate measurements.
+pub fn table3(machine: &Machine, words: u64) -> SimResult<Vec<RateRow>> {
     rate_rows(
         machine,
         &["0R1", "0D1", "0R64", "0D64", "0Rw", "0Dw"],
@@ -161,11 +188,15 @@ pub struct StridePoint {
 }
 
 /// Figure 4: local copy throughput vs stride.
-pub fn figure4(machine: &Machine, words: u64) -> Vec<StridePoint> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from either stride sweep.
+pub fn figure4(machine: &Machine, words: u64) -> SimResult<Vec<StridePoint>> {
     let strides = [2u32, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128];
-    let loads = microbench::stride_sweep(machine, &strides, words, StrideSide::Loads);
-    let stores = microbench::stride_sweep(machine, &strides, words, StrideSide::Stores);
-    loads
+    let loads = microbench::stride_sweep(machine, &strides, words, StrideSide::Loads)?;
+    let stores = microbench::stride_sweep(machine, &strides, words, StrideSide::Stores)?;
+    Ok(loads
         .into_iter()
         .zip(stores)
         .map(|((stride, l), (_, s))| StridePoint {
@@ -173,7 +204,7 @@ pub fn figure4(machine: &Machine, words: u64) -> Vec<StridePoint> {
             loads: l.as_mbps(),
             stores: s.as_mbps(),
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------- Table 4
@@ -244,7 +275,10 @@ pub struct QRow {
 /// Section 5 (Figures 7/8): buffer packing vs chained for a spread of
 /// access patterns, simulated end to end and estimated by the model from
 /// the machine's simulated rate table.
-pub fn section5(machine: &Machine, rates: &RateTable, words: u64) -> Vec<QRow> {
+/// # Errors
+///
+/// Propagates simulation failures from the co-simulated exchanges.
+pub fn section5(machine: &Machine, rates: &RateTable, words: u64) -> SimResult<Vec<QRow>> {
     let paper: Vec<reference::QPoint> = match machine.name {
         "Cray T3D" => reference::t3d_q_model(),
         _ => reference::paragon_q_model(),
@@ -255,8 +289,8 @@ pub fn section5(machine: &Machine, rates: &RateTable, words: u64) -> Vec<QRow> {
     let cfg = paper_exchange_cfg(machine, words);
     par_map_auto(&ops, |op| {
         let (x, y) = parse_q(op);
-        let bp = run_exchange(machine, x, y, Style::BufferPacking, &cfg);
-        let ch = run_exchange(machine, x, y, Style::Chained, &cfg);
+        let bp = run_exchange(machine, x, y, Style::BufferPacking, &cfg)?;
+        let ch = run_exchange(machine, x, y, Style::Chained, &cfg)?;
         let model_bp = buffer_packing_expr(x, y, bp_plan(machine))
             .and_then(|e| e.estimate(rates))
             .map(|t| t.as_mbps())
@@ -266,7 +300,7 @@ pub fn section5(machine: &Machine, rates: &RateTable, words: u64) -> Vec<QRow> {
             .map(|t| t.as_mbps())
             .unwrap_or(f64::NAN);
         let paper_point = paper.iter().find(|p| p.op == *op);
-        QRow {
+        Ok(QRow {
             op: op.to_string(),
             sim_bp: bp.per_node(machine.clock()).as_mbps(),
             sim_chained: ch.per_node(machine.clock()).as_mbps(),
@@ -275,8 +309,10 @@ pub fn section5(machine: &Machine, rates: &RateTable, words: u64) -> Vec<QRow> {
             paper_model_bp: paper_point.map(|p| p.buffer_packing.as_mbps()),
             paper_model_chained: paper_point.map(|p| p.chained.as_mbps()),
             verified: bp.verified && ch.verified,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 // ---------------------------------------------------------------- Table 5
@@ -303,7 +339,11 @@ pub struct LoadsVsStoresRow {
 }
 
 /// Table 5: strided loads vs strided stores on both machines.
-pub fn table5(words: u64) -> Vec<LoadsVsStoresRow> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the co-simulated exchanges.
+pub fn table5(words: u64) -> SimResult<Vec<LoadsVsStoresRow>> {
     let rows = reference::table5();
     par_map_auto(&rows, |r| {
         let machine = if r.machine == "Cray T3D" {
@@ -313,9 +353,9 @@ pub fn table5(words: u64) -> Vec<LoadsVsStoresRow> {
         };
         let (x, y) = parse_q(r.op);
         let cfg = paper_exchange_cfg(&machine, words);
-        let bp = run_exchange(&machine, x, y, Style::BufferPacking, &cfg);
-        let ch = run_exchange(&machine, x, y, Style::Chained, &cfg);
-        LoadsVsStoresRow {
+        let bp = run_exchange(&machine, x, y, Style::BufferPacking, &cfg)?;
+        let ch = run_exchange(&machine, x, y, Style::Chained, &cfg)?;
+        Ok(LoadsVsStoresRow {
             op: r.op.to_string(),
             machine: r.machine.to_string(),
             sim_bp: bp.per_node(machine.clock()).as_mbps(),
@@ -324,8 +364,10 @@ pub fn table5(words: u64) -> Vec<LoadsVsStoresRow> {
             paper_measured_chained: r.measured_chained.as_mbps(),
             paper_model_bp: r.model_bp.as_mbps(),
             paper_model_chained: r.model_chained.as_mbps(),
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 // --------------------------------------------- Extension: model accuracy
@@ -349,7 +391,15 @@ pub struct AccuracyRow {
 /// that we have evaluated so far" over a grid of operations and both
 /// styles: the model estimate (from the machine's simulated rate table)
 /// against the end-to-end co-simulation.
-pub fn model_accuracy(machine: &Machine, rates: &RateTable, words: u64) -> Vec<AccuracyRow> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the co-simulated exchanges.
+pub fn model_accuracy(
+    machine: &Machine,
+    rates: &RateTable,
+    words: u64,
+) -> SimResult<Vec<AccuracyRow>> {
     let cfg = paper_exchange_cfg(machine, words);
     let ops = [
         "1Q1", "1Q8", "8Q1", "1Q64", "64Q1", "1Qw", "wQ1", "wQw", "16Q64",
@@ -358,17 +408,20 @@ pub fn model_accuracy(machine: &Machine, rates: &RateTable, words: u64) -> Vec<A
         .iter()
         .flat_map(|&op| [(op, Style::BufferPacking), (op, Style::Chained)])
         .collect();
-    par_map_auto(&grid, |&(op, style)| {
+    let rows: SimResult<Vec<Option<AccuracyRow>>> = par_map_auto(&grid, |&(op, style)| {
         let (x, y) = parse_q(op);
         let expr = match style {
             Style::BufferPacking => buffer_packing_expr(x, y, bp_plan(machine)),
             Style::Chained => chained_expr(x, y, chained_plan(machine)),
         };
-        let model = expr.and_then(|e| e.estimate(rates)).ok()?;
-        let run = run_exchange(machine, x, y, style, &cfg);
+        let model = match expr.and_then(|e| e.estimate(rates)) {
+            Ok(t) => t,
+            Err(_) => return Ok(None),
+        };
+        let run = run_exchange(machine, x, y, style, &cfg)?;
         debug_assert!(run.verified);
         let simulated = run.per_node(machine.clock()).as_mbps();
-        Some(AccuracyRow {
+        Ok(Some(AccuracyRow {
             op: op.to_string(),
             style: match style {
                 Style::BufferPacking => "buffer-packing".to_string(),
@@ -377,11 +430,11 @@ pub fn model_accuracy(machine: &Machine, rates: &RateTable, words: u64) -> Vec<A
             model: model.as_mbps(),
             simulated,
             ratio: simulated / model.as_mbps(),
-        })
+        }))
     })
     .into_iter()
-    .flatten()
-    .collect()
+    .collect();
+    Ok(rows?.into_iter().flatten().collect())
 }
 
 /// Mean absolute log-ratio of an accuracy grid (0 = perfect).
@@ -414,7 +467,11 @@ pub struct ScalingPoint {
 /// to giant problem sizes... it is not the constant per message
 /// overhead... but rather overheads that occur for each byte transferred."
 /// Sweeps the transpose workload's matrix size on the simulated T3D.
-pub fn scaling(machine: &Machine) -> Vec<ScalingPoint> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the kernel measurements.
+pub fn scaling(machine: &Machine) -> SimResult<Vec<ScalingPoint>> {
     // n = 2048 is the largest whose stride-n destination region fits the
     // simulated node memory (a stride-4096 patch spans 256 MB).
     let sizes = [128u64, 256, 512, 1024, 2048];
@@ -424,15 +481,18 @@ pub fn scaling(machine: &Machine) -> Vec<ScalingPoint> {
             words_per_element: 2,
         };
         let p = machine.topology.len() as u64;
-        let measure = |method| kernel.measure(machine, method).per_node.as_mbps();
-        ScalingPoint {
+        let measure =
+            |method| -> SimResult<f64> { Ok(kernel.measure(machine, method)?.per_node.as_mbps()) };
+        Ok(ScalingPoint {
             n,
             patch_words: kernel.patch_words(p),
-            pvm: measure(CommMethod::Pvm),
-            buffer_packing: measure(CommMethod::BufferPacking),
-            chained: measure(CommMethod::Chained),
-        }
+            pvm: measure(CommMethod::Pvm)?,
+            buffer_packing: measure(CommMethod::BufferPacking)?,
+            chained: measure(CommMethod::Chained)?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 // --------------------------------------------------- Extension: put vs get
@@ -453,7 +513,11 @@ pub struct PutGetRow {
 /// Extension (paper footnote 2): deposits ("put") vs withdrawals ("get").
 /// Not a paper table — the paper asserts the put preference and moves on;
 /// this measures it.
-pub fn put_vs_get(machine: &Machine, words: u64) -> Vec<PutGetRow> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from either transfer direction.
+pub fn put_vs_get(machine: &Machine, words: u64) -> SimResult<Vec<PutGetRow>> {
     let ops = ["1Q1", "1Q64", "wQw"];
     par_map_auto(&ops, |op| {
         let (x, y) = parse_q(op);
@@ -461,15 +525,17 @@ pub fn put_vs_get(machine: &Machine, words: u64) -> Vec<PutGetRow> {
             words,
             ..ExchangeConfig::default()
         };
-        let put = run_exchange(machine, x, y, Style::Chained, &cfg);
-        let get = run_get_exchange(machine, x, y, &cfg);
-        PutGetRow {
+        let put = run_exchange(machine, x, y, Style::Chained, &cfg)?;
+        let get = run_get_exchange(machine, x, y, &cfg)?;
+        Ok(PutGetRow {
             op: op.to_string(),
             put: put.per_node(machine.clock()).as_mbps(),
             get: get.per_node(machine.clock()).as_mbps(),
             verified: put.verified && get.verified,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 // ------------------------------------------------------------ Section 3.4.1
@@ -488,7 +554,11 @@ pub struct Section341 {
 }
 
 /// Section 3.4.1: `|1Q1024|` estimated vs simulated on the T3D.
-pub fn section341(rates: &RateTable) -> Section341 {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the transpose measurement.
+pub fn section341(rates: &RateTable) -> SimResult<Section341> {
     let t3d = Machine::t3d();
     let (x, y) = parse_q("1Q1024");
     let estimate = buffer_packing_expr(x, y, bp_plan(&t3d))
@@ -496,16 +566,16 @@ pub fn section341(rates: &RateTable) -> Section341 {
         .map(|t| t.as_mbps())
         .unwrap_or(f64::NAN);
     let measured = TransposeKernel::paper_instance()
-        .measure(&t3d, CommMethod::BufferPacking)
+        .measure(&t3d, CommMethod::BufferPacking)?
         .per_node
         .as_mbps();
     let (paper_est, paper_meas) = reference::section_341();
-    Section341 {
+    Ok(Section341 {
         model_estimate: estimate,
         simulated: measured,
         paper_estimate: paper_est.as_mbps(),
         paper_measured: paper_meas.as_mbps(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------- Table 6
@@ -538,7 +608,11 @@ pub struct KernelRow {
 }
 
 /// Table 6: the application kernels on the (simulated) 64-node T3D.
-pub fn table6(rates: &RateTable) -> Vec<KernelRow> {
+///
+/// # Errors
+///
+/// Propagates simulation failures from the kernel measurements.
+pub fn table6(rates: &RateTable) -> SimResult<Vec<KernelRow>> {
     let t3d = Machine::t3d();
     let paper = reference::table6();
     let transpose = TransposeKernel::paper_instance();
@@ -572,9 +646,9 @@ pub fn table6(rates: &RateTable) -> Vec<KernelRow> {
 
     push(
         "Transpose",
-        transpose.measure(&t3d, CommMethod::BufferPacking),
-        transpose.measure(&t3d, CommMethod::Chained),
-        transpose.measure(&t3d, CommMethod::Pvm),
+        transpose.measure(&t3d, CommMethod::BufferPacking)?,
+        transpose.measure(&t3d, CommMethod::Chained)?,
+        transpose.measure(&t3d, CommMethod::Pvm)?,
         transpose
             .model_chained(rates)
             .map(|t| t.as_mbps())
@@ -582,23 +656,133 @@ pub fn table6(rates: &RateTable) -> Vec<KernelRow> {
     );
     push(
         "FEM",
-        fem.measure(&t3d, CommMethod::BufferPacking),
-        fem.measure(&t3d, CommMethod::Chained),
-        fem.measure(&t3d, CommMethod::Pvm),
+        fem.measure(&t3d, CommMethod::BufferPacking)?,
+        fem.measure(&t3d, CommMethod::Chained)?,
+        fem.measure(&t3d, CommMethod::Pvm)?,
         fem.model_chained(rates)
             .map(|t| t.as_mbps())
             .unwrap_or(f64::NAN),
     );
     push(
         "SOR",
-        sor.measure(&t3d, CommMethod::BufferPacking),
-        sor.measure(&t3d, CommMethod::Chained),
-        sor.measure(&t3d, CommMethod::Pvm),
+        sor.measure(&t3d, CommMethod::BufferPacking)?,
+        sor.measure(&t3d, CommMethod::Chained)?,
+        sor.measure(&t3d, CommMethod::Pvm)?,
         sor.model_chained(rates)
             .map(|t| t.as_mbps())
             .unwrap_or(f64::NAN),
     );
-    rows
+    Ok(rows)
+}
+
+// ----------------------------------------- Robustness: fault injection
+
+/// Fault-injection knobs for the robustness sweep, threaded from the
+/// runner's options. The seed never appears in any report row: a zero-rate
+/// plan renders byte-identical output whatever its seed, which is the
+/// property the fault tests pin down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSettings {
+    /// Seed every fault decision derives from.
+    pub seed: u64,
+    /// Per-word fault probability on links, FIFOs and engines.
+    pub rate: f64,
+    /// Probability that an engine site is out for the whole run.
+    pub outage_rate: f64,
+    /// Cycle budget per transfer (`None` = bounded only by the watchdog).
+    pub max_cycles: Option<Cycle>,
+}
+
+impl Default for FaultSettings {
+    /// No faults, no budget.
+    fn default() -> Self {
+        FaultSettings {
+            seed: 0,
+            rate: 0.0,
+            outage_rate: 0.0,
+            max_cycles: None,
+        }
+    }
+}
+
+impl FaultSettings {
+    /// The replayable fault plan these settings describe.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(FaultConfig {
+            seed: self.seed,
+            rate: self.rate,
+            outage_rate: self.outage_rate,
+            ..FaultConfig::default()
+        })
+    }
+}
+
+/// One point of the fault-injection robustness grid.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Operation.
+    pub op: String,
+    /// Style label.
+    pub style: String,
+    /// End-to-end throughput in MB/s (absent when the transfer failed).
+    pub mbps: Option<f64>,
+    /// Frames transmitted, including retransmissions.
+    pub frames_sent: u64,
+    /// Retransmitted frames.
+    pub retransmissions: u64,
+    /// Whether a chained transfer fell back to CPU receives because its
+    /// deposit engine was out.
+    pub degraded: bool,
+    /// Whether the destination held exactly the source data.
+    pub verified: bool,
+    /// The error, when the transfer exhausted its retries or cycle budget.
+    pub error: Option<String>,
+}
+
+/// Robustness grid: sequence-numbered, checksummed, retried transfers under
+/// the configured fault plan. Every point reports `ok` or its own error, so
+/// a hostile plan degrades the report point by point instead of aborting
+/// the sweep.
+pub fn faults(machine: &Machine, words: u64, settings: &FaultSettings) -> Vec<FaultRow> {
+    let ops = ["1Q1", "1Q64", "wQw"];
+    let grid: Vec<(&str, Style)> = ops
+        .iter()
+        .flat_map(|&op| [(op, Style::BufferPacking), (op, Style::Chained)])
+        .collect();
+    let cfg = ProtocolConfig {
+        words,
+        max_cycles: settings.max_cycles,
+        ..ProtocolConfig::default()
+    };
+    par_map_auto(&grid, |&(op, style)| {
+        let (x, y) = parse_q(op);
+        let style_label = match style {
+            Style::BufferPacking => "buffer-packing",
+            Style::Chained => "chained",
+        };
+        match run_resilient_transfer(machine, x, y, style, settings.plan(), &cfg) {
+            Ok(r) => FaultRow {
+                op: op.to_string(),
+                style: style_label.to_string(),
+                mbps: Some(r.throughput(machine.clock()).as_mbps()),
+                frames_sent: r.frames_sent,
+                retransmissions: r.retransmissions,
+                degraded: r.degraded,
+                verified: r.verified,
+                error: None,
+            },
+            Err(e) => FaultRow {
+                op: op.to_string(),
+                style: style_label.to_string(),
+                mbps: None,
+                frames_sent: 0,
+                retransmissions: 0,
+                degraded: false,
+                verified: false,
+                error: Some(e.to_string()),
+            },
+        }
+    })
 }
 
 #[cfg(test)]
@@ -619,7 +803,7 @@ mod tests {
 
     #[test]
     fn table1_has_paper_references() {
-        let rows = table1(&Machine::t3d(), 2048);
+        let rows = table1(&Machine::t3d(), 2048).unwrap();
         assert_eq!(rows.len(), 5);
         assert!(rows.iter().all(|r| r.paper.is_some() && r.simulated > 0.0));
     }
@@ -627,15 +811,15 @@ mod tests {
     #[test]
     fn table2_skips_missing_hardware() {
         // The T3D has no DMA: 1F0 row absent.
-        let rows = table2(&Machine::t3d(), 2048);
+        let rows = table2(&Machine::t3d(), 2048).unwrap();
         assert!(!rows.iter().any(|r| r.transfer == "1F0"));
-        let rows = table2(&Machine::paragon(), 2048);
+        let rows = table2(&Machine::paragon(), 2048).unwrap();
         assert!(rows.iter().any(|r| r.transfer == "1F0"));
     }
 
     #[test]
     fn figure1_curves_grow() {
-        let points = figure1(&Machine::t3d());
+        let points = figure1(&Machine::t3d()).unwrap();
         assert!(points.last().unwrap().low_level > points.first().unwrap().low_level);
         assert!(points.iter().all(|p| p.low_level > p.pvm));
     }
@@ -654,8 +838,8 @@ mod tests {
         // The reciprocal-sum rule is exact for a time-shared processor:
         // buffer-packing points must sit within a few percent.
         let m = Machine::t3d();
-        let rates = microbench::measure_table(&m, 4096);
-        let rows = model_accuracy(&m, &rates, 2048);
+        let rates = microbench::measure_table(&m, 4096).unwrap();
+        let rows = model_accuracy(&m, &rates, 2048).unwrap();
         let bp: Vec<&AccuracyRow> = rows
             .iter()
             .filter(|r| r.style == "buffer-packing")
@@ -679,7 +863,7 @@ mod tests {
 
     #[test]
     fn scaling_saturates_below_the_wire() {
-        let points = scaling(&Machine::t3d());
+        let points = scaling(&Machine::t3d()).unwrap();
         let last = points.last().unwrap();
         let prev = &points[points.len() - 2];
         // Saturation: quadrupling the data buys <15% more throughput...
@@ -695,7 +879,7 @@ mod tests {
 
     #[test]
     fn put_always_beats_get() {
-        let rows = put_vs_get(&Machine::t3d(), 1024);
+        let rows = put_vs_get(&Machine::t3d(), 1024).unwrap();
         for r in &rows {
             assert!(r.verified);
             assert!(r.put > r.get, "{}: put {} vs get {}", r.op, r.put, r.get);
@@ -705,8 +889,8 @@ mod tests {
     #[test]
     fn section5_chained_wins_off_contiguous() {
         let m = Machine::t3d();
-        let rates = microbench::measure_table(&m, 2048);
-        let rows = section5(&m, &rates, 1024);
+        let rates = microbench::measure_table(&m, 2048).unwrap();
+        let rows = section5(&m, &rates, 1024).unwrap();
         for r in &rows {
             assert!(r.verified, "{} not verified", r.op);
             assert!(
@@ -716,6 +900,67 @@ mod tests {
                 r.sim_chained,
                 r.sim_bp
             );
+        }
+    }
+
+    #[test]
+    fn faults_grid_is_clean_without_a_plan() {
+        let rows = faults(&Machine::t3d(), 512, &FaultSettings::default());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.verified && r.error.is_none(),
+                "{}/{}: {:?}",
+                r.op,
+                r.style,
+                r.error
+            );
+            assert_eq!(
+                r.retransmissions, 0,
+                "{}/{} retried without faults",
+                r.op, r.style
+            );
+            assert!(!r.degraded);
+        }
+    }
+
+    #[test]
+    fn faults_grid_recovers_under_light_faults() {
+        let settings = FaultSettings {
+            seed: 42,
+            rate: 0.005,
+            ..FaultSettings::default()
+        };
+        let rows = faults(&Machine::t3d(), 512, &settings);
+        for r in &rows {
+            assert!(
+                r.verified && r.error.is_none(),
+                "{}/{} did not recover: {:?}",
+                r.op,
+                r.style,
+                r.error
+            );
+        }
+        assert!(
+            rows.iter().any(|r| r.retransmissions > 0),
+            "a 0.5% word fault rate must force at least one retransmission"
+        );
+    }
+
+    #[test]
+    fn fault_rows_ignore_the_seed_at_zero_rate() {
+        let a = faults(&Machine::t3d(), 256, &FaultSettings::default());
+        let b = faults(
+            &Machine::t3d(),
+            256,
+            &FaultSettings {
+                seed: 0xDEAD_BEEF,
+                ..FaultSettings::default()
+            },
+        );
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.mbps, rb.mbps, "{}/{}", ra.op, ra.style);
+            assert_eq!(ra.frames_sent, rb.frames_sent);
         }
     }
 }

@@ -22,7 +22,8 @@ use std::time::Instant;
 
 use memcomm_machines::memo::{self, CacheStats};
 use memcomm_machines::{calibrate, microbench, Machine};
-use memcomm_memsim::stats::{self as simstats, SimCounters};
+use memcomm_memsim::stats::{self as simstats, FaultCounters, SimCounters};
+use memcomm_memsim::SimResult;
 use memcomm_util::json::Json;
 use memcomm_util::par;
 
@@ -45,6 +46,7 @@ pub const SECTIONS: &[&str] = &[
     "putget",
     "scaling",
     "accuracy",
+    "faults",
 ];
 
 /// What to run and how wide to fan out.
@@ -58,6 +60,11 @@ pub struct SweepOptions {
     pub exchange_words: u64,
     /// Selected experiment keys (empty = all of [`SECTIONS`]).
     pub sections: BTreeSet<String>,
+    /// Fault-injection settings for the robustness section. The zero-rate
+    /// default makes the section a faultless baseline; its seed is never
+    /// echoed into the report, so zero-rate runs are byte-identical
+    /// whatever the seed.
+    pub faults: experiments::FaultSettings,
 }
 
 impl Default for SweepOptions {
@@ -67,6 +74,7 @@ impl Default for SweepOptions {
             micro_words: MICRO_WORDS,
             exchange_words: EXCHANGE_WORDS,
             sections: BTreeSet::new(),
+            faults: experiments::FaultSettings::default(),
         }
     }
 }
@@ -100,6 +108,21 @@ pub struct CalRow {
     pub paper: f64,
     /// `simulated / paper`.
     pub ratio: f64,
+}
+
+/// Outcome of one experiment section: completed, or the simulation error /
+/// worker panic that stopped it. A failed section leaves its report slice
+/// partial (usually empty) and the sweep moves on — the report is still
+/// rendered, with the failure on record.
+#[derive(Debug, Clone)]
+pub struct SectionStatus {
+    /// Experiment key (one of [`SECTIONS`]; figures 7/8 report as
+    /// `section5`, matching the metrics breakdown).
+    pub name: String,
+    /// Whether the section completed.
+    pub ok: bool,
+    /// The simulation error or panic message, when it did not.
+    pub error: Option<String>,
 }
 
 /// The complete machine-readable reproduction report.
@@ -140,6 +163,10 @@ pub struct FullReport {
     pub scaling: Vec<MachineSeries<experiments::ScalingPoint>>,
     /// Model-accuracy extension series.
     pub model_accuracy: Vec<MachineSeries<experiments::AccuracyRow>>,
+    /// Robustness (fault-injection) series.
+    pub faults: Vec<MachineSeries<experiments::FaultRow>>,
+    /// Per-section completion status, in evaluation order.
+    pub sections: Vec<SectionStatus>,
 }
 
 fn series<T>(list: &[MachineSeries<T>], row: impl Fn(&T) -> Json + Copy) -> Json {
@@ -298,6 +325,31 @@ impl FullReport {
                     ])
                 }),
             ),
+            (
+                "faults",
+                series(&self.faults, |r| {
+                    Json::obj([
+                        ("op", Json::str(&r.op)),
+                        ("style", Json::str(&r.style)),
+                        ("mbps", r.mbps.into()),
+                        ("frames_sent", r.frames_sent.into()),
+                        ("retransmissions", r.retransmissions.into()),
+                        ("degraded", r.degraded.into()),
+                        ("verified", r.verified.into()),
+                        ("error", r.error.as_deref().map_or(Json::Null, Json::str)),
+                    ])
+                }),
+            ),
+            (
+                "sections",
+                Json::arr(&self.sections, |st| {
+                    Json::obj([
+                        ("name", Json::str(&st.name)),
+                        ("ok", st.ok.into()),
+                        ("error", st.error.as_deref().map_or(Json::Null, Json::str)),
+                    ])
+                }),
+            ),
         ])
     }
 }
@@ -334,6 +386,9 @@ pub struct RunMetrics {
     pub cache: CacheStats,
     /// Simulated-machine counters for this run (cycles, words, count).
     pub sim: SimCounters,
+    /// Fault-machinery counters for this run (injected, retried, degraded,
+    /// dropped).
+    pub faults: FaultCounters,
     /// Total wall-clock milliseconds.
     pub wall_ms: f64,
     /// Per-experiment breakdown.
@@ -353,6 +408,10 @@ impl RunMetrics {
             ("sim_cycles", self.sim.cycles.into()),
             ("sim_words", self.sim.words.into()),
             ("measurements", self.sim.measurements.into()),
+            ("faults_injected", self.faults.injected.into()),
+            ("faults_retried", self.faults.retried.into()),
+            ("faults_degraded", self.faults.degraded.into()),
+            ("faults_dropped", self.faults.dropped.into()),
             ("wall_ms", self.wall_ms.into()),
             (
                 "experiments",
@@ -370,7 +429,7 @@ impl RunMetrics {
     /// One-line human summary (cache behaviour + wall time).
     pub fn summary(&self) -> String {
         format!(
-            "{} points in {:.0} ms on {} worker(s); cache: {} hits / {} misses ({:.0}% hit rate, {} entries); simulated {} cycles over {} measurements",
+            "{} points in {:.0} ms on {} worker(s); cache: {} hits / {} misses ({:.0}% hit rate, {} entries); simulated {} cycles over {} measurements; faults: {} injected / {} retried / {} degraded / {} dropped",
             self.points,
             self.wall_ms,
             self.jobs,
@@ -380,19 +439,67 @@ impl RunMetrics {
             self.cache.entries,
             self.sim.cycles,
             self.sim.measurements,
+            self.faults.injected,
+            self.faults.retried,
+            self.faults.degraded,
+            self.faults.dropped,
         )
     }
+}
+
+/// One experiment section, run behind a panic shield: a failing experiment
+/// (a typed simulation error, or a panic escaping a worker thread) records
+/// its status and zero points, and the sweep moves on with a partial
+/// report instead of tearing the whole run down.
+fn run_section(
+    name: &str,
+    statuses: &mut Vec<SectionStatus>,
+    metrics: &mut Vec<ExperimentMetrics>,
+    f: &mut dyn FnMut() -> SimResult<u64>,
+) {
+    let t = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    let (points, ok, error) = match outcome {
+        Ok(Ok(points)) => (points, true, None),
+        Ok(Err(e)) => (0, false, Some(e.to_string())),
+        Err(payload) => (0, false, Some(panic_text(payload.as_ref()))),
+    };
+    metrics.push(ExperimentMetrics {
+        name: name.to_string(),
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        points,
+    });
+    statuses.push(SectionStatus {
+        name: name.to_string(),
+        ok,
+        error,
+    });
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|m| (*m).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .map_or_else(
+            || "worker panicked without a message".to_string(),
+            |m| format!("panic: {m}"),
+        )
 }
 
 /// Runs the selected experiments with `opts.jobs` workers and returns the
 /// deterministic report plus this run's metrics.
 ///
 /// Sets the process-wide default worker count as a side effect (the
-/// experiment functions fan out through it).
+/// experiment functions fan out through it). Never panics on experiment
+/// failure: each section runs isolated, and the report's `sections` field
+/// records which completed.
 pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
     par::set_jobs(opts.jobs);
     let cache_before = memo::stats();
     let sim_before = simstats::counters();
+    let faults_before = simstats::fault_counters();
     let start = Instant::now();
 
     let mut report = FullReport {
@@ -400,49 +507,53 @@ pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
         exchange_words: opts.exchange_words,
         ..FullReport::default()
     };
-    let mut experiments_metrics: Vec<ExperimentMetrics> = Vec::new();
+    let mut experiment_metrics: Vec<ExperimentMetrics> = Vec::new();
+    let mut statuses: Vec<SectionStatus> = Vec::new();
     let machines = [Machine::t3d(), Machine::paragon()];
 
-    let mut timed = |name: &str, points: u64, started: Instant| {
-        experiments_metrics.push(ExperimentMetrics {
-            name: name.to_string(),
-            wall_ms: started.elapsed().as_secs_f64() * 1e3,
-            points,
-        });
-    };
-
     if opts.wants("calibration") {
-        let t = Instant::now();
-        for m in &machines {
-            for r in calibrate::calibration_report(m, opts.micro_words) {
-                report.calibration.push(CalRow {
-                    machine: m.name.to_string(),
-                    transfer: r.transfer.to_string(),
-                    simulated: r.simulated.as_mbps(),
-                    paper: r.paper.as_mbps(),
-                    ratio: r.ratio(),
-                });
-            }
-        }
-        timed("calibration", report.calibration.len() as u64, t);
+        run_section(
+            "calibration",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    for r in calibrate::calibration_report(m, opts.micro_words)? {
+                        report.calibration.push(CalRow {
+                            machine: m.name.to_string(),
+                            transfer: r.transfer.to_string(),
+                            simulated: r.simulated.as_mbps(),
+                            paper: r.paper.as_mbps(),
+                            ratio: r.ratio(),
+                        });
+                    }
+                }
+                Ok(report.calibration.len() as u64)
+            },
+        );
     }
 
     if opts.wants("figure1") {
-        let t = Instant::now();
-        for m in &machines {
-            report.figure1.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows: experiments::figure1(m),
-            });
-        }
-        let n = report.figure1.iter().map(|s| s.rows.len() as u64).sum();
-        timed("figure1", n, t);
+        run_section(
+            "figure1",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    report.figure1.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows: experiments::figure1(m)?,
+                    });
+                }
+                Ok(report.figure1.iter().map(|s| s.rows.len() as u64).sum())
+            },
+        );
     }
 
     for (key, f) in [
         (
             "table1",
-            experiments::table1 as fn(&Machine, u64) -> Vec<experiments::RateRow>,
+            experiments::table1 as fn(&Machine, u64) -> SimResult<Vec<experiments::RateRow>>,
         ),
         ("table2", experiments::table2),
         ("table3", experiments::table3),
@@ -450,134 +561,204 @@ pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
         if !opts.wants(key) {
             continue;
         }
-        let t = Instant::now();
-        let mut n = 0u64;
-        for m in &machines {
-            let rows = f(m, opts.micro_words);
-            n += rows.len() as u64;
-            let s = MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            };
-            match key {
-                "table1" => report.table1.push(s),
-                "table2" => report.table2.push(s),
-                _ => report.table3.push(s),
+        run_section(key, &mut statuses, &mut experiment_metrics, &mut || {
+            let mut n = 0u64;
+            for m in &machines {
+                let rows = f(m, opts.micro_words)?;
+                n += rows.len() as u64;
+                let s = MachineSeries {
+                    machine: m.name.to_string(),
+                    rows,
+                };
+                match key {
+                    "table1" => report.table1.push(s),
+                    "table2" => report.table2.push(s),
+                    _ => report.table3.push(s),
+                }
             }
-        }
-        timed(key, n, t);
+            Ok(n)
+        });
     }
 
     if opts.wants("figure4") {
-        let t = Instant::now();
-        for m in &machines {
-            report.figure4.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows: experiments::figure4(m, opts.micro_words),
-            });
-        }
-        let n = report.figure4.iter().map(|s| s.rows.len() as u64).sum();
-        timed("figure4", n, t);
+        run_section(
+            "figure4",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    report.figure4.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows: experiments::figure4(m, opts.micro_words)?,
+                    });
+                }
+                Ok(report.figure4.iter().map(|s| s.rows.len() as u64).sum())
+            },
+        );
     }
 
     if opts.wants("table4") {
-        let t = Instant::now();
-        for m in &machines {
-            report.table4.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows: experiments::table4(m, opts.micro_words),
-            });
-        }
-        let n = report.table4.iter().map(|s| s.rows.len() as u64).sum();
-        timed("table4", n, t);
+        run_section(
+            "table4",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    report.table4.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows: experiments::table4(m, opts.micro_words),
+                    });
+                }
+                Ok(report.table4.iter().map(|s| s.rows.len() as u64).sum())
+            },
+        );
     }
 
     if opts.wants("figure7") || opts.wants("figure8") {
-        let t = Instant::now();
-        let mut n = 0u64;
-        for m in &machines {
-            let is_t3d = m.name == "Cray T3D";
-            if (is_t3d && !opts.wants("figure7")) || (!is_t3d && !opts.wants("figure8")) {
-                continue;
-            }
-            let rates = microbench::measure_table(m, opts.micro_words);
-            let rows = experiments::section5(m, &rates, opts.exchange_words);
-            n += rows.len() as u64;
-            report.section5.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows,
-            });
-        }
-        timed("section5", n, t);
+        run_section(
+            "section5",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                let mut n = 0u64;
+                for m in &machines {
+                    let is_t3d = m.name == "Cray T3D";
+                    if (is_t3d && !opts.wants("figure7")) || (!is_t3d && !opts.wants("figure8")) {
+                        continue;
+                    }
+                    let rates = microbench::measure_table(m, opts.micro_words)?;
+                    let rows = experiments::section5(m, &rates, opts.exchange_words)?;
+                    n += rows.len() as u64;
+                    report.section5.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows,
+                    });
+                }
+                Ok(n)
+            },
+        );
     }
 
     if opts.wants("table5") {
-        let t = Instant::now();
-        report.table5 = experiments::table5(opts.exchange_words);
-        timed("table5", report.table5.len() as u64, t);
+        run_section(
+            "table5",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                report.table5 = experiments::table5(opts.exchange_words)?;
+                Ok(report.table5.len() as u64)
+            },
+        );
     }
 
     if opts.wants("section341") {
-        let t = Instant::now();
-        let rates = microbench::measure_table(&Machine::t3d(), opts.micro_words);
-        report.section341 = Some(experiments::section341(&rates));
-        timed("section341", 1, t);
+        run_section(
+            "section341",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                let rates = microbench::measure_table(&Machine::t3d(), opts.micro_words)?;
+                report.section341 = Some(experiments::section341(&rates)?);
+                Ok(1)
+            },
+        );
     }
 
     if opts.wants("table6") {
-        let t = Instant::now();
-        let rates = microbench::measure_table(&Machine::t3d(), opts.micro_words);
-        report.table6 = experiments::table6(&rates);
-        timed("table6", report.table6.len() as u64, t);
+        run_section(
+            "table6",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                let rates = microbench::measure_table(&Machine::t3d(), opts.micro_words)?;
+                report.table6 = experiments::table6(&rates)?;
+                Ok(report.table6.len() as u64)
+            },
+        );
     }
 
     if opts.wants("putget") {
-        let t = Instant::now();
-        for m in &machines {
-            report.put_vs_get.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows: experiments::put_vs_get(m, opts.exchange_words),
-            });
-        }
-        let n = report.put_vs_get.iter().map(|s| s.rows.len() as u64).sum();
-        timed("putget", n, t);
+        run_section(
+            "putget",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    report.put_vs_get.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows: experiments::put_vs_get(m, opts.exchange_words)?,
+                    });
+                }
+                Ok(report.put_vs_get.iter().map(|s| s.rows.len() as u64).sum())
+            },
+        );
     }
 
     if opts.wants("scaling") {
-        let t = Instant::now();
-        let t3d = Machine::t3d();
-        report.scaling.push(MachineSeries {
-            machine: t3d.name.to_string(),
-            rows: experiments::scaling(&t3d),
-        });
-        let n = report.scaling.iter().map(|s| s.rows.len() as u64).sum();
-        timed("scaling", n, t);
+        run_section(
+            "scaling",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                let t3d = Machine::t3d();
+                report.scaling.push(MachineSeries {
+                    machine: t3d.name.to_string(),
+                    rows: experiments::scaling(&t3d)?,
+                });
+                Ok(report.scaling.iter().map(|s| s.rows.len() as u64).sum())
+            },
+        );
     }
 
     if opts.wants("accuracy") {
-        let t = Instant::now();
-        for m in &machines {
-            let rates = microbench::measure_table(m, opts.micro_words);
-            report.model_accuracy.push(MachineSeries {
-                machine: m.name.to_string(),
-                rows: experiments::model_accuracy(m, &rates, opts.exchange_words),
-            });
-        }
-        let n = report
-            .model_accuracy
-            .iter()
-            .map(|s| s.rows.len() as u64)
-            .sum();
-        timed("accuracy", n, t);
+        run_section(
+            "accuracy",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    let rates = microbench::measure_table(m, opts.micro_words)?;
+                    report.model_accuracy.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows: experiments::model_accuracy(m, &rates, opts.exchange_words)?,
+                    });
+                }
+                Ok(report
+                    .model_accuracy
+                    .iter()
+                    .map(|s| s.rows.len() as u64)
+                    .sum())
+            },
+        );
     }
+
+    if opts.wants("faults") {
+        run_section(
+            "faults",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    report.faults.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows: experiments::faults(m, opts.exchange_words, &opts.faults),
+                    });
+                }
+                Ok(report.faults.iter().map(|s| s.rows.len() as u64).sum())
+            },
+        );
+    }
+
+    report.sections = statuses;
 
     let metrics = RunMetrics {
         jobs: opts.jobs,
-        points: experiments_metrics.iter().map(|e| e.points).sum(),
+        points: experiment_metrics.iter().map(|e| e.points).sum(),
         cache: memo::stats().since(cache_before),
         sim: simstats::counters().since(sim_before),
+        faults: simstats::fault_counters().since(faults_before),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        experiments: experiments_metrics,
+        experiments: experiment_metrics,
     };
     (report, metrics)
 }
@@ -595,6 +776,7 @@ mod tests {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            ..SweepOptions::default()
         }
     }
 
@@ -624,5 +806,60 @@ mod tests {
         assert!(!report.to_json().render().contains("wall_ms"));
         assert!(metrics.to_json().render().contains("wall_ms"));
         assert!(metrics.summary().contains("hit rate"));
+        assert!(metrics.summary().contains("injected"));
+    }
+
+    #[test]
+    fn every_selected_section_reports_its_status() {
+        let (report, _) = run_sweep(&small_opts(1));
+        let names: Vec<&str> = report.sections.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["calibration", "table1"]);
+        assert!(report.sections.iter().all(|s| s.ok && s.error.is_none()));
+    }
+
+    #[test]
+    fn faults_section_runs_clean_by_default() {
+        let opts = SweepOptions {
+            jobs: 1,
+            micro_words: 256,
+            exchange_words: 256,
+            sections: ["faults"].iter().map(|s| s.to_string()).collect(),
+            ..SweepOptions::default()
+        };
+        let (report, metrics) = run_sweep(&opts);
+        assert_eq!(report.faults.len(), 2, "both machines");
+        for series in &report.faults {
+            assert!(series.rows.iter().all(|r| r.verified && r.error.is_none()));
+        }
+        assert_eq!(metrics.faults.injected, 0, "zero-rate plan injects nothing");
+        // The seed must leave no trace in the rendered report.
+        let json = report.to_json().render();
+        assert!(!json.contains("seed"), "fault seed leaked into the report");
+    }
+
+    #[test]
+    fn a_failing_section_leaves_a_partial_report() {
+        // An impossibly small cycle budget makes every resilient transfer
+        // fail; the sweep must finish, record per-point errors, and keep the
+        // section status ok (point failures are data, not section failures).
+        let opts = SweepOptions {
+            jobs: 1,
+            micro_words: 256,
+            exchange_words: 256,
+            sections: ["faults"].iter().map(|s| s.to_string()).collect(),
+            faults: crate::experiments::FaultSettings {
+                max_cycles: Some(1),
+                ..crate::experiments::FaultSettings::default()
+            },
+        };
+        let (report, _) = run_sweep(&opts);
+        assert!(report.sections.iter().all(|s| s.ok));
+        for series in &report.faults {
+            for r in &series.rows {
+                assert!(!r.verified);
+                let err = r.error.as_deref().expect("budget must trip");
+                assert!(err.contains("cycle"), "unexpected error: {err}");
+            }
+        }
     }
 }

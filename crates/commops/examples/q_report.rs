@@ -34,8 +34,15 @@ fn main() {
         for point in qref {
             let (x, y) = point.op.split_once('Q').unwrap();
             let (x, y) = (pat(x), pat(y));
-            let bp = run_exchange(&machine, x, y, Style::BufferPacking, &cfg);
-            let ch = run_exchange(&machine, x, y, Style::Chained, &cfg);
+            let run = |style| match run_exchange(&machine, x, y, style, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{} exchange failed: {e}", point.op);
+                    std::process::exit(1);
+                }
+            };
+            let bp = run(Style::BufferPacking);
+            let ch = run(Style::Chained);
             assert!(bp.verified && ch.verified);
             println!(
                 "{:<8} {:>8.1} {:>10.1} {:>8.1} {:>10.1}",

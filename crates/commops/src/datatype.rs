@@ -11,6 +11,7 @@
 //! the simulated machines.
 
 use memcomm_machines::Machine;
+use memcomm_memsim::{SimError, SimResult};
 use memcomm_model::{classify_offsets, AccessPattern};
 
 use crate::exchange::{run_exchange_specs, ExchangeConfig, ExchangeResult, Style};
@@ -216,21 +217,27 @@ pub enum DatatypeMethod {
 /// per-node measurement. The two types must describe the same number of
 /// words (as MPI requires matching type signatures).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the type sizes disagree, or on co-simulation bugs.
+/// Returns [`SimError::InvalidWalk`] if the type sizes disagree, and
+/// propagates co-simulation errors from
+/// [`run_exchange_specs`].
 pub fn run_datatype_exchange(
     machine: &Machine,
     send_type: &Datatype,
     recv_type: &Datatype,
     method: DatatypeMethod,
     cfg: &ExchangeConfig,
-) -> ExchangeResult {
-    assert_eq!(
-        send_type.total_words(),
-        recv_type.total_words(),
-        "type signatures must match"
-    );
+) -> SimResult<ExchangeResult> {
+    if send_type.total_words() != recv_type.total_words() {
+        return Err(SimError::InvalidWalk {
+            detail: format!(
+                "type signatures must match: send {} words, receive {}",
+                send_type.total_words(),
+                recv_type.total_words()
+            ),
+        });
+    }
     let style = match method {
         DatatypeMethod::Pack => Style::BufferPacking,
         DatatypeMethod::Direct => Style::Chained,
@@ -309,8 +316,9 @@ mod tests {
         let column = Datatype::vector(1024, 1, 1024);
         let rows = Datatype::contiguous(1024);
         let cfg = ExchangeConfig::default();
-        let pack = run_datatype_exchange(&m, &rows, &column, DatatypeMethod::Pack, &cfg);
-        let direct = run_datatype_exchange(&m, &rows, &column, DatatypeMethod::Direct, &cfg);
+        let pack = run_datatype_exchange(&m, &rows, &column, DatatypeMethod::Pack, &cfg).unwrap();
+        let direct =
+            run_datatype_exchange(&m, &rows, &column, DatatypeMethod::Direct, &cfg).unwrap();
         assert!(pack.verified && direct.verified);
         assert!(
             direct.per_node(m.clock()) > pack.per_node(m.clock()),
@@ -329,7 +337,7 @@ mod tests {
         let t = Datatype::indexed(displacements, blocklens);
         let peer = Datatype::contiguous(t.total_words());
         let cfg = ExchangeConfig::default();
-        let r = run_datatype_exchange(&m, &t, &peer, DatatypeMethod::Direct, &cfg);
+        let r = run_datatype_exchange(&m, &t, &peer, DatatypeMethod::Direct, &cfg).unwrap();
         assert!(
             r.verified,
             "datatype scatter/gather must move the right words"

@@ -5,7 +5,8 @@
 use memcomm_machines::Machine;
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::engines::{Cpu, CpuReceiver, CpuSender, DepositEngine, DepositMode, Step};
-use memcomm_memsim::{Measurement, Node};
+use memcomm_memsim::node::Watchdog;
+use memcomm_memsim::{Measurement, Node, SimError, SimResult};
 use memcomm_model::AccessPattern;
 use memcomm_netsim::Link;
 
@@ -48,6 +49,10 @@ pub struct ExchangeConfig {
     pub elide_contiguous_copies: bool,
     /// Seed for indexed patterns.
     pub seed: u64,
+    /// Simulated-cycle budget: the exchange fails with
+    /// [`SimError::CycleBudget`] instead of running past it. `None` leaves
+    /// only the step-bound watchdog.
+    pub max_cycles: Option<Cycle>,
 }
 
 impl Default for ExchangeConfig {
@@ -59,6 +64,7 @@ impl Default for ExchangeConfig {
             full_duplex: true,
             elide_contiguous_copies: false,
             seed: 0x5EED,
+            max_cycles: None,
         }
     }
 }
@@ -122,7 +128,7 @@ struct Side {
 }
 
 impl Side {
-    fn step_main(&mut self) -> Step {
+    fn step_main(&mut self) -> SimResult<Step> {
         let s = match &mut self.main {
             MainRole::Pipe(p) => p.step(
                 &mut self.cpu,
@@ -130,18 +136,18 @@ impl Side {
                 &mut self.node.mem,
                 &mut self.node.tx,
                 &self.chunk_ready,
-            ),
+            )?,
             MainRole::Chain(s) => s.step(
                 &mut self.cpu,
                 &mut self.node.path,
                 &self.node.mem,
                 &mut self.node.tx,
-            ),
+            )?,
         };
         if s == Step::Done {
             self.main_done = true;
         }
-        s
+        Ok(s)
     }
 
     fn step_dma(&mut self) -> Step {
@@ -165,9 +171,9 @@ impl Side {
         s
     }
 
-    fn step_deposit(&mut self) -> Step {
+    fn step_deposit(&mut self) -> SimResult<Step> {
         let s = match &mut self.deposit {
-            Some(d) => d.step(&mut self.node.path, &mut self.node.mem, &mut self.node.rx),
+            Some(d) => d.step(&mut self.node.path, &mut self.node.mem, &mut self.node.rx)?,
             None => Step::Done,
         };
         if let Some(d) = &self.deposit {
@@ -186,10 +192,10 @@ impl Side {
         if s == Step::Done {
             self.deposit_done = true;
         }
-        s
+        Ok(s)
     }
 
-    fn step_cop(&mut self) -> Step {
+    fn step_cop(&mut self) -> SimResult<Step> {
         let chunk_ready = &self.chunk_ready;
         let s = match &mut self.cop {
             Some(c) => match &mut c.duty {
@@ -199,20 +205,20 @@ impl Side {
                     &mut self.node.mem,
                     &mut self.node.tx,
                     chunk_ready,
-                ),
+                )?,
                 CopDuty::Receive(r) => r.step(
                     &mut c.cpu,
                     &mut self.node.path,
                     &mut self.node.mem,
                     &mut self.node.rx,
-                ),
+                )?,
             },
             None => Step::Done,
         };
         if s == Step::Done {
             self.cop_done = true;
         }
-        s
+        Ok(s)
     }
 
     fn agents_done(&self) -> bool {
@@ -243,10 +249,10 @@ impl Side {
         }
     }
 
-    fn step_agent(&mut self, agent: usize) -> Step {
+    fn step_agent(&mut self, agent: usize) -> SimResult<Step> {
         match agent {
             0 => self.step_main(),
-            1 => self.step_dma(),
+            1 => Ok(self.step_dma()),
             2 => self.step_deposit(),
             3 => self.step_cop(),
             _ => unreachable!("agents are 0..4"),
@@ -264,12 +270,12 @@ fn build_side(
     node_id: u64,
     send_words: u64,
     recv_words: u64,
-) -> Side {
+) -> SimResult<Side> {
     let (x, y) = (x_spec.pattern(), y_spec.pattern());
     let mut node = Node::new(machine.node);
     let chunk_words = cfg.chunk_words.unwrap_or(cfg.words.max(1));
     let layout =
-        ExchangeLayout::with_specs(&mut node, x_spec, y_spec, cfg.words, cfg.seed, node_id);
+        ExchangeLayout::with_specs(&mut node, x_spec, y_spec, cfg.words, cfg.seed, node_id)?;
     let contiguous = x == AccessPattern::Contiguous && y == AccessPattern::Contiguous;
     let cpu = node.cpu();
 
@@ -346,7 +352,7 @@ fn build_side(
         }
     };
 
-    Side {
+    Ok(Side {
         node,
         cpu,
         main,
@@ -361,24 +367,25 @@ fn build_side(
         expected_words: recv_words,
         layout,
         main_done: false,
-    }
+    })
 }
 
 /// Runs a symmetric `xQy` exchange between two nodes of `machine` in the
 /// given style and returns the per-node measurement, with end-to-end data
 /// verification.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the co-simulation deadlocks — that is a bug in the engine
-/// wiring, not a data-dependent condition.
+/// Returns [`SimError::Deadlock`] if the co-simulation wedges with work
+/// outstanding, [`SimError::CycleBudget`] past `cfg.max_cycles`, and
+/// propagates allocation, walk-validation and engine protocol errors.
 pub fn run_exchange(
     machine: &Machine,
     x: AccessPattern,
     y: AccessPattern,
     style: Style,
     cfg: &ExchangeConfig,
-) -> ExchangeResult {
+) -> SimResult<ExchangeResult> {
     run_exchange_specs(
         machine,
         &WalkSpec::Pattern(x),
@@ -392,23 +399,28 @@ pub fn run_exchange(
 /// point for datatype-driven transfers whose element offsets are not a
 /// plain pattern.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the co-simulation deadlocks, or if an offset list's length
-/// differs from `cfg.words`.
+/// As [`run_exchange`]; additionally [`SimError::InvalidWalk`] if an offset
+/// list's length differs from `cfg.words`.
 pub fn run_exchange_specs(
     machine: &Machine,
     x: &WalkSpec,
     y: &WalkSpec,
     style: Style,
     cfg: &ExchangeConfig,
-) -> ExchangeResult {
+) -> SimResult<ExchangeResult> {
     let congestion = cfg.congestion.unwrap_or(machine.default_congestion);
     let b_sends = if cfg.full_duplex { cfg.words } else { 0 };
-    let mut a = build_side(machine, x, y, style, cfg, 0, cfg.words, b_sends);
-    let mut b = build_side(machine, x, y, style, cfg, 1, b_sends, cfg.words);
+    let mut a = build_side(machine, x, y, style, cfg, 0, cfg.words, b_sends)?;
+    let mut b = build_side(machine, x, y, style, cfg, 1, b_sends, cfg.words)?;
     let mut link_ab = Link::new(machine.link(congestion));
     let mut link_ba = Link::new(machine.link(congestion));
+    // Generous step bound: each word crosses several engines; the watchdog
+    // exists to convert a wedged co-simulation into an error, not to be the
+    // binding constraint of a healthy run.
+    let mut watchdog =
+        Watchdog::new(256 * cfg.words.max(1) + 100_000).with_cycle_budget(cfg.max_cycles);
 
     loop {
         if a.agents_done() && b.agents_done() {
@@ -429,11 +441,14 @@ pub fn run_exchange_specs(
         order.push((link_ba.time(), 9));
         order.sort_unstable();
 
+        let now = a.end_time().max(b.end_time());
+        watchdog.tick("exchange driver", now)?;
+
         let mut progressed = false;
         for &(_, id) in &order {
             let step = match id {
-                0..=3 => a.step_agent(id),
-                4..=7 => b.step_agent(id - 4),
+                0..=3 => a.step_agent(id)?,
+                4..=7 => b.step_agent(id - 4)?,
                 8 => link_ab.step(&mut a.node.tx, &mut b.node.rx),
                 9 => link_ba.step(&mut b.node.tx, &mut a.node.rx),
                 _ => unreachable!(),
@@ -443,23 +458,27 @@ pub fn run_exchange_specs(
                 break;
             }
         }
-        if !progressed {
-            assert!(
-                a.agents_done() && b.agents_done(),
-                "exchange deadlocked: A {:?} B {:?}",
-                (a.main_done, a.dma_done, a.deposit_done, a.cop_done),
-                (b.main_done, b.dma_done, b.deposit_done, b.cop_done)
-            );
+        if !(progressed || (a.agents_done() && b.agents_done())) {
+            return Err(SimError::Deadlock {
+                detail: format!(
+                    "exchange wedged: A {:?} B {:?}",
+                    (a.main_done, a.dma_done, a.deposit_done, a.cop_done),
+                    (b.main_done, b.dma_done, b.deposit_done, b.cop_done)
+                ),
+                at: a.end_time().max(b.end_time()),
+            });
         }
     }
-    assert!(
-        a.node.tx.is_empty() && b.node.tx.is_empty(),
-        "words left in flight"
-    );
-    assert!(
-        a.node.rx.is_empty() && b.node.rx.is_empty(),
-        "words left in flight"
-    );
+    if !(a.node.tx.is_empty()
+        && b.node.tx.is_empty()
+        && a.node.rx.is_empty()
+        && b.node.rx.is_empty())
+    {
+        return Err(SimError::Deadlock {
+            detail: "words left in flight after all agents finished".to_string(),
+            at: a.end_time().max(b.end_time()),
+        });
+    }
 
     let end_cycle = a
         .end_time()
@@ -468,11 +487,11 @@ pub fn run_exchange_specs(
         .max(link_ba.time());
     let verified = b.layout.verify_received(&b.node, 0)
         && (!cfg.full_duplex || a.layout.verify_received(&a.node, 1));
-    ExchangeResult {
+    Ok(ExchangeResult {
         words: cfg.words,
         end_cycle,
         verified,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -491,7 +510,7 @@ mod tests {
     }
 
     fn rate(machine: &Machine, x: AccessPattern, y: AccessPattern, style: Style) -> f64 {
-        let r = run_exchange(machine, x, y, style, &cfg());
+        let r = run_exchange(machine, x, y, style, &cfg()).unwrap();
         assert!(
             r.verified,
             "{} {:?} {x}Q{y} corrupted data",
@@ -533,8 +552,8 @@ mod tests {
         c1.congestion = Some(1.0);
         let mut c4 = cfg();
         c4.congestion = Some(4.0);
-        let fast = run_exchange(&m, C1, C1, Style::Chained, &c1);
-        let slow = run_exchange(&m, C1, C1, Style::Chained, &c4);
+        let fast = run_exchange(&m, C1, C1, Style::Chained, &c1).unwrap();
+        let slow = run_exchange(&m, C1, C1, Style::Chained, &c4).unwrap();
         assert!(slow.end_cycle > 2 * fast.end_cycle);
     }
 
@@ -543,7 +562,7 @@ mod tests {
         // verify_received inside rate() covers it; this pins the pattern
         // combination the paper calls wQw on both machines.
         for m in [Machine::t3d(), Machine::paragon()] {
-            let r = run_exchange(&m, W, W, Style::Chained, &cfg());
+            let r = run_exchange(&m, W, W, Style::Chained, &cfg()).unwrap();
             assert!(r.verified);
         }
     }

@@ -12,9 +12,10 @@
 use memcomm_machines::Machine;
 use memcomm_memsim::engines::{AnnexEngine, Cpu, CpuReceiver, DepositEngine, DepositMode, Step};
 use memcomm_memsim::nic::{NetWord, TimedFifo};
+use memcomm_memsim::node::Watchdog;
 use memcomm_memsim::path::MemPath;
 use memcomm_memsim::walk::Walk;
-use memcomm_memsim::Node;
+use memcomm_memsim::{Node, SimError, SimResult};
 use memcomm_model::AccessPattern;
 use memcomm_netsim::Link;
 
@@ -94,7 +95,7 @@ impl ReplySink {
         path: &mut MemPath,
         mem: &mut memcomm_memsim::mem::Memory,
         reply_rx: &mut TimedFifo,
-    ) -> Step {
+    ) -> SimResult<Step> {
         match self {
             ReplySink::Deposit(d) => d.step(path, mem, reply_rx),
             ReplySink::CoProcessor { cpu, receiver } => receiver.step(cpu, path, mem, reply_rx),
@@ -132,9 +133,9 @@ fn build_get_side(
     node_id: u64,
     pull_words: u64,
     serve_words: u64,
-) -> GetSide {
+) -> SimResult<GetSide> {
     let mut node = Node::new(machine.node);
-    let layout = ExchangeLayout::new(&mut node, x, y, cfg.words, cfg.seed, node_id);
+    let layout = ExchangeLayout::new(&mut node, x, y, cfg.words, cfg.seed, node_id)?;
     let cpu = node.cpu();
     // Pull the peer's `src` (same addresses as ours — identical layouts)
     // into our `dst`.
@@ -155,7 +156,7 @@ fn build_get_side(
             receiver: CpuReceiver::new(layout.dst.slice(0, pull_words)),
         }
     };
-    GetSide {
+    Ok(GetSide {
         node,
         cpu,
         requester,
@@ -167,7 +168,7 @@ fn build_get_side(
         requester_done: false,
         responder_done: false,
         deposit_done: false,
-    }
+    })
 }
 
 /// Runs a symmetric get-based exchange: each node *pulls* `cfg.words` of
@@ -176,28 +177,32 @@ fn build_get_side(
 /// [`Style::Chained`](crate::Style::Chained), built on remote loads instead
 /// of remote stores.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the co-simulation deadlocks (an engine-wiring bug).
+/// Returns [`SimError::Deadlock`] if the co-simulation wedges,
+/// [`SimError::CycleBudget`] past `cfg.max_cycles`, and propagates
+/// allocation and engine protocol errors.
 pub fn run_get_exchange(
     machine: &Machine,
     x: AccessPattern,
     y: AccessPattern,
     cfg: &ExchangeConfig,
-) -> ExchangeResult {
+) -> SimResult<ExchangeResult> {
     // Requests and replies multiplex one physical wire per direction; with
     // both nodes pulling, each direction carries two streams.
     let base = cfg.congestion.unwrap_or(machine.default_congestion);
     let congestion = if cfg.full_duplex { base * 2.0 } else { base };
     let b_pulls = if cfg.full_duplex { cfg.words } else { 0 };
-    let mut a = build_get_side(machine, x, y, cfg, 0, cfg.words, b_pulls);
-    let mut b = build_get_side(machine, x, y, cfg, 1, b_pulls, cfg.words);
+    let mut a = build_get_side(machine, x, y, cfg, 0, cfg.words, b_pulls)?;
+    let mut b = build_get_side(machine, x, y, cfg, 1, b_pulls, cfg.words)?;
     let mut req_ab = Link::new(machine.link(congestion));
     let mut req_ba = Link::new(machine.link(congestion));
     let mut rep_ab = Link::new(machine.link(congestion));
     let mut rep_ba = Link::new(machine.link(congestion));
 
     let side_done = |s: &GetSide| s.requester_done && s.responder_done && s.deposit_done;
+    let mut watchdog =
+        Watchdog::new(256 * cfg.words.max(1) + 100_000).with_cycle_budget(cfg.max_cycles);
     loop {
         if side_done(&a) && side_done(&b) {
             break;
@@ -234,14 +239,14 @@ pub fn run_get_exchange(
                 1 | 4 => {
                     let s = if id == 1 { &mut a } else { &mut b };
                     let Node { path, mem, rx, .. } = &mut s.node;
-                    let step = s.responder.step(path, mem, rx, &mut s.reply_tx);
+                    let step = s.responder.step(path, mem, rx, &mut s.reply_tx)?;
                     s.responder_done |= step == Step::Done;
                     step
                 }
                 2 | 5 => {
                     let s = if id == 2 { &mut a } else { &mut b };
                     let Node { path, mem, .. } = &mut s.node;
-                    let step = s.deposit.step(path, mem, &mut s.reply_rx);
+                    let step = s.deposit.step(path, mem, &mut s.reply_rx)?;
                     s.deposit_done |= step == Step::Done;
                     step
                 }
@@ -256,10 +261,13 @@ pub fn run_get_exchange(
                 break;
             }
         }
-        assert!(
-            progressed || (side_done(&a) && side_done(&b)),
-            "get exchange deadlocked"
-        );
+        if !(progressed || (side_done(&a) && side_done(&b))) {
+            return Err(SimError::Deadlock {
+                detail: "get exchange wedged with work outstanding".to_string(),
+                at: a.cpu.t.max(b.cpu.t),
+            });
+        }
+        watchdog.tick("get driver", a.cpu.t.max(b.cpu.t))?;
     }
 
     let end_cycle = a
@@ -277,11 +285,11 @@ pub fn run_get_exchange(
     // A pulled B's data: element i of B's src landed at element i of A's dst.
     let verified = a.layout.verify_received(&a.node, 1)
         && (!cfg.full_duplex || b.layout.verify_received(&b.node, 0));
-    ExchangeResult {
+    Ok(ExchangeResult {
         words: cfg.words,
         end_cycle,
         verified,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -303,7 +311,7 @@ mod tests {
             (AccessPattern::Contiguous, AccessPattern::Contiguous),
             (AccessPattern::Strided(16), AccessPattern::Indexed),
         ] {
-            let r = run_get_exchange(&m, x, y, &cfg());
+            let r = run_get_exchange(&m, x, y, &cfg()).unwrap();
             assert!(r.verified, "{x}Q{y} get corrupted data");
         }
     }
@@ -317,8 +325,8 @@ mod tests {
             (AccessPattern::Contiguous, AccessPattern::Contiguous),
             (AccessPattern::Contiguous, AccessPattern::Strided(64)),
         ] {
-            let put = run_exchange(&m, x, y, Style::Chained, &cfg());
-            let get = run_get_exchange(&m, x, y, &cfg());
+            let put = run_exchange(&m, x, y, Style::Chained, &cfg()).unwrap();
+            let get = run_get_exchange(&m, x, y, &cfg()).unwrap();
             assert!(put.verified && get.verified);
             let put_rate = put.per_node(m.clock()).as_mbps();
             let get_rate = get.per_node(m.clock()).as_mbps();
@@ -337,7 +345,8 @@ mod tests {
             AccessPattern::Contiguous,
             AccessPattern::Strided(64),
             &cfg(),
-        );
+        )
+        .unwrap();
         assert!(r.verified);
     }
 
@@ -348,7 +357,8 @@ mod tests {
             full_duplex: false,
             ..cfg()
         };
-        let r = run_get_exchange(&m, AccessPattern::Indexed, AccessPattern::Contiguous, &half);
+        let r =
+            run_get_exchange(&m, AccessPattern::Indexed, AccessPattern::Contiguous, &half).unwrap();
         assert!(r.verified);
     }
 }

@@ -2,7 +2,7 @@
 
 use memcomm_machines::microbench::permutation_index;
 use memcomm_memsim::walk::Walk;
-use memcomm_memsim::Node;
+use memcomm_memsim::{Node, SimError, SimResult};
 use memcomm_model::{classify_offsets, AccessPattern};
 
 /// How one side of an exchange walks memory: either a pattern (indexed
@@ -44,27 +44,37 @@ impl WalkSpec {
         self.len() == Some(0)
     }
 
-    fn build_walk(&self, node: &mut Node, words: u64, seed: u64) -> Walk {
+    fn build_walk(&self, node: &mut Node, words: u64, seed: u64) -> SimResult<Walk> {
         match self {
             WalkSpec::Pattern(p) => {
                 let index = (*p == AccessPattern::Indexed).then(|| permutation_index(words, seed));
                 node.alloc_walk(*p, words, index)
             }
             WalkSpec::Offsets(offsets) => {
-                assert_eq!(
-                    offsets.len() as u64,
-                    words,
-                    "offset list length must equal the transfer size"
-                );
+                if offsets.len() as u64 != words {
+                    return Err(SimError::InvalidWalk {
+                        detail: format!(
+                            "offset list of {} entries for a transfer of {words} words",
+                            offsets.len()
+                        ),
+                    });
+                }
                 match self.pattern() {
                     AccessPattern::Indexed => {
                         // Region spans the largest offset; the walk follows
                         // the explicit list.
                         let span = u64::from(*offsets.iter().max().expect("non-empty")) + 1;
-                        let region = node.mem.alloc(span);
-                        let index_region = node.mem.alloc((words).div_ceil(2));
-                        Walk::new(AccessPattern::Indexed, region, words, Some(offsets.clone()))
-                            .with_index_region(index_region)
+                        let region = node.mem.alloc(span)?;
+                        let index_region = node.mem.alloc((words).div_ceil(2))?;
+                        Ok(
+                            Walk::new(
+                                AccessPattern::Indexed,
+                                region,
+                                words,
+                                Some(offsets.clone()),
+                            )?
+                            .with_index_region(index_region),
+                        )
                     }
                     pattern => {
                         // Contiguous or constant stride: the pattern walk
@@ -103,6 +113,10 @@ pub struct ExchangeLayout {
 impl ExchangeLayout {
     /// Allocates the layout on a node and fills the source with values that
     /// encode `(node_id, element)` for end-to-end verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and walk-validation failures.
     pub fn new(
         node: &mut Node,
         x: AccessPattern,
@@ -110,7 +124,7 @@ impl ExchangeLayout {
         words: u64,
         seed: u64,
         node_id: u64,
-    ) -> Self {
+    ) -> SimResult<Self> {
         Self::with_specs(
             node,
             &WalkSpec::Pattern(x),
@@ -124,9 +138,10 @@ impl ExchangeLayout {
     /// Like [`new`](Self::new), but with explicit walk specifications
     /// (offset lists from datatypes, or plain patterns).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an offset list's length differs from `words`.
+    /// Returns [`SimError::InvalidWalk`] if an offset list's length differs
+    /// from `words`, and propagates allocation failures.
     pub fn with_specs(
         node: &mut Node,
         x: &WalkSpec,
@@ -134,20 +149,20 @@ impl ExchangeLayout {
         words: u64,
         seed: u64,
         node_id: u64,
-    ) -> Self {
-        let src = x.build_walk(node, words, seed);
-        let dst = y.build_walk(node, words, seed ^ 0xABCD);
-        let send_buf = node.alloc_walk(AccessPattern::Contiguous, words, None);
-        let recv_buf = node.alloc_walk(AccessPattern::Contiguous, words, None);
+    ) -> SimResult<Self> {
+        let src = x.build_walk(node, words, seed)?;
+        let dst = y.build_walk(node, words, seed ^ 0xABCD)?;
+        let send_buf = node.alloc_walk(AccessPattern::Contiguous, words, None)?;
+        let recv_buf = node.alloc_walk(AccessPattern::Contiguous, words, None)?;
         for i in 0..words {
             node.mem.write(src.addr(i), Self::value(node_id, i));
         }
-        ExchangeLayout {
+        Ok(ExchangeLayout {
             src,
             dst,
             send_buf,
             recv_buf,
-        }
+        })
     }
 
     /// A view of the layout truncated to `send_words` on the outgoing side
@@ -191,7 +206,8 @@ mod tests {
             64,
             7,
             0,
-        );
+        )
+        .unwrap();
         let lb = ExchangeLayout::new(
             &mut b,
             AccessPattern::Indexed,
@@ -199,7 +215,8 @@ mod tests {
             64,
             7,
             1,
-        );
+        )
+        .unwrap();
         for i in 0..64 {
             assert_eq!(la.src.addr(i), lb.src.addr(i));
             assert_eq!(la.dst.addr(i), lb.dst.addr(i));
@@ -216,7 +233,8 @@ mod tests {
             8,
             1,
             0,
-        );
+        )
+        .unwrap();
         assert!(!layout.verify_received(&a, 1), "nothing received yet");
         for i in 0..8 {
             let v = ExchangeLayout::value(1, i);

@@ -26,16 +26,17 @@
 //! use memcomm_machines::Machine;
 //! use memcomm_model::AccessPattern;
 //!
-//! # fn main() {
+//! # fn main() -> Result<(), memcomm_memsim::SimError> {
 //! let t3d = Machine::t3d();
 //! let cfg = ExchangeConfig { words: 2048, ..ExchangeConfig::default() };
 //! let bp = run_exchange(&t3d, AccessPattern::Contiguous, AccessPattern::Strided(64),
-//!                       Style::BufferPacking, &cfg);
+//!                       Style::BufferPacking, &cfg)?;
 //! let ch = run_exchange(&t3d, AccessPattern::Contiguous, AccessPattern::Strided(64),
-//!                       Style::Chained, &cfg);
+//!                       Style::Chained, &cfg)?;
 //! assert!(bp.verified && ch.verified);
 //! // Chaining beats buffer packing for strided destinations.
 //! assert!(ch.per_node(t3d.clock()) > bp.per_node(t3d.clock()));
+//! # Ok(())
 //! # }
 //! ```
 
@@ -47,6 +48,7 @@ pub mod exchange;
 pub mod get;
 pub mod layout;
 pub mod library;
+pub mod protocol;
 pub mod roles;
 
 pub use datatype::{run_datatype_exchange, Datatype, DatatypeMethod};
@@ -54,3 +56,4 @@ pub use exchange::{run_exchange, run_exchange_specs, ExchangeConfig, ExchangeRes
 pub use get::run_get_exchange;
 pub use layout::WalkSpec;
 pub use library::{measure_message, LibraryProfile};
+pub use protocol::{blend_rates, run_resilient_transfer, ProtocolConfig, TransferReport};

@@ -10,7 +10,8 @@
 use memcomm_machines::Machine;
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::engines::{CpuSender, DepositEngine, DepositMode, LocalCopier, Step};
-use memcomm_memsim::Node;
+use memcomm_memsim::node::Watchdog;
+use memcomm_memsim::{Node, SimError, SimResult};
 use memcomm_model::{AccessPattern, Throughput};
 use memcomm_netsim::Link;
 
@@ -52,21 +53,35 @@ impl LibraryProfile {
 /// Sends one contiguous message of `words` 64-bit words from node A to
 /// node B through the library and returns the end-to-end throughput
 /// (message bytes over total one-way time) — one point of Figure 1.
-pub fn measure_message(machine: &Machine, profile: LibraryProfile, words: u64) -> Throughput {
-    assert!(words >= 1, "empty messages have no throughput");
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidWalk`] for an empty message,
+/// [`SimError::Deadlock`] if the co-simulation wedges, and
+/// [`SimError::Protocol`] if the delivered message differs from the source.
+pub fn measure_message(
+    machine: &Machine,
+    profile: LibraryProfile,
+    words: u64,
+) -> SimResult<Throughput> {
+    if words == 0 {
+        return Err(SimError::InvalidWalk {
+            detail: "empty messages have no throughput".to_string(),
+        });
+    }
     let mut a = Node::new(machine.node);
     let mut b = Node::new(machine.node);
-    let src = a.alloc_walk(AccessPattern::Contiguous, words, None);
-    let sys_a = a.alloc_walk(AccessPattern::Contiguous, words, None);
+    let src = a.alloc_walk(AccessPattern::Contiguous, words, None)?;
+    let sys_a = a.alloc_walk(AccessPattern::Contiguous, words, None)?;
     // Keep layouts identical.
-    let dst = b.alloc_walk(AccessPattern::Contiguous, words, None);
-    let sys_b = b.alloc_walk(AccessPattern::Contiguous, words, None);
+    let dst = b.alloc_walk(AccessPattern::Contiguous, words, None)?;
+    let sys_b = b.alloc_walk(AccessPattern::Contiguous, words, None)?;
     a.mem.fill(src.region(), (0..words).map(|i| i ^ 0xFEED));
 
     let mut cpu_a = a.cpu();
     cpu_a.t += profile.per_message_cycles;
     let send_walk = if profile.system_buffering {
-        LocalCopier::new(src.clone(), sys_a.clone()).run(&mut cpu_a, &mut a.path, &mut a.mem);
+        LocalCopier::new(src.clone(), sys_a.clone()).run(&mut cpu_a, &mut a.path, &mut a.mem)?;
         sys_a
     } else {
         src.clone()
@@ -87,7 +102,9 @@ pub fn measure_message(machine: &Machine, profile: LibraryProfile, words: u64) -
     );
     let mut sender_done = false;
     let mut deposit_done = false;
+    let mut watchdog = Watchdog::new(64 * words + 100_000);
     while !(sender_done && deposit_done) {
+        watchdog.tick("message driver", cpu_a.t.max(deposit.t))?;
         let mut order = vec![(link.time(), 2usize)];
         if !sender_done {
             order.push((cpu_a.t, 0));
@@ -100,12 +117,12 @@ pub fn measure_message(machine: &Machine, profile: LibraryProfile, words: u64) -
         for &(_, id) in &order {
             let s = match id {
                 0 => {
-                    let s = sender.step(&mut cpu_a, &mut a.path, &a.mem, &mut a.tx);
+                    let s = sender.step(&mut cpu_a, &mut a.path, &a.mem, &mut a.tx)?;
                     sender_done |= s == Step::Done;
                     s
                 }
                 1 => {
-                    let s = deposit.step(&mut b.path, &mut b.mem, &mut b.rx);
+                    let s = deposit.step(&mut b.path, &mut b.mem, &mut b.rx)?;
                     deposit_done |= s == Step::Done;
                     s
                 }
@@ -117,27 +134,30 @@ pub fn measure_message(machine: &Machine, profile: LibraryProfile, words: u64) -
                 break;
             }
         }
-        assert!(
-            progressed || (sender_done && deposit_done),
-            "message transfer deadlocked"
-        );
+        if !(progressed || (sender_done && deposit_done)) {
+            return Err(SimError::Deadlock {
+                detail: "message transfer wedged".to_string(),
+                at: cpu_a.t.max(deposit.t),
+            });
+        }
     }
 
     let mut end = deposit.t.max(cpu_a.t).max(link.time());
     if profile.system_buffering {
         let mut cpu_b = b.cpu();
         cpu_b.t = end + profile.per_message_cycles;
-        LocalCopier::new(sys_b, dst.clone()).run(&mut cpu_b, &mut b.path, &mut b.mem);
+        LocalCopier::new(sys_b, dst.clone()).run(&mut cpu_b, &mut b.path, &mut b.mem)?;
         end = cpu_b.t;
     }
     for i in 0..words {
-        assert_eq!(
-            b.mem.read(dst.addr(i)),
-            a.mem.read(src.addr(i)),
-            "message corrupted at element {i}"
-        );
+        if b.mem.read(dst.addr(i)) != a.mem.read(src.addr(i)) {
+            return Err(SimError::Protocol {
+                detail: format!("message corrupted at element {i}"),
+                at: end,
+            });
+        }
     }
-    machine.clock().throughput(words * 8, end)
+    Ok(machine.clock().throughput(words * 8, end))
 }
 
 #[cfg(test)]
@@ -148,8 +168,8 @@ mod tests {
     fn low_level_beats_pvm_at_every_size() {
         let m = Machine::t3d();
         for words in [64u64, 1024, 16384] {
-            let pvm = measure_message(&m, LibraryProfile::pvm(&m), words);
-            let low = measure_message(&m, LibraryProfile::low_level(&m), words);
+            let pvm = measure_message(&m, LibraryProfile::pvm(&m), words).unwrap();
+            let low = measure_message(&m, LibraryProfile::low_level(&m), words).unwrap();
             assert!(
                 low > pvm,
                 "{words} words: low-level {low} must beat PVM {pvm}"
@@ -161,8 +181,12 @@ mod tests {
     fn pvm_gap_narrows_with_message_size() {
         let m = Machine::paragon();
         let ratio = |words| {
-            let pvm = measure_message(&m, LibraryProfile::pvm(&m), words).as_mbps();
-            let low = measure_message(&m, LibraryProfile::low_level(&m), words).as_mbps();
+            let pvm = measure_message(&m, LibraryProfile::pvm(&m), words)
+                .unwrap()
+                .as_mbps();
+            let low = measure_message(&m, LibraryProfile::low_level(&m), words)
+                .unwrap()
+                .as_mbps();
             low / pvm
         };
         assert!(
@@ -175,9 +199,9 @@ mod tests {
     fn throughput_grows_with_size_then_saturates() {
         let m = Machine::t3d();
         let profile = LibraryProfile::low_level(&m);
-        let small = measure_message(&m, profile, 16).as_mbps();
-        let mid = measure_message(&m, profile, 4096).as_mbps();
-        let large = measure_message(&m, profile, 32768).as_mbps();
+        let small = measure_message(&m, profile, 16).unwrap().as_mbps();
+        let mid = measure_message(&m, profile, 4096).unwrap().as_mbps();
+        let large = measure_message(&m, profile, 32768).unwrap().as_mbps();
         assert!(mid > 2.0 * small);
         assert!(large >= mid * 0.9, "saturation, not collapse");
         // Asymptote is bounded by the wire at congestion 1.

@@ -8,6 +8,7 @@
 
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::engines::{Cpu, CpuSender, Dma, DmaParams, LocalCopier, Step};
+use memcomm_memsim::error::SimResult;
 use memcomm_memsim::mem::Memory;
 use memcomm_memsim::nic::TimedFifo;
 use memcomm_memsim::path::MemPath;
@@ -107,6 +108,11 @@ impl PipelinedCpu {
 
     /// Advances by one unit of work. `chunk_ready[k]` is the cycle at which
     /// incoming chunk `k` finished arriving in the receive buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine protocol errors from the underlying copy and send
+    /// operations.
     pub fn step(
         &mut self,
         cpu: &mut Cpu,
@@ -114,9 +120,9 @@ impl PipelinedCpu {
         mem: &mut Memory,
         tx: &mut TimedFifo,
         chunk_ready: &[Cycle],
-    ) -> Step {
+    ) -> SimResult<Step> {
         if self.is_done() {
-            return Step::Done;
+            return Ok(Step::Done);
         }
         // Scatter first: drain the incoming pipeline.
         if self.duties.scatter {
@@ -132,7 +138,7 @@ impl PipelinedCpu {
                 ));
             }
             if let Some(op) = &mut self.scatter_op {
-                match op.step(cpu, path, mem) {
+                match op.step(cpu, path, mem)? {
                     Step::Done => {
                         self.scatter_op = None;
                         self.scattered += 1;
@@ -140,7 +146,7 @@ impl PipelinedCpu {
                     Step::Progressed => {}
                     Step::Blocked => unreachable!("local copies never block"),
                 }
-                return Step::Progressed;
+                return Ok(Step::Progressed);
             }
         }
         // Send gathered chunks; a blocked port falls through to gathering.
@@ -150,13 +156,13 @@ impl PipelinedCpu {
                 self.send_op = Some(CpuSender::new(self.layout.send_buf.slice(start, len), None));
             }
             if let Some(op) = &mut self.send_op {
-                match op.step(cpu, path, mem, tx) {
+                match op.step(cpu, path, mem, tx)? {
                     Step::Done => {
                         self.send_op = None;
                         self.sent += 1;
-                        return Step::Progressed;
+                        return Ok(Step::Progressed);
                     }
-                    Step::Progressed => return Step::Progressed,
+                    Step::Progressed => return Ok(Step::Progressed),
                     Step::Blocked => {}
                 }
             }
@@ -171,7 +177,7 @@ impl PipelinedCpu {
                 ));
             }
             if let Some(op) = &mut self.gather_op {
-                match op.step(cpu, path, mem) {
+                match op.step(cpu, path, mem)? {
                     Step::Done => {
                         self.gather_op = None;
                         self.gathered += 1;
@@ -180,14 +186,14 @@ impl PipelinedCpu {
                     Step::Progressed => {}
                     Step::Blocked => unreachable!("local copies never block"),
                 }
-                return Step::Progressed;
+                return Ok(Step::Progressed);
             }
         }
-        if self.is_done() {
+        Ok(if self.is_done() {
             Step::Done
         } else {
             Step::Blocked
-        }
+        })
     }
 }
 
@@ -284,7 +290,8 @@ mod tests {
             64,
             3,
             0,
-        );
+        )
+        .unwrap();
         let mut cpu = node.cpu();
         let mut pipe = PipelinedCpu::new(
             CpuDuties {
@@ -296,7 +303,10 @@ mod tests {
             16,
         );
         loop {
-            match pipe.step(&mut cpu, &mut node.path, &mut node.mem, &mut node.tx, &[]) {
+            match pipe
+                .step(&mut cpu, &mut node.path, &mut node.mem, &mut node.tx, &[])
+                .unwrap()
+            {
                 Step::Done => break,
                 Step::Blocked => panic!("gather-only pipeline cannot block"),
                 Step::Progressed => {}
@@ -322,7 +332,8 @@ mod tests {
             32,
             3,
             0,
-        );
+        )
+        .unwrap();
         // Pretend a peer deposited the first chunk only.
         for i in 0..16 {
             let v = ExchangeLayout::value(9, i);
@@ -340,13 +351,16 @@ mod tests {
         );
         let ready = vec![1000u64];
         loop {
-            match pipe.step(
-                &mut cpu,
-                &mut node.path,
-                &mut node.mem,
-                &mut node.tx,
-                &ready,
-            ) {
+            match pipe
+                .step(
+                    &mut cpu,
+                    &mut node.path,
+                    &mut node.mem,
+                    &mut node.tx,
+                    &ready,
+                )
+                .unwrap()
+            {
                 Step::Blocked => break, // second chunk never arrives
                 Step::Progressed => {}
                 Step::Done => panic!("cannot finish with one chunk missing"),
@@ -377,7 +391,8 @@ mod tests {
             64,
             3,
             0,
-        );
+        )
+        .unwrap();
         let mut queue = DmaChunkQueue::new(node.params().dma, layout.send_buf.clone(), 32);
         // Nothing gathered: blocked.
         assert_eq!(

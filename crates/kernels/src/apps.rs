@@ -11,7 +11,7 @@ use memcomm_commops::{run_exchange, ExchangeConfig, Style};
 use memcomm_machines::Machine;
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::scenario;
-use memcomm_memsim::Node;
+use memcomm_memsim::{Node, SimResult};
 use memcomm_model::{
     chained_expr, AccessPattern, ChainedPlan, ModelError, RateTable, ReceiveEngine, Throughput,
 };
@@ -88,11 +88,11 @@ pub struct KernelMeasurement {
 
 /// PVM's extra store-and-forward copies through system buffers: the cost of
 /// one contiguous copy of `words` on this machine, simulated.
-fn system_copy_cycles(machine: &Machine, words: u64) -> Cycle {
+fn system_copy_cycles(machine: &Machine, words: u64) -> SimResult<Cycle> {
     let mut node = Node::new(machine.node);
-    let src = node.alloc_walk(AccessPattern::Contiguous, words, None);
-    let dst = node.alloc_walk(AccessPattern::Contiguous, words, None);
-    scenario::run_local_copy(&mut node, &src, &dst).cycles
+    let src = node.alloc_walk(AccessPattern::Contiguous, words, None)?;
+    let dst = node.alloc_walk(AccessPattern::Contiguous, words, None)?;
+    Ok(scenario::run_local_copy(&mut node, &src, &dst)?.cycles)
 }
 
 #[allow(clippy::too_many_arguments)] // one knob per paper-visible parameter
@@ -105,7 +105,7 @@ fn measure_round(
     words: u64,
     congestion: f64,
     elide_contiguous_copies: bool,
-) -> (Cycle, KernelMeasurement) {
+) -> SimResult<(Cycle, KernelMeasurement)> {
     let cfg = ExchangeConfig {
         words,
         congestion: Some(congestion),
@@ -113,10 +113,10 @@ fn measure_round(
         elide_contiguous_copies: elide_contiguous_copies && method != CommMethod::Pvm,
         ..ExchangeConfig::default()
     };
-    let result = run_exchange(machine, x, y, method.style(), &cfg);
+    let result = run_exchange(machine, x, y, method.style(), &cfg)?;
     let mut round = result.end_cycle + method.per_message_cycles(machine);
     if method == CommMethod::Pvm {
-        round += 2 * system_copy_cycles(machine, words);
+        round += 2 * system_copy_cycles(machine, words)?;
     }
     let m = KernelMeasurement {
         kernel,
@@ -125,7 +125,7 @@ fn measure_round(
         congestion,
         verified: result.verified,
     };
-    (round, m)
+    Ok((round, m))
 }
 
 /// The 2D-FFT transpose kernel (Section 6.1.1): an `n × n` complex matrix
@@ -163,7 +163,11 @@ impl TransposeKernel {
     }
 
     /// Measures the communication step per node.
-    pub fn measure(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the co-simulated exchange.
+    pub fn measure(&self, machine: &Machine, method: CommMethod) -> SimResult<KernelMeasurement> {
         let p = machine.topology.len() as u64;
         let congestion = self.congestion(machine);
         // The transpose patch is short contiguous runs, not one block: the
@@ -177,8 +181,8 @@ impl TransposeKernel {
             self.patch_words(p),
             congestion,
             false,
-        );
-        m
+        )?;
+        Ok(m)
     }
 
     /// Measures the *entire* transpose — all `p − 1` rounds of the XOR
@@ -186,7 +190,15 @@ impl TransposeKernel {
     /// returns the aggregate per-node rate. [`measure`](Self::measure) uses
     /// one representative round at the worst round congestion; this method
     /// is the long-form validation that the shortcut is sound.
-    pub fn measure_full(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from any round's exchange.
+    pub fn measure_full(
+        &self,
+        machine: &Machine,
+        method: CommMethod,
+    ) -> SimResult<KernelMeasurement> {
         let p = machine.topology.len();
         let patch = self.patch_words(p as u64);
         let rounds = traffic::aapc_xor_schedule(p, patch * 8);
@@ -207,18 +219,18 @@ impl TransposeKernel {
                 patch,
                 congestion,
                 false,
-            );
+            )?;
             total_cycles += cycles;
             verified &= m.verified;
         }
         let total_words = patch * rounds.len() as u64;
-        KernelMeasurement {
+        Ok(KernelMeasurement {
             kernel: "Transpose",
             method: method.label(),
             per_node: machine.clock().throughput(total_words * 8, total_cycles),
             congestion: worst,
             verified,
-        }
+        })
     }
 
     /// The copy-transfer model's chained estimate for this kernel, from a
@@ -299,7 +311,11 @@ impl FemKernel {
     }
 
     /// Measures the boundary-exchange step per node.
-    pub fn measure(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the co-simulated exchange.
+    pub fn measure(&self, machine: &Machine, method: CommMethod) -> SimResult<KernelMeasurement> {
         let congestion = self.congestion(machine);
         let (_, m) = measure_round(
             machine,
@@ -310,8 +326,8 @@ impl FemKernel {
             self.exchange_words(),
             congestion,
             false,
-        );
-        m
+        )?;
+        Ok(m)
     }
 
     /// The model's chained estimate (`ωQ'ω`).
@@ -358,7 +374,11 @@ impl SorKernel {
     /// plus the iteration synchronization; the reported rate is one halo
     /// row over the full communication phase (the paper's per-node
     /// accounting).
-    pub fn measure(&self, machine: &Machine, method: CommMethod) -> KernelMeasurement {
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the co-simulated exchange.
+    pub fn measure(&self, machine: &Machine, method: CommMethod) -> SimResult<KernelMeasurement> {
         let congestion = self.congestion(machine);
         // Halo rows are contiguous: a hand-written buffer-packing SOR does
         // not copy them, which is why the paper's Table 6 shows chained and
@@ -372,12 +392,12 @@ impl SorKernel {
             self.n,
             congestion,
             true,
-        );
+        )?;
         let iteration = 2 * round + method.sync_cycles(machine);
-        KernelMeasurement {
+        Ok(KernelMeasurement {
             per_node: machine.clock().throughput(self.n * 8, iteration),
             ..first
-        }
+        })
     }
 
     /// The model's chained estimate (`1Q'1`), which ignores the per-message
@@ -432,9 +452,9 @@ mod tests {
     fn chained_beats_buffer_packing_beats_pvm_on_t3d() {
         let t3d = Machine::t3d();
         let k = TransposeKernel::paper_instance();
-        let bp = k.measure(&t3d, CommMethod::BufferPacking);
-        let ch = k.measure(&t3d, CommMethod::Chained);
-        let pvm = k.measure(&t3d, CommMethod::Pvm);
+        let bp = k.measure(&t3d, CommMethod::BufferPacking).unwrap();
+        let ch = k.measure(&t3d, CommMethod::Chained).unwrap();
+        let pvm = k.measure(&t3d, CommMethod::Pvm).unwrap();
         assert!(bp.verified && ch.verified && pvm.verified);
         assert!(
             ch.per_node > bp.per_node && bp.per_node > pvm.per_node,
@@ -449,8 +469,8 @@ mod tests {
     fn full_transpose_agrees_with_the_representative_round() {
         let t3d = Machine::t3d();
         let k = TransposeKernel::paper_instance();
-        let full = k.measure_full(&t3d, CommMethod::Chained);
-        let single = k.measure(&t3d, CommMethod::Chained);
+        let full = k.measure_full(&t3d, CommMethod::Chained).unwrap();
+        let single = k.measure(&t3d, CommMethod::Chained).unwrap();
         assert!(full.verified);
         let ratio = full.per_node.as_mbps() / single.per_node.as_mbps();
         assert!(
@@ -467,8 +487,8 @@ mod tests {
         assert_eq!(k.mesh.partitions(), 64);
         assert_eq!(k.exchange_words(), 144, "12x12 faces");
         let t3d = Machine::t3d();
-        let ch = k.measure(&t3d, CommMethod::Chained);
-        let bp = k.measure(&t3d, CommMethod::BufferPacking);
+        let ch = k.measure(&t3d, CommMethod::Chained).unwrap();
+        let bp = k.measure(&t3d, CommMethod::BufferPacking).unwrap();
         assert!(ch.verified && bp.verified);
         assert!(ch.per_node > bp.per_node);
     }
@@ -477,8 +497,8 @@ mod tests {
     fn sor_is_overhead_dominated() {
         let t3d = Machine::t3d();
         let k = SorKernel::paper_instance();
-        let ch = k.measure(&t3d, CommMethod::Chained);
-        let bp = k.measure(&t3d, CommMethod::BufferPacking);
+        let ch = k.measure(&t3d, CommMethod::Chained).unwrap();
+        let bp = k.measure(&t3d, CommMethod::BufferPacking).unwrap();
         // Chained helps only marginally for contiguous small messages.
         let ratio = ch.per_node.as_mbps() / bp.per_node.as_mbps();
         assert!((0.95..1.6).contains(&ratio), "ratio {ratio}");
@@ -490,10 +510,10 @@ mod tests {
         // fixed costs the model ignores. The same structural gap must
         // appear here.
         let t3d = Machine::t3d();
-        let rates = memcomm_machines::microbench::measure_table(&t3d, 4096);
+        let rates = memcomm_machines::microbench::measure_table(&t3d, 4096).unwrap();
         let k = SorKernel::paper_instance();
         let model = k.model_chained(&rates).unwrap();
-        let measured = k.measure(&t3d, CommMethod::Chained);
+        let measured = k.measure(&t3d, CommMethod::Chained).unwrap();
         assert!(model.as_mbps() > 1.8 * measured.per_node.as_mbps());
     }
 }

@@ -14,7 +14,13 @@ fn main() {
         .unwrap_or(16 * 1024);
     for machine in [Machine::t3d(), Machine::paragon()] {
         println!("== {} ({} words per measurement) ==", machine.name, words);
-        let rows = calibration_report(&machine, words);
+        let rows = match calibration_report(&machine, words) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("calibration failed: {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "{:<8} {:>10} {:>10} {:>7}",
             "xfer", "simulated", "paper", "ratio"

@@ -1,6 +1,7 @@
 //! Calibration report: simulated basic-transfer rates vs the paper's
 //! published figures.
 
+use memcomm_memsim::SimResult;
 use memcomm_model::{BasicTransfer, RateTable, Throughput};
 
 use crate::machine::Machine;
@@ -42,18 +43,28 @@ pub fn reference_rates(machine: &Machine) -> RateTable {
 /// transfers the paper reports. Points fan out across the process-default
 /// worker count and come back in table order; measurements are memoized
 /// (see [`crate::memo`]).
-pub fn calibration_report(machine: &Machine, words: u64) -> Vec<CalibrationRow> {
+///
+/// # Errors
+///
+/// Returns the first simulation error among the points (in table order).
+pub fn calibration_report(machine: &Machine, words: u64) -> SimResult<Vec<CalibrationRow>> {
     let paper: Vec<(BasicTransfer, Throughput)> = reference_rates(machine).iter().collect();
-    memcomm_util::par::par_map_auto(&paper, |&(transfer, paper_rate)| {
-        microbench::measure_rate(machine, transfer, words).map(|simulated| CalibrationRow {
-            transfer,
-            simulated,
-            paper: paper_rate,
-        })
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    let rows = memcomm_util::par::par_map_auto(&paper, |&(transfer, paper_rate)| {
+        Ok(
+            microbench::measure_rate(machine, transfer, words)?.map(|simulated| CalibrationRow {
+                transfer,
+                simulated,
+                paper: paper_rate,
+            }),
+        )
+    });
+    let mut out = Vec::new();
+    for row in rows {
+        if let Some(r) = row? {
+            out.push(r);
+        }
+    }
+    Ok(out)
 }
 
 /// Geometric-mean absolute log-ratio of a report: 0.0 means every simulated
@@ -82,7 +93,7 @@ mod tests {
 
     #[test]
     fn t3d_orderings_match_the_paper() {
-        let rows = calibration_report(&Machine::t3d(), WORDS);
+        let rows = calibration_report(&Machine::t3d(), WORDS).unwrap();
         // Contiguous > strided > indexed-gather for local copies.
         assert!(rate(&rows, "1C1") > rate(&rows, "1C64"));
         assert!(rate(&rows, "1C64") > rate(&rows, "wC1"));
@@ -96,7 +107,7 @@ mod tests {
 
     #[test]
     fn paragon_orderings_match_the_paper() {
-        let rows = calibration_report(&Machine::paragon(), WORDS);
+        let rows = calibration_report(&Machine::paragon(), WORDS).unwrap();
         // Strided loads beat strided stores (pipelined loads).
         assert!(
             rate(&rows, "64C1") > rate(&rows, "1C64"),
@@ -113,7 +124,7 @@ mod tests {
     #[test]
     fn simulated_magnitudes_are_in_the_papers_range() {
         for machine in [Machine::t3d(), Machine::paragon()] {
-            let rows = calibration_report(&machine, WORDS);
+            let rows = calibration_report(&machine, WORDS).unwrap();
             assert!(rows.len() >= 12, "{}: {} rows", machine.name, rows.len());
             let err = mean_log_error(&rows);
             assert!(

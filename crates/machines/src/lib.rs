@@ -16,9 +16,9 @@
 //! use memcomm_machines::{microbench, Machine};
 //! use memcomm_model::BasicTransfer;
 //!
-//! # fn main() -> Result<(), memcomm_model::ModelError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let t3d = Machine::t3d();
-//! let rates = microbench::measure_table(&t3d, 4096);
+//! let rates = microbench::measure_table(&t3d, 4096)?;
 //! let c11 = rates.rate(BasicTransfer::parse("1C1")?)?;
 //! let c64 = rates.rate(BasicTransfer::parse("1C64")?)?;
 //! assert!(c11 > c64, "contiguous copies beat strided copies");

@@ -22,18 +22,19 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use memcomm_memsim::Measurement;
+use memcomm_memsim::{Measurement, SimResult};
 use memcomm_model::BasicTransfer;
 
 use crate::Machine;
 
 type Key = (u64, BasicTransfer, u64);
+type Cached = SimResult<Option<Measurement>>;
 
-static CACHE: OnceLock<Mutex<HashMap<Key, Option<Measurement>>>> = OnceLock::new();
+static CACHE: OnceLock<Mutex<HashMap<Key, Cached>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<Key, Option<Measurement>>> {
+fn cache() -> &'static Mutex<HashMap<Key, Cached>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -101,18 +102,19 @@ pub fn reset() {
 }
 
 /// Looks up a measurement point, simulating it with `simulate` on a miss.
-/// `None` results (transfers the machine does not offer) are cached too —
-/// re-deciding that a T3D has no DMA costs a lookup, not a simulation.
+/// `None` results (transfers the machine does not offer) and errors are
+/// cached too — re-deciding that a T3D has no DMA, or that a point fails
+/// deterministically, costs a lookup, not a simulation.
 pub fn cached(
     machine: &Machine,
     transfer: BasicTransfer,
     words: u64,
-    simulate: impl FnOnce() -> Option<Measurement>,
-) -> Option<Measurement> {
+    simulate: impl FnOnce() -> Cached,
+) -> Cached {
     let key = (machine_fingerprint(machine), transfer, words);
     if let Some(found) = cache().lock().expect("memo cache poisoned").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
-        return *found;
+        return found.clone();
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
     let value = simulate();
@@ -120,7 +122,7 @@ pub fn cached(
         .lock()
         .expect("memo cache poisoned")
         .entry(key)
-        .or_insert(value);
+        .or_insert_with(|| value.clone());
     value
 }
 
@@ -133,8 +135,8 @@ mod tests {
         let m = Machine::t3d();
         let t = BasicTransfer::parse("1C1").unwrap();
         let before = stats();
-        let a = crate::microbench::measure_basic(&m, t, 777);
-        let b = crate::microbench::measure_basic(&m, t, 777);
+        let a = crate::microbench::measure_basic(&m, t, 777).unwrap();
+        let b = crate::microbench::measure_basic(&m, t, 777).unwrap();
         assert_eq!(a, b);
         let delta = stats().since(before);
         assert!(delta.hits >= 1, "second lookup must hit: {delta:?}");
@@ -151,8 +153,12 @@ mod tests {
             "ablation must change the fingerprint"
         );
         let t = BasicTransfer::parse("1C0").unwrap();
-        let on = crate::microbench::measure_basic(&stock, t, 2048).unwrap();
-        let off = crate::microbench::measure_basic(&ablated, t, 2048).unwrap();
+        let on = crate::microbench::measure_basic(&stock, t, 2048)
+            .unwrap()
+            .unwrap();
+        let off = crate::microbench::measure_basic(&ablated, t, 2048)
+            .unwrap()
+            .unwrap();
         assert_ne!(on.cycles, off.cycles, "read-ahead ablation must show");
     }
 
@@ -160,9 +166,13 @@ mod tests {
     fn none_results_are_cached() {
         let t3d = Machine::t3d();
         let dma = BasicTransfer::parse("1F0").unwrap();
-        assert!(crate::microbench::measure_basic(&t3d, dma, 555).is_none());
+        assert!(crate::microbench::measure_basic(&t3d, dma, 555)
+            .unwrap()
+            .is_none());
         let before = stats();
-        assert!(crate::microbench::measure_basic(&t3d, dma, 555).is_none());
+        assert!(crate::microbench::measure_basic(&t3d, dma, 555)
+            .unwrap()
+            .is_none());
         assert!(stats().since(before).hits >= 1);
     }
 

@@ -11,7 +11,7 @@ use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::nic::{NetWord, WordKind};
 use memcomm_memsim::scenario;
 use memcomm_memsim::walk::Walk;
-use memcomm_memsim::{Measurement, Node};
+use memcomm_memsim::{Measurement, Node, SimResult};
 use memcomm_model::{AccessPattern, BasicTransfer, Engine, RateTable, Throughput};
 use memcomm_netsim::link::measure_wire_rate;
 
@@ -46,7 +46,16 @@ pub fn make_node(machine: &Machine) -> Node {
 
 /// Allocates a walk of `words` elements with the given pattern (indexed
 /// walks get a seeded permutation).
-pub fn alloc_pattern_walk(node: &mut Node, pattern: AccessPattern, words: u64, seed: u64) -> Walk {
+///
+/// # Errors
+///
+/// Propagates allocation and walk-construction errors from the node.
+pub fn alloc_pattern_walk(
+    node: &mut Node,
+    pattern: AccessPattern,
+    words: u64,
+    seed: u64,
+) -> SimResult<Walk> {
     let index = (pattern == AccessPattern::Indexed).then(|| permutation_index(words, seed));
     node.alloc_walk(pattern, words, index)
 }
@@ -68,11 +77,17 @@ fn feed_cycles(machine: &Machine, addressed: bool) -> Cycle {
 /// for a `(machine, transfer, words)` point simulates, later calls — from
 /// other experiments, the calibration report, or parallel sweep workers —
 /// are lookups.
+///
+/// # Errors
+///
+/// Propagates any [`memcomm_memsim::SimError`] from the underlying
+/// simulation (errors are memoized like values — deterministic failures
+/// replay from the cache).
 pub fn measure_basic(
     machine: &Machine,
     transfer: BasicTransfer,
     words: u64,
-) -> Option<Measurement> {
+) -> SimResult<Option<Measurement>> {
     crate::memo::cached(machine, transfer, words, || {
         simulate_basic(machine, transfer, words)
     })
@@ -81,93 +96,105 @@ pub fn measure_basic(
 /// Runs one basic-transfer simulation unconditionally, bypassing the memo
 /// cache. The cache's correctness rests on this being a pure function of
 /// its arguments.
+///
+/// # Errors
+///
+/// Propagates any [`memcomm_memsim::SimError`] from the scenario run.
 pub fn simulate_basic(
     machine: &Machine,
     transfer: BasicTransfer,
     words: u64,
-) -> Option<Measurement> {
+) -> SimResult<Option<Measurement>> {
     let mut node = make_node(machine);
     let read = transfer.read_pattern();
     let write = transfer.write_pattern();
     match transfer.engine() {
         Engine::Copy => match (read.is_memory(), write.is_memory()) {
             (true, true) => {
-                let src = alloc_pattern_walk(&mut node, read, words, 11);
-                let dst = alloc_pattern_walk(&mut node, write, words, 23);
-                Some(scenario::run_local_copy(&mut node, &src, &dst))
+                let src = alloc_pattern_walk(&mut node, read, words, 11)?;
+                let dst = alloc_pattern_walk(&mut node, write, words, 23)?;
+                Ok(Some(scenario::run_local_copy(&mut node, &src, &dst)?))
             }
             (true, false) => {
-                let src = alloc_pattern_walk(&mut node, read, words, 11);
-                Some(scenario::run_load_stream(&mut node, &src))
+                let src = alloc_pattern_walk(&mut node, read, words, 11)?;
+                Ok(Some(scenario::run_load_stream(&mut node, &src)?))
             }
             (false, true) => {
-                let dst = alloc_pattern_walk(&mut node, write, words, 23);
-                Some(scenario::run_store_stream(&mut node, &dst))
+                let dst = alloc_pattern_walk(&mut node, write, words, 23)?;
+                Ok(Some(scenario::run_store_stream(&mut node, &dst)?))
             }
-            (false, false) => None,
+            (false, false) => Ok(None),
         },
         Engine::LoadSend => {
-            let src = alloc_pattern_walk(&mut node, read, words, 11);
-            Some(scenario::run_load_send(
+            let src = alloc_pattern_walk(&mut node, read, words, 11)?;
+            Ok(Some(scenario::run_load_send(
                 &mut node,
                 &src,
                 None,
                 machine.port_word_cycles(),
-            ))
+            )?))
         }
         Engine::FetchSend => {
             if !machine.caps.fetch_send || read != AccessPattern::Contiguous {
-                return None;
+                return Ok(None);
             }
-            let src = alloc_pattern_walk(&mut node, read, words, 11);
-            Some(scenario::run_fetch_send(
+            let src = alloc_pattern_walk(&mut node, read, words, 11)?;
+            Ok(Some(scenario::run_fetch_send(
                 &mut node,
                 &src,
                 machine.port_word_cycles(),
-            ))
+            )?))
         }
         Engine::ReceiveStore => {
             if !machine.caps.receive_store {
-                return None;
+                return Ok(None);
             }
             let addressed = write != AccessPattern::Contiguous;
-            let dst = alloc_pattern_walk(&mut node, write, words, 23);
-            Some(scenario::run_receive_store(
+            let dst = alloc_pattern_walk(&mut node, write, words, 23)?;
+            Ok(Some(scenario::run_receive_store(
                 &mut node,
                 &dst,
                 addressed,
                 feed_cycles(machine, addressed),
-            ))
+            )?))
         }
         Engine::ReceiveDeposit => {
             let addressed = write != AccessPattern::Contiguous;
             if addressed && !machine.caps.deposit_noncontiguous {
-                return None;
+                return Ok(None);
             }
-            let dst = alloc_pattern_walk(&mut node, write, words, 23);
-            Some(scenario::run_receive_deposit(
+            let dst = alloc_pattern_walk(&mut node, write, words, 23)?;
+            Ok(Some(scenario::run_receive_deposit(
                 &mut node,
                 &dst,
                 addressed,
                 feed_cycles(machine, addressed),
-            ))
+            )?))
         }
-        Engine::NetData => Some(measure_wire_rate(
+        Engine::NetData => Ok(Some(measure_wire_rate(
             machine.link(machine.default_congestion),
             words,
             false,
-        )),
-        Engine::NetAddrData => Some(measure_wire_rate(
+        ))),
+        Engine::NetAddrData => Ok(Some(measure_wire_rate(
             machine.link(machine.default_congestion),
             words,
             true,
-        )),
+        ))),
     }
 }
 
 /// Measures one basic transfer and converts to MB/s.
-pub fn measure_rate(machine: &Machine, transfer: BasicTransfer, words: u64) -> Option<Throughput> {
-    measure_basic(machine, transfer, words).map(|m| m.throughput(machine.clock()))
+///
+/// # Errors
+///
+/// Propagates simulation errors from [`measure_basic`].
+pub fn measure_rate(
+    machine: &Machine,
+    transfer: BasicTransfer,
+    words: u64,
+) -> SimResult<Option<Throughput>> {
+    Ok(measure_basic(machine, transfer, words)?.map(|m| m.throughput(machine.clock())))
 }
 
 /// The standard set of transfers a machine's rate table covers: the
@@ -212,14 +239,22 @@ pub fn standard_transfers() -> Vec<BasicTransfer> {
 /// The sweep fans out across the process-default worker count
 /// ([`memcomm_util::par::set_jobs`]); results are order-preserving and
 /// memoized, so the table is identical whatever the worker count.
-pub fn measure_table(machine: &Machine, words: u64) -> RateTable {
+///
+/// # Errors
+///
+/// Returns the first simulation error among the transfers (in table order).
+pub fn measure_table(machine: &Machine, words: u64) -> SimResult<RateTable> {
     let transfers = standard_transfers();
-    memcomm_util::par::par_map_auto(&transfers, |&t| {
-        measure_rate(machine, t, words).map(|r| (t, r))
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    let points = memcomm_util::par::par_map_auto(&transfers, |&t| {
+        Ok(measure_rate(machine, t, words)?.map(|r| (t, r)))
+    });
+    let mut table = RateTable::default();
+    for point in points {
+        if let Some((t, r)) = point? {
+            table.insert(t, r);
+        }
+    }
+    Ok(table)
 }
 
 /// Which side of a copy is strided in a stride sweep.
@@ -232,21 +267,29 @@ pub enum StrideSide {
 }
 
 /// Sweeps local-copy throughput over strides — the data for Figure 4.
+///
+/// # Errors
+///
+/// Returns the first simulation error among the strides (in sweep order).
 pub fn stride_sweep(
     machine: &Machine,
     strides: &[u32],
     words: u64,
     side: StrideSide,
-) -> Vec<(u32, Throughput)> {
-    memcomm_util::par::par_map_auto(strides, |&n| {
+) -> SimResult<Vec<(u32, Throughput)>> {
+    let points = memcomm_util::par::par_map_auto(strides, |&n| {
         let s = AccessPattern::strided(n).expect("sweep strides are >= 1");
         let t = match side {
             StrideSide::Loads => BasicTransfer::copy(s, AccessPattern::Contiguous),
             StrideSide::Stores => BasicTransfer::copy(AccessPattern::Contiguous, s),
         };
-        let rate = measure_rate(machine, t, words).expect("local copies always run");
-        (n, rate)
-    })
+        let rate = measure_rate(machine, t, words)?.ok_or(memcomm_memsim::SimError::Protocol {
+            detail: "local copies always run".to_string(),
+            at: 0,
+        })?;
+        Ok((n, rate))
+    });
+    points.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -269,17 +312,22 @@ mod tests {
     #[test]
     fn unsupported_transfers_are_none() {
         let t3d = Machine::t3d();
-        assert!(measure_basic(&t3d, BasicTransfer::parse("1F0").unwrap(), WORDS).is_none());
-        assert!(measure_basic(&t3d, BasicTransfer::parse("0R1").unwrap(), WORDS).is_none());
+        let none = |m: &Machine, t: &str| {
+            measure_basic(m, BasicTransfer::parse(t).unwrap(), WORDS)
+                .unwrap()
+                .is_none()
+        };
+        assert!(none(&t3d, "1F0"));
+        assert!(none(&t3d, "0R1"));
         let paragon = Machine::paragon();
-        assert!(measure_basic(&paragon, BasicTransfer::parse("0D64").unwrap(), WORDS).is_none());
-        assert!(measure_basic(&paragon, BasicTransfer::parse("0Dw").unwrap(), WORDS).is_none());
+        assert!(none(&paragon, "0D64"));
+        assert!(none(&paragon, "0Dw"));
     }
 
     #[test]
     fn table_has_the_supported_entries() {
         let t3d = Machine::t3d();
-        let table = measure_table(&t3d, WORDS);
+        let table = measure_table(&t3d, WORDS).unwrap();
         assert!(table.get(BasicTransfer::parse("1C1").unwrap()).is_some());
         assert!(table.get(BasicTransfer::parse("0Dw").unwrap()).is_some());
         assert!(table.get(BasicTransfer::parse("1F0").unwrap()).is_none());
@@ -289,7 +337,7 @@ mod tests {
     #[test]
     fn stride_sweep_is_monotonically_ordered_overall() {
         let t3d = Machine::t3d();
-        let sweep = stride_sweep(&t3d, &[2, 8, 64], WORDS, StrideSide::Stores);
+        let sweep = stride_sweep(&t3d, &[2, 8, 64], WORDS, StrideSide::Stores).unwrap();
         assert!(
             sweep[0].1 >= sweep[2].1,
             "small strides are at least as fast"

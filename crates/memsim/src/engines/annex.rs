@@ -13,6 +13,7 @@
 
 use crate::clock::Cycle;
 use crate::engines::{DepositParams, Step};
+use crate::error::{SimError, SimResult};
 use crate::mem::Memory;
 use crate::nic::{NetWord, TimedFifo, WordKind};
 use crate::path::{MemPath, Port};
@@ -66,46 +67,66 @@ impl AnnexEngine {
 
     /// Advances by one word: flush a staged reply, or consume one incoming
     /// word (deposit it or serve it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] when a word is missing the address the
+    /// annex needs (bare data, bare request) or carries protocol control
+    /// traffic the annex cannot interpret — all reachable under fault
+    /// injection.
     pub fn step(
         &mut self,
         path: &mut MemPath,
         mem: &mut Memory,
         rx: &mut TimedFifo,
         tx: &mut TimedFifo,
-    ) -> Step {
+    ) -> SimResult<Step> {
         if let Some(reply) = self.staged_reply {
-            return match tx.push(self.t, reply) {
+            return Ok(match tx.push(self.t, reply) {
                 Some(at) => {
                     self.t = self.t.max(at);
                     self.staged_reply = None;
                     Step::Progressed
                 }
                 None => Step::Blocked,
-            };
+            });
         }
         if self.is_done() {
-            return Step::Done;
+            return Ok(Step::Done);
         }
         let Some((at, word)) = rx.pop(self.t) else {
-            return Step::Blocked;
+            return Ok(Step::Blocked);
         };
         self.t = self.t.max(at) + self.params.word_cycles;
+        let protocol_err = |detail: &str, at: Cycle| {
+            Err(SimError::Protocol {
+                detail: detail.to_string(),
+                at,
+            })
+        };
         match word.kind {
             WordKind::Data => {
-                let addr = word.addr.expect("annex deposits are always addressed");
+                let Some(addr) = word.addr else {
+                    return protocol_err("annex deposits are always addressed", self.t);
+                };
                 self.t = path.engine_write(self.t, Port::Deposit, addr, 1);
                 mem.write(addr, word.data);
                 self.stats.deposited += 1;
             }
             WordKind::Request => {
-                let remote = word.addr.expect("requests carry the address to read");
+                let Some(remote) = word.addr else {
+                    return protocol_err("requests carry the address to read", self.t);
+                };
                 self.t = path.engine_read(self.t, Port::Deposit, remote, 1);
                 let value = mem.read(remote);
                 self.staged_reply = Some(NetWord::addressed(word.data, value));
                 self.stats.served += 1;
             }
+            WordKind::Control => {
+                return protocol_err("annex cannot interpret control words", self.t);
+            }
         }
-        Step::Progressed
+        Ok(Step::Progressed)
     }
 }
 
@@ -121,7 +142,7 @@ mod tests {
             let Node {
                 path, mem, tx, rx, ..
             } = node;
-            match annex.step(path, mem, rx, tx) {
+            match annex.step(path, mem, rx, tx).unwrap() {
                 Step::Done => return,
                 Step::Blocked => panic!("annex starved"),
                 Step::Progressed => {}
@@ -133,7 +154,7 @@ mod tests {
     #[test]
     fn serves_requests_with_replies() {
         let mut node = Node::new(NodeParams::default());
-        let data = node.alloc_walk(AccessPattern::Contiguous, 8, None);
+        let data = node.alloc_walk(AccessPattern::Contiguous, 8, None).unwrap();
         node.mem.fill(data.region(), (0..8).map(|i| 100 + i));
         for i in 0..8 {
             node.rx
@@ -156,9 +177,9 @@ mod tests {
     #[test]
     fn mixed_stream_deposits_and_serves() {
         let mut node = Node::new(NodeParams::default());
-        let data = node.alloc_walk(AccessPattern::Contiguous, 4, None);
+        let data = node.alloc_walk(AccessPattern::Contiguous, 4, None).unwrap();
         node.mem.fill(data.region(), [7, 8, 9, 10]);
-        let sink = node.alloc_walk(AccessPattern::Contiguous, 2, None);
+        let sink = node.alloc_walk(AccessPattern::Contiguous, 2, None).unwrap();
         node.rx
             .push(0, NetWord::addressed(sink.addr(0), 41))
             .unwrap();
@@ -182,7 +203,7 @@ mod tests {
         // Tiny tx so the reply push blocks.
         node.tx = TimedFifo::new(1);
         node.tx.push(0, NetWord::data(0)).unwrap();
-        let data = node.alloc_walk(AccessPattern::Contiguous, 1, None);
+        let data = node.alloc_walk(AccessPattern::Contiguous, 1, None).unwrap();
         node.mem.write(data.addr(0), 55);
         node.rx
             .push(0, NetWord::request(data.addr(0), 0x9000))
@@ -191,12 +212,26 @@ mod tests {
         let Node {
             path, mem, tx, rx, ..
         } = &mut node;
-        assert_eq!(annex.step(path, mem, rx, tx), Step::Progressed); // read memory, stage
-        assert_eq!(annex.step(path, mem, rx, tx), Step::Blocked); // tx full
+        assert_eq!(annex.step(path, mem, rx, tx).unwrap(), Step::Progressed); // read memory, stage
+        assert_eq!(annex.step(path, mem, rx, tx).unwrap(), Step::Blocked); // tx full
         tx.pop(100);
-        assert_eq!(annex.step(path, mem, rx, tx), Step::Progressed); // reply out
-        assert_eq!(annex.step(path, mem, rx, tx), Step::Done);
+        assert_eq!(annex.step(path, mem, rx, tx).unwrap(), Step::Progressed); // reply out
+        assert_eq!(annex.step(path, mem, rx, tx).unwrap(), Step::Done);
         let (_, reply) = tx.pop(u64::MAX / 2).unwrap();
         assert_eq!(reply.data, 55);
+    }
+
+    #[test]
+    fn control_words_are_rejected() {
+        let mut node = Node::new(NodeParams::default());
+        node.rx.push(0, NetWord::control(0xAB)).unwrap();
+        let mut annex = AnnexEngine::new(node.params().deposit, 1, 0);
+        let Node {
+            path, mem, tx, rx, ..
+        } = &mut node;
+        assert!(matches!(
+            annex.step(path, mem, rx, tx),
+            Err(SimError::Protocol { .. })
+        ));
     }
 }

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use crate::clock::Cycle;
 use crate::engines::Step;
+use crate::error::{SimError, SimResult};
 use crate::mem::Memory;
 use crate::nic::{NetWord, TimedFifo, WordKind};
 use crate::path::{MemPath, Port};
@@ -97,10 +98,17 @@ impl Cpu {
     /// and either a blocking cached load or a pipelined uncached load. The
     /// loaded value is retrieved with [`retire_load`](Self::retire_load).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the load pipe is full — retire first.
-    pub fn issue_load(&mut self, path: &mut MemPath, mem: &Memory, walk: &Walk, i: u64) {
+    /// Returns [`SimError::Protocol`] if the load pipe is full — the engine
+    /// must retire before issuing past the pipeline depth.
+    pub fn issue_load(
+        &mut self,
+        path: &mut MemPath,
+        mem: &Memory,
+        walk: &Walk,
+        i: u64,
+    ) -> SimResult<()> {
         self.fetch_index(path, walk, i);
         self.t += self.params.loop_cycles + self.params.load_issue_cycles;
         let addr = walk.addr(i);
@@ -111,33 +119,40 @@ impl Cpu {
             self.pfq.push(ready);
             self.t = t;
         } else {
+            // Cached loads complete in order and never exceed depth 1 in the
+            // engines, but share the bookkeeping path for uniform retire.
+            if self.pfq.is_full() {
+                return Err(SimError::Protocol {
+                    detail: "load issued past the pipeline depth".to_string(),
+                    at: self.t,
+                });
+            }
             let ready = path.cpu_load(self.t, self.params.port, addr);
             self.t = ready;
-            self.pfq_bypass_push(ready);
+            self.pfq.push(ready);
         }
         self.values.push_back(value);
-    }
-
-    fn pfq_bypass_push(&mut self, ready: Cycle) {
-        // Cached loads complete in order and never exceed depth 1 in the
-        // engines, but share the bookkeeping path for uniform retire.
-        if self.pfq.is_full() {
-            // Should not happen: engines retire before issuing past depth.
-            panic!("load issued past the pipeline depth");
-        }
-        self.pfq.push(ready);
+        Ok(())
     }
 
     /// Retires the oldest outstanding load, waiting for its data, and
     /// returns the value.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no load is outstanding.
-    pub fn retire_load(&mut self) -> u64 {
-        let ready = self.pfq.retire().expect("no outstanding load to retire");
+    /// Returns [`SimError::Protocol`] if no load is outstanding.
+    pub fn retire_load(&mut self) -> SimResult<u64> {
+        let Some(ready) = self.pfq.retire() else {
+            return Err(SimError::Protocol {
+                detail: "no outstanding load to retire".to_string(),
+                at: self.t,
+            });
+        };
         self.t = self.t.max(ready);
-        self.values.pop_front().expect("values track pfq")
+        self.values.pop_front().ok_or(SimError::Protocol {
+            detail: "load value queue out of sync with the pipeline".to_string(),
+            at: self.t,
+        })
     }
 
     /// Stores `value` as element `i` of `walk` (index fetch, issue, posted
@@ -210,32 +225,41 @@ impl LocalCopier {
     /// buffer-packing processor interleaving gather, send and scatter).
     /// Deeper pipelines keep loads in flight across steps and must not be
     /// interleaved with other engines on the same processor.
-    pub fn step(&mut self, cpu: &mut Cpu, path: &mut MemPath, mem: &mut Memory) -> Step {
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline-discipline violations from the processor.
+    pub fn step(&mut self, cpu: &mut Cpu, path: &mut MemPath, mem: &mut Memory) -> SimResult<Step> {
         let n = self.src.len();
         if self.retired == n {
-            return Step::Done;
+            return Ok(Step::Done);
         }
         let depth = cpu.depth_for(self.src.pattern()) as u64;
         if depth == 1 {
-            cpu.issue_load(path, mem, &self.src, self.issued);
+            cpu.issue_load(path, mem, &self.src, self.issued)?;
             self.issued += 1;
-            let value = cpu.retire_load();
+            let value = cpu.retire_load()?;
             cpu.store_element(path, mem, &self.dst, self.retired, value);
             self.retired += 1;
         } else if self.issued < n && self.issued - self.retired < depth {
-            cpu.issue_load(path, mem, &self.src, self.issued);
+            cpu.issue_load(path, mem, &self.src, self.issued)?;
             self.issued += 1;
         } else {
-            let value = cpu.retire_load();
+            let value = cpu.retire_load()?;
             cpu.store_element(path, mem, &self.dst, self.retired, value);
             self.retired += 1;
         }
-        Step::Progressed
+        Ok(Step::Progressed)
     }
 
     /// Runs the whole copy (local copies never block on FIFOs).
-    pub fn run(mut self, cpu: &mut Cpu, path: &mut MemPath, mem: &mut Memory) {
-        while self.step(cpu, path, mem) != Step::Done {}
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`step`](Self::step).
+    pub fn run(mut self, cpu: &mut Cpu, path: &mut MemPath, mem: &mut Memory) -> SimResult<()> {
+        while self.step(cpu, path, mem)? != Step::Done {}
+        Ok(())
     }
 }
 
@@ -278,16 +302,20 @@ impl CpuSender {
     }
 
     /// Advances by one issue, one stage, or one FIFO push.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline-discipline violations from the processor.
     pub fn step(
         &mut self,
         cpu: &mut Cpu,
         path: &mut MemPath,
         mem: &Memory,
         tx: &mut TimedFifo,
-    ) -> Step {
+    ) -> SimResult<Step> {
         let n = self.src.len();
         if let Some(word) = self.staged {
-            return match tx.push(cpu.t, word) {
+            return Ok(match tx.push(cpu.t, word) {
                 Some(at) => {
                     cpu.t = cpu.t.max(at);
                     self.staged = None;
@@ -295,18 +323,18 @@ impl CpuSender {
                     Step::Progressed
                 }
                 None => Step::Blocked,
-            };
+            });
         }
         if self.sent == n {
-            return Step::Done;
+            return Ok(Step::Done);
         }
         let depth = cpu.depth_for(self.src.pattern()) as u64;
         if depth == 1 {
             // Atomic per element: no load stays in flight across steps, so
             // the processor can be time-shared with other engines.
-            cpu.issue_load(path, mem, &self.src, self.issued);
+            cpu.issue_load(path, mem, &self.src, self.issued)?;
             self.issued += 1;
-            let value = cpu.retire_load();
+            let value = cpu.retire_load()?;
             let addr = self.remote_dst.as_ref().map(|d| {
                 cpu.fetch_index(path, d, self.sent);
                 d.addr(self.sent)
@@ -318,10 +346,10 @@ impl CpuSender {
                 kind: WordKind::Data,
             });
         } else if self.issued < n && self.issued - self.sent < depth {
-            cpu.issue_load(path, mem, &self.src, self.issued);
+            cpu.issue_load(path, mem, &self.src, self.issued)?;
             self.issued += 1;
         } else {
-            let value = cpu.retire_load();
+            let value = cpu.retire_load()?;
             let addr = self.remote_dst.as_ref().map(|d| {
                 cpu.fetch_index(path, d, self.sent);
                 d.addr(self.sent)
@@ -333,7 +361,7 @@ impl CpuSender {
                 kind: WordKind::Data,
             });
         }
-        Step::Progressed
+        Ok(Step::Progressed)
     }
 }
 
@@ -359,25 +387,36 @@ impl CpuReceiver {
     }
 
     /// Advances by one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] when a protocol control word reaches a
+    /// raw receive loop — control traffic belongs to the protocol layer.
     pub fn step(
         &mut self,
         cpu: &mut Cpu,
         path: &mut MemPath,
         mem: &mut Memory,
         rx: &mut TimedFifo,
-    ) -> Step {
+    ) -> SimResult<Step> {
         if self.received == self.dst.len() {
-            return Step::Done;
+            return Ok(Step::Done);
         }
         let Some(word) = cpu.port_pop(rx) else {
-            return Step::Blocked;
+            return Ok(Step::Blocked);
         };
+        if word.kind == WordKind::Control {
+            return Err(SimError::Protocol {
+                detail: "raw receive loop cannot interpret control words".to_string(),
+                at: cpu.t,
+            });
+        }
         match word.addr {
             Some(addr) => cpu.store_at(path, mem, addr, word.data),
             None => cpu.store_element(path, mem, &self.dst, self.received, word.data),
         }
         self.received += 1;
-        Step::Progressed
+        Ok(Step::Progressed)
     }
 }
 
@@ -452,10 +491,14 @@ mod tests {
         let mut mem = Memory::new(64 * 1024, 2048);
         let mut p = path();
         let mut c = cpu(false);
-        let src = mem.alloc_walk(AccessPattern::Contiguous, 64, None);
-        let dst = mem.alloc_walk(AccessPattern::strided(4).unwrap(), 64, None);
+        let src = mem.alloc_walk(AccessPattern::Contiguous, 64, None).unwrap();
+        let dst = mem
+            .alloc_walk(AccessPattern::strided(4).unwrap(), 64, None)
+            .unwrap();
         mem.fill(src.region(), (0..64).map(|i| i * 11));
-        LocalCopier::new(src.clone(), dst.clone()).run(&mut c, &mut p, &mut mem);
+        LocalCopier::new(src.clone(), dst.clone())
+            .run(&mut c, &mut p, &mut mem)
+            .unwrap();
         for i in 0..64 {
             assert_eq!(mem.read(dst.addr(i)), i * 11);
         }
@@ -469,10 +512,14 @@ mod tests {
         let mut c = cpu(false);
         let n = 16u64;
         let index: Vec<u32> = (0..n as u32).rev().collect();
-        let src = mem.alloc_walk(AccessPattern::Indexed, n, Some(index));
-        let dst = mem.alloc_walk(AccessPattern::Contiguous, n, None);
+        let src = mem
+            .alloc_walk(AccessPattern::Indexed, n, Some(index))
+            .unwrap();
+        let dst = mem.alloc_walk(AccessPattern::Contiguous, n, None).unwrap();
         mem.fill(src.region(), 0..n);
-        LocalCopier::new(src, dst.clone()).run(&mut c, &mut p, &mut mem);
+        LocalCopier::new(src, dst.clone())
+            .run(&mut c, &mut p, &mut mem)
+            .unwrap();
         assert_eq!(mem.dump(dst.region()), (0..n).rev().collect::<Vec<_>>());
     }
 
@@ -482,9 +529,15 @@ mod tests {
             let mut mem = Memory::new(1 << 20, 2048);
             let mut p = path();
             let mut c = cpu(pfq);
-            let src = mem.alloc_walk(AccessPattern::strided(64).unwrap(), 1024, None);
-            let dst = mem.alloc_walk(AccessPattern::Contiguous, 1024, None);
-            LocalCopier::new(src, dst).run(&mut c, &mut p, &mut mem);
+            let src = mem
+                .alloc_walk(AccessPattern::strided(64).unwrap(), 1024, None)
+                .unwrap();
+            let dst = mem
+                .alloc_walk(AccessPattern::Contiguous, 1024, None)
+                .unwrap();
+            LocalCopier::new(src, dst)
+                .run(&mut c, &mut p, &mut mem)
+                .unwrap();
             c.t
         };
         // With a single DRAM bank the pipeline cannot overlap much; the test
@@ -497,7 +550,7 @@ mod tests {
         let mut mem = Memory::new(64 * 1024, 2048);
         let mut p = path();
         let mut c = cpu(false);
-        let src = mem.alloc_walk(AccessPattern::Contiguous, 8, None);
+        let src = mem.alloc_walk(AccessPattern::Contiguous, 8, None).unwrap();
         mem.fill(src.region(), 100..108);
         let mut tx = TimedFifo::new(2);
         let mut s = CpuSender::new(src, None);
@@ -506,7 +559,7 @@ mod tests {
         let mut drained = Vec::new();
         // Drive sender; drain one word whenever it blocks.
         for _ in 0..200 {
-            match s.step(&mut c, &mut p, &mem, &mut tx) {
+            match s.step(&mut c, &mut p, &mem, &mut tx).unwrap() {
                 Step::Blocked => {
                     blocked += 1;
                     let (_, w) = tx.pop(c.t + 50).unwrap();
@@ -532,7 +585,9 @@ mod tests {
         let mut mem = Memory::new(64 * 1024, 2048);
         let mut p = path();
         let mut c = cpu(false);
-        let dst = mem.alloc_walk(AccessPattern::strided(2).unwrap(), 4, None);
+        let dst = mem
+            .alloc_walk(AccessPattern::strided(2).unwrap(), 4, None)
+            .unwrap();
         let mut rx = TimedFifo::new(8);
         for i in 0..4u64 {
             rx.push(
@@ -546,7 +601,7 @@ mod tests {
             .unwrap();
         }
         let mut r = CpuReceiver::new(dst.clone());
-        while r.step(&mut c, &mut p, &mut mem, &mut rx) != Step::Done {}
+        while r.step(&mut c, &mut p, &mut mem, &mut rx).unwrap() != Step::Done {}
         assert_eq!(mem.read(dst.addr(3)), 70);
         assert_eq!(mem.read(dst.addr(0)), 73);
     }
@@ -556,10 +611,13 @@ mod tests {
         let mut mem = Memory::new(64 * 1024, 2048);
         let mut p = path();
         let mut c = cpu(false);
-        let dst = mem.alloc_walk(AccessPattern::Contiguous, 1, None);
+        let dst = mem.alloc_walk(AccessPattern::Contiguous, 1, None).unwrap();
         let mut rx = TimedFifo::new(2);
         let mut r = CpuReceiver::new(dst);
-        assert_eq!(r.step(&mut c, &mut p, &mut mem, &mut rx), Step::Blocked);
+        assert_eq!(
+            r.step(&mut c, &mut p, &mut mem, &mut rx).unwrap(),
+            Step::Blocked
+        );
     }
 
     #[test]
@@ -567,12 +625,14 @@ mod tests {
         let mut mem = Memory::new(64 * 1024, 2048);
         let mut p = path();
         let mut c = cpu(false);
-        let src = mem.alloc_walk(AccessPattern::Contiguous, 4, None);
-        let dst = mem.alloc_walk(AccessPattern::strided(8).unwrap(), 4, None);
+        let src = mem.alloc_walk(AccessPattern::Contiguous, 4, None).unwrap();
+        let dst = mem
+            .alloc_walk(AccessPattern::strided(8).unwrap(), 4, None)
+            .unwrap();
         mem.fill(src.region(), 0..4);
         let mut tx = TimedFifo::new(16);
         let mut s = CpuSender::new(src, Some(dst.clone()));
-        while s.step(&mut c, &mut p, &mem, &mut tx) != Step::Done {}
+        while s.step(&mut c, &mut p, &mem, &mut tx).unwrap() != Step::Done {}
         for i in 0..4 {
             let (_, w) = tx.pop(c.t).unwrap();
             assert_eq!(w.addr, Some(dst.addr(i)));

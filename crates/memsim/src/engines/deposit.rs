@@ -8,6 +8,7 @@
 
 use crate::clock::Cycle;
 use crate::engines::Step;
+use crate::error::{SimError, SimResult};
 use crate::mem::{Memory, WORD_BYTES};
 use crate::nic::TimedFifo;
 use crate::path::{MemPath, Port};
@@ -99,31 +100,49 @@ impl DepositEngine {
     }
 
     /// Advances by one word (or a final burst flush).
-    pub fn step(&mut self, path: &mut MemPath, mem: &mut Memory, rx: &mut TimedFifo) -> Step {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] when an addressed engine receives a
+    /// bare data or control word (it has no address to deposit at), or when
+    /// a contiguous-only engine sees a non-contiguous address. Both are
+    /// reachable under fault injection (a corrupted or misrouted word), so
+    /// they fail the transfer rather than the process.
+    pub fn step(
+        &mut self,
+        path: &mut MemPath,
+        mem: &mut Memory,
+        rx: &mut TimedFifo,
+    ) -> SimResult<Step> {
         if self.received == self.expected {
             if self.burst.is_empty() {
-                return Step::Done;
+                return Ok(Step::Done);
             }
             self.flush(path, mem);
-            return Step::Progressed;
+            return Ok(Step::Progressed);
         }
         let Some((at, word)) = rx.pop(self.t) else {
-            return Step::Blocked;
+            return Ok(Step::Blocked);
         };
         self.t = self.t.max(at) + self.params.word_cycles;
         let addr = match (&self.mode, word.addr) {
             (DepositMode::Addressed, Some(a)) => a,
             (DepositMode::Addressed, None) => {
-                panic!("addressed deposit engine received a bare data word")
+                return Err(SimError::Protocol {
+                    detail: "addressed deposit engine received a bare data word".to_string(),
+                    at: self.t,
+                });
             }
             (DepositMode::Stream(w), _) => w.addr(self.received),
         };
-        if self.params.contiguous_only {
-            assert!(
-                self.burst.is_empty()
-                    || addr == self.burst_base + self.burst.len() as u64 * WORD_BYTES,
-                "contiguous-only deposit engine saw a non-contiguous address"
-            );
+        if self.params.contiguous_only
+            && !self.burst.is_empty()
+            && addr != self.burst_base + self.burst.len() as u64 * WORD_BYTES
+        {
+            return Err(SimError::Protocol {
+                detail: "contiguous-only deposit engine saw a non-contiguous address".to_string(),
+                at: self.t,
+            });
         }
         let continues = !self.burst.is_empty()
             && addr == self.burst_base + self.burst.len() as u64 * WORD_BYTES
@@ -137,7 +156,7 @@ impl DepositEngine {
         if self.burst.len() as u32 == self.params.coalesce_words {
             self.flush(path, mem);
         }
-        Step::Progressed
+        Ok(Step::Progressed)
     }
 }
 
@@ -202,7 +221,7 @@ mod tests {
 
     fn drive(engine: &mut DepositEngine, path: &mut MemPath, mem: &mut Memory, rx: &mut TimedFifo) {
         for _ in 0..10_000 {
-            match engine.step(path, mem, rx) {
+            match engine.step(path, mem, rx).unwrap() {
                 Step::Done => return,
                 Step::Blocked => panic!("deposit engine starved"),
                 Step::Progressed => {}
@@ -215,7 +234,9 @@ mod tests {
     fn addressed_words_land_where_sent() {
         let mut mem = Memory::new(1 << 16, 2048);
         let mut p = path();
-        let dst = mem.alloc_walk(AccessPattern::strided(16).unwrap(), 8, None);
+        let dst = mem
+            .alloc_walk(AccessPattern::strided(16).unwrap(), 8, None)
+            .unwrap();
         let mut rx = TimedFifo::new(32);
         for i in 0..8u64 {
             rx.push(
@@ -239,7 +260,7 @@ mod tests {
     fn stream_mode_follows_walk() {
         let mut mem = Memory::new(1 << 16, 2048);
         let mut p = path();
-        let dst = mem.alloc_walk(AccessPattern::Contiguous, 8, None);
+        let dst = mem.alloc_walk(AccessPattern::Contiguous, 8, None).unwrap();
         let mut rx = TimedFifo::new(32);
         for i in 0..8u64 {
             rx.push(
@@ -261,7 +282,7 @@ mod tests {
     fn contiguous_runs_coalesce_into_bursts() {
         let mut mem = Memory::new(1 << 16, 2048);
         let mut p = path();
-        let dst = mem.alloc_walk(AccessPattern::Contiguous, 16, None);
+        let dst = mem.alloc_walk(AccessPattern::Contiguous, 16, None).unwrap();
         let mut rx = TimedFifo::new(32);
         for i in 0..16u64 {
             rx.push(
@@ -284,7 +305,9 @@ mod tests {
     fn strided_deposits_write_word_at_a_time() {
         let mut mem = Memory::new(1 << 20, 2048);
         let mut p = path();
-        let dst = mem.alloc_walk(AccessPattern::strided(64).unwrap(), 8, None);
+        let dst = mem
+            .alloc_walk(AccessPattern::strided(64).unwrap(), 8, None)
+            .unwrap();
         let mut rx = TimedFifo::new(32);
         for i in 0..8u64 {
             rx.push(
@@ -308,11 +331,10 @@ mod tests {
         let mut p = path();
         let mut rx = TimedFifo::new(4);
         let mut d = DepositEngine::new(params(), DepositMode::Addressed, 4);
-        assert_eq!(d.step(&mut p, &mut mem, &mut rx), Step::Blocked);
+        assert_eq!(d.step(&mut p, &mut mem, &mut rx).unwrap(), Step::Blocked);
     }
 
     #[test]
-    #[should_panic(expected = "non-contiguous")]
     fn contiguous_only_engine_rejects_gaps() {
         let mut mem = Memory::new(1 << 16, 2048);
         let mut p = path();
@@ -343,7 +365,25 @@ mod tests {
             DepositMode::Addressed,
             2,
         );
-        d.step(&mut p, &mut mem, &mut rx);
-        d.step(&mut p, &mut mem, &mut rx);
+        d.step(&mut p, &mut mem, &mut rx).unwrap();
+        match d.step(&mut p, &mut mem, &mut rx) {
+            Err(SimError::Protocol { detail, .. }) => {
+                assert!(detail.contains("non-contiguous"), "{detail}");
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn addressed_engine_rejects_bare_words() {
+        let mut mem = Memory::new(1 << 16, 2048);
+        let mut p = path();
+        let mut rx = TimedFifo::new(4);
+        rx.push(0, NetWord::data(5)).unwrap();
+        let mut d = DepositEngine::new(params(), DepositMode::Addressed, 1);
+        assert!(matches!(
+            d.step(&mut p, &mut mem, &mut rx),
+            Err(SimError::Protocol { .. })
+        ));
     }
 }

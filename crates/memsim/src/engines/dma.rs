@@ -187,7 +187,7 @@ mod tests {
     fn streams_whole_walk_in_order() {
         let mut mem = Memory::new(1 << 16, 2048);
         let mut p = path();
-        let src = mem.alloc_walk(AccessPattern::Contiguous, 64, None);
+        let src = mem.alloc_walk(AccessPattern::Contiguous, 64, None).unwrap();
         mem.fill(src.region(), 0..64);
         let mut tx = TimedFifo::new(128);
         let mut dma = Dma::new(params(), src);
@@ -202,7 +202,9 @@ mod tests {
         let run = |words: u64, page: u64| {
             let mut mem = Memory::new(1 << 20, 4096);
             let mut p = path();
-            let src = mem.alloc_walk(AccessPattern::Contiguous, words, None);
+            let src = mem
+                .alloc_walk(AccessPattern::Contiguous, words, None)
+                .unwrap();
             let mut tx = TimedFifo::new(1 << 16);
             let mut dma = Dma::new(
                 DmaParams {
@@ -224,7 +226,7 @@ mod tests {
     fn blocks_on_full_fifo() {
         let mut mem = Memory::new(1 << 16, 2048);
         let mut p = path();
-        let src = mem.alloc_walk(AccessPattern::Contiguous, 16, None);
+        let src = mem.alloc_walk(AccessPattern::Contiguous, 16, None).unwrap();
         let mut tx = TimedFifo::new(2);
         let mut dma = Dma::new(params(), src);
         let mut saw_block = false;
@@ -245,7 +247,9 @@ mod tests {
     #[should_panic(expected = "contiguous")]
     fn rejects_strided_source() {
         let mut mem = Memory::new(1 << 16, 2048);
-        let src = mem.alloc_walk(AccessPattern::strided(4).unwrap(), 8, None);
+        let src = mem
+            .alloc_walk(AccessPattern::strided(4).unwrap(), 8, None)
+            .unwrap();
         let _ = Dma::new(params(), src);
     }
 }

@@ -1,0 +1,279 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] decides, for every fault opportunity in a co-simulation,
+//! whether a fault fires and what kind. Decisions are **pure functions** of
+//! `(seed, site, index)` — not draws from a shared stateful generator — so
+//! the same plan replays byte-identically whatever order parallel workers
+//! reach their opportunities in, and a zero-rate plan behaves exactly like
+//! no plan at all.
+//!
+//! Fault taxonomy:
+//!
+//! * **link faults** ([`LinkFault`]): a wire word is dropped, its payload
+//!   corrupted, or delayed by a jitter window;
+//! * **FIFO stalls**: a NIC FIFO slot is back-pressured for a window of
+//!   cycles before accepting a push (see
+//!   [`TimedFifo::set_faults`](crate::nic::TimedFifo::set_faults));
+//! * **engine starvation**: a deposit/annex engine loses cycles to a stall
+//!   window before consuming a word;
+//! * **engine outage**: an engine site is out for the whole run — the
+//!   trigger for graceful degradation to buffer packing.
+//!
+//! Every fired decision increments the process-wide
+//! [`stats::fault_counters`](crate::stats::fault_counters).
+
+use memcomm_util::rng::Rng;
+
+use crate::clock::Cycle;
+
+/// Well-known fault sites. A *site* identifies one fault-injection point in
+/// a co-simulation (a specific link, FIFO or engine); the per-site constants
+/// keep decisions independent across sites under one seed.
+pub mod site {
+    /// Forward data link (sender → receiver).
+    pub const LINK_FORWARD: u64 = 1;
+    /// Reverse link (acknowledgements).
+    pub const LINK_REVERSE: u64 = 2;
+    /// Sender-side transmit FIFO.
+    pub const TX_FIFO: u64 = 3;
+    /// Receiver-side receive FIFO.
+    pub const RX_FIFO: u64 = 4;
+    /// Receiver-side deposit engine.
+    pub const DEPOSIT: u64 = 5;
+    /// Receiver-side annex engine.
+    pub const ANNEX: u64 = 6;
+}
+
+/// What happened to one word on a faulty link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The word vanishes: it consumes wire time but is never delivered.
+    Drop,
+    /// The payload is XORed with this non-zero mask (addresses are
+    /// protected by hardware parity on both machines; payload corruption is
+    /// what an end-to-end checksum must catch).
+    Corrupt(u64),
+    /// Delivery is delayed by this many extra cycles.
+    Delay(Cycle),
+}
+
+/// Configuration of a fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed all decisions derive from.
+    pub seed: u64,
+    /// Probability that any single fault opportunity fires (per word on a
+    /// link, per push into a FIFO, per word through an engine). `0.0`
+    /// disables word-level faults entirely.
+    pub rate: f64,
+    /// Largest extra delay a jittered link word suffers.
+    pub max_jitter_cycles: Cycle,
+    /// Largest stall window injected into a FIFO push or an engine word.
+    pub max_stall_cycles: Cycle,
+    /// Probability that an *engine site* is out for the whole run (decided
+    /// once per site, independent of `rate`).
+    pub outage_rate: f64,
+}
+
+impl Default for FaultConfig {
+    /// A disabled plan: zero rates (seed irrelevant by construction).
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            rate: 0.0,
+            max_jitter_cycles: 256,
+            max_stall_cycles: 1024,
+            outage_rate: 0.0,
+        }
+    }
+}
+
+/// A replayable fault plan. Copyable — handing a plan to an engine copies
+/// the configuration, never shared mutable state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Creates a plan from its configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan { cfg }
+    }
+
+    /// A plan that never fires (all rates zero).
+    pub fn disabled() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether any fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.cfg.rate > 0.0 || self.cfg.outage_rate > 0.0
+    }
+
+    /// The decision generator for one `(site, index)` opportunity: a fresh
+    /// splitmix64 stream keyed by seed, site and index, so decisions are
+    /// order-independent and replayable.
+    fn decider(&self, site: u64, index: u64) -> Rng {
+        let key = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(site.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(index.wrapping_mul(0x94D0_49BB_1331_11EB));
+        Rng::new(key)
+    }
+
+    fn fires(&self, rate: f64, rng: &mut Rng) -> bool {
+        rate > 0.0 && rng.range_f64(0.0, 1.0) < rate
+    }
+
+    /// Decides the fate of word `index` crossing the link at `site`.
+    /// Retransmitted words get fresh indices (the link's attempt counter),
+    /// so a retry is a fresh draw, not a guaranteed repeat.
+    pub fn link_fault(&self, site: u64, index: u64) -> Option<LinkFault> {
+        let mut rng = self.decider(site, index);
+        if !self.fires(self.cfg.rate, &mut rng) {
+            return None;
+        }
+        crate::stats::record_fault_injected();
+        let fault = match rng.range_u64(0, 3) {
+            0 => {
+                crate::stats::record_fault_dropped();
+                LinkFault::Drop
+            }
+            1 => LinkFault::Corrupt(rng.next_u64() | 1),
+            _ => LinkFault::Delay(rng.range_u64(1, self.cfg.max_jitter_cycles.max(1) + 1)),
+        };
+        Some(fault)
+    }
+
+    /// Stall window (possibly zero) injected before opportunity `index` at
+    /// a FIFO or engine `site`.
+    pub fn stall_cycles(&self, site: u64, index: u64) -> Cycle {
+        let mut rng = self.decider(site, index.wrapping_add(0x5747_A11E));
+        if !self.fires(self.cfg.rate, &mut rng) {
+            return 0;
+        }
+        crate::stats::record_fault_injected();
+        rng.range_u64(1, self.cfg.max_stall_cycles.max(1) + 1)
+    }
+
+    /// Whether the engine at `site` is out for this whole run.
+    pub fn engine_unavailable(&self, site: u64) -> bool {
+        let mut rng = self.decider(site, 0x007A_6E00);
+        let out = self.fires(self.cfg.outage_rate, &mut rng);
+        if out {
+            crate::stats::record_fault_injected();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rate: f64) -> FaultPlan {
+        FaultPlan::new(FaultConfig {
+            seed: 42,
+            rate,
+            ..FaultConfig::default()
+        })
+    }
+
+    #[test]
+    fn decisions_are_replayable_and_order_independent() {
+        let p = plan(0.5);
+        let forward: Vec<_> = (0..100)
+            .map(|i| p.link_fault(site::LINK_FORWARD, i))
+            .collect();
+        let backward: Vec<_> = (0..100)
+            .rev()
+            .map(|i| p.link_fault(site::LINK_FORWARD, i))
+            .collect();
+        let reversed: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed, "decision order must not matter");
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let p = FaultPlan::new(FaultConfig {
+                seed,
+                rate: 0.0,
+                outage_rate: 0.0,
+                ..FaultConfig::default()
+            });
+            assert!(!p.is_active());
+            for i in 0..1000 {
+                assert_eq!(p.link_fault(site::LINK_FORWARD, i), None);
+                assert_eq!(p.stall_cycles(site::RX_FIFO, i), 0);
+            }
+            assert!(!p.engine_unavailable(site::DEPOSIT));
+        }
+    }
+
+    #[test]
+    fn sites_decide_independently() {
+        let p = plan(0.3);
+        let a: Vec<_> = (0..200)
+            .map(|i| p.link_fault(site::LINK_FORWARD, i))
+            .collect();
+        let b: Vec<_> = (0..200)
+            .map(|i| p.link_fault(site::LINK_REVERSE, i))
+            .collect();
+        assert_ne!(a, b, "different sites must draw different decisions");
+    }
+
+    #[test]
+    fn rate_controls_frequency() {
+        let p = plan(0.25);
+        let fired = (0..4000)
+            .filter(|&i| p.link_fault(site::LINK_FORWARD, i).is_some())
+            .count();
+        assert!(
+            (700..1300).contains(&fired),
+            "expected ~1000 of 4000 at rate 0.25, got {fired}"
+        );
+    }
+
+    #[test]
+    fn outage_rate_one_always_out() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 7,
+            outage_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        assert!(p.engine_unavailable(site::DEPOSIT));
+        assert!(p.engine_unavailable(site::ANNEX));
+    }
+
+    #[test]
+    fn corrupt_masks_are_nonzero_and_stalls_bounded() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 3,
+            rate: 1.0,
+            max_stall_cycles: 16,
+            max_jitter_cycles: 8,
+            ..FaultConfig::default()
+        });
+        for i in 0..200 {
+            match p.link_fault(site::LINK_FORWARD, i) {
+                Some(LinkFault::Corrupt(m)) => assert_ne!(m, 0),
+                Some(LinkFault::Delay(d)) => assert!((1..=8).contains(&d)),
+                Some(LinkFault::Drop) | None => {}
+            }
+            let s = p.stall_cycles(site::TX_FIFO, i);
+            assert!(
+                (1..=16).contains(&s),
+                "rate 1.0 must stall within bounds: {s}"
+            );
+        }
+    }
+}

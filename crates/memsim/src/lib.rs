@@ -38,9 +38,13 @@
 //! # fn main() {
 //! let mut node = Node::new(NodeParams::default());
 //! let words = 16 * 1024;
-//! let src = node.alloc_walk(AccessPattern::Contiguous, words, None);
-//! let dst = node.alloc_walk(AccessPattern::strided(64).unwrap(), words, None);
-//! let m = scenario::run_local_copy(&mut node, &src, &dst);
+//! let src = node
+//!     .alloc_walk(AccessPattern::Contiguous, words, None)
+//!     .unwrap();
+//! let dst = node
+//!     .alloc_walk(AccessPattern::strided(64).unwrap(), words, None)
+//!     .unwrap();
+//! let m = scenario::run_local_copy(&mut node, &src, &dst).unwrap();
 //! assert_eq!(m.words, words as u64);
 //! assert!(m.throughput(node.clock()).as_mbps() > 0.0);
 //! # }
@@ -53,6 +57,8 @@ pub mod cache;
 pub mod clock;
 pub mod dram;
 pub mod engines;
+pub mod error;
+pub mod fault;
 pub mod mem;
 pub mod nic;
 pub mod node;
@@ -66,5 +72,7 @@ pub mod walk;
 pub mod wbq;
 
 pub use clock::{Clock, Cycle};
+pub use error::{SimError, SimResult};
+pub use fault::{FaultConfig, FaultPlan, LinkFault};
 pub use node::{Node, NodeParams};
 pub use stats::Measurement;

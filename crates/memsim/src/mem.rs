@@ -5,6 +5,7 @@
 //! operation can be checked for functional correctness (did the transpose
 //! actually transpose?).
 
+use crate::error::{SimError, SimResult};
 use crate::walk::Walk;
 use memcomm_model::AccessPattern;
 
@@ -77,11 +78,12 @@ impl Memory {
 
     /// Allocates a region of `words` 64-bit words.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when memory is exhausted — node memories are sized by the
-    /// caller to fit the experiment.
-    pub fn alloc(&mut self, words: u64) -> Region {
+    /// Returns [`SimError::OutOfMemory`] when the memory cannot hold the
+    /// region — the experiment sized the node memory too small, which should
+    /// fail the point, not the sweep.
+    pub fn alloc(&mut self, words: u64) -> SimResult<Region> {
         // A deterministic pseudo-random guard gap of 1–4 alignment units
         // between allocations keeps same-sized arrays from systematically
         // landing a cache-size apart (which would make every set of a
@@ -95,13 +97,15 @@ impl Memory {
         self.alloc_count += 1;
         let base = (self.next_free + jitter * self.align_bytes).next_multiple_of(self.align_bytes);
         let end = base + words * WORD_BYTES;
-        assert!(
-            end <= self.words.len() as u64 * WORD_BYTES,
-            "node memory exhausted: need {end} bytes, have {}",
-            self.words.len() as u64 * WORD_BYTES
-        );
+        let capacity = self.words.len() as u64 * WORD_BYTES;
+        if end > capacity {
+            return Err(SimError::OutOfMemory {
+                need_bytes: end,
+                have_bytes: capacity,
+            });
+        }
         self.next_free = end;
-        Region { base, words }
+        Ok(Region { base, words })
     }
 
     /// Reads the word at a byte address.
@@ -157,31 +161,37 @@ impl Memory {
     /// every strided element has a distinct home; for indexed patterns the
     /// caller supplies the index array (values must be `< words`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an indexed walk is requested without an index array, or a
-    /// non-indexed walk with one.
+    /// Returns [`SimError::InvalidWalk`] for a fixed-port pattern or a
+    /// mismatched index array, and [`SimError::OutOfMemory`] when the region
+    /// does not fit.
     pub fn alloc_walk(
         &mut self,
         pattern: AccessPattern,
         words: u64,
         index: Option<Vec<u32>>,
-    ) -> Walk {
+    ) -> SimResult<Walk> {
         let span = match pattern {
             AccessPattern::Contiguous => words,
             AccessPattern::Strided(s) => words * u64::from(s),
             AccessPattern::Indexed => words,
-            AccessPattern::Fixed => panic!("cannot allocate a walk over a fixed port"),
+            AccessPattern::Fixed => {
+                return Err(SimError::InvalidWalk {
+                    detail: "cannot allocate a walk over a fixed port".to_string(),
+                });
+            }
         };
-        let region = self.alloc(span);
-        let index_region = index
-            .as_ref()
-            .map(|ix| self.alloc((ix.len() as u64).div_ceil(2)));
-        let walk = Walk::new(pattern, region, words, index);
-        match index_region {
+        let region = self.alloc(span)?;
+        let index_region = match index.as_ref() {
+            Some(ix) => Some(self.alloc((ix.len() as u64).div_ceil(2))?),
+            None => None,
+        };
+        let walk = Walk::new(pattern, region, words, index)?;
+        Ok(match index_region {
             Some(r) => walk.with_index_region(r),
             None => walk,
-        }
+        })
     }
 }
 
@@ -192,8 +202,8 @@ mod tests {
     #[test]
     fn alloc_is_aligned_and_disjoint() {
         let mut m = Memory::new(4096, 2048);
-        let a = m.alloc(10);
-        let b = m.alloc(10);
+        let a = m.alloc(10).unwrap();
+        let b = m.alloc(10).unwrap();
         assert_eq!(a.base % 2048, 0);
         assert_eq!(b.base % 2048, 0);
         assert!(b.base >= a.end());
@@ -202,7 +212,7 @@ mod tests {
     #[test]
     fn read_write_round_trip() {
         let mut m = Memory::new(64, 8);
-        let r = m.alloc(4);
+        let r = m.alloc(4).unwrap();
         m.write(r.addr(2), 0xdead_beef);
         assert_eq!(m.read(r.addr(2)), 0xdead_beef);
         assert_eq!(m.read(r.addr(0)), 0);
@@ -216,16 +226,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exhausted")]
-    fn exhaustion_panics() {
+    fn exhaustion_reports_out_of_memory() {
         let mut m = Memory::new(8, 8);
-        let _ = m.alloc(9);
+        match m.alloc(9) {
+            Err(SimError::OutOfMemory { have_bytes, .. }) => assert_eq!(have_bytes, 64),
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
     }
 
     #[test]
     fn fill_and_dump() {
         let mut m = Memory::new(64, 8);
-        let r = m.alloc(4);
+        let r = m.alloc(4).unwrap();
         m.fill(r, [1, 2, 3, 4]);
         assert_eq!(m.dump(r), vec![1, 2, 3, 4]);
     }
@@ -233,8 +245,17 @@ mod tests {
     #[test]
     fn alloc_walk_sizes_strided_span() {
         let mut m = Memory::new(1024, 8);
-        let w = m.alloc_walk(AccessPattern::Strided(4), 16, None);
+        let w = m.alloc_walk(AccessPattern::Strided(4), 16, None).unwrap();
         assert_eq!(w.region().words, 64);
         assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn alloc_walk_rejects_fixed_port() {
+        let mut m = Memory::new(64, 8);
+        assert!(matches!(
+            m.alloc_walk(AccessPattern::Fixed, 4, None),
+            Err(SimError::InvalidWalk { .. })
+        ));
     }
 }

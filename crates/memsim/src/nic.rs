@@ -21,6 +21,10 @@ pub enum WordKind {
     /// A remote-load request — a get: `addr` is the remote address to read,
     /// `data` carries the requester-local reply address.
     Request,
+    /// Protocol control traffic (frame headers, checksums, acknowledgements)
+    /// — `data` carries the opcode and operands, packed by the protocol
+    /// layer. Engines that only understand raw puts/gets reject these.
+    Control,
 }
 
 /// One word on the wire: the 64-bit payload, plus the remote store address
@@ -64,6 +68,15 @@ impl NetWord {
         }
     }
 
+    /// A protocol control word; `data` packs the opcode and operands.
+    pub fn control(data: u64) -> Self {
+        NetWord {
+            addr: None,
+            data,
+            kind: WordKind::Control,
+        }
+    }
+
     /// Bytes this word occupies on the wire: 8 for data, 16 for an
     /// address-data pair or a request (two addresses).
     pub fn wire_bytes(&self) -> u64 {
@@ -83,6 +96,7 @@ pub struct TimedFifo {
     capacity: usize,
     pushed: u64,
     popped: u64,
+    faults: Option<(crate::fault::FaultPlan, u64)>,
 }
 
 impl TimedFifo {
@@ -99,7 +113,14 @@ impl TimedFifo {
             capacity,
             pushed: 0,
             popped: 0,
+            faults: None,
         }
+    }
+
+    /// Arms fault injection: each push draws a (usually zero) stall window
+    /// from the plan, modelling back-pressure glitches in the NIC.
+    pub fn set_faults(&mut self, plan: crate::fault::FaultPlan, site: u64) {
+        self.faults = plan.is_active().then_some((plan, site));
     }
 
     /// Capacity in words.
@@ -133,7 +154,11 @@ impl TimedFifo {
     /// caller is blocked and must let the consumer run.
     pub fn push(&mut self, t: Cycle, word: NetWord) -> Option<Cycle> {
         let Reverse(slot_free) = self.free_slots.pop()?;
-        let at = t.max(slot_free);
+        let stall = match &self.faults {
+            Some((plan, s)) => plan.stall_cycles(*s, self.pushed),
+            None => 0,
+        };
+        let at = t.max(slot_free) + stall;
         self.items.push_back((at, word));
         self.pushed += 1;
         Some(at)

@@ -1,7 +1,8 @@
 //! A node: memory, memory path, NIC FIFOs and engine cost models.
 
-use crate::clock::Clock;
+use crate::clock::{Clock, Cycle};
 use crate::engines::{Cpu, CpuParams, DepositParams, DmaParams};
+use crate::error::{SimError, SimResult};
 use crate::mem::Memory;
 use crate::nic::TimedFifo;
 use crate::path::{MemPath, PathParams, Port};
@@ -170,13 +171,74 @@ impl Node {
 
     /// Allocates a region and returns a walk over it (see
     /// [`Memory::alloc_walk`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::InvalidWalk`] / [`SimError::OutOfMemory`] from
+    /// [`Memory::alloc_walk`].
     pub fn alloc_walk(
         &mut self,
         pattern: AccessPattern,
         words: u64,
         index: Option<Vec<u32>>,
-    ) -> Walk {
+    ) -> SimResult<Walk> {
         self.mem.alloc_walk(pattern, words, index)
+    }
+}
+
+/// A bounded-progress watchdog for co-simulation driver loops.
+///
+/// Every driver iteration calls [`tick`](Watchdog::tick); once the step
+/// bound (or the optional simulated-cycle budget) elapses, the watchdog
+/// returns a [`SimError`] instead of letting a wedged co-simulation spin
+/// forever. Fault injection makes wedges *reachable* (a dropped word with no
+/// retransmission, a stalled engine), so every driver loop must be bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    max_steps: u64,
+    max_cycles: Option<Cycle>,
+    steps: u64,
+}
+
+impl Watchdog {
+    /// A watchdog that fires after `max_steps` driver iterations.
+    pub fn new(max_steps: u64) -> Self {
+        Watchdog {
+            max_steps,
+            max_cycles: None,
+            steps: 0,
+        }
+    }
+
+    /// Adds a simulated-cycle budget: [`tick`](Watchdog::tick) fails as soon
+    /// as the observed cycle count exceeds it. `None` leaves only the step
+    /// bound.
+    pub fn with_cycle_budget(mut self, max_cycles: Option<Cycle>) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Records one driver iteration at local time `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleBudget`] when the cycle budget is exceeded,
+    /// [`SimError::Wedged`] when the step bound elapses.
+    pub fn tick(&mut self, engine: &'static str, at: Cycle) -> SimResult<()> {
+        if let Some(budget) = self.max_cycles {
+            if at > budget {
+                return Err(SimError::CycleBudget { budget, at });
+            }
+        }
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(SimError::Wedged {
+                engine,
+                at,
+                steps: self.steps,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -187,9 +249,34 @@ mod tests {
     #[test]
     fn default_node_builds_and_allocates() {
         let mut n = Node::new(NodeParams::default());
-        let w = n.alloc_walk(AccessPattern::Contiguous, 128, None);
+        let w = n.alloc_walk(AccessPattern::Contiguous, 128, None).unwrap();
         assert_eq!(w.len(), 128);
         assert_eq!(n.clock().hz(), 150.0e6);
+    }
+
+    #[test]
+    fn watchdog_fires_on_step_bound() {
+        let mut w = Watchdog::new(3);
+        for _ in 0..3 {
+            w.tick("test driver", 10).unwrap();
+        }
+        assert!(matches!(
+            w.tick("test driver", 11),
+            Err(SimError::Wedged { steps: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_enforces_cycle_budget() {
+        let mut w = Watchdog::new(u64::MAX).with_cycle_budget(Some(100));
+        w.tick("test driver", 100).unwrap();
+        assert!(matches!(
+            w.tick("test driver", 101),
+            Err(SimError::CycleBudget {
+                budget: 100,
+                at: 101
+            })
+        ));
     }
 
     #[test]

@@ -13,71 +13,100 @@ use crate::clock::Cycle;
 use crate::engines::{
     Cpu, CpuReceiver, CpuSender, DepositEngine, DepositMode, Dma, LocalCopier, Step,
 };
+use crate::error::{SimError, SimResult};
 use crate::nic::{NetWord, WordKind};
-use crate::node::Node;
+use crate::node::{Node, Watchdog};
 use crate::stats::Measurement;
 use crate::walk::Walk;
+
+/// Step bound for a scenario's driver loop: generous per-word headroom plus
+/// a fixed floor, so a legitimate slow transfer always finishes while a
+/// wedged one is caught.
+fn watchdog_for(words: u64) -> Watchdog {
+    Watchdog::new(64 * words + 10_000)
+}
 
 /// Runs a local memory-to-memory copy `xCy` and returns the measurement
 /// (including the final write-buffer flush).
 ///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the copy engine.
+///
 /// # Panics
 ///
 /// Panics if the walks differ in length.
-pub fn run_local_copy(node: &mut Node, src: &Walk, dst: &Walk) -> Measurement {
+pub fn run_local_copy(node: &mut Node, src: &Walk, dst: &Walk) -> SimResult<Measurement> {
     let mut cpu = node.cpu();
-    LocalCopier::new(src.clone(), dst.clone()).run(&mut cpu, &mut node.path, &mut node.mem);
+    LocalCopier::new(src.clone(), dst.clone()).run(&mut cpu, &mut node.path, &mut node.mem)?;
     let end = node.path.flush(cpu.t);
-    Measurement::new(src.len(), end)
+    Ok(Measurement::new(src.len(), end))
 }
 
 /// Runs a pure load stream `xC0` (loads into a register sink).
-pub fn run_load_stream(node: &mut Node, src: &Walk) -> Measurement {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the load pipeline.
+pub fn run_load_stream(node: &mut Node, src: &Walk) -> SimResult<Measurement> {
     let mut cpu = node.cpu();
     let depth = cpu.depth_for(src.pattern());
     for i in 0..src.len() {
         if cpu.pending_loads() >= depth {
-            let _ = cpu.retire_load();
+            let _ = cpu.retire_load()?;
         }
-        cpu.issue_load(&mut node.path, &node.mem, src, i);
+        cpu.issue_load(&mut node.path, &node.mem, src, i)?;
     }
     while cpu.pending_loads() > 0 {
-        let _ = cpu.retire_load();
+        let _ = cpu.retire_load()?;
     }
-    Measurement::new(src.len(), cpu.t)
+    Ok(Measurement::new(src.len(), cpu.t))
 }
 
 /// Runs a pure store stream `0Cy` (stores of a constant).
-pub fn run_store_stream(node: &mut Node, dst: &Walk) -> Measurement {
+///
+/// # Errors
+///
+/// Infallible today; `Result` for uniformity with the other scenarios.
+pub fn run_store_stream(node: &mut Node, dst: &Walk) -> SimResult<Measurement> {
     let mut cpu = node.cpu();
     for i in 0..dst.len() {
         cpu.t += cpu.params().loop_cycles;
         cpu.store_element(&mut node.path, &mut node.mem, dst, i, i);
     }
     let end = node.path.flush(cpu.t);
-    Measurement::new(dst.len(), end)
+    Ok(Measurement::new(dst.len(), end))
 }
 
 /// Runs a processor load-send `xS0` against an ideal network port accepting
 /// one word every `sink_cycles_per_word` cycles. When `remote_dst` is given,
 /// each word is sent as an address-data pair following that walk.
+///
+/// # Errors
+///
+/// Returns [`SimError::Starved`] when the sender blocks on a FIFO the ideal
+/// port finds empty (a wiring bug), and propagates engine errors.
 pub fn run_load_send(
     node: &mut Node,
     src: &Walk,
     remote_dst: Option<&Walk>,
     sink_cycles_per_word: Cycle,
-) -> Measurement {
+) -> SimResult<Measurement> {
     let mut cpu = node.cpu();
     let mut sender = CpuSender::new(src.clone(), remote_dst.cloned());
     let mut sink_t: Cycle = 0;
+    let mut dog = watchdog_for(src.len());
     loop {
-        match sender.step(&mut cpu, &mut node.path, &node.mem, &mut node.tx) {
+        dog.tick("load-send driver", cpu.t)?;
+        match sender.step(&mut cpu, &mut node.path, &node.mem, &mut node.tx)? {
             Step::Done => break,
             Step::Blocked => {
-                let (at, _) = node
-                    .tx
-                    .pop(sink_t)
-                    .expect("sender blocked on a full fifo that must be non-empty");
+                let Some((at, _)) = node.tx.pop(sink_t) else {
+                    return Err(SimError::Starved {
+                        engine: "load-send sink",
+                        at: sink_t,
+                    });
+                };
                 sink_t = at + sink_cycles_per_word;
             }
             Step::Progressed => {
@@ -94,25 +123,38 @@ pub fn run_load_send(
     while node.tx.pop(sink_t).is_some() {
         sink_t += sink_cycles_per_word;
     }
-    Measurement::new(src.len(), cpu.t)
+    Ok(Measurement::new(src.len(), cpu.t))
 }
 
 /// Runs a DMA fetch-send `1F0` against an ideal network port.
 ///
+/// # Errors
+///
+/// Returns [`SimError::Starved`] when the DMA blocks on a FIFO the ideal
+/// port finds empty, or [`SimError::Wedged`] if the loop stops progressing.
+///
 /// # Panics
 ///
-/// Panics if `src` is not contiguous.
-pub fn run_fetch_send(node: &mut Node, src: &Walk, sink_cycles_per_word: Cycle) -> Measurement {
+/// Panics if `src` is not contiguous (a construction contract).
+pub fn run_fetch_send(
+    node: &mut Node,
+    src: &Walk,
+    sink_cycles_per_word: Cycle,
+) -> SimResult<Measurement> {
     let mut dma = Dma::new(node.params().dma, src.clone());
     let mut sink_t: Cycle = 0;
+    let mut dog = watchdog_for(src.len());
     loop {
+        dog.tick("fetch-send driver", dma.t)?;
         match dma.step(&mut node.path, &node.mem, &mut node.tx) {
             Step::Done => break,
             Step::Blocked => {
-                let (at, _) = node
-                    .tx
-                    .pop(sink_t)
-                    .expect("dma blocked on a full fifo that must be non-empty");
+                let Some((at, _)) = node.tx.pop(sink_t) else {
+                    return Err(SimError::Starved {
+                        engine: "fetch-send sink",
+                        at: sink_t,
+                    });
+                };
                 sink_t = at + sink_cycles_per_word;
             }
             Step::Progressed => {
@@ -131,7 +173,7 @@ pub fn run_fetch_send(node: &mut Node, src: &Walk, sink_cycles_per_word: Cycle) 
         sink_t = at + sink_cycles_per_word;
         end = end.max(at);
     }
-    Measurement::new(src.len(), end)
+    Ok(Measurement::new(src.len(), end))
 }
 
 fn feed_words(dst: &Walk, addressed: bool) -> Vec<NetWord> {
@@ -147,18 +189,25 @@ fn feed_words(dst: &Walk, addressed: bool) -> Vec<NetWord> {
 /// Runs a processor receive-store `0Ry`: words arrive at one per
 /// `feed_cycles_per_word` cycles and the processor stores them along `dst`
 /// (or at the carried address when `addressed`).
+///
+/// # Errors
+///
+/// Returns [`SimError::Starved`] when the receiver blocks after the feed is
+/// exhausted, and propagates engine errors.
 pub fn run_receive_store(
     node: &mut Node,
     dst: &Walk,
     addressed: bool,
     feed_cycles_per_word: Cycle,
-) -> Measurement {
+) -> SimResult<Measurement> {
     let words = feed_words(dst, addressed);
     let mut cpu = node.cpu();
     let mut receiver = CpuReceiver::new(dst.clone());
     let mut source_t: Cycle = 0;
     let mut fed = 0usize;
+    let mut dog = watchdog_for(dst.len());
     loop {
+        dog.tick("receive-store driver", cpu.t)?;
         while fed < words.len() {
             match node.rx.push(source_t, words[fed]) {
                 Some(at) => {
@@ -168,24 +217,36 @@ pub fn run_receive_store(
                 None => break,
             }
         }
-        match receiver.step(&mut cpu, &mut node.path, &mut node.mem, &mut node.rx) {
+        match receiver.step(&mut cpu, &mut node.path, &mut node.mem, &mut node.rx)? {
             Step::Done => break,
-            Step::Blocked => assert!(fed < words.len(), "receiver starved after full feed"),
+            Step::Blocked => {
+                if fed >= words.len() {
+                    return Err(SimError::Starved {
+                        engine: "cpu receiver",
+                        at: cpu.t,
+                    });
+                }
+            }
             Step::Progressed => {}
         }
     }
     let end = node.path.flush(cpu.t);
-    Measurement::new(dst.len(), end)
+    Ok(Measurement::new(dst.len(), end))
 }
 
 /// Runs a deposit-engine receive `0Dy` (same feed as
 /// [`run_receive_store`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::Starved`] when the engine blocks after the feed is
+/// exhausted, and propagates engine errors.
 pub fn run_receive_deposit(
     node: &mut Node,
     dst: &Walk,
     addressed: bool,
     feed_cycles_per_word: Cycle,
-) -> Measurement {
+) -> SimResult<Measurement> {
     let words = feed_words(dst, addressed);
     let mode = if addressed {
         DepositMode::Addressed
@@ -195,7 +256,9 @@ pub fn run_receive_deposit(
     let mut engine = DepositEngine::new(node.params().deposit, mode, dst.len());
     let mut source_t: Cycle = 0;
     let mut fed = 0usize;
+    let mut dog = watchdog_for(dst.len());
     loop {
+        dog.tick("receive-deposit driver", engine.t)?;
         while fed < words.len() {
             match node.rx.push(source_t, words[fed]) {
                 Some(at) => {
@@ -205,20 +268,36 @@ pub fn run_receive_deposit(
                 None => break,
             }
         }
-        match engine.step(&mut node.path, &mut node.mem, &mut node.rx) {
+        match engine.step(&mut node.path, &mut node.mem, &mut node.rx)? {
             Step::Done => break,
-            Step::Blocked => assert!(fed < words.len(), "deposit engine starved after full feed"),
+            Step::Blocked => {
+                if fed >= words.len() {
+                    return Err(SimError::Starved {
+                        engine: "deposit engine",
+                        at: engine.t,
+                    });
+                }
+            }
             Step::Progressed => {}
         }
     }
-    Measurement::new(dst.len(), engine.t)
+    Ok(Measurement::new(dst.len(), engine.t))
 }
 
 /// Drives a processor and a [`Cpu`]-owned walk pair through a whole copy —
 /// exposed for drivers that need the raw loop (ablations, custom kernels).
-pub fn copy_to_completion(cpu: &mut Cpu, node: &mut Node, src: &Walk, dst: &Walk) -> Cycle {
-    LocalCopier::new(src.clone(), dst.clone()).run(cpu, &mut node.path, &mut node.mem);
-    node.path.flush(cpu.t)
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the copy engine.
+pub fn copy_to_completion(
+    cpu: &mut Cpu,
+    node: &mut Node,
+    src: &Walk,
+    dst: &Walk,
+) -> SimResult<Cycle> {
+    LocalCopier::new(src.clone(), dst.clone()).run(cpu, &mut node.path, &mut node.mem)?;
+    Ok(node.path.flush(cpu.t))
 }
 
 #[cfg(test)]
@@ -236,14 +315,16 @@ mod tests {
     #[test]
     fn contiguous_copy_beats_strided_beats_indexed_loads() {
         let mut n = node();
-        let c_src = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let c_dst = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let contiguous = run_local_copy(&mut n, &c_src, &c_dst);
+        let c_src = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let c_dst = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let contiguous = run_local_copy(&mut n, &c_src, &c_dst).unwrap();
 
         let mut n = node();
-        let s_src = n.alloc_walk(AccessPattern::strided(64).unwrap(), N, None);
-        let s_dst = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let strided = run_local_copy(&mut n, &s_src, &s_dst);
+        let s_src = n
+            .alloc_walk(AccessPattern::strided(64).unwrap(), N, None)
+            .unwrap();
+        let s_dst = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let strided = run_local_copy(&mut n, &s_src, &s_dst).unwrap();
 
         assert!(
             contiguous.cycles < strided.cycles,
@@ -256,10 +337,12 @@ mod tests {
     #[test]
     fn copy_moves_the_data() {
         let mut n = node();
-        let src = n.alloc_walk(AccessPattern::Contiguous, 256, None);
-        let dst = n.alloc_walk(AccessPattern::strided(8).unwrap(), 256, None);
+        let src = n.alloc_walk(AccessPattern::Contiguous, 256, None).unwrap();
+        let dst = n
+            .alloc_walk(AccessPattern::strided(8).unwrap(), 256, None)
+            .unwrap();
         n.mem.fill(src.region(), (0..256).map(|i| i * 3));
-        run_local_copy(&mut n, &src, &dst);
+        run_local_copy(&mut n, &src, &dst).unwrap();
         for i in 0..256 {
             assert_eq!(n.mem.read(dst.addr(i)), i * 3);
         }
@@ -268,8 +351,8 @@ mod tests {
     #[test]
     fn load_send_measures_and_drains() {
         let mut n = node();
-        let src = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let m = run_load_send(&mut n, &src, None, 8);
+        let src = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let m = run_load_send(&mut n, &src, None, 8).unwrap();
         assert_eq!(m.words, N);
         assert!(n.tx.is_empty());
         assert_eq!(n.tx.total_pushed(), N);
@@ -278,19 +361,21 @@ mod tests {
     #[test]
     fn slow_port_throttles_the_sender() {
         let mut n = node();
-        let src = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let fast = run_load_send(&mut n, &src, None, 2);
+        let src = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let fast = run_load_send(&mut n, &src, None, 2).unwrap();
         let mut n2 = node();
-        let src2 = n2.alloc_walk(AccessPattern::Contiguous, N, None);
-        let slow = run_load_send(&mut n2, &src2, None, 200);
+        let src2 = n2.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let slow = run_load_send(&mut n2, &src2, None, 200).unwrap();
         assert!(slow.cycles > 2 * fast.cycles);
     }
 
     #[test]
     fn receive_store_lands_data() {
         let mut n = node();
-        let dst = n.alloc_walk(AccessPattern::strided(4).unwrap(), 512, None);
-        let m = run_receive_store(&mut n, &dst, true, 4);
+        let dst = n
+            .alloc_walk(AccessPattern::strided(4).unwrap(), 512, None)
+            .unwrap();
+        let m = run_receive_store(&mut n, &dst, true, 4).unwrap();
         assert_eq!(m.words, 512);
         for i in 0..512 {
             assert_eq!(n.mem.read(dst.addr(i)), i);
@@ -300,8 +385,8 @@ mod tests {
     #[test]
     fn receive_deposit_lands_data_stream_mode() {
         let mut n = node();
-        let dst = n.alloc_walk(AccessPattern::Contiguous, 512, None);
-        let m = run_receive_deposit(&mut n, &dst, false, 4);
+        let dst = n.alloc_walk(AccessPattern::Contiguous, 512, None).unwrap();
+        let m = run_receive_deposit(&mut n, &dst, false, 4).unwrap();
         assert_eq!(m.words, 512);
         assert_eq!(n.mem.dump(dst.region()), (0..512).collect::<Vec<_>>());
     }
@@ -309,19 +394,21 @@ mod tests {
     #[test]
     fn deposit_contiguous_faster_than_strided() {
         let mut n = node();
-        let dst = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let contiguous = run_receive_deposit(&mut n, &dst, true, 1);
+        let dst = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let contiguous = run_receive_deposit(&mut n, &dst, true, 1).unwrap();
         let mut n2 = node();
-        let dst2 = n2.alloc_walk(AccessPattern::strided(64).unwrap(), N, None);
-        let strided = run_receive_deposit(&mut n2, &dst2, true, 1);
+        let dst2 = n2
+            .alloc_walk(AccessPattern::strided(64).unwrap(), N, None)
+            .unwrap();
+        let strided = run_receive_deposit(&mut n2, &dst2, true, 1).unwrap();
         assert!(contiguous.cycles < strided.cycles);
     }
 
     #[test]
     fn fetch_send_streams_contiguously() {
         let mut n = node();
-        let src = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let m = run_fetch_send(&mut n, &src, 8);
+        let src = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let m = run_fetch_send(&mut n, &src, 8).unwrap();
         assert_eq!(m.words, N);
         assert_eq!(n.tx.total_popped(), N);
     }
@@ -329,17 +416,17 @@ mod tests {
     #[test]
     fn load_stream_and_store_stream_run() {
         let mut n = node();
-        let w = n.alloc_walk(AccessPattern::Contiguous, N, None);
-        let load = run_load_stream(&mut n, &w);
+        let w = n.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let load = run_load_stream(&mut n, &w).unwrap();
         let mut n2 = node();
-        let w2 = n2.alloc_walk(AccessPattern::Contiguous, N, None);
-        let store = run_store_stream(&mut n2, &w2);
+        let w2 = n2.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let store = run_store_stream(&mut n2, &w2).unwrap();
         assert!(load.cycles > 0 && store.cycles > 0);
         // A pure stream is faster than a full copy over the same pattern.
         let mut n3 = node();
-        let a = n3.alloc_walk(AccessPattern::Contiguous, N, None);
-        let b = n3.alloc_walk(AccessPattern::Contiguous, N, None);
-        let copy = run_local_copy(&mut n3, &a, &b);
+        let a = n3.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let b = n3.alloc_walk(AccessPattern::Contiguous, N, None).unwrap();
+        let copy = run_local_copy(&mut n3, &a, &b).unwrap();
         assert!(load.cycles < copy.cycles);
         assert!(store.cycles < copy.cycles);
     }

@@ -8,6 +8,77 @@ use memcomm_model::Throughput;
 static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
 static SIM_WORDS: AtomicU64 = AtomicU64::new(0);
 static MEASUREMENTS: AtomicU64 = AtomicU64::new(0);
+static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
+static FAULTS_RETRIED: AtomicU64 = AtomicU64::new(0);
+static FAULTS_DEGRADED: AtomicU64 = AtomicU64::new(0);
+static FAULTS_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide fault counters. Counts are *observability
+/// data* like wall times: their totals are deterministic for a given fault
+/// plan, but they accumulate globally across threads and must never enter a
+/// byte-deterministic report (per-point counts belong there instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Fault decisions that fired (drops, corruptions, delays, stalls,
+    /// outages).
+    pub injected: u64,
+    /// Protocol frame retransmissions.
+    pub retried: u64,
+    /// Transfers that fell back from chained to buffer packing.
+    pub degraded: u64,
+    /// Wire words dropped by link faults.
+    pub dropped: u64,
+}
+
+impl FaultCounters {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(self, earlier: FaultCounters) -> FaultCounters {
+        FaultCounters {
+            injected: self.injected.wrapping_sub(earlier.injected),
+            retried: self.retried.wrapping_sub(earlier.retried),
+            degraded: self.degraded.wrapping_sub(earlier.degraded),
+            dropped: self.dropped.wrapping_sub(earlier.dropped),
+        }
+    }
+}
+
+/// Reads the current fault counters.
+pub fn fault_counters() -> FaultCounters {
+    FaultCounters {
+        injected: FAULTS_INJECTED.load(Ordering::Relaxed),
+        retried: FAULTS_RETRIED.load(Ordering::Relaxed),
+        degraded: FAULTS_DEGRADED.load(Ordering::Relaxed),
+        dropped: FAULTS_DROPPED.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the fault counters (test isolation).
+pub fn reset_fault_counters() {
+    FAULTS_INJECTED.store(0, Ordering::Relaxed);
+    FAULTS_RETRIED.store(0, Ordering::Relaxed);
+    FAULTS_DEGRADED.store(0, Ordering::Relaxed);
+    FAULTS_DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Records one fired fault decision.
+pub fn record_fault_injected() {
+    FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one protocol retransmission.
+pub fn record_fault_retried() {
+    FAULTS_RETRIED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one chained-to-buffer-packing degradation.
+pub fn record_fault_degraded() {
+    FAULTS_DEGRADED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one dropped wire word.
+pub fn record_fault_dropped() {
+    FAULTS_DROPPED.fetch_add(1, Ordering::Relaxed);
+}
 
 /// A snapshot of the process-wide simulation counters: every
 /// [`Measurement`] ever constructed adds to them, so a sweep engine can

@@ -1,5 +1,6 @@
 //! Address walks: the concrete address streams behind access patterns.
 
+use crate::error::{SimError, SimResult};
 use crate::mem::{Region, WORD_BYTES};
 use memcomm_model::AccessPattern;
 
@@ -24,53 +25,73 @@ pub struct Walk {
 impl Walk {
     /// Creates a walk of `count` elements over `region`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an indexed walk lacks an index array (or a non-indexed walk
-    /// has one), if the index array is shorter than `count` or points
-    /// outside the region, or if the region cannot hold the walk.
+    /// Returns [`SimError::InvalidWalk`] if the pattern is
+    /// [`AccessPattern::Fixed`] (a port has no addresses to walk), if an
+    /// indexed walk lacks an index array (or a non-indexed walk has one),
+    /// if the index array is shorter than `count` or points outside the
+    /// region, or if the region cannot hold the walk.
     pub fn new(
         pattern: AccessPattern,
         region: Region,
         count: u64,
         index: Option<Vec<u32>>,
-    ) -> Self {
+    ) -> SimResult<Self> {
+        let invalid = |detail: String| Err(SimError::InvalidWalk { detail });
         match pattern {
             AccessPattern::Indexed => {
-                let ix = index.as_ref().expect("indexed walk needs an index array");
-                assert!(
-                    ix.len() as u64 >= count,
-                    "index array has {} entries, walk needs {count}",
-                    ix.len()
-                );
-                assert!(
-                    ix.iter()
-                        .take(count as usize)
-                        .all(|&i| u64::from(i) < region.words),
-                    "index array points outside the region"
-                );
+                let Some(ix) = index.as_ref() else {
+                    return invalid("indexed walk needs an index array".to_string());
+                };
+                if (ix.len() as u64) < count {
+                    return invalid(format!(
+                        "index array has {} entries, walk needs {count}",
+                        ix.len()
+                    ));
+                }
+                if !ix
+                    .iter()
+                    .take(count as usize)
+                    .all(|&i| u64::from(i) < region.words)
+                {
+                    return invalid("index array points outside the region".to_string());
+                }
             }
             AccessPattern::Contiguous => {
-                assert!(index.is_none(), "contiguous walk takes no index array");
-                assert!(count <= region.words, "walk longer than region");
+                if index.is_some() {
+                    return invalid("contiguous walk takes no index array".to_string());
+                }
+                if count > region.words {
+                    return invalid(format!(
+                        "walk of {count} longer than region of {} words",
+                        region.words
+                    ));
+                }
             }
             AccessPattern::Strided(s) => {
-                assert!(index.is_none(), "strided walk takes no index array");
-                assert!(
-                    count.saturating_sub(1) * u64::from(s) < region.words || count == 0,
-                    "strided walk overruns region"
-                );
+                if index.is_some() {
+                    return invalid("strided walk takes no index array".to_string());
+                }
+                if count.saturating_sub(1) * u64::from(s) >= region.words && count != 0 {
+                    return invalid(format!(
+                        "strided walk of {count} at stride {s} overruns region of {} words",
+                        region.words
+                    ));
+                }
             }
-            AccessPattern::Fixed => panic!("a walk cannot follow the fixed port pattern"),
+            AccessPattern::Fixed => {
+                return invalid("a walk cannot follow the fixed port pattern".to_string());
+            }
         }
-        Walk {
+        Ok(Walk {
             pattern,
             region,
             offset: 0,
             count,
             index,
             index_region: None,
-        }
+        })
     }
 
     /// A sub-walk covering elements `start .. start + len` of this walk
@@ -179,7 +200,7 @@ mod tests {
 
     #[test]
     fn contiguous_addresses() {
-        let w = Walk::new(AccessPattern::Contiguous, region(8), 4, None);
+        let w = Walk::new(AccessPattern::Contiguous, region(8), 4, None).unwrap();
         assert_eq!(
             w.addrs().collect::<Vec<_>>(),
             vec![0x1000, 0x1008, 0x1010, 0x1018]
@@ -188,7 +209,7 @@ mod tests {
 
     #[test]
     fn strided_addresses() {
-        let w = Walk::new(AccessPattern::Strided(4), region(16), 4, None);
+        let w = Walk::new(AccessPattern::Strided(4), region(16), 4, None).unwrap();
         assert_eq!(
             w.addrs().collect::<Vec<_>>(),
             vec![0x1000, 0x1020, 0x1040, 0x1060]
@@ -197,7 +218,7 @@ mod tests {
 
     #[test]
     fn indexed_addresses_follow_index() {
-        let w = Walk::new(AccessPattern::Indexed, region(8), 3, Some(vec![7, 0, 3]));
+        let w = Walk::new(AccessPattern::Indexed, region(8), 3, Some(vec![7, 0, 3])).unwrap();
         assert_eq!(
             w.addrs().collect::<Vec<_>>(),
             vec![0x1000 + 56, 0x1000, 0x1000 + 24]
@@ -207,6 +228,7 @@ mod tests {
     #[test]
     fn index_addr_packs_two_per_word() {
         let w = Walk::new(AccessPattern::Indexed, region(8), 4, Some(vec![0, 1, 2, 3]))
+            .unwrap()
             .with_index_region(Region {
                 base: 0x8000,
                 words: 2,
@@ -215,13 +237,13 @@ mod tests {
         assert_eq!(w.index_addr(1), Some(0x8000));
         assert_eq!(w.index_addr(2), Some(0x8008));
         assert_eq!(w.index_addr(3), Some(0x8008));
-        let c = Walk::new(AccessPattern::Contiguous, region(8), 4, None);
+        let c = Walk::new(AccessPattern::Contiguous, region(8), 4, None).unwrap();
         assert_eq!(c.index_addr(0), None);
     }
 
     #[test]
     fn slice_preserves_addresses() {
-        let w = Walk::new(AccessPattern::Strided(4), region(32), 8, None);
+        let w = Walk::new(AccessPattern::Strided(4), region(32), 8, None).unwrap();
         let s = w.slice(2, 3);
         assert_eq!(s.len(), 3);
         assert_eq!(s.addr(0), w.addr(2));
@@ -234,6 +256,7 @@ mod tests {
     #[test]
     fn slice_of_indexed_walk_follows_index() {
         let w = Walk::new(AccessPattern::Indexed, region(8), 4, Some(vec![3, 1, 7, 0]))
+            .unwrap()
             .with_index_region(Region {
                 base: 0x8000,
                 words: 2,
@@ -246,25 +269,43 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds walk")]
     fn slice_out_of_range_panics() {
-        let w = Walk::new(AccessPattern::Contiguous, region(8), 4, None);
+        let w = Walk::new(AccessPattern::Contiguous, region(8), 4, None).unwrap();
         let _ = w.slice(2, 3);
     }
 
+    fn invalid_detail(r: SimResult<Walk>) -> String {
+        match r {
+            Err(SimError::InvalidWalk { detail }) => detail,
+            other => panic!("expected InvalidWalk, got {other:?}"),
+        }
+    }
+
     #[test]
-    #[should_panic(expected = "overruns region")]
     fn strided_walk_must_fit() {
-        let _ = Walk::new(AccessPattern::Strided(4), region(8), 4, None);
+        let detail = invalid_detail(Walk::new(AccessPattern::Strided(4), region(8), 4, None));
+        assert!(detail.contains("overruns region"), "{detail}");
     }
 
     #[test]
-    #[should_panic(expected = "points outside")]
     fn index_out_of_range_rejected() {
-        let _ = Walk::new(AccessPattern::Indexed, region(4), 2, Some(vec![0, 9]));
+        let detail = invalid_detail(Walk::new(
+            AccessPattern::Indexed,
+            region(4),
+            2,
+            Some(vec![0, 9]),
+        ));
+        assert!(detail.contains("points outside"), "{detail}");
     }
 
     #[test]
-    #[should_panic(expected = "needs an index array")]
     fn indexed_requires_index() {
-        let _ = Walk::new(AccessPattern::Indexed, region(4), 2, None);
+        let detail = invalid_detail(Walk::new(AccessPattern::Indexed, region(4), 2, None));
+        assert!(detail.contains("needs an index array"), "{detail}");
+    }
+
+    #[test]
+    fn fixed_pattern_rejected() {
+        let detail = invalid_detail(Walk::new(AccessPattern::Fixed, region(4), 2, None));
+        assert!(detail.contains("fixed port"), "{detail}");
     }
 }

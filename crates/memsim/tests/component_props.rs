@@ -198,14 +198,16 @@ fn local_copy_is_memcpy() {
         let mut node = Node::new(NodeParams::default());
         let sp = AccessPattern::strided(src_stride).unwrap();
         let dp = AccessPattern::strided(dst_stride).unwrap();
-        let src = node.alloc_walk(sp, n, None);
-        let dst = node.alloc_walk(dp, n, None);
+        let src = node.alloc_walk(sp, n, None).unwrap();
+        let dst = node.alloc_walk(dp, n, None).unwrap();
         for i in 0..n {
             node.mem
                 .write(src.addr(i), seed.wrapping_mul(31).wrapping_add(i));
         }
         let mut cpu = node.cpu();
-        LocalCopier::new(src.clone(), dst.clone()).run(&mut cpu, &mut node.path, &mut node.mem);
+        LocalCopier::new(src.clone(), dst.clone())
+            .run(&mut cpu, &mut node.path, &mut node.mem)
+            .unwrap();
         for i in 0..n {
             assert_eq!(node.mem.read(dst.addr(i)), node.mem.read(src.addr(i)));
         }
@@ -221,10 +223,16 @@ fn copy_time_scales_sanely() {
         let n = rng.range_u64(64, 512);
         let time = |count: u64| {
             let mut node = Node::new(NodeParams::default());
-            let src = node.alloc_walk(AccessPattern::Contiguous, count, None);
-            let dst = node.alloc_walk(AccessPattern::Contiguous, count, None);
+            let src = node
+                .alloc_walk(AccessPattern::Contiguous, count, None)
+                .unwrap();
+            let dst = node
+                .alloc_walk(AccessPattern::Contiguous, count, None)
+                .unwrap();
             let mut cpu = node.cpu();
-            LocalCopier::new(src, dst).run(&mut cpu, &mut node.path, &mut node.mem);
+            LocalCopier::new(src, dst)
+                .run(&mut cpu, &mut node.path, &mut node.mem)
+                .unwrap();
             node.path.flush(cpu.t)
         };
         let t1 = time(n);

@@ -8,6 +8,7 @@
 //! [`congestion`](crate::congestion)).
 
 use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::fault::{FaultPlan, LinkFault};
 use memcomm_memsim::nic::{NetWord, TimedFifo, WordKind};
 use memcomm_memsim::stats::Measurement;
 
@@ -53,6 +54,8 @@ pub struct Link {
     clock: f64,
     staged: Option<NetWord>,
     moved: u64,
+    dropped: u64,
+    faults: Option<(FaultPlan, u64)>,
 }
 
 impl Link {
@@ -72,7 +75,20 @@ impl Link {
             clock: 0.0,
             staged: None,
             moved: 0,
+            dropped: 0,
+            faults: None,
         }
+    }
+
+    /// Creates a link that subjects each word to the fault plan's decisions
+    /// at the given fault `site` (see [`memcomm_memsim::fault::site`]): the
+    /// word can be dropped, its payload corrupted, or delivery jittered. The
+    /// per-word fault index is the link's attempt counter, so a
+    /// retransmitted word gets a fresh draw rather than repeating its fate.
+    pub fn with_faults(params: LinkParams, plan: FaultPlan, site: u64) -> Self {
+        let mut link = Link::new(params);
+        link.faults = plan.is_active().then_some((plan, site));
+        link
     }
 
     /// Configuration.
@@ -90,14 +106,21 @@ impl Link {
         self.moved
     }
 
+    /// Words consumed from the source but never delivered (link faults).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Moves one word from `from` to `to`. Blocked when the source is empty
-    /// or the destination full.
+    /// or the destination full. Under a fault plan, a word can be silently
+    /// dropped (it consumes wire time but never arrives), corrupted in its
+    /// payload, or delayed by a jitter window.
     pub fn step(&mut self, from: &mut TimedFifo, to: &mut TimedFifo) -> Step {
         if self.staged.is_none() {
             let Some(avail) = from.front_ready() else {
                 return Step::Blocked;
             };
-            let (_, word) = from
+            let (_, mut word) = from
                 .pop(self.time())
                 .expect("front_ready implies non-empty");
             let cost = self.params.word_cycles(&word);
@@ -105,6 +128,25 @@ impl Link {
             // from the integer-rounded pop time — otherwise every word pays
             // a rounding surcharge.
             self.clock = self.clock.max(avail as f64) + cost;
+            if let Some((plan, site)) = &self.faults {
+                match plan.link_fault(*site, self.moved + self.dropped) {
+                    Some(LinkFault::Drop) => {
+                        // Wire time is spent; the word is gone.
+                        self.dropped += 1;
+                        return Step::Progressed;
+                    }
+                    Some(LinkFault::Corrupt(mask)) => {
+                        // Payload only: addresses carry hardware parity on
+                        // both machines, so corruption an end-to-end
+                        // checksum must catch lives in the data.
+                        word.data ^= mask;
+                    }
+                    Some(LinkFault::Delay(extra)) => {
+                        self.clock += extra as f64;
+                    }
+                    None => {}
+                }
+            }
             self.staged = Some(word);
         }
         let word = self.staged.expect("staged above");
@@ -252,5 +294,59 @@ mod tests {
         let mut to = TimedFifo::new(4);
         let mut link = Link::new(params());
         assert_eq!(link.step(&mut from, &mut to), Step::Blocked);
+    }
+
+    #[test]
+    fn faulty_link_drops_and_corrupts_deterministically() {
+        use memcomm_memsim::fault::{site, FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 42,
+            rate: 0.5,
+            ..FaultConfig::default()
+        });
+        let run = || {
+            let n = 200u64;
+            let mut from = TimedFifo::new(n as usize);
+            let mut to = TimedFifo::new(n as usize);
+            for i in 0..n {
+                from.push(0, NetWord::data(i)).unwrap();
+            }
+            let mut link = Link::with_faults(params(), plan, site::LINK_FORWARD);
+            while link.moved() + link.dropped() < n {
+                assert_eq!(link.step(&mut from, &mut to), Step::Progressed);
+            }
+            let delivered: Vec<u64> =
+                std::iter::from_fn(|| to.pop(u64::MAX / 2).map(|(_, w)| w.data)).collect();
+            (link.moved(), link.dropped(), delivered)
+        };
+        let (moved_a, dropped_a, delivered_a) = run();
+        let (moved_b, dropped_b, delivered_b) = run();
+        assert_eq!(moved_a, moved_b, "replay must drop the same words");
+        assert_eq!(dropped_a, dropped_b);
+        assert_eq!(delivered_a, delivered_b, "replay must corrupt identically");
+        assert!(dropped_a > 0, "rate 0.5 over 200 words must drop some");
+        assert!(
+            delivered_a.iter().any(|&d| d >= 200),
+            "some payloads must be corrupted"
+        );
+    }
+
+    #[test]
+    fn zero_rate_plan_is_a_clean_link() {
+        use memcomm_memsim::fault::{site, FaultPlan};
+        let n = 100u64;
+        let mut from = TimedFifo::new(n as usize);
+        let mut to = TimedFifo::new(n as usize);
+        for i in 0..n {
+            from.push(0, NetWord::data(i)).unwrap();
+        }
+        let mut link = Link::with_faults(params(), FaultPlan::disabled(), site::LINK_FORWARD);
+        while link.moved() < n {
+            link.step(&mut from, &mut to);
+        }
+        assert_eq!(link.dropped(), 0);
+        let delivered: Vec<u64> =
+            std::iter::from_fn(|| to.pop(u64::MAX / 2).map(|(_, w)| w.data)).collect();
+        assert_eq!(delivered, (0..n).collect::<Vec<_>>());
     }
 }

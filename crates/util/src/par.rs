@@ -62,7 +62,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                // Re-raise the worker's own payload so callers catching the
+                // panic see the original message, not a generic wrapper.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
@@ -118,7 +123,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         let items: Vec<u32> = (0..64).collect();
         let _ = par_map(4, &items, |&x| {

@@ -27,7 +27,8 @@ fn rate(machine: &Machine, cfg: &ExchangeConfig) -> f64 {
         AccessPattern::strided(64).unwrap(),
         Style::Chained,
         cfg,
-    );
+    )
+    .expect("simulates");
     assert!(r.verified);
     r.per_node(machine.clock()).as_mbps()
 }

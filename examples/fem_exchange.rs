@@ -82,7 +82,7 @@ fn main() {
         CommMethod::BufferPacking,
         CommMethod::Chained,
     ] {
-        let m = kernel.measure(&t3d, method);
+        let m = kernel.measure(&t3d, method).expect("simulates");
         assert!(m.verified);
         println!("  {:<15} {}", m.method, m.per_node);
     }

@@ -53,8 +53,8 @@ fn main() {
     };
     let src = to_spec(&spec.src_locals);
     let dst = to_spec(&spec.dst_locals);
-    let bp = run_exchange_specs(&t3d, &src, &dst, Style::BufferPacking, &cfg);
-    let ch = run_exchange_specs(&t3d, &src, &dst, Style::Chained, &cfg);
+    let bp = run_exchange_specs(&t3d, &src, &dst, Style::BufferPacking, &cfg).expect("simulates");
+    let ch = run_exchange_specs(&t3d, &src, &dst, Style::Chained, &cfg).expect("simulates");
     assert!(
         bp.verified && ch.verified,
         "redistribution moved wrong elements"

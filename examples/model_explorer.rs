@@ -49,7 +49,7 @@ fn main() -> Result<(), String> {
         "measuring basic transfers of the simulated {} ...",
         machine.name
     );
-    let rates = microbench::measure_table(&machine, 8192);
+    let rates = microbench::measure_table(&machine, 8192).map_err(|e| e.to_string())?;
     let bp_plan = BufferPackingPlan {
         send: if machine.caps.fetch_send {
             SendEngine::Dma
@@ -83,8 +83,10 @@ fn main() -> Result<(), String> {
             words: 4096,
             ..ExchangeConfig::default()
         };
-        let bp_sim = run_exchange(&machine, x, y, Style::BufferPacking, &cfg);
-        let ch_sim = run_exchange(&machine, x, y, Style::Chained, &cfg);
+        let bp_sim =
+            run_exchange(&machine, x, y, Style::BufferPacking, &cfg).map_err(|e| e.to_string())?;
+        let ch_sim =
+            run_exchange(&machine, x, y, Style::Chained, &cfg).map_err(|e| e.to_string())?;
         println!("  model:      bp {bp_est}, chained {ch_est}");
         println!(
             "  simulated:  bp {}, chained {} (verified: {})",

@@ -42,8 +42,10 @@ fn main() {
     for machine in [Machine::t3d(), Machine::paragon()] {
         println!("== {} ==", machine.name);
         for (name, send, recv) in &cases {
-            let pack = run_datatype_exchange(&machine, send, recv, DatatypeMethod::Pack, &cfg);
-            let direct = run_datatype_exchange(&machine, send, recv, DatatypeMethod::Direct, &cfg);
+            let pack = run_datatype_exchange(&machine, send, recv, DatatypeMethod::Pack, &cfg)
+                .expect("simulates");
+            let direct = run_datatype_exchange(&machine, send, recv, DatatypeMethod::Direct, &cfg)
+                .expect("simulates");
             assert!(pack.verified && direct.verified, "{name}: data corrupted");
             let p = pack.per_node(machine.clock()).as_mbps();
             let d = direct.per_node(machine.clock()).as_mbps();

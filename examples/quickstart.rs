@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 2: measure the machine's basic transfers (Tables 1-4) on the
     // simulator and estimate both implementations.
-    let rates = microbench::measure_table(&t3d, 8192);
+    let rates = microbench::measure_table(&t3d, 8192)?;
     println!(
         "\nmodel estimates from {} simulated basic rates:",
         rates.len()
@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         words: 8192,
         ..ExchangeConfig::default()
     };
-    let bp_run = run_exchange(&t3d, x, y, Style::BufferPacking, &cfg);
-    let ch_run = run_exchange(&t3d, x, y, Style::Chained, &cfg);
+    let bp_run = run_exchange(&t3d, x, y, Style::BufferPacking, &cfg)?;
+    let ch_run = run_exchange(&t3d, x, y, Style::Chained, &cfg)?;
     assert!(
         bp_run.verified && ch_run.verified,
         "transfers moved real data"

@@ -24,7 +24,7 @@ fn check_agreement(machine: &Machine, rates: &RateTable, op: &str, style: Style,
     };
     let estimate = expr.estimate(rates).expect("rates cover the op").as_mbps();
     let cfg = memcomm_bench::experiments::paper_exchange_cfg(machine, EXCHANGE_WORDS);
-    let run = run_exchange(machine, x, y, style, &cfg);
+    let run = run_exchange(machine, x, y, style, &cfg).expect("simulates");
     assert!(run.verified, "{op} moved wrong data");
     let simulated = run.per_node(machine.clock()).as_mbps();
     let ratio = simulated / estimate;
@@ -38,7 +38,7 @@ fn check_agreement(machine: &Machine, rates: &RateTable, op: &str, style: Style,
 #[test]
 fn t3d_buffer_packing_matches_its_model() {
     let m = Machine::t3d();
-    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    let rates = microbench::measure_table(&m, MICRO_WORDS).expect("simulates");
     // Buffer packing is the model's home turf: the reciprocal-sum rule is
     // exact for a time-shared processor.
     for op in ["1Q1", "1Q64", "64Q1", "wQw", "1Q16"] {
@@ -49,7 +49,7 @@ fn t3d_buffer_packing_matches_its_model() {
 #[test]
 fn paragon_buffer_packing_matches_its_model() {
     let m = Machine::paragon();
-    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    let rates = microbench::measure_table(&m, MICRO_WORDS).expect("simulates");
     for op in ["1Q1", "1Q64", "wQw"] {
         check_agreement(&m, &rates, op, Style::BufferPacking, 0.25);
     }
@@ -60,7 +60,7 @@ fn chained_contiguous_matches_its_model() {
     // For contiguous chained transfers no memory contention couples sender
     // and receiver, so the min rule holds well.
     let m = Machine::t3d();
-    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    let rates = microbench::measure_table(&m, MICRO_WORDS).expect("simulates");
     check_agreement(&m, &rates, "1Q1", Style::Chained, 0.20);
 }
 
@@ -71,7 +71,7 @@ fn chained_noncontiguous_runs_below_the_min_rule_as_the_paper_measured() {
     // 27.4) because send and receive share each node's memory system. Our
     // simulation reproduces that one-sided gap.
     let m = Machine::t3d();
-    let rates = microbench::measure_table(&m, MICRO_WORDS);
+    let rates = microbench::measure_table(&m, MICRO_WORDS).expect("simulates");
     let (x, y) = parse_q("64Q1");
     let est = memcomm::model::chained_expr(x, y, chained_plan(&m))
         .unwrap()
@@ -83,6 +83,7 @@ fn chained_noncontiguous_runs_below_the_min_rule_as_the_paper_measured() {
         ..ExchangeConfig::default()
     };
     let sim = run_exchange(&m, x, y, Style::Chained, &cfg)
+        .expect("simulates")
         .per_node(m.clock())
         .as_mbps();
     assert!(
@@ -98,8 +99,8 @@ fn chained_noncontiguous_runs_below_the_min_rule_as_the_paper_measured() {
 #[test]
 fn section_341_reproduces_the_worked_example_shape() {
     let t3d = Machine::t3d();
-    let rates = microbench::measure_table(&t3d, MICRO_WORDS);
-    let s = memcomm_bench::experiments::section341(&rates);
+    let rates = microbench::measure_table(&t3d, MICRO_WORDS).expect("simulates");
+    let s = memcomm_bench::experiments::section341(&rates).expect("simulates");
     // The paper: estimate 25.0, measured 20.0 — the estimate is higher, and
     // both land in the same band. Our absolute values run ~25% above the
     // 1995 hardware; the *relationship* must match.
@@ -127,7 +128,7 @@ fn section_341_reproduces_the_worked_example_shape() {
 fn symmetric_resource_constraints_hold() {
     use memcomm::model::{buffer_packing_expr, symmetric_exchange_caps, BasicTransfer};
     for m in [Machine::t3d(), Machine::paragon()] {
-        let rates = microbench::measure_table(&m, MICRO_WORDS);
+        let rates = microbench::measure_table(&m, MICRO_WORDS).expect("simulates");
         for op in ["1Q1", "1Q64", "wQw"] {
             let (x, y) = parse_q(op);
             let expr = buffer_packing_expr(x, y, bp_plan(&m)).unwrap();
@@ -142,6 +143,7 @@ fn symmetric_resource_constraints_hold() {
             let load = rates.rate(BasicTransfer::load_stream(x)).unwrap();
             let cfg = memcomm_bench::experiments::paper_exchange_cfg(&m, EXCHANGE_WORDS);
             let sim = run_exchange(&m, x, y, Style::BufferPacking, &cfg)
+                .expect("simulates")
                 .per_node(m.clock())
                 .as_mbps();
             assert!(
@@ -165,7 +167,7 @@ fn every_pattern_combination_delivers_correct_data() {
                         words: 512,
                         ..ExchangeConfig::default()
                     };
-                    let r = run_exchange(&m, x, y, style, &cfg);
+                    let r = run_exchange(&m, x, y, style, &cfg).expect("simulates");
                     assert!(
                         r.verified,
                         "{} {x}Q{y} {style:?} corrupted the exchanged data",

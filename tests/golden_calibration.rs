@@ -49,7 +49,7 @@ fn calibrated_rates_match_the_golden_file() {
             "Intel Paragon" => Machine::paragon(),
             other => panic!("unknown golden machine {other:?}"),
         };
-        let report = calibrate::calibration_report(&machine, words);
+        let report = calibrate::calibration_report(&machine, words).expect("simulates");
 
         let rows = entry.get("rows").and_then(Json::as_arr).expect("rows");
         assert_eq!(

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 
+use memcomm_bench::experiments::FaultSettings;
 use memcomm_bench::runner::{run_sweep, SweepOptions};
 use memcomm_machines::memo;
 
@@ -24,6 +25,17 @@ fn opts(jobs: usize) -> SweepOptions {
         micro_words: 1024,
         exchange_words: 256,
         sections,
+        ..SweepOptions::default()
+    }
+}
+
+fn fault_opts(jobs: usize, settings: FaultSettings) -> SweepOptions {
+    SweepOptions {
+        jobs,
+        micro_words: 1024,
+        exchange_words: 256,
+        sections: ["table1", "faults"].iter().map(|s| s.to_string()).collect(),
+        faults: settings,
     }
 }
 
@@ -65,4 +77,41 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     assert_eq!(again.to_json().render(), parallel_json);
     // The warm run answers everything from the cache.
     assert_eq!(again_metrics.cache.misses, 0, "{again_metrics:?}");
+
+    // --- Fault-plan determinism (the robustness section's contract) ---
+
+    // A seeded fault plan is replayable: the same seed renders byte-identical
+    // JSON whatever the worker count. Fault decisions are pure functions of
+    // (site, index), so scheduling cannot reorder them into a different run.
+    let seeded = FaultSettings {
+        seed: 42,
+        rate: 0.02,
+        outage_rate: 0.005,
+        ..FaultSettings::default()
+    };
+    memo::reset();
+    let (faulted_serial, _) = run_sweep(&fault_opts(1, seeded));
+    memo::reset();
+    let (faulted_parallel, _) = run_sweep(&fault_opts(4, seeded));
+    assert_eq!(
+        faulted_serial.to_json().render(),
+        faulted_parallel.to_json().render(),
+        "a seeded fault plan must replay byte-identically at any worker count"
+    );
+
+    // A zero-rate plan is indistinguishable from no plan at all: the seed
+    // must leave no trace in the report (it lives in RunMetrics only).
+    let zero_rate = FaultSettings {
+        seed: 0xDEAD_BEEF,
+        ..FaultSettings::default()
+    };
+    memo::reset();
+    let (with_seed, _) = run_sweep(&fault_opts(1, zero_rate));
+    memo::reset();
+    let (without, _) = run_sweep(&fault_opts(1, FaultSettings::default()));
+    assert_eq!(
+        with_seed.to_json().render(),
+        without.to_json().render(),
+        "a zero-fault configuration must be byte-identical to the faultless baseline"
+    );
 }

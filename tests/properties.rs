@@ -34,7 +34,7 @@ fn exchanges_always_verify_and_stay_physical() {
             words,
             ..ExchangeConfig::default()
         };
-        let r = run_exchange(&machine, x, y, style, &cfg);
+        let r = run_exchange(&machine, x, y, style, &cfg).expect("simulates");
         assert!(r.verified);
         let rate = r.per_node(machine.clock()).as_mbps();
         assert!(rate > 0.0);
@@ -61,7 +61,8 @@ fn stride_rates_do_not_improve_with_distance() {
                 AccessPattern::strided(s).unwrap(),
             );
             microbench::measure_rate(&machine, t, 2048)
-                .unwrap()
+                .expect("simulates")
+                .expect("T3D copies any pattern")
                 .as_mbps()
         };
         assert!(r(s2) <= r(s1) * 1.6, "stride {s2} beat stride {s1}");
@@ -106,6 +107,45 @@ fn redistributions_conserve_and_classify() {
                 _ => {}
             }
             let _ = y;
+        }
+    });
+}
+
+/// A resilient transfer is a pure function of its fault plan: replaying
+/// the same seeded plan gives the same full `Result` — identical timing,
+/// retransmission count and degradation, or the identical typed error.
+#[test]
+fn resilient_transfers_replay_identically() {
+    use memcomm::commops::{run_resilient_transfer, ProtocolConfig};
+    use memcomm::memsim::fault::{FaultConfig, FaultPlan};
+    forall("resilient_transfers_replay_identically", 12, |rng| {
+        let machine = if rng.bool() {
+            Machine::t3d()
+        } else {
+            Machine::paragon()
+        };
+        let x = random_pattern(rng);
+        let y = random_pattern(rng);
+        let style = if rng.bool() {
+            Style::Chained
+        } else {
+            Style::BufferPacking
+        };
+        let plan = FaultPlan::new(FaultConfig {
+            seed: rng.range_u64(0, u64::MAX - 1),
+            rate: f64::from(rng.range_u32(0, 30)) / 1000.0,
+            outage_rate: f64::from(rng.range_u32(0, 10)) / 1000.0,
+            ..FaultConfig::default()
+        });
+        let cfg = ProtocolConfig {
+            words: rng.range_u64(64, 512),
+            ..ProtocolConfig::default()
+        };
+        let a = run_resilient_transfer(&machine, x, y, style, plan, &cfg);
+        let b = run_resilient_transfer(&machine, x, y, style, plan, &cfg);
+        assert_eq!(a, b, "same plan, same outcome");
+        if let Ok(report) = a {
+            assert!(report.verified, "recovered transfers deliver correct data");
         }
     });
 }

@@ -12,6 +12,7 @@ const WORDS: u64 = 4096;
 fn rate(machine: &Machine, op: &str) -> f64 {
     let t = BasicTransfer::parse(op).expect("notation");
     microbench::measure_rate(machine, t, WORDS)
+        .expect("simulates")
         .unwrap_or_else(|| panic!("{} lacks {op}", machine.name))
         .as_mbps()
 }
@@ -45,13 +46,15 @@ fn figure4_crossover_shows_in_the_stride_sweep() {
         &strides,
         WORDS,
         microbench::StrideSide::Loads,
-    );
+    )
+    .expect("simulates");
     let t3d_stores = microbench::stride_sweep(
         &Machine::t3d(),
         &strides,
         WORDS,
         microbench::StrideSide::Stores,
-    );
+    )
+    .expect("simulates");
     for ((_, l), (_, s)) in t3d_loads.iter().zip(&t3d_stores).skip(1) {
         assert!(s > l, "T3D strided stores win at every large stride");
     }
@@ -94,8 +97,8 @@ fn chained_beats_buffer_packing_by_the_papers_factors() {
     for op in [("1Q64", 1.1, 2.4), ("64Q1", 1.1, 2.4), ("wQw", 1.2, 2.4)] {
         let (name, lo, hi) = op;
         let (x, y) = memcomm_bench::experiments::parse_q(name);
-        let bp = run_exchange(&t3d, x, y, Style::BufferPacking, &cfg);
-        let ch = run_exchange(&t3d, x, y, Style::Chained, &cfg);
+        let bp = run_exchange(&t3d, x, y, Style::BufferPacking, &cfg).expect("simulates");
+        let ch = run_exchange(&t3d, x, y, Style::Chained, &cfg).expect("simulates");
         assert!(bp.verified && ch.verified);
         let factor = ch.per_node(t3d.clock()).as_mbps() / bp.per_node(t3d.clock()).as_mbps();
         assert!(
@@ -118,14 +121,16 @@ fn contiguous_chaining_wins_big_by_skipping_copies() {
         AccessPattern::Contiguous,
         Style::BufferPacking,
         &cfg,
-    );
+    )
+    .expect("simulates");
     let ch = run_exchange(
         &t3d,
         AccessPattern::Contiguous,
         AccessPattern::Contiguous,
         Style::Chained,
         &cfg,
-    );
+    )
+    .expect("simulates");
     let factor = ch.per_node(t3d.clock()).as_mbps() / bp.per_node(t3d.clock()).as_mbps();
     // The paper predicts 70 vs 27.9 — about 2.5x.
     assert!((1.8..3.2).contains(&factor), "factor {factor:.2}");
@@ -134,7 +139,7 @@ fn contiguous_chaining_wins_big_by_skipping_copies() {
 #[test]
 fn calibration_stays_tight() {
     for m in [Machine::t3d(), Machine::paragon()] {
-        let rows = calibration_report(&m, WORDS);
+        let rows = calibration_report(&m, WORDS).expect("simulates");
         let err = mean_log_error(&rows);
         assert!(
             err < 0.30,
@@ -155,7 +160,9 @@ fn paragon_dma_outruns_its_processor_send() {
 fn t3d_deposit_engine_serves_any_pattern_paragon_does_not() {
     let t3d = Machine::t3d();
     let dw = BasicTransfer::parse("0Dw").expect("notation");
-    assert!(microbench::measure_basic(&t3d, dw, 512).is_some());
+    assert!(microbench::measure_basic(&t3d, dw, 512).unwrap().is_some());
     let paragon = Machine::paragon();
-    assert!(microbench::measure_basic(&paragon, dw, 512).is_none());
+    assert!(microbench::measure_basic(&paragon, dw, 512)
+        .unwrap()
+        .is_none());
 }

@@ -67,8 +67,8 @@ fn exchanges_are_deterministic() {
             &cfg,
         )
     };
-    let a = run();
-    let b = run();
+    let a = run().expect("simulates");
+    let b = run().expect("simulates");
     assert_eq!(a.end_cycle, b.end_cycle);
     assert_eq!(a.verified, b.verified);
 }
@@ -77,8 +77,8 @@ fn exchanges_are_deterministic() {
 #[test]
 fn rate_tables_are_deterministic() {
     let m = Machine::paragon();
-    let a = microbench::measure_table(&m, 1024);
-    let b = microbench::measure_table(&m, 1024);
+    let a = microbench::measure_table(&m, 1024).expect("simulates");
+    let b = microbench::measure_table(&m, 1024).expect("simulates");
     assert_eq!(a.len(), b.len());
     for (ta, tb) in a.iter().zip(b.iter()) {
         assert_eq!(ta.0, tb.0);
@@ -105,8 +105,8 @@ fn seeds_change_timing_not_correctness() {
             &cfg,
         )
     };
-    let a = run(1);
-    let b = run(2);
+    let a = run(1).expect("simulates");
+    let b = run(2).expect("simulates");
     assert!(a.verified && b.verified);
     assert_ne!(
         a.end_cycle, b.end_cycle,

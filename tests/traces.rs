@@ -10,10 +10,11 @@ use memcomm::model::AccessPattern;
 fn communication_streams_have_no_temporal_locality() {
     let m = Machine::t3d();
     let mut node = microbench::make_node(&m);
-    let src = microbench::alloc_pattern_walk(&mut node, AccessPattern::Indexed, 4096, 7);
-    let dst = microbench::alloc_pattern_walk(&mut node, AccessPattern::Contiguous, 4096, 8);
+    let src = microbench::alloc_pattern_walk(&mut node, AccessPattern::Indexed, 4096, 7).unwrap();
+    let dst =
+        microbench::alloc_pattern_walk(&mut node, AccessPattern::Contiguous, 4096, 8).unwrap();
     node.path.enable_tracing();
-    scenario::run_local_copy(&mut node, &src, &dst);
+    scenario::run_local_copy(&mut node, &src, &dst).expect("simulates");
     let trace = node.path.take_trace().expect("tracing was on");
     assert!(!trace.is_empty());
     // Look at the gather's data loads over the operand region only (the
@@ -39,10 +40,11 @@ fn spatial_locality_separates_patterns_in_the_trace() {
     let row_bytes = m.node.path.dram.row_bytes;
     let trace_of = |pattern: AccessPattern| {
         let mut node = microbench::make_node(&m);
-        let src = microbench::alloc_pattern_walk(&mut node, pattern, 4096, 7);
-        let dst = microbench::alloc_pattern_walk(&mut node, AccessPattern::Contiguous, 4096, 8);
+        let src = microbench::alloc_pattern_walk(&mut node, pattern, 4096, 7).unwrap();
+        let dst =
+            microbench::alloc_pattern_walk(&mut node, AccessPattern::Contiguous, 4096, 8).unwrap();
         node.path.enable_tracing();
-        scenario::run_local_copy(&mut node, &src, &dst);
+        scenario::run_local_copy(&mut node, &src, &dst).expect("simulates");
         node.path.take_trace().expect("tracing was on")
     };
     // Compare the *load streams*: the full trace interleaves loads, posted
@@ -72,9 +74,10 @@ fn chained_exchanges_interleave_requesters() {
     let m = Machine::t3d();
     let mut node = microbench::make_node(&m);
     let dst =
-        microbench::alloc_pattern_walk(&mut node, AccessPattern::strided(8).unwrap(), 1024, 3);
+        microbench::alloc_pattern_walk(&mut node, AccessPattern::strided(8).unwrap(), 1024, 3)
+            .unwrap();
     node.path.enable_tracing();
-    scenario::run_receive_deposit(&mut node, &dst, true, 8);
+    scenario::run_receive_deposit(&mut node, &dst, true, 8).expect("simulates");
     let trace = node.path.take_trace().expect("tracing was on");
     let engine_refs = trace
         .entries()
@@ -98,5 +101,5 @@ fn chained_exchanges_interleave_requesters() {
             ..ExchangeConfig::default()
         },
     );
-    assert!(r.verified);
+    assert!(r.expect("simulates").verified);
 }
