@@ -1,0 +1,57 @@
+//! Prints the measured vs model-predicted stage split for buffer packing
+//! vs chained transfers across contiguous (`1`), strided (`n`) and indexed
+//! (`ω`) access patterns on both machines.
+//!
+//! ```text
+//! cargo run -p memcomm-bench --example phase_breakdown
+//! ```
+
+use memcomm_bench::phases::{phase_breakdown, PhaseRow};
+use memcomm_machines::{microbench, Machine};
+use memcomm_memsim::SimResult;
+
+const MICRO_WORDS: u64 = 4 * 1024;
+const EXCHANGE_WORDS: u64 = 2 * 1024;
+
+fn main() -> SimResult<()> {
+    for machine in [Machine::t3d(), Machine::paragon()] {
+        let rates = microbench::measure_table(&machine, MICRO_WORDS)?;
+        let rows = phase_breakdown(&machine, &rates, EXCHANGE_WORDS)?;
+        println!(
+            "## {} — {} words per exchange (stage shares, simulated vs model)\n",
+            machine.name, EXCHANGE_WORDS
+        );
+        for row in &rows {
+            print_row(row);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn print_row(row: &PhaseRow) {
+    let sim_total: f64 = row.sim.iter().map(|&c| c as f64).sum();
+    let model_total: f64 = row.model.iter().sum();
+    println!(
+        "{:>5} {:<7}  {:>9} cycles  attribution error {:>5.1}%",
+        row.op,
+        row.style,
+        row.end_cycle,
+        row.attribution_error * 100.0
+    );
+    for (i, stage) in PhaseRow::STAGES.iter().enumerate() {
+        if row.sim[i] == 0 && row.model[i] == 0.0 {
+            continue;
+        }
+        let sim_share = 100.0 * row.sim[i] as f64 / sim_total.max(1.0);
+        let model_share = if model_total > 0.0 {
+            100.0 * row.model[i] / model_total
+        } else {
+            0.0
+        };
+        println!(
+            "        {:<8} sim {:>8} cyc ({:>5.1}%)   model {:>9.0} cyc ({:>5.1}%)",
+            stage, row.sim[i], sim_share, row.model[i], model_share
+        );
+    }
+}

@@ -6,7 +6,8 @@
 //!       [--table6] [--calibration] [--putget] [--scaling] [--accuracy]
 //!       [--words N] [--exchange-words N] [--jobs N] [--serial]
 //!       [--faults SEED] [--fault-rate P] [--max-cycles N]
-//!       [--json PATH] [--metrics PATH]
+//!       [--json PATH] [--metrics PATH] [--phases]
+//!       [--trace-out PATH] [--profile PATH]
 //! ```
 //!
 //! With no selection flags everything runs. Experiments fan out across
@@ -24,9 +25,21 @@
 //! resilient transfer's cycle budget; transfers that exceed it report a
 //! per-point error instead of aborting the sweep. If any section fails,
 //! the failures are summarised on stderr and the exit status is 1.
+//!
+//! Observability: `--trace-out PATH` records cycle-accurate spans for
+//! every simulated scenario and writes a Chrome `trace_event` JSON file
+//! (load it at `chrome://tracing` or <https://ui.perfetto.dev>; validate it
+//! with the `tracecheck` binary). `--profile PATH` writes the same spans
+//! as a deterministic collapsed-stack text profile. `--phases` adds the
+//! per-stage attribution section — simulated `pack/send/wire/deposit/
+//! unpack` marginal cycles next to the model's predicted split per stage
+//! (it appears in `--json` output as the `phases` key only when run).
+//! Tracing never changes the report: the same sweep with and without
+//! `--trace-out` renders byte-identical report JSON.
 
 use memcomm_bench::report::TextTable;
 use memcomm_bench::runner::{self, SweepOptions};
+use memcomm_obs::Obs;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}; see the module docs for usage");
@@ -38,6 +51,8 @@ fn main() {
     let mut opts = SweepOptions::default();
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut it = args.iter();
     let number = |it: &mut std::slice::Iter<String>, flag: &str| -> u64 {
         match it.next().map(|v| v.parse()) {
@@ -80,6 +95,15 @@ fn main() {
                 Some(path) => metrics_path = Some(path.clone()),
                 None => usage_error("--metrics takes a path"),
             },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_path = Some(path.clone()),
+                None => usage_error("--trace-out takes a path"),
+            },
+            "--profile" => match it.next() {
+                Some(path) => profile_path = Some(path.clone()),
+                None => usage_error("--profile takes a path"),
+            },
+            "--phases" => opts.phases = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -103,6 +127,12 @@ fn main() {
         opts.exchange_words,
         opts.jobs.max(1)
     );
+
+    // One observability handle for the whole run: registry-only by default,
+    // trace-recording when an export was requested. The sweep adopts it, so
+    // the histograms and spans it accumulates are ours to export afterwards.
+    let obs = Obs::new(trace_path.is_some() || profile_path.is_some());
+    let _obs_guard = obs.install();
 
     let (report, metrics) = runner::run_sweep(&opts);
 
@@ -384,6 +414,49 @@ fn main() {
         println!("{t}");
     }
 
+    for s in &report.phases {
+        let mut t = TextTable::new(
+            &format!("Observability — per-stage attribution, {}", s.machine),
+            &[
+                "op", "style", "cycles", "pack", "send", "wire", "deposit", "unpack", "attr err",
+            ],
+        );
+        for r in &s.rows {
+            let cell = |i: usize| format!("{}/{:.0}", r.sim[i], r.model[i]);
+            t.row(vec![
+                r.op.clone(),
+                r.style.clone(),
+                r.end_cycle.to_string(),
+                cell(0),
+                cell(1),
+                cell(2),
+                cell(3),
+                cell(4),
+                format!("{:.2}", r.attribution_error),
+            ]);
+        }
+        println!("{t}");
+        println!("(stage cells: simulated cycles / model-predicted cycles)\n");
+    }
+
+    if metrics_path.is_some() && !metrics.histograms.is_empty() {
+        let mut t = TextTable::new(
+            "Run histograms — per-run registry (cycles or counts)",
+            &["metric", "count", "mean", "p50", "p99", "max"],
+        );
+        for (name, h) in &metrics.histograms {
+            t.row(vec![
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.1}", h.mean),
+                h.p50.to_string(),
+                h.p99.to_string(),
+                h.max.to_string(),
+            ]);
+        }
+        println!("{t}");
+    }
+
     eprintln!("sweep: {}", metrics.summary());
 
     let write = |path: &str, body: String, what: &str| {
@@ -398,6 +471,24 @@ fn main() {
     }
     if let Some(path) = metrics_path {
         write(&path, metrics.to_json().render(), "run metrics");
+    }
+    if let Some(path) = trace_path {
+        if obs.trace_dropped() > 0 {
+            eprintln!(
+                "trace buffer overflowed: {} events dropped",
+                obs.trace_dropped()
+            );
+        }
+        match obs.chrome_trace() {
+            Some(body) => write(&path, body, "chrome trace"),
+            None => eprintln!("tracing disabled; no trace written to {path}"),
+        }
+    }
+    if let Some(path) = profile_path {
+        match obs.flamegraph() {
+            Some(body) => write(&path, body, "profile"),
+            None => eprintln!("tracing disabled; no profile written to {path}"),
+        }
     }
 
     let failed: Vec<_> = report.sections.iter().filter(|s| !s.ok).collect();

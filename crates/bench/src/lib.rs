@@ -24,5 +24,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod phases;
 pub mod report;
 pub mod runner;

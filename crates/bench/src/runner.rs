@@ -24,6 +24,7 @@ use memcomm_machines::memo::{self, CacheStats};
 use memcomm_machines::{calibrate, microbench, Machine};
 use memcomm_memsim::stats::{self as simstats, FaultCounters, SimCounters};
 use memcomm_memsim::SimResult;
+use memcomm_obs::{HistogramSummary, Obs};
 use memcomm_util::json::Json;
 use memcomm_util::par;
 
@@ -65,6 +66,9 @@ pub struct SweepOptions {
     /// echoed into the report, so zero-rate runs are byte-identical
     /// whatever the seed.
     pub faults: experiments::FaultSettings,
+    /// Also run the per-stage phase-attribution breakdown (off by default;
+    /// not part of [`SECTIONS`] so default reports keep their exact bytes).
+    pub phases: bool,
 }
 
 impl Default for SweepOptions {
@@ -75,6 +79,7 @@ impl Default for SweepOptions {
             exchange_words: EXCHANGE_WORDS,
             sections: BTreeSet::new(),
             faults: experiments::FaultSettings::default(),
+            phases: false,
         }
     }
 }
@@ -165,6 +170,10 @@ pub struct FullReport {
     pub model_accuracy: Vec<MachineSeries<experiments::AccuracyRow>>,
     /// Robustness (fault-injection) series.
     pub faults: Vec<MachineSeries<experiments::FaultRow>>,
+    /// Per-stage phase attribution series (opt-in via
+    /// [`SweepOptions::phases`]; the JSON key is omitted when empty so
+    /// default runs render byte-identically to earlier versions).
+    pub phases: Vec<MachineSeries<crate::phases::PhaseRow>>,
     /// Per-section completion status, in evaluation order.
     pub sections: Vec<SectionStatus>,
 }
@@ -181,7 +190,7 @@ fn series<T>(list: &[MachineSeries<T>], row: impl Fn(&T) -> Json + Copy) -> Json
 impl FullReport {
     /// Renders the report as a deterministic JSON value.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs: Vec<(&'static str, Json)> = vec![
             ("micro_words", self.micro_words.into()),
             ("exchange_words", self.exchange_words.into()),
             (
@@ -340,18 +349,42 @@ impl FullReport {
                     ])
                 }),
             ),
-            (
-                "sections",
-                Json::arr(&self.sections, |st| {
-                    Json::obj([
-                        ("name", Json::str(&st.name)),
-                        ("ok", st.ok.into()),
-                        ("error", st.error.as_deref().map_or(Json::Null, Json::str)),
-                    ])
-                }),
-            ),
-        ])
+        ];
+        if !self.phases.is_empty() {
+            pairs.push(("phases", series(&self.phases, phase_row)));
+        }
+        pairs.push((
+            "sections",
+            Json::arr(&self.sections, |st| {
+                Json::obj([
+                    ("name", Json::str(&st.name)),
+                    ("ok", st.ok.into()),
+                    ("error", st.error.as_deref().map_or(Json::Null, Json::str)),
+                ])
+            }),
+        ));
+        Json::obj(pairs)
     }
+}
+
+fn phase_row(r: &crate::phases::PhaseRow) -> Json {
+    const IDX: [usize; 5] = [0, 1, 2, 3, 4];
+    Json::obj([
+        ("op", Json::str(&r.op)),
+        ("style", Json::str(&r.style)),
+        ("end_cycle", r.end_cycle.into()),
+        ("attribution_error", r.attribution_error.into()),
+        (
+            "stages",
+            Json::arr(&IDX, |&i| {
+                Json::obj([
+                    ("stage", Json::str(crate::phases::PhaseRow::STAGES[i])),
+                    ("sim_cycles", r.sim[i].into()),
+                    ("model_cycles", r.model[i].into()),
+                ])
+            }),
+        ),
+    ])
 }
 
 fn rate_row(r: &experiments::RateRow) -> Json {
@@ -391,6 +424,9 @@ pub struct RunMetrics {
     pub faults: FaultCounters,
     /// Total wall-clock milliseconds.
     pub wall_ms: f64,
+    /// Registry histogram summaries at the end of the run (protocol frame
+    /// latency, retries per frame, queue depths), sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
     /// Per-experiment breakdown.
     pub experiments: Vec<ExperimentMetrics>,
 }
@@ -413,6 +449,21 @@ impl RunMetrics {
             ("faults_degraded", self.faults.degraded.into()),
             ("faults_dropped", self.faults.dropped.into()),
             ("wall_ms", self.wall_ms.into()),
+            (
+                "histograms",
+                Json::arr(&self.histograms, |(name, h)| {
+                    Json::obj([
+                        ("name", Json::str(name)),
+                        ("count", h.count.into()),
+                        ("sum", h.sum.into()),
+                        ("min", h.min.into()),
+                        ("max", h.max.into()),
+                        ("mean", h.mean.into()),
+                        ("p50", h.p50.into()),
+                        ("p99", h.p99.into()),
+                    ])
+                }),
+            ),
             (
                 "experiments",
                 Json::arr(&self.experiments, |e| {
@@ -497,9 +548,19 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 /// records which completed.
 pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
     par::set_jobs(opts.jobs);
+    // Fault/protocol counters live in a per-run registry, not process-wide
+    // statics: adopt the caller's installed observability handle (so traces
+    // and histograms flow to it), or install a registry-only one of our own.
+    let ambient = Obs::current();
+    let obs = if ambient.is_enabled() {
+        ambient
+    } else {
+        Obs::new(false)
+    };
+    let _obs_guard = obs.install();
     let cache_before = memo::stats();
     let sim_before = simstats::counters();
-    let faults_before = simstats::fault_counters();
+    let faults_before = FaultCounters::from_obs(&obs);
     let start = Instant::now();
 
     let mut report = FullReport {
@@ -749,6 +810,24 @@ pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
         );
     }
 
+    if opts.phases {
+        run_section(
+            "phases",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                for m in &machines {
+                    let rates = microbench::measure_table(m, opts.micro_words)?;
+                    report.phases.push(MachineSeries {
+                        machine: m.name.to_string(),
+                        rows: crate::phases::phase_breakdown(m, &rates, opts.exchange_words)?,
+                    });
+                }
+                Ok(report.phases.iter().map(|s| s.rows.len() as u64).sum())
+            },
+        );
+    }
+
     report.sections = statuses;
 
     let metrics = RunMetrics {
@@ -756,8 +835,12 @@ pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
         points: experiment_metrics.iter().map(|e| e.points).sum(),
         cache: memo::stats().since(cache_before),
         sim: simstats::counters().since(sim_before),
-        faults: simstats::fault_counters().since(faults_before),
+        faults: FaultCounters::from_obs(&obs).since(faults_before),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        histograms: obs
+            .metrics_snapshot()
+            .map(|s| s.histograms)
+            .unwrap_or_default(),
         experiments: experiment_metrics,
     };
     (report, metrics)
@@ -851,6 +934,7 @@ mod tests {
                 max_cycles: Some(1),
                 ..crate::experiments::FaultSettings::default()
             },
+            phases: false,
         };
         let (report, _) = run_sweep(&opts);
         assert!(report.sections.iter().all(|s| s.ok));

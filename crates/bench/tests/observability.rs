@@ -1,0 +1,108 @@
+//! Observability contracts of the sweep engine.
+//!
+//! * With tracing and metrics enabled, the deterministic report must stay
+//!   byte-identical whatever the worker count — observability is strictly
+//!   read-only with respect to results.
+//! * The Chrome trace produced for a tiny fixed scenario must be
+//!   structurally valid: well-formed JSON, monotone timestamps per track,
+//!   balanced and properly nested `B`/`E` pairs.
+
+use std::collections::BTreeSet;
+
+use memcomm_bench::runner::{run_sweep, SweepOptions};
+use memcomm_commops::{run_exchange, ExchangeConfig, Style};
+use memcomm_machines::Machine;
+use memcomm_model::AccessPattern;
+use memcomm_obs::{chrome, Obs};
+
+fn obs_opts(jobs: usize) -> SweepOptions {
+    SweepOptions {
+        jobs,
+        micro_words: 1024,
+        exchange_words: 512,
+        sections: ["calibration", "table2", "accuracy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<BTreeSet<_>>(),
+        phases: true,
+        ..SweepOptions::default()
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_jobs_with_observability_on() {
+    // Both runs trace and meter; only the report bytes are compared.
+    let obs1 = Obs::new(true);
+    let serial = {
+        let _guard = obs1.install();
+        run_sweep(&obs_opts(1)).0.to_json().render()
+    };
+    let obs4 = Obs::new(true);
+    let parallel = {
+        let _guard = obs4.install();
+        run_sweep(&obs_opts(4)).0.to_json().render()
+    };
+    assert_eq!(
+        serial, parallel,
+        "observability must not perturb the deterministic report"
+    );
+    assert!(
+        serial.contains("\"phases\""),
+        "phase attribution must appear when requested"
+    );
+    // Both runs recorded spans of their own.
+    assert!(obs1.trace_len() > 0 && obs4.trace_len() > 0);
+}
+
+#[test]
+fn phases_key_is_absent_when_not_requested() {
+    let opts = SweepOptions {
+        phases: false,
+        ..obs_opts(1)
+    };
+    let (report, _) = run_sweep(&opts);
+    assert!(
+        !report.to_json().render().contains("\"phases\""),
+        "default reports must keep their pre-observability shape"
+    );
+}
+
+#[test]
+fn chrome_trace_of_a_tiny_scenario_is_structurally_valid() {
+    let obs = Obs::new(true);
+    let _guard = obs.install();
+    let machine = Machine::t3d();
+    let cfg = ExchangeConfig {
+        words: 128,
+        ..ExchangeConfig::default()
+    };
+    for style in [Style::BufferPacking, Style::Chained] {
+        let r = run_exchange(
+            &machine,
+            AccessPattern::Contiguous,
+            AccessPattern::strided(8).unwrap(),
+            style,
+            &cfg,
+        )
+        .expect("exchange");
+        assert!(r.verified);
+    }
+    assert_eq!(obs.trace_dropped(), 0, "tiny scenario must fit the buffer");
+
+    let text = obs.chrome_trace().expect("tracing is on");
+    let stats = chrome::validate(&text).expect("structurally valid trace");
+    assert!(stats.events > 0);
+    assert!(stats.spans > 0, "scenario and stage spans must be present");
+    assert!(
+        stats.tracks >= 3,
+        "scenario, phase and engine tracks expected, got {}",
+        stats.tracks
+    );
+    assert!(
+        stats.max_depth >= 2,
+        "stage spans must nest inside the scenario span"
+    );
+    for name in ["scenario", "pack", "wire"] {
+        assert!(text.contains(name), "trace must mention {name}");
+    }
+}

@@ -69,6 +69,48 @@ impl Default for ExchangeConfig {
     }
 }
 
+/// Per-stage completion cycles of one exchange, in pipeline order. This is
+/// pure simulation data (deterministic, independent of observability), so
+/// it may enter byte-deterministic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimeline {
+    /// Cycle each stage *finished*, indexed by [`PhaseTimeline::STAGES`].
+    /// `0` means the stage did not occur in this configuration (e.g. no
+    /// pack stage in a chained transfer).
+    pub completion: [Cycle; 5],
+}
+
+impl PhaseTimeline {
+    /// Stage names, in pipeline order: pack the send buffer, feed the NIC,
+    /// cross the wire, deposit into the receive side, unpack into place.
+    pub const STAGES: [&'static str; 5] = ["pack", "send", "wire", "deposit", "unpack"];
+
+    /// Telescoped per-stage marginal cycles: each present stage is charged
+    /// the cycles between the previous present stage's completion and its
+    /// own (clamped monotone), and the last present stage absorbs any tail
+    /// up to `end_cycle` — so the marginals always sum to exactly
+    /// `end_cycle`. Absent stages get zero.
+    pub fn marginals(&self, end_cycle: Cycle) -> [Cycle; 5] {
+        let mut out = [0; 5];
+        let mut running = 0;
+        let mut last_present = None;
+        for (i, &completion) in self.completion.iter().enumerate() {
+            if completion == 0 {
+                continue;
+            }
+            let c = completion.clamp(running, end_cycle);
+            out[i] = c - running;
+            running = c;
+            last_present = Some(i);
+        }
+        // Attribute the tail (agents idling out the clock, or an exchange
+        // with no stage markers at all) to the last stage that ran — or to
+        // the wire, which every exchange crosses.
+        out[last_present.unwrap_or(2)] += end_cycle - running;
+        out
+    }
+}
+
 /// Result of a symmetric exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExchangeResult {
@@ -78,6 +120,8 @@ pub struct ExchangeResult {
     pub end_cycle: Cycle,
     /// Whether both destinations hold exactly the peer's data.
     pub verified: bool,
+    /// Per-stage completion cycles in the A→B direction.
+    pub phases: PhaseTimeline,
 }
 
 impl ExchangeResult {
@@ -412,10 +456,24 @@ pub fn run_exchange_specs(
 ) -> SimResult<ExchangeResult> {
     let congestion = cfg.congestion.unwrap_or(machine.default_congestion);
     let b_sends = if cfg.full_duplex { cfg.words } else { 0 };
+    let obs = memcomm_obs::Obs::current();
+    // One trace process per measured point; opened before the links so
+    // their wire-busy spans land under it.
+    let label = format!(
+        "{} {}Q{} {}",
+        machine.name,
+        x.pattern(),
+        y.pattern(),
+        match style {
+            Style::BufferPacking => "bp",
+            Style::Chained => "chained",
+        }
+    );
+    let _point = obs.point_scope(&label);
     let mut a = build_side(machine, x, y, style, cfg, 0, cfg.words, b_sends)?;
     let mut b = build_side(machine, x, y, style, cfg, 1, b_sends, cfg.words)?;
-    let mut link_ab = Link::new(machine.link(congestion));
-    let mut link_ba = Link::new(machine.link(congestion));
+    let mut link_ab = Link::new(machine.link(congestion)).labeled("link.ab");
+    let mut link_ba = Link::new(machine.link(congestion)).labeled("link.ba");
     // Generous step bound: each word crosses several engines; the watchdog
     // exists to convert a wedged co-simulation into an error, not to be the
     // binding constraint of a healthy run.
@@ -487,11 +545,91 @@ pub fn run_exchange_specs(
         .max(link_ba.time());
     let verified = b.layout.verify_received(&b.node, 0)
         && (!cfg.full_duplex || a.layout.verify_received(&a.node, 1));
+    let phases = phase_timeline(&a, &b, &link_ab);
+    if obs.tracing() {
+        emit_trace(&obs, &label, &a, &b, &phases, end_cycle);
+    }
     Ok(ExchangeResult {
         words: cfg.words,
         end_cycle,
         verified,
+        phases,
     })
+}
+
+/// Extracts the A→B direction's per-stage completion cycles from the
+/// finished sides: pack and send from A's agents, wire from the forward
+/// link, deposit and unpack from B's.
+fn phase_timeline(a: &Side, b: &Side, link_ab: &Link) -> PhaseTimeline {
+    let mut phases = PhaseTimeline::default();
+    if let MainRole::Pipe(p) = &a.main {
+        phases.completion[0] = p.gather_end.unwrap_or(0);
+    }
+    phases.completion[1] = match (&a.main, &a.dma) {
+        (_, Some(q)) => q.t,
+        (MainRole::Pipe(p), None) => p.send_end.unwrap_or(0),
+        (MainRole::Chain(_), None) => a.cpu.t,
+    };
+    phases.completion[2] = link_ab.time();
+    phases.completion[3] = match (&b.deposit, &b.cop) {
+        (Some(d), _) => d.t,
+        (
+            None,
+            Some(Coproc {
+                duty: CopDuty::Receive(_),
+                cpu,
+            }),
+        ) => cpu.t,
+        _ => 0,
+    };
+    phases.completion[4] = match (&b.cop, &b.main) {
+        (
+            Some(Coproc {
+                duty: CopDuty::Scatter(p),
+                ..
+            }),
+            _,
+        ) => p.scatter_end.unwrap_or(0),
+        (_, MainRole::Pipe(p)) => p.scatter_end.unwrap_or(0),
+        _ => 0,
+    };
+    phases
+}
+
+/// Emits the exchange's trace spans under the current point scope: the
+/// scenario envelope, the telescoped phase breakdown, and one activity span
+/// per engine agent. Links emit their own wire-busy spans.
+fn emit_trace(
+    obs: &memcomm_obs::Obs,
+    label: &str,
+    a: &Side,
+    b: &Side,
+    phases: &PhaseTimeline,
+    end_cycle: Cycle,
+) {
+    obs.span("scenario", label, 0, end_cycle);
+    let mut running = 0;
+    for (stage, cycles) in PhaseTimeline::STAGES
+        .iter()
+        .zip(phases.marginals(end_cycle))
+    {
+        if cycles > 0 {
+            obs.span("phase", stage, running, running + cycles);
+        }
+        running += cycles;
+    }
+    for (track, side) in [("engine.a", a), ("engine.b", b)] {
+        obs.span(track, "main", 0, side.cpu.t);
+        if let Some(q) = &side.dma {
+            obs.span(track, "dma", 0, q.t);
+        }
+        if let Some(d) = &side.deposit {
+            obs.span(track, "deposit", 0, d.t);
+        }
+        if let Some(c) = &side.cop {
+            obs.span(track, "cop", 0, c.cpu.t);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -289,6 +289,7 @@ pub fn run_get_exchange(
         words: cfg.words,
         end_cycle,
         verified,
+        phases: crate::exchange::PhaseTimeline::default(),
     })
 }
 

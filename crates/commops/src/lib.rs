@@ -52,7 +52,9 @@ pub mod protocol;
 pub mod roles;
 
 pub use datatype::{run_datatype_exchange, Datatype, DatatypeMethod};
-pub use exchange::{run_exchange, run_exchange_specs, ExchangeConfig, ExchangeResult, Style};
+pub use exchange::{
+    run_exchange, run_exchange_specs, ExchangeConfig, ExchangeResult, PhaseTimeline, Style,
+};
 pub use get::run_get_exchange;
 pub use layout::WalkSpec;
 pub use library::{measure_message, LibraryProfile};

@@ -197,6 +197,9 @@ struct Sender {
     ctl_cycles: Cycle,
     poll_cycles: Cycle,
     t: Cycle,
+    obs: memcomm_obs::Obs,
+    /// Cycle the current frame's first attempt began (spans retries).
+    frame_start: Cycle,
 }
 
 impl Sender {
@@ -238,8 +241,26 @@ impl Sender {
             }
         }
         if acked {
+            // One frame delivered end to end: record its latency (first
+            // word of the first attempt to ack receipt), how many attempts
+            // it took, and the transmit-queue depth it left behind.
+            if self.obs.tracing() {
+                self.obs.span(
+                    "protocol.frame",
+                    &format!("frame {}", self.seq),
+                    self.frame_start,
+                    self.t,
+                );
+            }
+            self.obs
+                .observe("protocol.frame_latency", self.t - self.frame_start);
+            self.obs
+                .observe("protocol.frame_attempts", u64::from(self.attempt) + 1);
+            self.obs
+                .observe("protocol.tx_queue_depth", node.tx.len() as u64);
             self.seq += 1;
             self.attempt = 0;
+            self.frame_start = self.t;
             self.state = if self.seq == self.frames {
                 SendState::Done
             } else {
@@ -289,7 +310,8 @@ impl Sender {
                     }
                     self.attempt += 1;
                     self.retransmissions += 1;
-                    stats::record_fault_retried();
+                    self.obs.count(stats::fault_metric::RETRIED, 1);
+                    self.obs.instant("protocol.frame", "retry", self.t);
                     self.state = SendState::Sending { pos: 0 };
                 } else {
                     // Spin-poll the ack channel; the clock must advance so
@@ -442,6 +464,16 @@ pub fn run_resilient_transfer(
             detail: "a resilient transfer needs at least one word and one frame word".to_string(),
         });
     }
+    let obs = memcomm_obs::Obs::current();
+    let label = format!(
+        "{} resilient {x}Q{y} {}",
+        machine.name,
+        match style {
+            Style::BufferPacking => "bp",
+            Style::Chained => "chained",
+        }
+    );
+    let _point = obs.point_scope(&label);
     let mut a = Node::new(machine.node);
     let mut b = Node::new(machine.node);
     let layout_a = ExchangeLayout::new(&mut a, x, y, cfg.words, cfg.seed, 0)?;
@@ -454,7 +486,9 @@ pub fn run_resilient_transfer(
     let chained = style == Style::Chained && !deposit_down;
     let degraded = style == Style::Chained && deposit_down;
     if degraded {
-        stats::record_fault_degraded();
+        // The outage is itself a fired fault decision.
+        obs.count(stats::fault_metric::INJECTED, 1);
+        obs.count(stats::fault_metric::DEGRADED, 1);
     }
 
     let cpu = machine.node.cpu;
@@ -498,6 +532,8 @@ pub fn run_resilient_transfer(
         ctl_cycles: cpu.port_store_cycles,
         poll_cycles: cpu.port_load_cycles.max(8),
         t: 0,
+        obs: obs.clone(),
+        frame_start: 0,
     };
     let mut receiver = Receiver {
         dst: layout_b.dst.slice(0, cfg.words),
@@ -520,8 +556,10 @@ pub fn run_resilient_transfer(
     a.tx.set_faults(plan, site::TX_FIFO);
     b.rx.set_faults(plan, site::RX_FIFO);
     let congestion = machine.default_congestion;
-    let mut fwd = Link::with_faults(machine.link(congestion), plan, site::LINK_FORWARD);
-    let mut rev = Link::with_faults(machine.link(congestion), plan, site::LINK_REVERSE);
+    let mut fwd =
+        Link::with_faults(machine.link(congestion), plan, site::LINK_FORWARD).labeled("link.fwd");
+    let mut rev =
+        Link::with_faults(machine.link(congestion), plan, site::LINK_REVERSE).labeled("link.rev");
 
     let budget_steps = (u64::from(cfg.max_retries) + 2) * (64 * cfg.words + 10 * frames) + 100_000;
     let mut watchdog = Watchdog::new(budget_steps).with_cycle_budget(cfg.max_cycles);
@@ -572,6 +610,11 @@ pub fn run_resilient_transfer(
     }
 
     let end_cycle = sender.t.max(receiver.t).max(fwd.time()).max(rev.time());
+    if obs.tracing() {
+        obs.span("scenario", &label, 0, end_cycle);
+        obs.span("engine.a", "sender", 0, sender.t);
+        obs.span("engine.b", "receiver", 0, receiver.t);
+    }
     let verified =
         (0..cfg.words).all(|i| b.mem.read(receiver.dst.addr(i)) == ExchangeLayout::value(0, i));
     Ok(TransferReport {

@@ -47,6 +47,13 @@ pub struct PipelinedCpu {
     scattered: u64,
     /// Completion cycle of each gathered chunk (read by the DMA queue).
     pub gather_done: Vec<Cycle>,
+    /// Cycle the last chunk finished gathering (`None` until then, or when
+    /// the pipeline had no gather duty). Feeds the phase timeline.
+    pub gather_end: Option<Cycle>,
+    /// Cycle the last chunk finished its processor send.
+    pub send_end: Option<Cycle>,
+    /// Cycle the last chunk finished scattering.
+    pub scatter_end: Option<Cycle>,
 }
 
 impl PipelinedCpu {
@@ -81,6 +88,9 @@ impl PipelinedCpu {
             sent: 0,
             scattered: 0,
             gather_done,
+            gather_end: None,
+            send_end: None,
+            scatter_end: None,
         }
     }
 
@@ -142,6 +152,9 @@ impl PipelinedCpu {
                     Step::Done => {
                         self.scatter_op = None;
                         self.scattered += 1;
+                        if self.scattered == self.recv_chunks {
+                            self.scatter_end = Some(cpu.t);
+                        }
                     }
                     Step::Progressed => {}
                     Step::Blocked => unreachable!("local copies never block"),
@@ -160,6 +173,9 @@ impl PipelinedCpu {
                     Step::Done => {
                         self.send_op = None;
                         self.sent += 1;
+                        if self.sent == self.send_chunks {
+                            self.send_end = Some(cpu.t);
+                        }
                         return Ok(Step::Progressed);
                     }
                     Step::Progressed => return Ok(Step::Progressed),
@@ -182,6 +198,9 @@ impl PipelinedCpu {
                         self.gather_op = None;
                         self.gathered += 1;
                         self.gather_done.push(cpu.t);
+                        if self.gathered == self.send_chunks {
+                            self.gather_end = Some(cpu.t);
+                        }
                     }
                     Step::Progressed => {}
                     Step::Blocked => unreachable!("local copies never block"),

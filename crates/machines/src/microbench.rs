@@ -105,6 +105,29 @@ pub fn simulate_basic(
     transfer: BasicTransfer,
     words: u64,
 ) -> SimResult<Option<Measurement>> {
+    let obs = memcomm_obs::Obs::current();
+    if !obs.is_enabled() {
+        return simulate_basic_inner(machine, transfer, words);
+    }
+    // Each simulated (non-memoized) microbenchmark gets its own trace
+    // process; memo-cache hits never reach this path, so a trace shows
+    // exactly the simulations that actually ran.
+    let _point = obs.point_scope(&format!("{} {transfer}", machine.name));
+    let result = simulate_basic_inner(machine, transfer, words);
+    obs.count("microbench.simulated", 1);
+    if obs.tracing() {
+        if let Ok(Some(m)) = &result {
+            obs.span("microbench", &transfer.to_string(), 0, m.cycles);
+        }
+    }
+    result
+}
+
+fn simulate_basic_inner(
+    machine: &Machine,
+    transfer: BasicTransfer,
+    words: u64,
+) -> SimResult<Option<Measurement>> {
     let mut node = make_node(machine);
     let read = transfer.read_pattern();
     let write = transfer.write_pattern();

@@ -19,8 +19,11 @@
 //! * **engine outage**: an engine site is out for the whole run — the
 //!   trigger for graceful degradation to buffer packing.
 //!
-//! Every fired decision increments the process-wide
-//! [`stats::fault_counters`](crate::stats::fault_counters).
+//! Plans are *pure deciders*: they never record anything. Counting fired
+//! decisions is the injection site's job (the link step, the FIFO push,
+//! the protocol's outage check), recorded into the per-run
+//! `memcomm-obs` metrics registry so parallel runs never contend on — or
+//! cross-contaminate — process-wide statics.
 
 use memcomm_util::rng::Rng;
 
@@ -141,12 +144,8 @@ impl FaultPlan {
         if !self.fires(self.cfg.rate, &mut rng) {
             return None;
         }
-        crate::stats::record_fault_injected();
         let fault = match rng.range_u64(0, 3) {
-            0 => {
-                crate::stats::record_fault_dropped();
-                LinkFault::Drop
-            }
+            0 => LinkFault::Drop,
             1 => LinkFault::Corrupt(rng.next_u64() | 1),
             _ => LinkFault::Delay(rng.range_u64(1, self.cfg.max_jitter_cycles.max(1) + 1)),
         };
@@ -160,18 +159,13 @@ impl FaultPlan {
         if !self.fires(self.cfg.rate, &mut rng) {
             return 0;
         }
-        crate::stats::record_fault_injected();
         rng.range_u64(1, self.cfg.max_stall_cycles.max(1) + 1)
     }
 
     /// Whether the engine at `site` is out for this whole run.
     pub fn engine_unavailable(&self, site: u64) -> bool {
         let mut rng = self.decider(site, 0x007A_6E00);
-        let out = self.fires(self.cfg.outage_rate, &mut rng);
-        if out {
-            crate::stats::record_fault_injected();
-        }
-        out
+        self.fires(self.cfg.outage_rate, &mut rng)
     }
 }
 

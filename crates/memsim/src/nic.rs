@@ -97,6 +97,7 @@ pub struct TimedFifo {
     pushed: u64,
     popped: u64,
     faults: Option<(crate::fault::FaultPlan, u64)>,
+    obs: memcomm_obs::Obs,
 }
 
 impl TimedFifo {
@@ -114,13 +115,18 @@ impl TimedFifo {
             pushed: 0,
             popped: 0,
             faults: None,
+            obs: memcomm_obs::Obs::disabled(),
         }
     }
 
     /// Arms fault injection: each push draws a (usually zero) stall window
-    /// from the plan, modelling back-pressure glitches in the NIC.
+    /// from the plan, modelling back-pressure glitches in the NIC. Fired
+    /// stalls count into the observability handle current at arming time.
     pub fn set_faults(&mut self, plan: crate::fault::FaultPlan, site: u64) {
         self.faults = plan.is_active().then_some((plan, site));
+        if self.faults.is_some() {
+            self.obs = memcomm_obs::Obs::current();
+        }
     }
 
     /// Capacity in words.
@@ -158,6 +164,9 @@ impl TimedFifo {
             Some((plan, s)) => plan.stall_cycles(*s, self.pushed),
             None => 0,
         };
+        if stall > 0 {
+            self.obs.count(crate::stats::fault_metric::INJECTED, 1);
+        }
         let at = t.max(slot_free) + stall;
         self.items.push_back((at, word));
         self.pushed += 1;

@@ -13,10 +13,28 @@ static FAULTS_RETRIED: AtomicU64 = AtomicU64::new(0);
 static FAULTS_DEGRADED: AtomicU64 = AtomicU64::new(0);
 static FAULTS_DROPPED: AtomicU64 = AtomicU64::new(0);
 
-/// A snapshot of the process-wide fault counters. Counts are *observability
-/// data* like wall times: their totals are deterministic for a given fault
-/// plan, but they accumulate globally across threads and must never enter a
-/// byte-deterministic report (per-point counts belong there instead).
+/// Canonical names of the per-run fault counters in the `memcomm-obs`
+/// metrics registry. Injection sites (`netsim::Link::step`, the NIC FIFO
+/// push, the protocol's outage check) count under these names; the sweep
+/// engine reads them back into a [`FaultCounters`] snapshot.
+pub mod fault_metric {
+    /// Fault decisions that fired (drops, corruptions, delays, stalls,
+    /// outages).
+    pub const INJECTED: &str = "faults.injected";
+    /// Protocol frame retransmissions.
+    pub const RETRIED: &str = "faults.retried";
+    /// Transfers that fell back from chained to buffer packing.
+    pub const DEGRADED: &str = "faults.degraded";
+    /// Wire words dropped by link faults.
+    pub const DROPPED: &str = "faults.dropped";
+}
+
+/// A snapshot of one run's fault counters. Counts are *observability data*
+/// like wall times: their totals are deterministic for a given fault plan,
+/// but they must never enter a byte-deterministic report (per-point counts
+/// belong there instead). Sourced from the per-run `memcomm-obs` registry
+/// via [`FaultCounters::from_obs`]; the old process-wide statics are
+/// deprecated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultCounters {
     /// Fault decisions that fired (drops, corruptions, delays, stalls,
@@ -40,9 +58,25 @@ impl FaultCounters {
             dropped: self.dropped.wrapping_sub(earlier.dropped),
         }
     }
+
+    /// Reads one run's fault counters out of its `memcomm-obs` registry
+    /// (all zeros for a disabled handle — no faults could have been
+    /// recorded anywhere else).
+    pub fn from_obs(obs: &memcomm_obs::Obs) -> FaultCounters {
+        FaultCounters {
+            injected: obs.counter(fault_metric::INJECTED),
+            retried: obs.counter(fault_metric::RETRIED),
+            degraded: obs.counter(fault_metric::DEGRADED),
+            dropped: obs.counter(fault_metric::DROPPED),
+        }
+    }
 }
 
 /// Reads the current fault counters.
+#[deprecated(
+    since = "0.1.0",
+    note = "process-wide fault counters race across concurrent runs; read the per-run registry via FaultCounters::from_obs instead"
+)]
 pub fn fault_counters() -> FaultCounters {
     FaultCounters {
         injected: FAULTS_INJECTED.load(Ordering::Relaxed),
@@ -53,6 +87,10 @@ pub fn fault_counters() -> FaultCounters {
 }
 
 /// Resets the fault counters (test isolation).
+#[deprecated(
+    since = "0.1.0",
+    note = "resetting process-wide counters races when tests run concurrently; use a fresh per-run memcomm-obs registry instead"
+)]
 pub fn reset_fault_counters() {
     FAULTS_INJECTED.store(0, Ordering::Relaxed);
     FAULTS_RETRIED.store(0, Ordering::Relaxed);
@@ -61,21 +99,37 @@ pub fn reset_fault_counters() {
 }
 
 /// Records one fired fault decision.
+#[deprecated(
+    since = "0.1.0",
+    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::INJECTED)"
+)]
 pub fn record_fault_injected() {
     FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one protocol retransmission.
+#[deprecated(
+    since = "0.1.0",
+    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::RETRIED)"
+)]
 pub fn record_fault_retried() {
     FAULTS_RETRIED.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one chained-to-buffer-packing degradation.
+#[deprecated(
+    since = "0.1.0",
+    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::DEGRADED)"
+)]
 pub fn record_fault_degraded() {
     FAULTS_DEGRADED.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one dropped wire word.
+#[deprecated(
+    since = "0.1.0",
+    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::DROPPED)"
+)]
 pub fn record_fault_dropped() {
     FAULTS_DROPPED.fetch_add(1, Ordering::Relaxed);
 }

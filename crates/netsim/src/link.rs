@@ -56,10 +56,16 @@ pub struct Link {
     moved: u64,
     dropped: u64,
     faults: Option<(FaultPlan, u64)>,
+    obs: memcomm_obs::Obs,
+    pid: u64,
+    track: &'static str,
+    busy: Option<(Cycle, Cycle)>,
 }
 
 impl Link {
-    /// Creates an idle link.
+    /// Creates an idle link. Captures the thread's current observability
+    /// handle and point scope, so wire-busy spans land under the point the
+    /// link was built for (see [`Link::labeled`]).
     ///
     /// # Panics
     ///
@@ -70,6 +76,8 @@ impl Link {
             "link needs positive bandwidth and congestion >= 1"
         );
         assert!(params.packet_words >= 1);
+        let obs = memcomm_obs::Obs::current();
+        let pid = obs.pid();
         Link {
             params,
             clock: 0.0,
@@ -77,6 +85,10 @@ impl Link {
             moved: 0,
             dropped: 0,
             faults: None,
+            obs,
+            pid,
+            track: "link",
+            busy: None,
         }
     }
 
@@ -89,6 +101,15 @@ impl Link {
         let mut link = Link::new(params);
         link.faults = plan.is_active().then_some((plan, site));
         link
+    }
+
+    /// Names the trace track this link's wire-busy spans appear on
+    /// (default `"link"`). Exchange co-simulations label their two
+    /// directions `"link.ab"` / `"link.ba"`; the resilient protocol uses
+    /// `"link.fwd"` / `"link.rev"`.
+    pub fn labeled(mut self, track: &'static str) -> Self {
+        self.track = track;
+        self
     }
 
     /// Configuration.
@@ -127,26 +148,37 @@ impl Link {
             // Advance the fractional clock from the word's availability, not
             // from the integer-rounded pop time — otherwise every word pays
             // a rounding surcharge.
-            self.clock = self.clock.max(avail as f64) + cost;
+            let start = self.clock.max(avail as f64);
+            self.clock = start + cost;
+            let mut fault = None;
             if let Some((plan, site)) = &self.faults {
-                match plan.link_fault(*site, self.moved + self.dropped) {
-                    Some(LinkFault::Drop) => {
-                        // Wire time is spent; the word is gone.
-                        self.dropped += 1;
-                        return Step::Progressed;
-                    }
-                    Some(LinkFault::Corrupt(mask)) => {
-                        // Payload only: addresses carry hardware parity on
-                        // both machines, so corruption an end-to-end
-                        // checksum must catch lives in the data.
-                        word.data ^= mask;
-                    }
-                    Some(LinkFault::Delay(extra)) => {
-                        self.clock += extra as f64;
-                    }
-                    None => {}
+                fault = plan.link_fault(*site, self.moved + self.dropped);
+                if fault.is_some() {
+                    self.obs
+                        .count(memcomm_memsim::stats::fault_metric::INJECTED, 1);
                 }
             }
+            match fault {
+                Some(LinkFault::Drop) => {
+                    // Wire time is spent; the word is gone.
+                    self.obs
+                        .count(memcomm_memsim::stats::fault_metric::DROPPED, 1);
+                    self.note_busy(start);
+                    self.dropped += 1;
+                    return Step::Progressed;
+                }
+                Some(LinkFault::Corrupt(mask)) => {
+                    // Payload only: addresses carry hardware parity on
+                    // both machines, so corruption an end-to-end
+                    // checksum must catch lives in the data.
+                    word.data ^= mask;
+                }
+                Some(LinkFault::Delay(extra)) => {
+                    self.clock += extra as f64;
+                }
+                None => {}
+            }
+            self.note_busy(start);
             self.staged = Some(word);
         }
         let word = self.staged.expect("staged above");
@@ -158,6 +190,37 @@ impl Link {
             }
             None => Step::Blocked,
         }
+    }
+
+    /// Extends the current wire-busy interval to cover a word occupying the
+    /// wire from `start` (fractional cycles) to the link's clock. Contiguous
+    /// words coalesce into one span; a gap flushes the previous span first.
+    fn note_busy(&mut self, start: f64) {
+        if !self.obs.tracing() {
+            return;
+        }
+        let start = start as Cycle;
+        let end = self.clock.ceil() as Cycle;
+        match &mut self.busy {
+            Some((_, until)) if start <= *until => *until = (*until).max(end),
+            _ => {
+                self.flush_busy();
+                self.busy = Some((start, end));
+            }
+        }
+    }
+
+    /// Emits the pending wire-busy span, if any (also called on drop).
+    fn flush_busy(&mut self) {
+        if let Some((start, end)) = self.busy.take() {
+            self.obs.span_at(self.pid, self.track, "busy", start, end);
+        }
+    }
+}
+
+impl Drop for Link {
+    fn drop(&mut self) {
+        self.flush_busy();
     }
 }
 

@@ -1,0 +1,41 @@
+//! Validates a Chrome trace-event JSON file produced by `repro --trace-out`.
+//!
+//! Usage: `tracecheck FILE...`
+//!
+//! Checks each file for well-formed JSON, a `traceEvents` array,
+//! monotonically non-decreasing timestamps per `(pid, tid)` track and
+//! balanced `B`/`E` span pairs. Prints a one-line summary per file; exits
+//! non-zero on the first invalid file. CI runs this against the sweep's
+//! trace output.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: tracecheck FILE...");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("tracecheck: {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match memcomm_obs::chrome::validate(&text) {
+            Ok(stats) => {
+                println!(
+                    "tracecheck: {path}: ok — {} events, {} spans, {} tracks, depth {}",
+                    stats.events, stats.spans, stats.tracks, stats.max_depth
+                );
+            }
+            Err(error) => {
+                eprintln!("tracecheck: {path}: INVALID — {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

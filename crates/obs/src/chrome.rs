@@ -1,0 +1,336 @@
+//! Chrome `trace_event` JSON export and structural validation.
+//!
+//! The exporter turns a [`TraceSink`](crate::span::TraceSink)'s events into
+//! the JSON object format consumed by Perfetto and `about://tracing`:
+//! `B`/`E` duration pairs plus `i` instants, grouped into one process per
+//! measured point and one thread per track, with `M` metadata events naming
+//! both. Timestamps are simulated **cycles** used directly as `ts` values.
+//!
+//! Output is deterministic for a fixed event set: events are re-ordered by
+//! a canonical sort (per track: by start cycle, longer spans first), and a
+//! per-track sweep guarantees the two structural invariants the validator
+//! checks — non-decreasing `ts` per `(pid, tid)` and balanced, properly
+//! nested `B`/`E` pairs. A child span that leaks past its parent's end is
+//! clamped to the parent (pipelined stages live on separate tracks exactly
+//! so this never loses real information).
+
+use std::collections::BTreeMap;
+
+use memcomm_util::json::Json;
+
+use crate::span::TraceEvent;
+
+/// Renders events as a Chrome trace JSON document (string form, trailing
+/// newline).
+pub fn render(events: &[TraceEvent], labels: &BTreeMap<u64, String>) -> String {
+    export(events, labels).render()
+}
+
+/// Builds the Chrome trace JSON value for a set of recorded events.
+pub fn export(events: &[TraceEvent], labels: &BTreeMap<u64, String>) -> Json {
+    let mut by_pid: BTreeMap<u64, BTreeMap<&'static str, Vec<&TraceEvent>>> = BTreeMap::new();
+    for event in events {
+        by_pid
+            .entry(event.pid)
+            .or_default()
+            .entry(event.track)
+            .or_default()
+            .push(event);
+    }
+    let mut out: Vec<Json> = Vec::new();
+    for (&pid, tracks) in &by_pid {
+        let label = labels.get(&pid).map_or("run", String::as_str);
+        out.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::from(pid)),
+            ("args", Json::obj([("name", Json::str(label))])),
+        ]));
+        for (index, (&track, track_events)) in tracks.iter().enumerate() {
+            let tid = index as u64 + 1;
+            out.push(Json::obj([
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(tid)),
+                ("args", Json::obj([("name", Json::str(track))])),
+            ]));
+            emit_track(&mut out, pid, tid, track_events);
+        }
+    }
+    Json::obj([
+        ("displayTimeUnit", Json::str("ms")),
+        ("traceEvents", Json::Arr(out)),
+    ])
+}
+
+fn phase_event(ph: &str, event: &TraceEvent, ts: u64, pid: u64, tid: u64) -> Json {
+    let mut pairs = vec![
+        ("name", Json::str(&event.name)),
+        ("cat", Json::str(event.track)),
+        ("ph", Json::str(ph)),
+        ("ts", Json::from(ts)),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(tid)),
+    ];
+    if ph == "i" {
+        pairs.push(("s", Json::str("t")));
+    }
+    Json::obj(pairs)
+}
+
+/// Emits one track's events with non-decreasing `ts` and balanced `B`/`E`
+/// nesting: spans are sorted `(start asc, end desc)`, then swept with an
+/// explicit open-span stack, interleaving instants and closing each span no
+/// later than its enclosing parent.
+fn emit_track(out: &mut Vec<Json>, pid: u64, tid: u64, events: &[&TraceEvent]) {
+    let mut spans: Vec<(u64, u64, usize)> = Vec::new();
+    let mut instants: Vec<(u64, usize)> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        match event.dur {
+            Some(dur) => spans.push((event.ts, event.ts.saturating_add(dur), i)),
+            None => instants.push((event.ts, i)),
+        }
+    }
+    spans.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(b.1.cmp(&a.1))
+            .then(events[a.2].name.cmp(&events[b.2].name))
+            .then(a.2.cmp(&b.2))
+    });
+    instants.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(events[a.1].name.cmp(&events[b.1].name))
+            .then(a.1.cmp(&b.1))
+    });
+
+    // Open spans, bottom-to-top; ends are non-increasing toward the top
+    // because children are clamped to their parents.
+    let mut open: Vec<(u64, usize)> = Vec::new();
+    let mut next_instant = 0usize;
+
+    // Emits, in timestamp order, every pending instant and span close due
+    // at or before `up_to`.
+    macro_rules! flush {
+        ($up_to:expr) => {
+            loop {
+                let close = open.last().map(|&(end, _)| end);
+                let instant = instants.get(next_instant).map(|&(ts, _)| ts);
+                let take_instant = match (instant, close) {
+                    (Some(ts), Some(end)) => ts <= $up_to && ts <= end,
+                    (Some(ts), None) => ts <= $up_to,
+                    _ => false,
+                };
+                if take_instant {
+                    let (ts, i) = instants[next_instant];
+                    next_instant += 1;
+                    out.push(phase_event("i", events[i], ts, pid, tid));
+                    continue;
+                }
+                match close {
+                    Some(end) if end <= $up_to => {
+                        let (end, i) = open.pop().expect("open span checked above");
+                        out.push(phase_event("E", events[i], end, pid, tid));
+                    }
+                    _ => break,
+                }
+            }
+        };
+    }
+
+    for &(start, end, i) in &spans {
+        flush!(start);
+        let end = open
+            .last()
+            .map_or(end, |&(parent_end, _)| end.min(parent_end));
+        out.push(phase_event("B", events[i], start, pid, tid));
+        open.push((end, i));
+    }
+    flush!(u64::MAX);
+}
+
+/// Summary statistics of a validated trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events including metadata.
+    pub events: usize,
+    /// `B`/`E` span pairs.
+    pub spans: usize,
+    /// Distinct `(pid, tid)` tracks carrying events.
+    pub tracks: usize,
+    /// Deepest `B` nesting observed on any track.
+    pub max_depth: usize,
+}
+
+/// Validates the structure of a Chrome trace JSON document: well-formed
+/// JSON with a `traceEvents` array, monotonically non-decreasing `ts` per
+/// `(pid, tid)` track, and balanced `B`/`E` pairs with matching names.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate(text: &str) -> Result<TraceStats, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = TraceStats {
+        events: events.len(),
+        spans: 0,
+        tracks: 0,
+        max_depth: 0,
+    };
+    let mut tracks: BTreeMap<(i64, i64), (f64, Vec<String>)> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing name"))?;
+        let pid = event
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing pid"))? as i64;
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing tid"))? as i64;
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing ts"))?;
+        let (last_ts, stack) = tracks
+            .entry((pid, tid))
+            .or_insert((f64::NEG_INFINITY, Vec::new()));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i} ({name:?}): ts {ts} goes backwards on pid {pid} tid {tid} (last {last_ts})"
+            ));
+        }
+        *last_ts = ts;
+        match ph {
+            "B" => {
+                stack.push(name.to_string());
+                stats.max_depth = stats.max_depth.max(stack.len());
+            }
+            "E" => match stack.pop() {
+                Some(opened) if opened == name => stats.spans += 1,
+                Some(opened) => {
+                    return Err(format!(
+                        "event {i}: E {name:?} closes B {opened:?} on pid {pid} tid {tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: E {name:?} with no open span on pid {pid} tid {tid}"
+                    ))
+                }
+            },
+            "i" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    for ((pid, tid), (_, stack)) in &tracks {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "unbalanced trace: span {name:?} never closed on pid {pid} tid {tid}"
+            ));
+        }
+    }
+    stats.tracks = tracks.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(pid: u64, track: &'static str, name: &str, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            pid,
+            track,
+            name: name.to_string(),
+            ts: start,
+            dur: Some(end - start),
+        }
+    }
+
+    fn instant(pid: u64, track: &'static str, name: &str, ts: u64) -> TraceEvent {
+        TraceEvent {
+            pid,
+            track,
+            name: name.to_string(),
+            ts,
+            dur: None,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_validate() {
+        let events = vec![
+            span(1, "scenario", "outer", 0, 100),
+            span(1, "scenario", "inner", 10, 40),
+            span(1, "scenario", "later", 50, 90),
+            instant(1, "scenario", "retry", 60),
+            span(2, "link", "busy", 5, 25),
+        ];
+        let mut labels = BTreeMap::new();
+        labels.insert(1u64, "point one".to_string());
+        let text = render(&events, &labels);
+        let stats = validate(&text).expect("exported trace must validate");
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.tracks, 2);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn partial_overlap_is_clamped_not_unbalanced() {
+        // b starts inside a but would end after it; the exporter clamps b
+        // so the B/E structure stays nested.
+        let events = vec![span(1, "t", "a", 0, 50), span(1, "t", "b", 25, 80)];
+        let text = render(&events, &BTreeMap::new());
+        let stats = validate(&text).expect("clamped trace must validate");
+        assert_eq!(stats.spans, 2);
+    }
+
+    #[test]
+    fn zero_length_spans_validate() {
+        let events = vec![span(1, "t", "empty", 10, 10), span(1, "t", "next", 10, 20)];
+        let text = render(&events, &BTreeMap::new());
+        validate(&text).expect("zero-length spans must stay balanced");
+    }
+
+    #[test]
+    fn validator_rejects_backwards_time_and_unbalanced_spans() {
+        let backwards = r#"{"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 10, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 5, "pid": 1, "tid": 1}
+        ]}"#;
+        assert!(validate(backwards).unwrap_err().contains("backwards"));
+        let unbalanced = r#"{"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 10, "pid": 1, "tid": 1}
+        ]}"#;
+        assert!(validate(unbalanced).unwrap_err().contains("never closed"));
+        let mismatched = r#"{"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 1, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 2, "pid": 1, "tid": 1}
+        ]}"#;
+        assert!(validate(mismatched).unwrap_err().contains("closes"));
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+    }
+
+    #[test]
+    fn deterministic_output_regardless_of_recording_order() {
+        let a = vec![span(1, "t", "x", 0, 10), span(1, "t", "y", 20, 30)];
+        let b = vec![span(1, "t", "y", 20, 30), span(1, "t", "x", 0, 10)];
+        assert_eq!(render(&a, &BTreeMap::new()), render(&b, &BTreeMap::new()));
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic text flamegraph.
+//!
+//! Aggregates recorded spans into folded-stack lines
+//! (`track;name cycles`), the input format of the classic `flamegraph.pl`
+//! tool, preceded by a `#` comment header. Output is fully deterministic:
+//! lines are sorted by total cycles descending, then by key, so two runs of
+//! the same workload produce byte-identical profiles whatever order the
+//! workers recorded in.
+
+use std::collections::BTreeMap;
+
+use crate::span::TraceEvent;
+
+/// One aggregated frame key: `(track, span name)`.
+type FrameKey<'a> = (&'a str, &'a str);
+/// Aggregated totals for one frame: `(total cycles, span count)`.
+type FrameTotals = (u64, u64);
+
+/// Renders the folded-stack profile for a set of recorded events.
+/// Instants are ignored; spans are aggregated across process ids by
+/// `(track, name)`.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut totals: BTreeMap<FrameKey, FrameTotals> = BTreeMap::new();
+    let mut span_count = 0u64;
+    let mut total_cycles = 0u64;
+    for event in events {
+        if let Some(dur) = event.dur {
+            let entry = totals
+                .entry((event.track, event.name.as_str()))
+                .or_insert((0, 0));
+            entry.0 = entry.0.saturating_add(dur);
+            entry.1 += 1;
+            span_count += 1;
+            total_cycles = total_cycles.saturating_add(dur);
+        }
+    }
+    let mut lines: Vec<(FrameKey, FrameTotals)> = totals.into_iter().collect();
+    lines.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# memcomm profile: {span_count} spans, {} distinct frames, {total_cycles} span-cycles\n",
+        lines.len()
+    ));
+    out.push_str("# format: track;name total_cycles (count, share of span-cycles)\n");
+    for ((track, name), (cycles, count)) in &lines {
+        let share = if total_cycles == 0 {
+            0.0
+        } else {
+            100.0 * *cycles as f64 / total_cycles as f64
+        };
+        out.push_str(&format!(
+            "{track};{name} {cycles} # ({count} spans, {share:.1}%)\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(track: &'static str, name: &str, dur: u64) -> TraceEvent {
+        TraceEvent {
+            pid: 1,
+            track,
+            name: name.to_string(),
+            ts: 0,
+            dur: Some(dur),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_sorts_by_cycles() {
+        let events = vec![
+            span("a", "x", 10),
+            span("a", "x", 15),
+            span("b", "y", 100),
+            TraceEvent {
+                pid: 1,
+                track: "a",
+                name: "instant".to_string(),
+                ts: 5,
+                dur: None,
+            },
+        ];
+        let text = render(&events);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("b;y 100"), "biggest first: {text}");
+        assert!(lines[1].starts_with("a;x 25"), "aggregated: {text}");
+        assert!(!text.contains("instant"));
+    }
+
+    #[test]
+    fn empty_profile_renders_header_only() {
+        let text = render(&[]);
+        assert!(text.starts_with("# memcomm profile: 0 spans"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

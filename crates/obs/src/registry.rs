@@ -1,0 +1,355 @@
+//! Per-run metrics: counters, max-tracking gauges and log₂-bucketed
+//! histograms.
+//!
+//! A [`MetricsRegistry`] belongs to one run (one [`Obs`](crate::Obs)
+//! handle), not to the process: two sweeps running concurrently in one test
+//! binary each see only their own counts. All operations are additive and
+//! commutative, so totals are deterministic whatever order parallel workers
+//! record in.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log₂ buckets a histogram keeps. Bucket 0 holds zeros; bucket
+/// `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples (cycle latencies, retry
+/// counts, queue depths). Fixed-size and lock-free to *read* once copied
+/// out; recording goes through the owning registry's lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The q-quantile (q in `[0, 1]`), estimated as the upper bound of the
+    /// bucket containing the target rank, clamped to the observed range.
+    /// Exact for values that fall on bucket boundaries; within a factor of
+    /// two otherwise — the usual log-bucket trade-off.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if k == 0 {
+                    0
+                } else {
+                    (1u64 << k).wrapping_sub(1)
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// A plain-data summary of this histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// The plain-data summary of one histogram, ready for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+/// A deterministic, sorted snapshot of a registry's contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// All histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Per-run metric storage. Thread-safe; every operation is additive, so
+/// totals are independent of worker interleaving.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().expect("metrics registry poisoned");
+        match counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Reads the counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Raises the gauge `name` to `value` if larger (max-tracking gauge —
+    /// the only gauge semantics that commute across parallel workers).
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let mut gauges = self.gauges.lock().expect("metrics registry poisoned");
+        match gauges.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Reads the gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records one sample into the histogram `name` (creating it empty).
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut histograms = self.histograms.lock().expect("metrics registry poisoned");
+        match histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// The summary of histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .get(name)
+            .map(Histogram::summary)
+    }
+
+    /// A deterministic snapshot of everything recorded so far, sorted by
+    /// metric name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.add("a", 2);
+        r.add("a", 3);
+        r.add("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_maximum() {
+        let r = MetricsRegistry::new();
+        r.gauge_max("depth", 3);
+        r.gauge_max("depth", 7);
+        r.gauge_max("depth", 5);
+        assert_eq!(r.gauge("depth"), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+        // Median rank 3 lands in bucket [2,4) -> upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 rank 5 lands in the bucket holding 100, clamped to max.
+        assert_eq!(h.quantile(0.99), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50, s.p99),
+            (0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let mut h = Histogram::default();
+        h.record(5);
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = MetricsRegistry::new();
+        r.add("z", 1);
+        r.add("a", 2);
+        r.gauge_max("g", 9);
+        r.observe("lat", 10);
+        r.observe("lat", 20);
+        let s = r.snapshot();
+        assert_eq!(s.counters, vec![("a".to_string(), 2), ("z".to_string(), 1)]);
+        assert_eq!(s.gauges, vec![("g".to_string(), 9)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].0, "lat");
+        assert_eq!(s.histograms[0].1.count, 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cycle-stamped span and instant collection.
+//!
+//! A [`TraceSink`] accumulates *complete* spans (`[start, end]` in simulated
+//! cycles) and instant events, each tagged with a process id (one per
+//! measured point) and a track name (one per engine / link / protocol
+//! lane). Recording never touches the simulation clocks: spans are written
+//! after the fact from timestamps the simulator computed anyway, so tracing
+//! cannot perturb what it observes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hard cap on buffered events; recording beyond it increments a drop
+/// counter instead of growing without bound.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+/// One recorded event: a complete span (`dur = Some`) or an instant
+/// (`dur = None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Process id — one per measured point (0 = the run itself).
+    pub pid: u64,
+    /// Track (thread lane) the event belongs to, e.g. `"phase.pack"`.
+    pub track: &'static str,
+    /// Event name shown in the viewer.
+    pub name: String,
+    /// Start cycle.
+    pub ts: u64,
+    /// Span length in cycles, or `None` for an instant event.
+    pub dur: Option<u64>,
+}
+
+/// Thread-safe event buffer for one run.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl TraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Records a complete span. `end` is clamped to `start` so malformed
+    /// instrumentation can never produce negative durations.
+    pub fn span(&self, pid: u64, track: &'static str, name: String, start: u64, end: u64) {
+        self.push(TraceEvent {
+            pid,
+            track,
+            name,
+            ts: start,
+            dur: Some(end.max(start) - start),
+        });
+    }
+
+    /// Records an instant event.
+    pub fn instant(&self, pid: u64, track: &'static str, name: String, ts: u64) {
+        self.push(TraceEvent {
+            pid,
+            track,
+            name,
+            ts,
+            dur: None,
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut events = self.events.lock().expect("trace sink poisoned");
+        if events.len() >= MAX_EVENTS {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(event);
+        }
+    }
+
+    /// Events dropped because the buffer hit [`MAX_EVENTS`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all buffered events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_spans_and_instants() {
+        let sink = TraceSink::new();
+        sink.span(1, "t", "a".to_string(), 10, 20);
+        sink.instant(1, "t", "b".to_string(), 15);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].dur, Some(10));
+        assert_eq!(events[1].dur, None);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn negative_duration_clamps_to_zero() {
+        let sink = TraceSink::new();
+        sink.span(0, "t", "x".to_string(), 20, 10);
+        assert_eq!(sink.events()[0].dur, Some(0));
+    }
+}

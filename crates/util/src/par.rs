@@ -7,8 +7,33 @@
 //! the property the equivalence tests assert.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// A context captured on the calling thread for re-installation inside
+/// every [`par_map`] worker — the hook higher layers (the observability
+/// crate) use to make thread-local run state survive the fan-out without
+/// threading handles through every call signature.
+pub trait CrossThread: Send + Sync {
+    /// Installs the captured context on the current worker thread; the
+    /// returned guard uninstalls it when dropped at worker exit.
+    fn install(&self) -> Box<dyn std::any::Any>;
+}
+
+/// Signature of the capture hook: called on the *calling* thread once per
+/// parallel [`par_map`], returning `None` when there is nothing to carry
+/// (the common case — workers then start with pristine thread state).
+pub type CaptureFn = fn() -> Option<Box<dyn CrossThread>>;
+
+static PROPAGATOR: OnceLock<CaptureFn> = OnceLock::new();
+
+/// Registers the process-wide context propagator. The first registration
+/// wins; later calls are ignored (the hook is a process singleton, set
+/// once by whichever observability layer initialises first).
+pub fn set_propagator(capture: CaptureFn) {
+    let _ = PROPAGATOR.set(capture);
+}
 
 /// Sets the process-wide default worker count used by [`par_map_auto`].
 /// `0` or `1` mean serial execution.
@@ -44,10 +69,13 @@ where
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
+    let carried = PROPAGATOR.get().and_then(|capture| capture());
+    let carried = carried.as_deref();
     let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
+                    let _context = carried.map(CrossThread::install);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

@@ -36,6 +36,7 @@ fn fault_opts(jobs: usize, settings: FaultSettings) -> SweepOptions {
         exchange_words: 256,
         sections: ["table1", "faults"].iter().map(|s| s.to_string()).collect(),
         faults: settings,
+        ..SweepOptions::default()
     }
 }
 
@@ -113,5 +114,42 @@ fn parallel_sweep_is_byte_identical_to_serial() {
         with_seed.to_json().render(),
         without.to_json().render(),
         "a zero-fault configuration must be byte-identical to the faultless baseline"
+    );
+
+    // --- Observability is read-only (zero observational interference) ---
+
+    // With tracing and a live metrics registry installed, the report (with
+    // the opt-in phase-attribution section included) must still render the
+    // same bytes at any worker count; and a traced run must match an
+    // untraced one section for section.
+    let traced = |jobs: usize, trace: bool| {
+        let observed = SweepOptions {
+            phases: true,
+            ..opts(jobs)
+        };
+        let obs = memcomm_obs::Obs::new(trace);
+        let _guard = obs.install();
+        memo::reset();
+        let (report, _) = run_sweep(&observed);
+        (report.to_json().render(), obs)
+    };
+    let (traced_serial, obs_serial) = traced(1, true);
+    let (traced_parallel, obs_parallel) = traced(4, true);
+    assert_eq!(
+        traced_serial, traced_parallel,
+        "tracing must not perturb the report at any worker count"
+    );
+    assert!(
+        obs_serial.trace_len() > 0 && obs_parallel.trace_len() > 0,
+        "both runs must actually have recorded spans"
+    );
+    let (untraced, _) = traced(1, false);
+    assert_eq!(
+        traced_serial, untraced,
+        "a traced run must render the same report as an untraced one"
+    );
+    assert!(
+        traced_serial.contains("\"phases\""),
+        "the opt-in phase attribution must be present in these runs"
     );
 }
