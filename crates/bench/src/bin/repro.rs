@@ -7,6 +7,8 @@
 //!       [--words N] [--exchange-words N] [--jobs N] [--serial]
 //!       [--faults SEED] [--fault-rate P] [--max-cycles N]
 //!       [--json PATH] [--metrics PATH] [--phases]
+//!       [--engine analytic|event] [--nodes N]
+//!       [--engine-transpose-n N] [--engine-sor-n N]
 //!       [--trace-out PATH] [--profile PATH]
 //! ```
 //!
@@ -26,6 +28,15 @@
 //! per-point error instead of aborting the sweep. If any section fails,
 //! the failures are summarised on stderr and the exit status is 1.
 //!
+//! `--engine event` additionally executes Table 6 round by round on the
+//! sharded discrete-event network engine (`--nodes N` scales the simulated
+//! torus/mesh, default 64 — the paper's machines; `--engine-transpose-n`
+//! and `--engine-sor-n` shrink the kernel instances for smoke runs). The
+//! engine rows appear in the text output and in `--json` under
+//! `engine_table6`, next to the analytic congestion model's predictions;
+//! they are byte-identical at any `--jobs`. `--engine analytic` is the
+//! default and is a no-op: the report keeps its exact pre-engine bytes.
+//!
 //! Observability: `--trace-out PATH` records cycle-accurate spans for
 //! every simulated scenario and writes a Chrome `trace_event` JSON file
 //! (load it at `chrome://tracing` or <https://ui.perfetto.dev>; validate it
@@ -37,6 +48,7 @@
 //! Tracing never changes the report: the same sweep with and without
 //! `--trace-out` renders byte-identical report JSON.
 
+use memcomm_bench::experiments::EngineSettings;
 use memcomm_bench::report::TextTable;
 use memcomm_bench::runner::{self, SweepOptions};
 use memcomm_obs::Obs;
@@ -68,6 +80,9 @@ fn main() {
     };
     let mut all = false;
     let mut fault_rate: Option<f64> = None;
+    let mut engine_nodes: Option<usize> = None;
+    let mut engine_transpose_n: Option<u64> = None;
+    let mut engine_sor_n: Option<u64> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" => all = true,
@@ -104,6 +119,22 @@ fn main() {
                 None => usage_error("--profile takes a path"),
             },
             "--phases" => opts.phases = true,
+            "--engine" => match it.next().map(String::as_str) {
+                Some("event") => {
+                    opts.engine.get_or_insert_with(EngineSettings::default);
+                }
+                Some("analytic") => opts.engine = None,
+                _ => usage_error("--engine takes 'analytic' or 'event'"),
+            },
+            "--nodes" => {
+                engine_nodes = Some(number(&mut it, "--nodes") as usize);
+            }
+            "--engine-transpose-n" => {
+                engine_transpose_n = Some(number(&mut it, "--engine-transpose-n"));
+            }
+            "--engine-sor-n" => {
+                engine_sor_n = Some(number(&mut it, "--engine-sor-n"));
+            }
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -114,6 +145,20 @@ fn main() {
         opts.faults.outage_rate = opts.faults.rate / 4.0;
     } else if fault_rate.is_some() {
         usage_error("--fault-rate requires --faults SEED");
+    }
+    if engine_nodes.is_some() || engine_transpose_n.is_some() || engine_sor_n.is_some() {
+        let Some(engine) = opts.engine.as_mut() else {
+            usage_error("--nodes/--engine-transpose-n/--engine-sor-n require --engine event");
+        };
+        if let Some(n) = engine_nodes {
+            engine.nodes = n;
+        }
+        if let Some(n) = engine_transpose_n {
+            engine.transpose_n = n;
+        }
+        if let Some(n) = engine_sor_n {
+            engine.sor_n = n;
+        }
     }
     if all {
         // --all wins over individual selections: run every section.
@@ -437,6 +482,38 @@ fn main() {
         }
         println!("{t}");
         println!("(stage cells: simulated cycles / model-predicted cycles)\n");
+    }
+
+    if !report.engine_table6.is_empty() {
+        let mut t = TextTable::new(
+            "Event engine — Table 6 kernels executed on the simulated network",
+            &[
+                "kernel",
+                "machine",
+                "nodes",
+                "engine c",
+                "analytic c",
+                "engine ch",
+                "analytic ch",
+                "ratio",
+                "digest",
+            ],
+        );
+        for r in &report.engine_table6 {
+            t.row(vec![
+                r.kernel.clone(),
+                r.machine.clone(),
+                r.nodes.to_string(),
+                format!("{:.2}", r.engine_congestion),
+                format!("{:.2}", r.analytic_congestion),
+                TextTable::mbps(r.engine_chained),
+                TextTable::mbps(r.analytic_chained),
+                format!("{:.2}", r.ratio),
+                r.digest.clone(),
+            ]);
+        }
+        println!("{t}");
+        println!("(c: congestion factor; ch: chained MB/s per node priced at that factor)\n");
     }
 
     if metrics_path.is_some() && !metrics.histograms.is_empty() {

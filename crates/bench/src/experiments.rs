@@ -13,6 +13,8 @@ use memcomm_commops::{
     LibraryProfile, ProtocolConfig, Style,
 };
 use memcomm_kernels::apps::{CommMethod, FemKernel, SorKernel, TransposeKernel};
+use memcomm_kernels::mesh::PartitionedMesh;
+use memcomm_kernels::netrun::{self, EngineOptions, Table6Kernel};
 use memcomm_machines::calibrate;
 use memcomm_machines::microbench::{self, StrideSide};
 use memcomm_machines::{reference, Machine};
@@ -672,6 +674,134 @@ pub fn table6(rates: &RateTable) -> SimResult<Vec<KernelRow>> {
             .map(|t| t.as_mbps())
             .unwrap_or(f64::NAN),
     );
+    Ok(rows)
+}
+
+/// Options of the event-engine reproduction of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSettings {
+    /// Simulated node count (power of two; 64 = the paper's machines).
+    pub nodes: usize,
+    /// Matrix dimension of the transpose kernel (the paper's 1024; smoke
+    /// runs shrink it so tiny node counts don't get giant patches).
+    pub transpose_n: u64,
+    /// Halo row words of the SOR kernel.
+    pub sor_n: u64,
+    /// Shard workers (0 = the process-wide setting). Never affects results.
+    pub jobs: usize,
+}
+
+impl Default for EngineSettings {
+    /// The paper's instances on 64 simulated nodes.
+    fn default() -> Self {
+        EngineSettings {
+            nodes: 64,
+            transpose_n: 1024,
+            sor_n: 256,
+            jobs: 0,
+        }
+    }
+}
+
+/// One Table 6 kernel × machine executed on the discrete-event engine,
+/// side by side with the analytic congestion model.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Machine name.
+    pub machine: String,
+    /// Simulated node count.
+    pub nodes: u64,
+    /// Emergent congestion factor the engine observed.
+    pub engine_congestion: f64,
+    /// The closed-form factor on the same topology.
+    pub analytic_congestion: f64,
+    /// Chained throughput priced at the engine's factor, MB/s.
+    pub engine_chained: f64,
+    /// Chained throughput priced at the analytic factor, MB/s.
+    pub analytic_chained: f64,
+    /// engine / analytic throughput ratio — the differential statistic.
+    pub ratio: f64,
+    /// Engine cycles across all rounds.
+    pub cycles: u64,
+    /// Link traversals across all rounds.
+    pub flit_hops: u64,
+    /// Conservative windows executed.
+    pub windows: u64,
+    /// Event-stream digest (hex) — identical at any worker count.
+    pub digest: String,
+    /// The priced exchanges delivered correct data.
+    pub verified: bool,
+}
+
+/// FEM partition grid for a power-of-two node count, split like
+/// [`scaled_topology`](memcomm_netsim::engine::scaled_topology) splits
+/// dimensions (64 → 4×4×4, 4 → 2×2×1).
+pub fn fem_parts(nodes: usize) -> [usize; 3] {
+    let exp = nodes.trailing_zeros() as usize;
+    let mut parts = [1usize; 3];
+    for (i, p) in parts.iter_mut().enumerate() {
+        *p = 1 << (exp / 3 + usize::from(i < exp % 3));
+    }
+    parts
+}
+
+/// The Table 6 kernels sized for an engine run.
+pub fn engine_kernels(settings: &EngineSettings) -> Vec<Table6Kernel> {
+    vec![
+        Table6Kernel::Transpose(TransposeKernel {
+            n: settings.transpose_n,
+            words_per_element: 2,
+        }),
+        Table6Kernel::Fem(FemKernel {
+            mesh: PartitionedMesh::synthetic_valley([48, 48, 48], fem_parts(settings.nodes), 1995),
+        }),
+        Table6Kernel::Sor(SorKernel { n: settings.sor_n }),
+    ]
+}
+
+/// Table 6 on the event engine: every kernel × machine executed round by
+/// round on the simulated topology, reported against the analytic factor.
+///
+/// # Errors
+///
+/// Propagates engine failures (deadlock, watchdog) and invalid
+/// kernel/topology decompositions.
+pub fn engine_table6(settings: &EngineSettings) -> SimResult<Vec<EngineRow>> {
+    let mut rows = Vec::new();
+    for machine in [Machine::t3d(), Machine::paragon()] {
+        let topo = netrun::engine_topology(&machine, Some(settings.nodes))?;
+        let p = topo.len() as u64;
+        for kernel in engine_kernels(settings) {
+            let rounds = kernel.rounds(&topo)?;
+            let analytic_congestion = kernel.analytic_congestion(&machine, &topo)?;
+            let opts = EngineOptions {
+                nodes: Some(settings.nodes),
+                jobs: settings.jobs,
+                record_events: false,
+            };
+            let run = netrun::run_rounds(&machine, &topo, &rounds, &opts)?;
+            let engine_m = kernel.measure_at(&machine, CommMethod::Chained, p, run.factor)?;
+            let analytic_m =
+                kernel.measure_at(&machine, CommMethod::Chained, p, analytic_congestion)?;
+            rows.push(EngineRow {
+                kernel: kernel.name().to_string(),
+                machine: machine.name.to_string(),
+                nodes: p,
+                engine_congestion: run.factor,
+                analytic_congestion,
+                engine_chained: engine_m.per_node.as_mbps(),
+                analytic_chained: analytic_m.per_node.as_mbps(),
+                ratio: engine_m.per_node.as_mbps() / analytic_m.per_node.as_mbps(),
+                cycles: run.cycles,
+                flit_hops: run.flit_hops,
+                windows: run.windows,
+                digest: format!("{:016x}", run.digest),
+                verified: engine_m.verified && analytic_m.verified,
+            });
+        }
+    }
     Ok(rows)
 }
 

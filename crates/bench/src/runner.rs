@@ -69,6 +69,10 @@ pub struct SweepOptions {
     /// Also run the per-stage phase-attribution breakdown (off by default;
     /// not part of [`SECTIONS`] so default reports keep their exact bytes).
     pub phases: bool,
+    /// Also execute Table 6 on the discrete-event network engine (off by
+    /// default; like `phases`, not part of [`SECTIONS`] so default reports
+    /// keep their exact bytes).
+    pub engine: Option<experiments::EngineSettings>,
 }
 
 impl Default for SweepOptions {
@@ -80,6 +84,7 @@ impl Default for SweepOptions {
             sections: BTreeSet::new(),
             faults: experiments::FaultSettings::default(),
             phases: false,
+            engine: None,
         }
     }
 }
@@ -174,6 +179,10 @@ pub struct FullReport {
     /// [`SweepOptions::phases`]; the JSON key is omitted when empty so
     /// default runs render byte-identically to earlier versions).
     pub phases: Vec<MachineSeries<crate::phases::PhaseRow>>,
+    /// Event-engine Table 6 rows (opt-in via [`SweepOptions::engine`]; the
+    /// JSON key is omitted when empty so default runs render
+    /// byte-identically to earlier versions).
+    pub engine_table6: Vec<experiments::EngineRow>,
     /// Per-section completion status, in evaluation order.
     pub sections: Vec<SectionStatus>,
 }
@@ -352,6 +361,28 @@ impl FullReport {
         ];
         if !self.phases.is_empty() {
             pairs.push(("phases", series(&self.phases, phase_row)));
+        }
+        if !self.engine_table6.is_empty() {
+            pairs.push((
+                "engine_table6",
+                Json::arr(&self.engine_table6, |r| {
+                    Json::obj([
+                        ("kernel", Json::str(&r.kernel)),
+                        ("machine", Json::str(&r.machine)),
+                        ("nodes", r.nodes.into()),
+                        ("engine_congestion", r.engine_congestion.into()),
+                        ("analytic_congestion", r.analytic_congestion.into()),
+                        ("engine_chained", r.engine_chained.into()),
+                        ("analytic_chained", r.analytic_chained.into()),
+                        ("ratio", r.ratio.into()),
+                        ("cycles", r.cycles.into()),
+                        ("flit_hops", r.flit_hops.into()),
+                        ("windows", r.windows.into()),
+                        ("digest", Json::str(&r.digest)),
+                        ("verified", r.verified.into()),
+                    ])
+                }),
+            ));
         }
         pairs.push((
             "sections",
@@ -828,6 +859,18 @@ pub fn run_sweep(opts: &SweepOptions) -> (FullReport, RunMetrics) {
         );
     }
 
+    if let Some(engine) = opts.engine {
+        run_section(
+            "engine",
+            &mut statuses,
+            &mut experiment_metrics,
+            &mut || {
+                report.engine_table6 = experiments::engine_table6(&engine)?;
+                Ok(report.engine_table6.len() as u64)
+            },
+        );
+    }
+
     report.sections = statuses;
 
     let metrics = RunMetrics {
@@ -935,6 +978,7 @@ mod tests {
                 ..crate::experiments::FaultSettings::default()
             },
             phases: false,
+            engine: None,
         };
         let (report, _) = run_sweep(&opts);
         assert!(report.sections.iter().all(|s| s.ok));

@@ -11,11 +11,12 @@ use memcomm_commops::{run_exchange, ExchangeConfig, Style};
 use memcomm_machines::Machine;
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::scenario;
-use memcomm_memsim::{Node, SimResult};
+use memcomm_memsim::{Node, SimError, SimResult};
 use memcomm_model::{
     chained_expr, AccessPattern, ChainedPlan, ModelError, RateTable, ReceiveEngine, Throughput,
 };
 use memcomm_netsim::congestion::{pattern_congestion, scheduled_congestion};
+use memcomm_netsim::topology::Topology;
 use memcomm_netsim::traffic;
 
 use crate::mesh::PartitionedMesh;
@@ -149,17 +150,81 @@ impl TransposeKernel {
         }
     }
 
-    /// Payload words of one pairwise patch on `p` nodes.
+    /// Payload words of one pairwise patch on `p` nodes. Assumes a valid
+    /// decomposition — [`try_patch_words`](Self::try_patch_words) is the
+    /// checked form every kernel path goes through.
     pub fn patch_words(&self, p: u64) -> u64 {
         (self.n / p) * (self.n / p) * self.words_per_element
     }
 
+    /// Validates a node count for this kernel: the XOR schedule needs a
+    /// power of two, and the patch decomposition needs `p` to divide `n` —
+    /// anything else used to truncate silently into a wrong patch size.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] describing the invalid decomposition.
+    pub fn validate_nodes(&self, p: u64) -> SimResult<()> {
+        if p < 2 || !p.is_power_of_two() {
+            return Err(SimError::Protocol {
+                detail: format!("transpose needs a power-of-two node count >= 2, got {p}"),
+                at: 0,
+            });
+        }
+        if self.n < 2 || !self.n.is_multiple_of(p) {
+            return Err(SimError::Protocol {
+                detail: format!(
+                    "transpose patches need p | n: n = {} does not split over p = {p} nodes",
+                    self.n
+                ),
+                at: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checked patch size: [`patch_words`](Self::patch_words) behind
+    /// [`validate_nodes`](Self::validate_nodes).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for an invalid decomposition.
+    pub fn try_patch_words(&self, p: u64) -> SimResult<u64> {
+        self.validate_nodes(p)?;
+        Ok(self.patch_words(p))
+    }
+
+    /// The XOR-schedule rounds of the all-to-all on `topo` — what both the
+    /// analytic congestion factor and the event engine execute.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for an invalid decomposition.
+    pub fn rounds(&self, topo: &Topology) -> SimResult<Vec<Vec<traffic::Flow>>> {
+        let p = topo.len() as u64;
+        let patch = self.try_patch_words(p)?;
+        Ok(traffic::aapc_xor_schedule(p as usize, patch * 8))
+    }
+
+    /// The scheduled all-to-all congestion on an explicit topology/port
+    /// configuration (worst round of the XOR schedule).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for an invalid decomposition.
+    pub fn congestion_on(&self, topo: &Topology, nodes_per_port: u32) -> SimResult<f64> {
+        Ok(scheduled_congestion(topo, &self.rounds(topo)?, nodes_per_port).factor)
+    }
+
     /// The congestion of the scheduled all-to-all on this machine's
     /// topology (worst round of the XOR schedule, including port sharing).
-    pub fn congestion(&self, machine: &Machine) -> f64 {
-        let p = machine.topology.len();
-        let rounds = traffic::aapc_xor_schedule(p, self.patch_words(p as u64) * 8);
-        scheduled_congestion(&machine.topology, &rounds, machine.nodes_per_port).factor
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when the matrix does not decompose over the
+    /// machine's node count.
+    pub fn congestion(&self, machine: &Machine) -> SimResult<f64> {
+        self.congestion_on(&machine.topology, machine.nodes_per_port)
     }
 
     /// Measures the communication step per node.
@@ -169,7 +234,25 @@ impl TransposeKernel {
     /// Propagates simulation failures from the co-simulated exchange.
     pub fn measure(&self, machine: &Machine, method: CommMethod) -> SimResult<KernelMeasurement> {
         let p = machine.topology.len() as u64;
-        let congestion = self.congestion(machine);
+        let congestion = self.congestion(machine)?;
+        self.measure_at(machine, method, p, congestion)
+    }
+
+    /// Measures at an explicit node count and congestion factor — the entry
+    /// point the event engine uses to substitute its own simulated factor
+    /// for the analytic one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the co-simulated exchange.
+    pub fn measure_at(
+        &self,
+        machine: &Machine,
+        method: CommMethod,
+        p: u64,
+        congestion: f64,
+    ) -> SimResult<KernelMeasurement> {
+        let words = self.try_patch_words(p)?;
         // The transpose patch is short contiguous runs, not one block: the
         // gather copy is genuinely needed (the paper models it as 1C1).
         let (_, m) = measure_round(
@@ -178,7 +261,7 @@ impl TransposeKernel {
             AccessPattern::Contiguous,
             AccessPattern::strided(self.n as u32).expect("n >= 2"),
             method,
-            self.patch_words(p),
+            words,
             congestion,
             false,
         )?;
@@ -200,7 +283,7 @@ impl TransposeKernel {
         method: CommMethod,
     ) -> SimResult<KernelMeasurement> {
         let p = machine.topology.len();
-        let patch = self.patch_words(p as u64);
+        let patch = self.try_patch_words(p as u64)?;
         let rounds = traffic::aapc_xor_schedule(p, patch * 8);
         let mut total_cycles: Cycle = 0;
         let mut verified = true;
@@ -274,24 +357,39 @@ impl FemKernel {
         self.mesh.mean_interface_points() as u64
     }
 
-    /// Congestion of the neighbour-exchange pattern on the machine. The
-    /// exchange is scheduled in per-direction phases (one shift per
-    /// topology direction), as solvers do; the factor is the worst phase.
-    pub fn congestion(&self, machine: &Machine) -> f64 {
+    /// The per-direction phase rounds of the boundary exchange on `topo`
+    /// (one shift per topology direction, as solvers schedule it) — shared
+    /// by the analytic factor and the event engine.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when the mesh partition count does not match
+    /// the topology's node count.
+    pub fn rounds(&self, topo: &Topology) -> SimResult<Vec<Vec<traffic::Flow>>> {
+        if self.mesh.partitions() != topo.len() {
+            return Err(SimError::Protocol {
+                detail: format!(
+                    "FEM mesh has {} partitions but the topology has {} nodes",
+                    self.mesh.partitions(),
+                    topo.len()
+                ),
+                at: 0,
+            });
+        }
         let bytes = self.exchange_words() * 8;
-        let all = traffic::neighbor_exchange(&machine.topology, bytes);
+        let all = traffic::neighbor_exchange(topo, bytes);
         // Phase = all flows with the same (coordinate delta) direction; for
         // a shift on a torus each phase is a permutation.
-        let rounds: Vec<Vec<traffic::Flow>> = (0..machine.topology.dims().len())
+        Ok((0..topo.dims().len())
             .flat_map(|dim| [-1i64, 1].into_iter().map(move |step| (dim, step)))
             .map(|(dim, step)| {
                 all.iter()
                     .copied()
                     .filter(|f| {
-                        let ca = machine.topology.coords(f.src);
-                        let cb = machine.topology.coords(f.dst);
-                        (0..machine.topology.dims().len()).all(|d| {
-                            let delta = machine.topology.hop_delta(ca[d], cb[d], d);
+                        let ca = topo.coords(f.src);
+                        let cb = topo.coords(f.dst);
+                        (0..topo.dims().len()).all(|d| {
+                            let delta = topo.hop_delta(ca[d], cb[d], d);
                             if d == dim {
                                 delta == step
                             } else {
@@ -301,13 +399,29 @@ impl FemKernel {
                     })
                     .collect()
             })
-            .collect();
-        memcomm_netsim::congestion::scheduled_congestion(
-            &machine.topology,
-            &rounds,
-            machine.nodes_per_port,
-        )
-        .factor
+            .collect())
+    }
+
+    /// Congestion of the phased exchange on an explicit topology/port
+    /// configuration; the factor is the worst phase.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on a mesh/topology size mismatch.
+    pub fn congestion_on(&self, topo: &Topology, nodes_per_port: u32) -> SimResult<f64> {
+        Ok(scheduled_congestion(topo, &self.rounds(topo)?, nodes_per_port).factor)
+    }
+
+    /// Congestion of the neighbour-exchange pattern on the machine. The
+    /// exchange is scheduled in per-direction phases (one shift per
+    /// topology direction), as solvers do; the factor is the worst phase.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when the mesh was partitioned for a different
+    /// node count than the machine has.
+    pub fn congestion(&self, machine: &Machine) -> SimResult<f64> {
+        self.congestion_on(&machine.topology, machine.nodes_per_port)
     }
 
     /// Measures the boundary-exchange step per node.
@@ -316,7 +430,22 @@ impl FemKernel {
     ///
     /// Propagates simulation failures from the co-simulated exchange.
     pub fn measure(&self, machine: &Machine, method: CommMethod) -> SimResult<KernelMeasurement> {
-        let congestion = self.congestion(machine);
+        let congestion = self.congestion(machine)?;
+        self.measure_at(machine, method, congestion)
+    }
+
+    /// Measures at an explicit congestion factor (the event engine
+    /// substitutes its simulated factor here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the co-simulated exchange.
+    pub fn measure_at(
+        &self,
+        machine: &Machine,
+        method: CommMethod,
+        congestion: f64,
+    ) -> SimResult<KernelMeasurement> {
         let (_, m) = measure_round(
             machine,
             "FEM",
@@ -364,10 +493,62 @@ impl SorKernel {
         SorKernel { n: 256 }
     }
 
+    /// Validates this kernel against a topology: the halo shift needs a
+    /// neighbour to shift to and a non-empty halo row.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] describing the invalid configuration.
+    pub fn validate_on(&self, topo: &Topology) -> SimResult<()> {
+        if topo.len() < 2 {
+            return Err(SimError::Protocol {
+                detail: format!("SOR shift needs at least 2 nodes, got {}", topo.len()),
+                at: 0,
+            });
+        }
+        if self.n == 0 {
+            return Err(SimError::Protocol {
+                detail: "SOR halo row must be non-empty".into(),
+                at: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// The two sequential halo shifts of one relaxation (up then down) —
+    /// the rounds the event engine executes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for an invalid configuration.
+    pub fn rounds(&self, topo: &Topology) -> SimResult<Vec<Vec<traffic::Flow>>> {
+        self.validate_on(topo)?;
+        let bytes = self.n * 8;
+        Ok(vec![
+            traffic::cyclic_shift(topo, 1, bytes),
+            traffic::cyclic_shift(topo, topo.len() - 1, bytes),
+        ])
+    }
+
+    /// Congestion of the shift pattern on an explicit topology/port
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for an invalid configuration.
+    pub fn congestion_on(&self, topo: &Topology, nodes_per_port: u32) -> SimResult<f64> {
+        self.validate_on(topo)?;
+        let flows = traffic::cyclic_shift(topo, 1, self.n * 8);
+        Ok(pattern_congestion(topo, &flows, nodes_per_port).factor)
+    }
+
     /// Congestion of the shift pattern.
-    pub fn congestion(&self, machine: &Machine) -> f64 {
-        let flows = traffic::cyclic_shift(&machine.topology, 1, self.n * 8);
-        pattern_congestion(&machine.topology, &flows, machine.nodes_per_port).factor
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for an invalid configuration.
+    pub fn congestion(&self, machine: &Machine) -> SimResult<f64> {
+        self.congestion_on(&machine.topology, machine.nodes_per_port)
     }
 
     /// Measures the halo exchange per node: two sequential row exchanges
@@ -379,7 +560,22 @@ impl SorKernel {
     ///
     /// Propagates simulation failures from the co-simulated exchange.
     pub fn measure(&self, machine: &Machine, method: CommMethod) -> SimResult<KernelMeasurement> {
-        let congestion = self.congestion(machine);
+        let congestion = self.congestion(machine)?;
+        self.measure_at(machine, method, congestion)
+    }
+
+    /// Measures at an explicit congestion factor (the event engine
+    /// substitutes its simulated factor here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the co-simulated exchange.
+    pub fn measure_at(
+        &self,
+        machine: &Machine,
+        method: CommMethod,
+        congestion: f64,
+    ) -> SimResult<KernelMeasurement> {
         // Halo rows are contiguous: a hand-written buffer-packing SOR does
         // not copy them, which is why the paper's Table 6 shows chained and
         // buffer packing nearly equal for SOR.
@@ -433,19 +629,56 @@ mod tests {
     #[test]
     fn congestion_factors_are_reasonable() {
         let t3d = Machine::t3d();
-        let transpose = TransposeKernel::paper_instance().congestion(&t3d);
+        let transpose = TransposeKernel::paper_instance().congestion(&t3d).unwrap();
         assert!(
             (2.0..=4.0).contains(&transpose),
             "transpose congestion {transpose}"
         );
-        let sor = SorKernel::paper_instance().congestion(&t3d);
+        let sor = SorKernel::paper_instance().congestion(&t3d).unwrap();
         assert!((2.0..=2.5).contains(&sor), "shift congestion {sor}");
         let paragon = Machine::paragon();
-        let sor_p = SorKernel::paper_instance().congestion(&paragon);
+        let sor_p = SorKernel::paper_instance().congestion(&paragon).unwrap();
         assert!(
             sor_p >= 1.0 && sor_p <= sor,
             "no port sharing on the Paragon"
         );
+    }
+
+    #[test]
+    fn invalid_decompositions_are_protocol_errors() {
+        let t3d = Machine::t3d();
+        // 100 is not a multiple of 64: the old code truncated (100/64 = 1)
+        // and priced a 1x1 patch; now it refuses.
+        let bad = TransposeKernel {
+            n: 100,
+            words_per_element: 2,
+        };
+        assert!(matches!(
+            bad.congestion(&t3d),
+            Err(SimError::Protocol { .. })
+        ));
+        assert!(matches!(
+            bad.measure(&t3d, CommMethod::Chained),
+            Err(SimError::Protocol { .. })
+        ));
+        // A non-power-of-two node count can't run the XOR schedule.
+        let k = TransposeKernel::paper_instance();
+        assert!(matches!(
+            k.try_patch_words(48),
+            Err(SimError::Protocol { .. })
+        ));
+        assert!(k.try_patch_words(64).is_ok());
+        // A FEM mesh partitioned for 64 nodes cannot run on 16.
+        let fem = FemKernel::paper_instance();
+        let small = Topology::torus(&[4, 4]);
+        assert!(matches!(fem.rounds(&small), Err(SimError::Protocol { .. })));
+        // SOR needs a neighbour.
+        let sor = SorKernel::paper_instance();
+        let lone = Topology::torus(&[1]);
+        assert!(matches!(
+            sor.congestion_on(&lone, 1),
+            Err(SimError::Protocol { .. })
+        ));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`apps`] — the three kernels of Table 6 (2D-FFT transpose, FEM
 //!   boundary exchange, SOR halo shift), measured end to end on the
 //!   simulated T3D/Paragon with buffer-packing, chained, and PVM-style
-//!   communication.
+//!   communication;
+//! * [`netrun`] — the same kernels executed on the sharded discrete-event
+//!   network engine, with [`netrun::CongestionModel`] selecting between the
+//!   analytic congestion factor and the engine's emergent one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +28,9 @@ pub mod apps;
 pub mod distribution;
 pub mod fft;
 pub mod mesh;
+pub mod netrun;
 pub mod schedule;
 
 pub use apps::{FemKernel, KernelMeasurement, SorKernel, TransposeKernel};
 pub use distribution::Distribution;
+pub use netrun::{CongestionModel, EngineOptions, Table6Kernel};

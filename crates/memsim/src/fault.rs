@@ -45,6 +45,27 @@ pub mod site {
     pub const DEPOSIT: u64 = 5;
     /// Receiver-side annex engine.
     pub const ANNEX: u64 = 6;
+
+    /// First per-node site of the sharded network engine; each node gets a
+    /// (tx, rx) pair above this base.
+    pub const ENGINE_NODE_BASE: u64 = 0x1000;
+    /// First per-link site of the sharded network engine.
+    pub const ENGINE_LINK_BASE: u64 = 0x0100_0000;
+
+    /// Transmit-FIFO site of engine node `node`.
+    pub fn engine_tx(node: usize) -> u64 {
+        ENGINE_NODE_BASE + 2 * node as u64
+    }
+
+    /// Receive-FIFO site of engine node `node`.
+    pub fn engine_rx(node: usize) -> u64 {
+        ENGINE_NODE_BASE + 2 * node as u64 + 1
+    }
+
+    /// Wire site of engine link `link` (canonical link index).
+    pub fn engine_link(link: u32) -> u64 {
+        ENGINE_LINK_BASE + u64::from(link)
+    }
 }
 
 /// What happened to one word on a faulty link.

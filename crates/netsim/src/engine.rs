@@ -1,0 +1,1256 @@
+//! Sharded discrete-event interconnect engine.
+//!
+//! Where [`congestion`](crate::congestion) folds a traffic pattern into a
+//! closed-form factor, this module actually *runs* the pattern: one
+//! [`memsim::node`](memcomm_memsim::node) per topology node feeds words
+//! through its NIC FIFOs, words serialize over shared injection/ejection
+//! ports (the T3D quirk that two nodes share one port falls out naturally),
+//! and flits travel dimension-ordered over per-link wires guarded by
+//! credit-based virtual-channel buffers with real backpressure.
+//!
+//! # Determinism and sharding
+//!
+//! The simulation advances in conservative windows of `L` cycles, where `L`
+//! is the link latency: any word transmitted during window `[T, T+L)`
+//! arrives no earlier than `T+L`, so every arrival of a window is known at
+//! its opening barrier. Nodes are partitioned into a *fixed* set of shards
+//! (aligned to port-group boundaries, independent of the worker count);
+//! `jobs` only decides how many [`par_map`](memcomm_util::par::par_map)
+//! workers execute the shards. Each shard's window is internally
+//! sequential, shards share no mutable state, and the coordinator folds
+//! their outputs in shard order — so `jobs = 1` and `jobs = N` produce
+//! byte-identical event streams (the same guarantee the sweep engine
+//! makes, pushed down into the event core).
+//!
+//! # Deadlock freedom
+//!
+//! Routes are dimension-ordered and minimal; each directed link carries two
+//! virtual channels with the classic dateline rule: a word starts each
+//! dimension on VC 0 and moves to VC 1 for the hops after it crosses that
+//! dimension's wraparound link. Minimal torus routes cross a wrap at most
+//! once per ring, so the channel-dependency graph is acyclic; meshes have
+//! no wrap links and run entirely on VC 0. Ejection drains into the bounded
+//! node `rx` FIFO, which the memory side empties unconditionally.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
+
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::error::{SimError, SimResult};
+use memcomm_memsim::fault::{site, FaultPlan, LinkFault};
+use memcomm_memsim::nic::NetWord;
+use memcomm_memsim::node::{Node, NodeParams, Watchdog};
+use memcomm_obs::Obs;
+use memcomm_util::par;
+
+use crate::link::LinkParams;
+use crate::routing::{route, LinkId};
+use crate::topology::Topology;
+use crate::traffic::Flow;
+
+/// Engine name used in error diagnostics.
+const ENGINE: &str = "netsim-engine";
+
+/// Maximum number of shards the node set is split into. Fixed — the shard
+/// partition must not depend on the worker count, or event order would.
+const MAX_SHARDS: usize = 8;
+
+/// FNV-1a offset basis, the digest seed.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv_fold(hash: u64, value: u64) -> u64 {
+    (hash ^ value).wrapping_mul(FNV_PRIME)
+}
+
+/// What happened at a simulated resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A word left a node's `tx` FIFO and serialized onto its injection port.
+    Inject,
+    /// A word traversed a network link.
+    Hop,
+    /// A link fault consumed the wire without delivering the word; the word
+    /// retries from its upstream buffer.
+    Drop,
+    /// A word serialized off an ejection port into the destination `rx` FIFO.
+    Eject,
+}
+
+impl EventKind {
+    fn code(self) -> u64 {
+        match self {
+            EventKind::Inject => 1,
+            EventKind::Hop => 2,
+            EventKind::Drop => 3,
+            EventKind::Eject => 4,
+        }
+    }
+}
+
+/// One entry of the canonical event stream.
+///
+/// The stream is ordered by (window, shard, stage, resource, time) — a
+/// deterministic order that is identical at any worker count, pinned by the
+/// run digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineEvent {
+    /// Cycle the action started (integer part).
+    pub time: Cycle,
+    /// What happened.
+    pub kind: EventKind,
+    /// Link index for hops/drops, port index for injections/ejections.
+    pub site: u32,
+    /// Virtual channel involved.
+    pub vc: u8,
+    /// Word identity: `flow_index << 32 | word_index`.
+    pub seq: u64,
+}
+
+impl EngineEvent {
+    fn fold_into(&self, hash: u64) -> u64 {
+        let h = fnv_fold(hash, self.time);
+        let h = fnv_fold(h, self.kind.code());
+        let h = fnv_fold(h, u64::from(self.site));
+        let h = fnv_fold(h, u64::from(self.vc));
+        fnv_fold(h, self.seq)
+    }
+}
+
+/// Engine configuration: the machine's link and node parameters plus the
+/// engine-specific knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Wire parameters; the congestion factor is forced to 1.0 — contention
+    /// is what the engine *simulates*, not a dial.
+    pub link: LinkParams,
+    /// Per-node parameters; `tx_fifo_words`/`rx_fifo_words` bound the NIC
+    /// staging FIFOs. Memory capacity is shrunk at construction (engine
+    /// nodes exchange words, they do not run memory programs).
+    pub node: NodeParams,
+    /// Nodes sharing one injection/ejection port pair (2 on the T3D).
+    pub nodes_per_port: u32,
+    /// Buffer slots per (link, virtual channel) guarded by credits. Credits
+    /// return one conservative window after the buffered word moves on, so
+    /// small values throttle saturated multi-hop paths (tree saturation)
+    /// well below the wire rate; the default is sized so the credit
+    /// round-trip never limits a path and contention comes from the wires
+    /// themselves, matching the fluid assumption of the analytic model.
+    pub vc_slots: u32,
+    /// Cycles between consecutive words the memory side feeds into `tx`
+    /// (0 = unpaced: memory keeps the NIC saturated and the injection port
+    /// is the bottleneck).
+    pub source_word_cycles: Cycle,
+    /// Cycles between consecutive words the memory side drains from `rx`
+    /// (0 = unpaced).
+    pub drain_word_cycles: Cycle,
+    /// Send address-data pairs instead of data-only words.
+    pub address_data_pairs: bool,
+    /// Worker threads for the shard fan-out (0 = the process-wide setting).
+    /// Never affects results, only wall-clock.
+    pub jobs: usize,
+    /// Watchdog: maximum simulation windows before declaring a wedge.
+    pub max_windows: u64,
+    /// Optional hard cycle budget.
+    pub max_cycles: Option<Cycle>,
+    /// Fault plan threaded through every per-node FIFO and link.
+    pub fault: FaultPlan,
+    /// Keep the full event stream in the outcome (tests); the digest is
+    /// always computed.
+    pub record_events: bool,
+}
+
+impl EngineConfig {
+    /// Builds a configuration from machine link/node parameters.
+    pub fn new(link: LinkParams, node: NodeParams) -> Self {
+        let mut link = link;
+        link.congestion = 1.0;
+        let mut node = node;
+        // Engine nodes never allocate regions; don't pay for 48 MB of
+        // simulated DRAM per node at 64 nodes.
+        node.memory_words = 64;
+        EngineConfig {
+            link,
+            node,
+            nodes_per_port: 1,
+            vc_slots: 64,
+            source_word_cycles: 0,
+            drain_word_cycles: 0,
+            address_data_pairs: false,
+            jobs: 0,
+            max_windows: 1 << 22,
+            max_cycles: None,
+            fault: FaultPlan::disabled(),
+            record_events: false,
+        }
+    }
+
+    fn word(&self, seq: u64) -> NetWord {
+        if self.address_data_pairs {
+            NetWord::addressed(seq.wrapping_mul(8), seq)
+        } else {
+            NetWord::data(seq)
+        }
+    }
+
+    /// Wire cycles per word under this configuration's framing.
+    pub fn word_cycles(&self) -> f64 {
+        self.link.word_cycles(&self.word(0))
+    }
+}
+
+/// Aggregate result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Completion cycle: when the last word left its destination `rx` FIFO.
+    pub cycles: Cycle,
+    /// Words that traversed the network.
+    pub words: u64,
+    /// Total link traversals (the flit-hop count).
+    pub flit_hops: u64,
+    /// Conservative windows executed.
+    pub windows: u64,
+    /// Link-fault drops (each deterministically retransmitted).
+    pub dropped: u64,
+    /// Link-fault corruptions (counted; payloads are synthetic).
+    pub corrupted: u64,
+    /// FNV-1a fold over the canonical event stream.
+    pub digest: u64,
+    /// The event stream itself, when [`EngineConfig::record_events`] is set.
+    pub events: Vec<EngineEvent>,
+}
+
+/// Result of running a multi-round schedule (rounds are barrier-separated:
+/// round `r+1` starts only after round `r` fully drains).
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Per-round outcomes, in schedule order.
+    pub rounds: Vec<EngineOutcome>,
+    /// Sum of round completion cycles.
+    pub cycles: Cycle,
+    /// Digest folding every round's digest in order.
+    pub digest: u64,
+}
+
+/// A topology of `nodes` nodes with the same rank and wrap-ness as `base`,
+/// splitting the power-of-two node count as evenly as possible across the
+/// base's dimensions (64 on a 3D torus → 4×4×4; 4 → 2×2×1).
+pub fn scaled_topology(base: &Topology, nodes: usize) -> SimResult<Topology> {
+    if nodes < 2 || !nodes.is_power_of_two() {
+        return Err(SimError::Protocol {
+            detail: format!("engine topology needs a power-of-two node count >= 2, got {nodes}"),
+            at: 0,
+        });
+    }
+    let rank = base.dims().len();
+    let exp = nodes.trailing_zeros() as usize;
+    let dims: Vec<u32> = (0..rank)
+        .map(|i| 1u32 << (exp / rank + usize::from(i < exp % rank)))
+        .collect();
+    Ok(if base.is_torus() {
+        Topology::torus(&dims)
+    } else {
+        Topology::mesh(&dims)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Static build: links, routes, shards.
+// ---------------------------------------------------------------------------
+
+/// One hop of a flow's route: global link index and the virtual channel the
+/// dateline rule assigns to it.
+#[derive(Debug, Clone, Copy)]
+struct Hop {
+    link: u32,
+    vc: u8,
+}
+
+#[derive(Debug, Clone)]
+struct FlowPath {
+    src: u32,
+    words: u32,
+    hops: Vec<Hop>,
+}
+
+/// Queued word waiting to transmit on a link. Orders by (rank, ready);
+/// `rank` is the word-major rotation of the globally unique `seq` (word
+/// index in the high bits), so a backlogged link interleaves competing
+/// flows word by word — the deterministic analogue of a router's
+/// round-robin arbiter. Arrival-order service would instead let the flow
+/// nearest the bottleneck convoy hundreds of words ahead, starving the
+/// links downstream of the other flows' turns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QEntry {
+    rank: u64,
+    ready: Cycle,
+    seq: u64,
+    hop: u16,
+    /// Upstream buffer the word still occupies (`u32::MAX` = none, the word
+    /// came straight off its injection port).
+    prev_link: u32,
+    prev_vc: u8,
+}
+
+/// Word-major arbitration rank: `seq` packs `flow << 32 | word`, so the
+/// rotation compares word index first and flow index only on ties.
+fn word_rank(seq: u64) -> u64 {
+    seq.rotate_left(32)
+}
+
+/// Word waiting at its destination router for the ejection port. Same
+/// word-major order as [`QEntry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EjEntry {
+    rank: u64,
+    ready: Cycle,
+    seq: u64,
+    prev_link: u32,
+    prev_vc: u8,
+}
+
+/// A word in flight between windows: transmitted during one window,
+/// delivered at the barrier opening the window containing `arrive`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Delivery {
+    arrive: Cycle,
+    seq: u64,
+    hop: u16,
+    to_node: u32,
+    via_link: u32,
+    vc: u8,
+}
+
+struct LinkState {
+    global: u32,
+    queues: [BinaryHeap<Reverse<QEntry>>; 2],
+    credits: [u32; 2],
+    free: f64,
+    attempts: u64,
+}
+
+struct PortState {
+    id: u32,
+    node_lo: u32,
+    node_hi: u32,
+    inject_free: f64,
+    eject_free: f64,
+}
+
+struct NodeCtx {
+    node: Node,
+    /// Flow indices originating here, ascending.
+    feeds: Vec<u32>,
+    feed_pos: usize,
+    feed_word: u32,
+    src_free: Cycle,
+    drain_free: Cycle,
+    eject: BinaryHeap<Reverse<EjEntry>>,
+}
+
+struct Shard {
+    node_lo: u32,
+    nodes: Vec<NodeCtx>,
+    /// Owned links, ascending global index.
+    links: Vec<LinkState>,
+    /// Global index of each owned link, parallel to `links` (binary search).
+    link_globals: Vec<u32>,
+    ports: Vec<PortState>,
+    inbox: Vec<Delivery>,
+    credit_inbox: Vec<(u32, u8)>,
+}
+
+#[derive(Default)]
+struct WindowOut {
+    deliveries: Vec<Delivery>,
+    credits: Vec<(u32, u8)>,
+    events: Vec<EngineEvent>,
+    progress: u64,
+    drained: u64,
+    flit_hops: u64,
+    dropped: u64,
+    corrupted: u64,
+    last_drain: Cycle,
+}
+
+/// Read-only context shared by every shard.
+struct Net {
+    flows: Vec<FlowPath>,
+    link_to: Vec<u32>,
+    wt: f64,
+    latency: Cycle,
+    source_wc: Cycle,
+    drain_wc: Cycle,
+    fault: FaultPlan,
+    pairs: bool,
+}
+
+impl Net {
+    fn word(&self, seq: u64) -> NetWord {
+        if self.pairs {
+            NetWord::addressed(seq.wrapping_mul(8), seq)
+        } else {
+            NetWord::data(seq)
+        }
+    }
+}
+
+fn changed_dim(topo: &Topology, from: usize, to: usize) -> usize {
+    let a = topo.coords(from);
+    let b = topo.coords(to);
+    (0..a.len())
+        .find(|&d| a[d] != b[d])
+        .expect("a route hop must change exactly one coordinate")
+}
+
+fn is_wrap_hop(topo: &Topology, from: usize, to: usize, dim: usize) -> bool {
+    let d = topo.dims()[dim];
+    let a = topo.coords(from)[dim];
+    let b = topo.coords(to)[dim];
+    d >= 3 && a.abs_diff(b) == d - 1
+}
+
+/// Assigns each route hop its virtual channel under the dateline rule.
+fn vc_labels(topo: &Topology, hops: &[LinkId]) -> Vec<u8> {
+    let mut labels = Vec::with_capacity(hops.len());
+    let mut cur_dim = usize::MAX;
+    let mut crossed = false;
+    for h in hops {
+        let dim = changed_dim(topo, h.from, h.to);
+        if dim != cur_dim {
+            cur_dim = dim;
+            crossed = false;
+        }
+        labels.push(u8::from(crossed));
+        if is_wrap_hop(topo, h.from, h.to, dim) {
+            crossed = true;
+        }
+    }
+    labels
+}
+
+/// Enumerates every directed link of the topology in canonical (ascending
+/// `LinkId`) order.
+fn enumerate_links(topo: &Topology) -> Vec<LinkId> {
+    let mut set = std::collections::BTreeSet::new();
+    for node in 0..topo.len() {
+        let coords = topo.coords(node);
+        for (dim, &d) in topo.dims().iter().enumerate() {
+            if d < 2 {
+                continue;
+            }
+            let mut push = |c: u32| {
+                let mut to = coords.clone();
+                to[dim] = c;
+                set.insert(LinkId {
+                    from: node,
+                    to: topo.node_at(&to),
+                });
+            };
+            let c = coords[dim];
+            if c + 1 < d {
+                push(c + 1);
+            } else if topo.is_torus() {
+                push(0);
+            }
+            if c >= 1 {
+                push(c - 1);
+            } else if topo.is_torus() {
+                push(d - 1);
+            }
+        }
+    }
+    set.into_iter().collect()
+}
+
+struct Sim<'a> {
+    cfg: &'a EngineConfig,
+    net: Net,
+    shards: Vec<Mutex<Shard>>,
+    /// Global link index → (shard, local index).
+    link_owner: Vec<(u32, u32)>,
+    /// Node → shard.
+    shard_of_node: Vec<u32>,
+    total_words: u64,
+}
+
+fn protocol(detail: String) -> SimError {
+    SimError::Protocol { detail, at: 0 }
+}
+
+fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimResult<Sim<'a>> {
+    let n = topo.len();
+    if n == 0 {
+        return Err(protocol("engine needs a non-empty topology".into()));
+    }
+    if cfg.vc_slots == 0 {
+        return Err(protocol(
+            "engine needs at least one buffer slot per VC".into(),
+        ));
+    }
+
+    // Routes first: validates the flow set before anything is allocated.
+    let mut paths = Vec::with_capacity(flows.len());
+    let links = enumerate_links(topo);
+    let link_index: HashMap<LinkId, u32> = links
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i as u32))
+        .collect();
+    for (fi, f) in flows.iter().enumerate() {
+        if f.src >= n || f.dst >= n {
+            return Err(protocol(format!(
+                "flow {fi} endpoints ({}, {}) outside the {n}-node topology",
+                f.src, f.dst
+            )));
+        }
+        let words = f.bytes.div_ceil(8);
+        if f.src == f.dst || words == 0 {
+            // Local or empty flows never enter the network.
+            continue;
+        }
+        if words > u64::from(u32::MAX) {
+            return Err(protocol(format!("flow {fi} too large: {words} words")));
+        }
+        if paths.len() >= u32::MAX as usize {
+            return Err(protocol("too many flows (need < 2^32)".into()));
+        }
+        let r = route(topo, f.src, f.dst);
+        let vcs = vc_labels(topo, &r);
+        let hops: Vec<Hop> = r
+            .iter()
+            .zip(&vcs)
+            .map(|(l, &vc)| Hop {
+                link: link_index[l],
+                vc,
+            })
+            .collect();
+        if hops.len() > u16::MAX as usize {
+            return Err(protocol(format!("flow {fi} route too long")));
+        }
+        paths.push(FlowPath {
+            src: f.src as u32,
+            words: words as u32,
+            hops,
+        });
+    }
+
+    // Fixed shard partition: contiguous runs of whole port groups.
+    let npp = cfg.nodes_per_port.max(1) as usize;
+    let groups = n.div_ceil(npp);
+    let shard_count = groups.clamp(1, MAX_SHARDS);
+    // Shard s owns port groups [s*G/S, (s+1)*G/S).
+    let group_shard = |g: usize| (g * shard_count / groups.max(1)).min(shard_count - 1);
+    let shard_of_node: Vec<u32> = (0..n).map(|v| group_shard(v / npp) as u32).collect();
+
+    let total_words: u64 = paths.iter().map(|p| u64::from(p.words)).sum();
+
+    let mut shards: Vec<Shard> = (0..shard_count)
+        .map(|_| Shard {
+            node_lo: u32::MAX,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            link_globals: Vec::new(),
+            ports: Vec::new(),
+            inbox: Vec::new(),
+            credit_inbox: Vec::new(),
+        })
+        .collect();
+
+    for (node, &shard_id) in shard_of_node.iter().enumerate() {
+        let shard = &mut shards[shard_id as usize];
+        if shard.node_lo == u32::MAX {
+            shard.node_lo = node as u32;
+        }
+        let mut ctx = NodeCtx {
+            node: Node::new(cfg.node),
+            feeds: Vec::new(),
+            feed_pos: 0,
+            feed_word: 0,
+            src_free: 0,
+            drain_free: 0,
+            eject: BinaryHeap::new(),
+        };
+        if cfg.fault.is_active() {
+            ctx.node.tx.set_faults(cfg.fault, site::engine_tx(node));
+            ctx.node.rx.set_faults(cfg.fault, site::engine_rx(node));
+        }
+        shard.nodes.push(ctx);
+    }
+    for (fi, p) in paths.iter().enumerate() {
+        let s = shard_of_node[p.src as usize] as usize;
+        let local = (p.src - shards[s].node_lo) as usize;
+        shards[s].nodes[local].feeds.push(fi as u32);
+    }
+    let mut link_owner = Vec::with_capacity(links.len());
+    for (gi, l) in links.iter().enumerate() {
+        let s = shard_of_node[l.from] as usize;
+        let local = shards[s].links.len() as u32;
+        shards[s].links.push(LinkState {
+            global: gi as u32,
+            queues: [BinaryHeap::new(), BinaryHeap::new()],
+            credits: [cfg.vc_slots, cfg.vc_slots],
+            free: 0.0,
+            attempts: 0,
+        });
+        shards[s].link_globals.push(gi as u32);
+        link_owner.push((s as u32, local));
+    }
+    for g in 0..groups {
+        let s = group_shard(g);
+        let lo = (g * npp) as u32;
+        let hi = (((g + 1) * npp).min(n)) as u32;
+        shards[s].ports.push(PortState {
+            id: g as u32,
+            node_lo: lo,
+            node_hi: hi,
+            inject_free: 0.0,
+            eject_free: 0.0,
+        });
+    }
+
+    let wt = cfg.word_cycles();
+    let net = Net {
+        flows: paths,
+        link_to: links.iter().map(|l| l.to as u32).collect(),
+        wt,
+        latency: cfg.link.latency_cycles.max(1),
+        source_wc: cfg.source_word_cycles,
+        drain_wc: cfg.drain_word_cycles,
+        fault: cfg.fault,
+        pairs: cfg.address_data_pairs,
+    };
+
+    Ok(Sim {
+        cfg,
+        net,
+        shards: shards.into_iter().map(Mutex::new).collect(),
+        link_owner,
+        shard_of_node,
+        total_words,
+    })
+}
+
+impl Shard {
+    fn local_link(&self, global: u32) -> usize {
+        self.link_globals
+            .binary_search(&global)
+            .expect("delivery routed to a shard that does not own the link")
+    }
+
+    fn run_window(&mut self, t0: Cycle, t1: Cycle, net: &Net) -> WindowOut {
+        let mut out = WindowOut {
+            last_drain: 0,
+            ..WindowOut::default()
+        };
+
+        // Credits freed during the previous window become usable now.
+        for (local, vc) in self.credit_inbox.drain(..) {
+            self.links[local as usize].credits[vc as usize] += 1;
+        }
+
+        // 1. Deliveries due this window (coordinator pre-sorted by
+        // (arrive, seq)): file each word into its next link queue, or into
+        // the destination's ejection queue. The word keeps occupying its
+        // upstream (via_link, vc) buffer until it moves on.
+        let inbox = std::mem::take(&mut self.inbox);
+        for d in inbox {
+            let flow = &net.flows[(d.seq >> 32) as usize];
+            let next = d.hop as usize + 1;
+            if next == flow.hops.len() {
+                let local = (d.to_node - self.node_lo) as usize;
+                self.nodes[local].eject.push(Reverse(EjEntry {
+                    rank: word_rank(d.seq),
+                    ready: d.arrive,
+                    seq: d.seq,
+                    prev_link: d.via_link,
+                    prev_vc: d.vc,
+                }));
+            } else {
+                let h = flow.hops[next];
+                let li = self.local_link(h.link);
+                self.links[li].queues[usize::from(h.vc)].push(Reverse(QEntry {
+                    rank: word_rank(d.seq),
+                    ready: d.arrive,
+                    seq: d.seq,
+                    hop: next as u16,
+                    prev_link: d.via_link,
+                    prev_vc: d.vc,
+                }));
+            }
+        }
+
+        // 2. Source pump: memory feeds tx at its own pace, blocked by a full
+        // FIFO (the processor stalls — the analytic model's port term).
+        for ctx in &mut self.nodes {
+            while let Some(&fi) = ctx.feeds.get(ctx.feed_pos) {
+                let flow = &net.flows[fi as usize];
+                if ctx.feed_word >= flow.words {
+                    ctx.feed_pos += 1;
+                    ctx.feed_word = 0;
+                    continue;
+                }
+                let t = ctx.src_free.max(t0);
+                if t >= t1 {
+                    break;
+                }
+                let seq = (u64::from(fi) << 32) | u64::from(ctx.feed_word);
+                let Some(at) = ctx.node.tx.push(t, net.word(seq)) else {
+                    break;
+                };
+                ctx.src_free = at + net.source_wc;
+                ctx.feed_word += 1;
+                out.progress += 1;
+            }
+        }
+
+        // 3. Injection: each port serializes the words of its node group
+        // onto the network, arbitrating by (ready, node).
+        for pi in 0..self.ports.len() {
+            loop {
+                let p = &self.ports[pi];
+                let mut best: Option<(Cycle, u32)> = None;
+                for node in p.node_lo..p.node_hi {
+                    let local = (node - self.node_lo) as usize;
+                    if let Some(r) = self.nodes[local].node.tx.front_ready() {
+                        if best.is_none_or(|b| (r, node) < b) {
+                            best = Some((r, node));
+                        }
+                    }
+                }
+                let Some((ready, node)) = best else {
+                    break;
+                };
+                let start = (ready as f64).max(p.inject_free).max(t0 as f64);
+                if start >= t1 as f64 {
+                    break;
+                }
+                let local = (node - self.node_lo) as usize;
+                let (_, w) = self.nodes[local]
+                    .node
+                    .tx
+                    .pop(start.floor() as Cycle)
+                    .expect("arbitration picked a non-empty tx FIFO");
+                let seq = w.data;
+                let h = net.flows[(seq >> 32) as usize].hops[0];
+                let li = self.local_link(h.link);
+                let port = &mut self.ports[pi];
+                port.inject_free = start + net.wt;
+                let entry = port.inject_free.ceil() as Cycle;
+                let port_id = port.id;
+                self.links[li].queues[usize::from(h.vc)].push(Reverse(QEntry {
+                    rank: word_rank(seq),
+                    ready: entry,
+                    seq,
+                    hop: 0,
+                    prev_link: u32::MAX,
+                    prev_vc: 0,
+                }));
+                out.events.push(EngineEvent {
+                    time: start.floor() as Cycle,
+                    kind: EventKind::Inject,
+                    site: port_id,
+                    vc: h.vc,
+                    seq,
+                });
+                out.progress += 1;
+            }
+        }
+
+        // 4. Links: transmit queued words while the wire and window allow,
+        // earliest feasible (start, seq) first across the two VCs; a
+        // transmit consumes a credit of this link's downstream buffer and
+        // returns the upstream one.
+        for l in &mut self.links {
+            loop {
+                let mut best: Option<(f64, u64, usize)> = None;
+                for vc in 0..2usize {
+                    if l.credits[vc] == 0 {
+                        continue;
+                    }
+                    let Some(Reverse(e)) = l.queues[vc].peek() else {
+                        continue;
+                    };
+                    let start = (e.ready as f64).max(l.free).max(t0 as f64);
+                    if best.is_none_or(|(bs, bq, _)| (start, e.rank) < (bs, bq)) {
+                        best = Some((start, e.rank, vc));
+                    }
+                }
+                let Some((start, _, vc)) = best else {
+                    break;
+                };
+                if start >= t1 as f64 {
+                    break;
+                }
+                let Reverse(e) = l.queues[vc].pop().expect("candidate queue non-empty");
+                let fault = net
+                    .fault
+                    .link_fault(site::engine_link(l.global), l.attempts);
+                l.attempts += 1;
+                let mut wire = net.wt;
+                match fault {
+                    Some(LinkFault::Drop) => {
+                        // The wire is consumed but nothing arrives; the word
+                        // retries from its upstream buffer (links are
+                        // lossless in hardware — this models the retransmit
+                        // a real adapter would schedule).
+                        l.free = start + wire;
+                        out.events.push(EngineEvent {
+                            time: start.floor() as Cycle,
+                            kind: EventKind::Drop,
+                            site: l.global,
+                            vc: vc as u8,
+                            seq: e.seq,
+                        });
+                        l.queues[vc].push(Reverse(QEntry {
+                            ready: l.free.ceil() as Cycle,
+                            ..e
+                        }));
+                        out.dropped += 1;
+                        out.progress += 1;
+                        continue;
+                    }
+                    Some(LinkFault::Corrupt(_)) => out.corrupted += 1,
+                    Some(LinkFault::Delay(d)) => wire += d as f64,
+                    None => {}
+                }
+                l.credits[vc] -= 1;
+                l.free = start + wire;
+                let arrive = (l.free.ceil() as Cycle) + net.latency;
+                if e.prev_link != u32::MAX {
+                    out.credits.push((e.prev_link, e.prev_vc));
+                }
+                out.events.push(EngineEvent {
+                    time: start.floor() as Cycle,
+                    kind: EventKind::Hop,
+                    site: l.global,
+                    vc: vc as u8,
+                    seq: e.seq,
+                });
+                out.deliveries.push(Delivery {
+                    arrive,
+                    seq: e.seq,
+                    hop: e.hop,
+                    to_node: net.link_to[l.global as usize],
+                    via_link: l.global,
+                    vc: vc as u8,
+                });
+                out.flit_hops += 1;
+                out.progress += 1;
+            }
+        }
+
+        // 5. Ejection: the port serializes arrived words into the
+        // destination rx FIFO; a full FIFO backpressures into the network
+        // (the upstream buffer credit stays consumed).
+        for pi in 0..self.ports.len() {
+            loop {
+                let p = &self.ports[pi];
+                let mut best: Option<(Cycle, u64, u32)> = None;
+                for node in p.node_lo..p.node_hi {
+                    let local = (node - self.node_lo) as usize;
+                    let ctx = &self.nodes[local];
+                    if ctx.node.rx.len() == ctx.node.rx.capacity() {
+                        continue;
+                    }
+                    if let Some(Reverse(e)) = ctx.eject.peek() {
+                        if best.is_none_or(|(br, bq, _)| (e.rank, e.ready) < (br, bq)) {
+                            best = Some((e.rank, e.ready, node));
+                        }
+                    }
+                }
+                let Some((_, ready, node)) = best else {
+                    break;
+                };
+                let start = (ready as f64).max(p.eject_free).max(t0 as f64);
+                if start >= t1 as f64 {
+                    break;
+                }
+                let local = (node - self.node_lo) as usize;
+                let Reverse(e) = self.nodes[local].eject.pop().expect("candidate non-empty");
+                let port = &mut self.ports[pi];
+                port.eject_free = start + net.wt;
+                let t_in = port.eject_free.ceil() as Cycle;
+                self.nodes[local]
+                    .node
+                    .rx
+                    .push(t_in, net.word(e.seq))
+                    .expect("arbitration checked rx had space");
+                out.credits.push((e.prev_link, e.prev_vc));
+                out.events.push(EngineEvent {
+                    time: start.floor() as Cycle,
+                    kind: EventKind::Eject,
+                    site: port.id,
+                    vc: e.prev_vc,
+                    seq: e.seq,
+                });
+                out.progress += 1;
+            }
+        }
+
+        // 6. Drain: the memory side unconditionally empties rx at its own
+        // pace — this is what guarantees ejection eventually proceeds.
+        for ctx in &mut self.nodes {
+            while let Some(avail) = ctx.node.rx.front_ready() {
+                let t = avail.max(ctx.drain_free).max(t0);
+                if t >= t1 {
+                    break;
+                }
+                let (at, _) = ctx.node.rx.pop(t).expect("front_ready implies non-empty");
+                ctx.drain_free = at + net.drain_wc;
+                out.drained += 1;
+                out.last_drain = out.last_drain.max(at);
+                out.progress += 1;
+            }
+        }
+
+        out
+    }
+}
+
+/// Runs one traffic pattern to completion.
+///
+/// Flows with `src == dst` or zero bytes never enter the network and are
+/// skipped. Returns [`SimError::Deadlock`] if the network stops making
+/// progress with words still in flight, [`SimError::Wedged`] /
+/// [`SimError::CycleBudget`] when the watchdog limits trip, and
+/// [`SimError::Protocol`] for invalid flow sets.
+pub fn run_flows(topo: &Topology, flows: &[Flow], cfg: &EngineConfig) -> SimResult<EngineOutcome> {
+    let sim = build_sim(topo, flows, cfg)?;
+    run_sim(sim)
+}
+
+fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
+    let cfg = sim.cfg;
+    let obs = Obs::current();
+    let window = cfg.link.latency_cycles.max(1);
+    let jobs = if cfg.jobs == 0 { par::jobs() } else { cfg.jobs };
+    let shard_ids: Vec<usize> = (0..sim.shards.len()).collect();
+
+    let mut outcome = EngineOutcome {
+        cycles: 0,
+        words: sim.total_words,
+        flit_hops: 0,
+        windows: 0,
+        dropped: 0,
+        corrupted: 0,
+        digest: FNV_OFFSET,
+        events: Vec::new(),
+    };
+    if sim.total_words == 0 {
+        return Ok(outcome);
+    }
+
+    let mut watchdog = Watchdog::new(cfg.max_windows).with_cycle_budget(cfg.max_cycles);
+    let mut pending: BinaryHeap<Reverse<Delivery>> = BinaryHeap::new();
+    let mut credits_pending: Vec<(u32, u8)> = Vec::new();
+    let mut drained = 0u64;
+    let mut idle_windows = 0u64;
+    // How long legitimate inactivity can last, in windows: fault stalls and
+    // jitter park words in the future, and slow memory pacing leaves gaps.
+    let fault_slack = if cfg.fault.is_active() {
+        let c = cfg.fault.config();
+        c.max_stall_cycles + c.max_jitter_cycles
+    } else {
+        0
+    };
+    // A single port/drain action can jump its follow-up work a full word
+    // time past the current window with nothing in `pending` meanwhile
+    // (e.g. the last word's rx-ready stamp lands `wt` cycles ahead while
+    // the drain idles), so the wire time bounds legitimate gaps too.
+    let word_gap = 2 * (cfg.word_cycles().ceil() as Cycle);
+    let idle_limit =
+        2 + (fault_slack + cfg.source_word_cycles + cfg.drain_word_cycles + word_gap) / window;
+
+    let mut t0: Cycle = 0;
+    loop {
+        watchdog.tick(ENGINE, t0)?;
+        let t1 = t0 + window;
+
+        // Barrier: hand due deliveries (globally sorted by (arrive, seq))
+        // and freed credits to their owning shards.
+        {
+            let mut per_shard: Vec<Vec<Delivery>> = vec![Vec::new(); sim.shards.len()];
+            while pending.peek().is_some_and(|Reverse(d)| d.arrive < t1) {
+                let Reverse(d) = pending.pop().expect("peeked");
+                per_shard[sim.shard_of_node[d.to_node as usize] as usize].push(d);
+            }
+            let mut credit_shard: Vec<Vec<(u32, u8)>> = vec![Vec::new(); sim.shards.len()];
+            for (link, vc) in credits_pending.drain(..) {
+                let (s, local) = sim.link_owner[link as usize];
+                credit_shard[s as usize].push((local, vc));
+            }
+            for (i, (inbox, credits)) in per_shard.into_iter().zip(credit_shard).enumerate() {
+                let mut shard = sim.shards[i].lock().expect("shard lock poisoned");
+                shard.inbox = inbox;
+                shard.credit_inbox = credits;
+            }
+        }
+
+        let outs: Vec<WindowOut> = par::par_map(jobs, &shard_ids, |&i| {
+            sim.shards[i]
+                .lock()
+                .expect("shard lock poisoned")
+                .run_window(t0, t1, &sim.net)
+        });
+
+        // Fold in fixed shard order — this is what makes the event stream
+        // (and hence the digest) independent of the worker count.
+        let mut progress = 0u64;
+        for out in outs {
+            for e in &out.events {
+                outcome.digest = e.fold_into(outcome.digest);
+            }
+            if cfg.record_events {
+                outcome.events.extend(out.events);
+            }
+            for d in out.deliveries {
+                pending.push(Reverse(d));
+            }
+            credits_pending.extend(out.credits);
+            progress += out.progress;
+            drained += out.drained;
+            outcome.flit_hops += out.flit_hops;
+            outcome.dropped += out.dropped;
+            outcome.corrupted += out.corrupted;
+            outcome.cycles = outcome.cycles.max(out.last_drain);
+        }
+        outcome.windows += 1;
+
+        if drained == sim.total_words {
+            break;
+        }
+        if progress == 0 && pending.is_empty() {
+            idle_windows += 1;
+            if idle_windows > idle_limit {
+                return Err(SimError::Deadlock {
+                    detail: format!(
+                        "engine idle for {idle_windows} windows with {} of {} words undelivered",
+                        sim.total_words - drained,
+                        sim.total_words
+                    ),
+                    at: t0,
+                });
+            }
+        } else {
+            idle_windows = 0;
+        }
+        t0 = t1;
+    }
+
+    obs.count("engine.words", outcome.words);
+    obs.count("engine.flit_hops", outcome.flit_hops);
+    obs.count("engine.windows", outcome.windows);
+    obs.span("engine", "run_flows", 0, outcome.cycles);
+    Ok(outcome)
+}
+
+/// Runs a barrier-separated schedule of rounds; each round must fully drain
+/// before the next starts (the semantics of the paper's phased kernels).
+pub fn run_schedule(
+    topo: &Topology,
+    rounds: &[Vec<Flow>],
+    cfg: &EngineConfig,
+) -> SimResult<ScheduleOutcome> {
+    let mut out = ScheduleOutcome {
+        rounds: Vec::with_capacity(rounds.len()),
+        cycles: 0,
+        digest: FNV_OFFSET,
+    };
+    for (i, round) in rounds.iter().enumerate() {
+        let r = run_flows(topo, round, cfg)?;
+        out.cycles += r.cycles;
+        out.digest = fnv_fold(fnv_fold(out.digest, i as u64), r.digest);
+        out.rounds.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic;
+
+    fn small_cfg() -> EngineConfig {
+        let link = LinkParams {
+            bytes_per_cycle: 8.0,
+            packet_words: 16,
+            header_bytes: 8,
+            adp_extra_bytes: 8,
+            latency_cycles: 4,
+            congestion: 1.0,
+        };
+        EngineConfig::new(link, NodeParams::default())
+    }
+
+    #[test]
+    fn single_flow_delivers_all_words() {
+        let topo = Topology::torus(&[4]);
+        let flows = [Flow {
+            src: 0,
+            dst: 2,
+            bytes: 64 * 8,
+        }];
+        let out = run_flows(&topo, &flows, &small_cfg()).unwrap();
+        assert_eq!(out.words, 64);
+        // Two hops per word, no faults.
+        assert_eq!(out.flit_hops, 128);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn local_and_empty_flows_are_skipped() {
+        let topo = Topology::mesh(&[2, 2]);
+        let flows = [
+            Flow {
+                src: 1,
+                dst: 1,
+                bytes: 800,
+            },
+            Flow {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+            },
+        ];
+        let out = run_flows(&topo, &flows, &small_cfg()).unwrap();
+        assert_eq!(out.words, 0);
+        assert_eq!(out.windows, 0);
+    }
+
+    #[test]
+    fn invalid_flow_is_a_protocol_error() {
+        let topo = Topology::mesh(&[2, 2]);
+        let flows = [Flow {
+            src: 0,
+            dst: 9,
+            bytes: 8,
+        }];
+        assert!(matches!(
+            run_flows(&topo, &flows, &small_cfg()),
+            Err(SimError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_rate_is_approached_on_an_uncontended_path() {
+        let topo = Topology::torus(&[8]);
+        let words = 512u64;
+        let flows = [Flow {
+            src: 0,
+            dst: 1,
+            bytes: words * 8,
+        }];
+        let cfg = small_cfg();
+        let out = run_flows(&topo, &flows, &cfg).unwrap();
+        let wt = cfg.word_cycles();
+        let ideal = words as f64 * wt;
+        let t = out.cycles as f64;
+        assert!(t >= ideal, "cannot beat the wire: {t} < {ideal}");
+        assert!(
+            t < 2.0 * ideal + 200.0,
+            "an uncontended flow should run near wire rate: {t} vs {ideal}"
+        );
+    }
+
+    #[test]
+    fn contended_link_doubles_the_time() {
+        // Two flows share the 2→3 link on a ring; each alone would take
+        // ~W*wt, together the shared link serializes them.
+        let topo = Topology::mesh(&[8]);
+        let words = 256u64;
+        let flows = [
+            Flow {
+                src: 2,
+                dst: 4,
+                bytes: words * 8,
+            },
+            Flow {
+                src: 1,
+                dst: 5,
+                bytes: words * 8,
+            },
+        ];
+        let cfg = small_cfg();
+        let uncontended = run_flows(&topo, &flows[..1], &cfg).unwrap().cycles as f64;
+        let contended = run_flows(&topo, &flows, &cfg).unwrap().cycles as f64;
+        assert!(
+            contended > 1.6 * uncontended,
+            "sharing a link must show up: {contended} vs {uncontended}"
+        );
+    }
+
+    #[test]
+    fn digest_is_identical_across_worker_counts() {
+        let topo = Topology::torus(&[4, 4]);
+        let rounds = traffic::aapc_xor_schedule(16, 32 * 8);
+        let run = |jobs: usize| {
+            let mut cfg = small_cfg();
+            cfg.jobs = jobs;
+            cfg.nodes_per_port = 2;
+            cfg.record_events = true;
+            run_schedule(&topo, &rounds, &cfg).unwrap()
+        };
+        let base = run(1);
+        for jobs in [2, 4, 7] {
+            let out = run(jobs);
+            assert_eq!(out.digest, base.digest, "jobs={jobs}");
+            assert_eq!(out.cycles, base.cycles, "jobs={jobs}");
+            for (a, b) in out.rounds.iter().zip(&base.rounds) {
+                assert_eq!(a.events, b.events, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_use_the_second_virtual_channel() {
+        let topo = Topology::torus(&[5]);
+        // 4 → 1 wraps: hops 4→0 (wrap, VC0) then 0→1 (VC1).
+        let r = route(&topo, 4, 1);
+        let vcs = vc_labels(&topo, &r);
+        assert_eq!(vcs, vec![0, 1]);
+        // Mesh routes never leave VC0.
+        let m = Topology::mesh(&[5]);
+        let rm = route(&m, 0, 4);
+        assert!(vc_labels(&m, &rm).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn scaled_topology_splits_evenly() {
+        let t3d = Topology::torus(&[4, 4, 4]);
+        assert_eq!(scaled_topology(&t3d, 64).unwrap().dims(), &[4, 4, 4]);
+        assert_eq!(scaled_topology(&t3d, 8).unwrap().dims(), &[2, 2, 2]);
+        assert_eq!(scaled_topology(&t3d, 4).unwrap().dims(), &[2, 2, 1]);
+        let mesh = Topology::mesh(&[8, 8]);
+        let m16 = scaled_topology(&mesh, 16).unwrap();
+        assert_eq!(m16.dims(), &[4, 4]);
+        assert!(!m16.is_torus());
+        assert!(scaled_topology(&t3d, 3).is_err());
+        assert!(scaled_topology(&t3d, 0).is_err());
+    }
+
+    #[test]
+    fn fault_plan_replays_identically() {
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4]);
+        let flows = traffic::cyclic_shift(&topo, 1, 64 * 8);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 7,
+            rate: 0.05,
+            ..FaultConfig::default()
+        });
+        let mut cfg = small_cfg();
+        cfg.fault = plan;
+        cfg.record_events = true;
+        let a = run_flows(&topo, &flows, &cfg).unwrap();
+        let b = run_flows(&topo, &flows, &cfg).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+        assert!(a.dropped > 0 || a.corrupted > 0, "faults should fire at 5%");
+        // Dropped words are retransmitted, never lost: all four 64-word
+        // flows of the shift complete.
+        assert_eq!(a.words, 256);
+    }
+}

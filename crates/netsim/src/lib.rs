@@ -20,6 +20,7 @@
 
 pub mod barrier;
 pub mod congestion;
+pub mod engine;
 pub mod link;
 pub mod routing;
 pub mod topology;
@@ -27,6 +28,7 @@ pub mod traffic;
 
 pub use barrier::barrier_cycles;
 pub use congestion::{pattern_congestion, CongestionReport};
+pub use engine::{run_flows, run_schedule, EngineConfig, EngineOutcome};
 pub use link::{Link, LinkParams};
 pub use topology::{NodeId, Topology};
 pub use traffic::Flow;

@@ -144,3 +144,77 @@ fn link_conserves_and_orders() {
         }
     });
 }
+
+/// Dimension-order routes are deadlock-ordered: the dimension a hop moves
+/// in never decreases along the route (this is the invariant the engine's
+/// virtual-channel assignment relies on), and the route is minimal (its
+/// length is pinned to the Manhattan distance in `routes_are_valid_walks`).
+#[test]
+fn routes_are_dimension_ordered() {
+    forall("routes_are_dimension_ordered", 256, |rng| {
+        let topo = random_topology(rng);
+        let n = topo.len();
+        let src = rng.range_usize(0, n);
+        let dst = rng.range_usize(0, n);
+        let mut last_dim = 0usize;
+        for link in route(&topo, src, dst) {
+            let a = topo.coords(link.from);
+            let b = topo.coords(link.to);
+            let changed: Vec<usize> = (0..a.len()).filter(|&d| a[d] != b[d]).collect();
+            assert_eq!(changed.len(), 1, "a hop moves in exactly one dimension");
+            assert!(
+                changed[0] >= last_dim,
+                "dimension order violated: {} after {}",
+                changed[0],
+                last_dim
+            );
+            last_dim = changed[0];
+        }
+    });
+}
+
+/// `Topology::distance` is a metric on random torus/mesh shapes: zero only
+/// on the diagonal, symmetric, and obeying the triangle inequality.
+#[test]
+fn distance_is_a_metric() {
+    forall("distance_is_a_metric", 256, |rng| {
+        let topo = random_topology(rng);
+        let n = topo.len();
+        let a = rng.range_usize(0, n);
+        let b = rng.range_usize(0, n);
+        let c = rng.range_usize(0, n);
+        assert_eq!(topo.distance(a, a), 0);
+        assert_eq!((topo.distance(a, b) == 0), (a == b));
+        assert_eq!(topo.distance(a, b), topo.distance(b, a), "symmetry");
+        assert!(
+            topo.distance(a, c) <= topo.distance(a, b) + topo.distance(b, c),
+            "triangle inequality"
+        );
+    });
+}
+
+/// Link loads conserve traffic: the total bytes crossing all links equal
+/// the sum over flows of size × routed distance (every byte is counted on
+/// every link it traverses, and nowhere else).
+#[test]
+fn link_loads_conserve_flit_hops() {
+    use memcomm_netsim::congestion::link_loads;
+    forall("link_loads_conserve_flit_hops", 128, |rng| {
+        let topo = random_topology(rng);
+        let n = topo.len();
+        let flows: Vec<traffic::Flow> = (0..rng.range_usize(0, 12))
+            .map(|_| traffic::Flow {
+                src: rng.range_usize(0, n),
+                dst: rng.range_usize(0, n),
+                bytes: rng.range_u64(0, 512),
+            })
+            .collect();
+        let loads = link_loads(&topo, &flows);
+        let total: u64 = loads.values().sum();
+        let expected: u64 = flows
+            .iter()
+            .map(|f| f.bytes * topo.distance(f.src, f.dst))
+            .sum();
+        assert_eq!(total, expected, "byte-hops must be conserved");
+    });
+}

@@ -75,7 +75,7 @@ fn main() {
         "\nFEM boundary exchange on the simulated {} ({} words per neighbour, congestion {:.0}):",
         t3d.name,
         kernel.exchange_words(),
-        kernel.congestion(&t3d)
+        kernel.congestion(&t3d).expect("valid decomposition")
     );
     for method in [
         CommMethod::Pvm,

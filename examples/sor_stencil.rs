@@ -62,7 +62,7 @@ fn main() {
         "\nhalo exchange (rows of {} words) on the simulated {} (congestion {:.0}):",
         kernel.n,
         t3d.name,
-        kernel.congestion(&t3d)
+        kernel.congestion(&t3d).expect("valid decomposition")
     );
     for method in [
         CommMethod::Pvm,

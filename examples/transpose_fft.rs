@@ -75,7 +75,7 @@ fn main() {
     println!(
         "\ntranspose communication, 1024x1024 complex on the simulated {} (64 nodes, congestion {:.0}):",
         t3d.name,
-        kernel.congestion(&t3d)
+        kernel.congestion(&t3d).expect("valid decomposition")
     );
     for method in [
         CommMethod::Pvm,

@@ -1,0 +1,88 @@
+//! Golden-file regression test for the discrete-event network engine: an
+//! 8-node engine reproduction of the Table 6 kernels is pinned row by row
+//! — congestion factors, cycle counts, flit-hops, window counts, and the
+//! event-stream digest.
+//!
+//! The engine is deterministic, so integers and digests must match
+//! exactly; floats only absorb the decimal round-trip of the golden file.
+//! If a deliberate engine change moves these numbers, regenerate:
+//!
+//! ```text
+//! # rebuild tests/golden/engine_table6.json from the rows of
+//! cargo run --release --bin repro -- --engine event --nodes 8 \
+//!   --engine-transpose-n 256 --engine-sor-n 256 --calibration \
+//!   --jobs 1 --json out.json
+//! ```
+
+use memcomm_bench::experiments::{engine_table6, EngineSettings};
+use memcomm_util::json::Json;
+
+const REL_TOL: f64 = 1e-9;
+
+fn f64_field(row: &Json, key: &str) -> f64 {
+    row.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("golden row missing {key}"))
+}
+
+#[test]
+fn engine_table6_matches_the_golden_file() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/engine_table6.json"
+    ))
+    .expect("golden file present");
+    let golden = Json::parse(&text).expect("golden file parses");
+
+    let settings = EngineSettings {
+        nodes: f64_field(&golden, "nodes") as usize,
+        transpose_n: f64_field(&golden, "transpose_n") as u64,
+        sor_n: f64_field(&golden, "sor_n") as u64,
+        jobs: 1,
+    };
+    let rows = engine_table6(&settings).expect("engine reproduces");
+
+    let golden_rows = golden.get("rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(
+        golden_rows.len(),
+        rows.len(),
+        "engine kernel × machine set changed"
+    );
+    for (want, got) in golden_rows.iter().zip(&rows) {
+        let kernel = want.get("kernel").and_then(Json::as_str).expect("kernel");
+        let machine = want.get("machine").and_then(Json::as_str).expect("machine");
+        assert_eq!(got.kernel, kernel);
+        assert_eq!(got.machine, machine);
+        let ctx = format!("{kernel} on {machine}");
+
+        for (key, have) in [
+            ("engine_congestion", got.engine_congestion),
+            ("analytic_congestion", got.analytic_congestion),
+            ("engine_chained", got.engine_chained),
+            ("analytic_chained", got.analytic_chained),
+        ] {
+            let expect = f64_field(want, key);
+            assert!(
+                (have - expect).abs() <= REL_TOL * expect.abs().max(1.0),
+                "{ctx}: {key} {have} vs golden {expect}"
+            );
+        }
+        assert_eq!(
+            got.cycles,
+            f64_field(want, "cycles") as u64,
+            "{ctx}: cycles"
+        );
+        assert_eq!(
+            got.flit_hops,
+            f64_field(want, "flit_hops") as u64,
+            "{ctx}: flit_hops"
+        );
+        assert_eq!(
+            got.windows,
+            f64_field(want, "windows") as u64,
+            "{ctx}: windows"
+        );
+        let digest = want.get("digest").and_then(Json::as_str).expect("digest");
+        assert_eq!(got.digest, digest, "{ctx}: event-stream digest drifted");
+    }
+}

@@ -153,3 +153,46 @@ fn parallel_sweep_is_byte_identical_to_serial() {
         "the opt-in phase attribution must be present in these runs"
     );
 }
+
+/// The event engine's determinism contract, end to end through the bench
+/// layer: the engine Table 6 section renders byte-identical JSON at any
+/// shard worker count. This can live outside the mega-test above because
+/// the engine takes its worker count explicitly — it never reads the
+/// process-wide setting these sweeps mutate.
+#[test]
+fn engine_section_is_byte_identical_across_worker_counts() {
+    use memcomm_bench::experiments::{engine_table6, EngineSettings};
+    use memcomm_bench::runner::FullReport;
+
+    let settings = |jobs| EngineSettings {
+        nodes: 8,
+        transpose_n: 128,
+        sor_n: 128,
+        jobs,
+    };
+    let render = |jobs| {
+        let report = FullReport {
+            engine_table6: engine_table6(&settings(jobs)).expect("engine runs"),
+            ..FullReport::default()
+        };
+        report.to_json().render()
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    assert_eq!(
+        serial, parallel,
+        "engine rows must render byte-identically at jobs=1 and jobs=4"
+    );
+    assert!(
+        serial.contains("\"engine_table6\""),
+        "the engine key must be present when rows exist"
+    );
+    // And absent otherwise: the default report keeps its exact bytes.
+    assert!(
+        !FullReport::default()
+            .to_json()
+            .render()
+            .contains("engine_table6"),
+        "an engine-less report must not mention the engine"
+    );
+}
