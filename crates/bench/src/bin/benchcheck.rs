@@ -1,0 +1,64 @@
+//! `benchcheck` — validates a perfsuite report against its canonical
+//! schema.
+//!
+//! ```text
+//! benchcheck FILE [--normalize]
+//! ```
+//!
+//! Parses `FILE` (written by `repro --bench-out`), checks it against the
+//! schema in [`memcomm_bench::perfsuite`], and exits 0 when it conforms.
+//! `--normalize` additionally prints the normalized report — every number
+//! in every bench's `timing` object zeroed — to stdout, so CI can diff the
+//! deterministic structure against a golden file while ignoring wall
+//! times. Any violation prints a description to stderr and exits 1.
+
+use memcomm_bench::perfsuite;
+use memcomm_util::json::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut normalize = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--normalize" => normalize = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => {
+                eprintln!("unknown argument {other}; usage: benchcheck FILE [--normalize]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: benchcheck FILE [--normalize]");
+        std::process::exit(2);
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match Json::parse(&body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = perfsuite::validate(&doc) {
+        eprintln!("{path} violates the perfsuite schema: {e}");
+        std::process::exit(1);
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    if normalize {
+        print!("{}", perfsuite::normalize(&doc).render());
+        eprintln!("{path} ok ({benches} benches, normalized to stdout)");
+    } else {
+        println!("{path} ok ({benches} benches)");
+    }
+}

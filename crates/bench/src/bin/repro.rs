@@ -10,6 +10,7 @@
 //!       [--engine analytic|event] [--nodes N]
 //!       [--engine-transpose-n N] [--engine-sor-n N]
 //!       [--trace-out PATH] [--profile PATH]
+//!       [--bench-out PATH] [--bench-n N] [--bench-nodes N] [--bench-smoke]
 //! ```
 //!
 //! With no selection flags everything runs. Experiments fan out across
@@ -37,6 +38,18 @@
 //! they are byte-identical at any `--jobs`. `--engine analytic` is the
 //! default and is a no-op: the report keeps its exact pre-engine bytes.
 //!
+//! `--bench-out PATH` runs the deterministic perf-regression suite instead
+//! of a sweep and writes its canonical JSON report (validate it with the
+//! `benchcheck` binary). The suite times the hot paths — the full `--all`
+//! sweep memo-cold and memo-warm at 1 and 4 workers, the six Table 6
+//! kernel × machine engine runs plus the retired heap-scheduler baseline
+//! on the saturated transpose, and a protocol retry storm under a seeded
+//! fault plan — reporting median-of-N wall times, simulated cycles per
+//! second, and peak event-queue depths. `--bench-n N` overrides the
+//! repetition count, `--bench-nodes N` the simulated node count, and
+//! `--bench-smoke` selects the small CI preset (1 rep, 4 nodes, shrunken
+//! payloads).
+//!
 //! Observability: `--trace-out PATH` records cycle-accurate spans for
 //! every simulated scenario and writes a Chrome `trace_event` JSON file
 //! (load it at `chrome://tracing` or <https://ui.perfetto.dev>; validate it
@@ -49,6 +62,7 @@
 //! `--trace-out` renders byte-identical report JSON.
 
 use memcomm_bench::experiments::EngineSettings;
+use memcomm_bench::perfsuite;
 use memcomm_bench::report::TextTable;
 use memcomm_bench::runner::{self, SweepOptions};
 use memcomm_obs::Obs;
@@ -83,6 +97,10 @@ fn main() {
     let mut engine_nodes: Option<usize> = None;
     let mut engine_transpose_n: Option<u64> = None;
     let mut engine_sor_n: Option<u64> = None;
+    let mut bench_out: Option<String> = None;
+    let mut bench_n: Option<usize> = None;
+    let mut bench_nodes: Option<usize> = None;
+    let mut bench_smoke = false;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" => all = true,
@@ -135,6 +153,13 @@ fn main() {
             "--engine-sor-n" => {
                 engine_sor_n = Some(number(&mut it, "--engine-sor-n"));
             }
+            "--bench-out" => match it.next() {
+                Some(path) => bench_out = Some(path.clone()),
+                None => usage_error("--bench-out takes a path"),
+            },
+            "--bench-n" => bench_n = Some(number(&mut it, "--bench-n") as usize),
+            "--bench-nodes" => bench_nodes = Some(number(&mut it, "--bench-nodes") as usize),
+            "--bench-smoke" => bench_smoke = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -163,6 +188,45 @@ fn main() {
     if all {
         // --all wins over individual selections: run every section.
         opts.sections.clear();
+    }
+
+    // --bench-out selects the perf-regression suite instead of a sweep.
+    if let Some(path) = bench_out {
+        let mut popts = if bench_smoke {
+            perfsuite::PerfOptions::smoke()
+        } else {
+            perfsuite::PerfOptions::default()
+        };
+        if let Some(n) = bench_n {
+            popts.reps = n;
+        }
+        if let Some(n) = bench_nodes {
+            popts.nodes = n;
+        }
+        eprintln!(
+            "perfsuite: {} rep(s), {} nodes, micro {} / exchange {} words",
+            popts.reps.max(1),
+            popts.nodes,
+            popts.micro_words,
+            popts.exchange_words
+        );
+        match perfsuite::run(&popts) {
+            Ok(doc) => {
+                perfsuite::validate(&doc).expect("perfsuite output conforms to its own schema");
+                if let Err(e) = std::fs::write(&path, doc.render()) {
+                    eprintln!("cannot write bench report to {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote bench report to {path}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("perfsuite failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if bench_n.is_some() || bench_nodes.is_some() || bench_smoke {
+        usage_error("--bench-n/--bench-nodes/--bench-smoke require --bench-out PATH");
     }
 
     println!("memcomm reproduction of Stricker & Gross, ISCA 1995");

@@ -780,6 +780,7 @@ pub fn engine_table6(settings: &EngineSettings) -> SimResult<Vec<EngineRow>> {
                 nodes: Some(settings.nodes),
                 jobs: settings.jobs,
                 record_events: false,
+                reference_scheduler: false,
             };
             let run = netrun::run_rounds(&machine, &topo, &rounds, &opts)?;
             let engine_m = kernel.measure_at(&machine, CommMethod::Chained, p, run.factor)?;

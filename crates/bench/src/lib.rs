@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perfsuite;
 pub mod phases;
 pub mod report;
 pub mod runner;

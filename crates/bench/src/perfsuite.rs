@@ -1,0 +1,608 @@
+//! Deterministic perf-regression harness (`repro --bench-out`).
+//!
+//! Times the reproduction's hot paths — the full `--all` sweep (memo-cold
+//! and memo-warm, serial and fanned out), the six Table 6 kernel × machine
+//! engine runs, the retired heap scheduler on the saturated transpose (the
+//! baseline the timing wheel is measured against), and a protocol retry
+//! storm under a seeded fault plan — and writes one canonical JSON report.
+//!
+//! The report separates two kinds of data with different contracts:
+//!
+//! * every bench's `deterministic` object holds values that must be
+//!   byte-identical run to run and machine to machine at fixed
+//!   [`PerfOptions`] — event digests, cycle counts, flit hops, peak queue
+//!   depths, frame counts. A perf regression hunt can diff these against a
+//!   golden file; any change is a correctness bug, not noise;
+//! * the `timing` object holds wall-clock data — median-of-N milliseconds,
+//!   simulated cycles per wall second, cache traffic (racy at `jobs > 1`),
+//!   and the wheel-vs-heap speedup. [`normalize`] zeroes every number in
+//!   it, so golden comparisons can pin the full report *structure* while
+//!   ignoring the one thing that legitimately varies.
+//!
+//! [`validate`] checks a parsed report against the schema; the `benchcheck`
+//! binary wraps it (and [`normalize`], under `--normalize`) for CI.
+
+use std::time::Instant;
+
+use memcomm_commops::{run_resilient_transfer, ProtocolConfig, Style};
+use memcomm_kernels::netrun::{self, EngineOptions};
+use memcomm_machines::{memo, Machine};
+use memcomm_memsim::fault::{FaultConfig, FaultPlan};
+use memcomm_memsim::{SimError, SimResult};
+use memcomm_model::AccessPattern;
+use memcomm_util::json::Json;
+
+use crate::experiments::{EngineSettings, EXCHANGE_WORDS, MICRO_WORDS};
+use crate::runner::{self, SweepOptions};
+
+/// Version stamped into (and required of) every report.
+pub const SCHEMA_VERSION: u64 = 1;
+/// Suite name stamped into (and required of) every report.
+pub const SUITE: &str = "memcomm-perfsuite";
+/// The bench groups a report may contain.
+pub const GROUPS: &[&str] = &["sweep", "engine", "engine_baseline", "protocol"];
+
+/// Workload knobs of a perfsuite run. The defaults are the acceptance
+/// configuration (64 simulated nodes, the paper's kernel instances,
+/// median of 3); [`PerfOptions::smoke`] is the CI preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfOptions {
+    /// Repetitions per bench (wall times report median/min/max of these).
+    pub reps: usize,
+    /// Simulated engine node count (power of two).
+    pub nodes: usize,
+    /// Microbenchmark payload words for the sweep benches.
+    pub micro_words: u64,
+    /// Exchange payload words for the sweep and protocol benches.
+    pub exchange_words: u64,
+    /// Transpose matrix dimension for the engine benches.
+    pub transpose_n: u64,
+    /// SOR halo row words for the engine benches.
+    pub sor_n: u64,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            reps: 3,
+            nodes: 64,
+            micro_words: MICRO_WORDS,
+            exchange_words: EXCHANGE_WORDS,
+            transpose_n: 1024,
+            sor_n: 256,
+        }
+    }
+}
+
+impl PerfOptions {
+    /// The CI smoke preset: one rep, 4 nodes, shrunken payloads — seconds,
+    /// not minutes, while exercising every bench and schema path.
+    pub fn smoke() -> Self {
+        PerfOptions {
+            reps: 1,
+            nodes: 4,
+            micro_words: 1024,
+            exchange_words: 512,
+            transpose_n: 64,
+            sor_n: 64,
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the digest the report uses to pin sweep-report bytes.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` `reps` times, returning the last result and per-rep wall ms.
+fn timed<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Vec<f64>) {
+    let reps = reps.max(1);
+    let mut walls = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = Some(f());
+        walls.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (out.expect("reps >= 1"), walls)
+}
+
+fn median(walls: &[f64]) -> f64 {
+    let mut sorted = walls.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// The mandatory prefix of every `timing` object, plus bench-specific
+/// extras. `sim_cycles` (when known) prices the median wall time in
+/// simulated cycles per wall second.
+fn timing_obj(walls: &[f64], sim_cycles: Option<u64>, extra: Vec<(&'static str, Json)>) -> Json {
+    let med = median(walls);
+    let min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = walls.iter().copied().fold(0.0f64, f64::max);
+    let mut pairs = vec![
+        ("wall_ms_median", Json::Num(med)),
+        ("wall_ms_min", Json::Num(min)),
+        ("wall_ms_max", Json::Num(max)),
+    ];
+    if let Some(c) = sim_cycles {
+        pairs.push((
+            "sim_cycles_per_sec",
+            Json::Num(c as f64 / (med / 1e3).max(1e-12)),
+        ));
+    }
+    pairs.extend(extra);
+    Json::obj(pairs)
+}
+
+fn bench_obj(name: &str, group: &str, deterministic: Json, timing: Json) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("group", Json::str(group)),
+        ("deterministic", deterministic),
+        ("timing", timing),
+    ])
+}
+
+fn hex16(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+/// The full `--all` sweep at a fixed worker count: one timed run, plus the
+/// FNV of the rendered report (the byte-determinism anchor) and the cache
+/// traffic of the *last* rep (racy at `jobs > 1`, hence a timing field).
+fn sweep_bench(opts: &PerfOptions, jobs: usize, cold: bool, benches: &mut Vec<Json>) -> u64 {
+    let name = format!(
+        "sweep_all_jobs{jobs}_{}",
+        if cold { "cold" } else { "warm" }
+    );
+    eprintln!("perfsuite: {name} ({} reps)", opts.reps.max(1));
+    let sweep = SweepOptions {
+        jobs,
+        micro_words: opts.micro_words,
+        exchange_words: opts.exchange_words,
+        ..SweepOptions::default()
+    };
+    let (last, walls) = timed(opts.reps, || {
+        if cold {
+            memo::reset();
+        }
+        runner::run_sweep(&sweep)
+    });
+    let (report, metrics) = last;
+    let fnv = fnv64(report.to_json().render().as_bytes());
+    benches.push(bench_obj(
+        &name,
+        "sweep",
+        Json::obj([
+            ("report_fnv", hex16(fnv)),
+            ("points", metrics.points.into()),
+        ]),
+        timing_obj(
+            &walls,
+            Some(metrics.sim.cycles),
+            vec![
+                ("cache_hits", metrics.cache.hits.into()),
+                ("cache_misses", metrics.cache.misses.into()),
+            ],
+        ),
+    ));
+    fnv
+}
+
+/// One engine execution of a Table 6 kernel on a machine's scaled topology.
+fn engine_bench(
+    opts: &PerfOptions,
+    machine: &Machine,
+    short: &str,
+    kernel: &netrun::Table6Kernel,
+    reference: bool,
+    benches: &mut Vec<Json>,
+) -> SimResult<(f64, netrun::EngineRun)> {
+    let name = format!(
+        "engine_{}_{short}{}",
+        kernel.name().to_lowercase(),
+        if reference { "_heap" } else { "" }
+    );
+    eprintln!("perfsuite: {name} ({} reps)", opts.reps.max(1));
+    let topo = netrun::engine_topology(machine, Some(opts.nodes))?;
+    let rounds = kernel.rounds(&topo)?;
+    let eopts = EngineOptions {
+        nodes: Some(opts.nodes),
+        jobs: 1,
+        record_events: false,
+        reference_scheduler: reference,
+    };
+    let (last, walls) = timed(opts.reps, || {
+        netrun::run_rounds(machine, &topo, &rounds, &eopts)
+    });
+    let run = last?;
+    benches.push(bench_obj(
+        &name,
+        if reference {
+            "engine_baseline"
+        } else {
+            "engine"
+        },
+        Json::obj([
+            ("cycles", run.cycles.into()),
+            ("words", run.words.into()),
+            ("flit_hops", run.flit_hops.into()),
+            ("windows", run.windows.into()),
+            ("peak_queue_depth", run.peak_queue_depth.into()),
+            ("digest", hex16(run.digest)),
+        ]),
+        timing_obj(&walls, Some(run.cycles), Vec::new()),
+    ));
+    Ok((median(&walls), run))
+}
+
+/// The resilient-transfer retry storm: a seeded fault plan drops enough
+/// link words that the stop-and-wait protocol spends its time in timeouts,
+/// backoff and retransmissions — the protocol hot path under stress.
+fn protocol_bench(opts: &PerfOptions, benches: &mut Vec<Json>) -> SimResult<()> {
+    eprintln!(
+        "perfsuite: protocol_retry_storm ({} reps)",
+        opts.reps.max(1)
+    );
+    let cfg = ProtocolConfig {
+        words: opts.exchange_words,
+        ..ProtocolConfig::default()
+    };
+    let plan = FaultPlan::new(FaultConfig {
+        seed: 0xB5_57_02,
+        rate: 0.004,
+        ..FaultConfig::default()
+    });
+    let machine = Machine::t3d();
+    let (last, walls) = timed(opts.reps, || {
+        run_resilient_transfer(
+            &machine,
+            AccessPattern::Contiguous,
+            AccessPattern::Contiguous,
+            Style::Chained,
+            plan,
+            &cfg,
+        )
+    });
+    let report = last?;
+    benches.push(bench_obj(
+        "protocol_retry_storm",
+        "protocol",
+        Json::obj([
+            ("words", report.words.into()),
+            ("frames_sent", report.frames_sent.into()),
+            ("retransmissions", report.retransmissions.into()),
+            ("end_cycle", report.end_cycle.into()),
+            ("verified", report.verified.into()),
+            ("degraded", report.degraded.into()),
+        ]),
+        timing_obj(&walls, Some(report.end_cycle), Vec::new()),
+    ));
+    Ok(())
+}
+
+/// Runs the whole suite and returns the canonical report.
+///
+/// As a side effect this run *is* a determinism check: the serial and
+/// fanned-out sweeps must render byte-identical reports, and the heap
+/// baseline must reproduce the wheel scheduler's outcome exactly.
+///
+/// # Errors
+///
+/// Propagates engine and protocol failures, and surfaces a determinism
+/// violation (serial vs parallel sweep, wheel vs heap) as
+/// [`SimError::Protocol`].
+pub fn run(opts: &PerfOptions) -> SimResult<Json> {
+    let mut benches = Vec::new();
+
+    // Sweeps: cold first (each rep resets the memo cache), then warm on
+    // the cache the cold rep left behind.
+    let mut fnvs = Vec::new();
+    for jobs in [1usize, 4] {
+        fnvs.push(sweep_bench(opts, jobs, true, &mut benches));
+        fnvs.push(sweep_bench(opts, jobs, false, &mut benches));
+    }
+    if fnvs.iter().any(|&f| f != fnvs[0]) {
+        return Err(SimError::Protocol {
+            detail: "sweep reports diverged across worker counts".to_string(),
+            at: 0,
+        });
+    }
+
+    // The six Table 6 kernel × machine pairs on the production scheduler,
+    // then the saturated transpose again on the retired heap baseline.
+    let settings = EngineSettings {
+        nodes: opts.nodes,
+        transpose_n: opts.transpose_n,
+        sor_n: opts.sor_n,
+        jobs: 1,
+    };
+    let mut transpose_t3d: Option<(f64, netrun::EngineRun)> = None;
+    for (machine, short) in [(Machine::t3d(), "t3d"), (Machine::paragon(), "paragon")] {
+        for kernel in crate::experiments::engine_kernels(&settings) {
+            let out = engine_bench(opts, &machine, short, &kernel, false, &mut benches)?;
+            if short == "t3d" && kernel.name() == "Transpose" {
+                transpose_t3d = Some(out);
+            }
+        }
+    }
+    let (wheel_ms, wheel_run) = transpose_t3d.expect("the transpose ran on the T3D");
+    let kernel = crate::experiments::engine_kernels(&settings)
+        .into_iter()
+        .find(|k| k.name() == "Transpose")
+        .expect("the kernel set contains the transpose");
+    let (heap_ms, heap_run) =
+        engine_bench(opts, &Machine::t3d(), "t3d", &kernel, true, &mut benches)?;
+    if heap_run != wheel_run {
+        return Err(SimError::Protocol {
+            detail: "heap baseline diverged from the wheel scheduler".to_string(),
+            at: 0,
+        });
+    }
+    // The acceptance statistic: production sim-cycles/sec over the heap
+    // baseline's, recorded on the baseline bench (timing — it is a ratio
+    // of wall times).
+    let speedup = heap_ms / wheel_ms.max(1e-12);
+    if let Some(Json::Obj(bench)) = benches.last_mut() {
+        if let Some((_, Json::Obj(timing))) = bench.iter_mut().find(|(k, _)| k == "timing") {
+            timing.push(("speedup".to_string(), Json::Num(speedup)));
+        }
+    }
+
+    protocol_bench(opts, &mut benches)?;
+
+    Ok(Json::obj([
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("suite", Json::str(SUITE)),
+        (
+            "options",
+            Json::obj([
+                ("reps", (opts.reps as u64).into()),
+                ("nodes", (opts.nodes as u64).into()),
+                ("micro_words", opts.micro_words.into()),
+                ("exchange_words", opts.exchange_words.into()),
+                ("transpose_n", opts.transpose_n.into()),
+                ("sor_n", opts.sor_n.into()),
+            ]),
+        ),
+        ("benches", Json::Arr(benches)),
+    ]))
+}
+
+fn obj_keys(v: &Json) -> Option<Vec<&str>> {
+    match v {
+        Json::Obj(pairs) => Some(pairs.iter().map(|(k, _)| k.as_str()).collect()),
+        _ => None,
+    }
+}
+
+fn is_hex16(s: &str) -> bool {
+    s.len() == 16
+        && s.bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// Validates a parsed report against the canonical schema: exact top-level
+/// and per-bench key sets, known groups, unique snake_case names, 16-digit
+/// lowercase hex digests, and finite non-negative timing numbers with
+/// `min <= median <= max`. Normalized reports (all timing numbers zeroed)
+/// validate too — CI runs the check on both.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if obj_keys(doc) != Some(vec!["schema_version", "suite", "options", "benches"]) {
+        return Err("top level must be {schema_version, suite, options, benches}".to_string());
+    }
+    if doc.get("schema_version") != Some(&Json::Int(SCHEMA_VERSION as i64)) {
+        return Err(format!("schema_version must be {SCHEMA_VERSION}"));
+    }
+    if doc.get("suite").and_then(Json::as_str) != Some(SUITE) {
+        return Err(format!("suite must be {SUITE:?}"));
+    }
+    let options = doc.get("options").ok_or("options missing")?;
+    let want = vec![
+        "reps",
+        "nodes",
+        "micro_words",
+        "exchange_words",
+        "transpose_n",
+        "sor_n",
+    ];
+    if obj_keys(options) != Some(want.clone()) {
+        return Err(format!("options must be an object with keys {want:?}"));
+    }
+    for key in want {
+        match options.get(key) {
+            Some(Json::Int(n)) if *n >= 0 => {}
+            _ => return Err(format!("options.{key} must be a non-negative integer")),
+        }
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or("benches must be an array")?;
+    if benches.is_empty() {
+        return Err("benches must not be empty".to_string());
+    }
+    let mut seen = Vec::new();
+    for (i, b) in benches.iter().enumerate() {
+        let at = |msg: &str| format!("bench {i}: {msg}");
+        if obj_keys(b) != Some(vec!["name", "group", "deterministic", "timing"]) {
+            return Err(at("must be {name, group, deterministic, timing}"));
+        }
+        let name = b.get("name").and_then(Json::as_str).ok_or(at("bad name"))?;
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+        {
+            return Err(at(&format!("name {name:?} must be snake_case ascii")));
+        }
+        if seen.contains(&name) {
+            return Err(at(&format!("duplicate name {name:?}")));
+        }
+        seen.push(name);
+        let group = b
+            .get("group")
+            .and_then(Json::as_str)
+            .ok_or(at("bad group"))?;
+        if !GROUPS.contains(&group) {
+            return Err(at(&format!(
+                "unknown group {group:?} (want one of {GROUPS:?})"
+            )));
+        }
+        let det = b.get("deterministic").ok_or(at("deterministic missing"))?;
+        let Json::Obj(pairs) = det else {
+            return Err(at("deterministic must be an object"));
+        };
+        for (k, v) in pairs {
+            match v {
+                Json::Int(n) if *n >= 0 => {}
+                Json::Bool(_) => {}
+                Json::Str(s) if (k.ends_with("digest") || k.ends_with("fnv")) && is_hex16(s) => {}
+                _ => {
+                    return Err(at(&format!(
+                        "deterministic.{k} must be a non-negative integer, bool, \
+                         or (for digests) 16 lowercase hex digits"
+                    )))
+                }
+            }
+        }
+        let timing = b.get("timing").ok_or(at("timing missing"))?;
+        let Json::Obj(pairs) = timing else {
+            return Err(at("timing must be an object"));
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        if keys.len() < 3 || keys[..3] != ["wall_ms_median", "wall_ms_min", "wall_ms_max"] {
+            return Err(at(
+                "timing must start with wall_ms_median, wall_ms_min, wall_ms_max",
+            ));
+        }
+        let mut wall = [0.0f64; 3];
+        for (k, v) in pairs {
+            let Some(n) = v.as_f64() else {
+                return Err(at(&format!("timing.{k} must be a number")));
+            };
+            if !n.is_finite() || n < 0.0 {
+                return Err(at(&format!("timing.{k} must be finite and non-negative")));
+            }
+            match k.as_str() {
+                "wall_ms_median" => wall[0] = n,
+                "wall_ms_min" => wall[1] = n,
+                "wall_ms_max" => wall[2] = n,
+                _ => {}
+            }
+        }
+        if !(wall[1] <= wall[0] && wall[0] <= wall[2]) {
+            return Err(at("wall times must satisfy min <= median <= max"));
+        }
+    }
+    Ok(())
+}
+
+/// The report with every number in every bench's `timing` object replaced
+/// by `0` — deterministic bytes suitable for golden-file comparison.
+pub fn normalize(doc: &Json) -> Json {
+    let mut out = doc.clone();
+    let Json::Obj(top) = &mut out else {
+        return out;
+    };
+    let Some((_, Json::Arr(benches))) = top.iter_mut().find(|(k, _)| k == "benches") else {
+        return out;
+    };
+    for b in benches {
+        let Json::Obj(pairs) = b else { continue };
+        let Some((_, Json::Obj(timing))) = pairs.iter_mut().find(|(k, _)| k == "timing") else {
+            continue;
+        };
+        for (_, v) in timing {
+            if matches!(v, Json::Int(_) | Json::Num(_)) {
+                *v = Json::Int(0);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke preset end to end: runs, validates, and its normalized
+    /// rendering is byte-stable across two runs (the golden-bench tier pins
+    /// the exact bytes in a separate process).
+    #[test]
+    fn smoke_suite_runs_validates_and_normalizes_deterministically() {
+        let opts = PerfOptions::smoke();
+        let a = run(&opts).expect("suite runs");
+        validate(&a).expect("report validates");
+        let b = run(&opts).expect("suite reruns");
+        assert_eq!(
+            normalize(&a).render(),
+            normalize(&b).render(),
+            "normalized reports must be byte-stable"
+        );
+        let na = normalize(&a);
+        validate(&na).expect("normalized report validates too");
+        assert_ne!(a.render(), na.render(), "normalization zeroes wall times");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_reports() {
+        let ok = run(&PerfOptions::smoke()).expect("suite runs");
+        assert!(validate(&Json::Null).is_err());
+        // Wrong suite name.
+        let mut bad = ok.clone();
+        if let Json::Obj(pairs) = &mut bad {
+            pairs[1].1 = Json::str("not-the-suite");
+        }
+        assert!(validate(&bad).unwrap_err().contains("suite"));
+        // A corrupted digest.
+        let mut bad = ok.clone();
+        if let Json::Obj(pairs) = &mut bad {
+            if let Some((_, Json::Arr(benches))) = pairs.iter_mut().find(|(k, _)| k == "benches") {
+                if let Json::Obj(bench) = &mut benches[0] {
+                    if let Some((_, Json::Obj(det))) =
+                        bench.iter_mut().find(|(k, _)| k == "deterministic")
+                    {
+                        det[0].1 = Json::str("XYZ");
+                    }
+                }
+            }
+        }
+        assert!(validate(&bad).is_err());
+        // A negative wall time.
+        let mut bad = ok;
+        if let Json::Obj(pairs) = &mut bad {
+            if let Some((_, Json::Arr(benches))) = pairs.iter_mut().find(|(k, _)| k == "benches") {
+                if let Json::Obj(bench) = &mut benches[0] {
+                    if let Some((_, Json::Obj(t))) = bench.iter_mut().find(|(k, _)| k == "timing") {
+                        t[0].1 = Json::Num(-1.0);
+                    }
+                }
+            }
+        }
+        assert!(validate(&bad).unwrap_err().contains("non-negative"));
+    }
+
+    #[test]
+    fn hex16_accepts_digests_and_rejects_noise() {
+        assert!(is_hex16("00deadbeef001122"));
+        assert!(!is_hex16("00DEADBEEF001122"));
+        assert!(!is_hex16("abc"));
+        assert!(!is_hex16("zz00000000000000"));
+    }
+}

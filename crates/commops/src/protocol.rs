@@ -710,6 +710,130 @@ mod tests {
         }
     }
 
+    /// A timeout so large it can never fire turns retry exhaustion into a
+    /// livelock: the sender spin-polls for an ack that total word loss
+    /// guarantees will never come. The watchdog's step budget must convert
+    /// that into [`SimError::Wedged`] instead of spinning forever.
+    #[test]
+    fn a_timeout_that_never_fires_wedges_instead_of_spinning() {
+        let m = Machine::t3d();
+        let never = ProtocolConfig {
+            words: 64,
+            timeout_cycles: 1 << 40,
+            max_timeout_cycles: 1 << 41,
+            ..ProtocolConfig::default()
+        };
+        match run_resilient_transfer(&m, C1, C1, Style::Chained, faulty(1.0, 5), &never) {
+            Err(SimError::Wedged { engine, steps, .. }) => {
+                assert_eq!(engine, "resilient transfer");
+                assert!(steps > 0);
+            }
+            other => panic!("expected the watchdog to fire, got {other:?}"),
+        }
+    }
+
+    /// Attempt counts far past the cap must saturate at
+    /// `max_timeout_cycles` — the backoff schedule multiplies instead of
+    /// shifting precisely so attempt 63+ cannot overflow.
+    #[test]
+    fn backoff_saturates_without_overflow_at_huge_attempts() {
+        let c = cfg();
+        for attempt in [63, 64, 100, u32::MAX] {
+            assert_eq!(backoff_timeout(&c, attempt), c.max_timeout_cycles);
+        }
+        let extreme = ProtocolConfig {
+            timeout_cycles: 3,
+            backoff_factor: u32::MAX,
+            max_timeout_cycles: 1 << 62,
+            ..cfg()
+        };
+        assert_eq!(backoff_timeout(&extreme, 63), 1 << 62);
+        assert_eq!(backoff_timeout(&extreme, u32::MAX), 1 << 62);
+    }
+
+    /// An ack for a sequence number the sender is not waiting on must be
+    /// dropped on the floor: no state change, no counter skew — only the
+    /// matching ack advances the frame.
+    #[test]
+    fn unknown_sequence_acks_are_ignored_without_counter_skew() {
+        let m = Machine::t3d();
+        let mut node = Node::new(m.node);
+        let layout = ExchangeLayout::new(&mut node, C1, C1, 128, 0x5EED, 0).unwrap();
+        let mut s = Sender {
+            src: layout.src.slice(0, 128),
+            remote: None,
+            frame_words: 64,
+            frames: 2,
+            seq: 0,
+            attempt: 0,
+            state: SendState::AwaitAck { deadline: 1 << 30 },
+            frames_sent: 1,
+            retransmissions: 0,
+            staged: Vec::new(),
+            word_cycles: 4,
+            ctl_cycles: 2,
+            poll_cycles: 8,
+            t: 1000,
+            obs: memcomm_obs::Obs::current(),
+            frame_start: 0,
+        };
+        let c = ProtocolConfig::default();
+        node.rx.push(0, ack_word(7)).expect("ack fits");
+        s.step(&mut node, &c).unwrap();
+        assert_eq!(s.seq, 0, "a stray ack must not advance the frame");
+        assert!(matches!(s.state, SendState::AwaitAck { .. }));
+        assert_eq!((s.frames_sent, s.retransmissions, s.attempt), (1, 0, 0));
+        node.rx.push(0, ack_word(0)).expect("ack fits");
+        s.step(&mut node, &c).unwrap();
+        assert_eq!(s.seq, 1, "the matching ack advances exactly one frame");
+        assert!(matches!(s.state, SendState::Sending { pos: 0 }));
+        assert_eq!(s.frames_sent, 1, "advancing a frame sends nothing");
+    }
+
+    /// A checksummed frame whose sequence number is not the expected one:
+    /// a duplicate (below) is re-acked and discarded, a future frame
+    /// (stop-and-wait state corruption) is dropped unacked — and neither
+    /// moves `expected_seq`.
+    #[test]
+    fn out_of_sequence_frames_never_skew_the_receiver() {
+        let m = Machine::t3d();
+        let mut node = Node::new(m.node);
+        let layout = ExchangeLayout::new(&mut node, C1, C1, 128, 0x5EED, 1).unwrap();
+        let mut r = Receiver {
+            dst: layout.dst.slice(0, 128),
+            frame_words: 64,
+            expected_seq: 1,
+            frames: 2,
+            state: RecvState::AwaitHdr,
+            addressed: false,
+            word_cycles: 1,
+            ctl_cycles: 1,
+            t: 0,
+        };
+        let payload = vec![NetWord::data(0xAB); 4];
+        // Duplicate (seq 0 < expected 1): its ack was lost; re-ack, discard.
+        r.state = RecvState::Payload {
+            seq: 0,
+            len: 4,
+            got: payload.clone(),
+        };
+        let ack = r.on_control(&mut node, checksum(0, &payload));
+        assert_eq!(ack, Some(ack_word(0)), "duplicates are re-acked");
+        assert_eq!(r.expected_seq, 1, "a duplicate must not advance the window");
+        // Future frame (seq 5 > expected 1): drop silently, no ack.
+        r.state = RecvState::Payload {
+            seq: 5,
+            len: 4,
+            got: payload.clone(),
+        };
+        let ack = r.on_control(&mut node, checksum(5, &payload));
+        assert_eq!(ack, None, "future frames are dropped unacked");
+        assert_eq!(r.expected_seq, 1, "a future frame must not skew the window");
+        // A future header cannot even stage a frame.
+        assert!(r.on_control(&mut node, hdr_word(5, 4).data).is_none());
+        assert!(matches!(r.state, RecvState::AwaitHdr));
+    }
+
     #[test]
     fn backoff_is_monotone_and_capped() {
         let c = cfg();

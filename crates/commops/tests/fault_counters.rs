@@ -1,0 +1,111 @@
+//! Fault counters are per-run observability, not process state.
+//!
+//! The old `memsim::stats` process-wide atomics are gone; every injection
+//! site counts into the `memcomm-obs` registry installed on *its* thread.
+//! These tests pin the contract that made the deletion safe: two
+//! concurrent transfers with separate registries never bleed counts into
+//! each other, and a snapshot taken through [`FaultCounters::from_obs`]
+//! equals the per-run report's own numbers.
+
+use std::thread;
+
+use memcomm_commops::{run_resilient_transfer, ProtocolConfig, Style, TransferReport};
+use memcomm_machines::Machine;
+use memcomm_memsim::fault::{FaultConfig, FaultPlan};
+use memcomm_memsim::stats::FaultCounters;
+use memcomm_model::AccessPattern;
+use memcomm_obs::Obs;
+
+const C1: AccessPattern = AccessPattern::Contiguous;
+
+fn cfg() -> ProtocolConfig {
+    ProtocolConfig {
+        words: 1024,
+        ..ProtocolConfig::default()
+    }
+}
+
+fn faulty(rate: f64, seed: u64) -> FaultPlan {
+    FaultPlan::new(FaultConfig {
+        seed,
+        rate,
+        ..FaultConfig::default()
+    })
+}
+
+/// Runs one resilient transfer under a fresh per-thread registry and
+/// returns the report plus the counters that registry accumulated.
+fn run_isolated(plan: FaultPlan) -> (TransferReport, FaultCounters) {
+    let obs = Obs::new(false);
+    let report = {
+        let _guard = obs.install();
+        run_resilient_transfer(&Machine::t3d(), C1, C1, Style::Chained, plan, &cfg())
+            .expect("transfer completes")
+    };
+    let counters = FaultCounters::from_obs(&obs);
+    (report, counters)
+}
+
+#[test]
+fn concurrent_faulted_and_clean_runs_do_not_bleed_counts() {
+    let faulted = thread::spawn(|| run_isolated(faulty(0.02, 7)));
+    let clean = thread::spawn(|| run_isolated(FaultPlan::disabled()));
+
+    let (faulted_report, faulted_counters) = faulted.join().expect("faulted thread");
+    let (clean_report, clean_counters) = clean.join().expect("clean thread");
+
+    assert!(faulted_report.verified, "retries must repair every drop");
+    assert!(
+        faulted_report.retransmissions > 0,
+        "2% faults over a 1024-word transfer must hit at least once"
+    );
+    assert!(
+        faulted_counters.injected > 0 && faulted_counters.retried > 0,
+        "the faulted run's own registry must see its faults: {faulted_counters:?}"
+    );
+
+    // The clean run overlapped the faulted one in time; with process-wide
+    // counters its snapshot would show the neighbour's faults.
+    assert_eq!(
+        clean_counters,
+        FaultCounters::default(),
+        "a fault-free run must observe zero fault activity"
+    );
+    assert!(clean_report.verified && clean_report.retransmissions == 0);
+}
+
+#[test]
+fn concurrent_faulted_runs_each_see_only_their_own_faults() {
+    // Two *different* fault plans running at the same time: each registry
+    // must report exactly what a solo replay of the same plan reports.
+    let heavy = thread::spawn(|| run_isolated(faulty(0.02, 7)));
+    let light = thread::spawn(|| run_isolated(faulty(0.002, 22)));
+    let (heavy_report, heavy_counters) = heavy.join().expect("heavy thread");
+    let (light_report, light_counters) = light.join().expect("light thread");
+
+    let (solo_heavy_report, solo_heavy) = run_isolated(faulty(0.02, 7));
+    let (solo_light_report, solo_light) = run_isolated(faulty(0.002, 22));
+
+    assert_eq!(heavy_report, solo_heavy_report);
+    assert_eq!(light_report, solo_light_report);
+    assert_eq!(
+        heavy_counters, solo_heavy,
+        "concurrent neighbours must not skew the heavy run's counters"
+    );
+    assert_eq!(
+        light_counters, solo_light,
+        "concurrent neighbours must not skew the light run's counters"
+    );
+    assert!(heavy_counters.retried >= light_counters.retried);
+}
+
+#[test]
+fn from_obs_matches_the_reports_own_retransmission_count() {
+    let (report, counters) = run_isolated(faulty(0.01, 3));
+    assert_eq!(
+        counters.retried, report.retransmissions,
+        "the registry and the report count the same retransmissions"
+    );
+    assert!(!report.degraded);
+    assert_eq!(counters.degraded, 0);
+}

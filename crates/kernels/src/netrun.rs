@@ -34,6 +34,9 @@ pub struct EngineOptions {
     pub jobs: usize,
     /// Keep full event streams (tests pin event-order equality with this).
     pub record_events: bool,
+    /// Run on the engine's retired heap scheduler instead of the timing
+    /// wheel (results are byte-identical; the perf harness times both).
+    pub reference_scheduler: bool,
 }
 
 /// Where a kernel's congestion factor comes from.
@@ -86,6 +89,9 @@ pub struct EngineRun {
     pub words: u64,
     /// Event-stream digest (identical at any worker count).
     pub digest: u64,
+    /// Deepest event backlog any round reached (see
+    /// [`memcomm_netsim::engine::EngineOutcome::peak_queue_depth`]).
+    pub peak_queue_depth: u64,
 }
 
 /// Executes `rounds` on the engine and derives the emergent congestion
@@ -111,6 +117,7 @@ pub fn run_rounds(
     let mut cfg = engine_config(machine);
     cfg.jobs = opts.jobs;
     cfg.record_events = opts.record_events;
+    cfg.reference_scheduler = opts.reference_scheduler;
     let out = engine::run_schedule(topo, rounds, &cfg)?;
 
     let wt = cfg.link.word_cycles(&NetWord::data(0));
@@ -149,6 +156,7 @@ pub fn run_rounds(
         windows,
         words,
         digest: out.digest,
+        peak_queue_depth: out.peak_queue_depth,
     })
 }
 
@@ -292,6 +300,7 @@ mod tests {
             nodes: Some(4),
             jobs: 1,
             record_events: false,
+            reference_scheduler: false,
         };
         let k = Table6Kernel::Transpose(TransposeKernel {
             n: 64,

@@ -8,10 +8,6 @@ use memcomm_model::Throughput;
 static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
 static SIM_WORDS: AtomicU64 = AtomicU64::new(0);
 static MEASUREMENTS: AtomicU64 = AtomicU64::new(0);
-static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
-static FAULTS_RETRIED: AtomicU64 = AtomicU64::new(0);
-static FAULTS_DEGRADED: AtomicU64 = AtomicU64::new(0);
-static FAULTS_DROPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Canonical names of the per-run fault counters in the `memcomm-obs`
 /// metrics registry. Injection sites (`netsim::Link::step`, the NIC FIFO
@@ -32,9 +28,10 @@ pub mod fault_metric {
 /// A snapshot of one run's fault counters. Counts are *observability data*
 /// like wall times: their totals are deterministic for a given fault plan,
 /// but they must never enter a byte-deterministic report (per-point counts
-/// belong there instead). Sourced from the per-run `memcomm-obs` registry
-/// via [`FaultCounters::from_obs`]; the old process-wide statics are
-/// deprecated.
+/// belong there instead). Sourced exclusively from the per-run
+/// `memcomm-obs` registry via [`FaultCounters::from_obs`], so concurrent
+/// runs with separate registries never bleed counts into each other (the
+/// process-wide statics that once backed these counters are gone).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultCounters {
     /// Fault decisions that fired (drops, corruptions, delays, stalls,
@@ -70,68 +67,6 @@ impl FaultCounters {
             dropped: obs.counter(fault_metric::DROPPED),
         }
     }
-}
-
-/// Reads the current fault counters.
-#[deprecated(
-    since = "0.1.0",
-    note = "process-wide fault counters race across concurrent runs; read the per-run registry via FaultCounters::from_obs instead"
-)]
-pub fn fault_counters() -> FaultCounters {
-    FaultCounters {
-        injected: FAULTS_INJECTED.load(Ordering::Relaxed),
-        retried: FAULTS_RETRIED.load(Ordering::Relaxed),
-        degraded: FAULTS_DEGRADED.load(Ordering::Relaxed),
-        dropped: FAULTS_DROPPED.load(Ordering::Relaxed),
-    }
-}
-
-/// Resets the fault counters (test isolation).
-#[deprecated(
-    since = "0.1.0",
-    note = "resetting process-wide counters races when tests run concurrently; use a fresh per-run memcomm-obs registry instead"
-)]
-pub fn reset_fault_counters() {
-    FAULTS_INJECTED.store(0, Ordering::Relaxed);
-    FAULTS_RETRIED.store(0, Ordering::Relaxed);
-    FAULTS_DEGRADED.store(0, Ordering::Relaxed);
-    FAULTS_DROPPED.store(0, Ordering::Relaxed);
-}
-
-/// Records one fired fault decision.
-#[deprecated(
-    since = "0.1.0",
-    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::INJECTED)"
-)]
-pub fn record_fault_injected() {
-    FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
-}
-
-/// Records one protocol retransmission.
-#[deprecated(
-    since = "0.1.0",
-    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::RETRIED)"
-)]
-pub fn record_fault_retried() {
-    FAULTS_RETRIED.fetch_add(1, Ordering::Relaxed);
-}
-
-/// Records one chained-to-buffer-packing degradation.
-#[deprecated(
-    since = "0.1.0",
-    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::DEGRADED)"
-)]
-pub fn record_fault_degraded() {
-    FAULTS_DEGRADED.fetch_add(1, Ordering::Relaxed);
-}
-
-/// Records one dropped wire word.
-#[deprecated(
-    since = "0.1.0",
-    note = "count at the injection site into the per-run memcomm-obs registry (stats::fault_metric::DROPPED)"
-)]
-pub fn record_fault_dropped() {
-    FAULTS_DROPPED.fetch_add(1, Ordering::Relaxed);
 }
 
 /// A snapshot of the process-wide simulation counters: every

@@ -31,10 +31,36 @@
 //! once per ring, so the channel-dependency graph is acyclic; meshes have
 //! no wrap links and run entirely on VC 0. Ejection drains into the bounded
 //! node `rx` FIFO, which the memory side empties unconditionally.
+//!
+//! # Schedulers
+//!
+//! Two interchangeable queue substrates drive the identical window logic:
+//!
+//! * the **production scheduler** (the default): the coordinator's
+//!   in-flight deliveries live in a cycle-bucketed
+//!   [`TimingWheel`](memcomm_util::wheel::TimingWheel) (deliveries *are*
+//!   time-keyed — the barrier releases everything below `t1`), and each
+//!   router queue is a set of per-flow FIFO *lanes* carved from a shared
+//!   freelist [`Arena`](memcomm_util::arena::Arena), with a small lazy heap
+//!   over the lane heads. Router queues are *rank*-ordered, not
+//!   time-ordered, so a cycle wheel cannot express them; lanes are the
+//!   rank-domain analogue — a flow's words reach any given queue in
+//!   ascending rank order, so each lane is pre-sorted and the queue minimum
+//!   is always a lane head. Push is `O(1)`, pop is `O(log F)` in the
+//!   handful of *flows* contending a queue rather than `O(log N)` in the
+//!   hundreds of queued *words*;
+//! * the **reference scheduler**: the retired `BinaryHeap` implementation,
+//!   kept selectable via [`EngineConfig::reference_scheduler`] so the
+//!   differential tier (`tests/wheel_vs_heap.rs`) can prove, case by case,
+//!   that the fast path is observably invisible — event streams, digests,
+//!   and counters match byte for byte.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Mutex;
+
+use memcomm_util::arena::{Arena, NIL};
+use memcomm_util::wheel::TimingWheel;
 
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::error::{SimError, SimResult};
@@ -160,6 +186,12 @@ pub struct EngineConfig {
     /// Keep the full event stream in the outcome (tests); the digest is
     /// always computed.
     pub record_events: bool,
+    /// Run on the retired `BinaryHeap` scheduler instead of the timing
+    /// wheel + lane arena. Results are byte-identical either way; this
+    /// knob exists so the differential tier and the perf harness can put
+    /// the two substrates side by side.
+    #[doc(hidden)]
+    pub reference_scheduler: bool,
 }
 
 impl EngineConfig {
@@ -184,6 +216,7 @@ impl EngineConfig {
             max_cycles: None,
             fault: FaultPlan::disabled(),
             record_events: false,
+            reference_scheduler: false,
         }
     }
 
@@ -218,6 +251,11 @@ pub struct EngineOutcome {
     pub corrupted: u64,
     /// FNV-1a fold over the canonical event stream.
     pub digest: u64,
+    /// Deepest the run's event backlog ever got: the barrier maximum of
+    /// in-flight deliveries plus router-queued words, summed over shards.
+    /// Identical under both schedulers (and any worker count) — it is a
+    /// property of the traffic, not of the queue substrate.
+    pub peak_queue_depth: u64,
     /// The event stream itself, when [`EngineConfig::record_events`] is set.
     pub events: Vec<EngineEvent>,
 }
@@ -232,6 +270,8 @@ pub struct ScheduleOutcome {
     pub cycles: Cycle,
     /// Digest folding every round's digest in order.
     pub digest: u64,
+    /// Deepest event backlog across all rounds.
+    pub peak_queue_depth: u64,
 }
 
 /// A topology of `nodes` nodes with the same rank and wrap-ness as `base`,
@@ -260,12 +300,14 @@ pub fn scaled_topology(base: &Topology, nodes: usize) -> SimResult<Topology> {
 // Static build: links, routes, shards.
 // ---------------------------------------------------------------------------
 
-/// One hop of a flow's route: global link index and the virtual channel the
-/// dateline rule assigns to it.
+/// One hop of a flow's route: global link index, the virtual channel the
+/// dateline rule assigns to it, and the flow's lane in that (link, VC)
+/// queue under the lane scheduler.
 #[derive(Debug, Clone, Copy)]
 struct Hop {
     link: u32,
     vc: u8,
+    lane: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -273,6 +315,8 @@ struct FlowPath {
     src: u32,
     words: u32,
     hops: Vec<Hop>,
+    /// The flow's lane in its destination's ejection queue.
+    eject_lane: u32,
 }
 
 /// Queued word waiting to transmit on a link. Orders by (rank, ready);
@@ -282,7 +326,7 @@ struct FlowPath {
 /// round-robin arbiter. Arrival-order service would instead let the flow
 /// nearest the bottleneck convoy hundreds of words ahead, starving the
 /// links downstream of the other flows' turns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 struct QEntry {
     rank: u64,
     ready: Cycle,
@@ -295,20 +339,172 @@ struct QEntry {
 }
 
 /// Word-major arbitration rank: `seq` packs `flow << 32 | word`, so the
-/// rotation compares word index first and flow index only on ties.
+/// rotation compares word index first and flow index only on ties. Ranks
+/// are a bijection of the globally unique `seq`, so within any one queue
+/// the rank alone already totals the order — the remaining [`QEntry`]
+/// fields never break a tie.
 fn word_rank(seq: u64) -> u64 {
     seq.rotate_left(32)
 }
 
-/// Word waiting at its destination router for the ejection port. Same
-/// word-major order as [`QEntry`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EjEntry {
-    rank: u64,
-    ready: Cycle,
-    seq: u64,
-    prev_link: u32,
-    prev_vc: u8,
+/// Per-flow FIFO lanes over a shared [`Arena`], plus a lazy min-heap of
+/// lane-head `(rank, lane)` candidates.
+///
+/// Correctness rests on one invariant: *words of a flow reach any given
+/// queue in ascending rank order.* Injection emits a flow's words in word
+/// order; on every shared link the earlier word (lower rank in the same
+/// lane) transmits first and the link's `free` cursor is monotone, so
+/// arrival stamps — and barrier filing, which is globally `(arrive, seq)`
+/// sorted — preserve per-flow order hop by hop, even under Delay faults
+/// (the delay moves `free` for both words alike). A Drop retry re-files
+/// the entry it just popped, which is a *prepend*, not an append. Each
+/// lane is therefore pre-sorted, the queue minimum is always a lane head,
+/// and the head heap is over flows (tens) instead of words (thousands).
+///
+/// The head heap is *lazy*: prepends push a fresh candidate without
+/// retracting the old head's entry, so stale candidates linger and are
+/// discarded when they surface ([`LaneQueue::settle`]). Every non-empty
+/// lane always has its current head among the candidates.
+#[derive(Debug)]
+struct LaneQueue {
+    /// `(head, tail)` arena indices per lane ([`NIL`] = empty lane).
+    lanes: Vec<(u32, u32)>,
+    /// Lazy min-heap of `(head rank, lane)` candidates.
+    heads: BinaryHeap<Reverse<(u64, u32)>>,
+    len: u32,
+}
+
+impl LaneQueue {
+    fn new(lanes: u32) -> LaneQueue {
+        LaneQueue {
+            lanes: vec![(NIL, NIL); lanes as usize],
+            heads: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn push_back(&mut self, lane: u32, e: QEntry, arena: &mut Arena<QEntry>) {
+        let idx = arena.alloc(e);
+        let slot = &mut self.lanes[lane as usize];
+        if slot.0 == NIL {
+            *slot = (idx, idx);
+            self.heads.push(Reverse((e.rank, lane)));
+        } else {
+            debug_assert!(
+                arena.get(slot.1).rank < e.rank,
+                "lane rank monotonicity violated"
+            );
+            arena.set_next(slot.1, idx);
+            slot.1 = idx;
+        }
+        self.len += 1;
+    }
+
+    fn push_front(&mut self, lane: u32, e: QEntry, arena: &mut Arena<QEntry>) {
+        let idx = arena.alloc(e);
+        let slot = &mut self.lanes[lane as usize];
+        if slot.0 == NIL {
+            slot.1 = idx;
+        } else {
+            arena.set_next(idx, slot.0);
+        }
+        slot.0 = idx;
+        self.heads.push(Reverse((e.rank, lane)));
+        self.len += 1;
+    }
+
+    /// Discards stale head candidates until the top one is live.
+    fn settle(&mut self, arena: &Arena<QEntry>) {
+        while let Some(&Reverse((rank, lane))) = self.heads.peek() {
+            let head = self.lanes[lane as usize].0;
+            if head != NIL && arena.get(head).rank == rank {
+                return;
+            }
+            self.heads.pop();
+        }
+    }
+
+    fn peek(&mut self, arena: &Arena<QEntry>) -> Option<QEntry> {
+        self.settle(arena);
+        let &Reverse((_, lane)) = self.heads.peek()?;
+        Some(*arena.get(self.lanes[lane as usize].0))
+    }
+
+    fn pop(&mut self, arena: &mut Arena<QEntry>) -> QEntry {
+        self.settle(arena);
+        let Reverse((_, lane)) = self.heads.pop().expect("pop on an empty router queue");
+        let slot = &mut self.lanes[lane as usize];
+        let head = slot.0;
+        let next = arena.next(head);
+        let e = arena.free(head);
+        slot.0 = next;
+        if next == NIL {
+            slot.1 = NIL;
+        } else {
+            self.heads.push(Reverse((arena.get(next).rank, lane)));
+        }
+        self.len -= 1;
+        e
+    }
+}
+
+/// A rank-ordered router queue under either scheduler substrate. Both pop
+/// the same entries in the same order; the heap variant is the retired
+/// reference implementation.
+#[derive(Debug)]
+enum RouterQueue {
+    Heap(BinaryHeap<Reverse<QEntry>>),
+    Lanes(LaneQueue),
+}
+
+impl RouterQueue {
+    fn new(reference: bool, lanes: u32) -> RouterQueue {
+        if reference {
+            RouterQueue::Heap(BinaryHeap::new())
+        } else {
+            RouterQueue::Lanes(LaneQueue::new(lanes))
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            RouterQueue::Heap(h) => h.len() as u64,
+            RouterQueue::Lanes(l) => u64::from(l.len),
+        }
+    }
+
+    /// Files a word that arrived over the network or off its injection
+    /// port; lane mode appends (per-flow arrivals are rank-ascending).
+    fn push_arrival(&mut self, lane: u32, e: QEntry, arena: &mut Arena<QEntry>) {
+        match self {
+            RouterQueue::Heap(h) => h.push(Reverse(e)),
+            RouterQueue::Lanes(l) => l.push_back(lane, e, arena),
+        }
+    }
+
+    /// Re-files the entry just popped (a dropped word retrying): its rank
+    /// is still the lane minimum, so lane mode prepends.
+    fn push_retry(&mut self, lane: u32, e: QEntry, arena: &mut Arena<QEntry>) {
+        match self {
+            RouterQueue::Heap(h) => h.push(Reverse(e)),
+            RouterQueue::Lanes(l) => l.push_front(lane, e, arena),
+        }
+    }
+
+    /// The minimum-rank entry, if any.
+    fn peek(&mut self, arena: &Arena<QEntry>) -> Option<QEntry> {
+        match self {
+            RouterQueue::Heap(h) => h.peek().map(|&Reverse(e)| e),
+            RouterQueue::Lanes(l) => l.peek(arena),
+        }
+    }
+
+    fn pop(&mut self, arena: &mut Arena<QEntry>) -> QEntry {
+        match self {
+            RouterQueue::Heap(h) => h.pop().expect("pop on an empty router queue").0,
+            RouterQueue::Lanes(l) => l.pop(arena),
+        }
+    }
 }
 
 /// A word in flight between windows: transmitted during one window,
@@ -325,7 +521,7 @@ struct Delivery {
 
 struct LinkState {
     global: u32,
-    queues: [BinaryHeap<Reverse<QEntry>>; 2],
+    queues: [RouterQueue; 2],
     credits: [u32; 2],
     free: f64,
     attempts: u64,
@@ -347,7 +543,8 @@ struct NodeCtx {
     feed_word: u32,
     src_free: Cycle,
     drain_free: Cycle,
-    eject: BinaryHeap<Reverse<EjEntry>>,
+    /// Words awaiting the ejection port (same word-major order as links).
+    eject: RouterQueue,
 }
 
 struct Shard {
@@ -360,6 +557,14 @@ struct Shard {
     ports: Vec<PortState>,
     inbox: Vec<Delivery>,
     credit_inbox: Vec<(u32, u8)>,
+    /// Entry storage shared by every lane queue of the shard (unused by the
+    /// reference scheduler). Its live count is exactly the shard's queued
+    /// words.
+    arena: Arena<QEntry>,
+    /// Whether this shard's queues run on lanes (false = reference heaps).
+    lanes: bool,
+    /// Window output buffers, reused across windows on the production path.
+    out: WindowOut,
 }
 
 #[derive(Default)]
@@ -373,6 +578,24 @@ struct WindowOut {
     dropped: u64,
     corrupted: u64,
     last_drain: Cycle,
+    /// Words sitting in this shard's router/ejection queues at window end.
+    queued: u64,
+}
+
+impl WindowOut {
+    /// Resets for the next window, keeping buffer capacities.
+    fn clear(&mut self) {
+        self.deliveries.clear();
+        self.credits.clear();
+        self.events.clear();
+        self.progress = 0;
+        self.drained = 0;
+        self.flit_hops = 0;
+        self.dropped = 0;
+        self.corrupted = 0;
+        self.last_drain = 0;
+        self.queued = 0;
+    }
 }
 
 /// Read-only context shared by every shard.
@@ -525,6 +748,7 @@ fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimR
             .map(|(l, &vc)| Hop {
                 link: link_index[l],
                 vc,
+                lane: 0,
             })
             .collect();
         if hops.len() > u16::MAX as usize {
@@ -534,7 +758,25 @@ fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimR
             src: f.src as u32,
             words: words as u32,
             hops,
+            eject_lane: 0,
         });
+    }
+
+    // Lane assignment: the flows crossing each (link, VC) queue — and the
+    // flows terminating at each node — get consecutive lane indices in flow
+    // order. Only the lane scheduler reads these.
+    let mut q_lanes: Vec<[u32; 2]> = vec![[0, 0]; links.len()];
+    let mut ej_lanes: Vec<u32> = vec![0; n];
+    for p in &mut paths {
+        for h in &mut p.hops {
+            let c = &mut q_lanes[h.link as usize][usize::from(h.vc)];
+            h.lane = *c;
+            *c += 1;
+        }
+        let last = p.hops.last().expect("network flows have at least one hop");
+        let dst = links[last.link as usize].to;
+        p.eject_lane = ej_lanes[dst];
+        ej_lanes[dst] += 1;
     }
 
     // Fixed shard partition: contiguous runs of whole port groups.
@@ -547,6 +789,7 @@ fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimR
 
     let total_words: u64 = paths.iter().map(|p| u64::from(p.words)).sum();
 
+    let reference = cfg.reference_scheduler;
     let mut shards: Vec<Shard> = (0..shard_count)
         .map(|_| Shard {
             node_lo: u32::MAX,
@@ -556,6 +799,9 @@ fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimR
             ports: Vec::new(),
             inbox: Vec::new(),
             credit_inbox: Vec::new(),
+            arena: Arena::new(),
+            lanes: !reference,
+            out: WindowOut::default(),
         })
         .collect();
 
@@ -571,7 +817,7 @@ fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimR
             feed_word: 0,
             src_free: 0,
             drain_free: 0,
-            eject: BinaryHeap::new(),
+            eject: RouterQueue::new(reference, ej_lanes[node]),
         };
         if cfg.fault.is_active() {
             ctx.node.tx.set_faults(cfg.fault, site::engine_tx(node));
@@ -590,7 +836,10 @@ fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimR
         let local = shards[s].links.len() as u32;
         shards[s].links.push(LinkState {
             global: gi as u32,
-            queues: [BinaryHeap::new(), BinaryHeap::new()],
+            queues: [
+                RouterQueue::new(reference, q_lanes[gi][0]),
+                RouterQueue::new(reference, q_lanes[gi][1]),
+            ],
             credits: [cfg.vc_slots, cfg.vc_slots],
             free: 0.0,
             attempts: 0,
@@ -634,57 +883,90 @@ fn build_sim<'a>(topo: &Topology, flows: &[Flow], cfg: &'a EngineConfig) -> SimR
 }
 
 impl Shard {
-    fn local_link(&self, global: u32) -> usize {
-        self.link_globals
-            .binary_search(&global)
-            .expect("delivery routed to a shard that does not own the link")
+    /// One window on the reference path: fresh output buffers every window,
+    /// exactly as the retired scheduler allocated them.
+    fn run_window(&mut self, t0: Cycle, t1: Cycle, net: &Net) -> WindowOut {
+        let mut out = WindowOut::default();
+        self.window_core(t0, t1, net, &mut out);
+        out
     }
 
-    fn run_window(&mut self, t0: Cycle, t1: Cycle, net: &Net) -> WindowOut {
-        let mut out = WindowOut {
-            last_drain: 0,
-            ..WindowOut::default()
-        };
+    /// One window on the production path: reuses the shard's persistent
+    /// output buffers (the coordinator drains them at the barrier).
+    fn run_window_in_place(&mut self, t0: Cycle, t1: Cycle, net: &Net) {
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        self.window_core(t0, t1, net, &mut out);
+        self.out = out;
+    }
+
+    /// The window logic itself, identical under both schedulers — only the
+    /// queue substrate behind [`RouterQueue`] differs.
+    fn window_core(&mut self, t0: Cycle, t1: Cycle, net: &Net, out: &mut WindowOut) {
+        let Shard {
+            node_lo,
+            nodes,
+            links,
+            link_globals,
+            ports,
+            inbox,
+            credit_inbox,
+            arena,
+            lanes: use_lanes,
+            ..
+        } = self;
+        let node_lo = *node_lo;
 
         // Credits freed during the previous window become usable now.
-        for (local, vc) in self.credit_inbox.drain(..) {
-            self.links[local as usize].credits[vc as usize] += 1;
+        for (local, vc) in credit_inbox.drain(..) {
+            links[local as usize].credits[vc as usize] += 1;
         }
 
         // 1. Deliveries due this window (coordinator pre-sorted by
         // (arrive, seq)): file each word into its next link queue, or into
         // the destination's ejection queue. The word keeps occupying its
         // upstream (via_link, vc) buffer until it moves on.
-        let inbox = std::mem::take(&mut self.inbox);
-        for d in inbox {
+        for d in inbox.iter().copied() {
             let flow = &net.flows[(d.seq >> 32) as usize];
             let next = d.hop as usize + 1;
             if next == flow.hops.len() {
-                let local = (d.to_node - self.node_lo) as usize;
-                self.nodes[local].eject.push(Reverse(EjEntry {
-                    rank: word_rank(d.seq),
-                    ready: d.arrive,
-                    seq: d.seq,
-                    prev_link: d.via_link,
-                    prev_vc: d.vc,
-                }));
+                let local = (d.to_node - node_lo) as usize;
+                nodes[local].eject.push_arrival(
+                    flow.eject_lane,
+                    QEntry {
+                        rank: word_rank(d.seq),
+                        ready: d.arrive,
+                        seq: d.seq,
+                        hop: d.hop,
+                        prev_link: d.via_link,
+                        prev_vc: d.vc,
+                    },
+                    arena,
+                );
             } else {
                 let h = flow.hops[next];
-                let li = self.local_link(h.link);
-                self.links[li].queues[usize::from(h.vc)].push(Reverse(QEntry {
-                    rank: word_rank(d.seq),
-                    ready: d.arrive,
-                    seq: d.seq,
-                    hop: next as u16,
-                    prev_link: d.via_link,
-                    prev_vc: d.vc,
-                }));
+                let li = link_globals
+                    .binary_search(&h.link)
+                    .expect("delivery routed to a shard that does not own the link");
+                links[li].queues[usize::from(h.vc)].push_arrival(
+                    h.lane,
+                    QEntry {
+                        rank: word_rank(d.seq),
+                        ready: d.arrive,
+                        seq: d.seq,
+                        hop: next as u16,
+                        prev_link: d.via_link,
+                        prev_vc: d.vc,
+                    },
+                    arena,
+                );
             }
         }
+        inbox.clear();
 
         // 2. Source pump: memory feeds tx at its own pace, blocked by a full
         // FIFO (the processor stalls — the analytic model's port term).
-        for ctx in &mut self.nodes {
+        for ctx in nodes.iter_mut() {
             while let Some(&fi) = ctx.feeds.get(ctx.feed_pos) {
                 let flow = &net.flows[fi as usize];
                 if ctx.feed_word >= flow.words {
@@ -708,13 +990,12 @@ impl Shard {
 
         // 3. Injection: each port serializes the words of its node group
         // onto the network, arbitrating by (ready, node).
-        for pi in 0..self.ports.len() {
+        for p in ports.iter_mut() {
             loop {
-                let p = &self.ports[pi];
                 let mut best: Option<(Cycle, u32)> = None;
                 for node in p.node_lo..p.node_hi {
-                    let local = (node - self.node_lo) as usize;
-                    if let Some(r) = self.nodes[local].node.tx.front_ready() {
+                    let local = (node - node_lo) as usize;
+                    if let Some(r) = nodes[local].node.tx.front_ready() {
                         if best.is_none_or(|b| (r, node) < b) {
                             best = Some((r, node));
                         }
@@ -727,27 +1008,32 @@ impl Shard {
                 if start >= t1 as f64 {
                     break;
                 }
-                let local = (node - self.node_lo) as usize;
-                let (_, w) = self.nodes[local]
+                let local = (node - node_lo) as usize;
+                let (_, w) = nodes[local]
                     .node
                     .tx
                     .pop(start.floor() as Cycle)
                     .expect("arbitration picked a non-empty tx FIFO");
                 let seq = w.data;
                 let h = net.flows[(seq >> 32) as usize].hops[0];
-                let li = self.local_link(h.link);
-                let port = &mut self.ports[pi];
-                port.inject_free = start + net.wt;
-                let entry = port.inject_free.ceil() as Cycle;
-                let port_id = port.id;
-                self.links[li].queues[usize::from(h.vc)].push(Reverse(QEntry {
-                    rank: word_rank(seq),
-                    ready: entry,
-                    seq,
-                    hop: 0,
-                    prev_link: u32::MAX,
-                    prev_vc: 0,
-                }));
+                let li = link_globals
+                    .binary_search(&h.link)
+                    .expect("flow injected on a shard that does not own its first link");
+                p.inject_free = start + net.wt;
+                let entry = p.inject_free.ceil() as Cycle;
+                let port_id = p.id;
+                links[li].queues[usize::from(h.vc)].push_arrival(
+                    h.lane,
+                    QEntry {
+                        rank: word_rank(seq),
+                        ready: entry,
+                        seq,
+                        hop: 0,
+                        prev_link: u32::MAX,
+                        prev_vc: 0,
+                    },
+                    arena,
+                );
                 out.events.push(EngineEvent {
                     time: start.floor() as Cycle,
                     kind: EventKind::Inject,
@@ -763,14 +1049,14 @@ impl Shard {
         // earliest feasible (start, seq) first across the two VCs; a
         // transmit consumes a credit of this link's downstream buffer and
         // returns the upstream one.
-        for l in &mut self.links {
+        for l in links.iter_mut() {
             loop {
                 let mut best: Option<(f64, u64, usize)> = None;
                 for vc in 0..2usize {
                     if l.credits[vc] == 0 {
                         continue;
                     }
-                    let Some(Reverse(e)) = l.queues[vc].peek() else {
+                    let Some(e) = l.queues[vc].peek(arena) else {
                         continue;
                     };
                     let start = (e.ready as f64).max(l.free).max(t0 as f64);
@@ -784,7 +1070,7 @@ impl Shard {
                 if start >= t1 as f64 {
                     break;
                 }
-                let Reverse(e) = l.queues[vc].pop().expect("candidate queue non-empty");
+                let e = l.queues[vc].pop(arena);
                 let fault = net
                     .fault
                     .link_fault(site::engine_link(l.global), l.attempts);
@@ -804,10 +1090,15 @@ impl Shard {
                             vc: vc as u8,
                             seq: e.seq,
                         });
-                        l.queues[vc].push(Reverse(QEntry {
-                            ready: l.free.ceil() as Cycle,
-                            ..e
-                        }));
+                        let lane = net.flows[(e.seq >> 32) as usize].hops[usize::from(e.hop)].lane;
+                        l.queues[vc].push_retry(
+                            lane,
+                            QEntry {
+                                ready: l.free.ceil() as Cycle,
+                                ..e
+                            },
+                            arena,
+                        );
                         out.dropped += 1;
                         out.progress += 1;
                         continue;
@@ -845,17 +1136,17 @@ impl Shard {
         // 5. Ejection: the port serializes arrived words into the
         // destination rx FIFO; a full FIFO backpressures into the network
         // (the upstream buffer credit stays consumed).
-        for pi in 0..self.ports.len() {
+        for p in ports.iter_mut() {
             loop {
-                let p = &self.ports[pi];
-                let mut best: Option<(Cycle, u64, u32)> = None;
-                for node in p.node_lo..p.node_hi {
-                    let local = (node - self.node_lo) as usize;
-                    let ctx = &self.nodes[local];
+                let (p_lo, p_hi) = (p.node_lo, p.node_hi);
+                let mut best: Option<(u64, Cycle, u32)> = None;
+                for node in p_lo..p_hi {
+                    let local = (node - node_lo) as usize;
+                    let ctx = &mut nodes[local];
                     if ctx.node.rx.len() == ctx.node.rx.capacity() {
                         continue;
                     }
-                    if let Some(Reverse(e)) = ctx.eject.peek() {
+                    if let Some(e) = ctx.eject.peek(arena) {
                         if best.is_none_or(|(br, bq, _)| (e.rank, e.ready) < (br, bq)) {
                             best = Some((e.rank, e.ready, node));
                         }
@@ -868,12 +1159,11 @@ impl Shard {
                 if start >= t1 as f64 {
                     break;
                 }
-                let local = (node - self.node_lo) as usize;
-                let Reverse(e) = self.nodes[local].eject.pop().expect("candidate non-empty");
-                let port = &mut self.ports[pi];
-                port.eject_free = start + net.wt;
-                let t_in = port.eject_free.ceil() as Cycle;
-                self.nodes[local]
+                let local = (node - node_lo) as usize;
+                let e = nodes[local].eject.pop(arena);
+                p.eject_free = start + net.wt;
+                let t_in = p.eject_free.ceil() as Cycle;
+                nodes[local]
                     .node
                     .rx
                     .push(t_in, net.word(e.seq))
@@ -882,7 +1172,7 @@ impl Shard {
                 out.events.push(EngineEvent {
                     time: start.floor() as Cycle,
                     kind: EventKind::Eject,
-                    site: port.id,
+                    site: p.id,
                     vc: e.prev_vc,
                     seq: e.seq,
                 });
@@ -892,7 +1182,7 @@ impl Shard {
 
         // 6. Drain: the memory side unconditionally empties rx at its own
         // pace — this is what guarantees ejection eventually proceeds.
-        for ctx in &mut self.nodes {
+        for ctx in nodes.iter_mut() {
             while let Some(avail) = ctx.node.rx.front_ready() {
                 let t = avail.max(ctx.drain_free).max(t0);
                 if t >= t1 {
@@ -906,7 +1196,18 @@ impl Shard {
             }
         }
 
-        out
+        // The shard's contribution to the barrier's backlog gauge. Under
+        // lanes the arena's live count *is* the queued-word count; the
+        // reference path sums its heaps — same quantity either way.
+        out.queued = if *use_lanes {
+            arena.len() as u64
+        } else {
+            links
+                .iter()
+                .map(|l| l.queues[0].len() + l.queues[1].len())
+                .sum::<u64>()
+                + nodes.iter().map(|c| c.eject.len()).sum::<u64>()
+        };
     }
 }
 
@@ -920,6 +1221,25 @@ impl Shard {
 pub fn run_flows(topo: &Topology, flows: &[Flow], cfg: &EngineConfig) -> SimResult<EngineOutcome> {
     let sim = build_sim(topo, flows, cfg)?;
     run_sim(sim)
+}
+
+/// The coordinator's in-flight delivery store under either scheduler.
+enum PendingQueue {
+    /// The retired global heap.
+    Heap(BinaryHeap<Reverse<Delivery>>),
+    /// The production cycle-bucketed wheel; deliveries are genuinely
+    /// time-keyed (the barrier releases everything below `t1`, tie-broken
+    /// by the unique `seq` inside [`Delivery`]'s derived order).
+    Wheel(TimingWheel<Delivery>),
+}
+
+impl PendingQueue {
+    fn len(&self) -> usize {
+        match self {
+            PendingQueue::Heap(h) => h.len(),
+            PendingQueue::Wheel(w) => w.len(),
+        }
+    }
 }
 
 fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
@@ -937,6 +1257,7 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
         dropped: 0,
         corrupted: 0,
         digest: FNV_OFFSET,
+        peak_queue_depth: 0,
         events: Vec::new(),
     };
     if sim.total_words == 0 {
@@ -944,7 +1265,26 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
     }
 
     let mut watchdog = Watchdog::new(cfg.max_windows).with_cycle_budget(cfg.max_cycles);
-    let mut pending: BinaryHeap<Reverse<Delivery>> = BinaryHeap::new();
+    let jitter = if cfg.fault.is_active() {
+        cfg.fault.config().max_jitter_cycles
+    } else {
+        0
+    };
+    let mut pending = if cfg.reference_scheduler {
+        PendingQueue::Heap(BinaryHeap::new())
+    } else {
+        // A delivery lands at most wire + latency (+ fault jitter) cycles
+        // past the window that transmitted it; anything further (an
+        // oversized delay) takes the wheel's overflow path, so the horizon
+        // only sets the fast-path hit rate, never correctness.
+        let horizon =
+            window + (cfg.word_cycles().ceil() as Cycle) + cfg.link.latency_cycles + jitter + 4;
+        PendingQueue::Wheel(TimingWheel::new(horizon))
+    };
+    // Per-shard delivery/credit scratch, ping-ponged with the shard inboxes
+    // at each barrier on the production path (no steady-state allocation).
+    let mut scratch: Vec<Vec<Delivery>> = vec![Vec::new(); sim.shards.len()];
+    let mut credit_scratch: Vec<Vec<(u32, u8)>> = vec![Vec::new(); sim.shards.len()];
     let mut credits_pending: Vec<(u32, u8)> = Vec::new();
     let mut drained = 0u64;
     let mut idle_windows = 0u64;
@@ -971,58 +1311,114 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
 
         // Barrier: hand due deliveries (globally sorted by (arrive, seq))
         // and freed credits to their owning shards.
-        {
-            let mut per_shard: Vec<Vec<Delivery>> = vec![Vec::new(); sim.shards.len()];
-            while pending.peek().is_some_and(|Reverse(d)| d.arrive < t1) {
-                let Reverse(d) = pending.pop().expect("peeked");
-                per_shard[sim.shard_of_node[d.to_node as usize] as usize].push(d);
+        match &mut pending {
+            PendingQueue::Heap(pending) => {
+                let mut per_shard: Vec<Vec<Delivery>> = vec![Vec::new(); sim.shards.len()];
+                while pending.peek().is_some_and(|Reverse(d)| d.arrive < t1) {
+                    let Reverse(d) = pending.pop().expect("peeked");
+                    per_shard[sim.shard_of_node[d.to_node as usize] as usize].push(d);
+                }
+                let mut credit_shard: Vec<Vec<(u32, u8)>> = vec![Vec::new(); sim.shards.len()];
+                for (link, vc) in credits_pending.drain(..) {
+                    let (s, local) = sim.link_owner[link as usize];
+                    credit_shard[s as usize].push((local, vc));
+                }
+                for (i, (inbox, credits)) in per_shard.into_iter().zip(credit_shard).enumerate() {
+                    let mut shard = sim.shards[i].lock().expect("shard lock poisoned");
+                    shard.inbox = inbox;
+                    shard.credit_inbox = credits;
+                }
             }
-            let mut credit_shard: Vec<Vec<(u32, u8)>> = vec![Vec::new(); sim.shards.len()];
-            for (link, vc) in credits_pending.drain(..) {
-                let (s, local) = sim.link_owner[link as usize];
-                credit_shard[s as usize].push((local, vc));
-            }
-            for (i, (inbox, credits)) in per_shard.into_iter().zip(credit_shard).enumerate() {
-                let mut shard = sim.shards[i].lock().expect("shard lock poisoned");
-                shard.inbox = inbox;
-                shard.credit_inbox = credits;
+            PendingQueue::Wheel(wheel) => {
+                // The wheel emits in ascending (arrive, seq) order — the
+                // same global order the heap pop loop produced — and each
+                // shard receives its subsequence of it.
+                wheel.drain_until(t1, |_, d| {
+                    scratch[sim.shard_of_node[d.to_node as usize] as usize].push(d);
+                });
+                for (link, vc) in credits_pending.drain(..) {
+                    let (s, local) = sim.link_owner[link as usize];
+                    credit_scratch[s as usize].push((local, vc));
+                }
+                for i in 0..sim.shards.len() {
+                    let mut shard = sim.shards[i].lock().expect("shard lock poisoned");
+                    std::mem::swap(&mut shard.inbox, &mut scratch[i]);
+                    std::mem::swap(&mut shard.credit_inbox, &mut credit_scratch[i]);
+                    // The vectors coming back were cleared by the previous
+                    // window, keeping their capacity.
+                }
             }
         }
-
-        let outs: Vec<WindowOut> = par::par_map(jobs, &shard_ids, |&i| {
-            sim.shards[i]
-                .lock()
-                .expect("shard lock poisoned")
-                .run_window(t0, t1, &sim.net)
-        });
 
         // Fold in fixed shard order — this is what makes the event stream
         // (and hence the digest) independent of the worker count.
         let mut progress = 0u64;
-        for out in outs {
-            for e in &out.events {
-                outcome.digest = e.fold_into(outcome.digest);
+        let mut queued = 0u64;
+        match &mut pending {
+            PendingQueue::Heap(pending) => {
+                let outs: Vec<WindowOut> = par::par_map(jobs, &shard_ids, |&i| {
+                    sim.shards[i]
+                        .lock()
+                        .expect("shard lock poisoned")
+                        .run_window(t0, t1, &sim.net)
+                });
+                for out in outs {
+                    for e in &out.events {
+                        outcome.digest = e.fold_into(outcome.digest);
+                    }
+                    if cfg.record_events {
+                        outcome.events.extend(out.events);
+                    }
+                    for d in out.deliveries {
+                        pending.push(Reverse(d));
+                    }
+                    credits_pending.extend(out.credits);
+                    progress += out.progress;
+                    drained += out.drained;
+                    queued += out.queued;
+                    outcome.flit_hops += out.flit_hops;
+                    outcome.dropped += out.dropped;
+                    outcome.corrupted += out.corrupted;
+                    outcome.cycles = outcome.cycles.max(out.last_drain);
+                }
             }
-            if cfg.record_events {
-                outcome.events.extend(out.events);
+            PendingQueue::Wheel(wheel) => {
+                par::par_map(jobs, &shard_ids, |&i| {
+                    sim.shards[i]
+                        .lock()
+                        .expect("shard lock poisoned")
+                        .run_window_in_place(t0, t1, &sim.net);
+                });
+                for i in &shard_ids {
+                    let shard = sim.shards[*i].lock().expect("shard lock poisoned");
+                    let out = &shard.out;
+                    for e in &out.events {
+                        outcome.digest = e.fold_into(outcome.digest);
+                    }
+                    if cfg.record_events {
+                        outcome.events.extend_from_slice(&out.events);
+                    }
+                    for &d in &out.deliveries {
+                        wheel.push(d.arrive, d);
+                    }
+                    credits_pending.extend_from_slice(&out.credits);
+                    progress += out.progress;
+                    drained += out.drained;
+                    queued += out.queued;
+                    outcome.flit_hops += out.flit_hops;
+                    outcome.dropped += out.dropped;
+                    outcome.corrupted += out.corrupted;
+                    outcome.cycles = outcome.cycles.max(out.last_drain);
+                }
             }
-            for d in out.deliveries {
-                pending.push(Reverse(d));
-            }
-            credits_pending.extend(out.credits);
-            progress += out.progress;
-            drained += out.drained;
-            outcome.flit_hops += out.flit_hops;
-            outcome.dropped += out.dropped;
-            outcome.corrupted += out.corrupted;
-            outcome.cycles = outcome.cycles.max(out.last_drain);
         }
         outcome.windows += 1;
+        outcome.peak_queue_depth = outcome.peak_queue_depth.max(pending.len() as u64 + queued);
 
         if drained == sim.total_words {
             break;
         }
-        if progress == 0 && pending.is_empty() {
+        if progress == 0 && pending.len() == 0 {
             idle_windows += 1;
             if idle_windows > idle_limit {
                 return Err(SimError::Deadlock {
@@ -1043,6 +1439,7 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
     obs.count("engine.words", outcome.words);
     obs.count("engine.flit_hops", outcome.flit_hops);
     obs.count("engine.windows", outcome.windows);
+    obs.gauge_max("engine.peak_queue_depth", outcome.peak_queue_depth);
     obs.span("engine", "run_flows", 0, outcome.cycles);
     Ok(outcome)
 }
@@ -1058,11 +1455,13 @@ pub fn run_schedule(
         rounds: Vec::with_capacity(rounds.len()),
         cycles: 0,
         digest: FNV_OFFSET,
+        peak_queue_depth: 0,
     };
     for (i, round) in rounds.iter().enumerate() {
         let r = run_flows(topo, round, cfg)?;
         out.cycles += r.cycles;
         out.digest = fnv_fold(fnv_fold(out.digest, i as u64), r.digest);
+        out.peak_queue_depth = out.peak_queue_depth.max(r.peak_queue_depth);
         out.rounds.push(r);
     }
     Ok(out)

@@ -1,0 +1,146 @@
+//! Differential tier: the production timing-wheel/lane scheduler against
+//! the retired `BinaryHeap` scheduler it replaced.
+//!
+//! Both schedulers share one window core ([`EngineConfig::reference_scheduler`]
+//! selects the queue representation), so the only way they can diverge is a
+//! bug in the wheel, the lanes, or the arena. These tests drive both over
+//! identical seeded traffic — random topologies, latencies, buffering, port
+//! sharing, pacing, and fault plans — and demand the *entire observable
+//! outcome* match: the recorded event stream, the FNV digest, and every
+//! aggregate counter, including the peak queue depth both report.
+
+use memcomm_memsim::fault::{FaultConfig, FaultPlan};
+use memcomm_memsim::node::NodeParams;
+use memcomm_netsim::engine::{run_flows, run_schedule, EngineConfig, EngineOutcome};
+use memcomm_netsim::link::LinkParams;
+use memcomm_netsim::topology::Topology;
+use memcomm_netsim::traffic::Flow;
+use memcomm_util::check::forall;
+use memcomm_util::rng::Rng;
+
+fn random_topology(rng: &mut Rng) -> Topology {
+    let ndims = rng.range_usize(1, 4);
+    let dims: Vec<u32> = (0..ndims).map(|_| rng.range_u32(1, 5)).collect();
+    if rng.bool() {
+        Topology::torus(&dims)
+    } else {
+        Topology::mesh(&dims)
+    }
+}
+
+fn fuzz_cfg(rng: &mut Rng) -> EngineConfig {
+    let link = LinkParams {
+        bytes_per_cycle: rng.range_f64(1.0, 9.0),
+        packet_words: 16,
+        header_bytes: 8,
+        adp_extra_bytes: 8,
+        latency_cycles: rng.range_u64(1, 25),
+        congestion: 1.0,
+    };
+    let mut cfg = EngineConfig::new(link, NodeParams::default());
+    cfg.nodes_per_port = rng.range_u32(1, 3);
+    cfg.vc_slots = rng.range_u32(2, 65);
+    cfg.source_word_cycles = rng.range_u64(0, 4);
+    cfg.drain_word_cycles = rng.range_u64(0, 4);
+    cfg.address_data_pairs = rng.bool();
+    cfg.record_events = true;
+    cfg.jobs = 1;
+    // A third of the cases run under a seeded fault plan, exercising the
+    // retry (prepend) and jitter (overflow-bucket) paths of both schedulers.
+    if rng.range_u64(0, 3) == 0 {
+        cfg.fault = FaultPlan::new(FaultConfig {
+            seed: rng.range_u64(1, u64::MAX),
+            rate: rng.range_f64(0.0, 0.12),
+            max_jitter_cycles: rng.range_u64(1, 64),
+            ..FaultConfig::default()
+        });
+    }
+    cfg
+}
+
+fn random_flows(rng: &mut Rng, topo: &Topology) -> Vec<Flow> {
+    let n = topo.len();
+    (0..rng.range_usize(0, 14))
+        .map(|_| Flow {
+            src: rng.range_usize(0, n),
+            dst: rng.range_usize(0, n),
+            bytes: rng.range_u64(0, 64 * 8),
+        })
+        .collect()
+}
+
+fn assert_outcomes_match(wheel: &EngineOutcome, heap: &EngineOutcome, ctx: &str) {
+    assert_eq!(wheel.digest, heap.digest, "digest ({ctx})");
+    assert_eq!(wheel.events, heap.events, "event stream ({ctx})");
+    assert_eq!(wheel.cycles, heap.cycles, "cycles ({ctx})");
+    assert_eq!(wheel.words, heap.words, "words ({ctx})");
+    assert_eq!(wheel.flit_hops, heap.flit_hops, "flit hops ({ctx})");
+    assert_eq!(wheel.windows, heap.windows, "windows ({ctx})");
+    assert_eq!(wheel.dropped, heap.dropped, "dropped ({ctx})");
+    assert_eq!(wheel.corrupted, heap.corrupted, "corrupted ({ctx})");
+    assert_eq!(
+        wheel.peak_queue_depth, heap.peak_queue_depth,
+        "peak queue depth ({ctx})"
+    );
+}
+
+/// Single-shot flow sets: the wheel scheduler's event order, digest, and
+/// counters are indistinguishable from the retired heap scheduler's across
+/// random topology, latency, and buffering — with and without faults.
+#[test]
+fn wheel_matches_heap_on_random_traffic() {
+    forall("wheel_matches_heap_on_random_traffic", 200, |rng| {
+        let topo = random_topology(rng);
+        let mut cfg = fuzz_cfg(rng);
+        let flows = random_flows(rng, &topo);
+        cfg.reference_scheduler = false;
+        let wheel = run_flows(&topo, &flows, &cfg).expect("wheel scheduler runs");
+        cfg.reference_scheduler = true;
+        let heap = run_flows(&topo, &flows, &cfg).expect("heap scheduler runs");
+        let ctx = format!("dims {:?} vc {}", topo.dims(), cfg.vc_slots);
+        assert_outcomes_match(&wheel, &heap, &ctx);
+    });
+}
+
+/// Multi-round schedules: per-round outcomes and the schedule-level digest
+/// and peak depth agree between the two schedulers.
+#[test]
+fn wheel_matches_heap_on_multi_round_schedules() {
+    forall("wheel_matches_heap_on_multi_round_schedules", 48, |rng| {
+        let topo = random_topology(rng);
+        let mut cfg = fuzz_cfg(rng);
+        let rounds: Vec<Vec<Flow>> = (0..rng.range_usize(1, 4))
+            .map(|_| random_flows(rng, &topo))
+            .collect();
+        cfg.reference_scheduler = false;
+        let wheel = run_schedule(&topo, &rounds, &cfg).expect("wheel schedule runs");
+        cfg.reference_scheduler = true;
+        let heap = run_schedule(&topo, &rounds, &cfg).expect("heap schedule runs");
+        assert_eq!(wheel.digest, heap.digest, "schedule digest");
+        assert_eq!(wheel.cycles, heap.cycles, "schedule cycles");
+        assert_eq!(
+            wheel.peak_queue_depth, heap.peak_queue_depth,
+            "schedule peak depth"
+        );
+        assert_eq!(wheel.rounds.len(), heap.rounds.len());
+        for (i, (w, h)) in wheel.rounds.iter().zip(&heap.rounds).enumerate() {
+            assert_outcomes_match(w, h, &format!("round {i}"));
+        }
+    });
+}
+
+/// The heap reference path is itself worker-count invariant (the shared
+/// window core does the sharding), so the differential holds at any jobs.
+#[test]
+fn heap_reference_is_worker_count_invariant() {
+    forall("heap_reference_is_worker_count_invariant", 24, |rng| {
+        let topo = random_topology(rng);
+        let mut cfg = fuzz_cfg(rng);
+        cfg.reference_scheduler = true;
+        let flows = random_flows(rng, &topo);
+        let serial = run_flows(&topo, &flows, &cfg).expect("serial heap run");
+        cfg.jobs = 3;
+        let par = run_flows(&topo, &flows, &cfg).expect("parallel heap run");
+        assert_outcomes_match(&par, &serial, "jobs 3 vs 1");
+    });
+}

@@ -169,6 +169,11 @@ impl Obs {
         self.inner.as_ref().map_or(0, |i| i.registry.counter(name))
     }
 
+    /// Reads the max-tracking gauge `name` (0 when disabled or absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.registry.gauge(name))
+    }
+
     /// The summary of run histogram `name`, when enabled and recorded.
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
         self.inner.as_ref().and_then(|i| i.registry.histogram(name))

@@ -1,0 +1,172 @@
+//! A freelist slab arena with intrusive links.
+//!
+//! Hot schedulers (the event engine's router queues) churn through small
+//! queue entries at millions per second; allocating each one on the heap —
+//! as `BinaryHeap`'s internal `Vec` reallocations effectively do across
+//! queues — costs cache misses and allocator traffic. [`Arena`] keeps every
+//! entry in one contiguous slab, recycles freed slots through an intrusive
+//! freelist, and exposes each slot's spare `next` index so callers can
+//! thread their own linked structures (FIFO lanes, overflow chains) through
+//! the same storage with zero extra allocation.
+
+/// The null slot index: "no entry", for both the freelist and caller lists.
+pub const NIL: u32 = u32::MAX;
+
+/// A slab of `T` slots addressed by `u32` index, each carrying an intrusive
+/// `next` link.
+///
+/// Indices are capabilities: [`Arena::alloc`] hands one out, [`Arena::free`]
+/// takes it back. Accessing or freeing an index that is not currently
+/// allocated is a logic error — it stays memory-safe, but the arena's
+/// contents and freelist become unspecified.
+#[derive(Debug, Clone, Default)]
+pub struct Arena<T> {
+    /// Slot payloads and links. Free slots thread the freelist through
+    /// `next`; live slots' `next` belongs to the caller.
+    slots: Vec<(T, u32)>,
+    /// Head of the freelist ([`NIL`] when every slot is live).
+    free: u32,
+    /// Live slot count.
+    live: u32,
+}
+
+impl<T: Default> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: NIL,
+            live: 0,
+        }
+    }
+
+    /// An empty arena with room for `n` entries before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(n),
+            free: NIL,
+            live: 0,
+        }
+    }
+
+    /// Stores `item` in a recycled (or fresh) slot and returns its index.
+    /// The slot's `next` link starts at [`NIL`].
+    pub fn alloc(&mut self, item: T) -> u32 {
+        self.live += 1;
+        if self.free == NIL {
+            assert!(self.slots.len() < NIL as usize, "arena full");
+            self.slots.push((item, NIL));
+            return (self.slots.len() - 1) as u32;
+        }
+        let idx = self.free;
+        let slot = &mut self.slots[idx as usize];
+        self.free = slot.1;
+        slot.0 = item;
+        slot.1 = NIL;
+        idx
+    }
+
+    /// Releases slot `idx` back to the freelist, returning its payload.
+    pub fn free(&mut self, idx: u32) -> T {
+        let slot = &mut self.slots[idx as usize];
+        let item = std::mem::take(&mut slot.0);
+        slot.1 = self.free;
+        self.free = idx;
+        self.live -= 1;
+        item
+    }
+
+    /// The payload of live slot `idx`.
+    pub fn get(&self, idx: u32) -> &T {
+        &self.slots[idx as usize].0
+    }
+
+    /// Mutable payload of live slot `idx`.
+    pub fn get_mut(&mut self, idx: u32) -> &mut T {
+        &mut self.slots[idx as usize].0
+    }
+
+    /// The caller-owned `next` link of live slot `idx`.
+    pub fn next(&self, idx: u32) -> u32 {
+        self.slots[idx as usize].1
+    }
+
+    /// Sets the caller-owned `next` link of live slot `idx`.
+    pub fn set_next(&mut self, idx: u32, next: u32) {
+        self.slots[idx as usize].1 = next;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live as usize
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + recyclable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_free_roundtrip() {
+        let mut a = Arena::new();
+        let x = a.alloc(10u64);
+        let y = a.alloc(20u64);
+        assert_eq!(*a.get(x), 10);
+        assert_eq!(*a.get(y), 20);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.free(x), 10);
+        assert_eq!(a.len(), 1);
+        // The freed slot is recycled before the slab grows.
+        let z = a.alloc(30u64);
+        assert_eq!(z, x);
+        assert_eq!(*a.get(z), 30);
+        assert_eq!(a.capacity(), 2);
+    }
+
+    #[test]
+    fn intrusive_links_thread_a_fifo() {
+        let mut a = Arena::new();
+        let (mut head, mut tail) = (NIL, NIL);
+        for v in 0..100u64 {
+            let idx = a.alloc(v);
+            if head == NIL {
+                head = idx;
+            } else {
+                a.set_next(tail, idx);
+            }
+            tail = idx;
+        }
+        let mut seen = Vec::new();
+        while head != NIL {
+            let next = a.next(head);
+            seen.push(a.free(head));
+            head = next;
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<u64>>());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn freelist_is_lifo_and_bounded() {
+        let mut a = Arena::with_capacity(4);
+        let idx: Vec<u32> = (0..4u64).map(|v| a.alloc(v)).collect();
+        for &i in &idx {
+            a.free(i);
+        }
+        // LIFO recycling: last freed comes back first; the slab never grows.
+        for &want in idx.iter().rev() {
+            assert_eq!(a.alloc(0u64), want);
+        }
+        assert_eq!(a.capacity(), 4);
+    }
+}

@@ -11,12 +11,17 @@
 //!   process-wide default worker count (replaces `rayon` for our fan-out
 //!   needs);
 //! * [`check`] — a tiny property-test harness over [`rng`] (replaces
-//!   `proptest` for the repository's property tiers).
+//!   `proptest` for the repository's property tiers);
+//! * [`arena`] — a freelist slab with intrusive links (replaces `slab`);
+//! * [`wheel`] — a cycle-bucketed timing wheel for conservative-window
+//!   event schedulers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod check;
 pub mod json;
 pub mod par;
 pub mod rng;
+pub mod wheel;

@@ -1,0 +1,206 @@
+//! A hierarchical timing wheel: an `O(1)`-push, amortized-`O(1)`-pop
+//! priority queue for cycle-keyed events drained in bounded windows.
+//!
+//! A conservative-window simulator releases events strictly in key order,
+//! window by window, and never schedules into the past. Under those rules a
+//! binary heap pays `O(log n)` per operation for generality it cannot use;
+//! a timing wheel pays `O(1)`: events land in a cycle-indexed bucket ring
+//! sized to the scheduling horizon, and draining a window walks the handful
+//! of cycles it covers. Events beyond the horizon — rare, e.g. fault jitter
+//! — park in an overflow ring and are re-filed as the wheel turns, so
+//! correctness never depends on the horizon being right, only performance.
+//!
+//! Within one cycle, events are emitted in ascending item order (`T: Ord`),
+//! which makes the drain order a total order over `(key, item)` — exactly
+//! the order `BinaryHeap<Reverse<(key, item)>>` would pop, byte for byte.
+
+/// A cycle-keyed event queue drained in ascending `(key, item)` order.
+#[derive(Debug, Clone)]
+pub struct TimingWheel<T> {
+    /// Every stored key is `>= base`; [`TimingWheel::drain_until`] advances it.
+    base: u64,
+    /// `buckets.len() - 1`; the bucket of key `k` is `k & mask`.
+    mask: u64,
+    /// One bucket per cycle of the horizon `[base, base + buckets.len())`.
+    /// In-horizon keys map to distinct buckets, so a bucket only ever holds
+    /// entries of a single key.
+    buckets: Vec<Vec<(u64, T)>>,
+    /// Entries at or beyond the horizon, re-filed as `base` advances.
+    overflow: Vec<(u64, T)>,
+    /// Smallest key in `overflow` (`u64::MAX` when empty): skips the
+    /// re-file scan while the wheel turns far below the parked events.
+    overflow_min: u64,
+    len: usize,
+}
+
+impl<T: Ord> TimingWheel<T> {
+    /// A wheel whose bucket ring covers at least `horizon` cycles (rounded
+    /// up to a power of two). Keys further ahead still work — they take the
+    /// overflow path until the wheel turns within `horizon` of them.
+    pub fn new(horizon: u64) -> Self {
+        let size = horizon.max(1).next_power_of_two();
+        TimingWheel {
+            base: 0,
+            mask: size - 1,
+            buckets: (0..size).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            len: 0,
+        }
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `item` at `key`.
+    ///
+    /// # Panics
+    ///
+    /// If `key` is below the drain frontier — the wheel only turns forward.
+    pub fn push(&mut self, key: u64, item: T) {
+        assert!(
+            key >= self.base,
+            "timing wheel cannot schedule into the past ({key} < {})",
+            self.base
+        );
+        self.len += 1;
+        if key - self.base <= self.mask {
+            self.buckets[(key & self.mask) as usize].push((key, item));
+        } else {
+            self.overflow_min = self.overflow_min.min(key);
+            self.overflow.push((key, item));
+        }
+    }
+
+    /// Releases every event with `key < t1` to `emit` in ascending
+    /// `(key, item)` order, then advances the frontier to `t1`.
+    pub fn drain_until(&mut self, t1: u64, mut emit: impl FnMut(u64, T)) {
+        let size = self.mask + 1;
+        while self.base < t1 {
+            if self.len == 0 {
+                self.base = t1;
+                return;
+            }
+            let lim = t1.min(self.base.saturating_add(size));
+            for c in self.base..lim {
+                let slot = (c & self.mask) as usize;
+                if self.buckets[slot].is_empty() {
+                    continue;
+                }
+                let mut batch = std::mem::take(&mut self.buckets[slot]);
+                batch.sort_unstable();
+                self.len -= batch.len();
+                for (k, item) in batch.drain(..) {
+                    debug_assert_eq!(k, c, "bucket held an out-of-horizon key");
+                    emit(k, item);
+                }
+                // Hand the drained Vec's capacity back to the ring.
+                self.buckets[slot] = batch;
+            }
+            self.base = lim;
+            self.refile();
+        }
+    }
+
+    /// Moves parked overflow events that the advancing frontier brought
+    /// inside the horizon into their buckets.
+    fn refile(&mut self) {
+        if self.overflow_min > self.base + self.mask {
+            return;
+        }
+        let mut min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let key = self.overflow[i].0;
+            if key <= self.base + self.mask {
+                let (k, item) = self.overflow.swap_remove(i);
+                self.buckets[(k & self.mask) as usize].push((k, item));
+            } else {
+                min = min.min(key);
+                i += 1;
+            }
+        }
+        self.overflow_min = min;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// The wheel must pop exactly what a binary heap would, byte for byte,
+    /// under windowed pushes — including horizons far smaller than the key
+    /// spread (forcing the overflow path on most pushes).
+    #[test]
+    fn matches_a_binary_heap_under_windowed_traffic() {
+        for horizon in [1u64, 4, 32, 1024] {
+            let mut rng = Rng::new(0x77ee1 ^ horizon);
+            let mut wheel = TimingWheel::new(horizon);
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut t = 0u64;
+            for _ in 0..200 {
+                let window = rng.range_u64(1, 16);
+                for _ in 0..rng.range_u64(0, 12) {
+                    let key = t + rng.range_u64(0, 3000);
+                    let item = rng.range_u64(0, 1 << 48);
+                    wheel.push(key, item);
+                    heap.push(Reverse((key, item)));
+                }
+                t += window;
+                let mut got = Vec::new();
+                wheel.drain_until(t, |k, v| got.push((k, v)));
+                let mut want = Vec::new();
+                while heap.peek().is_some_and(|&Reverse((k, _))| k < t) {
+                    let Reverse(e) = heap.pop().expect("peeked");
+                    want.push(e);
+                }
+                assert_eq!(got, want, "horizon {horizon} t {t}");
+                assert_eq!(wheel.len(), heap.len());
+            }
+        }
+    }
+
+    #[test]
+    fn same_cycle_events_come_out_in_item_order() {
+        let mut wheel = TimingWheel::new(8);
+        wheel.push(5, 30u64);
+        wheel.push(5, 10);
+        wheel.push(5, 20);
+        wheel.push(3, 99);
+        let mut got = Vec::new();
+        wheel.drain_until(6, |k, v| got.push((k, v)));
+        assert_eq!(got, vec![(3, 99), (5, 10), (5, 20), (5, 30)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn overflow_events_survive_many_turns() {
+        let mut wheel = TimingWheel::new(2);
+        wheel.push(1000, 1u32);
+        wheel.push(3, 2);
+        let mut got = Vec::new();
+        wheel.drain_until(999, |k, v| got.push((k, v)));
+        assert_eq!(got, vec![(3, 2)]);
+        assert_eq!(wheel.len(), 1);
+        wheel.drain_until(1001, |k, v| got.push((k, v)));
+        assert_eq!(got, vec![(3, 2), (1000, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule into the past")]
+    fn pushing_behind_the_frontier_panics() {
+        let mut wheel = TimingWheel::new(8);
+        wheel.drain_until(10, |_, _: u64| {});
+        wheel.push(9, 0u64);
+    }
+}

@@ -60,6 +60,7 @@ fn engine_agrees_with_the_analytic_model_on_table6() {
                 nodes: Some(64),
                 jobs: 0,
                 record_events: false,
+                reference_scheduler: false,
             };
             let run = netrun::run_rounds(&machine, &topo, &rounds, &opts).expect("engine runs");
 
@@ -139,6 +140,7 @@ fn port_sharing_shapes_the_emergent_congestion() {
         nodes: Some(64),
         jobs: 0,
         record_events: false,
+        reference_scheduler: false,
     };
 
     let t3d_topo = netrun::engine_topology(&t3d, Some(64)).unwrap();

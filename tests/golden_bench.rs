@@ -1,0 +1,53 @@
+//! Golden-file regression test for the perfsuite report schema: the
+//! normalized form of a smoke-scale suite run — every wall time and
+//! cache counter zeroed, every deterministic field (digests, cycle
+//! counts, point counts) kept — is pinned byte for byte.
+//!
+//! This locks three things at once: the report's structure (key order,
+//! bench names, groups), the determinism of every `deterministic` field
+//! at smoke scale, and the agreement between `perfsuite::normalize` and
+//! the golden produced by `benchcheck --normalize`. If a deliberate
+//! change moves these bytes, regenerate:
+//!
+//! ```text
+//! cargo run --release --bin repro -- --bench-out /tmp/bench.json --bench-smoke
+//! cargo run --release --bin benchcheck -- --normalize /tmp/bench.json \
+//!   > tests/golden/bench_schema.json
+//! ```
+
+use memcomm_bench::perfsuite;
+
+#[test]
+fn normalized_smoke_suite_matches_the_golden_file() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/bench_schema.json"
+    ))
+    .expect("golden file present");
+
+    let doc = perfsuite::run(&perfsuite::PerfOptions::smoke()).expect("smoke suite runs");
+    perfsuite::validate(&doc).expect("raw report conforms to the schema");
+
+    let normalized = perfsuite::normalize(&doc);
+    perfsuite::validate(&normalized).expect("normalized report still conforms");
+    assert_eq!(
+        normalized.render(),
+        golden,
+        "normalized smoke perfsuite output drifted from tests/golden/bench_schema.json \
+         (see the module docs for the regeneration commands)"
+    );
+}
+
+#[test]
+fn golden_file_itself_validates() {
+    // The golden is a full report in its own right — benchcheck must keep
+    // accepting it, so CI can diff `benchcheck --normalize` output against
+    // it without a schema escape hatch.
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/bench_schema.json"
+    ))
+    .expect("golden file present");
+    let doc = memcomm_util::json::Json::parse(&golden).expect("golden parses");
+    perfsuite::validate(&doc).expect("golden conforms to the perfsuite schema");
+}
