@@ -7,7 +7,7 @@
 //!       [--words N] [--exchange-words N] [--jobs N] [--serial]
 //!       [--faults SEED] [--fault-rate P] [--max-cycles N]
 //!       [--json PATH] [--metrics PATH] [--phases]
-//!       [--engine analytic|event] [--nodes N]
+//!       [--engine analytic|event] [--nodes N] [--shards N]
 //!       [--engine-transpose-n N] [--engine-sor-n N]
 //!       [--trace-out PATH] [--profile PATH]
 //!       [--bench-out PATH] [--bench-n N] [--bench-nodes N] [--bench-smoke]
@@ -31,8 +31,10 @@
 //!
 //! `--engine event` additionally executes Table 6 round by round on the
 //! sharded discrete-event network engine (`--nodes N` scales the simulated
-//! torus/mesh, default 64 — the paper's machines; `--engine-transpose-n`
-//! and `--engine-sor-n` shrink the kernel instances for smoke runs). The
+//! torus/mesh up to kilo-node 3D tori — 1024 runs a 16×8×8 torus;
+//! `--shards N` pins the engine shard count, default auto;
+//! `--engine-transpose-n` and `--engine-sor-n` shrink the kernel instances
+//! for smoke runs). Neither `--jobs` nor `--shards` ever changes results. The
 //! engine rows appear in the text output and in `--json` under
 //! `engine_table6`, next to the analytic congestion model's predictions;
 //! they are byte-identical at any `--jobs`. `--engine analytic` is the
@@ -95,6 +97,7 @@ fn main() {
     let mut all = false;
     let mut fault_rate: Option<f64> = None;
     let mut engine_nodes: Option<usize> = None;
+    let mut engine_shards: Option<usize> = None;
     let mut engine_transpose_n: Option<u64> = None;
     let mut engine_sor_n: Option<u64> = None;
     let mut bench_out: Option<String> = None;
@@ -147,6 +150,9 @@ fn main() {
             "--nodes" => {
                 engine_nodes = Some(number(&mut it, "--nodes") as usize);
             }
+            "--shards" => {
+                engine_shards = Some(number(&mut it, "--shards") as usize);
+            }
             "--engine-transpose-n" => {
                 engine_transpose_n = Some(number(&mut it, "--engine-transpose-n"));
             }
@@ -171,12 +177,21 @@ fn main() {
     } else if fault_rate.is_some() {
         usage_error("--fault-rate requires --faults SEED");
     }
-    if engine_nodes.is_some() || engine_transpose_n.is_some() || engine_sor_n.is_some() {
+    if engine_nodes.is_some()
+        || engine_shards.is_some()
+        || engine_transpose_n.is_some()
+        || engine_sor_n.is_some()
+    {
         let Some(engine) = opts.engine.as_mut() else {
-            usage_error("--nodes/--engine-transpose-n/--engine-sor-n require --engine event");
+            usage_error(
+                "--nodes/--shards/--engine-transpose-n/--engine-sor-n require --engine event",
+            );
         };
         if let Some(n) = engine_nodes {
             engine.nodes = n;
+        }
+        if let Some(n) = engine_shards {
+            engine.shards = n;
         }
         if let Some(n) = engine_transpose_n {
             engine.transpose_n = n;

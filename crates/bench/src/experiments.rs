@@ -689,6 +689,10 @@ pub struct EngineSettings {
     pub sor_n: u64,
     /// Shard workers (0 = the process-wide setting). Never affects results.
     pub jobs: usize,
+    /// Engine shard count (0 = auto: about two per worker). Never affects
+    /// results either — the engine folds events in a canonical stage-major
+    /// order, so digests are byte-identical at any shard count.
+    pub shards: usize,
 }
 
 impl Default for EngineSettings {
@@ -699,6 +703,7 @@ impl Default for EngineSettings {
             transpose_n: 1024,
             sor_n: 256,
             jobs: 0,
+            shards: 0,
         }
     }
 }
@@ -751,7 +756,10 @@ pub fn fem_parts(nodes: usize) -> [usize; 3] {
 pub fn engine_kernels(settings: &EngineSettings) -> Vec<Table6Kernel> {
     vec![
         Table6Kernel::Transpose(TransposeKernel {
-            n: settings.transpose_n,
+            // The matrix dimension must stay a multiple of the node count,
+            // so kilo-node runs grow the paper's 1024 instance with the
+            // machine instead of rejecting it.
+            n: settings.transpose_n.max(settings.nodes as u64),
             words_per_element: 2,
         }),
         Table6Kernel::Fem(FemKernel {
@@ -779,6 +787,7 @@ pub fn engine_table6(settings: &EngineSettings) -> SimResult<Vec<EngineRow>> {
             let opts = EngineOptions {
                 nodes: Some(settings.nodes),
                 jobs: settings.jobs,
+                shards: settings.shards,
                 record_events: false,
                 reference_scheduler: false,
             };

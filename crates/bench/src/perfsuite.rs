@@ -40,7 +40,11 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// Suite name stamped into (and required of) every report.
 pub const SUITE: &str = "memcomm-perfsuite";
 /// The bench groups a report may contain.
-pub const GROUPS: &[&str] = &["sweep", "engine", "engine_baseline", "protocol"];
+pub const GROUPS: &[&str] = &["sweep", "engine", "engine_baseline", "protocol", "scale"];
+
+/// Node counts of the `scale` group: how fast the sharded engine simulates
+/// as the torus grows from the paper's 64 nodes to a kilo-node machine.
+pub const SCALE_NODES: &[usize] = &[64, 256, 1024];
 
 /// Workload knobs of a perfsuite run. The defaults are the acceptance
 /// configuration (64 simulated nodes, the paper's kernel instances,
@@ -59,6 +63,11 @@ pub struct PerfOptions {
     pub transpose_n: u64,
     /// SOR halo row words for the engine benches.
     pub sor_n: u64,
+    /// Words per pair and per round in the `scale` group's truncated
+    /// transpose (the [`SCALE_NODES`] sweep).
+    pub scale_words: u64,
+    /// XOR-schedule prefix length for the `scale` group.
+    pub scale_rounds: u64,
 }
 
 impl Default for PerfOptions {
@@ -70,6 +79,8 @@ impl Default for PerfOptions {
             exchange_words: EXCHANGE_WORDS,
             transpose_n: 1024,
             sor_n: 256,
+            scale_words: 32,
+            scale_rounds: 4,
         }
     }
 }
@@ -85,6 +96,8 @@ impl PerfOptions {
             exchange_words: 512,
             transpose_n: 64,
             sor_n: 64,
+            scale_words: 4,
+            scale_rounds: 3,
         }
     }
 }
@@ -220,6 +233,7 @@ fn engine_bench(
     let eopts = EngineOptions {
         nodes: Some(opts.nodes),
         jobs: 1,
+        shards: 0,
         record_events: false,
         reference_scheduler: reference,
     };
@@ -245,6 +259,48 @@ fn engine_bench(
         timing_obj(&walls, Some(run.cycles), Vec::new()),
     ));
     Ok((median(&walls), run))
+}
+
+/// One point of the scale sweep: a truncated XOR transpose on the T3D
+/// torus scaled to `nodes`, run with the process-wide worker count and
+/// auto sharding — the configuration whose simulated-cycles-per-second is
+/// the engine's scaling headline. The payload is deliberately a prefix of
+/// the full schedule: enough words per pair that steady-state contention
+/// dominates, few enough rounds that the kilo-node point stays in a CI
+/// budget.
+fn scale_bench(opts: &PerfOptions, nodes: usize, benches: &mut Vec<Json>) -> SimResult<()> {
+    let name = format!("engine_scale_{nodes}");
+    eprintln!("perfsuite: {name} ({} reps)", opts.reps.max(1));
+    let machine = Machine::t3d();
+    let topo = netrun::engine_topology(&machine, Some(nodes))?;
+    let mut rounds = memcomm_netsim::traffic::aapc_xor_schedule(nodes, opts.scale_words * 8);
+    rounds.truncate(opts.scale_rounds.max(1) as usize);
+    let eopts = EngineOptions {
+        nodes: Some(nodes),
+        jobs: 0,
+        shards: 0,
+        record_events: false,
+        reference_scheduler: false,
+    };
+    let (last, walls) = timed(opts.reps, || {
+        netrun::run_rounds(&machine, &topo, &rounds, &eopts)
+    });
+    let run = last?;
+    benches.push(bench_obj(
+        &name,
+        "scale",
+        Json::obj([
+            ("nodes", (nodes as u64).into()),
+            ("cycles", run.cycles.into()),
+            ("words", run.words.into()),
+            ("flit_hops", run.flit_hops.into()),
+            ("windows", run.windows.into()),
+            ("peak_queue_depth", run.peak_queue_depth.into()),
+            ("digest", hex16(run.digest)),
+        ]),
+        timing_obj(&walls, Some(run.cycles), Vec::new()),
+    ));
+    Ok(())
 }
 
 /// The resilient-transfer retry storm: a seeded fault plan drops enough
@@ -327,6 +383,7 @@ pub fn run(opts: &PerfOptions) -> SimResult<Json> {
         transpose_n: opts.transpose_n,
         sor_n: opts.sor_n,
         jobs: 1,
+        shards: 0,
     };
     let mut transpose_t3d: Option<(f64, netrun::EngineRun)> = None;
     for (machine, short) in [(Machine::t3d(), "t3d"), (Machine::paragon(), "paragon")] {
@@ -360,6 +417,11 @@ pub fn run(opts: &PerfOptions) -> SimResult<Json> {
         }
     }
 
+    // The scale sweep: sim-cycles/sec as the torus grows to 1024 nodes.
+    for &nodes in SCALE_NODES {
+        scale_bench(opts, nodes, &mut benches)?;
+    }
+
     protocol_bench(opts, &mut benches)?;
 
     Ok(Json::obj([
@@ -374,6 +436,8 @@ pub fn run(opts: &PerfOptions) -> SimResult<Json> {
                 ("exchange_words", opts.exchange_words.into()),
                 ("transpose_n", opts.transpose_n.into()),
                 ("sor_n", opts.sor_n.into()),
+                ("scale_words", opts.scale_words.into()),
+                ("scale_rounds", opts.scale_rounds.into()),
             ]),
         ),
         ("benches", Json::Arr(benches)),
@@ -420,6 +484,8 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         "exchange_words",
         "transpose_n",
         "sor_n",
+        "scale_words",
+        "scale_rounds",
     ];
     if obj_keys(options) != Some(want.clone()) {
         return Err(format!("options must be an object with keys {want:?}"));

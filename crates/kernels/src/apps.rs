@@ -379,7 +379,9 @@ impl FemKernel {
         let bytes = self.exchange_words() * 8;
         let all = traffic::neighbor_exchange(topo, bytes);
         // Phase = all flows with the same (coordinate delta) direction; for
-        // a shift on a torus each phase is a permutation.
+        // a shift on a torus each phase is a permutation. A 2-wide torus
+        // ring has no -1 direction (hop deltas tie positive), so that phase
+        // is empty and is dropped rather than scheduled as a no-op round.
         Ok((0..topo.dims().len())
             .flat_map(|dim| [-1i64, 1].into_iter().map(move |step| (dim, step)))
             .map(|(dim, step)| {
@@ -399,6 +401,7 @@ impl FemKernel {
                     })
                     .collect()
             })
+            .filter(|phase: &Vec<traffic::Flow>| !phase.is_empty())
             .collect())
     }
 
@@ -679,6 +682,40 @@ mod tests {
             sor.congestion_on(&lone, 1),
             Err(SimError::Protocol { .. })
         ));
+    }
+
+    #[test]
+    fn fem_congestion_generalizes_to_any_even_dim_torus() {
+        // Scaled power-of-two tori hit 2-wide rings ([2,2,2] at 8 nodes,
+        // [4,4,2] at 32); the duplicated ±1 exchange flows used to double
+        // the worst-phase factor to 4 there. With shared ports (T3D npp=2)
+        // every even-dim torus must price the phased halo exchange at the
+        // port-sharing factor 2 — including non-power-of-two node counts.
+        for dims in [
+            vec![2u32, 2, 2],
+            vec![4, 2, 2],
+            vec![4, 4, 2],
+            vec![6, 4, 2],
+            vec![6, 6, 2],
+        ] {
+            let topo = Topology::torus(&dims);
+            let parts = [dims[0] as usize, dims[1] as usize, dims[2] as usize];
+            let fem = FemKernel {
+                mesh: PartitionedMesh::synthetic_valley([48, 48, 48], parts, 1995),
+            };
+            let f = fem.congestion_on(&topo, 2).unwrap();
+            assert!(
+                (f - 2.0).abs() < 1e-9,
+                "phased exchange on {dims:?} priced at {f}, want 2.0"
+            );
+            // Every scheduled phase is a permutation: at most one flow per
+            // source, and no empty rounds.
+            for phase in fem.rounds(&topo).unwrap() {
+                assert!(!phase.is_empty());
+                let srcs: std::collections::HashSet<_> = phase.iter().map(|f| f.src).collect();
+                assert_eq!(srcs.len(), phase.len(), "{dims:?}: phase not a permutation");
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct EngineOptions {
     /// Worker threads for the shard fan-out (0 = process-wide setting).
     /// Results never depend on this.
     pub jobs: usize,
+    /// Shard count (0 = auto: about two per worker). Results never depend
+    /// on this either — the engine's stage-major fold keeps digests
+    /// byte-identical at any value.
+    pub shards: usize,
     /// Keep full event streams (tests pin event-order equality with this).
     pub record_events: bool,
     /// Run on the engine's retired heap scheduler instead of the timing
@@ -116,6 +120,7 @@ pub fn run_rounds(
 ) -> SimResult<EngineRun> {
     let mut cfg = engine_config(machine);
     cfg.jobs = opts.jobs;
+    cfg.shards = opts.shards;
     cfg.record_events = opts.record_events;
     cfg.reference_scheduler = opts.reference_scheduler;
     let out = engine::run_schedule(topo, rounds, &cfg)?;
@@ -299,6 +304,7 @@ mod tests {
         let opts = EngineOptions {
             nodes: Some(4),
             jobs: 1,
+            shards: 0,
             record_events: false,
             reference_scheduler: false,
         };

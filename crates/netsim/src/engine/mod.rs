@@ -1,0 +1,852 @@
+//! Sharded discrete-event interconnect engine.
+//!
+//! Where [`congestion`](crate::congestion) folds a traffic pattern into a
+//! closed-form factor, this module actually *runs* the pattern: per-node
+//! NIC FIFOs feed words through shared injection/ejection ports (the T3D
+//! quirk that two nodes share one port falls out naturally), and flits
+//! travel dimension-ordered over per-link wires guarded by credit-based
+//! virtual-channel buffers with real backpressure.
+//!
+//! # Determinism and sharding
+//!
+//! The simulation advances in conservative windows of `L` cycles, where `L`
+//! is the link latency: any word transmitted during window `[T, T+L)`
+//! arrives no earlier than `T+L`, so every arrival of a window is known at
+//! its opening barrier. Nodes are partitioned into shards along port-group
+//! boundaries — the shard count scales with the worker count (two shards
+//! per worker, or [`EngineConfig::shards`] to pin it), and the partition
+//! balances each shard's share of the traffic's word·hop work, so a
+//! 1024-node torus keeps 16 workers busy instead of idling 8 of them
+//! behind a fixed 8-way split.
+//!
+//! Results do not depend on either knob. Within a window, every site (port
+//! or link) belongs to exactly one shard, all cross-site coupling crosses
+//! the barrier, and shards own contiguous node ranges — so each site's
+//! event sequence is partition-invariant, and the coordinator can fold the
+//! window's events in canonical *stage-major* order (all injections by
+//! ascending port, then all link transits by ascending link, then all
+//! ejections by ascending port — each the concatenation of the shards'
+//! per-stage streams in shard order). `jobs = 1` and `jobs = N`, one shard
+//! or sixty-four: byte-identical event streams and digests.
+//!
+//! # Memory at scale
+//!
+//! Per-node state lives in structure-of-arrays form inside each shard
+//! ([`shard::Shard`]): two NIC FIFOs, a feed cursor, and two pacing
+//! scalars per node — a few hundred bytes — instead of a full simulated
+//! memory node. A 4096-node torus builds in tens of megabytes, dominated
+//! by its flow table rather than by node state.
+//!
+//! # Deadlock freedom
+//!
+//! Routes are dimension-ordered and minimal; each directed link carries two
+//! virtual channels with the classic dateline rule: a word starts each
+//! dimension on VC 0 and moves to VC 1 for the hops after it crosses that
+//! dimension's wraparound link. Minimal torus routes cross a wrap at most
+//! once per ring, so the channel-dependency graph is acyclic; meshes have
+//! no wrap links and run entirely on VC 0. This holds for tori of any rank
+//! — the kilo-node configurations are 3D (16×8×8 at 1024 nodes). Ejection
+//! drains into the bounded node `rx` FIFO, which the memory side empties
+//! unconditionally.
+//!
+//! # Schedulers
+//!
+//! Two interchangeable queue substrates drive the identical window logic:
+//!
+//! * the **production scheduler** (the default): the coordinator's
+//!   in-flight deliveries live in a cycle-bucketed
+//!   [`TimingWheel`](memcomm_util::wheel::TimingWheel) (deliveries *are*
+//!   time-keyed — the barrier releases everything below `t1`), and each
+//!   router queue is a set of per-flow FIFO *lanes* carved from a shared
+//!   freelist [`Arena`](memcomm_util::arena::Arena), with a small lazy heap
+//!   over the lane heads. Router queues are *rank*-ordered, not
+//!   time-ordered, so a cycle wheel cannot express them; lanes are the
+//!   rank-domain analogue — a flow's words reach any given queue in
+//!   ascending rank order, so each lane is pre-sorted and the queue minimum
+//!   is always a lane head. Push is `O(1)`, pop is `O(log F)` in the
+//!   handful of *flows* contending a queue rather than `O(log N)` in the
+//!   hundreds of queued *words*;
+//! * the **reference scheduler**: the retired `BinaryHeap` implementation,
+//!   kept selectable via [`EngineConfig::reference_scheduler`] so the
+//!   differential tier (`tests/wheel_vs_heap.rs`) can prove, case by case,
+//!   that the fast path is observably invisible — event streams, digests,
+//!   and counters match byte for byte.
+
+mod build;
+mod sched;
+mod shard;
+mod window;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use memcomm_util::wheel::TimingWheel;
+
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::error::{SimError, SimResult};
+use memcomm_memsim::fault::FaultPlan;
+use memcomm_memsim::nic::NetWord;
+use memcomm_memsim::node::{NodeParams, Watchdog};
+use memcomm_obs::Obs;
+use memcomm_util::par;
+
+use crate::link::LinkParams;
+use crate::topology::Topology;
+use crate::traffic::Flow;
+
+use build::{build_sim, Sim};
+use sched::Delivery;
+use shard::WindowOut;
+
+/// Engine name used in error diagnostics.
+const ENGINE: &str = "netsim-engine";
+
+/// FNV-1a offset basis, the digest seed.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv_fold(hash: u64, value: u64) -> u64 {
+    (hash ^ value).wrapping_mul(FNV_PRIME)
+}
+
+/// What happened at a simulated resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A word left a node's `tx` FIFO and serialized onto its injection port.
+    Inject,
+    /// A word traversed a network link.
+    Hop,
+    /// A link fault consumed the wire without delivering the word; the word
+    /// retries from its upstream buffer.
+    Drop,
+    /// A word serialized off an ejection port into the destination `rx` FIFO.
+    Eject,
+}
+
+impl EventKind {
+    fn code(self) -> u64 {
+        match self {
+            EventKind::Inject => 1,
+            EventKind::Hop => 2,
+            EventKind::Drop => 3,
+            EventKind::Eject => 4,
+        }
+    }
+}
+
+/// One entry of the canonical event stream.
+///
+/// The stream is ordered by (window, stage, site, time) — injections first,
+/// then link transits, then ejections, sites ascending within each stage —
+/// a deterministic order that is identical at any worker count *and* any
+/// shard count, pinned by the run digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineEvent {
+    /// Cycle the action started (integer part).
+    pub time: Cycle,
+    /// What happened.
+    pub kind: EventKind,
+    /// Link index for hops/drops, port index for injections/ejections.
+    pub site: u32,
+    /// Virtual channel involved.
+    pub vc: u8,
+    /// Word identity: `flow_index << 32 | word_index`.
+    pub seq: u64,
+}
+
+impl EngineEvent {
+    fn fold_into(&self, hash: u64) -> u64 {
+        let h = fnv_fold(hash, self.time);
+        let h = fnv_fold(h, self.kind.code());
+        let h = fnv_fold(h, u64::from(self.site));
+        fnv_fold(fnv_fold(h, u64::from(self.vc)), self.seq)
+    }
+}
+
+/// Engine configuration: the machine's link and node parameters plus the
+/// engine-specific knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Wire parameters; the congestion factor is forced to 1.0 — contention
+    /// is what the engine *simulates*, not a dial.
+    pub link: LinkParams,
+    /// Per-node parameters; `tx_fifo_words`/`rx_fifo_words` bound the NIC
+    /// staging FIFOs (the only node state the engine keeps — see the
+    /// module docs on memory at scale).
+    pub node: NodeParams,
+    /// Nodes sharing one injection/ejection port pair (2 on the T3D).
+    pub nodes_per_port: u32,
+    /// Buffer slots per (link, virtual channel) guarded by credits. Credits
+    /// return one conservative window after the buffered word moves on, so
+    /// small values throttle saturated multi-hop paths (tree saturation)
+    /// well below the wire rate; the default is sized so the credit
+    /// round-trip never limits a path and contention comes from the wires
+    /// themselves, matching the fluid assumption of the analytic model.
+    pub vc_slots: u32,
+    /// Cycles between consecutive words the memory side feeds into `tx`
+    /// (0 = unpaced: memory keeps the NIC saturated and the injection port
+    /// is the bottleneck).
+    pub source_word_cycles: Cycle,
+    /// Cycles between consecutive words the memory side drains from `rx`
+    /// (0 = unpaced).
+    pub drain_word_cycles: Cycle,
+    /// Send address-data pairs instead of data-only words.
+    pub address_data_pairs: bool,
+    /// Worker threads for the shard fan-out (0 = the process-wide setting).
+    /// Never affects results, only wall-clock.
+    pub jobs: usize,
+    /// Shard count (0 = auto: about two per worker, clamped to the port
+    /// group count). Never affects results, only wall-clock — the
+    /// stage-major fold keeps digests byte-identical at any value.
+    pub shards: usize,
+    /// Watchdog: maximum simulation windows before declaring a wedge.
+    pub max_windows: u64,
+    /// Optional hard cycle budget.
+    pub max_cycles: Option<Cycle>,
+    /// Fault plan threaded through every per-node FIFO and link.
+    pub fault: FaultPlan,
+    /// Keep the full event stream in the outcome (tests); the digest is
+    /// always computed.
+    pub record_events: bool,
+    /// Run on the retired `BinaryHeap` scheduler instead of the timing
+    /// wheel + lane arena. Results are byte-identical either way; this
+    /// knob exists so the differential tier and the perf harness can put
+    /// the two substrates side by side.
+    #[doc(hidden)]
+    pub reference_scheduler: bool,
+}
+
+impl EngineConfig {
+    /// Builds a configuration from machine link/node parameters.
+    pub fn new(link: LinkParams, node: NodeParams) -> Self {
+        let mut link = link;
+        link.congestion = 1.0;
+        let mut node = node;
+        // Engine nodes never allocate regions; keep the nominal memory tiny
+        // in case anything downstream sizes buffers from it.
+        node.memory_words = 64;
+        EngineConfig {
+            link,
+            node,
+            nodes_per_port: 1,
+            vc_slots: 64,
+            source_word_cycles: 0,
+            drain_word_cycles: 0,
+            address_data_pairs: false,
+            jobs: 0,
+            shards: 0,
+            max_windows: 1 << 22,
+            max_cycles: None,
+            fault: FaultPlan::disabled(),
+            record_events: false,
+            reference_scheduler: false,
+        }
+    }
+
+    fn word(&self, seq: u64) -> NetWord {
+        if self.address_data_pairs {
+            NetWord::addressed(seq.wrapping_mul(8), seq)
+        } else {
+            NetWord::data(seq)
+        }
+    }
+
+    /// Wire cycles per word under this configuration's framing.
+    pub fn word_cycles(&self) -> f64 {
+        self.link.word_cycles(&self.word(0))
+    }
+}
+
+/// Aggregate result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Completion cycle: when the last word left its destination `rx` FIFO.
+    pub cycles: Cycle,
+    /// Words that traversed the network.
+    pub words: u64,
+    /// Total link traversals (the flit-hop count).
+    pub flit_hops: u64,
+    /// Conservative windows executed.
+    pub windows: u64,
+    /// Link-fault drops (each deterministically retransmitted).
+    pub dropped: u64,
+    /// Link-fault corruptions (counted; payloads are synthetic).
+    pub corrupted: u64,
+    /// FNV-1a fold over the canonical event stream.
+    pub digest: u64,
+    /// Deepest the run's event backlog ever got: the barrier maximum of
+    /// in-flight deliveries plus router-queued words, summed over shards.
+    /// Identical under both schedulers (and any worker or shard count) —
+    /// it is a property of the traffic, not of the queue substrate.
+    pub peak_queue_depth: u64,
+    /// The event stream itself, when [`EngineConfig::record_events`] is set.
+    pub events: Vec<EngineEvent>,
+}
+
+/// Result of running a multi-round schedule (rounds are barrier-separated:
+/// round `r+1` starts only after round `r` fully drains).
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Per-round outcomes, in schedule order.
+    pub rounds: Vec<EngineOutcome>,
+    /// Sum of round completion cycles.
+    pub cycles: Cycle,
+    /// Digest folding every round's digest in order.
+    pub digest: u64,
+    /// Deepest event backlog across all rounds.
+    pub peak_queue_depth: u64,
+}
+
+/// A topology of `nodes` nodes with the same rank and wrap-ness as `base`,
+/// splitting the power-of-two node count as evenly as possible across the
+/// base's dimensions (64 on a 3D torus → 4×4×4; 1024 → 16×8×8).
+pub fn scaled_topology(base: &Topology, nodes: usize) -> SimResult<Topology> {
+    if nodes < 2 || !nodes.is_power_of_two() {
+        return Err(SimError::Protocol {
+            detail: format!("engine topology needs a power-of-two node count >= 2, got {nodes}"),
+            at: 0,
+        });
+    }
+    let rank = base.dims().len();
+    let exp = nodes.trailing_zeros() as usize;
+    let dims: Vec<u32> = (0..rank)
+        .map(|i| 1u32 << (exp / rank + usize::from(i < exp % rank)))
+        .collect();
+    Ok(if base.is_torus() {
+        Topology::torus(&dims)
+    } else {
+        Topology::mesh(&dims)
+    })
+}
+
+/// Runs one traffic pattern to completion.
+///
+/// Flows with `src == dst` or zero bytes never enter the network and are
+/// skipped. Returns [`SimError::Deadlock`] if the network stops making
+/// progress with words still in flight, [`SimError::Wedged`] /
+/// [`SimError::CycleBudget`] when the watchdog limits trip, and
+/// [`SimError::Protocol`] for invalid flow sets.
+pub fn run_flows(topo: &Topology, flows: &[Flow], cfg: &EngineConfig) -> SimResult<EngineOutcome> {
+    let sim = build_sim(topo, flows, cfg)?;
+    run_sim(sim)
+}
+
+/// The coordinator's in-flight delivery store under either scheduler.
+enum PendingQueue {
+    /// The retired global heap.
+    Heap(BinaryHeap<Reverse<Delivery>>),
+    /// The production cycle-bucketed wheel; deliveries are genuinely
+    /// time-keyed (the barrier releases everything below `t1`, tie-broken
+    /// by the unique `seq` inside [`Delivery`]'s derived order).
+    Wheel(TimingWheel<Delivery>),
+}
+
+impl PendingQueue {
+    fn len(&self) -> usize {
+        match self {
+            PendingQueue::Heap(h) => h.len(),
+            PendingQueue::Wheel(w) => w.len(),
+        }
+    }
+}
+
+/// Folds one window's outputs in canonical stage-major order: every
+/// shard's injections (ports ascending within each shard, shards in node
+/// order), then every shard's link transits, then every shard's ejections.
+/// Any port-group-aligned partition produces exactly this sequence, which
+/// is what makes the digest independent of the shard count.
+fn fold_window(outs: &[&WindowOut], digest: &mut u64, record: bool, events: &mut Vec<EngineEvent>) {
+    for stage in 0..3 {
+        for out in outs {
+            let evs = match stage {
+                0 => &out.inject_events,
+                1 => &out.link_events,
+                _ => &out.eject_events,
+            };
+            for e in evs {
+                *digest = e.fold_into(*digest);
+            }
+            if record {
+                events.extend_from_slice(evs);
+            }
+        }
+    }
+}
+
+fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
+    let cfg = sim.cfg;
+    let obs = Obs::current();
+    let window = cfg.link.latency_cycles.max(1);
+    let jobs = if cfg.jobs == 0 { par::jobs() } else { cfg.jobs };
+    let shard_ids: Vec<usize> = (0..sim.shards.len()).collect();
+    // Hand each worker a few shards at a time: one fetch-add per chunk
+    // instead of per shard, while still leaving enough chunks (~4 per
+    // worker) to absorb uneven window costs.
+    let chunk = shard_ids.len().div_ceil(jobs.max(1) * 4).max(1);
+
+    let mut outcome = EngineOutcome {
+        cycles: 0,
+        words: sim.total_words,
+        flit_hops: 0,
+        windows: 0,
+        dropped: 0,
+        corrupted: 0,
+        digest: FNV_OFFSET,
+        peak_queue_depth: 0,
+        events: Vec::new(),
+    };
+    if sim.total_words == 0 {
+        return Ok(outcome);
+    }
+
+    let mut watchdog = Watchdog::new(cfg.max_windows).with_cycle_budget(cfg.max_cycles);
+    let jitter = if cfg.fault.is_active() {
+        cfg.fault.config().max_jitter_cycles
+    } else {
+        0
+    };
+    let mut pending = if cfg.reference_scheduler {
+        PendingQueue::Heap(BinaryHeap::new())
+    } else {
+        // A delivery lands at most wire + latency (+ fault jitter) cycles
+        // past the window that transmitted it; anything further (an
+        // oversized delay) takes the wheel's overflow path, so the horizon
+        // only sets the fast-path hit rate, never correctness.
+        let horizon =
+            window + (cfg.word_cycles().ceil() as Cycle) + cfg.link.latency_cycles + jitter + 4;
+        PendingQueue::Wheel(TimingWheel::new(horizon))
+    };
+    // Per-shard delivery/credit scratch, ping-ponged with the shard inboxes
+    // at each barrier on the production path (no steady-state allocation).
+    let mut scratch: Vec<Vec<Delivery>> = vec![Vec::new(); sim.shards.len()];
+    let mut credit_scratch: Vec<Vec<(u32, u8)>> = vec![Vec::new(); sim.shards.len()];
+    let mut credits_pending: Vec<(u32, u8)> = Vec::new();
+    // Deepest each shard's router queues ever got, for the per-shard
+    // balance gauges.
+    let mut shard_peaks: Vec<u64> = vec![0; sim.shards.len()];
+    let mut drained = 0u64;
+    let mut idle_windows = 0u64;
+    // How long legitimate inactivity can last, in windows: fault stalls and
+    // jitter park words in the future, and slow memory pacing leaves gaps.
+    let fault_slack = if cfg.fault.is_active() {
+        let c = cfg.fault.config();
+        c.max_stall_cycles + c.max_jitter_cycles
+    } else {
+        0
+    };
+    // A single port/drain action can jump its follow-up work a full word
+    // time past the current window with nothing in `pending` meanwhile
+    // (e.g. the last word's rx-ready stamp lands `wt` cycles ahead while
+    // the drain idles), so the wire time bounds legitimate gaps too.
+    let word_gap = 2 * (cfg.word_cycles().ceil() as Cycle);
+    let idle_limit =
+        2 + (fault_slack + cfg.source_word_cycles + cfg.drain_word_cycles + word_gap) / window;
+
+    let mut t0: Cycle = 0;
+    loop {
+        watchdog.tick(ENGINE, t0)?;
+        let t1 = t0 + window;
+
+        // Barrier: hand due deliveries (globally sorted by (arrive, seq))
+        // and freed credits to their owning shards.
+        match &mut pending {
+            PendingQueue::Heap(pending) => {
+                let mut per_shard: Vec<Vec<Delivery>> = vec![Vec::new(); sim.shards.len()];
+                while pending.peek().is_some_and(|Reverse(d)| d.arrive < t1) {
+                    let Reverse(d) = pending.pop().expect("peeked");
+                    per_shard[sim.shard_of_node[d.to_node as usize] as usize].push(d);
+                }
+                let mut credit_shard: Vec<Vec<(u32, u8)>> = vec![Vec::new(); sim.shards.len()];
+                for (link, vc) in credits_pending.drain(..) {
+                    let (s, local) = sim.link_owner[link as usize];
+                    credit_shard[s as usize].push((local, vc));
+                }
+                for (i, (inbox, credits)) in per_shard.into_iter().zip(credit_shard).enumerate() {
+                    let mut shard = sim.shards[i].lock().expect("shard lock poisoned");
+                    shard.inbox = inbox;
+                    shard.credit_inbox = credits;
+                }
+            }
+            PendingQueue::Wheel(wheel) => {
+                // The wheel emits in ascending (arrive, seq) order — the
+                // same global order the heap pop loop produced — and each
+                // shard receives its subsequence of it.
+                wheel.drain_until(t1, |_, d| {
+                    scratch[sim.shard_of_node[d.to_node as usize] as usize].push(d);
+                });
+                for (link, vc) in credits_pending.drain(..) {
+                    let (s, local) = sim.link_owner[link as usize];
+                    credit_scratch[s as usize].push((local, vc));
+                }
+                for i in 0..sim.shards.len() {
+                    let mut shard = sim.shards[i].lock().expect("shard lock poisoned");
+                    std::mem::swap(&mut shard.inbox, &mut scratch[i]);
+                    std::mem::swap(&mut shard.credit_inbox, &mut credit_scratch[i]);
+                    // The vectors coming back were cleared by the previous
+                    // window, keeping their capacity.
+                }
+            }
+        }
+
+        let mut progress = 0u64;
+        let mut queued = 0u64;
+        match &mut pending {
+            PendingQueue::Heap(pending) => {
+                let outs: Vec<WindowOut> = par::par_map_chunked(jobs, chunk, &shard_ids, |&i| {
+                    sim.shards[i]
+                        .lock()
+                        .expect("shard lock poisoned")
+                        .run_window(t0, t1, &sim.net)
+                });
+                let refs: Vec<&WindowOut> = outs.iter().collect();
+                fold_window(
+                    &refs,
+                    &mut outcome.digest,
+                    cfg.record_events,
+                    &mut outcome.events,
+                );
+                for (i, out) in outs.into_iter().enumerate() {
+                    for d in out.deliveries {
+                        pending.push(Reverse(d));
+                    }
+                    credits_pending.extend(out.credits);
+                    progress += out.progress;
+                    drained += out.drained;
+                    queued += out.queued;
+                    shard_peaks[i] = shard_peaks[i].max(out.queued);
+                    outcome.flit_hops += out.flit_hops;
+                    outcome.dropped += out.dropped;
+                    outcome.corrupted += out.corrupted;
+                    outcome.cycles = outcome.cycles.max(out.last_drain);
+                }
+            }
+            PendingQueue::Wheel(wheel) => {
+                par::par_map_chunked(jobs, chunk, &shard_ids, |&i| {
+                    sim.shards[i]
+                        .lock()
+                        .expect("shard lock poisoned")
+                        .run_window_in_place(t0, t1, &sim.net);
+                });
+                // The coordinator is the only thread running here; take all
+                // the guards at once so the stage-major fold can walk the
+                // shards three times without re-locking.
+                let guards: Vec<_> = sim
+                    .shards
+                    .iter()
+                    .map(|s| s.lock().expect("shard lock poisoned"))
+                    .collect();
+                {
+                    let refs: Vec<&WindowOut> = guards.iter().map(|g| &g.out).collect();
+                    fold_window(
+                        &refs,
+                        &mut outcome.digest,
+                        cfg.record_events,
+                        &mut outcome.events,
+                    );
+                }
+                for (i, shard) in guards.into_iter().enumerate() {
+                    let out = &shard.out;
+                    for &d in &out.deliveries {
+                        wheel.push(d.arrive, d);
+                    }
+                    credits_pending.extend_from_slice(&out.credits);
+                    progress += out.progress;
+                    drained += out.drained;
+                    queued += out.queued;
+                    shard_peaks[i] = shard_peaks[i].max(out.queued);
+                    outcome.flit_hops += out.flit_hops;
+                    outcome.dropped += out.dropped;
+                    outcome.corrupted += out.corrupted;
+                    outcome.cycles = outcome.cycles.max(out.last_drain);
+                }
+            }
+        }
+        outcome.windows += 1;
+        outcome.peak_queue_depth = outcome.peak_queue_depth.max(pending.len() as u64 + queued);
+
+        if drained == sim.total_words {
+            break;
+        }
+        if progress == 0 && pending.len() == 0 {
+            idle_windows += 1;
+            if idle_windows > idle_limit {
+                return Err(SimError::Deadlock {
+                    detail: format!(
+                        "engine idle for {idle_windows} windows with {} of {} words undelivered",
+                        sim.total_words - drained,
+                        sim.total_words
+                    ),
+                    at: t0,
+                });
+            }
+        } else {
+            idle_windows = 0;
+        }
+        t0 = t1;
+    }
+
+    obs.count("engine.words", outcome.words);
+    obs.count("engine.flit_hops", outcome.flit_hops);
+    obs.count("engine.windows", outcome.windows);
+    obs.gauge_max("engine.peak_queue_depth", outcome.peak_queue_depth);
+    if obs.is_enabled() {
+        // Per-shard balance gauges: how evenly the partition spread the
+        // queue pressure. Guarded — the format! per shard is wasted work
+        // when nothing is recording.
+        obs.gauge_max("engine.shards", shard_peaks.len() as u64);
+        for (i, &peak) in shard_peaks.iter().enumerate() {
+            obs.gauge_max(&format!("engine.shard{i}.peak_queued"), peak);
+        }
+    }
+    obs.span("engine", "run_flows", 0, outcome.cycles);
+    Ok(outcome)
+}
+
+/// Runs a barrier-separated schedule of rounds; each round must fully drain
+/// before the next starts (the semantics of the paper's phased kernels).
+pub fn run_schedule(
+    topo: &Topology,
+    rounds: &[Vec<Flow>],
+    cfg: &EngineConfig,
+) -> SimResult<ScheduleOutcome> {
+    let mut out = ScheduleOutcome {
+        rounds: Vec::with_capacity(rounds.len()),
+        cycles: 0,
+        digest: FNV_OFFSET,
+        peak_queue_depth: 0,
+    };
+    for (i, round) in rounds.iter().enumerate() {
+        let r = run_flows(topo, round, cfg)?;
+        out.cycles += r.cycles;
+        out.digest = fnv_fold(fnv_fold(out.digest, i as u64), r.digest);
+        out.peak_queue_depth = out.peak_queue_depth.max(r.peak_queue_depth);
+        out.rounds.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::vc_labels;
+    use super::*;
+    use crate::routing::route;
+    use crate::traffic;
+
+    fn small_cfg() -> EngineConfig {
+        let link = LinkParams {
+            bytes_per_cycle: 8.0,
+            packet_words: 16,
+            header_bytes: 8,
+            adp_extra_bytes: 8,
+            latency_cycles: 4,
+            congestion: 1.0,
+        };
+        EngineConfig::new(link, NodeParams::default())
+    }
+
+    #[test]
+    fn single_flow_delivers_all_words() {
+        let topo = Topology::torus(&[4]);
+        let flows = [Flow {
+            src: 0,
+            dst: 2,
+            bytes: 64 * 8,
+        }];
+        let out = run_flows(&topo, &flows, &small_cfg()).unwrap();
+        assert_eq!(out.words, 64);
+        // Two hops per word, no faults.
+        assert_eq!(out.flit_hops, 128);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn local_and_empty_flows_are_skipped() {
+        let topo = Topology::mesh(&[2, 2]);
+        let flows = [
+            Flow {
+                src: 1,
+                dst: 1,
+                bytes: 800,
+            },
+            Flow {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+            },
+        ];
+        let out = run_flows(&topo, &flows, &small_cfg()).unwrap();
+        assert_eq!(out.words, 0);
+        assert_eq!(out.windows, 0);
+    }
+
+    #[test]
+    fn invalid_flow_is_a_protocol_error() {
+        let topo = Topology::mesh(&[2, 2]);
+        let flows = [Flow {
+            src: 0,
+            dst: 9,
+            bytes: 8,
+        }];
+        assert!(matches!(
+            run_flows(&topo, &flows, &small_cfg()),
+            Err(SimError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_rate_is_approached_on_an_uncontended_path() {
+        let topo = Topology::torus(&[8]);
+        let words = 512u64;
+        let flows = [Flow {
+            src: 0,
+            dst: 1,
+            bytes: words * 8,
+        }];
+        let cfg = small_cfg();
+        let out = run_flows(&topo, &flows, &cfg).unwrap();
+        let wt = cfg.word_cycles();
+        let ideal = words as f64 * wt;
+        let t = out.cycles as f64;
+        assert!(t >= ideal, "cannot beat the wire: {t} < {ideal}");
+        assert!(
+            t < 2.0 * ideal + 200.0,
+            "an uncontended flow should run near wire rate: {t} vs {ideal}"
+        );
+    }
+
+    #[test]
+    fn contended_link_doubles_the_time() {
+        // Two flows share the 2→3 link on a ring; each alone would take
+        // ~W*wt, together the shared link serializes them.
+        let topo = Topology::mesh(&[8]);
+        let words = 256u64;
+        let flows = [
+            Flow {
+                src: 2,
+                dst: 4,
+                bytes: words * 8,
+            },
+            Flow {
+                src: 1,
+                dst: 5,
+                bytes: words * 8,
+            },
+        ];
+        let cfg = small_cfg();
+        let uncontended = run_flows(&topo, &flows[..1], &cfg).unwrap().cycles as f64;
+        let contended = run_flows(&topo, &flows, &cfg).unwrap().cycles as f64;
+        assert!(
+            contended > 1.6 * uncontended,
+            "sharing a link must show up: {contended} vs {uncontended}"
+        );
+    }
+
+    #[test]
+    fn digest_is_identical_across_worker_counts() {
+        let topo = Topology::torus(&[4, 4]);
+        let rounds = traffic::aapc_xor_schedule(16, 32 * 8);
+        let run = |jobs: usize| {
+            let mut cfg = small_cfg();
+            cfg.jobs = jobs;
+            cfg.nodes_per_port = 2;
+            cfg.record_events = true;
+            run_schedule(&topo, &rounds, &cfg).unwrap()
+        };
+        let base = run(1);
+        for jobs in [2, 4, 7] {
+            let out = run(jobs);
+            assert_eq!(out.digest, base.digest, "jobs={jobs}");
+            assert_eq!(out.cycles, base.cycles, "jobs={jobs}");
+            for (a, b) in out.rounds.iter().zip(&base.rounds) {
+                assert_eq!(a.events, b.events, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn digest_is_identical_across_shard_counts() {
+        // The stage-major fold makes the shard partition invisible: one
+        // shard, an odd count, or one per port group — same events, same
+        // digest, same cycle count.
+        let topo = Topology::torus(&[4, 4]);
+        let rounds = traffic::aapc_xor_schedule(16, 24 * 8);
+        let run = |shards: usize| {
+            let mut cfg = small_cfg();
+            cfg.jobs = 2;
+            cfg.shards = shards;
+            cfg.nodes_per_port = 2;
+            cfg.record_events = true;
+            run_schedule(&topo, &rounds, &cfg).unwrap()
+        };
+        let base = run(1);
+        for shards in [2, 3, 5, 8] {
+            let out = run(shards);
+            assert_eq!(out.digest, base.digest, "shards={shards}");
+            assert_eq!(out.cycles, base.cycles, "shards={shards}");
+            for (a, b) in out.rounds.iter().zip(&base.rounds) {
+                assert_eq!(a.events, b.events, "shards={shards}");
+            }
+        }
+        // And the auto count (whatever it resolves to on this host) agrees.
+        let mut cfg = small_cfg();
+        cfg.nodes_per_port = 2;
+        let auto = run_schedule(&topo, &rounds, &cfg).unwrap();
+        assert_eq!(auto.digest, base.digest);
+        assert_eq!(auto.cycles, base.cycles);
+    }
+
+    #[test]
+    fn torus_wraps_use_the_second_virtual_channel() {
+        let topo = Topology::torus(&[5]);
+        // 4 → 1 wraps: hops 4→0 (wrap, VC0) then 0→1 (VC1).
+        let r = route(&topo, 4, 1);
+        let vcs = vc_labels(&topo, &r);
+        assert_eq!(vcs, vec![0, 1]);
+        // Mesh routes never leave VC0.
+        let m = Topology::mesh(&[5]);
+        let rm = route(&m, 0, 4);
+        assert!(vc_labels(&m, &rm).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn scaled_topology_splits_evenly() {
+        let t3d = Topology::torus(&[4, 4, 4]);
+        assert_eq!(scaled_topology(&t3d, 64).unwrap().dims(), &[4, 4, 4]);
+        assert_eq!(scaled_topology(&t3d, 8).unwrap().dims(), &[2, 2, 2]);
+        assert_eq!(scaled_topology(&t3d, 4).unwrap().dims(), &[2, 2, 1]);
+        // The kilo-node configurations.
+        assert_eq!(scaled_topology(&t3d, 256).unwrap().dims(), &[8, 8, 4]);
+        assert_eq!(scaled_topology(&t3d, 1024).unwrap().dims(), &[16, 8, 8]);
+        assert_eq!(scaled_topology(&t3d, 4096).unwrap().dims(), &[16, 16, 16]);
+        let mesh = Topology::mesh(&[8, 8]);
+        let m16 = scaled_topology(&mesh, 16).unwrap();
+        assert_eq!(m16.dims(), &[4, 4]);
+        assert!(!m16.is_torus());
+        assert!(scaled_topology(&t3d, 3).is_err());
+        assert!(scaled_topology(&t3d, 0).is_err());
+    }
+
+    #[test]
+    fn fault_plan_replays_identically() {
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4]);
+        let flows = traffic::cyclic_shift(&topo, 1, 64 * 8);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 7,
+            rate: 0.05,
+            ..FaultConfig::default()
+        });
+        let mut cfg = small_cfg();
+        cfg.fault = plan;
+        cfg.record_events = true;
+        let a = run_flows(&topo, &flows, &cfg).unwrap();
+        let b = run_flows(&topo, &flows, &cfg).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+        assert!(a.dropped > 0 || a.corrupted > 0, "faults should fire at 5%");
+        // Dropped words are retransmitted, never lost: all four 64-word
+        // flows of the shift complete.
+        assert_eq!(a.words, 256);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-shard simulation state: structure-of-arrays node state, link and
+//! port records, and the window output buffers the coordinator folds.
+//!
+//! A shard owns a contiguous run of whole port groups — the nodes of those
+//! groups, their NIC FIFOs, their outgoing links, and their ejection
+//! queues. Per-node router state is stored as parallel arrays indexed by
+//! `node - node_lo` rather than one struct per node: the engine only ever
+//! touches a node's two NIC FIFOs and a handful of scalars, so the SoA
+//! layout keeps a 4096-node torus at a few kilobytes per node (the old
+//! layout embedded a full [`memcomm_memsim::Node`], cache model and
+//! simulated DRAM included, which the engine never exercised).
+
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::nic::TimedFifo;
+use memcomm_util::arena::Arena;
+
+use super::sched::{Delivery, QEntry, RouterQueue};
+use super::EngineEvent;
+
+pub(crate) struct LinkState {
+    pub global: u32,
+    pub queues: [RouterQueue; 2],
+    pub credits: [u32; 2],
+    pub free: f64,
+    pub attempts: u64,
+}
+
+pub(crate) struct PortState {
+    pub id: u32,
+    pub node_lo: u32,
+    pub node_hi: u32,
+    pub inject_free: f64,
+    pub eject_free: f64,
+}
+
+/// One shard: a contiguous slice of the machine, plus its window scratch.
+/// All `Vec`s prefixed with a node meaning are parallel arrays indexed by
+/// local node (`node - node_lo`).
+pub(crate) struct Shard {
+    pub node_lo: u32,
+    /// Outgoing NIC FIFO per local node.
+    pub tx: Vec<TimedFifo>,
+    /// Incoming NIC FIFO per local node.
+    pub rx: Vec<TimedFifo>,
+    /// Flow indices originating at each local node, flattened; node `i`
+    /// owns `feed_list[feed_span[i].0 .. feed_span[i].1]`, ascending.
+    pub feed_list: Vec<u32>,
+    pub feed_span: Vec<(u32, u32)>,
+    /// Cursor into `feed_list` per local node (absolute index).
+    pub feed_pos: Vec<u32>,
+    /// Next word index of the flow under the cursor, per local node.
+    pub feed_word: Vec<u32>,
+    /// When the memory side may feed the next word into `tx`, per node.
+    pub src_free: Vec<Cycle>,
+    /// When the memory side may drain the next word from `rx`, per node.
+    pub drain_free: Vec<Cycle>,
+    /// Words awaiting the ejection port (same word-major order as links),
+    /// per local node.
+    pub eject: Vec<RouterQueue>,
+    /// Owned links, ascending global index.
+    pub links: Vec<LinkState>,
+    /// Global index of each owned link, parallel to `links` (binary search).
+    pub link_globals: Vec<u32>,
+    pub ports: Vec<PortState>,
+    pub inbox: Vec<Delivery>,
+    pub credit_inbox: Vec<(u32, u8)>,
+    /// Entry storage shared by every lane queue of the shard (unused by the
+    /// reference scheduler). Its live count is exactly the shard's queued
+    /// words.
+    pub arena: Arena<QEntry>,
+    /// Whether this shard's queues run on lanes (false = reference heaps).
+    pub lanes: bool,
+    /// Window output buffers, reused across windows on the production path.
+    pub out: WindowOut,
+}
+
+/// One window's output, kept stage-split so the coordinator can fold the
+/// event stream in canonical (stage, site) order across all shards — the
+/// order every partition produces, which is what makes the digest
+/// independent of the shard count.
+#[derive(Default)]
+pub(crate) struct WindowOut {
+    pub deliveries: Vec<Delivery>,
+    pub credits: Vec<(u32, u8)>,
+    /// Injection events, ascending port id.
+    pub inject_events: Vec<EngineEvent>,
+    /// Link transit events (hops and fault drops interleaved per link),
+    /// ascending global link index.
+    pub link_events: Vec<EngineEvent>,
+    /// Ejection events, ascending port id.
+    pub eject_events: Vec<EngineEvent>,
+    pub progress: u64,
+    pub drained: u64,
+    pub flit_hops: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub last_drain: Cycle,
+    /// Words sitting in this shard's router/ejection queues at window end.
+    pub queued: u64,
+}
+
+impl WindowOut {
+    /// Resets for the next window, keeping buffer capacities.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.credits.clear();
+        self.inject_events.clear();
+        self.link_events.clear();
+        self.eject_events.clear();
+        self.progress = 0;
+        self.drained = 0;
+        self.flit_hops = 0;
+        self.dropped = 0;
+        self.corrupted = 0;
+        self.last_drain = 0;
+        self.queued = 0;
+    }
+}

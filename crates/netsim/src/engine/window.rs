@@ -1,0 +1,354 @@
+//! The conservative-window logic — one window of one shard, identical
+//! under both schedulers (only the queue substrate behind
+//! [`RouterQueue`](super::sched::RouterQueue) differs).
+//!
+//! Every event a stage emits lands in its stage's own output vector, with
+//! sites visited in ascending order within the shard. Because each site
+//! (port or link) is owned by exactly one shard under *any* port-group
+//! partition, and a site's inputs arrive only through the barrier, the
+//! per-site event sequence of a window does not depend on the partition —
+//! the property the coordinator's canonical stage-major fold relies on.
+
+use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::fault::{site, LinkFault};
+
+use super::build::Net;
+use super::sched::{word_rank, QEntry};
+use super::shard::{Shard, WindowOut};
+use super::{EngineEvent, EventKind};
+
+impl Shard {
+    /// One window on the reference path: fresh output buffers every window,
+    /// exactly as the retired scheduler allocated them.
+    pub(crate) fn run_window(&mut self, t0: Cycle, t1: Cycle, net: &Net) -> WindowOut {
+        let mut out = WindowOut::default();
+        self.window_core(t0, t1, net, &mut out);
+        out
+    }
+
+    /// One window on the production path: reuses the shard's persistent
+    /// output buffers (the coordinator drains them at the barrier).
+    pub(crate) fn run_window_in_place(&mut self, t0: Cycle, t1: Cycle, net: &Net) {
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        self.window_core(t0, t1, net, &mut out);
+        self.out = out;
+    }
+
+    fn window_core(&mut self, t0: Cycle, t1: Cycle, net: &Net, out: &mut WindowOut) {
+        let Shard {
+            node_lo,
+            tx,
+            rx,
+            feed_list,
+            feed_span,
+            feed_pos,
+            feed_word,
+            src_free,
+            drain_free,
+            eject,
+            links,
+            link_globals,
+            ports,
+            inbox,
+            credit_inbox,
+            arena,
+            lanes: use_lanes,
+            ..
+        } = self;
+        let node_lo = *node_lo;
+
+        // Credits freed during the previous window become usable now.
+        for (local, vc) in credit_inbox.drain(..) {
+            links[local as usize].credits[vc as usize] += 1;
+        }
+
+        // 1. Deliveries due this window (coordinator pre-sorted by
+        // (arrive, seq)): file each word into its next link queue, or into
+        // the destination's ejection queue. The word keeps occupying its
+        // upstream (via_link, vc) buffer until it moves on.
+        for d in inbox.iter().copied() {
+            let flow = &net.flows[(d.seq >> 32) as usize];
+            let next = d.hop as usize + 1;
+            if next == flow.hops.len() {
+                let local = (d.to_node - node_lo) as usize;
+                eject[local].push_arrival(
+                    flow.eject_lane,
+                    QEntry {
+                        rank: word_rank(d.seq),
+                        ready: d.arrive,
+                        seq: d.seq,
+                        hop: d.hop,
+                        prev_link: d.via_link,
+                        prev_vc: d.vc,
+                    },
+                    arena,
+                );
+            } else {
+                let h = flow.hops[next];
+                let li = link_globals
+                    .binary_search(&h.link)
+                    .expect("delivery routed to a shard that does not own the link");
+                links[li].queues[usize::from(h.vc)].push_arrival(
+                    h.lane,
+                    QEntry {
+                        rank: word_rank(d.seq),
+                        ready: d.arrive,
+                        seq: d.seq,
+                        hop: next as u16,
+                        prev_link: d.via_link,
+                        prev_vc: d.vc,
+                    },
+                    arena,
+                );
+            }
+        }
+        inbox.clear();
+
+        // 2. Source pump: memory feeds tx at its own pace, blocked by a full
+        // FIFO (the processor stalls — the analytic model's port term).
+        for i in 0..tx.len() {
+            let (_, span_hi) = feed_span[i];
+            loop {
+                let pos = feed_pos[i];
+                if pos >= span_hi {
+                    break;
+                }
+                let fi = feed_list[pos as usize];
+                let flow = &net.flows[fi as usize];
+                if feed_word[i] >= flow.words {
+                    feed_pos[i] += 1;
+                    feed_word[i] = 0;
+                    continue;
+                }
+                let t = src_free[i].max(t0);
+                if t >= t1 {
+                    break;
+                }
+                let seq = (u64::from(fi) << 32) | u64::from(feed_word[i]);
+                let Some(at) = tx[i].push(t, net.word(seq)) else {
+                    break;
+                };
+                src_free[i] = at + net.source_wc;
+                feed_word[i] += 1;
+                out.progress += 1;
+            }
+        }
+
+        // 3. Injection: each port serializes the words of its node group
+        // onto the network, arbitrating by (ready, node).
+        for p in ports.iter_mut() {
+            loop {
+                let mut best: Option<(Cycle, u32)> = None;
+                for node in p.node_lo..p.node_hi {
+                    let local = (node - node_lo) as usize;
+                    if let Some(r) = tx[local].front_ready() {
+                        if best.is_none_or(|b| (r, node) < b) {
+                            best = Some((r, node));
+                        }
+                    }
+                }
+                let Some((ready, node)) = best else {
+                    break;
+                };
+                let start = (ready as f64).max(p.inject_free).max(t0 as f64);
+                if start >= t1 as f64 {
+                    break;
+                }
+                let local = (node - node_lo) as usize;
+                let (_, w) = tx[local]
+                    .pop(start.floor() as Cycle)
+                    .expect("arbitration picked a non-empty tx FIFO");
+                let seq = w.data;
+                let h = net.flows[(seq >> 32) as usize].hops[0];
+                let li = link_globals
+                    .binary_search(&h.link)
+                    .expect("flow injected on a shard that does not own its first link");
+                p.inject_free = start + net.wt;
+                let entry = p.inject_free.ceil() as Cycle;
+                let port_id = p.id;
+                links[li].queues[usize::from(h.vc)].push_arrival(
+                    h.lane,
+                    QEntry {
+                        rank: word_rank(seq),
+                        ready: entry,
+                        seq,
+                        hop: 0,
+                        prev_link: u32::MAX,
+                        prev_vc: 0,
+                    },
+                    arena,
+                );
+                out.inject_events.push(EngineEvent {
+                    time: start.floor() as Cycle,
+                    kind: EventKind::Inject,
+                    site: port_id,
+                    vc: h.vc,
+                    seq,
+                });
+                out.progress += 1;
+            }
+        }
+
+        // 4. Links: transmit queued words while the wire and window allow,
+        // earliest feasible (start, seq) first across the two VCs; a
+        // transmit consumes a credit of this link's downstream buffer and
+        // returns the upstream one.
+        for l in links.iter_mut() {
+            loop {
+                let mut best: Option<(f64, u64, usize)> = None;
+                for vc in 0..2usize {
+                    if l.credits[vc] == 0 {
+                        continue;
+                    }
+                    let Some(e) = l.queues[vc].peek(arena) else {
+                        continue;
+                    };
+                    let start = (e.ready as f64).max(l.free).max(t0 as f64);
+                    if best.is_none_or(|(bs, bq, _)| (start, e.rank) < (bs, bq)) {
+                        best = Some((start, e.rank, vc));
+                    }
+                }
+                let Some((start, _, vc)) = best else {
+                    break;
+                };
+                if start >= t1 as f64 {
+                    break;
+                }
+                let e = l.queues[vc].pop(arena);
+                let fault = net
+                    .fault
+                    .link_fault(site::engine_link(l.global), l.attempts);
+                l.attempts += 1;
+                let mut wire = net.wt;
+                match fault {
+                    Some(LinkFault::Drop) => {
+                        // The wire is consumed but nothing arrives; the word
+                        // retries from its upstream buffer (links are
+                        // lossless in hardware — this models the retransmit
+                        // a real adapter would schedule).
+                        l.free = start + wire;
+                        out.link_events.push(EngineEvent {
+                            time: start.floor() as Cycle,
+                            kind: EventKind::Drop,
+                            site: l.global,
+                            vc: vc as u8,
+                            seq: e.seq,
+                        });
+                        let lane = net.flows[(e.seq >> 32) as usize].hops[usize::from(e.hop)].lane;
+                        l.queues[vc].push_retry(
+                            lane,
+                            QEntry {
+                                ready: l.free.ceil() as Cycle,
+                                ..e
+                            },
+                            arena,
+                        );
+                        out.dropped += 1;
+                        out.progress += 1;
+                        continue;
+                    }
+                    Some(LinkFault::Corrupt(_)) => out.corrupted += 1,
+                    Some(LinkFault::Delay(d)) => wire += d as f64,
+                    None => {}
+                }
+                l.credits[vc] -= 1;
+                l.free = start + wire;
+                let arrive = (l.free.ceil() as Cycle) + net.latency;
+                if e.prev_link != u32::MAX {
+                    out.credits.push((e.prev_link, e.prev_vc));
+                }
+                out.link_events.push(EngineEvent {
+                    time: start.floor() as Cycle,
+                    kind: EventKind::Hop,
+                    site: l.global,
+                    vc: vc as u8,
+                    seq: e.seq,
+                });
+                out.deliveries.push(super::sched::Delivery {
+                    arrive,
+                    seq: e.seq,
+                    hop: e.hop,
+                    to_node: net.link_to[l.global as usize],
+                    via_link: l.global,
+                    vc: vc as u8,
+                });
+                out.flit_hops += 1;
+                out.progress += 1;
+            }
+        }
+
+        // 5. Ejection: the port serializes arrived words into the
+        // destination rx FIFO; a full FIFO backpressures into the network
+        // (the upstream buffer credit stays consumed).
+        for p in ports.iter_mut() {
+            loop {
+                let (p_lo, p_hi) = (p.node_lo, p.node_hi);
+                let mut best: Option<(u64, Cycle, u32)> = None;
+                for node in p_lo..p_hi {
+                    let local = (node - node_lo) as usize;
+                    if rx[local].len() == rx[local].capacity() {
+                        continue;
+                    }
+                    if let Some(e) = eject[local].peek(arena) {
+                        if best.is_none_or(|(br, bq, _)| (e.rank, e.ready) < (br, bq)) {
+                            best = Some((e.rank, e.ready, node));
+                        }
+                    }
+                }
+                let Some((_, ready, node)) = best else {
+                    break;
+                };
+                let start = (ready as f64).max(p.eject_free).max(t0 as f64);
+                if start >= t1 as f64 {
+                    break;
+                }
+                let local = (node - node_lo) as usize;
+                let e = eject[local].pop(arena);
+                p.eject_free = start + net.wt;
+                let t_in = p.eject_free.ceil() as Cycle;
+                rx[local]
+                    .push(t_in, net.word(e.seq))
+                    .expect("arbitration checked rx had space");
+                out.credits.push((e.prev_link, e.prev_vc));
+                out.eject_events.push(EngineEvent {
+                    time: start.floor() as Cycle,
+                    kind: EventKind::Eject,
+                    site: p.id,
+                    vc: e.prev_vc,
+                    seq: e.seq,
+                });
+                out.progress += 1;
+            }
+        }
+
+        // 6. Drain: the memory side unconditionally empties rx at its own
+        // pace — this is what guarantees ejection eventually proceeds.
+        for i in 0..rx.len() {
+            while let Some(avail) = rx[i].front_ready() {
+                let t = avail.max(drain_free[i]).max(t0);
+                if t >= t1 {
+                    break;
+                }
+                let (at, _) = rx[i].pop(t).expect("front_ready implies non-empty");
+                drain_free[i] = at + net.drain_wc;
+                out.drained += 1;
+                out.last_drain = out.last_drain.max(at);
+                out.progress += 1;
+            }
+        }
+
+        // The shard's contribution to the barrier's backlog gauge. Under
+        // lanes the arena's live count *is* the queued-word count; the
+        // reference path sums its heaps — same quantity either way.
+        out.queued = if *use_lanes {
+            arena.len() as u64
+        } else {
+            links
+                .iter()
+                .map(|l| l.queues[0].len() + l.queues[1].len())
+                .sum::<u64>()
+                + eject.iter().map(|q| q.len()).sum::<u64>()
+        };
+    }
+}

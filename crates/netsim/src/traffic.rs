@@ -118,6 +118,13 @@ pub fn neighbor_exchange(topo: &Topology, bytes: u64) -> Vec<Flow> {
                         continue;
                     }
                 }
+                // On a 2-wide torus ring the -1 and +1 neighbours are the
+                // same node; emitting both would double-count the exchange
+                // (it mispriced every scaled even-dim torus with a 2-wide
+                // dimension at factor 4 instead of 2).
+                if topo.is_torus() && d == 2 && step == -1 {
+                    continue;
+                }
                 let mut c2 = coords.clone();
                 c2[dim] = (i64::from(coords[dim]) + step).rem_euclid(i64::from(d)) as u32;
                 let q = topo.node_at(&c2);
@@ -198,5 +205,24 @@ mod tests {
         let flows = neighbor_exchange(&m, 8);
         let corner_flows = flows.iter().filter(|f| f.src == 0).count();
         assert_eq!(corner_flows, 2);
+    }
+
+    #[test]
+    fn two_wide_torus_rings_exchange_once_per_neighbour() {
+        // On a [2, 2] torus each node has exactly two distinct neighbours;
+        // the -1 and +1 steps of a 2-ring reach the same node and must not
+        // produce duplicate flows.
+        let t = Topology::torus(&[2, 2]);
+        let flows = neighbor_exchange(&t, 8);
+        assert_eq!(flows.len(), 4 * 2);
+        let pairs: HashSet<_> = flows.iter().map(|f| (f.src, f.dst)).collect();
+        assert_eq!(pairs.len(), flows.len(), "no duplicate (src, dst) pairs");
+        // Mixed ring widths: the 2-ring contributes one flow per node, the
+        // 4-ring two.
+        let t = Topology::torus(&[4, 2]);
+        let flows = neighbor_exchange(&t, 8);
+        assert_eq!(flows.len(), 8 * 3);
+        let pairs: HashSet<_> = flows.iter().map(|f| (f.src, f.dst)).collect();
+        assert_eq!(pairs.len(), flows.len());
     }
 }

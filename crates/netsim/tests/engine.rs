@@ -115,6 +115,87 @@ fn worker_count_never_changes_the_event_order() {
     });
 }
 
+/// A fuzzed topology scaled up to 512 nodes (same construction as the
+/// wheel-vs-heap scale tier): random dimensions grown under the node cap,
+/// tail stretched so the big sizes are actually drawn.
+fn random_scaled_topology(rng: &mut Rng) -> Topology {
+    let mut dims: Vec<u32> = Vec::new();
+    let mut nodes = 1usize;
+    for _ in 0..rng.range_usize(1, 4) {
+        let d = rng.range_u32(2, 9);
+        if nodes * d as usize > 512 {
+            break;
+        }
+        nodes *= d as usize;
+        dims.push(d);
+    }
+    if dims.is_empty() {
+        dims.push(rng.range_u32(2, 9));
+        nodes = *dims.last().unwrap() as usize;
+    }
+    while nodes * 2 <= 512 && rng.bool() {
+        *dims.last_mut().unwrap() *= 2;
+        nodes *= 2;
+    }
+    if rng.bool() {
+        Topology::torus(&dims)
+    } else {
+        Topology::mesh(&dims)
+    }
+}
+
+/// The scale tier: random traffic on topologies up to 512 nodes under a
+/// random shard count drains watchdog-clean with exact word AND flit-hop
+/// conservation (total link traversals = Σ words × routed distance), and
+/// re-running the same traffic under a different worker/shard draw
+/// reproduces the digest and every counter.
+#[test]
+fn scaled_random_traffic_drains_and_sharding_is_invisible() {
+    forall(
+        "scaled_random_traffic_drains_and_sharding_is_invisible",
+        12,
+        |rng| {
+            let topo = random_scaled_topology(rng);
+            let n = topo.len();
+            let mut cfg = fuzz_cfg(rng);
+            cfg.jobs = rng.range_usize(1, 5);
+            cfg.shards = rng.range_usize(0, 24);
+            let flows: Vec<Flow> = (0..rng.range_usize(n / 8, n / 2 + 2).min(96))
+                .map(|_| Flow {
+                    src: rng.range_usize(0, n),
+                    dst: rng.range_usize(0, n),
+                    bytes: rng.range_u64(0, 48 * 8),
+                })
+                .collect();
+            let expected_words: u64 = flows
+                .iter()
+                .filter(|f| f.src != f.dst)
+                .map(|f| f.bytes.div_ceil(8))
+                .sum();
+            let expected_hops: u64 = flows
+                .iter()
+                .filter(|f| f.src != f.dst)
+                .map(|f| f.bytes.div_ceil(8) * topo.distance(f.src, f.dst))
+                .sum();
+            let a = run_flows(&topo, &flows, &cfg)
+                .unwrap_or_else(|e| panic!("engine failed on {:?} ({n} nodes): {e}", topo.dims()));
+            assert_eq!(a.words, expected_words, "word conservation at {n} nodes");
+            assert_eq!(
+                a.flit_hops, expected_hops,
+                "flit-hop conservation at {n} nodes"
+            );
+            assert_eq!(a.dropped, 0, "no faults configured");
+            cfg.jobs = rng.range_usize(1, 5);
+            cfg.shards = rng.range_usize(0, 24);
+            let b = run_flows(&topo, &flows, &cfg).expect("re-partitioned run");
+            assert_eq!(b.digest, a.digest, "digest under re-partitioning");
+            assert_eq!(b.cycles, a.cycles);
+            assert_eq!(b.flit_hops, a.flit_hops);
+            assert_eq!(b.peak_queue_depth, a.peak_queue_depth);
+        },
+    );
+}
+
 /// The canonical congested pattern at a canonical size: the XOR all-to-all
 /// on a 16-node torus drains with conserved flit-hops — the total link
 /// traversals equal the sum over flows of words × routed distance.

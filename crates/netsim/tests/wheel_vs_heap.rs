@@ -129,6 +129,84 @@ fn wheel_matches_heap_on_multi_round_schedules() {
     });
 }
 
+/// A fuzzed topology scaled up to 512 nodes: grows random dimensions while
+/// the node count allows, then stretches the tail so the big sizes are
+/// actually reached.
+fn random_scaled_topology(rng: &mut Rng) -> Topology {
+    let mut dims: Vec<u32> = Vec::new();
+    let mut nodes = 1usize;
+    for _ in 0..rng.range_usize(1, 4) {
+        let d = rng.range_u32(2, 9);
+        if nodes * d as usize > 512 {
+            break;
+        }
+        nodes *= d as usize;
+        dims.push(d);
+    }
+    if dims.is_empty() {
+        dims.push(rng.range_u32(2, 9));
+        nodes = *dims.last().unwrap() as usize;
+    }
+    while nodes * 2 <= 512 && rng.bool() {
+        *dims.last_mut().unwrap() *= 2;
+        nodes *= 2;
+    }
+    if rng.bool() {
+        Topology::torus(&dims)
+    } else {
+        Topology::mesh(&dims)
+    }
+}
+
+fn random_scaled_flows(rng: &mut Rng, topo: &Topology) -> Vec<Flow> {
+    let n = topo.len();
+    let count = rng.range_usize(n / 8, n / 2 + 2).min(96);
+    (0..count)
+        .map(|_| Flow {
+            src: rng.range_usize(0, n),
+            dst: rng.range_usize(0, n),
+            bytes: rng.range_u64(0, 48 * 8),
+        })
+        .collect()
+}
+
+/// The scale tier of the differential: topologies up to 512 nodes, each
+/// scheduler run under an independently drawn worker count AND shard
+/// count. Scheduler equivalence and partition invariance are one property
+/// here — any disagreement between the window cores, the stage-major fold,
+/// or the load-balanced partitioner shows up as a digest or counter
+/// mismatch.
+#[test]
+fn wheel_matches_heap_at_scale_under_random_sharding() {
+    forall(
+        "wheel_matches_heap_at_scale_under_random_sharding",
+        12,
+        |rng| {
+            let topo = random_scaled_topology(rng);
+            let mut cfg = fuzz_cfg(rng);
+            // Full event streams get large at 512 nodes; the digest covers the
+            // same ordering information for the big draws.
+            cfg.record_events = topo.len() <= 128;
+            let flows = random_scaled_flows(rng, &topo);
+            cfg.reference_scheduler = false;
+            cfg.jobs = rng.range_usize(1, 5);
+            cfg.shards = rng.range_usize(0, 24);
+            let wheel = run_flows(&topo, &flows, &cfg).expect("wheel scheduler runs at scale");
+            cfg.reference_scheduler = true;
+            cfg.jobs = rng.range_usize(1, 5);
+            cfg.shards = rng.range_usize(0, 24);
+            let heap = run_flows(&topo, &flows, &cfg).expect("heap scheduler runs at scale");
+            let ctx = format!(
+                "dims {:?} ({} nodes), {} flows",
+                topo.dims(),
+                topo.len(),
+                flows.len()
+            );
+            assert_outcomes_match(&wheel, &heap, &ctx);
+        },
+    );
+}
+
 /// The heap reference path is itself worker-count invariant (the shared
 /// window core does the sharding), so the differential holds at any jobs.
 #[test]

@@ -59,6 +59,7 @@ fn engine_agrees_with_the_analytic_model_on_table6() {
             let opts = EngineOptions {
                 nodes: Some(64),
                 jobs: 0,
+                shards: 0,
                 record_events: false,
                 reference_scheduler: false,
             };
@@ -139,6 +140,7 @@ fn port_sharing_shapes_the_emergent_congestion() {
     let opts = EngineOptions {
         nodes: Some(64),
         jobs: 0,
+        shards: 0,
         record_events: false,
         reference_scheduler: false,
     };

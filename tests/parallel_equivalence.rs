@@ -169,6 +169,7 @@ fn engine_section_is_byte_identical_across_worker_counts() {
         transpose_n: 128,
         sor_n: 128,
         jobs,
+        shards: 0,
     };
     let render = |jobs| {
         let report = FullReport {
