@@ -11,6 +11,7 @@
 //!       [--engine-transpose-n N] [--engine-sor-n N]
 //!       [--trace-out PATH] [--profile PATH]
 //!       [--bench-out PATH] [--bench-n N] [--bench-nodes N] [--bench-smoke]
+//!       [--adversary KIND] [--adversary-bytes N] [--flow-latency]
 //! ```
 //!
 //! With no selection flags everything runs. Experiments fan out across
@@ -52,6 +53,23 @@
 //! `--bench-smoke` selects the small CI preset (1 rep, 4 nodes, shrunken
 //! payloads).
 //!
+//! `--adversary KIND` runs an adversarial-resilience scenario instead of a
+//! sweep: a seeded traffic generator (`heavy-tail`, `incast`, `hotspot`,
+//! `bursty`, or `retry-storm`) compiled onto the T3D torus (`--nodes N`
+//! scales it; `--shards`/`--jobs` fan it out without changing results) and
+//! run end to end under a fault storm — word drops plus transient
+//! link-outage windows — with bounded per-hop retries and exponential
+//! backoff. `--faults SEED` reseeds the storm and `--fault-rate P`
+//! rescales it (`0` runs the generator faultless);
+//! `--adversary-bytes N` sets the generator's base payload. The report
+//! prints the resilience ledger — drops, retransmissions, abandonments,
+//! and, when the storm wedges part of the network, the exact degraded
+//! accounting (missing words per flow, last progress cycle, per-link
+//! outages) instead of a bare deadlock. `--flow-latency` adds the
+//! per-class inject→eject latency table (p50/p99/p999 cycles, background
+//! vs adversarial traffic). All of it is byte-deterministic at any
+//! `--jobs` × `--shards`.
+//!
 //! Observability: `--trace-out PATH` records cycle-accurate spans for
 //! every simulated scenario and writes a Chrome `trace_event` JSON file
 //! (load it at `chrome://tracing` or <https://ui.perfetto.dev>; validate it
@@ -72,6 +90,123 @@ use memcomm_obs::Obs;
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}; see the module docs for usage");
     std::process::exit(2);
+}
+
+/// The `--adversary` scenario: compile the generator onto the (optionally
+/// scaled) T3D torus, run it end to end under the seeded fault storm with
+/// bounded retries (see [`memcomm_bench::adversary`]), print the
+/// resilience ledger (plus the per-class latency table under
+/// `--flow-latency`), and write the byte-deterministic scenario JSON when
+/// `--json` was given.
+#[allow(clippy::too_many_arguments)]
+fn adversary_scenario(
+    kind: memcomm_netsim::AdversaryKind,
+    bytes: Option<u64>,
+    nodes: Option<usize>,
+    shards: Option<usize>,
+    jobs: usize,
+    seed: Option<u64>,
+    rate: Option<f64>,
+    flow_latency: bool,
+    json_path: Option<&str>,
+) {
+    use memcomm_bench::adversary::{self, ScenarioOptions};
+
+    let mut sopts = ScenarioOptions::new(kind);
+    sopts.jobs = jobs;
+    sopts.nodes = nodes;
+    if let Some(b) = bytes {
+        sopts.base_bytes = b;
+    }
+    if let Some(s) = shards {
+        sopts.shards = s;
+    }
+    if let Some(s) = seed {
+        sopts.seed = s;
+    }
+    if let Some(r) = rate {
+        sopts.rate = r;
+    }
+    let retry = sopts.retry_policy();
+    let scenario = match adversary::run_scenario(&sopts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("adversary scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let out = &scenario.run.outcome;
+
+    println!(
+        "Adversarial resilience — {} traffic on the Cray T3D at {} nodes",
+        kind.name(),
+        scenario.nodes
+    );
+    println!(
+        "(fault seed {:#x}, drop rate {}, retry budget {} with backoff {}<<k capped at {})\n",
+        sopts.seed,
+        sopts.rate,
+        retry.max_retries,
+        retry.backoff_base_cycles,
+        retry.max_backoff_cycles
+    );
+
+    let mut t = TextTable::new("Resilience ledger", &["metric", "value"]);
+    for (metric, value) in [
+        ("flows", scenario.run.flows.to_string()),
+        ("words delivered", out.words.to_string()),
+        ("cycles", out.cycles.to_string()),
+        ("flit hops", out.flit_hops.to_string()),
+        ("dropped", out.dropped.to_string()),
+        ("retransmitted", out.retried.to_string()),
+        ("abandoned", out.abandoned.to_string()),
+        ("digest", format!("{:016x}", out.digest)),
+    ] {
+        t.row(vec![metric.to_string(), value]);
+    }
+    println!("{t}");
+
+    match &out.degraded {
+        None => println!("completed cleanly: every word delivered\n"),
+        Some(d) => {
+            let missing: u64 = d.missing_flows.iter().map(|&(_, w)| w).sum();
+            println!(
+                "degraded: {} words missing across {} flow(s); last progress at cycle {}; {} link(s) saw outages\n",
+                missing,
+                d.missing_flows.len(),
+                d.last_progress_cycle,
+                d.per_link_outages.len()
+            );
+        }
+    }
+
+    if flow_latency {
+        let mut t = TextTable::new(
+            "Per-flow inject→eject latency (cycles)",
+            &["class", "count", "mean", "p50", "p99", "p999", "max"],
+        );
+        for (i, h) in out.flow_latency.iter().enumerate() {
+            t.row(vec![
+                adversary::class_name(i),
+                h.count.to_string(),
+                format!("{:.1}", h.mean),
+                h.p50.to_string(),
+                h.p99.to_string(),
+                h.p999.to_string(),
+                h.max.to_string(),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    if let Some(path) = json_path {
+        let doc = adversary::scenario_json(&sopts, &scenario);
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("cannot write scenario report to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote scenario report to {path}");
+    }
 }
 
 fn main() {
@@ -104,6 +239,10 @@ fn main() {
     let mut bench_n: Option<usize> = None;
     let mut bench_nodes: Option<usize> = None;
     let mut bench_smoke = false;
+    let mut adversary: Option<memcomm_netsim::AdversaryKind> = None;
+    let mut adversary_bytes: Option<u64> = None;
+    let mut flow_latency = false;
+    let mut fault_seed: Option<u64> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" => all = true,
@@ -114,7 +253,9 @@ fn main() {
                     .insert(arg.trim_start_matches("--").to_string());
             }
             "--faults" => {
-                opts.faults.seed = number(&mut it, "--faults");
+                let seed = number(&mut it, "--faults");
+                opts.faults.seed = seed;
+                fault_seed = Some(seed);
                 opts.sections.insert("faults".to_string());
             }
             "--fault-rate" => fault_rate = Some(fraction(&mut it, "--fault-rate")),
@@ -166,9 +307,43 @@ fn main() {
             "--bench-n" => bench_n = Some(number(&mut it, "--bench-n") as usize),
             "--bench-nodes" => bench_nodes = Some(number(&mut it, "--bench-nodes") as usize),
             "--bench-smoke" => bench_smoke = true,
+            "--adversary" => match it
+                .next()
+                .and_then(|v| memcomm_netsim::AdversaryKind::parse(v))
+            {
+                Some(kind) => adversary = Some(kind),
+                None => usage_error(
+                    "--adversary takes one of heavy-tail, incast, hotspot, bursty, retry-storm",
+                ),
+            },
+            "--adversary-bytes" => {
+                adversary_bytes = Some(number(&mut it, "--adversary-bytes"));
+            }
+            "--flow-latency" => flow_latency = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
+    // --adversary selects the resilience scenario instead of a sweep; it
+    // reuses --nodes/--shards/--jobs/--faults/--fault-rate/--json with its
+    // own defaults, so it runs before their sweep-mode validation.
+    if let Some(kind) = adversary {
+        adversary_scenario(
+            kind,
+            adversary_bytes,
+            engine_nodes,
+            engine_shards,
+            opts.jobs,
+            fault_seed,
+            fault_rate,
+            flow_latency,
+            json_path.as_deref(),
+        );
+        return;
+    }
+    if adversary_bytes.is_some() || flow_latency {
+        usage_error("--adversary-bytes/--flow-latency require --adversary KIND");
+    }
+
     if opts.sections.contains("faults") {
         // A seeded plan defaults to a light injection rate; --fault-rate
         // overrides it (including back to zero for the determinism check).

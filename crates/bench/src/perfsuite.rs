@@ -3,8 +3,11 @@
 //! Times the reproduction's hot paths — the full `--all` sweep (memo-cold
 //! and memo-warm, serial and fanned out), the six Table 6 kernel × machine
 //! engine runs, the retired heap scheduler on the saturated transpose (the
-//! baseline the timing wheel is measured against), and a protocol retry
-//! storm under a seeded fault plan — and writes one canonical JSON report.
+//! baseline the timing wheel is measured against), a protocol retry
+//! storm under a seeded fault plan, and the adversarial-resilience group
+//! (the engine-level retry storm under drops + link outages, and the
+//! faultless incast, at every [`SCALE_NODES`] point) — and writes one
+//! canonical JSON report.
 //!
 //! The report separates two kinds of data with different contracts:
 //!
@@ -40,7 +43,14 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// Suite name stamped into (and required of) every report.
 pub const SUITE: &str = "memcomm-perfsuite";
 /// The bench groups a report may contain.
-pub const GROUPS: &[&str] = &["sweep", "engine", "engine_baseline", "protocol", "scale"];
+pub const GROUPS: &[&str] = &[
+    "sweep",
+    "engine",
+    "engine_baseline",
+    "protocol",
+    "scale",
+    "adversary",
+];
 
 /// Node counts of the `scale` group: how fast the sharded engine simulates
 /// as the torus grows from the paper's 64 nodes to a kilo-node machine.
@@ -68,6 +78,10 @@ pub struct PerfOptions {
     pub scale_words: u64,
     /// XOR-schedule prefix length for the `scale` group.
     pub scale_rounds: u64,
+    /// Base flow payload, in bytes, for the `adversary` group's generators
+    /// (elephants and bursts scale it up; see
+    /// [`memcomm_netsim::adversary::AdversaryConfig::base_bytes`]).
+    pub adversary_bytes: u64,
 }
 
 impl Default for PerfOptions {
@@ -81,6 +95,7 @@ impl Default for PerfOptions {
             sor_n: 256,
             scale_words: 32,
             scale_rounds: 4,
+            adversary_bytes: 256,
         }
     }
 }
@@ -98,6 +113,7 @@ impl PerfOptions {
             sor_n: 64,
             scale_words: 4,
             scale_rounds: 3,
+            adversary_bytes: 64,
         }
     }
 }
@@ -348,6 +364,94 @@ fn protocol_bench(opts: &PerfOptions, benches: &mut Vec<Json>) -> SimResult<()> 
     Ok(())
 }
 
+/// One adversarial-resilience point: a seeded generator pattern on the
+/// T3D torus scaled to `nodes`, run end to end through the engine. The
+/// retry storm goes under a genuine fault storm — word drops plus
+/// transient link-outage windows — on a tight retry budget; the incast is
+/// faultless, so its tail latency is pure fan-in queueing. The
+/// deterministic object pins the full resilience ledger (drops,
+/// retransmissions, abandonments, missing words, the event digest) and
+/// the adversarial class's p50/p99/p999 inject→eject latency.
+fn adversary_bench(
+    opts: &PerfOptions,
+    kind: memcomm_netsim::AdversaryKind,
+    nodes: usize,
+    benches: &mut Vec<Json>,
+) -> SimResult<()> {
+    use memcomm_netsim::engine::RetryPolicy;
+    use memcomm_netsim::{AdversaryConfig, AdversaryKind};
+
+    let name = format!("adversary_{}_{nodes}", kind.name().replace('-', "_"));
+    eprintln!("perfsuite: {name} ({} reps)", opts.reps.max(1));
+    let machine = Machine::t3d();
+    let adv = AdversaryConfig {
+        kind,
+        base_bytes: opts.adversary_bytes,
+        ..AdversaryConfig::default()
+    };
+    let (plan, retry) = if kind == AdversaryKind::RetryStorm {
+        (
+            FaultPlan::new(FaultConfig {
+                seed: 0xAD_0BE5,
+                rate: 0.02,
+                outage_window_rate: 0.2,
+                outage_window_cycles: 512,
+                outage_period_cycles: 1 << 12,
+                ..FaultConfig::default()
+            }),
+            RetryPolicy {
+                max_retries: 4,
+                backoff_base_cycles: 16,
+                backoff_factor: 2,
+                max_backoff_cycles: 1 << 10,
+            },
+        )
+    } else {
+        (FaultPlan::default(), RetryPolicy::default())
+    };
+    let eopts = EngineOptions {
+        nodes: Some(nodes),
+        jobs: 0,
+        shards: 0,
+        record_events: false,
+        reference_scheduler: false,
+    };
+    let (last, walls) = timed(opts.reps, || {
+        netrun::run_adversary(&machine, &adv, plan, retry, &eopts)
+    });
+    let run = last?;
+    let out = &run.outcome;
+    let missing: u64 = out
+        .degraded
+        .as_ref()
+        .map_or(0, |d| d.missing_flows.iter().map(|&(_, w)| w).sum());
+    let tail = out.flow_latency.get(1).or_else(|| out.flow_latency.first());
+    let (lat_count, lat_p50, lat_p99, lat_p999) =
+        tail.map_or((0, 0, 0, 0), |t| (t.count, t.p50, t.p99, t.p999));
+    benches.push(bench_obj(
+        &name,
+        "adversary",
+        Json::obj([
+            ("nodes", (nodes as u64).into()),
+            ("flows", run.flows.into()),
+            ("words", out.words.into()),
+            ("cycles", out.cycles.into()),
+            ("dropped", out.dropped.into()),
+            ("retried", out.retried.into()),
+            ("abandoned", out.abandoned.into()),
+            ("missing_words", missing.into()),
+            ("degraded", out.degraded.is_some().into()),
+            ("lat_count", lat_count.into()),
+            ("lat_p50", lat_p50.into()),
+            ("lat_p99", lat_p99.into()),
+            ("lat_p999", lat_p999.into()),
+            ("digest", hex16(out.digest)),
+        ]),
+        timing_obj(&walls, Some(out.cycles), Vec::new()),
+    ));
+    Ok(())
+}
+
 /// Runs the whole suite and returns the canonical report.
 ///
 /// As a side effect this run *is* a determinism check: the serial and
@@ -424,6 +528,18 @@ pub fn run(opts: &PerfOptions) -> SimResult<Json> {
 
     protocol_bench(opts, &mut benches)?;
 
+    // Adversarial resilience: the end-to-end retry storm (drops + outage
+    // windows + bounded retries) and the faultless incast, at every scale
+    // point.
+    for kind in [
+        memcomm_netsim::AdversaryKind::RetryStorm,
+        memcomm_netsim::AdversaryKind::Incast,
+    ] {
+        for &nodes in SCALE_NODES {
+            adversary_bench(opts, kind, nodes, &mut benches)?;
+        }
+    }
+
     Ok(Json::obj([
         ("schema_version", SCHEMA_VERSION.into()),
         ("suite", Json::str(SUITE)),
@@ -438,6 +554,7 @@ pub fn run(opts: &PerfOptions) -> SimResult<Json> {
                 ("sor_n", opts.sor_n.into()),
                 ("scale_words", opts.scale_words.into()),
                 ("scale_rounds", opts.scale_rounds.into()),
+                ("adversary_bytes", opts.adversary_bytes.into()),
             ]),
         ),
         ("benches", Json::Arr(benches)),
@@ -486,6 +603,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         "sor_n",
         "scale_words",
         "scale_rounds",
+        "adversary_bytes",
     ];
     if obj_keys(options) != Some(want.clone()) {
         return Err(format!("options must be an object with keys {want:?}"));

@@ -492,6 +492,7 @@ impl RunMetrics {
                         ("mean", h.mean.into()),
                         ("p50", h.p50.into()),
                         ("p99", h.p99.into()),
+                        ("p999", h.p999.into()),
                     ])
                 }),
             ),

@@ -106,17 +106,18 @@ impl TransferReport {
 }
 
 /// The backed-off ack timeout for a retry attempt: `timeout * factor^attempt`
-/// capped at `max`. Exposed for testing the schedule is monotone and bounded.
+/// capped at `max`. The schedule itself is the shared
+/// [`exp_backoff`](memcomm_util::backoff::exp_backoff) core — the same
+/// deterministic geometric wait the network engine's link-level
+/// retransmits use — parameterized by this protocol's config. Exposed for
+/// testing the schedule is monotone and bounded.
 pub fn backoff_timeout(cfg: &ProtocolConfig, attempt: u32) -> Cycle {
-    let factor = u64::from(cfg.backoff_factor.max(1));
-    let mut t = cfg.timeout_cycles.max(1);
-    for _ in 0..attempt {
-        t = t.saturating_mul(factor);
-        if t >= cfg.max_timeout_cycles {
-            return cfg.max_timeout_cycles;
-        }
-    }
-    t.min(cfg.max_timeout_cycles)
+    memcomm_util::backoff::exp_backoff(
+        cfg.timeout_cycles.max(1),
+        u64::from(cfg.backoff_factor),
+        cfg.max_timeout_cycles,
+        attempt,
+    )
 }
 
 /// Predicted throughput of a workload whose transfers run chained at

@@ -15,8 +15,10 @@ use std::collections::HashMap;
 
 use memcomm_machines::Machine;
 use memcomm_memsim::clock::Cycle;
+use memcomm_memsim::fault::FaultPlan;
 use memcomm_memsim::nic::NetWord;
 use memcomm_memsim::SimResult;
+use memcomm_netsim::adversary::{self, AdversaryConfig};
 use memcomm_netsim::engine::{self, EngineConfig};
 use memcomm_netsim::topology::Topology;
 use memcomm_netsim::traffic::Flow;
@@ -278,6 +280,54 @@ impl Table6Kernel {
     }
 }
 
+/// Result of one adversarial engine run: the compiled schedule's size plus
+/// the full engine outcome (retry counters, degraded accounting, per-class
+/// latency tails — everything `repro --adversary` reports).
+#[derive(Debug, Clone)]
+pub struct AdversaryRun {
+    /// Network flows the generator compiled.
+    pub flows: u64,
+    /// The engine outcome, with per-class latency recorded.
+    pub outcome: engine::EngineOutcome,
+}
+
+/// Compiles an adversarial traffic pattern on the machine's (optionally
+/// scaled) topology and runs it to completion under the given fault plan
+/// and retry policy, recording per-class inject→eject latency. The
+/// generator's classes become the engine's flow classes, so the outcome's
+/// `flow_latency` splits background from adversarial traffic (see
+/// [`memcomm_netsim::adversary::CLASS_NAMES`]).
+///
+/// # Errors
+///
+/// Propagates topology-scaling and engine failures. A run the fault plan
+/// wedges is *not* an error: it returns `Ok` with
+/// [`engine::Degraded`] accounting in the outcome.
+pub fn run_adversary(
+    machine: &Machine,
+    adv: &AdversaryConfig,
+    fault: FaultPlan,
+    retry: engine::RetryPolicy,
+    opts: &EngineOptions,
+) -> SimResult<AdversaryRun> {
+    let topo = engine_topology(machine, opts.nodes)?;
+    let traffic = adversary::generate(&topo, adv);
+    let mut cfg = engine_config(machine);
+    cfg.jobs = opts.jobs;
+    cfg.shards = opts.shards;
+    cfg.record_events = opts.record_events;
+    cfg.reference_scheduler = opts.reference_scheduler;
+    cfg.fault = fault;
+    cfg.retry = retry;
+    cfg.flow_classes = traffic.classes;
+    cfg.record_latency = true;
+    let outcome = engine::run_flows(&topo, &traffic.flows, &cfg)?;
+    Ok(AdversaryRun {
+        flows: traffic.flows.len() as u64,
+        outcome,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +346,47 @@ mod tests {
             .measure(&t3d, CommMethod::Chained)
             .unwrap();
         assert_eq!(m, direct_m);
+    }
+
+    #[test]
+    fn adversary_bridge_runs_and_classifies() {
+        use memcomm_memsim::fault::FaultConfig;
+        use memcomm_netsim::adversary::AdversaryKind;
+        let t3d = Machine::t3d();
+        let opts = EngineOptions {
+            nodes: Some(16),
+            jobs: 1,
+            shards: 0,
+            record_events: false,
+            reference_scheduler: false,
+        };
+        let adv = AdversaryConfig {
+            kind: AdversaryKind::RetryStorm,
+            base_bytes: 64,
+            ..AdversaryConfig::default()
+        };
+        let fault = FaultPlan::new(FaultConfig {
+            seed: 7,
+            rate: 0.1,
+            ..FaultConfig::default()
+        });
+        let run = run_adversary(
+            &t3d,
+            &adv,
+            fault,
+            memcomm_netsim::engine::RetryPolicy::default(),
+            &opts,
+        )
+        .unwrap();
+        assert!(run.flows > 0);
+        assert!(run.outcome.dropped > 0, "the plan must fire");
+        assert_eq!(
+            run.outcome.dropped,
+            run.outcome.retried + run.outcome.abandoned
+        );
+        assert!(!run.outcome.flow_latency.is_empty(), "latency was recorded");
+        let delivered: u64 = run.outcome.flow_latency.iter().map(|h| h.count).sum();
+        assert_eq!(delivered, run.outcome.words);
     }
 
     #[test]

@@ -97,6 +97,18 @@ pub struct FaultConfig {
     /// Probability that an *engine site* is out for the whole run (decided
     /// once per site, independent of `rate`).
     pub outage_rate: f64,
+    /// Probability that any given outage period of a *link* site opens with
+    /// a transient outage window (decided per `(site, period)`, independent
+    /// of `rate`). `0.0` disables transient link outages.
+    pub outage_window_rate: f64,
+    /// Length of one transient link-outage window, in cycles. The window
+    /// occupies the head of its outage period (and is clamped to it).
+    pub outage_window_cycles: Cycle,
+    /// Cycle period at which transient link-outage windows are drawn.
+    pub outage_period_cycles: Cycle,
+    /// Probability that a *link* site is out for the entire run (decided
+    /// once per site, independent of every other rate).
+    pub permanent_outage_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -108,6 +120,10 @@ impl Default for FaultConfig {
             max_jitter_cycles: 256,
             max_stall_cycles: 1024,
             outage_rate: 0.0,
+            outage_window_rate: 0.0,
+            outage_window_cycles: 2048,
+            outage_period_cycles: 1 << 14,
+            permanent_outage_rate: 0.0,
         }
     }
 }
@@ -137,7 +153,12 @@ impl FaultPlan {
 
     /// Whether any fault can ever fire under this plan.
     pub fn is_active(&self) -> bool {
-        self.cfg.rate > 0.0 || self.cfg.outage_rate > 0.0
+        self.cfg.rate > 0.0 || self.cfg.outage_rate > 0.0 || self.has_link_outages()
+    }
+
+    /// Whether link-outage windows (transient or permanent) can ever fire.
+    pub fn has_link_outages(&self) -> bool {
+        self.cfg.outage_window_rate > 0.0 || self.cfg.permanent_outage_rate > 0.0
     }
 
     /// The decision generator for one `(site, index)` opportunity: a fresh
@@ -187,6 +208,42 @@ impl FaultPlan {
     pub fn engine_unavailable(&self, site: u64) -> bool {
         let mut rng = self.decider(site, 0x007A_6E00);
         self.fires(self.cfg.outage_rate, &mut rng)
+    }
+
+    /// Index salt of the permanent link-outage decision — far above any
+    /// per-word attempt index, so it never collides with `link_fault` draws
+    /// at the same site.
+    const PERMANENT_OUTAGE_INDEX: u64 = 0x7E94_0000_0000_0000;
+    /// Index base of the transient outage-window decisions; the period
+    /// number is added, keeping windows independent of each other and of
+    /// every word-level draw.
+    const OUTAGE_WINDOW_BASE: u64 = 0x4000_0000_0000_0000;
+
+    /// If the link at `site` is inside an outage at `cycle`, the cycle it
+    /// recovers ([`Cycle::MAX`] = permanently out); `None` when the link is
+    /// up. A pure function of `(seed, site, cycle)`: transient windows are
+    /// decided once per `(site, outage period)` and occupy the head of
+    /// their period, so any two observers — whatever order, shard or worker
+    /// they ask from — see the same outage calendar.
+    pub fn link_outage_until(&self, site: u64, cycle: Cycle) -> Option<Cycle> {
+        if self.cfg.permanent_outage_rate > 0.0 {
+            let mut rng = self.decider(site, Self::PERMANENT_OUTAGE_INDEX);
+            if self.fires(self.cfg.permanent_outage_rate, &mut rng) {
+                return Some(Cycle::MAX);
+            }
+        }
+        if self.cfg.outage_window_rate > 0.0 {
+            let period = self.cfg.outage_period_cycles.max(1);
+            let len = self.cfg.outage_window_cycles.min(period);
+            let w = cycle / period;
+            if cycle - w * period < len {
+                let mut rng = self.decider(site, Self::OUTAGE_WINDOW_BASE.wrapping_add(w));
+                if self.fires(self.cfg.outage_window_rate, &mut rng) {
+                    return Some(w * period + len);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -267,6 +324,66 @@ mod tests {
         });
         assert!(p.engine_unavailable(site::DEPOSIT));
         assert!(p.engine_unavailable(site::ANNEX));
+    }
+
+    #[test]
+    fn outage_windows_are_pure_and_head_aligned() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 11,
+            outage_window_rate: 0.5,
+            outage_window_cycles: 100,
+            outage_period_cycles: 1000,
+            ..FaultConfig::default()
+        });
+        assert!(p.is_active());
+        assert!(p.has_link_outages());
+        for cycle in [0u64, 50, 99, 100, 500, 999, 1000, 12_345, 999_999] {
+            let a = p.link_outage_until(site::engine_link(3), cycle);
+            assert_eq!(
+                a,
+                p.link_outage_until(site::engine_link(3), cycle),
+                "calendar must replay"
+            );
+            if cycle % 1000 >= 100 {
+                assert_eq!(a, None, "outages occupy only the period head");
+            }
+            if let Some(end) = a {
+                assert_eq!(end, cycle / 1000 * 1000 + 100, "recovery at window end");
+            }
+        }
+        let out = (0..200u64)
+            .filter(|&w| {
+                p.link_outage_until(site::engine_link(3), w * 1000)
+                    .is_some()
+            })
+            .count();
+        assert!(
+            (60..140).contains(&out),
+            "expected ~100 of 200 periods out at rate 0.5, got {out}"
+        );
+    }
+
+    #[test]
+    fn permanent_outage_never_recovers() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 5,
+            permanent_outage_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        assert_eq!(
+            p.link_outage_until(site::engine_link(0), 0),
+            Some(Cycle::MAX)
+        );
+        assert_eq!(
+            p.link_outage_until(site::engine_link(0), 1 << 40),
+            Some(Cycle::MAX)
+        );
+        let none = FaultPlan::new(FaultConfig {
+            seed: 5,
+            ..FaultConfig::default()
+        });
+        assert!(!none.has_link_outages());
+        assert_eq!(none.link_outage_until(site::engine_link(0), 0), None);
     }
 
     #[test]

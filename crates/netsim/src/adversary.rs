@@ -1,0 +1,468 @@
+//! Seeded adversarial traffic generators for the event engine.
+//!
+//! Where [`traffic`](crate::traffic) reproduces the paper's well-behaved
+//! workloads, this module builds the patterns that *stress* an
+//! interconnect: heavy-tailed flow sizes, incast fan-in onto a few victim
+//! nodes, hotspot convergence, bursty on/off sources, and retry-storm
+//! traffic shaped to maximize drop/retransmit pressure when paired with a
+//! faulty-link plan.
+//!
+//! Every generator is a pure function of `(topology, AdversaryConfig)` —
+//! all randomness comes from a splitmix64 stream seeded by
+//! [`AdversaryConfig::seed`], drawn in a fixed iteration order over nodes
+//! and flows. Generation happens entirely before the engine runs, so the
+//! schedule (and therefore the run digest) is invariant across worker and
+//! shard counts by construction. All size arithmetic is integer-only
+//! (shifts and geometric draws, never `powf`), so golden files pinned on
+//! one platform replay bit-identically on any other.
+//!
+//! Generators also assign each flow a latency *class* (see
+//! [`AdversaryTraffic::classes`]) so the engine's per-class inject→eject
+//! histograms can split, say, incast victims from background traffic.
+
+use memcomm_util::rng::Rng;
+
+use crate::topology::Topology;
+use crate::traffic::Flow;
+
+/// Which adversarial pattern to compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Heavy-tailed flow sizes: most flows are mice, a geometric tail of
+    /// elephants (a Pareto-like size mix without floating-point math).
+    HeavyTail,
+    /// Incast: many senders converge on a few victim nodes at once — the
+    /// classic fan-in collapse workload.
+    Incast,
+    /// Hotspot: uniform background traffic plus a fraction redirected at a
+    /// few hot nodes (the other classic saturation pattern).
+    Hotspot,
+    /// Bursty on/off sources: each node emits its load as a handful of
+    /// back-to-back bursts at distinct random destinations, so link load
+    /// shifts as bursts complete instead of holding steady.
+    Bursty,
+    /// Retry-storm shaping: every node sprays small diameter-spanning
+    /// flows, maximizing the words in flight on shared central links — the
+    /// worst case for a drop-heavy fault plan, since each drop re-queues
+    /// into a deep backlog.
+    RetryStorm,
+}
+
+impl AdversaryKind {
+    /// Every kind, in canonical order (reports and sweeps iterate this).
+    pub const ALL: [AdversaryKind; 5] = [
+        AdversaryKind::HeavyTail,
+        AdversaryKind::Incast,
+        AdversaryKind::Hotspot,
+        AdversaryKind::Bursty,
+        AdversaryKind::RetryStorm,
+    ];
+
+    /// Stable CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryKind::HeavyTail => "heavy-tail",
+            AdversaryKind::Incast => "incast",
+            AdversaryKind::Hotspot => "hotspot",
+            AdversaryKind::Bursty => "bursty",
+            AdversaryKind::RetryStorm => "retry-storm",
+        }
+    }
+
+    /// Parses a CLI name (the inverse of [`AdversaryKind::name`]).
+    pub fn parse(name: &str) -> Option<AdversaryKind> {
+        AdversaryKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Knobs of one adversarial schedule. The defaults describe a moderate
+/// adversary on any machine size; every field scales with the topology
+/// rather than hard-coding node counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryConfig {
+    /// Pattern to compile.
+    pub kind: AdversaryKind,
+    /// Seed of the generator stream (same seed + same topology = the same
+    /// schedule, byte for byte).
+    pub seed: u64,
+    /// Base flow payload, in bytes (a "mouse"; tails and bursts scale it).
+    pub base_bytes: u64,
+    /// Flows sourced per node (intensity).
+    pub flows_per_node: u32,
+    /// Heavy tail: maximum doublings over `base_bytes` (the tail spans
+    /// `base .. base << tail_cap`).
+    pub tail_cap: u32,
+    /// Incast/hotspot: number of victim (hot) nodes.
+    pub victims: u32,
+    /// Incast: senders aimed at each victim. Hotspot: per-mille of
+    /// background flows redirected to a hot node.
+    pub fan_in: u32,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            kind: AdversaryKind::HeavyTail,
+            seed: 0xADEE_5EED,
+            base_bytes: 256,
+            flows_per_node: 2,
+            tail_cap: 6,
+            victims: 2,
+            fan_in: 8,
+        }
+    }
+}
+
+/// A compiled adversarial schedule: the flow set plus the latency class of
+/// each flow (parallel to `flows`, ready for
+/// [`EngineConfig::flow_classes`](crate::engine::EngineConfig::flow_classes)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversaryTraffic {
+    /// The flows, in generation order.
+    pub flows: Vec<Flow>,
+    /// Latency class per flow: 0 = background/mice, 1 = adversarial
+    /// (elephants, incast victims' fan-in, hotspot-directed, storm spray).
+    pub classes: Vec<u8>,
+}
+
+/// Human names of the latency classes every generator uses, indexed by
+/// class (reports label histogram rows with these).
+pub const CLASS_NAMES: [&str; 2] = ["background", "adversarial"];
+
+/// A geometric draw in `0..=cap` (P(k) ∝ 2^-k): the integer-only engine of
+/// the heavy tail. `base << k` then yields a discrete Pareto-like size mix
+/// — about half the flows stay at `base`, a 1-in-2^cap elephant reaches
+/// `base << cap`.
+fn geometric(rng: &mut Rng, cap: u32) -> u32 {
+    (rng.next_u64().trailing_zeros()).min(cap)
+}
+
+/// A destination other than `src`, uniform over the machine.
+fn other_node(rng: &mut Rng, n: usize, src: usize) -> usize {
+    let d = rng.range_usize(0, n - 1);
+    if d >= src {
+        d + 1
+    } else {
+        d
+    }
+}
+
+/// Compiles the configured adversarial pattern into an engine flow
+/// schedule on `topo`. Pure and deterministic in `(topo, cfg)`.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than 2 nodes (no network traffic can
+/// exist).
+pub fn generate(topo: &Topology, cfg: &AdversaryConfig) -> AdversaryTraffic {
+    let n = topo.len();
+    assert!(n >= 2, "adversarial traffic needs at least 2 nodes");
+    // Fold the kind into the stream so two kinds at one seed diverge.
+    let mut rng = Rng::new(cfg.seed ^ (cfg.kind.name().len() as u64) << 56 ^ cfg.kind as u64);
+    let mut out = AdversaryTraffic {
+        flows: Vec::new(),
+        classes: Vec::new(),
+    };
+    let push = |f: Flow, class: u8, out: &mut AdversaryTraffic| {
+        out.flows.push(f);
+        out.classes.push(class);
+    };
+    let per_node = cfg.flows_per_node.max(1) as usize;
+    let base = cfg.base_bytes.max(8);
+    match cfg.kind {
+        AdversaryKind::HeavyTail => {
+            // Uniform random destinations; sizes drawn from the geometric
+            // tail. Anything above base is an elephant (class 1).
+            for src in 0..n {
+                for _ in 0..per_node {
+                    let k = geometric(&mut rng, cfg.tail_cap);
+                    let dst = other_node(&mut rng, n, src);
+                    let f = Flow {
+                        src,
+                        dst,
+                        bytes: base << k,
+                    };
+                    push(f, u8::from(k > 0), &mut out);
+                }
+            }
+        }
+        AdversaryKind::Incast => {
+            // Victims spread across the machine; each draws `fan_in`
+            // distinct senders. A thin uniform background (one mouse per
+            // non-victim node) keeps the rest of the fabric busy.
+            let victims = (cfg.victims.max(1) as usize).min(n / 2).max(1);
+            let stride = n / victims;
+            let hot: Vec<usize> = (0..victims).map(|v| v * stride).collect();
+            for &dst in &hot {
+                let fan = (cfg.fan_in.max(1) as usize).min(n - 1);
+                // Sample senders without replacement: shuffle the others.
+                let mut senders: Vec<usize> = (0..n).filter(|&s| s != dst).collect();
+                rng.shuffle(&mut senders);
+                for &src in senders.iter().take(fan) {
+                    let f = Flow {
+                        src,
+                        dst,
+                        bytes: base << 2,
+                    };
+                    push(f, 1, &mut out);
+                }
+            }
+            for src in 0..n {
+                if hot.contains(&src) {
+                    continue;
+                }
+                let dst = other_node(&mut rng, n, src);
+                push(
+                    Flow {
+                        src,
+                        dst,
+                        bytes: base,
+                    },
+                    0,
+                    &mut out,
+                );
+            }
+        }
+        AdversaryKind::Hotspot => {
+            // Uniform traffic with `fan_in` per mille redirected at a hot
+            // node — the classic hotspot saturation dial.
+            let victims = (cfg.victims.max(1) as usize).min(n / 2).max(1);
+            let stride = n / victims;
+            let hot: Vec<usize> = (0..victims).map(|v| v * stride).collect();
+            let per_mille = u64::from(cfg.fan_in.max(1)).min(1000);
+            for src in 0..n {
+                for _ in 0..per_node {
+                    let redirect = rng.range_u64(0, 1000) < per_mille;
+                    let (dst, class) = if redirect {
+                        let h = *rng.choose(&hot);
+                        if h == src {
+                            (other_node(&mut rng, n, src), 0)
+                        } else {
+                            (h, 1)
+                        }
+                    } else {
+                        (other_node(&mut rng, n, src), 0)
+                    };
+                    push(
+                        Flow {
+                            src,
+                            dst,
+                            bytes: base,
+                        },
+                        class,
+                        &mut out,
+                    );
+                }
+            }
+        }
+        AdversaryKind::Bursty => {
+            // Each node's load arrives as back-to-back bursts at distinct
+            // random destinations. The engine feeds a node's flows in
+            // order, so each burst occupies a different set of links —
+            // time-varying load without a time-varying API.
+            let bursts = per_node.max(2);
+            for src in 0..n {
+                for b in 0..bursts {
+                    let dst = other_node(&mut rng, n, src);
+                    // Alternate heavy (on) and light (off) bursts.
+                    let (bytes, class) = if b % 2 == 0 {
+                        (base << 3, 1)
+                    } else {
+                        (base, 0)
+                    };
+                    push(Flow { src, dst, bytes }, class, &mut out);
+                }
+            }
+        }
+        AdversaryKind::RetryStorm => {
+            // Spray: many small flows per node, destinations biased toward
+            // the node's antipode so routes span the diameter and pile
+            // words onto the central links. Paired with a drop-heavy fault
+            // plan this maximizes retry pressure (each drop re-queues into
+            // a deep backlog); on clean links it is just a hard uniform
+            // load.
+            let spray = (per_node * 2).max(2);
+            for src in 0..n {
+                for s in 0..spray {
+                    let dst = if s % 2 == 0 {
+                        // Antipode: the node "across" the machine.
+                        (src + n / 2) % n
+                    } else {
+                        other_node(&mut rng, n, src)
+                    };
+                    let dst = if dst == src {
+                        other_node(&mut rng, n, src)
+                    } else {
+                        dst
+                    };
+                    push(
+                        Flow {
+                            src,
+                            dst,
+                            bytes: base,
+                        },
+                        1,
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus16() -> Topology {
+        Topology::torus(&[4, 4])
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_kind_sensitive() {
+        let topo = torus16();
+        for kind in AdversaryKind::ALL {
+            let cfg = AdversaryConfig {
+                kind,
+                ..AdversaryConfig::default()
+            };
+            let a = generate(&topo, &cfg);
+            let b = generate(&topo, &cfg);
+            assert_eq!(a, b, "{}", kind.name());
+            assert!(!a.flows.is_empty(), "{}", kind.name());
+            assert_eq!(a.flows.len(), a.classes.len(), "{}", kind.name());
+            assert!(
+                a.flows.iter().all(|f| f.src != f.dst && f.bytes > 0),
+                "{}: no local or empty flows",
+                kind.name()
+            );
+            // A different seed moves the schedule (every kind draws).
+            let other = generate(
+                &topo,
+                &AdversaryConfig {
+                    seed: cfg.seed + 1,
+                    ..cfg
+                },
+            );
+            assert_ne!(a, other, "{}: seed must matter", kind.name());
+        }
+        // Distinct kinds at one seed diverge.
+        let base = AdversaryConfig::default();
+        let ht = generate(&topo, &base);
+        let inc = generate(
+            &topo,
+            &AdversaryConfig {
+                kind: AdversaryKind::Incast,
+                ..base
+            },
+        );
+        assert_ne!(ht.flows, inc.flows);
+    }
+
+    #[test]
+    fn heavy_tail_spans_mice_and_elephants() {
+        let topo = Topology::torus(&[8, 8]);
+        let cfg = AdversaryConfig {
+            kind: AdversaryKind::HeavyTail,
+            flows_per_node: 4,
+            ..AdversaryConfig::default()
+        };
+        let t = generate(&topo, &cfg);
+        let base = cfg.base_bytes;
+        let mice = t.flows.iter().filter(|f| f.bytes == base).count();
+        let big = t.flows.iter().filter(|f| f.bytes >= base << 3).count();
+        assert!(mice > t.flows.len() / 3, "roughly half the flows are mice");
+        assert!(big > 0, "the tail reaches at least 8x base");
+        assert!(
+            t.flows.iter().all(|f| f.bytes <= base << cfg.tail_cap),
+            "tail is capped"
+        );
+        // Classes tag exactly the above-base flows.
+        for (f, &c) in t.flows.iter().zip(&t.classes) {
+            assert_eq!(c == 1, f.bytes > base);
+        }
+    }
+
+    #[test]
+    fn incast_converges_on_victims() {
+        let topo = torus16();
+        let cfg = AdversaryConfig {
+            kind: AdversaryKind::Incast,
+            victims: 2,
+            fan_in: 6,
+            ..AdversaryConfig::default()
+        };
+        let t = generate(&topo, &cfg);
+        // Class-1 flows all land on the 2 victims, 6 each, distinct srcs.
+        let hot: Vec<usize> = t
+            .flows
+            .iter()
+            .zip(&t.classes)
+            .filter(|&(_, &c)| c == 1)
+            .map(|(f, _)| f.dst)
+            .collect();
+        let mut victims: Vec<usize> = hot.clone();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 2);
+        assert_eq!(hot.len(), 12);
+        for &v in &victims {
+            let senders: Vec<usize> = t
+                .flows
+                .iter()
+                .zip(&t.classes)
+                .filter(|&(f, &c)| c == 1 && f.dst == v)
+                .map(|(f, _)| f.src)
+                .collect();
+            let mut uniq = senders.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), senders.len(), "senders are distinct");
+        }
+    }
+
+    #[test]
+    fn hotspot_redirection_rate_tracks_the_dial() {
+        let topo = Topology::torus(&[8, 8]);
+        let cfg = AdversaryConfig {
+            kind: AdversaryKind::Hotspot,
+            victims: 1,
+            fan_in: 500, // 50% per mille dial
+            flows_per_node: 8,
+            ..AdversaryConfig::default()
+        };
+        let t = generate(&topo, &cfg);
+        let hot = t.classes.iter().filter(|&&c| c == 1).count();
+        let frac = hot as f64 / t.flows.len() as f64;
+        assert!(
+            (0.35..0.65).contains(&frac),
+            "about half the flows redirect at dial 500, got {frac}"
+        );
+    }
+
+    #[test]
+    fn retry_storm_spans_the_diameter() {
+        let topo = torus16();
+        let t = generate(
+            &topo,
+            &AdversaryConfig {
+                kind: AdversaryKind::RetryStorm,
+                ..AdversaryConfig::default()
+            },
+        );
+        // Half the spray targets antipodes.
+        let anti = t.flows.iter().filter(|f| f.dst == (f.src + 8) % 16).count();
+        assert!(anti >= t.flows.len() / 3);
+        assert!(t.classes.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in AdversaryKind::ALL {
+            assert_eq!(AdversaryKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(AdversaryKind::parse("nope"), None);
+        assert_eq!(CLASS_NAMES.len(), 2);
+    }
+}

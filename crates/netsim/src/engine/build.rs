@@ -35,6 +35,9 @@ pub(crate) struct FlowPath {
     pub hops: Vec<Hop>,
     /// The flow's lane in its destination's ejection queue.
     pub eject_lane: u32,
+    /// Latency class of the flow (from [`EngineConfig::flow_classes`],
+    /// indexed by the *input* flow position; 0 when unclassed).
+    pub class: u8,
 }
 
 /// Read-only context shared by every shard.
@@ -47,6 +50,14 @@ pub(crate) struct Net {
     pub drain_wc: Cycle,
     pub fault: FaultPlan,
     pub pairs: bool,
+    /// Link-level retransmission policy (see [`super::RetryPolicy`]).
+    pub retry: super::RetryPolicy,
+    /// Whether the fault plan can take links out (checked per transmit).
+    pub outages: bool,
+    /// Flow index → slot in its draining shard's per-flow ledger.
+    pub drain_slot: Vec<u32>,
+    /// Record inject→eject latency per class at the ejection ports.
+    pub record_latency: bool,
 }
 
 impl Net {
@@ -246,8 +257,10 @@ pub(crate) fn build_sim<'a>(
             words: words as u32,
             hops,
             eject_lane: 0,
+            class: cfg.flow_classes.get(fi).copied().unwrap_or(0),
         });
     }
+    let classes = usize::from(paths.iter().map(|p| p.class).max().unwrap_or(0)) + 1;
 
     // Lane assignment: the flows crossing each (link, VC) queue — and the
     // flows terminating at each node — get consecutive lane indices in flow
@@ -310,9 +323,28 @@ pub(crate) fn build_sim<'a>(
             credit_inbox: Vec::new(),
             arena: Arena::new(),
             lanes: !reference,
+            drain_flow_ids: Vec::new(),
+            drained_flows: Vec::new(),
+            lat_hist: if cfg.record_latency {
+                vec![memcomm_obs::Histogram::default(); classes]
+            } else {
+                Vec::new()
+            },
             out: WindowOut::default(),
         })
         .collect();
+
+    // Per-flow drain ledger: each flow gets one slot in the shard that owns
+    // its destination, so degraded runs can account for every missing word.
+    let mut drain_slot = vec![0u32; paths.len()];
+    for (fi, p) in paths.iter().enumerate() {
+        let last = p.hops.last().expect("network flows have at least one hop");
+        let dst = links[last.link as usize].to;
+        let shard = &mut shards[shard_of_node[dst] as usize];
+        drain_slot[fi] = shard.drain_flow_ids.len() as u32;
+        shard.drain_flow_ids.push(fi as u32);
+        shard.drained_flows.push(0);
+    }
 
     // Per-node feed lists (flow indices originating there, ascending),
     // flattened per shard below.
@@ -359,6 +391,8 @@ pub(crate) fn build_sim<'a>(
             credits: [cfg.vc_slots, cfg.vc_slots],
             free: 0.0,
             attempts: 0,
+            outages: 0,
+            outage_mark: 0,
         });
         shards[s].link_globals.push(gi as u32);
         link_owner.push((s as u32, local));
@@ -386,6 +420,10 @@ pub(crate) fn build_sim<'a>(
         drain_wc: cfg.drain_word_cycles,
         fault: cfg.fault,
         pairs: cfg.address_data_pairs,
+        retry: cfg.retry,
+        outages: cfg.fault.has_link_outages(),
+        drain_slot,
+        record_latency: cfg.record_latency,
     };
 
     Ok(Sim {

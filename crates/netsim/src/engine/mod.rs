@@ -87,7 +87,8 @@ use memcomm_memsim::error::{SimError, SimResult};
 use memcomm_memsim::fault::FaultPlan;
 use memcomm_memsim::nic::NetWord;
 use memcomm_memsim::node::{NodeParams, Watchdog};
-use memcomm_obs::Obs;
+use memcomm_obs::{Histogram, HistogramSummary, Obs};
+use memcomm_util::backoff::exp_backoff;
 use memcomm_util::par;
 
 use crate::link::LinkParams;
@@ -164,6 +165,61 @@ impl EngineEvent {
     }
 }
 
+/// Link-level retransmission policy: how the engine lifts the resilient
+/// protocol's semantics (deterministic exponential backoff, bounded
+/// retries) down to individual words on faulty links. A dropped word
+/// retransmits from its upstream buffer after
+/// [`exp_backoff`]`(base, factor, max, tries)` cycles; once a single hop
+/// has burned `max_retries` retransmissions the word is *abandoned* — its
+/// upstream buffer frees, the run completes, and the missing words are
+/// reported exactly in [`Degraded`] instead of wedging the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed per hop before a word is abandoned.
+    pub max_retries: u32,
+    /// First backoff wait, in cycles (0 = retry immediately, the classic
+    /// lossless-link behaviour).
+    pub backoff_base_cycles: Cycle,
+    /// Geometric growth per attempt.
+    pub backoff_factor: u32,
+    /// Backoff saturation cap, in cycles.
+    pub max_backoff_cycles: Cycle,
+}
+
+impl Default for RetryPolicy {
+    /// Immediate retries with a generous budget: 64 consecutive drops of
+    /// one word never happen by chance at any plausible fault rate, so the
+    /// default is observationally identical to the old unbounded-retry
+    /// engine while still guaranteeing termination under adversarial
+    /// plans.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 64,
+            backoff_base_cycles: 0,
+            backoff_factor: 2,
+            max_backoff_cycles: 1 << 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff wait before retry `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Cycle {
+        exp_backoff(
+            self.backoff_base_cycles,
+            u64::from(self.backoff_factor),
+            self.max_backoff_cycles,
+            attempt,
+        )
+    }
+
+    /// The deepest wait the schedule can ever impose — the idle slack the
+    /// liveness watchdog must grant before calling a quiet network wedged.
+    pub fn max_delay(&self) -> Cycle {
+        self.delay(self.max_retries)
+    }
+}
+
 /// Engine configuration: the machine's link and node parameters plus the
 /// engine-specific knobs.
 #[derive(Debug, Clone)]
@@ -206,6 +262,16 @@ pub struct EngineConfig {
     pub max_cycles: Option<Cycle>,
     /// Fault plan threaded through every per-node FIFO and link.
     pub fault: FaultPlan,
+    /// Link-level retransmission policy for fault drops.
+    pub retry: RetryPolicy,
+    /// Latency class per *input* flow (missing or empty = every flow in
+    /// class 0). Classes index the per-class inject→eject histograms when
+    /// [`EngineConfig::record_latency`] is set; adversarial generators use
+    /// them to split, say, incast victims from background traffic.
+    pub flow_classes: Vec<u8>,
+    /// Record per-class inject→eject latency histograms into
+    /// [`EngineOutcome::flow_latency`].
+    pub record_latency: bool,
     /// Keep the full event stream in the outcome (tests); the digest is
     /// always computed.
     pub record_events: bool,
@@ -239,6 +305,9 @@ impl EngineConfig {
             max_windows: 1 << 22,
             max_cycles: None,
             fault: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+            flow_classes: Vec::new(),
+            record_latency: false,
             record_events: false,
             reference_scheduler: false,
         }
@@ -269,10 +338,16 @@ pub struct EngineOutcome {
     pub flit_hops: u64,
     /// Conservative windows executed.
     pub windows: u64,
-    /// Link-fault drops (each deterministically retransmitted).
+    /// Link-fault drops (each deterministically retransmitted or, past the
+    /// retry budget, abandoned into the degraded accounting).
     pub dropped: u64,
     /// Link-fault corruptions (counted; payloads are synthetic).
     pub corrupted: u64,
+    /// Retransmissions scheduled under the retry policy
+    /// (`dropped == retried + abandoned`, always).
+    pub retried: u64,
+    /// Words abandoned after exhausting their per-hop retry budget.
+    pub abandoned: u64,
     /// FNV-1a fold over the canonical event stream.
     pub digest: u64,
     /// Deepest the run's event backlog ever got: the barrier maximum of
@@ -280,8 +355,33 @@ pub struct EngineOutcome {
     /// Identical under both schedulers (and any worker or shard count) —
     /// it is a property of the traffic, not of the queue substrate.
     pub peak_queue_depth: u64,
+    /// Per-class inject→eject latency summaries (p50/p99/p999), indexed by
+    /// flow class, when [`EngineConfig::record_latency`] is set.
+    pub flow_latency: Vec<HistogramSummary>,
+    /// Graceful-degradation accounting: `Some` exactly when the run could
+    /// not deliver every word (abandoned retries, dead links). The partial
+    /// result above it — digest, counters, events — is still
+    /// byte-deterministic at any jobs × shards.
+    pub degraded: Option<Degraded>,
     /// The event stream itself, when [`EngineConfig::record_events`] is set.
     pub events: Vec<EngineEvent>,
+}
+
+/// Exact accounting of a degraded run — what a wedged network owes instead
+/// of a bare [`SimError::Deadlock`]. Built in canonical flow/link order, so
+/// it is byte-identical at any worker or shard count and under either
+/// scheduler substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded {
+    /// `(flow index, undelivered words)` for every flow that came up short,
+    /// ascending flow index. Flow indices match the high 32 bits of
+    /// [`EngineEvent::seq`].
+    pub missing_flows: Vec<(u32, u64)>,
+    /// Start cycle of the last window in which the network made progress.
+    pub last_progress_cycle: Cycle,
+    /// `(link index, outage windows encountered)` for every link that hit
+    /// at least one outage, ascending link index.
+    pub per_link_outages: Vec<(u32, u64)>,
 }
 
 /// Result of running a multi-round schedule (rounds are barrier-separated:
@@ -392,8 +492,12 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
         windows: 0,
         dropped: 0,
         corrupted: 0,
+        retried: 0,
+        abandoned: 0,
         digest: FNV_OFFSET,
         peak_queue_depth: 0,
+        flow_latency: Vec::new(),
+        degraded: None,
         events: Vec::new(),
     };
     if sim.total_words == 0 {
@@ -427,11 +531,20 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
     let mut shard_peaks: Vec<u64> = vec![0; sim.shards.len()];
     let mut drained = 0u64;
     let mut idle_windows = 0u64;
+    let mut last_progress_t0: Cycle = 0;
     // How long legitimate inactivity can last, in windows: fault stalls and
-    // jitter park words in the future, and slow memory pacing leaves gaps.
+    // jitter park words in the future, backoff waits park retries with
+    // nothing in flight, transient link outages silence whole links for a
+    // window, and slow memory pacing leaves gaps. Saturating throughout —
+    // adversarial fault bounds (jitter or stalls near `u64::MAX`) must
+    // widen the budget, never wrap it into a hair trigger.
     let fault_slack = if cfg.fault.is_active() {
         let c = cfg.fault.config();
-        c.max_stall_cycles + c.max_jitter_cycles
+        let mut slack = c.max_stall_cycles.saturating_add(c.max_jitter_cycles);
+        if cfg.fault.has_link_outages() {
+            slack = slack.saturating_add(c.outage_window_cycles.min(c.outage_period_cycles.max(1)));
+        }
+        slack.saturating_add(cfg.retry.max_delay())
     } else {
         0
     };
@@ -440,8 +553,11 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
     // (e.g. the last word's rx-ready stamp lands `wt` cycles ahead while
     // the drain idles), so the wire time bounds legitimate gaps too.
     let word_gap = 2 * (cfg.word_cycles().ceil() as Cycle);
-    let idle_limit =
-        2 + (fault_slack + cfg.source_word_cycles + cfg.drain_word_cycles + word_gap) / window;
+    let idle_limit = 2 + fault_slack
+        .saturating_add(cfg.source_word_cycles)
+        .saturating_add(cfg.drain_word_cycles)
+        .saturating_add(word_gap)
+        / window;
 
     let mut t0: Cycle = 0;
     loop {
@@ -518,6 +634,8 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
                     outcome.flit_hops += out.flit_hops;
                     outcome.dropped += out.dropped;
                     outcome.corrupted += out.corrupted;
+                    outcome.retried += out.retried;
+                    outcome.abandoned += out.abandoned;
                     outcome.cycles = outcome.cycles.max(out.last_drain);
                 }
             }
@@ -558,19 +676,33 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
                     outcome.flit_hops += out.flit_hops;
                     outcome.dropped += out.dropped;
                     outcome.corrupted += out.corrupted;
+                    outcome.retried += out.retried;
+                    outcome.abandoned += out.abandoned;
                     outcome.cycles = outcome.cycles.max(out.last_drain);
                 }
             }
         }
         outcome.windows += 1;
         outcome.peak_queue_depth = outcome.peak_queue_depth.max(pending.len() as u64 + queued);
+        if progress > 0 {
+            last_progress_t0 = t0;
+        }
 
-        if drained == sim.total_words {
+        if drained + outcome.abandoned == sim.total_words {
+            // Every word is accounted for: delivered, or abandoned past its
+            // retry budget (a degraded completion, settled below).
             break;
         }
         if progress == 0 && pending.len() == 0 {
             idle_windows += 1;
             if idle_windows > idle_limit {
+                if cfg.fault.is_active() {
+                    // Faults are the only legitimate way a run stops short
+                    // (words stranded behind dead links): close the run with
+                    // exact accounting instead of erroring. A wedge without
+                    // faults is an engine bug and stays a hard error.
+                    break;
+                }
                 return Err(SimError::Deadlock {
                     detail: format!(
                         "engine idle for {idle_windows} windows with {} of {} words undelivered",
@@ -586,9 +718,22 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
         t0 = t1;
     }
 
+    if drained < sim.total_words {
+        outcome.degraded = Some(degraded_accounting(&sim, last_progress_t0));
+    }
+    if cfg.record_latency {
+        outcome.flow_latency = merge_flow_latency(&sim, &obs);
+    }
+
     obs.count("engine.words", outcome.words);
     obs.count("engine.flit_hops", outcome.flit_hops);
     obs.count("engine.windows", outcome.windows);
+    if outcome.retried > 0 {
+        obs.count("engine.retries", outcome.retried);
+    }
+    if outcome.abandoned > 0 {
+        obs.count("engine.abandoned", outcome.abandoned);
+    }
     obs.gauge_max("engine.peak_queue_depth", outcome.peak_queue_depth);
     if obs.is_enabled() {
         // Per-shard balance gauges: how evenly the partition spread the
@@ -601,6 +746,67 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
     }
     obs.span("engine", "run_flows", 0, outcome.cycles);
     Ok(outcome)
+}
+
+/// Settles the per-flow delivery ledger and per-link outage counters into
+/// the exact [`Degraded`] accounting. Both walks are in canonical order
+/// (ascending flow index, ascending global link index) regardless of how
+/// the machine was sharded, so the accounting is partition-invariant.
+fn degraded_accounting(sim: &Sim<'_>, last_progress_cycle: Cycle) -> Degraded {
+    let mut drained_of = vec![0u64; sim.net.flows.len()];
+    let mut per_link_outages = Vec::new();
+    for s in &sim.shards {
+        let shard = s.lock().expect("shard lock poisoned");
+        for (&fi, &n) in shard.drain_flow_ids.iter().zip(&shard.drained_flows) {
+            drained_of[fi as usize] = n;
+        }
+        for l in &shard.links {
+            if l.outages > 0 {
+                per_link_outages.push((l.global, l.outages));
+            }
+        }
+    }
+    per_link_outages.sort_unstable();
+    let missing_flows = sim
+        .net
+        .flows
+        .iter()
+        .enumerate()
+        .filter_map(|(fi, p)| {
+            let missing = u64::from(p.words) - drained_of[fi];
+            (missing > 0).then_some((fi as u32, missing))
+        })
+        .collect();
+    Degraded {
+        missing_flows,
+        last_progress_cycle,
+        per_link_outages,
+    }
+}
+
+/// Merges the shards' per-class inject→eject histograms (commutative, so
+/// the shard partition is invisible) into per-class summaries, mirroring
+/// them into the metrics registry when one is recording.
+fn merge_flow_latency(sim: &Sim<'_>, obs: &Obs) -> Vec<HistogramSummary> {
+    let classes = sim
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("shard lock poisoned").lat_hist.len())
+        .max()
+        .unwrap_or(0);
+    let mut merged = vec![Histogram::default(); classes];
+    for s in &sim.shards {
+        let shard = s.lock().expect("shard lock poisoned");
+        for (m, h) in merged.iter_mut().zip(&shard.lat_hist) {
+            m.merge(h);
+        }
+    }
+    if obs.is_enabled() {
+        for (c, h) in merged.iter().enumerate() {
+            obs.merge_histogram(&format!("engine.flow_latency.class{c}"), h);
+        }
+    }
+    merged.iter().map(Histogram::summary).collect()
 }
 
 /// Runs a barrier-separated schedule of rounds; each round must fully drain
@@ -825,6 +1031,251 @@ mod tests {
         assert!(!m16.is_torus());
         assert!(scaled_topology(&t3d, 3).is_err());
         assert!(scaled_topology(&t3d, 0).is_err());
+    }
+
+    #[test]
+    fn retry_storm_retransmits_every_drop() {
+        // A drop-heavy plan under adversarial retry-storm traffic: with the
+        // default (generous) retry budget every dropped word retransmits —
+        // the counters prove it — and the result is byte-identical at any
+        // jobs × shards.
+        use crate::adversary::{self, AdversaryConfig, AdversaryKind};
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[2, 2]);
+        let t = adversary::generate(
+            &topo,
+            &AdversaryConfig {
+                kind: AdversaryKind::RetryStorm,
+                base_bytes: 64,
+                ..AdversaryConfig::default()
+            },
+        );
+        let run = |jobs: usize, shards: usize| {
+            let mut cfg = small_cfg();
+            cfg.jobs = jobs;
+            cfg.shards = shards;
+            cfg.fault = FaultPlan::new(FaultConfig {
+                seed: 21,
+                rate: 0.4,
+                ..FaultConfig::default()
+            });
+            run_flows(&topo, &t.flows, &cfg).unwrap()
+        };
+        let a = run(1, 1);
+        assert!(a.dropped > 0, "a 40% fault rate must drop words");
+        assert_eq!(a.dropped, a.retried + a.abandoned, "every drop accounted");
+        assert_eq!(a.abandoned, 0, "default budget absorbs the storm");
+        assert!(a.degraded.is_none());
+        for (jobs, shards) in [(4, 0), (2, 3)] {
+            let b = run(jobs, shards);
+            assert_eq!(b.digest, a.digest, "jobs={jobs} shards={shards}");
+            assert_eq!(b.retried, a.retried);
+            assert_eq!(b.cycles, a.cycles);
+        }
+    }
+
+    #[test]
+    fn backoff_waits_do_not_trip_the_watchdog() {
+        // Regression: a retry policy with real backoff waits parks dropped
+        // words far in the future with nothing else in flight; the idle
+        // watchdog must grant that slack instead of calling it a wedge.
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4]);
+        let flows = [Flow {
+            src: 0,
+            dst: 1,
+            bytes: 16 * 8,
+        }];
+        let mut cfg = small_cfg();
+        cfg.fault = FaultPlan::new(FaultConfig {
+            seed: 9,
+            rate: 0.5,
+            ..FaultConfig::default()
+        });
+        cfg.retry = RetryPolicy {
+            max_retries: 64,
+            backoff_base_cycles: 512,
+            backoff_factor: 2,
+            max_backoff_cycles: 1 << 14,
+        };
+        let out = run_flows(&topo, &flows, &cfg).unwrap();
+        assert_eq!(out.words, 16);
+        assert!(out.dropped > 0, "half the attempts drop at seed 9");
+        assert_eq!(out.dropped, out.retried, "all retried, none abandoned");
+        assert!(out.degraded.is_none());
+    }
+
+    #[test]
+    fn watchdog_slack_survives_adversarial_fault_bounds() {
+        // Regression: the idle-slack arithmetic used to add stall and
+        // jitter bounds unchecked, so a plan advertising near-u64 bounds
+        // overflowed (a debug panic) before the first window ran.
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4]);
+        let flows = [Flow {
+            src: 0,
+            dst: 2,
+            bytes: 8 * 8,
+        }];
+        let mut cfg = small_cfg();
+        cfg.fault = FaultPlan::new(FaultConfig {
+            seed: 5,
+            rate: 1e-12, // active, but effectively never fires
+            max_stall_cycles: u64::MAX,
+            max_jitter_cycles: 1,
+            ..FaultConfig::default()
+        });
+        let out = run_flows(&topo, &flows, &cfg).unwrap();
+        assert_eq!(out.words, 8);
+        assert!(out.degraded.is_none());
+    }
+
+    #[test]
+    fn permanent_outages_degrade_with_exact_accounting() {
+        // Every link dead: the run cannot deliver a single word, and must
+        // close with exact per-flow and per-link accounting instead of a
+        // bare deadlock — byte-identically at any jobs × shards and under
+        // both scheduler substrates.
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4]);
+        let flows = traffic::cyclic_shift(&topo, 1, 32 * 8);
+        let run = |jobs: usize, shards: usize, reference: bool| {
+            let mut cfg = small_cfg();
+            cfg.jobs = jobs;
+            cfg.shards = shards;
+            cfg.reference_scheduler = reference;
+            cfg.fault = FaultPlan::new(FaultConfig {
+                seed: 3,
+                permanent_outage_rate: 1.0,
+                ..FaultConfig::default()
+            });
+            run_flows(&topo, &flows, &cfg).unwrap()
+        };
+        let a = run(1, 1, false);
+        let d = a.degraded.as_ref().expect("dead links must degrade");
+        assert_eq!(
+            d.missing_flows.iter().map(|&(_, m)| m).sum::<u64>(),
+            a.words,
+            "every word is missing"
+        );
+        assert_eq!(d.missing_flows.len(), 4, "all four flows came up short");
+        assert!(
+            d.missing_flows.windows(2).all(|w| w[0].0 < w[1].0),
+            "canonical flow order"
+        );
+        assert!(!d.per_link_outages.is_empty());
+        assert!(
+            d.per_link_outages.windows(2).all(|w| w[0].0 < w[1].0),
+            "canonical link order"
+        );
+        for (jobs, shards, reference) in [(4, 0, false), (2, 3, false), (1, 1, true)] {
+            let b = run(jobs, shards, reference);
+            assert_eq!(b.digest, a.digest, "jobs={jobs} shards={shards}");
+            assert_eq!(b.degraded, a.degraded, "jobs={jobs} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_abandons_and_accounts() {
+        // max_retries = 0 with a high drop rate: some words burn their
+        // (empty) budget on the first drop and are abandoned; the run still
+        // completes, with dropped == retried + abandoned and the missing
+        // words reported per flow.
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4]);
+        let flows = traffic::cyclic_shift(&topo, 1, 64 * 8);
+        let run = |jobs: usize, shards: usize| {
+            let mut cfg = small_cfg();
+            cfg.jobs = jobs;
+            cfg.shards = shards;
+            cfg.fault = FaultPlan::new(FaultConfig {
+                seed: 13,
+                rate: 0.25,
+                ..FaultConfig::default()
+            });
+            cfg.retry = RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            };
+            run_flows(&topo, &flows, &cfg).unwrap()
+        };
+        let a = run(1, 1);
+        assert!(a.abandoned > 0, "a quarter of first attempts drop");
+        assert_eq!(a.retried, 0, "no budget, no retries");
+        assert_eq!(a.dropped, a.abandoned);
+        let d = a.degraded.as_ref().expect("lost words must degrade");
+        assert_eq!(
+            d.missing_flows.iter().map(|&(_, m)| m).sum::<u64>(),
+            a.abandoned,
+            "missing words are exactly the abandoned ones"
+        );
+        for (jobs, shards) in [(4, 0), (3, 2)] {
+            let b = run(jobs, shards);
+            assert_eq!(b.digest, a.digest);
+            assert_eq!(b.abandoned, a.abandoned);
+            assert_eq!(b.degraded, a.degraded);
+        }
+    }
+
+    #[test]
+    fn flow_latency_histograms_are_partition_invariant() {
+        use crate::adversary::{self, AdversaryConfig, AdversaryKind};
+        let topo = Topology::torus(&[4, 4]);
+        let t = adversary::generate(
+            &topo,
+            &AdversaryConfig {
+                kind: AdversaryKind::Incast,
+                base_bytes: 128,
+                ..AdversaryConfig::default()
+            },
+        );
+        let run = |jobs: usize, shards: usize| {
+            let mut cfg = small_cfg();
+            cfg.jobs = jobs;
+            cfg.shards = shards;
+            cfg.flow_classes = t.classes.clone();
+            cfg.record_latency = true;
+            run_flows(&topo, &t.flows, &cfg).unwrap()
+        };
+        let a = run(1, 1);
+        assert_eq!(a.flow_latency.len(), 2, "background and adversarial");
+        let delivered: u64 = a.flow_latency.iter().map(|h| h.count).sum();
+        assert_eq!(delivered, a.words, "every word's latency is recorded");
+        for h in &a.flow_latency {
+            assert!(h.p50 <= h.p99 && h.p99 <= h.p999 && h.p999 <= h.max);
+            assert!(h.min <= h.p50);
+        }
+        for (jobs, shards) in [(4, 0), (2, 5)] {
+            let b = run(jobs, shards);
+            assert_eq!(
+                b.flow_latency, a.flow_latency,
+                "jobs={jobs} shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fault_adversarial_run_matches_faultless_baseline() {
+        // An adversary plan with every rate at zero must be byte-identical
+        // to no plan at all — the fault hooks and the retry/latency
+        // plumbing are observationally free when disabled.
+        use crate::adversary::{self, AdversaryConfig, AdversaryKind};
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4, 4]);
+        let t = adversary::generate(&topo, &AdversaryConfig::default());
+        let _ = AdversaryKind::ALL; // canonical order is public API
+        let mut base = small_cfg();
+        base.record_events = true;
+        let a = run_flows(&topo, &t.flows, &base).unwrap();
+        let mut zeroed = base.clone();
+        zeroed.fault = FaultPlan::new(FaultConfig {
+            seed: 99,
+            ..FaultConfig::default()
+        });
+        let b = run_flows(&topo, &t.flows, &zeroed).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.cycles, b.cycles);
     }
 
     #[test]

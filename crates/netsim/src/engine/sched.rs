@@ -28,6 +28,12 @@ pub(crate) struct QEntry {
     /// came straight off its injection port).
     pub prev_link: u32,
     pub prev_vc: u8,
+    /// Fault-drop retransmissions already spent on this hop; the retry
+    /// policy abandons the word once the budget runs out. Trails the
+    /// ordering fields, so it never perturbs arbitration.
+    pub tries: u32,
+    /// Cycle the word left its injection port (for inject→eject latency).
+    pub t_inject: Cycle,
 }
 
 /// Word-major arbitration rank: `seq` packs `flow << 32 | word`, so the
@@ -209,4 +215,7 @@ pub(crate) struct Delivery {
     pub to_node: u32,
     pub via_link: u32,
     pub vc: u8,
+    /// Injection cycle carried end-to-end (trails the `(arrive, seq)`
+    /// ordering, which stays unique and unchanged).
+    pub t_inject: Cycle,
 }

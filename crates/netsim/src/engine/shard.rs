@@ -12,6 +12,7 @@
 
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::nic::TimedFifo;
+use memcomm_obs::Histogram;
 use memcomm_util::arena::Arena;
 
 use super::sched::{Delivery, QEntry, RouterQueue};
@@ -23,6 +24,11 @@ pub(crate) struct LinkState {
     pub credits: [u32; 2],
     pub free: f64,
     pub attempts: u64,
+    /// Distinct outage windows this link ran into while trying to transmit.
+    pub outages: u64,
+    /// Recovery cycle of the last counted outage (so re-encountering the
+    /// same window across engine windows counts once).
+    pub outage_mark: Cycle,
 }
 
 pub(crate) struct PortState {
@@ -70,6 +76,16 @@ pub(crate) struct Shard {
     pub arena: Arena<QEntry>,
     /// Whether this shard's queues run on lanes (false = reference heaps).
     pub lanes: bool,
+    /// Engine flow index of each flow this shard drains (its destinations),
+    /// in build order; `Net::drain_slot` maps a flow to its slot here.
+    pub drain_flow_ids: Vec<u32>,
+    /// Words drained so far per local drain slot — the per-flow delivery
+    /// ledger the degraded accounting settles against.
+    pub drained_flows: Vec<u64>,
+    /// Inject→eject latency per flow class, recorded at the ejection port
+    /// (only when the run asked for latency; merged in shard order at the
+    /// end — histogram merge is commutative, so the partition is invisible).
+    pub lat_hist: Vec<Histogram>,
     /// Window output buffers, reused across windows on the production path.
     pub out: WindowOut,
 }
@@ -94,6 +110,10 @@ pub(crate) struct WindowOut {
     pub flit_hops: u64,
     pub dropped: u64,
     pub corrupted: u64,
+    /// Drop retransmissions scheduled under the retry policy this window.
+    pub retried: u64,
+    /// Words abandoned after exhausting their per-hop retry budget.
+    pub abandoned: u64,
     pub last_drain: Cycle,
     /// Words sitting in this shard's router/ejection queues at window end.
     pub queued: u64,
@@ -112,6 +132,8 @@ impl WindowOut {
         self.flit_hops = 0;
         self.dropped = 0;
         self.corrupted = 0;
+        self.retried = 0;
+        self.abandoned = 0;
         self.last_drain = 0;
         self.queued = 0;
     }

@@ -54,6 +54,8 @@ impl Shard {
             credit_inbox,
             arena,
             lanes: use_lanes,
+            drained_flows,
+            lat_hist,
             ..
         } = self;
         let node_lo = *node_lo;
@@ -81,6 +83,8 @@ impl Shard {
                         hop: d.hop,
                         prev_link: d.via_link,
                         prev_vc: d.vc,
+                        tries: 0,
+                        t_inject: d.t_inject,
                     },
                     arena,
                 );
@@ -98,6 +102,8 @@ impl Shard {
                         hop: next as u16,
                         prev_link: d.via_link,
                         prev_vc: d.vc,
+                        tries: 0,
+                        t_inject: d.t_inject,
                     },
                     arena,
                 );
@@ -176,6 +182,8 @@ impl Shard {
                         hop: 0,
                         prev_link: u32::MAX,
                         prev_vc: 0,
+                        tries: 0,
+                        t_inject: start.floor() as Cycle,
                     },
                     arena,
                 );
@@ -215,6 +223,27 @@ impl Shard {
                 if start >= t1 as f64 {
                     break;
                 }
+                // Outage calendar: a link inside an outage window cannot
+                // transmit; it parks until the window's recovery cycle (or
+                // forever — the degraded accounting picks up what a
+                // permanently dead link strands).
+                if net.outages {
+                    if let Some(end) = net
+                        .fault
+                        .link_outage_until(site::engine_link(l.global), start.floor() as Cycle)
+                    {
+                        if end > l.outage_mark {
+                            l.outages += 1;
+                            l.outage_mark = end;
+                        }
+                        if end == Cycle::MAX {
+                            l.free = f64::INFINITY;
+                            break;
+                        }
+                        l.free = l.free.max(end as f64);
+                        continue;
+                    }
+                }
                 let e = l.queues[vc].pop(arena);
                 let fault = net
                     .fault
@@ -223,10 +252,14 @@ impl Shard {
                 let mut wire = net.wt;
                 match fault {
                     Some(LinkFault::Drop) => {
-                        // The wire is consumed but nothing arrives; the word
-                        // retries from its upstream buffer (links are
-                        // lossless in hardware — this models the retransmit
-                        // a real adapter would schedule).
+                        // The wire is consumed but nothing arrives. Within
+                        // the per-hop retry budget the word retransmits from
+                        // its upstream buffer after a deterministic
+                        // exponential backoff (links are lossless in
+                        // hardware — this models the retry a real adapter
+                        // schedules); past the budget it is abandoned, its
+                        // upstream buffer freed, and the run degrades with
+                        // exact accounting instead of wedging.
                         l.free = start + wire;
                         out.link_events.push(EngineEvent {
                             time: start.floor() as Cycle,
@@ -235,17 +268,27 @@ impl Shard {
                             vc: vc as u8,
                             seq: e.seq,
                         });
+                        out.dropped += 1;
+                        out.progress += 1;
+                        if e.tries >= net.retry.max_retries {
+                            if e.prev_link != u32::MAX {
+                                out.credits.push((e.prev_link, e.prev_vc));
+                            }
+                            out.abandoned += 1;
+                            continue;
+                        }
                         let lane = net.flows[(e.seq >> 32) as usize].hops[usize::from(e.hop)].lane;
                         l.queues[vc].push_retry(
                             lane,
                             QEntry {
-                                ready: l.free.ceil() as Cycle,
+                                ready: (l.free.ceil() as Cycle)
+                                    .saturating_add(net.retry.delay(e.tries)),
+                                tries: e.tries + 1,
                                 ..e
                             },
                             arena,
                         );
-                        out.dropped += 1;
-                        out.progress += 1;
+                        out.retried += 1;
                         continue;
                     }
                     Some(LinkFault::Corrupt(_)) => out.corrupted += 1,
@@ -272,6 +315,7 @@ impl Shard {
                     to_node: net.link_to[l.global as usize],
                     via_link: l.global,
                     vc: vc as u8,
+                    t_inject: e.t_inject,
                 });
                 out.flit_hops += 1;
                 out.progress += 1;
@@ -307,6 +351,10 @@ impl Shard {
                 let e = eject[local].pop(arena);
                 p.eject_free = start + net.wt;
                 let t_in = p.eject_free.ceil() as Cycle;
+                if net.record_latency {
+                    let class = usize::from(net.flows[(e.seq >> 32) as usize].class);
+                    lat_hist[class].record((start.floor() as Cycle).saturating_sub(e.t_inject));
+                }
                 rx[local]
                     .push(t_in, net.word(e.seq))
                     .expect("arbitration checked rx had space");
@@ -330,8 +378,9 @@ impl Shard {
                 if t >= t1 {
                     break;
                 }
-                let (at, _) = rx[i].pop(t).expect("front_ready implies non-empty");
+                let (at, w) = rx[i].pop(t).expect("front_ready implies non-empty");
                 drain_free[i] = at + net.drain_wc;
+                drained_flows[net.drain_slot[(w.data >> 32) as usize] as usize] += 1;
                 out.drained += 1;
                 out.last_drain = out.last_drain.max(at);
                 out.progress += 1;

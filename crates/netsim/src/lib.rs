@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod barrier;
 pub mod congestion;
 pub mod engine;
@@ -26,6 +27,7 @@ pub mod routing;
 pub mod topology;
 pub mod traffic;
 
+pub use adversary::{AdversaryConfig, AdversaryKind, AdversaryTraffic};
 pub use barrier::barrier_cycles;
 pub use congestion::{pattern_congestion, CongestionReport};
 pub use engine::{run_flows, run_schedule, EngineConfig, EngineOutcome};

@@ -11,7 +11,8 @@
 
 use memcomm_memsim::fault::{FaultConfig, FaultPlan};
 use memcomm_memsim::node::NodeParams;
-use memcomm_netsim::engine::{run_flows, run_schedule, EngineConfig, EngineOutcome};
+use memcomm_netsim::adversary::{self, AdversaryConfig, AdversaryKind};
+use memcomm_netsim::engine::{run_flows, run_schedule, EngineConfig, EngineOutcome, RetryPolicy};
 use memcomm_netsim::link::LinkParams;
 use memcomm_netsim::topology::Topology;
 use memcomm_netsim::traffic::Flow;
@@ -44,16 +45,33 @@ fn fuzz_cfg(rng: &mut Rng) -> EngineConfig {
     cfg.drain_word_cycles = rng.range_u64(0, 4);
     cfg.address_data_pairs = rng.bool();
     cfg.record_events = true;
+    cfg.record_latency = rng.bool();
     cfg.jobs = 1;
     // A third of the cases run under a seeded fault plan, exercising the
-    // retry (prepend) and jitter (overflow-bucket) paths of both schedulers.
+    // retry (prepend) and jitter (overflow-bucket) paths of both schedulers;
+    // some of those also draw transient link-outage windows and a real
+    // backoff-bearing retry policy, covering the degraded paths too.
     if rng.range_u64(0, 3) == 0 {
-        cfg.fault = FaultPlan::new(FaultConfig {
+        let mut fc = FaultConfig {
             seed: rng.range_u64(1, u64::MAX),
             rate: rng.range_f64(0.0, 0.12),
             max_jitter_cycles: rng.range_u64(1, 64),
             ..FaultConfig::default()
-        });
+        };
+        if rng.range_u64(0, 3) == 0 {
+            fc.outage_window_rate = rng.range_f64(0.0, 0.5);
+            fc.outage_window_cycles = rng.range_u64(16, 512);
+            fc.outage_period_cycles = rng.range_u64(512, 4096);
+        }
+        cfg.fault = FaultPlan::new(fc);
+        if rng.range_u64(0, 2) == 0 {
+            cfg.retry = RetryPolicy {
+                max_retries: rng.range_u32(0, 16),
+                backoff_base_cycles: rng.range_u64(0, 256),
+                backoff_factor: rng.range_u32(1, 4),
+                max_backoff_cycles: 1 << 12,
+            };
+        }
     }
     cfg
 }
@@ -78,6 +96,13 @@ fn assert_outcomes_match(wheel: &EngineOutcome, heap: &EngineOutcome, ctx: &str)
     assert_eq!(wheel.windows, heap.windows, "windows ({ctx})");
     assert_eq!(wheel.dropped, heap.dropped, "dropped ({ctx})");
     assert_eq!(wheel.corrupted, heap.corrupted, "corrupted ({ctx})");
+    assert_eq!(wheel.retried, heap.retried, "retried ({ctx})");
+    assert_eq!(wheel.abandoned, heap.abandoned, "abandoned ({ctx})");
+    assert_eq!(wheel.degraded, heap.degraded, "degraded accounting ({ctx})");
+    assert_eq!(
+        wheel.flow_latency, heap.flow_latency,
+        "flow latency ({ctx})"
+    );
     assert_eq!(
         wheel.peak_queue_depth, heap.peak_queue_depth,
         "peak queue depth ({ctx})"
@@ -220,5 +245,57 @@ fn heap_reference_is_worker_count_invariant() {
         cfg.jobs = 3;
         let par = run_flows(&topo, &flows, &cfg).expect("parallel heap run");
         assert_outcomes_match(&par, &serial, "jobs 3 vs 1");
+    });
+}
+
+/// Retry storms under faulty links: adversarial spray traffic over a
+/// drop-heavy plan with transient outage windows and a tight, real-backoff
+/// retry budget. Drops, retransmissions, abandonments, the degraded
+/// accounting, and the per-class latency tails must all agree between the
+/// two scheduler substrates, exactly — this is the path where the lane
+/// prepend, the wheel's overflow bucket, and the outage calendar all
+/// interact.
+#[test]
+fn wheel_matches_heap_under_retry_storms() {
+    forall("wheel_matches_heap_under_retry_storms", 10, |rng| {
+        let topo = Topology::torus(&[4, rng.range_u32(2, 5)]);
+        let traffic = adversary::generate(
+            &topo,
+            &AdversaryConfig {
+                kind: AdversaryKind::RetryStorm,
+                seed: rng.range_u64(1, u64::MAX),
+                base_bytes: 128,
+                ..AdversaryConfig::default()
+            },
+        );
+        let mut cfg = fuzz_cfg(rng);
+        cfg.record_latency = true;
+        cfg.flow_classes = traffic.classes.clone();
+        cfg.fault = FaultPlan::new(FaultConfig {
+            seed: rng.range_u64(1, u64::MAX),
+            rate: rng.range_f64(0.15, 0.45),
+            max_jitter_cycles: 16,
+            outage_window_rate: 0.25,
+            outage_window_cycles: 128,
+            outage_period_cycles: 1024,
+            ..FaultConfig::default()
+        });
+        cfg.retry = RetryPolicy {
+            max_retries: rng.range_u32(1, 6),
+            backoff_base_cycles: 32,
+            backoff_factor: 2,
+            max_backoff_cycles: 1 << 12,
+        };
+        cfg.reference_scheduler = false;
+        let wheel = run_flows(&topo, &traffic.flows, &cfg).expect("wheel storm run");
+        cfg.reference_scheduler = true;
+        let heap = run_flows(&topo, &traffic.flows, &cfg).expect("heap storm run");
+        assert!(wheel.dropped > 0, "the storm must actually drop words");
+        assert_eq!(
+            wheel.dropped,
+            wheel.retried + wheel.abandoned,
+            "every drop retried or abandoned"
+        );
+        assert_outcomes_match(&wheel, &heap, "retry storm");
     });
 }

@@ -157,6 +157,15 @@ impl Obs {
         }
     }
 
+    /// Folds a pre-aggregated histogram into the run histogram `name` —
+    /// the bulk form of [`Obs::observe`] for workers that accumulate
+    /// locally and merge once at the end.
+    pub fn merge_histogram(&self, name: &str, other: &Histogram) {
+        if let Some(inner) = &self.inner {
+            inner.registry.merge_histogram(name, other);
+        }
+    }
+
     /// Raises the max-tracking gauge `name` to `value`.
     pub fn gauge_max(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {

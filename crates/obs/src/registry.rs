@@ -113,6 +113,22 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one. Merging is commutative and
+    /// associative — merging per-worker histograms in any order yields the
+    /// same totals as recording every sample into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// A plain-data summary of this histogram.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -123,6 +139,7 @@ impl Histogram {
             mean: self.mean(),
             p50: self.quantile(0.50),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 }
@@ -144,6 +161,8 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
+    /// Estimated 99.9th percentile (the tail the adversarial suite pins).
+    pub p999: u64,
 }
 
 /// A deterministic, sorted snapshot of a registry's contents.
@@ -224,6 +243,19 @@ impl MetricsRegistry {
                 let mut h = Histogram::default();
                 h.record(value);
                 histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Folds a pre-aggregated histogram into the histogram `name`
+    /// (creating it empty). The bulk analogue of [`MetricsRegistry::observe`]
+    /// for workers that accumulate locally and merge once.
+    pub fn merge_histogram(&self, name: &str, other: &Histogram) {
+        let mut histograms = self.histograms.lock().expect("metrics registry poisoned");
+        match histograms.get_mut(name) {
+            Some(h) => h.merge(other),
+            None => {
+                histograms.insert(name.to_string(), *other);
             }
         }
     }
@@ -322,10 +354,33 @@ mod tests {
         let h = Histogram::default();
         let s = h.summary();
         assert_eq!(
-            (s.count, s.sum, s.min, s.max, s.p50, s.p99),
-            (0, 0, 0, 0, 0, 0)
+            (s.count, s.sum, s.min, s.max, s.p50, s.p99, s.p999),
+            (0, 0, 0, 0, 0, 0, 0)
         );
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_every_sample() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [0u64, 1, 7, 300] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 2, 9000] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab, whole);
+        // Commutative, and merging an empty histogram is the identity.
+        let mut ba = b;
+        ba.merge(&a);
+        ba.merge(&Histogram::default());
+        assert_eq!(ba, whole);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Deterministic exponential backoff, shared by every retry layer.
+//!
+//! One closed-form schedule serves the resilient transfer protocol
+//! (`commops::protocol`, which times out pending frames) and the network
+//! engine's link-level retransmits: attempt `k` waits
+//! `base · factor^k` saturating at `max`. The function is total — any
+//! combination of arguments returns a finite value without overflow — so
+//! callers can feed it fault-plan extremes (factor `u32::MAX`, attempt
+//! counts in the thousands) and still get a deterministic, bounded wait.
+
+/// The wait before retry `attempt` (0-based) under an exponential schedule
+/// starting at `base`, multiplying by `factor` per attempt, saturating at
+/// `max`. `factor` values below 1 behave as 1 (a constant schedule); a
+/// `base` of 0 yields 0 forever (retry immediately).
+pub fn exp_backoff(base: u64, factor: u64, max: u64, attempt: u32) -> u64 {
+    let factor = factor.max(1);
+    let mut t = base;
+    for _ in 0..attempt {
+        t = t.saturating_mul(factor);
+        if t >= max {
+            return max;
+        }
+    }
+    t.min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_geometrically_until_the_cap() {
+        assert_eq!(exp_backoff(8, 2, 1 << 20, 0), 8);
+        assert_eq!(exp_backoff(8, 2, 1 << 20, 1), 16);
+        assert_eq!(exp_backoff(8, 2, 1 << 20, 5), 256);
+        assert_eq!(exp_backoff(8, 2, 100, 5), 100, "caps at max");
+    }
+
+    #[test]
+    fn zero_base_means_immediate_retry() {
+        for attempt in [0u32, 1, 17, 1000] {
+            assert_eq!(exp_backoff(0, 2, u64::MAX, attempt), 0);
+        }
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        // A huge factor at a huge attempt count must terminate at max, not
+        // wrap or spin.
+        assert_eq!(exp_backoff(3, u64::from(u32::MAX), 1 << 62, 100), 1 << 62);
+        assert_eq!(exp_backoff(u64::MAX, 2, u64::MAX, 50), u64::MAX);
+    }
+
+    #[test]
+    fn factor_below_one_is_constant() {
+        for attempt in [0u32, 3, 9] {
+            assert_eq!(exp_backoff(42, 0, 1 << 30, attempt), 42);
+        }
+    }
+}

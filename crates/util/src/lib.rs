@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod backoff;
 pub mod check;
 pub mod json;
 pub mod par;

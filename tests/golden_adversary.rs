@@ -1,0 +1,72 @@
+//! Golden-file regression test for the adversarial-resilience scenario:
+//! the seeded 256-node incast under the default fault storm (2% drops +
+//! transient link-outage windows, retry budget 4 with exponential
+//! backoff) is pinned byte for byte — the full resilience ledger, the
+//! event digest, and the per-class p50/p99/p999 latency quantiles.
+//!
+//! The scenario is deterministic and independent of the worker and shard
+//! counts; the test proves that too by re-running at pinned fan-outs. If
+//! a deliberate engine or generator change moves these bytes, regenerate:
+//!
+//! ```text
+//! cargo run --release --bin repro -- --adversary incast --nodes 256 \
+//!   --json tests/golden/adversary.json
+//! ```
+
+use memcomm_bench::adversary::{run_scenario, scenario_json, ScenarioOptions};
+use memcomm_netsim::AdversaryKind;
+
+fn golden_options() -> ScenarioOptions {
+    ScenarioOptions {
+        nodes: Some(256),
+        ..ScenarioOptions::new(AdversaryKind::Incast)
+    }
+}
+
+#[test]
+fn incast_storm_scenario_matches_the_golden_file() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/adversary.json"
+    ))
+    .expect("golden file present");
+
+    let opts = golden_options();
+    let scenario = run_scenario(&opts).expect("scenario runs");
+    let out = &scenario.run.outcome;
+    assert!(out.dropped > 0, "the storm must actually drop words");
+    assert_eq!(
+        out.dropped,
+        out.retried + out.abandoned,
+        "every drop is retransmitted or accounted as abandoned"
+    );
+    assert_eq!(
+        scenario_json(&opts, &scenario).render(),
+        golden,
+        "adversary scenario drifted from tests/golden/adversary.json \
+         (see the module docs for the regeneration command)"
+    );
+}
+
+#[test]
+fn golden_scenario_is_partition_invariant() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/adversary.json"
+    ))
+    .expect("golden file present");
+
+    for (jobs, shards) in [(1, 1), (4, 0)] {
+        let opts = ScenarioOptions {
+            jobs,
+            shards,
+            ..golden_options()
+        };
+        let scenario = run_scenario(&opts).expect("scenario runs");
+        assert_eq!(
+            scenario_json(&opts, &scenario).render(),
+            golden,
+            "jobs {jobs} x shards {shards} changed the golden scenario bytes"
+        );
+    }
+}

@@ -169,3 +169,117 @@ fn faulty_engine_runs_replay_identically() {
         "different seeds must differ somewhere"
     );
 }
+
+/// The 256-node fault-replay tier: drop/corrupt/outage storms on a 3D
+/// torus, byte-identical across jobs {1, 4} × shards {1, auto}. Whatever
+/// the storm does — retransmissions, backoff waits, transient outage
+/// windows, abandoned words — the digest, the counters, and the degraded
+/// accounting must not depend on how the run was parallelized.
+#[test]
+fn fault_storms_replay_identically_at_256_nodes() {
+    use memcomm::memsim::fault::{FaultConfig, FaultPlan};
+    use memcomm::netsim::adversary::{self, AdversaryConfig, AdversaryKind};
+    use memcomm::netsim::engine::{run_flows, scaled_topology, EngineConfig, RetryPolicy};
+    use memcomm::netsim::topology::Topology;
+
+    let m = Machine::t3d();
+    let topo = scaled_topology(&Topology::torus(&[4, 4, 4]), 256).expect("256-node torus");
+    let traffic = adversary::generate(
+        &topo,
+        &AdversaryConfig {
+            kind: AdversaryKind::Incast,
+            seed: 256,
+            base_bytes: 96,
+            victims: 4,
+            fan_in: 12,
+            ..AdversaryConfig::default()
+        },
+    );
+    let run = |jobs: usize, shards: usize| {
+        let mut cfg = EngineConfig::new(m.link(1.0), m.node);
+        cfg.nodes_per_port = m.nodes_per_port;
+        cfg.jobs = jobs;
+        cfg.shards = shards;
+        cfg.flow_classes = traffic.classes.clone();
+        cfg.record_latency = true;
+        cfg.fault = FaultPlan::new(FaultConfig {
+            seed: 0xFA17,
+            rate: 0.10,
+            max_jitter_cycles: 32,
+            outage_window_rate: 0.3,
+            outage_window_cycles: 256,
+            outage_period_cycles: 2048,
+            ..FaultConfig::default()
+        });
+        cfg.retry = RetryPolicy {
+            max_retries: 3,
+            backoff_base_cycles: 16,
+            backoff_factor: 2,
+            max_backoff_cycles: 1 << 10,
+        };
+        run_flows(&topo, &traffic.flows, &cfg).expect("storm run completes")
+    };
+    let base = run(1, 1);
+    assert!(base.dropped > 0, "the storm must fire");
+    assert_eq!(
+        base.dropped,
+        base.retried + base.abandoned,
+        "every drop retried or abandoned"
+    );
+    for (jobs, shards) in [(1, 0), (4, 1), (4, 0)] {
+        let other = run(jobs, shards);
+        assert_eq!(other.digest, base.digest, "jobs={jobs} shards={shards}");
+        assert_eq!(other.cycles, base.cycles, "jobs={jobs} shards={shards}");
+        assert_eq!(other.dropped, base.dropped, "jobs={jobs} shards={shards}");
+        assert_eq!(other.retried, base.retried, "jobs={jobs} shards={shards}");
+        assert_eq!(
+            other.abandoned, base.abandoned,
+            "jobs={jobs} shards={shards}"
+        );
+        assert_eq!(other.degraded, base.degraded, "jobs={jobs} shards={shards}");
+        assert_eq!(
+            other.flow_latency, base.flow_latency,
+            "jobs={jobs} shards={shards}"
+        );
+    }
+}
+
+/// Adversarial traffic with an all-zero fault plan is byte-identical to the
+/// same traffic with no plan at all: the resilience plumbing (retry
+/// budgets, outage calendar, drain ledger) is observationally free until a
+/// fault actually fires.
+#[test]
+fn zero_fault_adversarial_runs_match_the_faultless_baseline() {
+    use memcomm::memsim::fault::{FaultConfig, FaultPlan};
+    use memcomm::netsim::adversary::{self, AdversaryConfig, AdversaryKind};
+    use memcomm::netsim::engine::{run_flows, EngineConfig};
+    use memcomm::netsim::topology::Topology;
+
+    let m = Machine::t3d();
+    let topo = Topology::torus(&[4, 4]);
+    for kind in AdversaryKind::ALL {
+        let traffic = adversary::generate(
+            &topo,
+            &AdversaryConfig {
+                kind,
+                base_bytes: 64,
+                ..AdversaryConfig::default()
+            },
+        );
+        let mut cfg = EngineConfig::new(m.link(1.0), m.node);
+        cfg.nodes_per_port = m.nodes_per_port;
+        cfg.record_events = true;
+        let faultless = run_flows(&topo, &traffic.flows, &cfg).expect("faultless run");
+        cfg.fault = FaultPlan::new(FaultConfig {
+            seed: 42,
+            ..FaultConfig::default()
+        });
+        let zeroed = run_flows(&topo, &traffic.flows, &cfg).expect("zero-rate run");
+        assert_eq!(zeroed.digest, faultless.digest, "{}", kind.name());
+        assert_eq!(zeroed.events, faultless.events, "{}", kind.name());
+        assert_eq!(zeroed.cycles, faultless.cycles, "{}", kind.name());
+        assert_eq!(zeroed.dropped, 0, "{}", kind.name());
+        assert_eq!(zeroed.retried, 0, "{}", kind.name());
+        assert!(zeroed.degraded.is_none(), "{}", kind.name());
+    }
+}
