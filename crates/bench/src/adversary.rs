@@ -40,6 +40,10 @@ pub struct ScenarioOptions {
     /// Word-drop probability (`--fault-rate`; 0 disables the whole storm,
     /// including outage windows).
     pub rate: f64,
+    /// Telemetry sampling interval in cycles (`--sample-every`; 0 = off).
+    /// Never changes results — sampling only adds a `telemetry` section to
+    /// the report.
+    pub sample_every: u64,
 }
 
 impl ScenarioOptions {
@@ -54,6 +58,7 @@ impl ScenarioOptions {
             jobs: 0,
             seed: 0xAD_0BE5,
             rate: 0.02,
+            sample_every: 0,
         }
     }
 
@@ -92,6 +97,8 @@ impl ScenarioOptions {
 pub struct Scenario {
     /// Nodes the topology actually has after scaling.
     pub nodes: usize,
+    /// The scaled torus the scenario ran on (heatmaps render over it).
+    pub topo: memcomm_netsim::Topology,
     /// The compiled flow count and engine outcome.
     pub run: AdversaryRun,
 }
@@ -115,9 +122,11 @@ pub fn run_scenario(opts: &ScenarioOptions) -> SimResult<Scenario> {
         jobs: opts.jobs,
         shards: opts.shards,
         record_events: false,
+        sample_every: opts.sample_every,
         reference_scheduler: false,
     };
-    let nodes = netrun::engine_topology(&machine, opts.nodes)?.len();
+    let topo = netrun::engine_topology(&machine, opts.nodes)?;
+    let nodes = topo.len();
     let run = netrun::run_adversary(
         &machine,
         &adv,
@@ -125,7 +134,7 @@ pub fn run_scenario(opts: &ScenarioOptions) -> SimResult<Scenario> {
         opts.retry_policy(),
         &eopts,
     )?;
-    Ok(Scenario { nodes, run })
+    Ok(Scenario { nodes, topo, run })
 }
 
 /// Human name of latency class `i` (see [`CLASS_NAMES`]).
@@ -137,9 +146,11 @@ pub fn class_name(i: usize) -> String {
 
 /// Renders the scenario's machine-readable report. Byte-deterministic at
 /// any jobs × shards: only simulation results, never wall-clock data.
+/// With sampling off the bytes are identical to pre-telemetry reports;
+/// with sampling on a trailing `telemetry` section is appended.
 pub fn scenario_json(opts: &ScenarioOptions, s: &Scenario) -> Json {
     let out = &s.run.outcome;
-    Json::obj([
+    let mut pairs = vec![
         ("kind", Json::str(opts.kind.name())),
         ("nodes", (s.nodes as u64).into()),
         ("seed", opts.seed.into()),
@@ -183,7 +194,41 @@ pub fn scenario_json(opts: &ScenarioOptions, s: &Scenario) -> Json {
                 },
             ),
         ),
-    ])
+    ];
+    if let Some(tel) = &out.telemetry {
+        pairs.push((
+            "telemetry",
+            Json::obj([
+                ("sample_every", tel.sample_every.into()),
+                ("ticks", tel.ticks.into()),
+                (
+                    "queue_depth_peak",
+                    tel.queue_depth.peak().map_or(0, |(_, v)| v).into(),
+                ),
+                ("link_busy_total", tel.link_busy.total().into()),
+                ("retries_total", tel.retries.total().into()),
+                ("outages_total", tel.outages.total().into()),
+                (
+                    "breakdown",
+                    Json::arr(
+                        &tel.breakdown.iter().enumerate().collect::<Vec<_>>(),
+                        |(i, b)| {
+                            Json::obj([
+                                ("class", Json::Str(class_name(*i))),
+                                ("count", b.count.into()),
+                                ("inject", b.inject.into()),
+                                ("queue", b.queue.into()),
+                                ("wire", b.wire.into()),
+                                ("backoff", b.backoff.into()),
+                                ("total", b.total.into()),
+                            ])
+                        },
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(pairs)
 }
 
 #[cfg(test)]

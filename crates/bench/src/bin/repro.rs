@@ -12,6 +12,7 @@
 //!       [--trace-out PATH] [--profile PATH]
 //!       [--bench-out PATH] [--bench-n N] [--bench-nodes N] [--bench-smoke]
 //!       [--adversary KIND] [--adversary-bytes N] [--flow-latency]
+//!       [--sample-every N] [--heatmap] [--metrics-out PATH]
 //! ```
 //!
 //! With no selection flags everything runs. Experiments fan out across
@@ -70,6 +71,19 @@
 //! vs adversarial traffic). All of it is byte-deterministic at any
 //! `--jobs` × `--shards`.
 //!
+//! `--sample-every N` arms the engine's telemetry sampler for the
+//! adversary scenario: every shard records utilization/backlog/retry
+//! time-series at N-cycle ticks and attributes each flow's inject→eject
+//! latency to inject/queue/wire/backoff components. Sampling never changes
+//! simulation results — the scenario report keeps its exact unsampled
+//! bytes and gains a trailing `telemetry` section. `--heatmap` (requires
+//! `--sample-every`) prints the per-node link-utilization and
+//! queue-hotspot grids over the scenario's torus. `--metrics-out PATH`
+//! writes the run's registry and telemetry series as an OpenMetrics text
+//! exposition (validate it with the `metricscheck` binary); it works in
+//! both scenario and sweep modes. All three are byte-deterministic at any
+//! `--jobs` × `--shards`.
+//!
 //! Observability: `--trace-out PATH` records cycle-accurate spans for
 //! every simulated scenario and writes a Chrome `trace_event` JSON file
 //! (load it at `chrome://tracing` or <https://ui.perfetto.dev>; validate it
@@ -108,13 +122,17 @@ fn adversary_scenario(
     seed: Option<u64>,
     rate: Option<f64>,
     flow_latency: bool,
+    sample_every: u64,
+    heatmap: bool,
     json_path: Option<&str>,
+    metrics_path: Option<&str>,
 ) {
     use memcomm_bench::adversary::{self, ScenarioOptions};
 
     let mut sopts = ScenarioOptions::new(kind);
     sopts.jobs = jobs;
     sopts.nodes = nodes;
+    sopts.sample_every = sample_every;
     if let Some(b) = bytes {
         sopts.base_bytes = b;
     }
@@ -127,6 +145,10 @@ fn adversary_scenario(
     if let Some(r) = rate {
         sopts.rate = r;
     }
+    // Registry-only observability for the scenario: the engine flushes its
+    // stall and telemetry counters here, and --metrics-out exports them.
+    let obs = Obs::new(false);
+    let _obs_guard = obs.install();
     let retry = sopts.retry_policy();
     let scenario = match adversary::run_scenario(&sopts) {
         Ok(s) => s,
@@ -199,6 +221,37 @@ fn adversary_scenario(
         println!("{t}");
     }
 
+    if let Some(tel) = &out.telemetry {
+        let mut t = TextTable::new(
+            "Critical-path attribution — mean inject→eject cycles per class",
+            &[
+                "class", "count", "inject", "queue", "wire", "backoff", "total",
+            ],
+        );
+        for (i, b) in tel.breakdown.iter().enumerate() {
+            let n = b.count.max(1);
+            t.row(vec![
+                adversary::class_name(i),
+                b.count.to_string(),
+                (b.inject / n).to_string(),
+                (b.queue / n).to_string(),
+                (b.wire / n).to_string(),
+                (b.backoff / n).to_string(),
+                (b.total / n).to_string(),
+            ]);
+        }
+        println!("{t}");
+        println!("(components telescope exactly: inject + queue + wire + backoff = total)\n");
+
+        if heatmap {
+            print!(
+                "{}",
+                memcomm_netsim::heatmap::render_grids(&scenario.topo, tel, out.cycles)
+            );
+            println!();
+        }
+    }
+
     if let Some(path) = json_path {
         let doc = adversary::scenario_json(&sopts, &scenario);
         if let Err(e) = std::fs::write(path, doc.render()) {
@@ -206,6 +259,20 @@ fn adversary_scenario(
             std::process::exit(1);
         }
         println!("wrote scenario report to {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        let series = out
+            .telemetry
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.named_series());
+        let snapshot = obs.metrics_snapshot().expect("registry is enabled");
+        let body = memcomm_obs::openmetrics::render(&snapshot, &series);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write OpenMetrics exposition to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote OpenMetrics exposition to {path}");
     }
 }
 
@@ -243,6 +310,9 @@ fn main() {
     let mut adversary_bytes: Option<u64> = None;
     let mut flow_latency = false;
     let mut fault_seed: Option<u64> = None;
+    let mut sample_every = 0u64;
+    let mut heatmap = false;
+    let mut metrics_out: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" => all = true,
@@ -320,12 +390,21 @@ fn main() {
                 adversary_bytes = Some(number(&mut it, "--adversary-bytes"));
             }
             "--flow-latency" => flow_latency = true,
+            "--sample-every" => sample_every = number(&mut it, "--sample-every"),
+            "--heatmap" => heatmap = true,
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(path.clone()),
+                None => usage_error("--metrics-out takes a path"),
+            },
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
     // --adversary selects the resilience scenario instead of a sweep; it
     // reuses --nodes/--shards/--jobs/--faults/--fault-rate/--json with its
     // own defaults, so it runs before their sweep-mode validation.
+    if heatmap && sample_every == 0 {
+        usage_error("--heatmap requires --sample-every N");
+    }
     if let Some(kind) = adversary {
         adversary_scenario(
             kind,
@@ -336,12 +415,18 @@ fn main() {
             fault_seed,
             fault_rate,
             flow_latency,
+            sample_every,
+            heatmap,
             json_path.as_deref(),
+            metrics_out.as_deref(),
         );
         return;
     }
     if adversary_bytes.is_some() || flow_latency {
         usage_error("--adversary-bytes/--flow-latency require --adversary KIND");
+    }
+    if sample_every > 0 || heatmap {
+        usage_error("--sample-every/--heatmap require --adversary KIND");
     }
 
     if opts.sections.contains("faults") {
@@ -802,6 +887,11 @@ fn main() {
     }
     if let Some(path) = metrics_path {
         write(&path, metrics.to_json().render(), "run metrics");
+    }
+    if let Some(path) = metrics_out {
+        let snapshot = obs.metrics_snapshot().expect("registry is enabled");
+        let body = memcomm_obs::openmetrics::render(&snapshot, &[]);
+        write(&path, body, "OpenMetrics exposition");
     }
     if let Some(path) = trace_path {
         if obs.trace_dropped() > 0 {

@@ -789,6 +789,7 @@ pub fn engine_table6(settings: &EngineSettings) -> SimResult<Vec<EngineRow>> {
                 jobs: settings.jobs,
                 shards: settings.shards,
                 record_events: false,
+                sample_every: 0,
                 reference_scheduler: false,
             };
             let run = netrun::run_rounds(&machine, &topo, &rounds, &opts)?;

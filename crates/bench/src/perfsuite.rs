@@ -3,11 +3,12 @@
 //! Times the reproduction's hot paths — the full `--all` sweep (memo-cold
 //! and memo-warm, serial and fanned out), the six Table 6 kernel × machine
 //! engine runs, the retired heap scheduler on the saturated transpose (the
-//! baseline the timing wheel is measured against), a protocol retry
-//! storm under a seeded fault plan, and the adversarial-resilience group
-//! (the engine-level retry storm under drops + link outages, and the
-//! faultless incast, at every [`SCALE_NODES`] point) — and writes one
-//! canonical JSON report.
+//! baseline the timing wheel is measured against), the same transpose with
+//! the telemetry sampler armed (pinning sampling overhead; see
+//! [`TELEMETRY_MAX_OVERHEAD`]), a protocol retry storm under a seeded
+//! fault plan, and the adversarial-resilience group (the engine-level
+//! retry storm under drops + link outages, and the faultless incast, at
+//! every [`SCALE_NODES`] point) — and writes one canonical JSON report.
 //!
 //! The report separates two kinds of data with different contracts:
 //!
@@ -47,10 +48,18 @@ pub const GROUPS: &[&str] = &[
     "sweep",
     "engine",
     "engine_baseline",
+    "telemetry",
     "protocol",
     "scale",
     "adversary",
 ];
+
+/// Telemetry sampling interval of the `telemetry` group's sampled run.
+pub const TELEMETRY_SAMPLE_EVERY: u64 = 64;
+
+/// The `telemetry` group's acceptance pin: sampled wall time over
+/// unsampled on the saturated transpose, enforced at full scale.
+pub const TELEMETRY_MAX_OVERHEAD: f64 = 1.10;
 
 /// Node counts of the `scale` group: how fast the sharded engine simulates
 /// as the torus grows from the paper's 64 nodes to a kilo-node machine.
@@ -251,6 +260,7 @@ fn engine_bench(
         jobs: 1,
         shards: 0,
         record_events: false,
+        sample_every: 0,
         reference_scheduler: reference,
     };
     let (last, walls) = timed(opts.reps, || {
@@ -296,6 +306,7 @@ fn scale_bench(opts: &PerfOptions, nodes: usize, benches: &mut Vec<Json>) -> Sim
         jobs: 0,
         shards: 0,
         record_events: false,
+        sample_every: 0,
         reference_scheduler: false,
     };
     let (last, walls) = timed(opts.reps, || {
@@ -316,6 +327,77 @@ fn scale_bench(opts: &PerfOptions, nodes: usize, benches: &mut Vec<Json>) -> Sim
         ]),
         timing_obj(&walls, Some(run.cycles), Vec::new()),
     ));
+    Ok(())
+}
+
+/// Telemetry overhead: the saturated T3D transpose re-run with the
+/// engine's sampler armed every [`TELEMETRY_SAMPLE_EVERY`] cycles,
+/// priced against the unsampled run (`wheel_ms`). Sampling must change
+/// nothing — the deterministic object pins the sampled run's full ledger,
+/// and `run` hard-fails if it diverges from the unsampled outcome — so
+/// the only legitimate difference is wall time, recorded in the timing
+/// object as `overhead`. Full-scale runs (the default preset) enforce
+/// the acceptance pin `overhead <=` [`TELEMETRY_MAX_OVERHEAD`]; the
+/// smoke preset records the ratio without failing, because
+/// sub-millisecond runs are all timer noise.
+fn telemetry_bench(
+    opts: &PerfOptions,
+    kernel: &netrun::Table6Kernel,
+    wheel_ms: f64,
+    wheel_run: &netrun::EngineRun,
+    benches: &mut Vec<Json>,
+) -> SimResult<()> {
+    let name = "engine_transpose_t3d_sampled";
+    eprintln!("perfsuite: {name} ({} reps)", opts.reps.max(1));
+    let machine = Machine::t3d();
+    let topo = netrun::engine_topology(&machine, Some(opts.nodes))?;
+    let rounds = kernel.rounds(&topo)?;
+    let eopts = EngineOptions {
+        nodes: Some(opts.nodes),
+        jobs: 1,
+        shards: 0,
+        record_events: false,
+        sample_every: TELEMETRY_SAMPLE_EVERY,
+        reference_scheduler: false,
+    };
+    let (last, walls) = timed(opts.reps, || {
+        netrun::run_rounds(&machine, &topo, &rounds, &eopts)
+    });
+    let run = last?;
+    if run != *wheel_run {
+        return Err(SimError::Protocol {
+            detail: "telemetry sampling perturbed the transpose outcome".to_string(),
+            at: 0,
+        });
+    }
+    let overhead = median(&walls) / wheel_ms.max(1e-12);
+    benches.push(bench_obj(
+        name,
+        "telemetry",
+        Json::obj([
+            ("sample_every", TELEMETRY_SAMPLE_EVERY.into()),
+            ("cycles", run.cycles.into()),
+            ("words", run.words.into()),
+            ("flit_hops", run.flit_hops.into()),
+            ("windows", run.windows.into()),
+            ("peak_queue_depth", run.peak_queue_depth.into()),
+            ("digest", hex16(run.digest)),
+        ]),
+        timing_obj(
+            &walls,
+            Some(run.cycles),
+            vec![("overhead", Json::Num(overhead))],
+        ),
+    ));
+    if opts.reps >= 3 && opts.nodes >= 64 && overhead > TELEMETRY_MAX_OVERHEAD {
+        return Err(SimError::Protocol {
+            detail: format!(
+                "telemetry sampling overhead {overhead:.3} exceeds the \
+                 {TELEMETRY_MAX_OVERHEAD} acceptance pin"
+            ),
+            at: 0,
+        });
+    }
     Ok(())
 }
 
@@ -414,6 +496,7 @@ fn adversary_bench(
         jobs: 0,
         shards: 0,
         record_events: false,
+        sample_every: 0,
         reference_scheduler: false,
     };
     let (last, walls) = timed(opts.reps, || {
@@ -520,6 +603,11 @@ pub fn run(opts: &PerfOptions) -> SimResult<Json> {
             timing.push(("speedup".to_string(), Json::Num(speedup)));
         }
     }
+
+    // Telemetry overhead on the same saturated transpose: sampling must
+    // reproduce the wheel run's exact ledger and stay within the wall-time
+    // pin.
+    telemetry_bench(opts, &kernel, wheel_ms, &wheel_run, &mut benches)?;
 
     // The scale sweep: sim-cycles/sec as the torus grows to 1024 nodes.
     for &nodes in SCALE_NODES {

@@ -40,6 +40,9 @@ pub struct EngineOptions {
     pub shards: usize,
     /// Keep full event streams (tests pin event-order equality with this).
     pub record_events: bool,
+    /// Telemetry sampling interval in cycles (0 = off). Results never
+    /// depend on this — sampling only adds outputs.
+    pub sample_every: Cycle,
     /// Run on the engine's retired heap scheduler instead of the timing
     /// wheel (results are byte-identical; the perf harness times both).
     pub reference_scheduler: bool,
@@ -124,6 +127,7 @@ pub fn run_rounds(
     cfg.jobs = opts.jobs;
     cfg.shards = opts.shards;
     cfg.record_events = opts.record_events;
+    cfg.sample_every = opts.sample_every;
     cfg.reference_scheduler = opts.reference_scheduler;
     let out = engine::run_schedule(topo, rounds, &cfg)?;
 
@@ -316,6 +320,7 @@ pub fn run_adversary(
     cfg.jobs = opts.jobs;
     cfg.shards = opts.shards;
     cfg.record_events = opts.record_events;
+    cfg.sample_every = opts.sample_every;
     cfg.reference_scheduler = opts.reference_scheduler;
     cfg.fault = fault;
     cfg.retry = retry;
@@ -358,6 +363,7 @@ mod tests {
             jobs: 1,
             shards: 0,
             record_events: false,
+            sample_every: 0,
             reference_scheduler: false,
         };
         let adv = AdversaryConfig {
@@ -397,6 +403,7 @@ mod tests {
             jobs: 1,
             shards: 0,
             record_events: false,
+            sample_every: 0,
             reference_scheduler: false,
         };
         let k = Table6Kernel::Transpose(TransposeKernel {

@@ -96,6 +96,7 @@ pub struct TimedFifo {
     capacity: usize,
     pushed: u64,
     popped: u64,
+    stalls: u64,
     faults: Option<(crate::fault::FaultPlan, u64)>,
     obs: memcomm_obs::Obs,
 }
@@ -114,6 +115,7 @@ impl TimedFifo {
             capacity,
             pushed: 0,
             popped: 0,
+            stalls: 0,
             faults: None,
             obs: memcomm_obs::Obs::disabled(),
         }
@@ -127,6 +129,22 @@ impl TimedFifo {
         if self.faults.is_some() {
             self.obs = memcomm_obs::Obs::current();
         }
+    }
+
+    /// Arms fault injection *without* capturing an observability handle:
+    /// fired stalls only bump the local [`stalls_fired`](Self::stalls_fired)
+    /// counter. Batch engines use this so their hot path never takes the
+    /// registry lock per event — the coordinator diffs the counter once per
+    /// window and flushes one aggregate delta, which lands on the same
+    /// totals (counter adds commute).
+    pub fn set_faults_quiet(&mut self, plan: crate::fault::FaultPlan, site: u64) {
+        self.faults = plan.is_active().then_some((plan, site));
+        self.obs = memcomm_obs::Obs::disabled();
+    }
+
+    /// Pushes that drew a non-zero stall window since construction.
+    pub fn stalls_fired(&self) -> u64 {
+        self.stalls
     }
 
     /// Capacity in words.
@@ -165,6 +183,7 @@ impl TimedFifo {
             None => 0,
         };
         if stall > 0 {
+            self.stalls += 1;
             self.obs.count(crate::stats::fault_metric::INJECTED, 1);
         }
         let at = t.max(slot_free) + stall;
@@ -251,5 +270,34 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = TimedFifo::new(0);
+    }
+
+    #[test]
+    fn quiet_faults_stall_identically_but_skip_the_registry() {
+        let plan = crate::fault::FaultPlan::new(crate::fault::FaultConfig {
+            seed: 7,
+            rate: 1.0,
+            max_stall_cycles: 4,
+            ..crate::fault::FaultConfig::default()
+        });
+        let obs = memcomm_obs::Obs::new(false);
+        let _guard = obs.install();
+        let mut loud = TimedFifo::new(64);
+        loud.set_faults(plan, 11);
+        let mut quiet = TimedFifo::new(64);
+        quiet.set_faults_quiet(plan, 11);
+        for i in 0..32 {
+            // Identical plan and site: both FIFOs draw the same stalls and
+            // land every word on the same cycle.
+            assert_eq!(loud.push(i, w(i)), quiet.push(i, w(i)));
+        }
+        assert!(loud.stalls_fired() > 0);
+        assert_eq!(loud.stalls_fired(), quiet.stalls_fired());
+        // Only the loud FIFO touched the registry; the quiet one left the
+        // aggregate flush to its coordinator.
+        assert_eq!(
+            obs.counter(crate::stats::fault_metric::INJECTED),
+            loud.stalls_fired()
+        );
     }
 }

@@ -15,7 +15,7 @@ use crate::topology::Topology;
 use crate::traffic::Flow;
 
 use super::sched::RouterQueue;
-use super::shard::{LinkState, PortState, Shard, WindowOut};
+use super::shard::{LinkState, PortState, Shard, ShardTelemetry, WindowOut};
 use super::EngineConfig;
 
 /// One hop of a flow's route: global link index, the virtual channel the
@@ -58,6 +58,11 @@ pub(crate) struct Net {
     pub drain_slot: Vec<u32>,
     /// Record inject→eject latency per class at the ejection ports.
     pub record_latency: bool,
+    /// Source node of each link, parallel to `link_to` (the heatmap keys
+    /// utilization by link endpoints).
+    pub link_from: Vec<u32>,
+    /// Telemetry sampling interval in cycles (0 = off).
+    pub sample_every: Cycle,
 }
 
 impl Net {
@@ -330,6 +335,13 @@ pub(crate) fn build_sim<'a>(
             } else {
                 Vec::new()
             },
+            lat_sums: if cfg.record_latency && cfg.sample_every > 0 {
+                vec![super::ClassBreakdown::default(); classes]
+            } else {
+                Vec::new()
+            },
+            stall_mark: 0,
+            telemetry: None,
             out: WindowOut::default(),
         })
         .collect();
@@ -361,8 +373,12 @@ pub(crate) fn build_sim<'a>(
         let mut tx = TimedFifo::new(cfg.node.tx_fifo_words);
         let mut rx = TimedFifo::new(cfg.node.rx_fifo_words);
         if cfg.fault.is_active() {
-            tx.set_faults(cfg.fault, site::engine_tx(node));
-            rx.set_faults(cfg.fault, site::engine_rx(node));
+            // Quiet arming: the shards run inside the parallel window, so
+            // per-event registry traffic would serialize them on the metrics
+            // mutex. The coordinator diffs `stalls_fired` once per window
+            // and flushes one aggregate delta — identical totals.
+            tx.set_faults_quiet(cfg.fault, site::engine_tx(node));
+            rx.set_faults_quiet(cfg.fault, site::engine_rx(node));
         }
         shard.tx.push(tx);
         shard.rx.push(rx);
@@ -393,6 +409,7 @@ pub(crate) fn build_sim<'a>(
             attempts: 0,
             outages: 0,
             outage_mark: 0,
+            busy_fp: 0,
         });
         shards[s].link_globals.push(gi as u32);
         link_owner.push((s as u32, local));
@@ -409,6 +426,11 @@ pub(crate) fn build_sim<'a>(
             eject_free: 0.0,
         });
     }
+    if cfg.sample_every > 0 {
+        for shard in &mut shards {
+            shard.telemetry = Some(ShardTelemetry::new(cfg.sample_every, shard.tx.len()));
+        }
+    }
 
     let wt = cfg.word_cycles();
     let net = Net {
@@ -424,6 +446,8 @@ pub(crate) fn build_sim<'a>(
         outages: cfg.fault.has_link_outages(),
         drain_slot,
         record_latency: cfg.record_latency,
+        link_from: links.iter().map(|l| l.from as u32).collect(),
+        sample_every: cfg.sample_every,
     };
 
     Ok(Sim {

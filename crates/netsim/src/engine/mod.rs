@@ -87,7 +87,7 @@ use memcomm_memsim::error::{SimError, SimResult};
 use memcomm_memsim::fault::FaultPlan;
 use memcomm_memsim::nic::NetWord;
 use memcomm_memsim::node::{NodeParams, Watchdog};
-use memcomm_obs::{Histogram, HistogramSummary, Obs};
+use memcomm_obs::{Histogram, HistogramSummary, Obs, Series, SeriesKind};
 use memcomm_util::backoff::exp_backoff;
 use memcomm_util::par;
 
@@ -97,7 +97,7 @@ use crate::traffic::Flow;
 
 use build::{build_sim, Sim};
 use sched::Delivery;
-use shard::WindowOut;
+use shard::{WindowOut, SERIES_POINTS};
 
 /// Engine name used in error diagnostics.
 const ENGINE: &str = "netsim-engine";
@@ -272,6 +272,15 @@ pub struct EngineConfig {
     /// Record per-class inject→eject latency histograms into
     /// [`EngineOutcome::flow_latency`].
     pub record_latency: bool,
+    /// Telemetry sampling interval in cycles (0 = off, the default). When
+    /// non-zero every shard records utilization/congestion series on the
+    /// shared tick grid and the outcome carries
+    /// [`EngineOutcome::telemetry`]; combined with
+    /// [`EngineConfig::record_latency`] it also enables the critical-path
+    /// attribution breakdown. Sampling never perturbs the simulation —
+    /// events, digests, and cycle counts stay byte-identical with it on or
+    /// off, at any jobs × shards, under either scheduler.
+    pub sample_every: Cycle,
     /// Keep the full event stream in the outcome (tests); the digest is
     /// always computed.
     pub record_events: bool,
@@ -308,6 +317,7 @@ impl EngineConfig {
             retry: RetryPolicy::default(),
             flow_classes: Vec::new(),
             record_latency: false,
+            sample_every: 0,
             record_events: false,
             reference_scheduler: false,
         }
@@ -363,8 +373,103 @@ pub struct EngineOutcome {
     /// result above it — digest, counters, events — is still
     /// byte-deterministic at any jobs × shards.
     pub degraded: Option<Degraded>,
+    /// Deep telemetry — series, spatial heat data, and the critical-path
+    /// breakdown — when [`EngineConfig::sample_every`] is non-zero.
+    pub telemetry: Option<Telemetry>,
     /// The event stream itself, when [`EngineConfig::record_events`] is set.
     pub events: Vec<EngineEvent>,
+}
+
+/// Critical-path attribution sums for one flow class: where the delivered
+/// words' inject→eject cycles went. The components telescope exactly —
+/// `inject + queue + wire + backoff == total` — and `count`/`total` equal
+/// the class's [`EngineOutcome::flow_latency`] histogram count and sum,
+/// because every charge spans two consecutive milestones of the same word.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassBreakdown {
+    /// Delivered words of this class.
+    pub count: u64,
+    /// Injection-port serialization: leaving the source port until first
+    /// queued at a link (the residual component).
+    pub inject: u64,
+    /// Waiting in router and ejection queues for credits, wires, ports, or
+    /// outage recoveries.
+    pub queue: u64,
+    /// On wires: serialization, fault delay, and link latency.
+    pub wire: u64,
+    /// Parked in retry backoff after fault drops (wasted wire included).
+    pub backoff: u64,
+    /// Total inject→eject cycles (the sum the latency histogram records).
+    pub total: u64,
+}
+
+impl ClassBreakdown {
+    /// Pointwise accumulation — commutative, so shard merge order is
+    /// invisible.
+    pub fn merge(&mut self, other: &ClassBreakdown) {
+        self.count += other.count;
+        self.inject += other.inject;
+        self.queue += other.queue;
+        self.wire += other.wire;
+        self.backoff += other.backoff;
+        self.total += other.total;
+    }
+}
+
+/// Deep engine telemetry, attached to the outcome when
+/// [`EngineConfig::sample_every`] is non-zero. Everything here is merged in
+/// canonical order from commutative per-shard state (integer sums only), so
+/// it is byte-identical at any jobs × shards and under either scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Sampling interval, in cycles.
+    pub sample_every: Cycle,
+    /// Sample ticks taken over the run.
+    pub ticks: u64,
+    /// Counter series: link busy time per interval, in 1/65536-cycle units
+    /// (fixed point, so fractional wire occupancies sum exactly).
+    pub link_busy: Series,
+    /// Gauge series: words in router + ejection queues at each tick.
+    pub queue_depth: Series,
+    /// Gauge series: words backed up in tx NIC FIFOs at each tick.
+    pub inject_backlog: Series,
+    /// Gauge series: words backed up in rx NIC FIFOs at each tick.
+    pub eject_backlog: Series,
+    /// Counter series: retry transmissions per interval.
+    pub retries: Series,
+    /// Counter series: outage-window encounters per interval.
+    pub outages: Series,
+    /// Source node of each link, ascending global link index (the heatmap
+    /// keys utilization by endpoints).
+    pub link_from: Vec<u32>,
+    /// Destination node of each link.
+    pub link_to: Vec<u32>,
+    /// Cumulative busy time per link, in 1/65536-cycle units.
+    pub link_busy_fp: Vec<u64>,
+    /// Per node: Σ over ticks of its ejection-queue + rx-FIFO occupancy —
+    /// the hotspot integral behind the node heatmap.
+    pub node_occupancy: Vec<u64>,
+    /// Critical-path attribution per flow class (empty unless
+    /// [`EngineConfig::record_latency`] was also set).
+    pub breakdown: Vec<ClassBreakdown>,
+}
+
+impl Telemetry {
+    /// The six series under their canonical export names, for the
+    /// OpenMetrics exporter.
+    pub fn named_series(&self) -> Vec<(String, Series)> {
+        [
+            ("engine.series.link_busy", &self.link_busy),
+            ("engine.series.queue_depth", &self.queue_depth),
+            ("engine.series.inject_backlog", &self.inject_backlog),
+            ("engine.series.eject_backlog", &self.eject_backlog),
+            ("engine.series.retries", &self.retries),
+            ("engine.series.outages", &self.outages),
+        ]
+        .into_iter()
+        .map(|(name, s)| (name.to_string(), s.clone()))
+        .collect()
+    }
 }
 
 /// Exact accounting of a degraded run — what a wedged network owes instead
@@ -498,6 +603,7 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
         peak_queue_depth: 0,
         flow_latency: Vec::new(),
         degraded: None,
+        telemetry: None,
         events: Vec::new(),
     };
     if sim.total_words == 0 {
@@ -607,6 +713,7 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
 
         let mut progress = 0u64;
         let mut queued = 0u64;
+        let mut stalls_w = 0u64;
         match &mut pending {
             PendingQueue::Heap(pending) => {
                 let outs: Vec<WindowOut> = par::par_map_chunked(jobs, chunk, &shard_ids, |&i| {
@@ -630,6 +737,7 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
                     progress += out.progress;
                     drained += out.drained;
                     queued += out.queued;
+                    stalls_w += out.stalls;
                     shard_peaks[i] = shard_peaks[i].max(out.queued);
                     outcome.flit_hops += out.flit_hops;
                     outcome.dropped += out.dropped;
@@ -672,6 +780,7 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
                     progress += out.progress;
                     drained += out.drained;
                     queued += out.queued;
+                    stalls_w += out.stalls;
                     shard_peaks[i] = shard_peaks[i].max(out.queued);
                     outcome.flit_hops += out.flit_hops;
                     outcome.dropped += out.dropped;
@@ -681,6 +790,12 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
                     outcome.cycles = outcome.cycles.max(out.last_drain);
                 }
             }
+        }
+        // One aggregate registry add per window for the quiet NIC FIFOs'
+        // fault stalls — identical totals to per-event counting, with the
+        // shards never touching the metrics mutex from the parallel region.
+        if stalls_w > 0 {
+            obs.count(memcomm_memsim::stats::fault_metric::INJECTED, stalls_w);
         }
         outcome.windows += 1;
         outcome.peak_queue_depth = outcome.peak_queue_depth.max(pending.len() as u64 + queued);
@@ -723,6 +838,31 @@ fn run_sim(sim: Sim<'_>) -> SimResult<EngineOutcome> {
     }
     if cfg.record_latency {
         outcome.flow_latency = merge_flow_latency(&sim, &obs);
+    }
+    if cfg.sample_every > 0 {
+        // The loop breaks before `t0 = t1`, so the final barrier boundary
+        // is `t0 + window`.
+        let tel = collect_telemetry(&sim, t0 + window);
+        if obs.is_enabled() {
+            obs.count("engine.telemetry.ticks", tel.ticks);
+            for (c, b) in tel.breakdown.iter().enumerate() {
+                obs.count(&format!("engine.breakdown.class{c}.inject"), b.inject);
+                obs.count(&format!("engine.breakdown.class{c}.queue"), b.queue);
+                obs.count(&format!("engine.breakdown.class{c}.wire"), b.wire);
+                obs.count(&format!("engine.breakdown.class{c}.backoff"), b.backoff);
+                obs.count(&format!("engine.breakdown.class{c}.total"), b.total);
+            }
+            // Chrome counter tracks, one sample per series point.
+            let per = tel.queue_depth.cycles_per_point();
+            for (i, &v) in tel.queue_depth.points().iter().enumerate() {
+                obs.trace_counter("engine.telemetry", "queue_depth", i as u64 * per, v);
+            }
+            let per = tel.link_busy.cycles_per_point();
+            for (i, &v) in tel.link_busy.points().iter().enumerate() {
+                obs.trace_counter("engine.telemetry", "link_busy", i as u64 * per, v);
+            }
+        }
+        outcome.telemetry = Some(tel);
     }
 
     obs.count("engine.words", outcome.words);
@@ -807,6 +947,69 @@ fn merge_flow_latency(sim: &Sim<'_>, obs: &Obs) -> Vec<HistogramSummary> {
         }
     }
     merged.iter().map(Histogram::summary).collect()
+}
+
+/// Merges the shards' sampled telemetry into one [`Telemetry`]: series add
+/// pointwise (every shard ticked the same global schedule), spatial state
+/// scatters by global link index / node number, and the attribution sums
+/// accumulate per class. All integer adds over disjoint or commutative
+/// state — the shard partition and the scheduler substrate are invisible.
+fn collect_telemetry(sim: &Sim<'_>, final_t1: Cycle) -> Telemetry {
+    let se = sim.cfg.sample_every;
+    // A stub interval past the last on-grid tick gets one uniform tail
+    // sample, so counter series totals equal the run ledger.
+    let flush_tail = !final_t1.is_multiple_of(se);
+    let mk = |kind| Series::new(kind, se, SERIES_POINTS);
+    let mut tel = Telemetry {
+        sample_every: se,
+        ticks: 0,
+        link_busy: mk(SeriesKind::Counter),
+        queue_depth: mk(SeriesKind::Gauge),
+        inject_backlog: mk(SeriesKind::Gauge),
+        eject_backlog: mk(SeriesKind::Gauge),
+        retries: mk(SeriesKind::Counter),
+        outages: mk(SeriesKind::Counter),
+        link_from: sim.net.link_from.clone(),
+        link_to: sim.net.link_to.clone(),
+        link_busy_fp: vec![0; sim.net.link_to.len()],
+        node_occupancy: vec![0; sim.shard_of_node.len()],
+        breakdown: Vec::new(),
+    };
+    let classes = sim
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("shard lock poisoned").lat_sums.len())
+        .max()
+        .unwrap_or(0);
+    tel.breakdown = vec![ClassBreakdown::default(); classes];
+    for s in &sim.shards {
+        let mut shard = s.lock().expect("shard lock poisoned");
+        if flush_tail {
+            shard.telemetry_tail_flush();
+        }
+        for (b, sb) in tel.breakdown.iter_mut().zip(&shard.lat_sums) {
+            b.merge(sb);
+        }
+        for (li, &g) in shard.link_globals.iter().enumerate() {
+            tel.link_busy_fp[g as usize] = shard.links[li].busy_fp;
+        }
+        let st = shard
+            .telemetry
+            .as_ref()
+            .expect("sampling shards carry telemetry");
+        let lo = shard.node_lo as usize;
+        for (i, &occ) in st.node_occ.iter().enumerate() {
+            tel.node_occupancy[lo + i] = occ;
+        }
+        tel.ticks = tel.ticks.max(st.ticks);
+        tel.link_busy.merge(&st.link_busy);
+        tel.queue_depth.merge(&st.queue_depth);
+        tel.inject_backlog.merge(&st.inject_backlog);
+        tel.eject_backlog.merge(&st.eject_backlog);
+        tel.retries.merge(&st.retries);
+        tel.outages.merge(&st.outages);
+    }
+    tel
 }
 
 /// Runs a barrier-separated schedule of rounds; each round must fully drain
@@ -1252,6 +1455,95 @@ mod tests {
                 "jobs={jobs} shards={shards}"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_is_partition_invariant_and_telescopes() {
+        use crate::adversary::{self, AdversaryConfig, AdversaryKind};
+        let topo = Topology::torus(&[4, 4]);
+        let t = adversary::generate(
+            &topo,
+            &AdversaryConfig {
+                kind: AdversaryKind::Incast,
+                base_bytes: 128,
+                ..AdversaryConfig::default()
+            },
+        );
+        let run = |jobs: usize, shards: usize, reference: bool| {
+            let mut cfg = small_cfg();
+            cfg.jobs = jobs;
+            cfg.shards = shards;
+            cfg.reference_scheduler = reference;
+            cfg.flow_classes = t.classes.clone();
+            cfg.record_latency = true;
+            cfg.sample_every = 16;
+            run_flows(&topo, &t.flows, &cfg).unwrap()
+        };
+        let a = run(1, 1, false);
+        let tel = a.telemetry.as_ref().expect("sampling was on");
+        assert!(tel.ticks > 0);
+        assert_eq!(tel.queue_depth.samples(), tel.ticks);
+        // Counter series totals equal the run ledger (the tail flush closes
+        // any stub interval). No faults here, so both fault counters stay
+        // flat and the busy ledger is exactly one wire time per flit hop.
+        assert_eq!(tel.retries.total(), a.retried);
+        assert_eq!(tel.outages.total(), 0);
+        let wt_fp = (small_cfg().word_cycles() * 65536.0).round() as u64;
+        assert_eq!(tel.link_busy.total(), a.flit_hops * wt_fp);
+        assert_eq!(tel.link_busy_fp.iter().sum::<u64>(), tel.link_busy.total());
+        assert!(tel.node_occupancy.iter().any(|&o| o > 0), "incast hotspot");
+        // Critical-path attribution telescopes exactly to the latency
+        // histograms, class by class.
+        assert_eq!(tel.breakdown.len(), a.flow_latency.len());
+        for (b, h) in tel.breakdown.iter().zip(&a.flow_latency) {
+            assert_eq!(b.count, h.count);
+            assert_eq!(b.total, h.sum);
+            assert_eq!(b.inject + b.queue + b.wire + b.backoff, b.total);
+            assert!(b.queue > 0, "an incast must show queueing");
+        }
+        // The whole telemetry block is partition- and substrate-invariant.
+        for (jobs, shards, reference) in [(4, 0, false), (2, 5, false), (1, 1, true)] {
+            let b = run(jobs, shards, reference);
+            assert_eq!(b.digest, a.digest, "jobs={jobs} shards={shards}");
+            assert_eq!(
+                b.telemetry.as_ref().unwrap(),
+                tel,
+                "jobs={jobs} shards={shards} reference={reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_never_perturbs_results_and_stalls_flush_in_aggregate() {
+        use memcomm_memsim::fault::FaultConfig;
+        let topo = Topology::torus(&[4]);
+        let flows = traffic::cyclic_shift(&topo, 1, 64 * 8);
+        let mut base = small_cfg();
+        base.record_events = true;
+        base.fault = FaultPlan::new(FaultConfig {
+            seed: 7,
+            rate: 0.3,
+            max_stall_cycles: 8,
+            ..FaultConfig::default()
+        });
+        let a = run_flows(&topo, &flows, &base).unwrap();
+        let mut sampled = base.clone();
+        sampled.sample_every = 8;
+        let obs = Obs::new(false);
+        let b = {
+            let _guard = obs.install();
+            run_flows(&topo, &flows, &sampled).unwrap()
+        };
+        // Sampling on: same events, digest, and cycles — only the outputs
+        // grow.
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.cycles, b.cycles);
+        let tel = b.telemetry.as_ref().expect("sampling was on");
+        assert_eq!(tel.retries.total(), b.retried);
+        // The quiet NIC FIFOs' fault stalls reached the registry through
+        // the coordinator's once-per-window aggregate flush.
+        assert!(obs.counter(memcomm_memsim::stats::fault_metric::INJECTED) > 0);
     }
 
     #[test]

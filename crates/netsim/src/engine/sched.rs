@@ -34,6 +34,17 @@ pub(crate) struct QEntry {
     pub tries: u32,
     /// Cycle the word left its injection port (for inject→eject latency).
     pub t_inject: Cycle,
+    /// Critical-path attribution: cycles spent waiting in router/ejection
+    /// queues so far. Like `tries`, these accumulators trail the ordering
+    /// fields — they ride along without perturbing arbitration, and the
+    /// charges telescope exactly: `ready` is always the word's previous
+    /// milestone, so summing the floor-differences reconstructs the full
+    /// inject→eject latency with no rounding gap.
+    pub queue_cycles: u64,
+    /// Attribution: cycles on wires (serialization, fault delay, latency).
+    pub wire_cycles: u64,
+    /// Attribution: cycles parked in retry backoff after fault drops.
+    pub backoff_cycles: u64,
 }
 
 /// Word-major arbitration rank: `seq` packs `flow << 32 | word`, so the
@@ -218,4 +229,11 @@ pub(crate) struct Delivery {
     /// Injection cycle carried end-to-end (trails the `(arrive, seq)`
     /// ordering, which stays unique and unchanged).
     pub t_inject: Cycle,
+    /// Critical-path queue-wait accumulator, carried across the barrier
+    /// (trailing, like `t_inject`).
+    pub queue_cycles: u64,
+    /// Critical-path wire accumulator.
+    pub wire_cycles: u64,
+    /// Critical-path retry-backoff accumulator.
+    pub backoff_cycles: u64,
 }

@@ -12,11 +12,20 @@
 
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::nic::TimedFifo;
-use memcomm_obs::Histogram;
+use memcomm_obs::{Histogram, Series, SeriesKind};
 use memcomm_util::arena::Arena;
 
 use super::sched::{Delivery, QEntry, RouterQueue};
-use super::EngineEvent;
+use super::{ClassBreakdown, EngineEvent};
+
+/// Ring capacity of every telemetry series: identical on all shards, so
+/// shard-local series stay stride-aligned and merge pointwise.
+pub(crate) const SERIES_POINTS: usize = 128;
+
+/// Fixed-point scale for link busy time: 16.16, so fractional wire
+/// occupancies accumulate as exact integer adds (which commute across any
+/// shard partition — an f64 running sum would not).
+pub(crate) const BUSY_ONE: f64 = 65536.0;
 
 pub(crate) struct LinkState {
     pub global: u32,
@@ -29,6 +38,9 @@ pub(crate) struct LinkState {
     /// Recovery cycle of the last counted outage (so re-encountering the
     /// same window across engine windows counts once).
     pub outage_mark: Cycle,
+    /// Cycles this wire spent transmitting (drops included), in 16.16
+    /// fixed point; only maintained when sampling is on.
+    pub busy_fp: u64,
 }
 
 pub(crate) struct PortState {
@@ -86,8 +98,121 @@ pub(crate) struct Shard {
     /// (only when the run asked for latency; merged in shard order at the
     /// end — histogram merge is commutative, so the partition is invisible).
     pub lat_hist: Vec<Histogram>,
+    /// Critical-path attribution sums per flow class (empty unless both
+    /// latency recording and sampling are on); merged pointwise at the end.
+    pub lat_sums: Vec<ClassBreakdown>,
+    /// NIC stall count already flushed to the coordinator — the diff against
+    /// the FIFOs' live totals is this window's aggregate delta.
+    pub stall_mark: u64,
+    /// Sampling state, present only when `EngineConfig::sample_every > 0`.
+    pub telemetry: Option<Box<ShardTelemetry>>,
     /// Window output buffers, reused across windows on the production path.
     pub out: WindowOut,
+}
+
+/// Per-shard telemetry: the six utilization/congestion series plus the
+/// spatial integrals behind the heatmaps. Every shard ticks on the same
+/// global schedule (multiples of `sample_every`, which divide evenly into
+/// the uniform window boundaries), so per-shard series have identical
+/// lengths and merge by pointwise addition — the partition is invisible.
+pub(crate) struct ShardTelemetry {
+    /// Next global sampling tick (a multiple of `sample_every`).
+    pub next_tick: Cycle,
+    /// Links' `busy_fp` total already pushed into the series.
+    pub busy_mark: u64,
+    /// Retries since the last tick, staged for the next counter point.
+    pub pending_retries: u64,
+    /// Outage encounters since the last tick.
+    pub pending_outages: u64,
+    /// Counter: link busy time per interval, in 16.16 cycle units.
+    pub link_busy: Series,
+    /// Gauge: words in router + ejection queues at each tick.
+    pub queue_depth: Series,
+    /// Gauge: words backed up in tx NIC FIFOs at each tick.
+    pub inject_backlog: Series,
+    /// Gauge: words backed up in rx NIC FIFOs at each tick.
+    pub eject_backlog: Series,
+    /// Counter: retry transmissions per interval.
+    pub retries: Series,
+    /// Counter: outage-window encounters per interval.
+    pub outages: Series,
+    /// Per local node: Σ over ticks of (ejection queue + rx FIFO) occupancy
+    /// — the hotspot integral the node heatmap renders.
+    pub node_occ: Vec<u64>,
+    /// Ticks sampled so far (same on every shard).
+    pub ticks: u64,
+}
+
+impl ShardTelemetry {
+    pub fn new(sample_every: Cycle, nodes: usize) -> Box<ShardTelemetry> {
+        let series = |kind| Series::new(kind, sample_every, SERIES_POINTS);
+        Box::new(ShardTelemetry {
+            next_tick: sample_every,
+            busy_mark: 0,
+            pending_retries: 0,
+            pending_outages: 0,
+            link_busy: series(SeriesKind::Counter),
+            queue_depth: series(SeriesKind::Gauge),
+            inject_backlog: series(SeriesKind::Gauge),
+            eject_backlog: series(SeriesKind::Gauge),
+            retries: series(SeriesKind::Counter),
+            outages: series(SeriesKind::Counter),
+            node_occ: vec![0; nodes],
+            ticks: 0,
+        })
+    }
+
+    /// Records one sample point from the shard's live state: flushes the
+    /// staged counter deltas and reads the gauge levels. Both window_core
+    /// and the coordinator's tail flush go through here, so a tick looks
+    /// the same wherever it fires.
+    pub fn sample(
+        &mut self,
+        tx: &[TimedFifo],
+        rx: &[TimedFifo],
+        eject: &[RouterQueue],
+        links: &[LinkState],
+        arena: &Arena<QEntry>,
+        lanes: bool,
+    ) {
+        let busy_total: u64 = links.iter().map(|l| l.busy_fp).sum();
+        self.link_busy.push(busy_total - self.busy_mark);
+        self.busy_mark = busy_total;
+        self.queue_depth
+            .push(queued_words(lanes, arena, links, eject));
+        self.inject_backlog
+            .push(tx.iter().map(|f| f.len() as u64).sum());
+        self.eject_backlog
+            .push(rx.iter().map(|f| f.len() as u64).sum());
+        self.retries.push(self.pending_retries);
+        self.pending_retries = 0;
+        self.outages.push(self.pending_outages);
+        self.pending_outages = 0;
+        for (local, occ) in self.node_occ.iter_mut().enumerate() {
+            *occ += eject[local].len() + rx[local].len() as u64;
+        }
+        self.ticks += 1;
+    }
+}
+
+/// Words sitting in the shard's router/ejection queues. Under lanes the
+/// arena's live count *is* the queued-word count; the reference path sums
+/// its heaps — same quantity either way.
+pub(crate) fn queued_words(
+    lanes: bool,
+    arena: &Arena<QEntry>,
+    links: &[LinkState],
+    eject: &[RouterQueue],
+) -> u64 {
+    if lanes {
+        arena.len() as u64
+    } else {
+        links
+            .iter()
+            .map(|l| l.queues[0].len() + l.queues[1].len())
+            .sum::<u64>()
+            + eject.iter().map(|q| q.len()).sum::<u64>()
+    }
 }
 
 /// One window's output, kept stage-split so the coordinator can fold the
@@ -117,6 +242,12 @@ pub(crate) struct WindowOut {
     pub last_drain: Cycle,
     /// Words sitting in this shard's router/ejection queues at window end.
     pub queued: u64,
+    /// Outage-window encounters this window (mirrors the per-link counts).
+    pub outaged: u64,
+    /// NIC fault stalls fired this window, diffed off the quiet FIFOs'
+    /// local counters — the coordinator flushes one aggregate registry add
+    /// per window instead of the FIFOs locking the registry per event.
+    pub stalls: u64,
 }
 
 impl WindowOut {
@@ -136,5 +267,7 @@ impl WindowOut {
         self.abandoned = 0;
         self.last_drain = 0;
         self.queued = 0;
+        self.outaged = 0;
+        self.stalls = 0;
     }
 }

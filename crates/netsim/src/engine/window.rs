@@ -11,10 +11,11 @@
 
 use memcomm_memsim::clock::Cycle;
 use memcomm_memsim::fault::{site, LinkFault};
+use memcomm_memsim::nic::TimedFifo;
 
 use super::build::Net;
 use super::sched::{word_rank, QEntry};
-use super::shard::{Shard, WindowOut};
+use super::shard::{queued_words, Shard, WindowOut, BUSY_ONE};
 use super::{EngineEvent, EventKind};
 
 impl Shard {
@@ -56,6 +57,9 @@ impl Shard {
             lanes: use_lanes,
             drained_flows,
             lat_hist,
+            lat_sums,
+            stall_mark,
+            telemetry,
             ..
         } = self;
         let node_lo = *node_lo;
@@ -85,6 +89,9 @@ impl Shard {
                         prev_vc: d.vc,
                         tries: 0,
                         t_inject: d.t_inject,
+                        queue_cycles: d.queue_cycles,
+                        wire_cycles: d.wire_cycles,
+                        backoff_cycles: d.backoff_cycles,
                     },
                     arena,
                 );
@@ -104,6 +111,9 @@ impl Shard {
                         prev_vc: d.vc,
                         tries: 0,
                         t_inject: d.t_inject,
+                        queue_cycles: d.queue_cycles,
+                        wire_cycles: d.wire_cycles,
+                        backoff_cycles: d.backoff_cycles,
                     },
                     arena,
                 );
@@ -184,6 +194,9 @@ impl Shard {
                         prev_vc: 0,
                         tries: 0,
                         t_inject: start.floor() as Cycle,
+                        queue_cycles: 0,
+                        wire_cycles: 0,
+                        backoff_cycles: 0,
                     },
                     arena,
                 );
@@ -234,6 +247,7 @@ impl Shard {
                     {
                         if end > l.outage_mark {
                             l.outages += 1;
+                            out.outaged += 1;
                             l.outage_mark = end;
                         }
                         if end == Cycle::MAX {
@@ -244,7 +258,13 @@ impl Shard {
                         continue;
                     }
                 }
-                let e = l.queues[vc].pop(arena);
+                let mut e = l.queues[vc].pop(arena);
+                // Attribution: everything between the word's last milestone
+                // (`ready`) and the floor the transmit actually starts on is
+                // queueing — waiting for credits, the wire, or an outage.
+                e.queue_cycles = e
+                    .queue_cycles
+                    .saturating_add((start.floor() as Cycle).saturating_sub(e.ready));
                 let fault = net
                     .fault
                     .link_fault(site::engine_link(l.global), l.attempts);
@@ -261,6 +281,9 @@ impl Shard {
                         // upstream buffer freed, and the run degrades with
                         // exact accounting instead of wedging.
                         l.free = start + wire;
+                        if net.sample_every > 0 {
+                            l.busy_fp += (wire * BUSY_ONE).round() as u64;
+                        }
                         out.link_events.push(EngineEvent {
                             time: start.floor() as Cycle,
                             kind: EventKind::Drop,
@@ -278,12 +301,20 @@ impl Shard {
                             continue;
                         }
                         let lane = net.flows[(e.seq >> 32) as usize].hops[usize::from(e.hop)].lane;
+                        let next_ready =
+                            (l.free.ceil() as Cycle).saturating_add(net.retry.delay(e.tries));
                         l.queues[vc].push_retry(
                             lane,
                             QEntry {
-                                ready: (l.free.ceil() as Cycle)
-                                    .saturating_add(net.retry.delay(e.tries)),
+                                ready: next_ready,
                                 tries: e.tries + 1,
+                                // Attribution: the span from this transmit's
+                                // start to the retry's ready cycle (wasted
+                                // wire + exponential backoff) is charged to
+                                // backoff; `ready` stays the milestone.
+                                backoff_cycles: e.backoff_cycles.saturating_add(
+                                    next_ready.saturating_sub(start.floor() as Cycle),
+                                ),
                                 ..e
                             },
                             arena,
@@ -297,6 +328,9 @@ impl Shard {
                 }
                 l.credits[vc] -= 1;
                 l.free = start + wire;
+                if net.sample_every > 0 {
+                    l.busy_fp += (wire * BUSY_ONE).round() as u64;
+                }
                 let arrive = (l.free.ceil() as Cycle) + net.latency;
                 if e.prev_link != u32::MAX {
                     out.credits.push((e.prev_link, e.prev_vc));
@@ -316,6 +350,14 @@ impl Shard {
                     via_link: l.global,
                     vc: vc as u8,
                     t_inject: e.t_inject,
+                    queue_cycles: e.queue_cycles,
+                    // Attribution: transmit start to delivery (serialization,
+                    // fault delay, and link latency) is wire time; `arrive`
+                    // becomes the word's next milestone.
+                    wire_cycles: e
+                        .wire_cycles
+                        .saturating_add(arrive.saturating_sub(start.floor() as Cycle)),
+                    backoff_cycles: e.backoff_cycles,
                 });
                 out.flit_hops += 1;
                 out.progress += 1;
@@ -353,7 +395,26 @@ impl Shard {
                 let t_in = p.eject_free.ceil() as Cycle;
                 if net.record_latency {
                     let class = usize::from(net.flows[(e.seq >> 32) as usize].class);
-                    lat_hist[class].record((start.floor() as Cycle).saturating_sub(e.t_inject));
+                    let lat = (start.floor() as Cycle).saturating_sub(e.t_inject);
+                    lat_hist[class].record(lat);
+                    if !lat_sums.is_empty() {
+                        // The final queue charge: waiting for the ejection
+                        // port. Inject wait is the residual, so the four
+                        // components telescope to `lat` exactly.
+                        let queue = e
+                            .queue_cycles
+                            .saturating_add((start.floor() as Cycle).saturating_sub(e.ready));
+                        let b = &mut lat_sums[class];
+                        b.count += 1;
+                        b.queue += queue;
+                        b.wire += e.wire_cycles;
+                        b.backoff += e.backoff_cycles;
+                        b.total += lat;
+                        b.inject += lat
+                            .saturating_sub(queue)
+                            .saturating_sub(e.wire_cycles)
+                            .saturating_sub(e.backoff_cycles);
+                    }
                 }
                 rx[local]
                     .push(t_in, net.word(e.seq))
@@ -387,17 +448,48 @@ impl Shard {
             }
         }
 
-        // The shard's contribution to the barrier's backlog gauge. Under
-        // lanes the arena's live count *is* the queued-word count; the
-        // reference path sums its heaps — same quantity either way.
-        out.queued = if *use_lanes {
-            arena.len() as u64
-        } else {
-            links
-                .iter()
-                .map(|l| l.queues[0].len() + l.queues[1].len())
-                .sum::<u64>()
-                + eject.iter().map(|q| q.len()).sum::<u64>()
-        };
+        // The shard's contribution to the barrier's backlog gauge.
+        out.queued = queued_words(*use_lanes, arena, links, eject);
+
+        // NIC stall delta for the coordinator's once-per-window registry
+        // flush (the FIFOs are armed quiet, so this is the only place the
+        // stall ledger surfaces).
+        if net.fault.is_active() {
+            let fired: u64 = tx.iter().map(TimedFifo::stalls_fired).sum::<u64>()
+                + rx.iter().map(TimedFifo::stalls_fired).sum::<u64>();
+            out.stalls = fired - *stall_mark;
+            *stall_mark = fired;
+        }
+
+        // Sampling ticks: every shard walks the same global tick schedule
+        // (windows are uniform across shards), so per-shard series stay
+        // aligned point for point under any partition.
+        if let Some(tel) = telemetry {
+            tel.pending_retries += out.retried;
+            tel.pending_outages += out.outaged;
+            while tel.next_tick <= t1 {
+                tel.sample(tx, rx, eject, links, arena, *use_lanes);
+                tel.next_tick += net.sample_every;
+            }
+        }
+    }
+
+    /// One extra sample covering the stub interval between the last on-grid
+    /// tick and the run's final window — called uniformly across shards by
+    /// the coordinator so counter series totals match the run ledger.
+    pub(crate) fn telemetry_tail_flush(&mut self) {
+        let Shard {
+            tx,
+            rx,
+            eject,
+            links,
+            arena,
+            lanes,
+            telemetry,
+            ..
+        } = self;
+        if let Some(tel) = telemetry {
+            tel.sample(tx, rx, eject, links, arena, *lanes);
+        }
     }
 }

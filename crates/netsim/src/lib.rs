@@ -22,6 +22,7 @@ pub mod adversary;
 pub mod barrier;
 pub mod congestion;
 pub mod engine;
+pub mod heatmap;
 pub mod link;
 pub mod routing;
 pub mod topology;

@@ -46,6 +46,10 @@ fn fuzz_cfg(rng: &mut Rng) -> EngineConfig {
     cfg.address_data_pairs = rng.bool();
     cfg.record_events = true;
     cfg.record_latency = rng.bool();
+    // Half the cases arm the telemetry sampler at a random tick, so every
+    // differential below also proves sampling never perturbs outcomes and
+    // that both substrates roll up byte-identical telemetry.
+    cfg.sample_every = if rng.bool() { rng.range_u64(1, 129) } else { 0 };
     cfg.jobs = 1;
     // A third of the cases run under a seeded fault plan, exercising the
     // retry (prepend) and jitter (overflow-bucket) paths of both schedulers;
@@ -107,6 +111,7 @@ fn assert_outcomes_match(wheel: &EngineOutcome, heap: &EngineOutcome, ctx: &str)
         wheel.peak_queue_depth, heap.peak_queue_depth,
         "peak queue depth ({ctx})"
     );
+    assert_eq!(wheel.telemetry, heap.telemetry, "telemetry ({ctx})");
 }
 
 /// Single-shot flow sets: the wheel scheduler's event order, digest, and

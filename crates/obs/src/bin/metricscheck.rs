@@ -1,0 +1,41 @@
+//! Validates an OpenMetrics text exposition produced by `repro --metrics-out`.
+//!
+//! Usage: `metricscheck FILE...`
+//!
+//! Checks each file against the canon `obs::openmetrics::render` emits:
+//! name-sorted unique `# TYPE` families, samples that belong to their
+//! declared family and type, numeric values, and the `# EOF` terminator.
+//! Prints a one-line summary per file; exits non-zero on the first invalid
+//! file. CI runs this against the adversary scenario's metrics output.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: metricscheck FILE...");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("metricscheck: {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match memcomm_obs::openmetrics::validate(&text) {
+            Ok(stats) => {
+                println!(
+                    "metricscheck: {path}: ok — {} families ({} counters, {} gauges, {} summaries), {} samples",
+                    stats.families, stats.counters, stats.gauges, stats.summaries, stats.samples
+                );
+            }
+            Err(error) => {
+                eprintln!("metricscheck: {path}: INVALID — {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

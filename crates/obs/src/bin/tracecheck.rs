@@ -1,19 +1,28 @@
 //! Validates a Chrome trace-event JSON file produced by `repro --trace-out`.
 //!
-//! Usage: `tracecheck FILE...`
+//! Usage: `tracecheck [--stats] FILE...`
 //!
 //! Checks each file for well-formed JSON, a `traceEvents` array,
-//! monotonically non-decreasing timestamps per `(pid, tid)` track and
-//! balanced `B`/`E` span pairs. Prints a one-line summary per file; exits
-//! non-zero on the first invalid file. CI runs this against the sweep's
-//! trace output.
+//! monotonically non-decreasing timestamps per `(pid, tid)` track, balanced
+//! `B`/`E` span pairs, and counter samples carrying a numeric `args.value`.
+//! Prints a one-line summary per file; with `--stats`, also an event count
+//! per track so CI can assert trace *shape*, not just well-formedness.
+//! Exits non-zero on the first invalid file. CI runs this against the
+//! sweep's trace output.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut stats_flag = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--stats" => stats_flag = true,
+            _ => paths.push(arg),
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: tracecheck FILE...");
+        eprintln!("usage: tracecheck [--stats] FILE...");
         return ExitCode::from(2);
     }
     for path in &paths {
@@ -27,9 +36,18 @@ fn main() -> ExitCode {
         match memcomm_obs::chrome::validate(&text) {
             Ok(stats) => {
                 println!(
-                    "tracecheck: {path}: ok — {} events, {} spans, {} tracks, depth {}",
-                    stats.events, stats.spans, stats.tracks, stats.max_depth
+                    "tracecheck: {path}: ok — {} events, {} spans, {} instants, {} counters, {} tracks, depth {}",
+                    stats.events, stats.spans, stats.instants, stats.counters, stats.tracks,
+                    stats.max_depth
                 );
+                if stats_flag {
+                    let per_track: Vec<String> = stats
+                        .per_track
+                        .iter()
+                        .map(|(track, count)| format!("{track}={count}"))
+                        .collect();
+                    println!("tracecheck: {path}: tracks {}", per_track.join(" "));
+                }
             }
             Err(error) => {
                 eprintln!("tracecheck: {path}: INVALID — {error}");

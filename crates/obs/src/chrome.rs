@@ -2,9 +2,10 @@
 //!
 //! The exporter turns a [`TraceSink`](crate::span::TraceSink)'s events into
 //! the JSON object format consumed by Perfetto and `about://tracing`:
-//! `B`/`E` duration pairs plus `i` instants, grouped into one process per
-//! measured point and one thread per track, with `M` metadata events naming
-//! both. Timestamps are simulated **cycles** used directly as `ts` values.
+//! `B`/`E` duration pairs plus `i` instants and `C` counter samples,
+//! grouped into one process per measured point and one thread per track,
+//! with `M` metadata events naming both. Timestamps are simulated
+//! **cycles** used directly as `ts` values.
 //!
 //! Output is deterministic for a fixed event set: events are re-ordered by
 //! a canonical sort (per track: by start cycle, longer spans first), and a
@@ -76,6 +77,10 @@ fn phase_event(ph: &str, event: &TraceEvent, ts: u64, pid: u64, tid: u64) -> Jso
     if ph == "i" {
         pairs.push(("s", Json::str("t")));
     }
+    if ph == "C" {
+        let value = event.value.unwrap_or(0);
+        pairs.push(("args", Json::obj([("value", Json::from(value))])));
+    }
     Json::obj(pairs)
 }
 
@@ -124,7 +129,8 @@ fn emit_track(out: &mut Vec<Json>, pid: u64, tid: u64, events: &[&TraceEvent]) {
                 if take_instant {
                     let (ts, i) = instants[next_instant];
                     next_instant += 1;
-                    out.push(phase_event("i", events[i], ts, pid, tid));
+                    let ph = if events[i].value.is_some() { "C" } else { "i" };
+                    out.push(phase_event(ph, events[i], ts, pid, tid));
                     continue;
                 }
                 match close {
@@ -150,21 +156,32 @@ fn emit_track(out: &mut Vec<Json>, pid: u64, tid: u64, events: &[&TraceEvent]) {
 }
 
 /// Summary statistics of a validated trace file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceStats {
     /// Total events including metadata.
     pub events: usize,
     /// `B`/`E` span pairs.
     pub spans: usize,
+    /// `i` instant events.
+    pub instants: usize,
+    /// `C` counter samples.
+    pub counters: usize,
     /// Distinct `(pid, tid)` tracks carrying events.
     pub tracks: usize,
     /// Deepest `B` nesting observed on any track.
     pub max_depth: usize,
+    /// Event counts per track name (the event's `cat` field, falling back
+    /// to `pid.tid`), sorted — for `tracecheck --stats`.
+    pub per_track: TrackCounts,
 }
+
+/// Per-track event counts, keyed by track name.
+pub type TrackCounts = BTreeMap<String, usize>;
 
 /// Validates the structure of a Chrome trace JSON document: well-formed
 /// JSON with a `traceEvents` array, monotonically non-decreasing `ts` per
-/// `(pid, tid)` track, and balanced `B`/`E` pairs with matching names.
+/// `(pid, tid)` track, balanced `B`/`E` pairs with matching names, and
+/// counter (`C`) samples carrying a numeric `args.value`.
 ///
 /// # Errors
 ///
@@ -177,9 +194,7 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
         .ok_or("missing traceEvents array")?;
     let mut stats = TraceStats {
         events: events.len(),
-        spans: 0,
-        tracks: 0,
-        max_depth: 0,
+        ..TraceStats::default()
     };
     let mut tracks: BTreeMap<(i64, i64), (f64, Vec<String>)> = BTreeMap::new();
     for (i, event) in events.iter().enumerate() {
@@ -215,6 +230,11 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
             ));
         }
         *last_ts = ts;
+        let track = event
+            .get("cat")
+            .and_then(Json::as_str)
+            .map_or_else(|| format!("{pid}.{tid}"), str::to_string);
+        *stats.per_track.entry(track).or_insert(0) += 1;
         match ph {
             "B" => {
                 stack.push(name.to_string());
@@ -233,7 +253,20 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
                     ))
                 }
             },
-            "i" => {}
+            "i" => stats.instants += 1,
+            "C" => {
+                let numeric = event
+                    .get("args")
+                    .and_then(|args| args.get("value"))
+                    .and_then(Json::as_f64)
+                    .is_some();
+                if !numeric {
+                    return Err(format!(
+                        "event {i} ({name:?}): counter without numeric args.value"
+                    ));
+                }
+                stats.counters += 1;
+            }
             other => return Err(format!("event {i}: unsupported ph {other:?}")),
         }
     }
@@ -259,6 +292,7 @@ mod tests {
             name: name.to_string(),
             ts: start,
             dur: Some(end - start),
+            value: None,
         }
     }
 
@@ -269,6 +303,18 @@ mod tests {
             name: name.to_string(),
             ts,
             dur: None,
+            value: None,
+        }
+    }
+
+    fn counter(pid: u64, track: &'static str, name: &str, ts: u64, value: u64) -> TraceEvent {
+        TraceEvent {
+            pid,
+            track,
+            name: name.to_string(),
+            ts,
+            dur: None,
+            value: Some(value),
         }
     }
 
@@ -286,8 +332,27 @@ mod tests {
         let text = render(&events, &labels);
         let stats = validate(&text).expect("exported trace must validate");
         assert_eq!(stats.spans, 4);
+        assert_eq!(stats.instants, 1);
         assert_eq!(stats.tracks, 2);
         assert_eq!(stats.max_depth, 2);
+        assert_eq!(stats.per_track.get("scenario"), Some(&7));
+        assert_eq!(stats.per_track.get("link"), Some(&2));
+    }
+
+    #[test]
+    fn counter_samples_round_trip() {
+        let events = vec![
+            span(1, "engine", "window", 0, 100),
+            counter(1, "engine.queue", "depth", 10, 4),
+            counter(1, "engine.queue", "depth", 20, 7),
+            counter(1, "engine.queue", "depth", 30, 2),
+        ];
+        let text = render(&events, &BTreeMap::new());
+        assert!(text.contains("\"ph\": \"C\""), "{text}");
+        let stats = validate(&text).expect("counter trace must validate");
+        assert_eq!(stats.counters, 3);
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.per_track.get("engine.queue"), Some(&3));
     }
 
     #[test]
@@ -323,6 +388,10 @@ mod tests {
             {"name": "b", "ph": "E", "ts": 2, "pid": 1, "tid": 1}
         ]}"#;
         assert!(validate(mismatched).unwrap_err().contains("closes"));
+        let bare_counter = r#"{"traceEvents": [
+            {"name": "depth", "ph": "C", "ts": 1, "pid": 1, "tid": 1}
+        ]}"#;
+        assert!(validate(bare_counter).unwrap_err().contains("args.value"));
         assert!(validate("not json").is_err());
         assert!(validate("{}").is_err());
     }

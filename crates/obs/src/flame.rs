@@ -66,6 +66,7 @@ mod tests {
             name: name.to_string(),
             ts: 0,
             dur: Some(dur),
+            value: None,
         }
     }
 
@@ -81,6 +82,7 @@ mod tests {
                 name: "instant".to_string(),
                 ts: 5,
                 dur: None,
+                value: None,
             },
         ];
         let text = render(&events);

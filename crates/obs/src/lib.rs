@@ -38,7 +38,9 @@
 
 pub mod chrome;
 pub mod flame;
+pub mod openmetrics;
 pub mod registry;
+pub mod series;
 pub mod span;
 
 use std::cell::{Cell, RefCell};
@@ -47,6 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Once};
 
 pub use registry::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use series::{Series, SeriesKind};
 pub use span::{TraceEvent, TraceSink};
 
 #[derive(Debug)]
@@ -220,6 +223,17 @@ impl Obs {
         if let Some(inner) = &self.inner {
             if let Some(sink) = &inner.trace {
                 sink.instant(current_pid(), track, name.to_string(), ts);
+            }
+        }
+    }
+
+    /// Records a counter sample — the value of series `name` at cycle `ts`
+    /// on `track` — under the current point's process id. Renders as a
+    /// Chrome `ph: "C"` series. No-op unless [`tracing`](Obs::tracing).
+    pub fn trace_counter(&self, track: &'static str, name: &str, ts: u64, value: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.trace {
+                sink.counter(current_pid(), track, name.to_string(), ts, value);
             }
         }
     }

@@ -1,0 +1,368 @@
+//! OpenMetrics text exposition for a run's metrics.
+//!
+//! [`render`] turns a [`MetricsSnapshot`] (plus any telemetry
+//! [`Series`]) into the OpenMetrics text format: one `# TYPE`-declared
+//! family per metric, families in canonical sorted order, integer sample
+//! values, and a final `# EOF` terminator. Counters become `counter`
+//! families (`name_total` samples), max-gauges become `gauge` families,
+//! and histograms become `summary` families carrying the interpolated
+//! quantiles next to `_count`/`_sum`. Series export as gauge families
+//! with a `point` label per stored interval, alongside a
+//! `_cycles_per_point` gauge giving the current resolution.
+//!
+//! [`validate`] re-parses an exposition and checks the same canon —
+//! sorted unique families, samples that belong to their declared family
+//! and type, numeric values, terminator present — so CI can assert any
+//! emitted file round-trips. The `metricscheck` bin wraps it.
+
+use crate::registry::MetricsSnapshot;
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Maps an internal metric name (dotted, e.g. `engine.flit_hops`) onto the
+/// OpenMetrics name charset `[a-zA-Z_:][a-zA-Z0-9_:]*`, replacing every
+/// other character with `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a snapshot (plus named telemetry series) as OpenMetrics text.
+/// Purely a function of its inputs: families sort by exposition name, so
+/// equal snapshots render byte-identically.
+pub fn render(snapshot: &MetricsSnapshot, series: &[(String, Series)]) -> String {
+    let mut families: Vec<(String, String)> = Vec::new();
+
+    for (name, value) in &snapshot.counters {
+        let f = sanitize(name);
+        let mut block = String::new();
+        let _ = writeln!(block, "# TYPE {f} counter");
+        let _ = writeln!(block, "{f}_total {value}");
+        families.push((f, block));
+    }
+
+    for (name, value) in &snapshot.gauges {
+        let f = sanitize(name);
+        let mut block = String::new();
+        let _ = writeln!(block, "# TYPE {f} gauge");
+        let _ = writeln!(block, "{f} {value}");
+        families.push((f, block));
+    }
+
+    for (name, s) in &snapshot.histograms {
+        let f = sanitize(name);
+        let mut block = String::new();
+        let _ = writeln!(block, "# TYPE {f} summary");
+        let _ = writeln!(
+            block,
+            "# HELP {f} log2-bucketed histogram, interpolated quantiles"
+        );
+        let _ = writeln!(block, "{f}{{quantile=\"0.5\"}} {}", s.p50);
+        let _ = writeln!(block, "{f}{{quantile=\"0.99\"}} {}", s.p99);
+        let _ = writeln!(block, "{f}{{quantile=\"0.999\"}} {}", s.p999);
+        let _ = writeln!(block, "{f}_count {}", s.count);
+        let _ = writeln!(block, "{f}_sum {}", s.sum);
+        families.push((f.clone(), block));
+        for (suffix, value) in [("min", s.min), ("max", s.max)] {
+            let g = format!("{f}_{suffix}");
+            let mut block = String::new();
+            let _ = writeln!(block, "# TYPE {g} gauge");
+            let _ = writeln!(block, "{g} {value}");
+            families.push((g, block));
+        }
+    }
+
+    for (name, s) in series {
+        let f = sanitize(name);
+        let mut block = String::new();
+        let _ = writeln!(block, "# TYPE {f} gauge");
+        let _ = writeln!(
+            block,
+            "# HELP {f} {} series; window={} cycles, stride={}, samples={}",
+            s.kind().name(),
+            s.window(),
+            s.stride(),
+            s.samples(),
+        );
+        for (i, v) in s.points().iter().enumerate() {
+            let _ = writeln!(block, "{f}{{point=\"{i}\"}} {v}");
+        }
+        families.push((f.clone(), block));
+        let g = format!("{f}_cycles_per_point");
+        let mut block = String::new();
+        let _ = writeln!(block, "# TYPE {g} gauge");
+        let _ = writeln!(block, "{g} {}", s.cycles_per_point());
+        families.push((g, block));
+    }
+
+    families.sort();
+    let mut out = String::new();
+    for (_, block) in families {
+        out.push_str(&block);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Shape counts from a validated exposition, for smoke checks and the
+/// `metricscheck` summary line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Metric families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines across all families.
+    pub samples: usize,
+    /// Families of type `counter`.
+    pub counters: usize,
+    /// Families of type `gauge`.
+    pub gauges: usize,
+    /// Families of type `summary`.
+    pub summaries: usize,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn valid_labels(labels: &str) -> bool {
+    // `key="value"` pairs, comma-separated; values may not contain
+    // quotes, backslashes or newlines (we never emit escapes).
+    labels.split(',').all(|pair| {
+        let Some((key, rest)) = pair.split_once('=') else {
+            return false;
+        };
+        valid_name(key)
+            && rest.len() >= 2
+            && rest.starts_with('"')
+            && rest.ends_with('"')
+            && !rest[1..rest.len() - 1].contains(['"', '\\'])
+    })
+}
+
+/// Checks an exposition against the canon [`render`] emits. Returns shape
+/// counts on success and a line-numbered message on the first violation.
+pub fn validate(text: &str) -> Result<ExpositionStats, String> {
+    let mut stats = ExpositionStats::default();
+    let mut family: Option<(String, &str)> = None;
+    let mut family_samples = 0usize;
+    let mut saw_eof = false;
+
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".to_string());
+    }
+    for (no, line) in text.lines().enumerate() {
+        let at = no + 1;
+        if saw_eof {
+            return Err(format!("line {at}: content after # EOF"));
+        }
+        if line == "# EOF" {
+            if family.is_some() && family_samples == 0 {
+                return Err(format!("line {at}: family declared without samples"));
+            }
+            saw_eof = true;
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = decl.split_once(' ') else {
+                return Err(format!("line {at}: malformed TYPE line"));
+            };
+            if !valid_name(name) {
+                return Err(format!("line {at}: invalid family name {name:?}"));
+            }
+            if family.is_some() && family_samples == 0 {
+                return Err(format!("line {at}: previous family has no samples"));
+            }
+            if let Some((prev, _)) = &family {
+                if name <= prev.as_str() {
+                    return Err(format!(
+                        "line {at}: family {name:?} not in sorted order after {prev:?}"
+                    ));
+                }
+            }
+            let kind = match kind {
+                "counter" => {
+                    stats.counters += 1;
+                    "counter"
+                }
+                "gauge" => {
+                    stats.gauges += 1;
+                    "gauge"
+                }
+                "summary" => {
+                    stats.summaries += 1;
+                    "summary"
+                }
+                other => return Err(format!("line {at}: unsupported metric type {other:?}")),
+            };
+            stats.families += 1;
+            family = Some((name.to_string(), kind));
+            family_samples = 0;
+            continue;
+        }
+        if let Some(help) = line.strip_prefix("# HELP ") {
+            let Some((name, _)) = help.split_once(' ') else {
+                return Err(format!("line {at}: malformed HELP line"));
+            };
+            match &family {
+                Some((f, _)) if f == name && family_samples == 0 => continue,
+                _ => return Err(format!("line {at}: HELP for {name:?} outside its family")),
+            }
+        }
+        if line.starts_with('#') || line.is_empty() {
+            return Err(format!("line {at}: unexpected line {line:?}"));
+        }
+
+        // Sample line: `name[{labels}] value`.
+        let Some((metric, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {at}: malformed sample line"));
+        };
+        if value.parse::<u64>().is_err() && value.parse::<f64>().map_or(true, |v| !v.is_finite()) {
+            return Err(format!("line {at}: non-numeric sample value {value:?}"));
+        }
+        let (name, labels) = match metric.split_once('{') {
+            Some((name, rest)) => {
+                let Some(labels) = rest.strip_suffix('}') else {
+                    return Err(format!("line {at}: unterminated label set"));
+                };
+                if !valid_labels(labels) {
+                    return Err(format!("line {at}: malformed labels {labels:?}"));
+                }
+                (name, Some(labels))
+            }
+            None => (metric, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {at}: invalid metric name {name:?}"));
+        }
+        let Some((f, kind)) = &family else {
+            return Err(format!("line {at}: sample before any TYPE declaration"));
+        };
+        let belongs = match *kind {
+            "counter" => name == format!("{f}_total") && labels.is_none(),
+            "gauge" => name == f.as_str(),
+            "summary" => {
+                (name == f.as_str() && labels.is_some_and(|l| l.starts_with("quantile=")))
+                    || (labels.is_none()
+                        && (name == format!("{f}_count") || name == format!("{f}_sum")))
+            }
+            _ => false,
+        };
+        if !belongs {
+            return Err(format!(
+                "line {at}: sample {name:?} does not belong to {kind} family {f:?}"
+            ));
+        }
+        family_samples += 1;
+        stats.samples += 1;
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_string());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::series::SeriesKind;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.add("engine.words", 64);
+        r.add("engine.retries", 3);
+        r.gauge_max("engine.peak_queue_depth", 17);
+        r.observe("engine.latency.bulk", 10);
+        r.observe("engine.latency.bulk", 20);
+        r.snapshot()
+    }
+
+    #[test]
+    fn render_is_canonical_and_validates() {
+        let mut s = Series::new(SeriesKind::Counter, 64, 8);
+        s.push(5);
+        s.push(7);
+        let text = render(
+            &sample_snapshot(),
+            &[("engine.series.retries".to_string(), s)],
+        );
+        assert!(text.ends_with("# EOF\n"));
+        let stats = validate(&text).expect("exposition validates");
+        // counters: words + retries; gauges: peak depth, latency min/max,
+        // series points, series resolution; summary: latency histogram.
+        assert_eq!(stats.counters, 2);
+        assert_eq!(stats.gauges, 5);
+        assert_eq!(stats.summaries, 1);
+        assert_eq!(stats.families, 8);
+        // Families come out name-sorted.
+        let types: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .collect();
+        let mut sorted = types.clone();
+        sorted.sort();
+        assert_eq!(types, sorted);
+        // Rendering twice is byte-identical.
+        let mut s2 = Series::new(SeriesKind::Counter, 64, 8);
+        s2.push(5);
+        s2.push(7);
+        assert_eq!(
+            text,
+            render(
+                &sample_snapshot(),
+                &[("engine.series.retries".to_string(), s2)]
+            )
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_the_terminator() {
+        let text = render(&MetricsSnapshot::default(), &[]);
+        assert_eq!(text, "# EOF\n");
+        assert_eq!(validate(&text).unwrap(), ExpositionStats::default());
+    }
+
+    #[test]
+    fn sanitize_maps_onto_the_metric_charset() {
+        assert_eq!(sanitize("engine.flit_hops"), "engine_flit_hops");
+        assert_eq!(sanitize("shard-0/queue depth"), "shard_0_queue_depth");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn validate_rejects_broken_expositions() {
+        for (text, why) in [
+            ("a_total 1\n# EOF\n", "sample before TYPE"),
+            (
+                "# TYPE b counter\nb_total 1\n# TYPE a counter\na_total 1\n# EOF\n",
+                "unsorted",
+            ),
+            ("# TYPE a counter\na_total 1\n", "missing EOF"),
+            (
+                "# TYPE a counter\na 1\n# EOF\n",
+                "counter sample without _total",
+            ),
+            ("# TYPE a counter\na_total x\n# EOF\n", "non-numeric value"),
+            ("# TYPE a counter\n# EOF\n", "family without samples"),
+            ("# TYPE a gauge\na 1\n# EOF\nextra\n", "content after EOF"),
+            ("# TYPE a gauge\na{point=\"0} 1\n# EOF\n", "broken labels"),
+            (
+                "# TYPE a histogram\na_bucket 1\n# EOF\n",
+                "unsupported type",
+            ),
+        ] {
+            assert!(validate(text).is_err(), "{why}: {text:?}");
+        }
+    }
+}

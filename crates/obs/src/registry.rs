@@ -89,10 +89,14 @@ impl Histogram {
         }
     }
 
-    /// The q-quantile (q in `[0, 1]`), estimated as the upper bound of the
-    /// bucket containing the target rank, clamped to the observed range.
-    /// Exact for values that fall on bucket boundaries; within a factor of
-    /// two otherwise — the usual log-bucket trade-off.
+    /// The q-quantile (q in `[0, 1]`), estimated by locating the bucket
+    /// containing the target rank and interpolating linearly within it
+    /// (rank position over bucket occupancy, scaled across the bucket's
+    /// `[2^(k-1), 2^k)` span), clamped to the observed range. Exact on
+    /// single-bucket distributions whose samples spread evenly over the
+    /// bucket; within the bucket width otherwise — much tighter than the
+    /// old upper-bound estimate, which pinned every quantile of a bucket
+    /// to `2^k - 1`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -100,15 +104,23 @@ impl Histogram {
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (k, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                let upper = if k == 0 {
-                    0
-                } else {
-                    (1u64 << k).wrapping_sub(1)
-                };
-                return upper.clamp(self.min, self.max);
+            if n == 0 {
+                continue;
             }
+            if seen + n >= target {
+                let (lo, hi) = if k == 0 {
+                    (0, 0)
+                } else {
+                    (1u64 << (k - 1), (1u64 << k).wrapping_sub(1))
+                };
+                // Rank position inside the bucket, 1..=n, mapped linearly
+                // onto (lo, hi]: the last rank lands on the upper bound,
+                // recovering the old estimate as the boundary case.
+                let pos = target - seen;
+                let est = lo + (u128::from(hi - lo) * u128::from(pos) / u128::from(n)) as u64;
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
         }
         self.max
     }
@@ -343,7 +355,7 @@ mod tests {
         assert_eq!(h.min(), 1);
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 22.0).abs() < 1e-12);
-        // Median rank 3 lands in bucket [2,4) -> upper bound 3.
+        // Median rank 3 is the last of bucket [2,4) -> interpolates to 3.
         assert_eq!(h.quantile(0.5), 3);
         // p99 rank 5 lands in the bucket holding 100, clamped to max.
         assert_eq!(h.quantile(0.99), 100);
@@ -381,6 +393,56 @@ mod tests {
         ba.merge(&a);
         ba.merge(&Histogram::default());
         assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // Samples spread evenly over one bucket [4, 8): linear
+        // interpolation recovers each rank exactly.
+        let mut h = Histogram::default();
+        for v in [4u64, 5, 6, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), 4);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(0.75), 6);
+        assert_eq!(h.quantile(1.0), 7);
+        // A single-value distribution is exact at every quantile whatever
+        // bucket it lands in.
+        for v in [0u64, 1, 3, 17, 1 << 20] {
+            let mut h = Histogram::default();
+            for _ in 0..5 {
+                h.record(v);
+            }
+            for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), v, "value {v} at q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        // p50 <= p99 <= p999 on assorted multi-bucket distributions —
+        // ranks are monotone in q and the interpolated estimate is
+        // monotone in (bucket, rank position).
+        let cases: [&[u64]; 4] = [
+            &[1, 2, 3, 4, 100],
+            &[0, 0, 0, 9],
+            &[7; 32],
+            &[1, 10, 100, 1000, 10_000, 100_000],
+        ];
+        for samples in cases {
+            let mut h = Histogram::default();
+            for &v in samples {
+                h.record(v);
+            }
+            let s = h.summary();
+            assert!(
+                s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max,
+                "{samples:?}: {s:?}"
+            );
+            assert!(s.min <= s.p50, "{samples:?}: {s:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Fixed-capacity, deterministically downsampling time-series.
+//!
+//! A [`Series`] records one `u64` value per *sample window* (a fixed
+//! number of simulated cycles chosen by the producer, e.g.
+//! `EngineConfig::sample_every`). Storage is bounded: when the point
+//! buffer fills, adjacent pairs are folded together and the per-point
+//! stride doubles, so a series always holds at most `capacity` points
+//! covering the whole run at the finest resolution that fits. The fold is
+//! driven purely by the number of samples pushed — never by wall clock —
+//! so two runs of the same simulation produce bit-identical series.
+//!
+//! Every stored point is a **sum** over the base samples it covers; the
+//! [`SeriesKind`] only decides how the sum reads: a [`Counter`] point *is*
+//! the activity in its interval (deltas add), while a [`Gauge`] point is a
+//! sum of sampled levels that renders as a mean level (sum ÷ stride).
+//! Keeping both as plain sums makes everything linear, which is what the
+//! engine's shard-major merge relies on: per-shard series over disjoint
+//! resources [`merge`](Series::merge) pointwise by addition, commutatively
+//! and associatively, so any shard partition and any merge order yields
+//! the same bytes.
+//!
+//! [`Counter`]: SeriesKind::Counter
+//! [`Gauge`]: SeriesKind::Gauge
+
+/// How a series' per-point sums should be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Activity per interval: a point is the number of events (or cycles
+    /// of activity) inside it.
+    Counter,
+    /// Sampled level: a point is the sum of per-sample levels inside it;
+    /// divide by [`Series::stride`] for the mean level.
+    Gauge,
+}
+
+impl SeriesKind {
+    /// Lower-case name (`"counter"` / `"gauge"`), as exported.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// A bounded, deterministically downsampling time-series. See the module
+/// docs for the resolution and merge contracts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    kind: SeriesKind,
+    /// Simulated cycles per base sample window.
+    window: u64,
+    /// Base windows folded into each stored point (doubles on downsample).
+    stride: u64,
+    /// Base windows pushed so far.
+    pushed: u64,
+    capacity: usize,
+    points: Vec<u64>,
+}
+
+impl Series {
+    /// Creates an empty series sampling every `window` cycles, holding at
+    /// most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero or `capacity < 2` (a one-point buffer
+    /// cannot fold pairs).
+    pub fn new(kind: SeriesKind, window: u64, capacity: usize) -> Series {
+        assert!(window > 0, "series needs a non-zero sample window");
+        assert!(capacity >= 2, "series needs capacity for at least 2 points");
+        Series {
+            kind,
+            window,
+            stride: 1,
+            pushed: 0,
+            capacity,
+            points: Vec::new(),
+        }
+    }
+
+    /// The interpretation of this series' points.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// Simulated cycles per base sample window.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Base sample windows folded into each stored point.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Simulated cycles each stored point currently covers.
+    pub fn cycles_per_point(&self) -> u64 {
+        self.window.saturating_mul(self.stride)
+    }
+
+    /// Base sample windows pushed so far.
+    pub fn samples(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The stored points, oldest first. Point `i` covers simulated cycles
+    /// `[i * cycles_per_point(), (i + 1) * cycles_per_point())`.
+    pub fn points(&self) -> &[u64] {
+        &self.points
+    }
+
+    /// Sum over every stored point — for counters, the series total.
+    pub fn total(&self) -> u64 {
+        self.points.iter().fold(0u64, |a, &p| a.saturating_add(p))
+    }
+
+    /// The largest stored point and its index, if any point exists. Ties
+    /// resolve to the earliest point.
+    pub fn peak(&self) -> Option<(usize, u64)> {
+        let (mut at, mut best) = (0usize, 0u64);
+        if self.points.is_empty() {
+            return None;
+        }
+        for (i, &p) in self.points.iter().enumerate() {
+            if p > best {
+                (at, best) = (i, p);
+            }
+        }
+        Some((at, best))
+    }
+
+    /// Records the sum for the next base sample window.
+    pub fn push(&mut self, value: u64) {
+        let index = (self.pushed / self.stride) as usize;
+        if index == self.points.len() {
+            if self.points.len() == self.capacity {
+                self.downsample();
+                // After folding, the fresh sample starts (or continues)
+                // point `pushed / stride`.
+                let idx = (self.pushed / self.stride) as usize;
+                if idx == self.points.len() {
+                    self.points.push(0);
+                }
+            } else {
+                self.points.push(0);
+            }
+        }
+        let idx = (self.pushed / self.stride) as usize;
+        self.points[idx] = self.points[idx].saturating_add(value);
+        self.pushed += 1;
+    }
+
+    /// Folds adjacent pairs together and doubles the stride.
+    fn downsample(&mut self) {
+        let half = self.points.len().div_ceil(2);
+        for i in 0..half {
+            let a = self.points[2 * i];
+            let b = self.points.get(2 * i + 1).copied().unwrap_or(0);
+            self.points[i] = a.saturating_add(b);
+        }
+        self.points.truncate(half);
+        self.stride *= 2;
+    }
+
+    /// Folds another series over the *same* timeline into this one,
+    /// pointwise by addition. The finer-resolution side is downsampled
+    /// until the strides match, so merging is commutative and associative
+    /// whatever order shards arrive in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two series disagree on kind, sample window or
+    /// capacity — they would not describe the same timeline.
+    pub fn merge(&mut self, other: &Series) {
+        assert_eq!(self.kind, other.kind, "series kind mismatch");
+        assert_eq!(self.window, other.window, "series sample-window mismatch");
+        assert_eq!(self.capacity, other.capacity, "series capacity mismatch");
+        let mut other = other.clone();
+        while self.stride < other.stride {
+            self.downsample();
+        }
+        while other.stride < self.stride {
+            other.downsample();
+        }
+        if other.points.len() > self.points.len() {
+            self.points.resize(other.points.len(), 0);
+        }
+        for (p, &o) in self.points.iter_mut().zip(&other.points) {
+            *p = p.saturating_add(o);
+        }
+        self.pushed = self.pushed.max(other.pushed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_accumulate_per_window() {
+        let mut s = Series::new(SeriesKind::Counter, 64, 8);
+        for v in [1u64, 2, 3] {
+            s.push(v);
+        }
+        assert_eq!(s.points(), &[1, 2, 3]);
+        assert_eq!(s.stride(), 1);
+        assert_eq!(s.samples(), 3);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.cycles_per_point(), 64);
+        assert_eq!(s.peak(), Some((2, 3)));
+    }
+
+    #[test]
+    fn overflow_folds_pairs_and_doubles_stride() {
+        let mut s = Series::new(SeriesKind::Counter, 1, 4);
+        for v in 1..=5u64 {
+            s.push(v);
+        }
+        // [1,2,3,4] folds to [3,7]; 5 starts the third point.
+        assert_eq!(s.points(), &[3, 7, 5]);
+        assert_eq!(s.stride(), 2);
+        assert_eq!(s.total(), 15);
+        for v in 6..=8u64 {
+            s.push(v);
+        }
+        assert_eq!(s.points(), &[3, 7, 11, 15]);
+        for v in 9..=16u64 {
+            s.push(v);
+        }
+        // Second fold: stride 4, totals preserved throughout.
+        assert_eq!(s.stride(), 4);
+        assert_eq!(s.total(), (1..=16u64).sum::<u64>());
+        assert_eq!(s.points().len(), 4);
+    }
+
+    #[test]
+    fn downsampling_is_a_pure_function_of_push_count() {
+        let mut a = Series::new(SeriesKind::Gauge, 8, 16);
+        let mut b = Series::new(SeriesKind::Gauge, 8, 16);
+        for i in 0..100u64 {
+            a.push(i % 7);
+            b.push(i % 7);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_single_series() {
+        // Two shards each push their half of a global quantity; the merged
+        // series must equal the series of the sums, either merge order.
+        let mut left = Series::new(SeriesKind::Counter, 4, 8);
+        let mut right = Series::new(SeriesKind::Counter, 4, 8);
+        let mut whole = Series::new(SeriesKind::Counter, 4, 8);
+        for i in 0..40u64 {
+            let (l, r) = (i % 3, (i * 7) % 5);
+            left.push(l);
+            right.push(r);
+            whole.push(l + r);
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr, whole);
+        assert_eq!(rl, whole);
+    }
+
+    #[test]
+    fn merge_aligns_mismatched_strides() {
+        // One side folded further than the other (more pushes): the merge
+        // downsamples the finer side first.
+        let mut coarse = Series::new(SeriesKind::Counter, 1, 4);
+        let mut fine = Series::new(SeriesKind::Counter, 1, 4);
+        for i in 0..8u64 {
+            coarse.push(i);
+        }
+        for i in 0..3u64 {
+            fine.push(10 + i);
+        }
+        let total = coarse.total() + fine.total();
+        let mut merged = fine.clone();
+        merged.merge(&coarse);
+        assert_eq!(merged.stride(), 2);
+        assert_eq!(merged.total(), total);
+        let mut other_way = coarse;
+        other_way.merge(&fine);
+        assert_eq!(other_way, merged);
+    }
+
+    #[test]
+    fn empty_series_reports_empty() {
+        let s = Series::new(SeriesKind::Gauge, 64, 8);
+        assert!(s.points().is_empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.peak(), None);
+        assert_eq!(s.samples(), 0);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(SeriesKind::Counter.name(), "counter");
+        assert_eq!(SeriesKind::Gauge.name(), "gauge");
+    }
+}

@@ -14,8 +14,8 @@ use std::sync::Mutex;
 /// counter instead of growing without bound.
 pub const MAX_EVENTS: usize = 1 << 20;
 
-/// One recorded event: a complete span (`dur = Some`) or an instant
-/// (`dur = None`).
+/// One recorded event: a complete span (`dur = Some`), a counter sample
+/// (`value = Some`) or an instant (both `None`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Process id — one per measured point (0 = the run itself).
@@ -26,8 +26,11 @@ pub struct TraceEvent {
     pub name: String,
     /// Start cycle.
     pub ts: u64,
-    /// Span length in cycles, or `None` for an instant event.
+    /// Span length in cycles, or `None` for an instant or counter event.
     pub dur: Option<u64>,
+    /// Sampled counter value, or `None` for spans and instants. A counter
+    /// event renders as a Chrome `ph: "C"` series point.
+    pub value: Option<u64>,
 }
 
 /// Thread-safe event buffer for one run.
@@ -52,6 +55,7 @@ impl TraceSink {
             name,
             ts: start,
             dur: Some(end.max(start) - start),
+            value: None,
         });
     }
 
@@ -63,6 +67,19 @@ impl TraceSink {
             name,
             ts,
             dur: None,
+            value: None,
+        });
+    }
+
+    /// Records a counter sample: the value of series `name` at cycle `ts`.
+    pub fn counter(&self, pid: u64, track: &'static str, name: String, ts: u64, value: u64) {
+        self.push(TraceEvent {
+            pid,
+            track,
+            name,
+            ts,
+            dur: None,
+            value: Some(value),
         });
     }
 
@@ -101,14 +118,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn records_spans_and_instants() {
+    fn records_spans_instants_and_counters() {
         let sink = TraceSink::new();
         sink.span(1, "t", "a".to_string(), 10, 20);
         sink.instant(1, "t", "b".to_string(), 15);
+        sink.counter(1, "t", "depth".to_string(), 16, 42);
         let events = sink.events();
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3);
         assert_eq!(events[0].dur, Some(10));
-        assert_eq!(events[1].dur, None);
+        assert_eq!((events[1].dur, events[1].value), (None, None));
+        assert_eq!((events[2].dur, events[2].value), (None, Some(42)));
         assert!(!sink.is_empty());
         assert_eq!(sink.dropped(), 0);
     }

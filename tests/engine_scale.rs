@@ -86,6 +86,7 @@ fn opts(jobs: usize, shards: usize) -> EngineOptions {
         jobs,
         shards,
         record_events: false,
+        sample_every: 0,
         reference_scheduler: false,
     }
 }

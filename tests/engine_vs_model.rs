@@ -61,6 +61,7 @@ fn engine_agrees_with_the_analytic_model_on_table6() {
                 jobs: 0,
                 shards: 0,
                 record_events: false,
+                sample_every: 0,
                 reference_scheduler: false,
             };
             let run = netrun::run_rounds(&machine, &topo, &rounds, &opts).expect("engine runs");
@@ -142,6 +143,7 @@ fn port_sharing_shapes_the_emergent_congestion() {
         jobs: 0,
         shards: 0,
         record_events: false,
+        sample_every: 0,
         reference_scheduler: false,
     };
 

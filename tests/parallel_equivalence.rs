@@ -154,6 +154,64 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     );
 }
 
+/// The adversary scenario's observability contract: running under a live
+/// trace-recording registry renders byte-identical scenario JSON to an
+/// unobserved run, with the telemetry sampler both off and armed; and
+/// arming the sampler only *appends* the telemetry section — the
+/// unsampled report's bytes survive as an exact prefix. Safe outside the
+/// mega-test above: the scenario takes its worker count explicitly and
+/// never touches the memo cache.
+#[test]
+fn adversary_scenario_json_is_trace_invariant() {
+    use memcomm_bench::adversary::{run_scenario, scenario_json, ScenarioOptions};
+    use memcomm_netsim::AdversaryKind;
+
+    let render = |sample_every: u64, obs: Option<bool>| {
+        let handle = memcomm_obs::Obs::new(obs.unwrap_or(false));
+        let guard = obs.map(|_| handle.install());
+        let opts = ScenarioOptions {
+            nodes: Some(16),
+            base_bytes: 64,
+            sample_every,
+            ..ScenarioOptions::new(AdversaryKind::Incast)
+        };
+        let s = run_scenario(&opts).expect("scenario runs");
+        let json = scenario_json(&opts, &s).render();
+        drop(guard);
+        json
+    };
+
+    let plain = render(0, None);
+    assert!(!plain.contains("telemetry"));
+    assert_eq!(
+        render(0, Some(true)),
+        plain,
+        "tracing must not perturb the unsampled scenario report"
+    );
+    let sampled = render(64, None);
+    assert_eq!(
+        render(64, Some(true)),
+        sampled,
+        "tracing must not perturb the sampled scenario report"
+    );
+    assert_eq!(
+        render(64, Some(false)),
+        sampled,
+        "a registry-only observer must not perturb the sampled report"
+    );
+    // Sampling only *appends*: strip the closing `\n}\n` and the unsampled
+    // report's bytes survive verbatim, continued by the telemetry key.
+    let base = plain.strip_suffix("\n}\n").expect("rendered object");
+    assert!(
+        sampled.starts_with(base),
+        "sampling must keep the unsampled report's exact bytes as a prefix"
+    );
+    assert!(
+        sampled[base.len()..].starts_with(",\n  \"telemetry\""),
+        "sampling must continue the report with the telemetry section"
+    );
+}
+
 /// The event engine's determinism contract, end to end through the bench
 /// layer: the engine Table 6 section renders byte-identical JSON at any
 /// shard worker count. This can live outside the mega-test above because
